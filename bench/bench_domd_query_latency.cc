@@ -1,0 +1,106 @@
+// Serving-latency benchmark: the paper's motivation for the indexing work
+// is that "DoMD queries must be answered with the least latency" (§4). This
+// measures the end-to-end latency of the deployed estimator's two query
+// paths (per-avail DoMD query with top-5 attribution; raw Status Query
+// through Algorithm StatusQ) under google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/domd_estimator.h"
+#include "query/query_parser.h"
+
+namespace domd {
+namespace {
+
+struct ServingContext {
+  Dataset data;
+  DataSplit split;
+  StatusOr<DomdEstimator> estimator;
+  StatusQueryEngine engine;
+
+  ServingContext()
+      : data(GenerateDataset(ModelingConfig(42))),
+        split(MakeServingSplit()),
+        estimator(DomdEstimator::Train(&data, MakeConfig(), split.train)),
+        engine(&data, IndexBackend::kAvlTree) {}
+
+  DataSplit MakeServingSplit() {
+    Rng rng(43);
+    return MakeSplit(data.avails, SplitOptions{}, &rng);
+  }
+
+  static PipelineConfig MakeConfig() {
+    PipelineConfig config;
+    config.gbt.num_rounds = 120;
+    return config;
+  }
+};
+
+ServingContext& Context() {
+  static ServingContext& context = *new ServingContext();
+  return context;
+}
+
+void BM_DomdQueryFullTimeline(benchmark::State& state) {
+  auto& context = Context();
+  if (!context.estimator.ok()) {
+    state.SkipWithError("training failed");
+    return;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::int64_t id =
+        context.split.test[i++ % context.split.test.size()];
+    auto result = context.estimator->QueryAtLogicalTime(id, 100.0);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DomdQueryFullTimeline)->Unit(benchmark::kMicrosecond);
+
+void BM_DomdQueryEarlyTimeline(benchmark::State& state) {
+  auto& context = Context();
+  if (!context.estimator.ok()) {
+    state.SkipWithError("training failed");
+    return;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::int64_t id =
+        context.split.test[i++ % context.split.test.size()];
+    auto result = context.estimator->QueryAtLogicalTime(id, 20.0);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DomdQueryEarlyTimeline)->Unit(benchmark::kMicrosecond);
+
+void BM_StatusQuerySql(benchmark::State& state) {
+  auto& context = Context();
+  const auto parsed = ParseStatusQuery(
+      "SELECT AVG(AMOUNT) FROM RCC WHERE STATUS = SETTLED AND TYPE = G "
+      "AND SWLIN LIKE '1%' AT 50");
+  if (!parsed.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto value = context.engine.Execute(parsed->query, parsed->t_star);
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_StatusQuerySql)->Unit(benchmark::kMicrosecond);
+
+void BM_StatusQueryParseOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    auto parsed = ParseStatusQuery(
+        "SELECT AVG(AMOUNT) FROM RCC WHERE STATUS = SETTLED AND TYPE = G "
+        "AND SWLIN LIKE '1%' AND AVAIL = 7 AT 50");
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_StatusQueryParseOnly)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace domd
+
+BENCHMARK_MAIN();

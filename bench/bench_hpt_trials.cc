@@ -1,0 +1,71 @@
+// Reproduces Fig. 6e: best validation MAE as a function of the number of
+// AutoHPT (TPE/SMBO) optimization trials, over the paper's grid
+// {10, 20, 30, 40, 50, 100, 200}. A single long SMBO run is evaluated at
+// each prefix so trial counts are directly comparable.
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "bench/bench_common.h"
+#include "core/pipeline_optimizer.h"
+#include "ml/metrics.h"
+
+namespace domd {
+namespace {
+
+void Run() {
+  bench::Banner("Fig. 6e: best validation MAE vs # AutoHPT trials");
+  auto env = bench::MakeModelingBench();
+
+  // Objective: validation MAE of a GBT with candidate hyperparameters at
+  // the 50% grid step with Pearson k=60 inputs (the representative step —
+  // tuning against the full timeline multiplies cost 11x with the same
+  // ranking).
+  const std::size_t step = 5;
+  const Matrix& train_slice = env.train.dynamic.slice(step);
+  const Matrix& val_slice = env.validation.dynamic.slice(step);
+  auto selector = CreateSelector(SelectionMethod::kPearson);
+  const auto cols = selector->SelectTopK(train_slice, env.train.labels, 60);
+  const Matrix train_x =
+      Matrix::HConcat(env.train.static_x, train_slice.SelectColumns(cols));
+  const Matrix val_x = Matrix::HConcat(env.validation.static_x,
+                                       val_slice.SelectColumns(cols));
+
+  const ParamSpace space = PipelineOptimizer::GbtSearchSpace();
+  auto objective = [&](const ParamMap& map) {
+    GbtParams params;
+    PipelineOptimizer::ApplyGbtParams(map, &params);
+    GbtRegressor model(params, Loss::PseudoHuber(18.0));
+    if (!model.Fit(train_x, env.train.labels).ok()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return MeanAbsoluteError(env.validation.labels,
+                             model.PredictBatch(val_x));
+  };
+
+  Tuner tuner(&space, TpeOptions{}, 99);
+  const TuningResult result = tuner.Run(objective, 200);
+
+  std::printf("%-10s %16s\n", "# trials", "best val MAE");
+  for (int count : {10, 20, 30, 40, 50, 100, 200}) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < count; ++i) {
+      best = std::min(best,
+                      result.trials[static_cast<std::size_t>(i)].objective);
+    }
+    std::printf("%-10d %16.2f\n", count, best);
+  }
+  std::printf(
+      "\n(paper: MAE keeps declining with more trials — a validation-"
+      "overfitting risk —\n so 30 trials are adopted; we adopt the same "
+      "robustness choice)\n");
+}
+
+}  // namespace
+}  // namespace domd
+
+int main() {
+  domd::Run();
+  return 0;
+}

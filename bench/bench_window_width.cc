@@ -1,0 +1,39 @@
+// Ablation (DESIGN.md §5): the model-gap interval x (window width) —
+// the paper fixes x = 10%; this sweep shows the cost/quality trade-off of
+// wider and narrower windows (number of models = 1 + ceil(100/x)).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace domd {
+namespace {
+
+void Run() {
+  bench::Banner("Ablation: model-gap interval x (window width)");
+  std::printf("%-8s %9s %14s %18s\n", "x(%)", "#models", "train time(s)",
+              "mean val MAE(avg)");
+  for (double x : {5.0, 10.0, 20.0, 25.0, 50.0}) {
+    auto env = bench::MakeModelingBench(x);
+    PipelineConfig config = bench::BenchBaseConfig();
+    config.window_width_pct = x;
+
+    TimelineModelSet models;
+    const double seconds = bench::TimeSeconds(
+        [&] { (void)models.Fit(config, env.train, env.dynamic_names); },
+        /*runs=*/1);
+    const double mae =
+        TimelineValidationMae(models, env.validation, FusionMethod::kAverage);
+    std::printf("%-8.0f %9zu %14.2f %18.2f\n", x, env.grid.size(), seconds,
+                mae);
+  }
+  std::printf("(paper deploys x = 10%% -> 11 models)\n");
+}
+
+}  // namespace
+}  // namespace domd
+
+int main() {
+  domd::Run();
+  return 0;
+}

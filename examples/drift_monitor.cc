@@ -1,0 +1,84 @@
+// Automated-retraining gate: the deployed pipeline refits on raw data
+// "without human intervention" (paper §1). This example shows the trigger
+// logic — a DriftMonitor referenced on the training-time static features
+// watches a stream of new avails; when the fleet mix shifts (here: a surge
+// of old, long-duration emergent avails), the monitor recommends a retrain.
+
+#include <cstdio>
+
+#include "features/feature_catalog.h"
+#include "features/static_features.h"
+#include "monitor/drift.h"
+#include "synth/generator.h"
+
+int main() {
+  using namespace domd;
+
+  // One fleet, split into a training-time reference population (first 150
+  // avails) and a live stream (last 60) so scenario A is a true
+  // same-population draw.
+  SynthConfig base;
+  base.seed = 1;
+  base.num_avails = 210;
+  base.mean_rccs_per_avail = 20;
+  const Dataset fleet = GenerateDataset(base);
+
+  // Interleaved split (every 4th avail goes to the live stream) so both
+  // sides sample the same population — avails are generated with a
+  // cumulative per-ship counter, so a chronological split would already
+  // drift on PRIOR_AVAIL_COUNT.
+  std::vector<std::int64_t> reference_ids, live_ids;
+  for (std::size_t i = 0; i < fleet.avails.size(); ++i) {
+    const std::int64_t id = fleet.avails.rows()[i].id;
+    (i % 4 == 3 ? live_ids : reference_ids).push_back(id);
+  }
+  const Matrix reference = BuildStaticFeatures(fleet.avails, reference_ids);
+
+  DriftOptions options;
+  // With only ~50 live rows the PSI estimator is noisy on discrete
+  // features; require a quarter of the features to shift before retraining.
+  options.retrain_fraction = 0.25;
+  DriftMonitor monitor(options, StaticFeatureNames());
+  if (auto s = monitor.SetReference(reference); !s.ok()) {
+    std::printf("monitor setup failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("drift monitor referenced on %zu avails x %zu static "
+              "features\n\n",
+              reference.rows(), reference.cols());
+
+  // Scenario A: new avails drawn from the same population.
+  const auto stable_report =
+      monitor.Evaluate(BuildStaticFeatures(fleet.avails, live_ids));
+  std::printf("scenario A — same population: %zu/%zu features drifted, "
+              "max PSI %.3f -> retrain %s\n",
+              stable_report->num_drifted, StaticFeatureNames().size(),
+              stable_report->max_psi,
+              stable_report->retrain_recommended ? "YES" : "no");
+
+  // Scenario B: the same live avails, but the fleet has aged and work has
+  // shifted to longer avails.
+  Dataset mutated;
+  for (std::int64_t id : live_ids) {
+    Avail a = **fleet.avails.Find(id);
+    a.ship_age_years += 12.0;
+    a.planned_end = a.planned_end + 150;
+    if (a.actual_end.has_value()) a.actual_end = *a.actual_end + 150;
+    (void)mutated.avails.Add(a);
+  }
+  const auto drift_report =
+      monitor.Evaluate(BuildStaticFeatures(mutated.avails, live_ids));
+  std::printf("scenario B — aged fleet:      %zu/%zu features drifted, "
+              "max PSI %.3f -> retrain %s\n",
+              drift_report->num_drifted, StaticFeatureNames().size(),
+              drift_report->max_psi,
+              drift_report->retrain_recommended ? "YES" : "no");
+
+  std::printf("\nworst-shifted features in scenario B:\n");
+  for (std::size_t i = 0; i < 3 && i < drift_report->features.size(); ++i) {
+    const auto& f = drift_report->features[i];
+    std::printf("  %-24s PSI %.3f  KS %.3f%s\n", f.feature_name.c_str(),
+                f.psi, f.ks, f.drifted ? "  [drifted]" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Fleet readiness dashboard: the SMDII-style view motivating the paper.
+// Trains on closed avails, then reports every *ongoing* avail's current
+// estimated delay, projected completion date, and the budget exposure at
+// the paper's $250k-per-delay-day figure, worst first.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/domd_estimator.h"
+#include "data/logical_time.h"
+#include "data/splits.h"
+#include "synth/generator.h"
+
+int main() {
+  using namespace domd;
+
+  SynthConfig synth;
+  synth.seed = 2026;
+  synth.num_avails = 160;
+  synth.mean_rccs_per_avail = 120;
+  synth.ongoing_fraction = 0.15;  // a realistic slice of in-flight avails
+  const Dataset data = GenerateDataset(synth);
+
+  Rng rng(1);
+  const DataSplit split = MakeSplit(data.avails, SplitOptions{}, &rng);
+  PipelineConfig config;
+  config.gbt.num_rounds = 120;
+  auto estimator = DomdEstimator::Train(&data, config, split.train);
+  if (!estimator.ok()) {
+    std::printf("training failed: %s\n",
+                estimator.status().ToString().c_str());
+    return 1;
+  }
+
+  // "Today" for the dashboard: 60% through each avail's planned duration
+  // (each ongoing avail is at its own physical date).
+  struct DashboardRow {
+    std::int64_t avail_id;
+    std::int64_t ship_id;
+    double t_star;
+    double estimated_delay;
+    Date projected_end;
+    std::string top_feature;
+  };
+  std::vector<DashboardRow> rows;
+  for (const Avail& avail : data.avails.rows()) {
+    if (avail.status != AvailStatus::kOngoing) continue;
+    const double t_star = 60.0;
+    const auto result = estimator->QueryAtLogicalTime(avail.id, t_star);
+    if (!result.ok()) continue;
+    DashboardRow row;
+    row.avail_id = avail.id;
+    row.ship_id = avail.ship_id;
+    row.t_star = t_star;
+    row.estimated_delay = result->fused_estimate_days;
+    row.projected_end =
+        avail.planned_end +
+        static_cast<std::int64_t>(result->fused_estimate_days);
+    row.top_feature = result->steps.back().top_features.empty()
+                          ? "-"
+                          : result->steps.back().top_features[0].feature_name;
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const DashboardRow& a, const DashboardRow& b) {
+              return a.estimated_delay > b.estimated_delay;
+            });
+
+  std::printf(
+      "FLEET MAINTENANCE DASHBOARD — %zu ongoing avails (at t* = 60%%)\n\n",
+      rows.size());
+  std::printf("%-8s %-8s %12s %14s %12s  %s\n", "avail", "ship",
+              "est. delay", "projected end", "exposure", "top driver");
+  double total_exposure = 0.0;
+  for (const DashboardRow& row : rows) {
+    // Each delay day costs ~$250k (paper §1); early finishes save nothing.
+    const double exposure_musd =
+        std::max(0.0, row.estimated_delay) * 0.25;
+    total_exposure += exposure_musd;
+    std::printf("%-8lld %-8lld %9.0f d %14s %9.1f M$  %s\n",
+                static_cast<long long>(row.avail_id),
+                static_cast<long long>(row.ship_id), row.estimated_delay,
+                row.projected_end.ToString().c_str(), exposure_musd,
+                row.top_feature.c_str());
+  }
+  std::printf("\nestimated fleet-wide budget exposure: %.1f M$\n",
+              total_exposure);
+  return 0;
+}

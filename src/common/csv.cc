@@ -1,0 +1,138 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace domd {
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void AppendField(std::string* out, std::string_view field) {
+  if (!NeedsQuoting(field)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+// Parses one CSV record starting at *pos; advances *pos past the record's
+// trailing newline. Returns false on unterminated quote.
+bool ParseRecord(std::string_view text, std::size_t* pos,
+                 std::vector<std::string>* fields) {
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  std::size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      ++i;
+      break;
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) return false;
+  fields->push_back(std::move(field));
+  *pos = i;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<std::size_t> CsvDocument::ColumnIndex(std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  return Status::NotFound("no CSV column named " + std::string(name));
+}
+
+StatusOr<CsvDocument> CsvDocument::Parse(std::string_view text) {
+  CsvDocument doc;
+  std::size_t pos = 0;
+  std::vector<std::string> fields;
+  if (pos < text.size()) {
+    if (!ParseRecord(text, &pos, &fields)) {
+      return Status::InvalidArgument("unterminated quote in CSV header");
+    }
+    doc.header_ = fields;
+  }
+  std::size_t line = 1;
+  while (pos < text.size()) {
+    ++line;
+    if (!ParseRecord(text, &pos, &fields)) {
+      return Status::InvalidArgument("unterminated quote in CSV row " +
+                                     std::to_string(line));
+    }
+    // Skip blank trailing lines.
+    if (fields.size() == 1 && fields[0].empty()) continue;
+    if (fields.size() != doc.header_.size()) {
+      return Status::InvalidArgument(
+          "CSV row " + std::to_string(line) + " has " +
+          std::to_string(fields.size()) + " fields, header has " +
+          std::to_string(doc.header_.size()));
+    }
+    doc.rows_.push_back(fields);
+  }
+  return doc;
+}
+
+StatusOr<CsvDocument> CsvDocument::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+std::string CsvDocument::Serialize() const {
+  std::string out;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendField(&out, header_[i]);
+  }
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendField(&out, row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status CsvDocument::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << Serialize();
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace domd

@@ -1,0 +1,54 @@
+#ifndef DOMD_COMMON_CSV_H_
+#define DOMD_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace domd {
+
+/// An in-memory CSV document: a header row plus data rows. Fields containing
+/// commas, quotes, or newlines are quoted per RFC 4180 on write and unquoted
+/// on read. This is the persistence format for the avail and RCC tables.
+class CsvDocument {
+ public:
+  CsvDocument() = default;
+  CsvDocument(std::vector<std::string> header,
+              std::vector<std::vector<std::string>> rows)
+      : header_(std::move(header)), rows_(std::move(rows)) {}
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return header_.size(); }
+
+  /// Index of the named column, or NotFound.
+  StatusOr<std::size_t> ColumnIndex(std::string_view name) const;
+
+  void set_header(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Parses CSV text. Every row must have the same arity as the header.
+  static StatusOr<CsvDocument> Parse(std::string_view text);
+
+  /// Reads and parses a CSV file.
+  static StatusOr<CsvDocument> ReadFile(const std::string& path);
+
+  /// Serializes to CSV text (header first).
+  std::string Serialize() const;
+
+  /// Writes to a file, overwriting.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_COMMON_CSV_H_

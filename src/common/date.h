@@ -1,0 +1,80 @@
+#ifndef DOMD_COMMON_DATE_H_
+#define DOMD_COMMON_DATE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace domd {
+
+/// A civil calendar date represented as a serial day count (days since
+/// 1970-01-01, proleptic Gregorian). Arithmetic in days is exact integer
+/// arithmetic; two Dates subtract to a day count, which is exactly the
+/// quantity DoMD works in.
+class Date {
+ public:
+  /// Constructs the epoch date 1970-01-01.
+  constexpr Date() : serial_(0) {}
+  /// Constructs from a raw serial day count.
+  constexpr explicit Date(std::int64_t serial_day) : serial_(serial_day) {}
+
+  /// Builds a Date from civil year/month/day. Aborts on out-of-range month;
+  /// days are normalized by the underlying civil-day algorithm, so callers
+  /// must pass valid days (validated factory below for untrusted input).
+  static Date FromCivil(int year, int month, int day);
+
+  /// Parses "M/D/YYYY", "M/D/YY" (two-digit years map to 2000-2068 /
+  /// 1969-1999), or ISO "YYYY-MM-DD". Returns InvalidArgument on malformed
+  /// or out-of-range input.
+  static StatusOr<Date> Parse(std::string_view text);
+
+  std::int64_t serial() const { return serial_; }
+
+  int year() const;
+  int month() const;
+  int day() const;
+
+  /// Formats as ISO "YYYY-MM-DD".
+  std::string ToString() const;
+  /// Formats as "M/D/YYYY" (the style used in the paper's tables).
+  std::string ToUsString() const;
+
+  Date AddDays(std::int64_t days) const { return Date(serial_ + days); }
+
+  friend constexpr std::int64_t operator-(Date a, Date b) {
+    return a.serial_ - b.serial_;
+  }
+  friend constexpr Date operator+(Date a, std::int64_t days) {
+    return Date(a.serial_ + days);
+  }
+  friend constexpr bool operator==(Date a, Date b) {
+    return a.serial_ == b.serial_;
+  }
+  friend constexpr bool operator!=(Date a, Date b) {
+    return a.serial_ != b.serial_;
+  }
+  friend constexpr bool operator<(Date a, Date b) {
+    return a.serial_ < b.serial_;
+  }
+  friend constexpr bool operator<=(Date a, Date b) {
+    return a.serial_ <= b.serial_;
+  }
+  friend constexpr bool operator>(Date a, Date b) {
+    return a.serial_ > b.serial_;
+  }
+  friend constexpr bool operator>=(Date a, Date b) {
+    return a.serial_ >= b.serial_;
+  }
+
+ private:
+  std::int64_t serial_;
+};
+
+std::ostream& operator<<(std::ostream& os, Date d);
+
+}  // namespace domd
+
+#endif  // DOMD_COMMON_DATE_H_

@@ -1,0 +1,136 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace domd {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  return ss / static_cast<double>(values.size() - 1);
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  if (q <= 0.0) return *std::min_element(values.begin(), values.end());
+  if (q >= 1.0) return *std::max_element(values.begin(), values.end());
+  std::sort(values.begin(), values.end());
+  const double idx = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const double frac = idx - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values[lo];
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+double Median(std::vector<double> values) {
+  return Quantile(std::move(values), 0.5);
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> MidRanks(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Average of ranks i+1 .. j+1 (1-based).
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  std::vector<double> xs(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(n));
+  std::vector<double> ys(y.begin(), y.begin() + static_cast<std::ptrdiff_t>(n));
+  return PearsonCorrelation(MidRanks(xs), MidRanks(ys));
+}
+
+double MutualInformation(const std::vector<double>& x,
+                         const std::vector<double>& y, int bins) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2 || bins < 2) return 0.0;
+  const auto [xmin_it, xmax_it] =
+      std::minmax_element(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(n));
+  const auto [ymin_it, ymax_it] =
+      std::minmax_element(y.begin(), y.begin() + static_cast<std::ptrdiff_t>(n));
+  const double xmin = *xmin_it, xmax = *xmax_it;
+  const double ymin = *ymin_it, ymax = *ymax_it;
+  if (xmax <= xmin || ymax <= ymin) return 0.0;
+
+  const std::size_t b = static_cast<std::size_t>(bins);
+  std::vector<double> joint(b * b, 0.0);
+  std::vector<double> px(b, 0.0), py(b, 0.0);
+  auto bucket = [&](double v, double lo, double hi) -> std::size_t {
+    auto idx = static_cast<std::size_t>((v - lo) / (hi - lo) *
+                                        static_cast<double>(b));
+    return idx >= b ? b - 1 : idx;
+  };
+  const double w = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t bx = bucket(x[i], xmin, xmax);
+    const std::size_t by = bucket(y[i], ymin, ymax);
+    joint[bx * b + by] += w;
+    px[bx] += w;
+    py[by] += w;
+  }
+  double mi = 0.0;
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t j = 0; j < b; ++j) {
+      const double pxy = joint[i * b + j];
+      if (pxy > 0.0 && px[i] > 0.0 && py[j] > 0.0) {
+        mi += pxy * std::log(pxy / (px[i] * py[j]));
+      }
+    }
+  }
+  return mi < 0.0 ? 0.0 : mi;
+}
+
+}  // namespace domd

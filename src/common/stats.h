@@ -1,0 +1,48 @@
+#ifndef DOMD_COMMON_STATS_H_
+#define DOMD_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace domd {
+
+/// Descriptive statistics over double vectors. All functions treat the input
+/// as a population sample; variance is the unbiased (n-1) estimator unless
+/// noted. Empty-input behaviour is documented per function.
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance; 0 for fewer than two values.
+double Variance(const std::vector<double>& values);
+
+/// Square root of Variance().
+double StdDev(const std::vector<double>& values);
+
+/// Linear-interpolation quantile, q in [0,1]. Sorts a copy. 0 for empty.
+double Quantile(std::vector<double> values, double q);
+
+/// Median = Quantile(values, 0.5).
+double Median(std::vector<double> values);
+
+/// Pearson product-moment correlation of two equal-length vectors.
+/// Returns 0 when either side has zero variance or inputs are empty.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Spearman rank correlation (Pearson over mid-ranks, handling ties).
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// Mid-ranks of values (average rank for ties), 1-based.
+std::vector<double> MidRanks(const std::vector<double>& values);
+
+/// Mutual information (nats) between x and y estimated by an equal-width
+/// 2-D histogram with the given number of bins per axis. Returns 0 for
+/// degenerate inputs (constant vector or size < 2).
+double MutualInformation(const std::vector<double>& x,
+                         const std::vector<double>& y, int bins = 8);
+
+}  // namespace domd
+
+#endif  // DOMD_COMMON_STATS_H_

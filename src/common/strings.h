@@ -1,0 +1,29 @@
+#ifndef DOMD_COMMON_STRINGS_H_
+#define DOMD_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace domd {
+
+/// Splits text on a single-character delimiter. Empty fields are preserved;
+/// an empty input yields one empty field.
+std::vector<std::string> StrSplit(std::string_view text, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrStrip(std::string_view text);
+
+/// Joins parts with the given separator.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// True if text begins with prefix.
+bool StrStartsWith(std::string_view text, std::string_view prefix);
+
+/// Lower-cases ASCII letters.
+std::string StrToLower(std::string_view text);
+
+}  // namespace domd
+
+#endif  // DOMD_COMMON_STRINGS_H_

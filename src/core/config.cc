@@ -1,0 +1,123 @@
+#include "core/config.h"
+
+#include <iomanip>
+
+namespace domd {
+
+const char* ModelFamilyToString(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kGbt:
+      return "GBT";
+    case ModelFamily::kElasticNet:
+      return "ElasticNet";
+  }
+  return "?";
+}
+
+const char* ArchitectureToString(Architecture architecture) {
+  switch (architecture) {
+    case Architecture::kNonStacked:
+      return "non-stacked";
+    case Architecture::kStacked:
+      return "stacked";
+  }
+  return "?";
+}
+
+const char* FusionMethodToString(FusionMethod method) {
+  switch (method) {
+    case FusionMethod::kNone:
+      return "none";
+    case FusionMethod::kMin:
+      return "min";
+    case FusionMethod::kAverage:
+      return "average";
+    case FusionMethod::kMedian:
+      return "median";
+    case FusionMethod::kWeightedRecent:
+      return "weighted-recent";
+  }
+  return "?";
+}
+
+Loss PipelineConfig::MakeLoss() const {
+  switch (loss) {
+    case LossKind::kSquared:
+      return Loss::Squared();
+    case LossKind::kAbsolute:
+      return Loss::Absolute();
+    case LossKind::kPseudoHuber:
+      return Loss::PseudoHuber(huber_delta);
+  }
+  return Loss::Squared();
+}
+
+void PipelineConfig::Save(std::ostream& out) const {
+  out << std::setprecision(17);
+  out << "pipeline_config v1\n";
+  out << static_cast<int>(selection) << ' ' << num_features << ' '
+      << static_cast<int>(model_family) << ' '
+      << static_cast<int>(architecture) << ' ' << static_cast<int>(loss)
+      << ' ' << huber_delta << ' ' << hpt_trials << ' '
+      << static_cast<int>(fusion) << ' ' << window_width_pct << ' ' << seed
+      << "\n";
+  out << gbt.num_rounds << ' ' << gbt.learning_rate << ' '
+      << gbt.tree.max_depth << ' ' << gbt.tree.min_child_weight << ' '
+      << gbt.tree.lambda << ' ' << gbt.tree.gamma << ' '
+      << static_cast<int>(gbt.tree.split_method) << ' '
+      << gbt.tree.histogram_bins << ' ' << gbt.subsample << ' '
+      << gbt.colsample << ' ' << gbt.seed << "\n";
+  out << elastic_net.alpha << ' ' << elastic_net.l1_ratio << ' '
+      << elastic_net.max_iterations << ' ' << elastic_net.tolerance << "\n";
+}
+
+StatusOr<PipelineConfig> PipelineConfig::Load(std::istream& in) {
+  std::string tag, version;
+  if (!(in >> tag >> version) || tag != "pipeline_config" ||
+      version != "v1") {
+    return Status::InvalidArgument("bad pipeline config header");
+  }
+  PipelineConfig config;
+  int selection = 0, family = 0, architecture = 0, loss = 0, fusion = 0,
+      split_method = 0;
+  if (!(in >> selection >> config.num_features >> family >> architecture >>
+        loss >> config.huber_delta >> config.hpt_trials >> fusion >>
+        config.window_width_pct >> config.seed)) {
+    return Status::InvalidArgument("bad pipeline config body");
+  }
+  if (!(in >> config.gbt.num_rounds >> config.gbt.learning_rate >>
+        config.gbt.tree.max_depth >> config.gbt.tree.min_child_weight >>
+        config.gbt.tree.lambda >> config.gbt.tree.gamma >> split_method >>
+        config.gbt.tree.histogram_bins >> config.gbt.subsample >>
+        config.gbt.colsample >> config.gbt.seed)) {
+    return Status::InvalidArgument("bad pipeline config GBT record");
+  }
+  if (!(in >> config.elastic_net.alpha >> config.elastic_net.l1_ratio >>
+        config.elastic_net.max_iterations >> config.elastic_net.tolerance)) {
+    return Status::InvalidArgument("bad pipeline config elastic-net record");
+  }
+  config.selection = static_cast<SelectionMethod>(selection);
+  config.model_family = static_cast<ModelFamily>(family);
+  config.architecture = static_cast<Architecture>(architecture);
+  config.loss = static_cast<LossKind>(loss);
+  config.fusion = static_cast<FusionMethod>(fusion);
+  config.gbt.tree.split_method = static_cast<SplitMethod>(split_method);
+  return config;
+}
+
+std::string PipelineConfig::ToString() const {
+  std::string out;
+  out += SelectionMethodToString(selection);
+  out += "(k=" + std::to_string(num_features) + ") ";
+  out += ModelFamilyToString(model_family);
+  out += " ";
+  out += ArchitectureToString(architecture);
+  out += " loss=" + MakeLoss().ToString();
+  out += " hpt_trials=" + std::to_string(hpt_trials);
+  out += " fusion=";
+  out += FusionMethodToString(fusion);
+  out += " x=" + std::to_string(window_width_pct) + "%";
+  return out;
+}
+
+}  // namespace domd

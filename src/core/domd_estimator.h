@@ -1,0 +1,82 @@
+#ifndef DOMD_CORE_DOMD_ESTIMATOR_H_
+#define DOMD_CORE_DOMD_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pipeline_optimizer.h"
+#include "core/timeline.h"
+#include "ml/attribution.h"
+
+namespace domd {
+
+/// One per-step DoMD estimate with its interpretability payload: the top
+/// contributing features the paper's SMEs review for each availability.
+struct DomdStepEstimate {
+  double t_star = 0.0;
+  double estimated_delay_days = 0.0;
+  std::vector<FeatureContribution> top_features;
+};
+
+/// Answer to a DoMD query (Problem 1): estimates at every grid point from
+/// 0% up to the query's logical time, plus the fused estimate.
+struct DomdQueryResult {
+  std::int64_t avail_id = 0;
+  double query_t_star = 0.0;
+  double fused_estimate_days = 0.0;
+  std::vector<DomdStepEstimate> steps;
+};
+
+/// The deployed estimator: a trained timeline model set over a dataset,
+/// answering DoMD queries for any avail (ongoing or closed) at any time.
+class DomdEstimator {
+ public:
+  /// Trains the model set per `config` on the avails in `train_ids`
+  /// (labels required: they must be closed) and prepares features for every
+  /// avail in the dataset so any of them can be queried. The dataset must
+  /// outlive the estimator.
+  static StatusOr<DomdEstimator> Train(
+      const Dataset* data, const PipelineConfig& config,
+      const std::vector<std::int64_t>& train_ids);
+
+  /// DoMD query at a physical date: estimates at 0, x, 2x, ..., t*(as_of).
+  /// Dates before the avail's start clamp to logical time 0 (the base
+  /// prediction); top_k contributions accompany each step.
+  StatusOr<DomdQueryResult> Query(std::int64_t avail_id, Date as_of,
+                                  std::size_t top_k = 5) const;
+
+  /// Same, addressed directly by logical time.
+  StatusOr<DomdQueryResult> QueryAtLogicalTime(std::int64_t avail_id,
+                                               double t_star,
+                                               std::size_t top_k = 5) const;
+
+  const PipelineConfig& config() const { return config_; }
+  const std::vector<double>& grid() const { return grid_; }
+  const TimelineModelSet& models() const { return models_; }
+  const FeatureEngineer& engineer() const { return engineer_; }
+
+  /// Persists the trained model set (with its config) to a file, so a
+  /// serving process can answer queries without retraining.
+  Status SaveModels(const std::string& path) const;
+
+  /// Rebuilds an estimator from a dataset plus a model file written by
+  /// SaveModels. Features are recomputed for the given dataset; the models
+  /// are loaded as-is. The dataset must outlive the estimator.
+  static StatusOr<DomdEstimator> LoadModels(const Dataset* data,
+                                            const std::string& path);
+
+ private:
+  DomdEstimator(const Dataset* data, const PipelineConfig& config)
+      : data_(data), config_(config), engineer_(data) {}
+
+  const Dataset* data_;
+  PipelineConfig config_;
+  FeatureEngineer engineer_;
+  std::vector<double> grid_;
+  ModelingView all_view_;  ///< features for every avail in the dataset.
+  TimelineModelSet models_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_CORE_DOMD_ESTIMATOR_H_

@@ -1,0 +1,49 @@
+#include "core/fusion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace domd {
+
+double FusePredictions(FusionMethod method,
+                       std::span<const double> predictions) {
+  if (predictions.empty()) return 0.0;
+  switch (method) {
+    case FusionMethod::kNone:
+      return predictions.back();
+    case FusionMethod::kMin:
+      return *std::min_element(predictions.begin(), predictions.end());
+    case FusionMethod::kAverage: {
+      double sum = 0.0;
+      for (double p : predictions) sum += p;
+      return sum / static_cast<double>(predictions.size());
+    }
+    case FusionMethod::kMedian: {
+      std::vector<double> sorted(predictions.begin(), predictions.end());
+      std::sort(sorted.begin(), sorted.end());
+      const std::size_t mid = sorted.size() / 2;
+      return sorted.size() % 2 == 1
+                 ? sorted[mid]
+                 : 0.5 * (sorted[mid - 1] + sorted[mid]);
+    }
+    case FusionMethod::kWeightedRecent: {
+      // Exponential recency weights: the latest step weighs e^0, the one
+      // before e^-lambda, etc. lambda = 0.35 roughly doubles trust every
+      // two steps.
+      constexpr double kLambda = 0.35;
+      double sum = 0.0, weight_sum = 0.0;
+      const std::size_t n = predictions.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        const double w =
+            std::exp(-kLambda * static_cast<double>(n - 1 - i));
+        sum += w * predictions[i];
+        weight_sum += w;
+      }
+      return sum / weight_sum;
+    }
+  }
+  return predictions.back();
+}
+
+}  // namespace domd

@@ -1,0 +1,18 @@
+#ifndef DOMD_CORE_FUSION_H_
+#define DOMD_CORE_FUSION_H_
+
+#include <span>
+
+#include "core/config.h"
+
+namespace domd {
+
+/// Task 6: fuses the per-step DoMD predictions made from logical time 0 up
+/// to the query time into a single estimate. `predictions` must be ordered
+/// by step and non-empty.
+double FusePredictions(FusionMethod method,
+                       std::span<const double> predictions);
+
+}  // namespace domd
+
+#endif  // DOMD_CORE_FUSION_H_

@@ -1,0 +1,100 @@
+#ifndef DOMD_CORE_PIPELINE_OPTIMIZER_H_
+#define DOMD_CORE_PIPELINE_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/timeline.h"
+#include "hpt/tuner.h"
+
+namespace domd {
+
+/// One evaluated candidate in a greedy optimization stage.
+struct StageCandidate {
+  std::string label;
+  double validation_mae = 0.0;
+  bool selected = false;
+};
+
+/// One stage of the greedy pipeline design (one Task of §3.2).
+struct StageReport {
+  std::string stage_name;
+  std::vector<StageCandidate> candidates;
+};
+
+/// Knobs for the greedy optimizer, chiefly to control compute.
+struct OptimizerOptions {
+  /// k grid for the feature-selection stage (paper: 20..100 step 10).
+  std::vector<std::size_t> k_grid = {20, 30, 40, 50, 60, 70, 80, 90, 100};
+  /// Selection methods to try.
+  std::vector<SelectionMethod> selection_methods = {
+      SelectionMethod::kRfe, SelectionMethod::kPearson,
+      SelectionMethod::kSpearman, SelectionMethod::kMutualInformation,
+      SelectionMethod::kRandom};
+  /// Huber deltas evaluated in the loss stage (paper tunes delta = 18).
+  std::vector<double> huber_deltas = {18.0};
+  /// Trial counts evaluated in the HPT stage (paper: 10..200, picks 30).
+  std::vector<int> hpt_trial_grid = {10, 20, 30, 40, 50, 100, 200};
+  /// The trial count adopted after the HPT stage.
+  int adopted_hpt_trials = 30;
+  /// Default (pre-tuning) GBT size used during search stages; smaller than
+  /// production models to keep the combinatorial stages tractable.
+  int search_gbt_rounds = 60;
+  /// Whether to run each optional stage.
+  bool run_selection_stage = true;
+  bool run_model_stage = true;
+  bool run_architecture_stage = true;
+  bool run_loss_stage = true;
+  bool run_hpt_stage = true;
+  bool run_fusion_stage = true;
+};
+
+/// The greedy sequential pipeline designer of §3.2: solves Tasks 2-6 one
+/// after another on the validation set, fixing each parameter before moving
+/// to the next (the full joint space being an NP-hard experiment-design
+/// problem). Produces the optimized PipelineConfig plus per-stage reports —
+/// the data behind Figures 6a-6f.
+class PipelineOptimizer {
+ public:
+  PipelineOptimizer(const ModelingView* train, const ModelingView* validation,
+                    const std::vector<std::string>* dynamic_feature_names)
+      : train_(train),
+        validation_(validation),
+        names_(dynamic_feature_names) {}
+
+  /// Runs the enabled stages starting from `initial` (its values act as the
+  /// defaults x^0 for not-yet-optimized parameters).
+  StatusOr<PipelineConfig> Optimize(const PipelineConfig& initial,
+                                    const OptimizerOptions& options);
+
+  /// Per-stage evaluation tables from the last Optimize call.
+  const std::vector<StageReport>& reports() const { return reports_; }
+
+  /// Evaluates one full configuration: fits the timeline on train, returns
+  /// mean validation MAE under the config's fusion.
+  StatusOr<double> EvaluateConfig(const PipelineConfig& config) const;
+
+  /// Builds the GBT hyperparameter space AutoHPT searches (Task 5).
+  static ParamSpace GbtSearchSpace();
+
+  /// Applies a named assignment from GbtSearchSpace() onto GBT params.
+  static void ApplyGbtParams(const ParamMap& map, GbtParams* params);
+
+  /// Hyperparameter space for the Elastic-Net family (used by the HPT stage
+  /// when the model stage selected ElasticNet).
+  static ParamSpace ElasticNetSearchSpace();
+
+  /// Applies a named assignment from ElasticNetSearchSpace().
+  static void ApplyElasticNetParams(const ParamMap& map,
+                                    ElasticNetParams* params);
+
+ private:
+  const ModelingView* train_;
+  const ModelingView* validation_;
+  const std::vector<std::string>* names_;
+  std::vector<StageReport> reports_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_CORE_PIPELINE_OPTIMIZER_H_

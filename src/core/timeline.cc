@@ -1,0 +1,280 @@
+#include "core/timeline.h"
+
+#include <cmath>
+
+#include "features/static_features.h"
+#include "ml/metrics.h"
+
+namespace domd {
+namespace {
+
+// Tagged polymorphic save/load for the two concrete model families.
+Status SaveRegressor(std::ostream& out, const Regressor& model) {
+  if (const auto* gbt = dynamic_cast<const GbtRegressor*>(&model)) {
+    out << "regressor gbt\n";
+    gbt->Save(out);
+    return Status::OK();
+  }
+  if (const auto* linear =
+          dynamic_cast<const ElasticNetRegression*>(&model)) {
+    out << "regressor elastic_net\n";
+    linear->Save(out);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown regressor type for serialization");
+}
+
+StatusOr<std::unique_ptr<Regressor>> LoadRegressor(std::istream& in) {
+  std::string tag, kind;
+  if (!(in >> tag >> kind) || tag != "regressor") {
+    return Status::InvalidArgument("bad regressor record");
+  }
+  if (kind == "gbt") {
+    auto model = GbtRegressor::Load(in);
+    if (!model.ok()) return model.status();
+    return std::unique_ptr<Regressor>(
+        std::make_unique<GbtRegressor>(std::move(*model)));
+  }
+  if (kind == "elastic_net") {
+    auto model = ElasticNetRegression::Load(in);
+    if (!model.ok()) return model.status();
+    return std::unique_ptr<Regressor>(
+        std::make_unique<ElasticNetRegression>(std::move(*model)));
+  }
+  return Status::InvalidArgument("unknown regressor kind: " + kind);
+}
+
+}  // namespace
+
+ModelingView BuildModelingView(const Dataset& data,
+                               const FeatureEngineer& engineer,
+                               const std::vector<std::int64_t>& avail_ids,
+                               const std::vector<double>& grid) {
+  ModelingView view;
+  view.avail_ids = avail_ids;
+  view.static_x = BuildStaticFeatures(data.avails, avail_ids);
+  view.dynamic = engineer.ComputeIncremental(avail_ids, grid);
+  view.labels.assign(avail_ids.size(), 0.0);
+  for (std::size_t i = 0; i < avail_ids.size(); ++i) {
+    const auto avail = data.avails.Find(avail_ids[i]);
+    if (!avail.ok()) continue;
+    const auto delay = (*avail)->delay();
+    if (delay.has_value()) view.labels[i] = static_cast<double>(*delay);
+  }
+  return view;
+}
+
+std::unique_ptr<Regressor> TimelineModelSet::MakeModel(
+    const PipelineConfig& config) const {
+  if (config.model_family == ModelFamily::kElasticNet) {
+    return std::make_unique<ElasticNetRegression>(config.elastic_net);
+  }
+  return std::make_unique<GbtRegressor>(config.gbt, config.MakeLoss());
+}
+
+Status TimelineModelSet::Fit(
+    const PipelineConfig& config, const ModelingView& train,
+    const std::vector<std::string>& dynamic_feature_names) {
+  if (train.avail_ids.empty()) {
+    return Status::InvalidArgument("timeline fit: empty training view");
+  }
+  config_ = config;
+  base_model_.reset();
+  models_.clear();
+  selected_.clear();
+  input_names_.clear();
+
+  const std::size_t steps = train.num_steps();
+  const auto& static_names = StaticFeatureNames();
+
+  // Stacked architecture: fit the static base model first; its prediction
+  // becomes an input feature of every timeline model (Fig. 4).
+  std::vector<double> base_train_pred;
+  if (config.architecture == Architecture::kStacked) {
+    base_model_ = MakeModel(config);
+    DOMD_RETURN_IF_ERROR(base_model_->Fit(train.static_x, train.labels));
+    base_train_pred = base_model_->PredictBatch(train.static_x);
+  }
+
+  auto selector = CreateSelector(config.selection, config.seed);
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    const Matrix& slice = train.dynamic.slice(step);
+    // Task 2: per-step top-k selection over dynamic features only.
+    std::vector<std::size_t> cols =
+        selector->SelectTopK(slice, train.labels, config.num_features);
+    const Matrix dynamic_selected = slice.SelectColumns(cols);
+
+    // Assemble the model input and its column names.
+    Matrix input;
+    std::vector<std::string> names;
+    if (config.architecture == Architecture::kStacked) {
+      Matrix base_col(train.avail_ids.size(), 1);
+      for (std::size_t r = 0; r < base_train_pred.size(); ++r) {
+        base_col.at(r, 0) = base_train_pred[r];
+      }
+      input = Matrix::HConcat(dynamic_selected, base_col);
+      for (std::size_t c : cols) names.push_back(dynamic_feature_names[c]);
+      names.push_back("BASE_PREDICTION");
+    } else {
+      input = Matrix::HConcat(train.static_x, dynamic_selected);
+      names = static_names;
+      for (std::size_t c : cols) names.push_back(dynamic_feature_names[c]);
+    }
+
+    auto model = MakeModel(config);
+    DOMD_RETURN_IF_ERROR(model->Fit(input, train.labels));
+    models_.push_back(std::move(model));
+    selected_.push_back(std::move(cols));
+    input_names_.push_back(std::move(names));
+  }
+  return Status::OK();
+}
+
+std::vector<double> TimelineModelSet::BuildInputRow(const ModelingView& view,
+                                                    std::size_t row,
+                                                    std::size_t step) const {
+  std::vector<double> input;
+  const auto& cols = selected_[step];
+  if (is_stacked()) {
+    input.reserve(cols.size() + 1);
+    const Matrix& slice = view.dynamic.slice(step);
+    for (std::size_t c : cols) input.push_back(slice.at(row, c));
+    input.push_back(base_model_->Predict(view.static_x.row(row)));
+  } else {
+    const auto statics = view.static_x.row(row);
+    input.reserve(statics.size() + cols.size());
+    input.assign(statics.begin(), statics.end());
+    const Matrix& slice = view.dynamic.slice(step);
+    for (std::size_t c : cols) input.push_back(slice.at(row, c));
+  }
+  return input;
+}
+
+std::vector<std::vector<double>> TimelineModelSet::PredictPerStep(
+    const ModelingView& view) const {
+  std::vector<std::vector<double>> out(models_.size());
+  for (std::size_t step = 0; step < models_.size(); ++step) {
+    out[step].resize(view.avail_ids.size());
+    for (std::size_t row = 0; row < view.avail_ids.size(); ++row) {
+      const std::vector<double> input = BuildInputRow(view, row, step);
+      out[step][row] = models_[step]->Predict(input);
+    }
+  }
+  return out;
+}
+
+std::vector<double> TimelineModelSet::PredictFused(const ModelingView& view,
+                                                   std::size_t last_step,
+                                                   FusionMethod fusion) const {
+  const std::vector<std::vector<double>> per_step = PredictPerStep(view);
+  std::vector<double> fused(view.avail_ids.size(), 0.0);
+  std::vector<double> prefix;
+  for (std::size_t row = 0; row < view.avail_ids.size(); ++row) {
+    prefix.clear();
+    for (std::size_t step = 0; step <= last_step && step < per_step.size();
+         ++step) {
+      prefix.push_back(per_step[step][row]);
+    }
+    fused[row] = FusePredictions(fusion, prefix);
+  }
+  return fused;
+}
+
+Status TimelineModelSet::Save(std::ostream& out) const {
+  out << "timeline_model_set v1\n";
+  config_.Save(out);
+  out << "stacked " << (is_stacked() ? 1 : 0) << "\n";
+  if (is_stacked()) {
+    DOMD_RETURN_IF_ERROR(SaveRegressor(out, *base_model_));
+  }
+  out << "steps " << models_.size() << "\n";
+  for (std::size_t step = 0; step < models_.size(); ++step) {
+    out << "selected " << selected_[step].size();
+    for (std::size_t c : selected_[step]) out << ' ' << c;
+    out << "\n";
+    out << "names " << input_names_[step].size();
+    for (const std::string& name : input_names_[step]) out << ' ' << name;
+    out << "\n";
+    DOMD_RETURN_IF_ERROR(SaveRegressor(out, *models_[step]));
+  }
+  return Status::OK();
+}
+
+StatusOr<TimelineModelSet> TimelineModelSet::Load(std::istream& in) {
+  std::string tag, version;
+  if (!(in >> tag >> version) || tag != "timeline_model_set" ||
+      version != "v1") {
+    return Status::InvalidArgument("bad timeline model set header");
+  }
+  TimelineModelSet set;
+  auto config = PipelineConfig::Load(in);
+  if (!config.ok()) return config.status();
+  set.config_ = *config;
+
+  int stacked = 0;
+  if (!(in >> tag >> stacked) || tag != "stacked") {
+    return Status::InvalidArgument("bad stacked record");
+  }
+  if (stacked != 0) {
+    auto base = LoadRegressor(in);
+    if (!base.ok()) return base.status();
+    set.base_model_ = std::move(*base);
+  }
+
+  std::size_t steps = 0;
+  if (!(in >> tag >> steps) || tag != "steps" || steps > 10'000) {
+    return Status::InvalidArgument("bad steps record");
+  }
+  for (std::size_t step = 0; step < steps; ++step) {
+    std::size_t count = 0;
+    if (!(in >> tag >> count) || tag != "selected" || count > 1'000'000) {
+      return Status::InvalidArgument("bad selected record");
+    }
+    std::vector<std::size_t> selected(count);
+    for (std::size_t& c : selected) {
+      if (!(in >> c)) {
+        return Status::InvalidArgument("truncated selected record");
+      }
+    }
+    if (!(in >> tag >> count) || tag != "names" || count > 1'000'000) {
+      return Status::InvalidArgument("bad names record");
+    }
+    std::vector<std::string> names(count);
+    for (std::string& name : names) {
+      if (!(in >> name)) {
+        return Status::InvalidArgument("truncated names record");
+      }
+    }
+    auto model = LoadRegressor(in);
+    if (!model.ok()) return model.status();
+    set.selected_.push_back(std::move(selected));
+    set.input_names_.push_back(std::move(names));
+    set.models_.push_back(std::move(*model));
+  }
+  return set;
+}
+
+double TimelineValidationMae(const TimelineModelSet& models,
+                             const ModelingView& validation,
+                             FusionMethod fusion) {
+  const std::vector<std::vector<double>> per_step =
+      models.PredictPerStep(validation);
+  if (per_step.empty() || validation.avail_ids.empty()) return 0.0;
+
+  double total = 0.0;
+  std::size_t count = 0;
+  std::vector<double> prefix;
+  for (std::size_t row = 0; row < validation.avail_ids.size(); ++row) {
+    prefix.clear();
+    for (std::size_t step = 0; step < per_step.size(); ++step) {
+      prefix.push_back(per_step[step][row]);
+      const double estimate = FusePredictions(fusion, prefix);
+      total += std::fabs(validation.labels[row] - estimate);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+}  // namespace domd

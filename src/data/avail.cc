@@ -1,0 +1,49 @@
+#include "data/avail.h"
+
+namespace domd {
+
+const char* AvailStatusToString(AvailStatus status) {
+  switch (status) {
+    case AvailStatus::kPlanned:
+      return "planned";
+    case AvailStatus::kOngoing:
+      return "ongoing";
+    case AvailStatus::kClosed:
+      return "closed";
+  }
+  return "unknown";
+}
+
+StatusOr<AvailStatus> AvailStatusFromString(std::string_view text) {
+  if (text == "planned") return AvailStatus::kPlanned;
+  if (text == "ongoing") return AvailStatus::kOngoing;
+  if (text == "closed") return AvailStatus::kClosed;
+  return Status::InvalidArgument("unknown avail status: " + std::string(text));
+}
+
+Status ValidateAvail(const Avail& avail) {
+  if (avail.planned_end <= avail.planned_start) {
+    return Status::InvalidArgument(
+        "avail " + std::to_string(avail.id) +
+        ": planned end must follow planned start");
+  }
+  if (avail.status == AvailStatus::kClosed) {
+    if (!avail.actual_end.has_value()) {
+      return Status::InvalidArgument("closed avail " +
+                                     std::to_string(avail.id) +
+                                     " missing actual end");
+    }
+    if (*avail.actual_end <= avail.actual_start) {
+      return Status::InvalidArgument(
+          "avail " + std::to_string(avail.id) +
+          ": actual end must follow actual start");
+    }
+  } else if (avail.actual_end.has_value()) {
+    return Status::InvalidArgument("non-closed avail " +
+                                   std::to_string(avail.id) +
+                                   " has an actual end date");
+  }
+  return Status::OK();
+}
+
+}  // namespace domd

@@ -1,0 +1,73 @@
+#ifndef DOMD_DATA_AVAIL_H_
+#define DOMD_DATA_AVAIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/date.h"
+#include "common/status.h"
+
+namespace domd {
+
+/// Execution state of an availability (maintenance period).
+enum class AvailStatus {
+  kPlanned,  ///< Has not started yet.
+  kOngoing,  ///< Started, not yet completed; delay is unknown.
+  kClosed,   ///< Completed; delay is measurable.
+};
+
+const char* AvailStatusToString(AvailStatus status);
+StatusOr<AvailStatus> AvailStatusFromString(std::string_view text);
+
+/// One ship maintenance period ("avail"): a_i = <i, planS, planE, actS,
+/// actE> plus the static context attributes the pipeline's base prediction
+/// uses (ship class, maintenance center, ship age, ...). Plain data carrier;
+/// derived quantities (durations, delay) are free functions of the fields.
+struct Avail {
+  std::int64_t id = 0;
+  std::int64_t ship_id = 0;
+  AvailStatus status = AvailStatus::kClosed;
+  Date planned_start;
+  Date planned_end;
+  Date actual_start;
+  /// Present only for closed avails.
+  std::optional<Date> actual_end;
+
+  // --- static attributes (F^S) ---
+  int ship_class = 0;        ///< Ship class code.
+  int rmc_id = 0;            ///< Regional maintenance center id.
+  double ship_age_years = 0; ///< Ship age at planned start.
+  int avail_type = 0;        ///< Type of availability (e.g. CNO vs CM).
+  int homeport = 0;          ///< Homeport code.
+  int prior_avail_count = 0; ///< Number of earlier avails for the ship.
+  double contract_value_musd = 0;  ///< Planned contract value (M$).
+  int crew_size = 0;         ///< Ship crew complement.
+
+  /// Planned duration s_i^plan in days.
+  std::int64_t planned_duration() const {
+    return planned_end - planned_start;
+  }
+
+  /// Actual duration s_i^act in days; nullopt while ongoing.
+  std::optional<std::int64_t> actual_duration() const {
+    if (!actual_end.has_value()) return std::nullopt;
+    return *actual_end - actual_start;
+  }
+
+  /// Delay d_i = s_i^act - s_i^plan (positive = tardy, negative = early);
+  /// nullopt while ongoing. Start-date agnostic by definition (§2).
+  std::optional<std::int64_t> delay() const {
+    const auto actual = actual_duration();
+    if (!actual.has_value()) return std::nullopt;
+    return *actual - planned_duration();
+  }
+};
+
+/// Validates internal consistency of an avail record (dates ordered, closed
+/// avails have an actual end, planned duration positive).
+Status ValidateAvail(const Avail& avail);
+
+}  // namespace domd
+
+#endif  // DOMD_DATA_AVAIL_H_

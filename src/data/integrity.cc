@@ -1,0 +1,89 @@
+#include "data/integrity.h"
+
+#include <cmath>
+
+namespace domd {
+
+const char* IntegrityIssueKindToString(IntegrityIssue::Kind kind) {
+  switch (kind) {
+    case IntegrityIssue::Kind::kOrphanRcc:
+      return "ORPHAN_RCC";
+    case IntegrityIssue::Kind::kRccBeforeAvailStart:
+      return "RCC_BEFORE_AVAIL_START";
+    case IntegrityIssue::Kind::kRccFarAfterAvailEnd:
+      return "RCC_FAR_AFTER_AVAIL_END";
+    case IntegrityIssue::Kind::kNonPositivePlannedDuration:
+      return "NON_POSITIVE_PLANNED_DURATION";
+    case IntegrityIssue::Kind::kSuspiciousDelay:
+      return "SUSPICIOUS_DELAY";
+    case IntegrityIssue::Kind::kAvailWithoutRccs:
+      return "AVAIL_WITHOUT_RCCS";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsWarning(IntegrityIssue::Kind kind) {
+  return kind == IntegrityIssue::Kind::kAvailWithoutRccs ||
+         kind == IntegrityIssue::Kind::kRccFarAfterAvailEnd;
+}
+
+void Add(IntegrityReport* report, IntegrityIssue::Kind kind,
+         std::string detail) {
+  if (IsWarning(kind)) {
+    ++report->num_warnings;
+  } else {
+    ++report->num_errors;
+  }
+  report->issues.push_back(IntegrityIssue{kind, std::move(detail)});
+}
+
+}  // namespace
+
+IntegrityReport CheckDatasetIntegrity(const Dataset& data,
+                                      const IntegrityOptions& options) {
+  IntegrityReport report;
+
+  for (const Avail& avail : data.avails.rows()) {
+    if (avail.planned_duration() <= 0) {
+      Add(&report, IntegrityIssue::Kind::kNonPositivePlannedDuration,
+          "avail " + std::to_string(avail.id));
+    }
+    const auto delay = avail.delay();
+    if (delay.has_value() &&
+        std::llabs(*delay) > options.max_plausible_delay_days) {
+      Add(&report, IntegrityIssue::Kind::kSuspiciousDelay,
+          "avail " + std::to_string(avail.id) + " delay " +
+              std::to_string(*delay) + " days");
+    }
+    if (data.rccs.RowsForAvail(avail.id).empty()) {
+      Add(&report, IntegrityIssue::Kind::kAvailWithoutRccs,
+          "avail " + std::to_string(avail.id));
+    }
+  }
+
+  for (const Rcc& rcc : data.rccs.rows()) {
+    const auto avail_or = data.avails.Find(rcc.avail_id);
+    if (!avail_or.ok()) {
+      Add(&report, IntegrityIssue::Kind::kOrphanRcc,
+          "RCC " + std::to_string(rcc.id) + " -> missing avail " +
+              std::to_string(rcc.avail_id));
+      continue;
+    }
+    const Avail& avail = **avail_or;
+    if (rcc.creation_date < avail.actual_start) {
+      Add(&report, IntegrityIssue::Kind::kRccBeforeAvailStart,
+          "RCC " + std::to_string(rcc.id));
+    }
+    if (avail.actual_end.has_value() &&
+        rcc.creation_date >
+            *avail.actual_end + options.rcc_after_end_slack_days) {
+      Add(&report, IntegrityIssue::Kind::kRccFarAfterAvailEnd,
+          "RCC " + std::to_string(rcc.id));
+    }
+  }
+  return report;
+}
+
+}  // namespace domd

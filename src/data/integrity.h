@@ -1,0 +1,55 @@
+#ifndef DOMD_DATA_INTEGRITY_H_
+#define DOMD_DATA_INTEGRITY_H_
+
+#include <string>
+#include <vector>
+
+#include "data/tables.h"
+
+namespace domd {
+
+/// One referential/semantic problem found in a dataset.
+struct IntegrityIssue {
+  enum class Kind {
+    kOrphanRcc,            ///< RCC references a missing avail.
+    kRccBeforeAvailStart,  ///< RCC created before its avail's actual start.
+    kRccFarAfterAvailEnd,  ///< RCC created long after the avail closed.
+    kNonPositivePlannedDuration,
+    kSuspiciousDelay,      ///< |delay| beyond the plausibility window.
+    kAvailWithoutRccs,     ///< informational: no dynamic signal at all.
+  };
+
+  Kind kind;
+  std::string detail;
+};
+
+const char* IntegrityIssueKindToString(IntegrityIssue::Kind kind);
+
+/// Outcome of an integrity sweep.
+struct IntegrityReport {
+  std::vector<IntegrityIssue> issues;
+  std::size_t num_errors = 0;    ///< issues that invalidate modeling.
+  std::size_t num_warnings = 0;  ///< informational issues.
+
+  bool ok() const { return num_errors == 0; }
+};
+
+/// Options bounding what counts as suspicious.
+struct IntegrityOptions {
+  /// Days an RCC creation may trail the avail's actual end (settlement
+  /// paperwork lag) before being flagged.
+  int rcc_after_end_slack_days = 90;
+  /// |delay| beyond this many days is flagged as suspicious.
+  int max_plausible_delay_days = 3000;
+};
+
+/// Sweeps a dataset for referential and semantic problems the table-level
+/// validators cannot see (they check rows in isolation; this checks the
+/// join). The CLI runs this on load; pipelines should refuse datasets whose
+/// report has errors.
+IntegrityReport CheckDatasetIntegrity(const Dataset& data,
+                                      const IntegrityOptions& options = {});
+
+}  // namespace domd
+
+#endif  // DOMD_DATA_INTEGRITY_H_

@@ -1,0 +1,42 @@
+#include "data/logical_time.h"
+
+#include <cmath>
+
+namespace domd {
+
+double LogicalTime(const Avail& avail, Date physical) {
+  const double planned =
+      static_cast<double>(avail.planned_duration());
+  const double elapsed = static_cast<double>(physical - avail.actual_start);
+  return elapsed / planned * 100.0;
+}
+
+Date PhysicalTime(const Avail& avail, double t_star) {
+  const double planned = static_cast<double>(avail.planned_duration());
+  const auto offset =
+      static_cast<std::int64_t>(std::llround(t_star / 100.0 * planned));
+  return avail.actual_start + offset;
+}
+
+std::vector<double> LogicalTimeGrid(double window_width_pct) {
+  std::vector<double> grid;
+  if (window_width_pct <= 0.0) return grid;
+  if (window_width_pct > 100.0) window_width_pct = 100.0;
+  double t = 0.0;
+  while (t < 100.0 - 1e-9) {
+    grid.push_back(t);
+    t += window_width_pct;
+  }
+  grid.push_back(100.0);
+  return grid;
+}
+
+int GridIndexAtOrBefore(const std::vector<double>& grid, double t_star) {
+  int index = -1;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (grid[i] <= t_star + 1e-9) index = static_cast<int>(i);
+  }
+  return index;
+}
+
+}  // namespace domd

@@ -1,0 +1,30 @@
+#ifndef DOMD_DATA_LOGICAL_TIME_H_
+#define DOMD_DATA_LOGICAL_TIME_H_
+
+#include <vector>
+
+#include "common/date.h"
+#include "data/avail.h"
+
+namespace domd {
+
+/// Logical time t* of a physical date within an avail (Eq. 1): the percent
+/// of *planned* duration elapsed since the actual start. May exceed 100 when
+/// the avail runs past its planned duration, and be negative before start.
+double LogicalTime(const Avail& avail, Date physical);
+
+/// Inverse of LogicalTime: the physical date at logical time t* (rounded to
+/// the nearest whole day).
+Date PhysicalTime(const Avail& avail, double t_star);
+
+/// The discretized logical timeline used to train the model set: the
+/// 1 + ceil(100/x) grid points {0, x, 2x, ..., >=100} for window width x%.
+/// x must be in (0, 100]; the final point is clamped to exactly 100.
+std::vector<double> LogicalTimeGrid(double window_width_pct);
+
+/// Index of the last grid point at or before t_star; -1 if t_star < 0.
+int GridIndexAtOrBefore(const std::vector<double>& grid, double t_star);
+
+}  // namespace domd
+
+#endif  // DOMD_DATA_LOGICAL_TIME_H_

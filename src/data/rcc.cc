@@ -1,0 +1,49 @@
+#include "data/rcc.h"
+
+namespace domd {
+
+const char* RccTypeToCode(RccType type) {
+  switch (type) {
+    case RccType::kGrowth:
+      return "G";
+    case RccType::kNewWork:
+      return "N";
+    case RccType::kNewGrowth:
+      return "NG";
+  }
+  return "?";
+}
+
+StatusOr<RccType> RccTypeFromCode(std::string_view code) {
+  if (code == "G") return RccType::kGrowth;
+  if (code == "N" || code == "NW") return RccType::kNewWork;
+  if (code == "NG") return RccType::kNewGrowth;
+  return Status::InvalidArgument("unknown RCC type code: " +
+                                 std::string(code));
+}
+
+Status ValidateRcc(const Rcc& rcc) {
+  if (rcc.settled_date.has_value() && *rcc.settled_date < rcc.creation_date) {
+    return Status::InvalidArgument("RCC " + std::to_string(rcc.id) +
+                                   ": settled before created");
+  }
+  if (rcc.settled_amount < 0.0) {
+    return Status::InvalidArgument("RCC " + std::to_string(rcc.id) +
+                                   ": negative settled amount");
+  }
+  return Status::OK();
+}
+
+const char* RccStatusCategoryToString(RccStatusCategory category) {
+  switch (category) {
+    case RccStatusCategory::kActive:
+      return "ACTIVE";
+    case RccStatusCategory::kSettled:
+      return "SETTLED";
+    case RccStatusCategory::kCreated:
+      return "CREATED";
+  }
+  return "?";
+}
+
+}  // namespace domd

@@ -1,0 +1,68 @@
+#ifndef DOMD_DATA_RCC_H_
+#define DOMD_DATA_RCC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/date.h"
+#include "common/status.h"
+#include "data/swlin.h"
+
+namespace domd {
+
+/// RCC type: whether the contract change grows existing work, creates new
+/// work, or adds a distinct new component.
+enum class RccType {
+  kGrowth,     ///< G — upgrades existing systems.
+  kNewWork,    ///< N/NW — creates new work items.
+  kNewGrowth,  ///< NG — adds distinct components.
+};
+
+inline constexpr int kNumRccTypes = 3;
+
+/// Short code used in feature names ("G", "N", "NG").
+const char* RccTypeToCode(RccType type);
+StatusOr<RccType> RccTypeFromCode(std::string_view code);
+
+/// One Request for Contract Change: r_j = <j, a_i, w_j, t_j^s, t_j^e, m_j>.
+/// The creation/settled dates bound the interval during which the RCC is
+/// "active"; the settled amount is its dollar value once settled.
+struct Rcc {
+  std::int64_t id = 0;
+  std::int64_t avail_id = 0;
+  RccType type = RccType::kGrowth;
+  Swlin swlin;
+  Date creation_date;
+  /// Empty while the RCC is still open.
+  std::optional<Date> settled_date;
+  /// Dollar amount; meaningful once settled.
+  double settled_amount = 0.0;
+
+  /// Days between creation and settlement; nullopt while open.
+  std::optional<std::int64_t> duration_days() const {
+    if (!settled_date.has_value()) return std::nullopt;
+    return *settled_date - creation_date;
+  }
+};
+
+/// Validates internal consistency (settled date not before creation,
+/// non-negative amount).
+Status ValidateRcc(const Rcc& rcc);
+
+/// Life-cycle category of an RCC relative to a logical timestamp t*:
+/// the WHERE clause of a Status Query picks one of these.
+enum class RccStatusCategory {
+  kActive,   ///< created <= t* and not yet settled at t*.
+  kSettled,  ///< settled at or before t*.
+  kCreated,  ///< created at or before t* (active OR settled).
+};
+
+inline constexpr int kNumRccStatusCategories = 3;
+
+const char* RccStatusCategoryToString(RccStatusCategory category);
+
+}  // namespace domd
+
+#endif  // DOMD_DATA_RCC_H_

@@ -1,0 +1,47 @@
+#include "data/splits.h"
+
+#include <algorithm>
+
+namespace domd {
+
+DataSplit MakeSplit(const AvailTable& avails, const SplitOptions& options,
+                    Rng* rng) {
+  // Collect closed avails sorted by planned start (recency order).
+  std::vector<const Avail*> closed;
+  for (const Avail& a : avails.rows()) {
+    if (a.status == AvailStatus::kClosed) closed.push_back(&a);
+  }
+  std::sort(closed.begin(), closed.end(), [](const Avail* a, const Avail* b) {
+    if (a->planned_start != b->planned_start) {
+      return a->planned_start < b->planned_start;
+    }
+    return a->id < b->id;
+  });
+
+  DataSplit split;
+  const std::size_t n = closed.size();
+  const auto n_test = static_cast<std::size_t>(
+      static_cast<double>(n) * options.test_fraction + 0.5);
+  const std::size_t n_rest = n - n_test;
+
+  for (std::size_t i = n_rest; i < n; ++i) {
+    split.test.push_back(closed[i]->id);
+  }
+
+  std::vector<std::int64_t> rest;
+  rest.reserve(n_rest);
+  for (std::size_t i = 0; i < n_rest; ++i) rest.push_back(closed[i]->id);
+  rng->Shuffle(&rest);
+
+  const auto n_val = static_cast<std::size_t>(
+      static_cast<double>(n_rest) * options.validation_fraction + 0.5);
+  split.validation.assign(rest.begin(),
+                          rest.begin() + static_cast<std::ptrdiff_t>(n_val));
+  split.train.assign(rest.begin() + static_cast<std::ptrdiff_t>(n_val),
+                     rest.end());
+  std::sort(split.validation.begin(), split.validation.end());
+  std::sort(split.train.begin(), split.train.end());
+  return split;
+}
+
+}  // namespace domd

@@ -1,0 +1,35 @@
+#ifndef DOMD_DATA_SPLITS_H_
+#define DOMD_DATA_SPLITS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/tables.h"
+
+namespace domd {
+
+/// Train / validation / test partition of avail ids, built per the paper's
+/// protocol (§5.2.1): the most recent 30% of closed avails (by planned start
+/// date) form the test set; of the remaining 70%, a random 25% is validation
+/// and 75% is training.
+struct DataSplit {
+  std::vector<std::int64_t> train;
+  std::vector<std::int64_t> validation;
+  std::vector<std::int64_t> test;
+};
+
+/// Options controlling the split proportions.
+struct SplitOptions {
+  double test_fraction = 0.30;        ///< Most-recent fraction held out.
+  double validation_fraction = 0.25;  ///< Of the non-test remainder.
+};
+
+/// Builds the split over *closed* avails only (ongoing avails cannot carry a
+/// label). Deterministic given the RNG seed.
+DataSplit MakeSplit(const AvailTable& avails, const SplitOptions& options,
+                    Rng* rng);
+
+}  // namespace domd
+
+#endif  // DOMD_DATA_SPLITS_H_

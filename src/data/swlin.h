@@ -1,0 +1,65 @@
+#ifndef DOMD_DATA_SWLIN_H_
+#define DOMD_DATA_SWLIN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace domd {
+
+/// A Ship Work List Item Number: an 8-digit hierarchical code identifying a
+/// physical location / subsystem on the ship, written "DDD-DD-DDD" (e.g.
+/// "434-11-001"). The first digit names the general subsystem (hull,
+/// propulsion, electric plant, ...); deeper digits refine to specific
+/// modules. Group-bys in Status Queries operate on digit prefixes.
+class Swlin {
+ public:
+  /// Number of digits in a full SWLIN code.
+  static constexpr int kNumDigits = 8;
+
+  /// Constructs the all-zero code.
+  constexpr Swlin() : digits_{} {}
+
+  /// Parses "DDD-DD-DDD" or a bare 8-digit string.
+  static StatusOr<Swlin> Parse(std::string_view text);
+
+  /// Builds from an integer in [0, 10^8).
+  static StatusOr<Swlin> FromInt(std::int64_t value);
+
+  /// Digit at position (0 = most significant / subsystem digit).
+  int digit(int position) const {
+    return digits_[static_cast<std::size_t>(position)];
+  }
+
+  /// The leading subsystem digit (level-1 group key in the paper's feature
+  /// names, e.g. the "1" in "G1-AVG_SETTLED_AMT").
+  int subsystem() const { return digits_[0]; }
+
+  /// Numeric value of the leading `level` digits (level in [1,8]); this is
+  /// the group key when grouping at a given hierarchy depth.
+  std::int64_t Prefix(int level) const;
+
+  /// Full numeric value of all 8 digits.
+  std::int64_t ToInt() const { return Prefix(kNumDigits); }
+
+  /// Formats as "DDD-DD-DDD".
+  std::string ToString() const;
+
+  friend bool operator==(const Swlin& a, const Swlin& b) {
+    return a.digits_ == b.digits_;
+  }
+  friend bool operator!=(const Swlin& a, const Swlin& b) { return !(a == b); }
+  friend bool operator<(const Swlin& a, const Swlin& b) {
+    return a.digits_ < b.digits_;
+  }
+
+ private:
+  std::array<std::uint8_t, kNumDigits> digits_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_DATA_SWLIN_H_

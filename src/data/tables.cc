@@ -1,0 +1,239 @@
+#include "data/tables.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace domd {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+StatusOr<std::int64_t> ParseInt64(const std::string& text) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("bad integer: " + text);
+  }
+  return value;
+}
+
+StatusOr<double> ParseDouble(const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || text.empty()) {
+    return Status::InvalidArgument("bad double: " + text);
+  }
+  return value;
+}
+
+}  // namespace
+
+Status AvailTable::Add(Avail avail) {
+  DOMD_RETURN_IF_ERROR(ValidateAvail(avail));
+  if (by_id_.count(avail.id) != 0) {
+    return Status::AlreadyExists("duplicate avail id " +
+                                 std::to_string(avail.id));
+  }
+  by_id_[avail.id] = rows_.size();
+  rows_.push_back(std::move(avail));
+  return Status::OK();
+}
+
+StatusOr<const Avail*> AvailTable::Find(std::int64_t id) const {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("avail " + std::to_string(id));
+  }
+  return &rows_[it->second];
+}
+
+CsvDocument AvailTable::ToCsv() const {
+  CsvDocument doc;
+  doc.set_header({"avail_id", "ship_id", "status", "plan_start", "plan_end",
+                  "actual_start", "actual_end", "ship_class", "rmc_id",
+                  "ship_age_years", "avail_type", "homeport",
+                  "prior_avail_count", "contract_value_musd", "crew_size"});
+  for (const Avail& a : rows_) {
+    doc.AddRow({std::to_string(a.id), std::to_string(a.ship_id),
+                AvailStatusToString(a.status), a.planned_start.ToString(),
+                a.planned_end.ToString(), a.actual_start.ToString(),
+                a.actual_end.has_value() ? a.actual_end->ToString() : "",
+                std::to_string(a.ship_class), std::to_string(a.rmc_id),
+                FormatDouble(a.ship_age_years), std::to_string(a.avail_type),
+                std::to_string(a.homeport),
+                std::to_string(a.prior_avail_count),
+                FormatDouble(a.contract_value_musd),
+                std::to_string(a.crew_size)});
+  }
+  return doc;
+}
+
+StatusOr<AvailTable> AvailTable::FromCsv(const CsvDocument& doc) {
+  AvailTable table;
+  if (doc.num_columns() != 15) {
+    return Status::InvalidArgument("avail CSV must have 15 columns");
+  }
+  for (const auto& row : doc.rows()) {
+    Avail a;
+    auto id = ParseInt64(row[0]);
+    if (!id.ok()) return id.status();
+    a.id = *id;
+    auto ship = ParseInt64(row[1]);
+    if (!ship.ok()) return ship.status();
+    a.ship_id = *ship;
+    auto status = AvailStatusFromString(row[2]);
+    if (!status.ok()) return status.status();
+    a.status = *status;
+    for (const auto& [text, field] :
+         std::initializer_list<std::pair<const std::string*, Date*>>{
+             {&row[3], &a.planned_start},
+             {&row[4], &a.planned_end},
+             {&row[5], &a.actual_start}}) {
+      auto date = Date::Parse(*text);
+      if (!date.ok()) return date.status();
+      *field = *date;
+    }
+    if (!row[6].empty()) {
+      auto date = Date::Parse(row[6]);
+      if (!date.ok()) return date.status();
+      a.actual_end = *date;
+    }
+    auto ship_class = ParseInt64(row[7]);
+    if (!ship_class.ok()) return ship_class.status();
+    a.ship_class = static_cast<int>(*ship_class);
+    auto rmc = ParseInt64(row[8]);
+    if (!rmc.ok()) return rmc.status();
+    a.rmc_id = static_cast<int>(*rmc);
+    auto age = ParseDouble(row[9]);
+    if (!age.ok()) return age.status();
+    a.ship_age_years = *age;
+    auto type = ParseInt64(row[10]);
+    if (!type.ok()) return type.status();
+    a.avail_type = static_cast<int>(*type);
+    auto port = ParseInt64(row[11]);
+    if (!port.ok()) return port.status();
+    a.homeport = static_cast<int>(*port);
+    auto prior = ParseInt64(row[12]);
+    if (!prior.ok()) return prior.status();
+    a.prior_avail_count = static_cast<int>(*prior);
+    auto value = ParseDouble(row[13]);
+    if (!value.ok()) return value.status();
+    a.contract_value_musd = *value;
+    auto crew = ParseInt64(row[14]);
+    if (!crew.ok()) return crew.status();
+    a.crew_size = static_cast<int>(*crew);
+    DOMD_RETURN_IF_ERROR(table.Add(std::move(a)));
+  }
+  return table;
+}
+
+StatusOr<AvailTable> AvailTable::ReadFile(const std::string& path) {
+  auto doc = CsvDocument::ReadFile(path);
+  if (!doc.ok()) return doc.status();
+  return FromCsv(*doc);
+}
+
+Status RccTable::Add(Rcc rcc) {
+  DOMD_RETURN_IF_ERROR(ValidateRcc(rcc));
+  if (by_id_.count(rcc.id) != 0) {
+    return Status::AlreadyExists("duplicate RCC id " + std::to_string(rcc.id));
+  }
+  by_id_[rcc.id] = rows_.size();
+  by_avail_[rcc.avail_id].push_back(rows_.size());
+  rows_.push_back(std::move(rcc));
+  return Status::OK();
+}
+
+StatusOr<const Rcc*> RccTable::Find(std::int64_t id) const {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("RCC " + std::to_string(id));
+  }
+  return &rows_[it->second];
+}
+
+const std::vector<std::size_t>& RccTable::RowsForAvail(
+    std::int64_t avail_id) const {
+  const auto it = by_avail_.find(avail_id);
+  if (it == by_avail_.end()) return empty_rows_;
+  return it->second;
+}
+
+RccTable RccTable::Scale(int factor) const {
+  RccTable scaled;
+  std::int64_t next_id = 0;
+  for (const Rcc& base : rows_) {
+    if (base.id >= next_id) next_id = base.id + 1;
+  }
+  for (const Rcc& base : rows_) {
+    Rcc copy = base;
+    (void)scaled.Add(copy);
+    for (int k = 1; k < factor; ++k) {
+      copy.id = next_id++;
+      (void)scaled.Add(copy);
+    }
+  }
+  return scaled;
+}
+
+CsvDocument RccTable::ToCsv() const {
+  CsvDocument doc;
+  doc.set_header({"rcc_id", "avail_id", "type", "swlin", "creation_date",
+                  "settled_date", "settled_amount"});
+  for (const Rcc& r : rows_) {
+    doc.AddRow({std::to_string(r.id), std::to_string(r.avail_id),
+                RccTypeToCode(r.type), r.swlin.ToString(),
+                r.creation_date.ToString(),
+                r.settled_date.has_value() ? r.settled_date->ToString() : "",
+                FormatDouble(r.settled_amount)});
+  }
+  return doc;
+}
+
+StatusOr<RccTable> RccTable::FromCsv(const CsvDocument& doc) {
+  RccTable table;
+  if (doc.num_columns() != 7) {
+    return Status::InvalidArgument("RCC CSV must have 7 columns");
+  }
+  for (const auto& row : doc.rows()) {
+    Rcc r;
+    auto id = ParseInt64(row[0]);
+    if (!id.ok()) return id.status();
+    r.id = *id;
+    auto avail_id = ParseInt64(row[1]);
+    if (!avail_id.ok()) return avail_id.status();
+    r.avail_id = *avail_id;
+    auto type = RccTypeFromCode(row[2]);
+    if (!type.ok()) return type.status();
+    r.type = *type;
+    auto swlin = Swlin::Parse(row[3]);
+    if (!swlin.ok()) return swlin.status();
+    r.swlin = *swlin;
+    auto created = Date::Parse(row[4]);
+    if (!created.ok()) return created.status();
+    r.creation_date = *created;
+    if (!row[5].empty()) {
+      auto settled = Date::Parse(row[5]);
+      if (!settled.ok()) return settled.status();
+      r.settled_date = *settled;
+    }
+    auto amount = ParseDouble(row[6]);
+    if (!amount.ok()) return amount.status();
+    r.settled_amount = *amount;
+    DOMD_RETURN_IF_ERROR(table.Add(std::move(r)));
+  }
+  return table;
+}
+
+StatusOr<RccTable> RccTable::ReadFile(const std::string& path) {
+  auto doc = CsvDocument::ReadFile(path);
+  if (!doc.ok()) return doc.status();
+  return FromCsv(*doc);
+}
+
+}  // namespace domd

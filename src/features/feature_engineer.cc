@@ -1,0 +1,151 @@
+#include "features/feature_engineer.h"
+
+namespace domd {
+namespace {
+
+// Fills a query's GROUP BY fields from a dense group node id.
+void SetGroupClause(int group_id, StatusQuery* query) {
+  if (group_id < GroupSchema::kNumLevel1Groups) {
+    const int type_slot = group_id / GroupSchema::kNumSubsystemSlots;
+    const int subsystem_slot = group_id % GroupSchema::kNumSubsystemSlots;
+    if (type_slot > 0) {
+      query->type_filter = static_cast<RccType>(type_slot - 1);
+    } else {
+      query->type_filter.reset();
+    }
+    if (subsystem_slot > 0) {
+      query->swlin_level = 1;
+      query->swlin_prefix = subsystem_slot;
+    } else {
+      query->swlin_level = 0;
+      query->swlin_prefix = 0;
+    }
+  } else {
+    query->type_filter.reset();
+    query->swlin_level = 2;
+    query->swlin_prefix = group_id - GroupSchema::kNumLevel1Groups + 10;
+  }
+}
+
+}  // namespace
+
+FeatureEngineer::FeatureEngineer(const Dataset* data) : data_(data) {}
+
+FeatureTensor FeatureEngineer::ComputeIncremental(
+    const std::vector<std::int64_t>& avail_ids,
+    const std::vector<double>& time_grid) const {
+  FeatureTensor tensor(avail_ids, time_grid, catalog_.size());
+  StatStructure sweep(*data_);
+
+  const std::size_t n_groups = GroupSchema::kNumGroups;
+  std::vector<double> prev_created(avail_ids.size() * n_groups, 0.0);
+
+  for (std::size_t step = 0; step < time_grid.size(); ++step) {
+    sweep.AdvanceTo(time_grid[step]);
+    Matrix& slice = tensor.slice(step);
+    for (std::size_t row = 0; row < avail_ids.size(); ++row) {
+      for (std::size_t f = 0; f < catalog_.size(); ++f) {
+        const FeatureDef& def = catalog_.feature(f);
+        const GroupAggregates& agg = sweep.Get(avail_ids[row], def.group_id);
+        slice.at(row, f) = FeatureValue(
+            def.kind, agg, time_grid[step],
+            prev_created[row * n_groups +
+                         static_cast<std::size_t>(def.group_id)]);
+      }
+      // Snapshot created counts for the next step's window features.
+      for (std::size_t g = 0; g < n_groups; ++g) {
+        prev_created[row * n_groups + g] = static_cast<double>(
+            sweep.Get(avail_ids[row], static_cast<int>(g)).created_count);
+      }
+    }
+  }
+  return tensor;
+}
+
+StatusOr<double> FeatureEngineer::ComputeOneFromScratch(
+    const StatusQueryEngine& engine, std::int64_t avail_id,
+    const FeatureDef& feature, double t_star, double prev_t_star) const {
+  StatusQuery query;
+  query.avail_filter = avail_id;
+  SetGroupClause(feature.group_id, &query);
+
+  auto run = [&](RccStatusCategory category, AggregateFn aggregate,
+                 RccAttribute attribute, double at) -> StatusOr<double> {
+    query.category = category;
+    query.aggregate = aggregate;
+    query.attribute = attribute;
+    return engine.Execute(query, at);
+  };
+
+  switch (feature.kind) {
+    case FeatureKind::kCreatedCount:
+      return run(RccStatusCategory::kCreated, AggregateFn::kCount,
+                 RccAttribute::kSettledAmount, t_star);
+    case FeatureKind::kCreatedSumAmt:
+      return run(RccStatusCategory::kCreated, AggregateFn::kSum,
+                 RccAttribute::kSettledAmount, t_star);
+    case FeatureKind::kCreatedAvgAmt:
+      return run(RccStatusCategory::kCreated, AggregateFn::kAvg,
+                 RccAttribute::kSettledAmount, t_star);
+    case FeatureKind::kCreatedMaxAmt:
+      return run(RccStatusCategory::kCreated, AggregateFn::kMax,
+                 RccAttribute::kSettledAmount, t_star);
+    case FeatureKind::kCreatedRate: {
+      auto count = run(RccStatusCategory::kCreated, AggregateFn::kCount,
+                       RccAttribute::kSettledAmount, t_star);
+      if (!count.ok()) return count.status();
+      return *count / (t_star + 5.0);
+    }
+    case FeatureKind::kSettledCount:
+      return run(RccStatusCategory::kSettled, AggregateFn::kCount,
+                 RccAttribute::kSettledAmount, t_star);
+    case FeatureKind::kSettledSumAmt:
+      return run(RccStatusCategory::kSettled, AggregateFn::kSum,
+                 RccAttribute::kSettledAmount, t_star);
+    case FeatureKind::kSettledAvgAmt:
+      return run(RccStatusCategory::kSettled, AggregateFn::kAvg,
+                 RccAttribute::kSettledAmount, t_star);
+    case FeatureKind::kSettledMaxAmt:
+      return run(RccStatusCategory::kSettled, AggregateFn::kMax,
+                 RccAttribute::kSettledAmount, t_star);
+    case FeatureKind::kSettledSumDur:
+      return run(RccStatusCategory::kSettled, AggregateFn::kSum,
+                 RccAttribute::kDuration, t_star);
+    case FeatureKind::kSettledAvgDur:
+      return run(RccStatusCategory::kSettled, AggregateFn::kAvg,
+                 RccAttribute::kDuration, t_star);
+    case FeatureKind::kSettledMaxDur:
+      return run(RccStatusCategory::kSettled, AggregateFn::kMax,
+                 RccAttribute::kDuration, t_star);
+    case FeatureKind::kActiveCount:
+      return run(RccStatusCategory::kActive, AggregateFn::kCount,
+                 RccAttribute::kSettledAmount, t_star);
+    case FeatureKind::kActiveSumAmt:
+      return run(RccStatusCategory::kActive, AggregateFn::kSum,
+                 RccAttribute::kSettledAmount, t_star);
+    case FeatureKind::kActiveAvgAmt:
+      return run(RccStatusCategory::kActive, AggregateFn::kAvg,
+                 RccAttribute::kSettledAmount, t_star);
+    case FeatureKind::kActivePctOfCreated: {
+      auto active = run(RccStatusCategory::kActive, AggregateFn::kCount,
+                        RccAttribute::kSettledAmount, t_star);
+      if (!active.ok()) return active.status();
+      auto created = run(RccStatusCategory::kCreated, AggregateFn::kCount,
+                         RccAttribute::kSettledAmount, t_star);
+      if (!created.ok()) return created.status();
+      return *created == 0.0 ? 0.0 : *active / *created;
+    }
+    case FeatureKind::kCreatedCountWindow: {
+      auto now = run(RccStatusCategory::kCreated, AggregateFn::kCount,
+                     RccAttribute::kSettledAmount, t_star);
+      if (!now.ok()) return now.status();
+      auto before = run(RccStatusCategory::kCreated, AggregateFn::kCount,
+                        RccAttribute::kSettledAmount, prev_t_star);
+      if (!before.ok()) return before.status();
+      return *now - *before;
+    }
+  }
+  return Status::Internal("unhandled feature kind");
+}
+
+}  // namespace domd

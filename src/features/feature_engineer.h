@@ -1,0 +1,51 @@
+#ifndef DOMD_FEATURES_FEATURE_ENGINEER_H_
+#define DOMD_FEATURES_FEATURE_ENGINEER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/tables.h"
+#include "features/feature_catalog.h"
+#include "features/feature_tensor.h"
+#include "query/status_query.h"
+
+namespace domd {
+
+/// Task 1: materializes the dynamic feature tensor F_{i,t*} for every avail
+/// over a logical-time grid.
+///
+/// The production path sweeps a StatStructure forward over the grid
+/// (incremental computation, §4.3), touching every RCC event exactly once.
+/// A from-scratch path evaluates features through the StatusQueryEngine,
+/// one Status Query per (avail, feature, t*) — used to validate equivalence
+/// and to quantify the incremental speedup.
+class FeatureEngineer {
+ public:
+  /// The dataset must outlive the engineer.
+  explicit FeatureEngineer(const Dataset* data);
+
+  const FeatureCatalog& catalog() const { return catalog_; }
+
+  /// Incremental tensor construction for the given avails over the grid.
+  FeatureTensor ComputeIncremental(
+      const std::vector<std::int64_t>& avail_ids,
+      const std::vector<double>& time_grid) const;
+
+  /// From-scratch evaluation of one feature for one avail at one t* through
+  /// Algorithm StatusQ. prev_t_star feeds window features (pass the
+  /// previous grid point, or any value below the grid start — e.g. -1 —
+  /// at the first step).
+  StatusOr<double> ComputeOneFromScratch(const StatusQueryEngine& engine,
+                                         std::int64_t avail_id,
+                                         const FeatureDef& feature,
+                                         double t_star,
+                                         double prev_t_star) const;
+
+ private:
+  const Dataset* data_;
+  FeatureCatalog catalog_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_FEATURES_FEATURE_ENGINEER_H_

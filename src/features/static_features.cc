@@ -1,0 +1,29 @@
+#include "features/static_features.h"
+
+#include "features/feature_catalog.h"
+
+namespace domd {
+
+void FillStaticFeatureRow(const Avail& avail, std::span<double> row) {
+  row[0] = avail.ship_class;
+  row[1] = avail.rmc_id;
+  row[2] = avail.ship_age_years;
+  row[3] = avail.avail_type;
+  row[4] = avail.homeport;
+  row[5] = avail.prior_avail_count;
+  row[6] = avail.contract_value_musd;
+  row[7] = static_cast<double>(avail.planned_duration());
+}
+
+Matrix BuildStaticFeatures(const AvailTable& avails,
+                           const std::vector<std::int64_t>& avail_ids) {
+  Matrix out(avail_ids.size(), StaticFeatureNames().size());
+  for (std::size_t i = 0; i < avail_ids.size(); ++i) {
+    const auto avail = avails.Find(avail_ids[i]);
+    if (!avail.ok()) continue;
+    FillStaticFeatureRow(**avail, out.row(i));
+  }
+  return out;
+}
+
+}  // namespace domd

@@ -1,0 +1,24 @@
+#ifndef DOMD_FEATURES_STATIC_FEATURES_H_
+#define DOMD_FEATURES_STATIC_FEATURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/tables.h"
+#include "ml/matrix.h"
+
+namespace domd {
+
+/// Builds the static feature matrix F^S: one row per avail id (in the given
+/// order), columns per StaticFeatureNames(). Static features predate
+/// execution and never change over logical time; they feed the base
+/// prediction of delay before the availability begins (§2).
+Matrix BuildStaticFeatures(const AvailTable& avails,
+                           const std::vector<std::int64_t>& avail_ids);
+
+/// Fills one static-feature row for a single avail.
+void FillStaticFeatureRow(const Avail& avail, std::span<double> row);
+
+}  // namespace domd
+
+#endif  // DOMD_FEATURES_STATIC_FEATURES_H_

@@ -1,0 +1,83 @@
+#include "hpt/space.h"
+
+#include <cmath>
+
+namespace domd {
+
+ParamSpace& ParamSpace::AddUniform(std::string name, double lo, double hi) {
+  domains_.push_back(
+      ParamDomain{std::move(name), ParamDomain::Kind::kUniform, lo, hi, {}});
+  return *this;
+}
+
+ParamSpace& ParamSpace::AddLogUniform(std::string name, double lo,
+                                      double hi) {
+  domains_.push_back(ParamDomain{std::move(name),
+                                 ParamDomain::Kind::kLogUniform, lo, hi, {}});
+  return *this;
+}
+
+ParamSpace& ParamSpace::AddInt(std::string name, int lo, int hi) {
+  domains_.push_back(ParamDomain{std::move(name), ParamDomain::Kind::kInt,
+                                 static_cast<double>(lo),
+                                 static_cast<double>(hi),
+                                 {}});
+  return *this;
+}
+
+ParamSpace& ParamSpace::AddCategorical(std::string name,
+                                       std::vector<double> choices) {
+  ParamDomain domain;
+  domain.name = std::move(name);
+  domain.kind = ParamDomain::Kind::kCategorical;
+  domain.choices = std::move(choices);
+  domains_.push_back(std::move(domain));
+  return *this;
+}
+
+ParamMap ParamSpace::ToMap(const std::vector<double>& values) const {
+  ParamMap map;
+  for (std::size_t i = 0; i < domains_.size() && i < values.size(); ++i) {
+    map[domains_[i].name] = values[i];
+  }
+  return map;
+}
+
+Status ParamSpace::Validate(const std::vector<double>& values) const {
+  if (values.size() != domains_.size()) {
+    return Status::InvalidArgument("parameter vector arity mismatch");
+  }
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    const ParamDomain& d = domains_[i];
+    const double v = values[i];
+    switch (d.kind) {
+      case ParamDomain::Kind::kUniform:
+      case ParamDomain::Kind::kLogUniform:
+        if (v < d.lo || v > d.hi) {
+          return Status::OutOfRange(d.name + " out of range");
+        }
+        break;
+      case ParamDomain::Kind::kInt:
+        if (v < d.lo || v > d.hi || v != std::floor(v)) {
+          return Status::OutOfRange(d.name + " not an in-range integer");
+        }
+        break;
+      case ParamDomain::Kind::kCategorical: {
+        bool found = false;
+        for (double choice : d.choices) {
+          if (choice == v) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return Status::OutOfRange(d.name + " not a valid choice");
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace domd

@@ -1,0 +1,61 @@
+#ifndef DOMD_HPT_SPACE_H_
+#define DOMD_HPT_SPACE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace domd {
+
+/// One hyperparameter's domain.
+struct ParamDomain {
+  enum class Kind {
+    kUniform,     ///< real, uniform on [lo, hi].
+    kLogUniform,  ///< real, uniform in log space on [lo, hi], lo > 0.
+    kInt,         ///< integer, uniform on {lo, ..., hi}.
+    kCategorical, ///< one of `choices` (stored as the choice value).
+  };
+
+  std::string name;
+  Kind kind = Kind::kUniform;
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<double> choices;
+};
+
+/// A named assignment for every domain in a space.
+using ParamMap = std::map<std::string, double>;
+
+/// The hyperparameter search space AutoHPT optimizes over (Task 5).
+class ParamSpace {
+ public:
+  ParamSpace& AddUniform(std::string name, double lo, double hi);
+  ParamSpace& AddLogUniform(std::string name, double lo, double hi);
+  ParamSpace& AddInt(std::string name, int lo, int hi);
+  ParamSpace& AddCategorical(std::string name, std::vector<double> choices);
+
+  const std::vector<ParamDomain>& domains() const { return domains_; }
+  std::size_t size() const { return domains_.size(); }
+
+  /// Converts a dense parameter vector (one value per domain, in order) to
+  /// a named map.
+  ParamMap ToMap(const std::vector<double>& values) const;
+
+  /// Validates that every value lies in its domain.
+  Status Validate(const std::vector<double>& values) const;
+
+ private:
+  std::vector<ParamDomain> domains_;
+};
+
+/// One evaluated configuration.
+struct Trial {
+  std::vector<double> params;  ///< dense, aligned with ParamSpace::domains().
+  double objective = 0.0;      ///< lower is better.
+};
+
+}  // namespace domd
+
+#endif  // DOMD_HPT_SPACE_H_

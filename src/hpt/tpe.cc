@@ -1,0 +1,172 @@
+#include "hpt/tpe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace domd {
+namespace {
+
+// Bandwidth heuristic for the Parzen kernels: a fraction of the domain
+// width that narrows as evidence accumulates.
+double Bandwidth(double width, std::size_t count) {
+  return std::max(1e-9, width / (1.0 + std::sqrt(static_cast<double>(count))));
+}
+
+}  // namespace
+
+TpeSampler::TpeSampler(const ParamSpace* space, const TpeOptions& options,
+                       std::uint64_t seed)
+    : space_(space), options_(options), rng_(seed) {}
+
+double TpeSampler::ToInternal(const ParamDomain& d, double v) {
+  return d.kind == ParamDomain::Kind::kLogUniform ? std::log(v) : v;
+}
+
+double TpeSampler::FromInternal(const ParamDomain& d, double v) {
+  return d.kind == ParamDomain::Kind::kLogUniform ? std::exp(v) : v;
+}
+
+std::vector<double> TpeSampler::SampleUniform() {
+  std::vector<double> values;
+  values.reserve(space_->size());
+  for (const ParamDomain& d : space_->domains()) {
+    switch (d.kind) {
+      case ParamDomain::Kind::kUniform:
+        values.push_back(rng_.Uniform(d.lo, d.hi));
+        break;
+      case ParamDomain::Kind::kLogUniform:
+        values.push_back(std::clamp(
+            std::exp(rng_.Uniform(std::log(d.lo), std::log(d.hi))), d.lo,
+            d.hi));
+        break;
+      case ParamDomain::Kind::kInt:
+        values.push_back(static_cast<double>(rng_.UniformInt(
+            static_cast<std::int64_t>(d.lo), static_cast<std::int64_t>(d.hi))));
+        break;
+      case ParamDomain::Kind::kCategorical:
+        values.push_back(d.choices[static_cast<std::size_t>(rng_.UniformInt(
+            0, static_cast<std::int64_t>(d.choices.size()) - 1))]);
+        break;
+    }
+  }
+  return values;
+}
+
+double TpeSampler::SampleDimension(const ParamDomain& d,
+                                   const std::vector<double>& good_values) {
+  if (d.kind == ParamDomain::Kind::kCategorical) {
+    // Smoothed categorical distribution over the good set.
+    std::vector<double> weights(d.choices.size(), 1.0);
+    for (double v : good_values) {
+      for (std::size_t j = 0; j < d.choices.size(); ++j) {
+        if (d.choices[j] == v) {
+          weights[j] += 1.0;
+          break;
+        }
+      }
+    }
+    return d.choices[rng_.Categorical(weights)];
+  }
+
+  const double lo = ToInternal(d, d.lo);
+  const double hi = ToInternal(d, d.hi);
+  // Mixture: mostly Parzen kernels centered at good values, with a uniform
+  // exploration component.
+  // Clamp in original space too: exp(log(hi)) can overshoot hi by one ulp.
+  auto finalize = [&](double internal) {
+    double v = std::clamp(FromInternal(d, internal), d.lo, d.hi);
+    if (d.kind == ParamDomain::Kind::kInt) v = std::round(v);
+    return v;
+  };
+  if (good_values.empty() || rng_.Bernoulli(0.1)) {
+    return finalize(rng_.Uniform(lo, hi));
+  }
+  const std::size_t center_index = static_cast<std::size_t>(rng_.UniformInt(
+      0, static_cast<std::int64_t>(good_values.size()) - 1));
+  const double center = ToInternal(d, good_values[center_index]);
+  const double sigma = Bandwidth(hi - lo, good_values.size());
+  double draw = rng_.Gaussian(center, sigma);
+  draw = std::clamp(draw, lo, hi);
+  return finalize(draw);
+}
+
+double TpeSampler::LogDensity(const ParamDomain& d,
+                              const std::vector<double>& values,
+                              double candidate) const {
+  if (d.kind == ParamDomain::Kind::kCategorical) {
+    double count = 1.0;  // Laplace smoothing
+    for (double v : values) {
+      if (v == candidate) count += 1.0;
+    }
+    return std::log(count /
+                    (static_cast<double>(values.size()) +
+                     static_cast<double>(d.choices.size())));
+  }
+
+  const double lo = ToInternal(d, d.lo);
+  const double hi = ToInternal(d, d.hi);
+  const double width = std::max(hi - lo, 1e-12);
+  const double x = ToInternal(d, candidate);
+  // Uniform prior component keeps densities positive everywhere.
+  double density = 0.3 / width;
+  if (!values.empty()) {
+    const double sigma = Bandwidth(width, values.size());
+    const double norm = 1.0 / (sigma * std::sqrt(2.0 * std::numbers::pi));
+    double kernel_sum = 0.0;
+    for (double v : values) {
+      const double z = (x - ToInternal(d, v)) / sigma;
+      kernel_sum += norm * std::exp(-0.5 * z * z);
+    }
+    density += 0.7 * kernel_sum / static_cast<double>(values.size());
+  }
+  return std::log(density);
+}
+
+std::vector<double> TpeSampler::Suggest(const std::vector<Trial>& history) {
+  if (history.size() <
+      static_cast<std::size_t>(options_.num_startup_trials)) {
+    return SampleUniform();
+  }
+
+  // Split at the gamma quantile of objectives (lower = better).
+  std::vector<std::size_t> order(history.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return history[a].objective < history[b].objective;
+  });
+  const auto n_good = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options_.gamma *
+                                  static_cast<double>(history.size())));
+
+  const std::size_t dims = space_->size();
+  std::vector<std::vector<double>> good(dims), bad(dims);
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const Trial& trial = history[order[rank]];
+    for (std::size_t k = 0; k < dims; ++k) {
+      (rank < n_good ? good[k] : bad[k]).push_back(trial.params[k]);
+    }
+  }
+
+  // Draw candidates from l(x) and keep the best l/g ratio.
+  std::vector<double> best;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (int c = 0; c < options_.num_ei_candidates; ++c) {
+    std::vector<double> candidate(dims);
+    double score = 0.0;
+    for (std::size_t k = 0; k < dims; ++k) {
+      const ParamDomain& d = space_->domains()[k];
+      candidate[k] = SampleDimension(d, good[k]);
+      score += LogDensity(d, good[k], candidate[k]) -
+               LogDensity(d, bad[k], candidate[k]);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace domd

@@ -1,0 +1,52 @@
+#ifndef DOMD_HPT_TPE_H_
+#define DOMD_HPT_TPE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "hpt/space.h"
+
+namespace domd {
+
+/// Tree-structured Parzen Estimator options.
+struct TpeOptions {
+  int num_startup_trials = 8;    ///< random search before TPE kicks in.
+  double gamma = 0.25;           ///< quantile splitting good/bad trials.
+  int num_ei_candidates = 24;    ///< candidates drawn from l(x) per suggest.
+};
+
+/// The TPE sampler at the heart of AutoHPT (§3.2.4): splits the trial
+/// history at the gamma quantile of the objective into "good" and "bad"
+/// sets, fits per-dimension Parzen (kernel-density) estimators l(x) and
+/// g(x) over each, and suggests the candidate maximizing the expected-
+/// improvement proxy l(x)/g(x).
+class TpeSampler {
+ public:
+  TpeSampler(const ParamSpace* space, const TpeOptions& options,
+             std::uint64_t seed);
+
+  /// Suggests the next configuration given all completed trials.
+  std::vector<double> Suggest(const std::vector<Trial>& history);
+
+  /// Draws one configuration uniformly from the space's prior.
+  std::vector<double> SampleUniform();
+
+ private:
+  // Transforms to the sampler's internal (possibly log) coordinate.
+  static double ToInternal(const ParamDomain& d, double v);
+  static double FromInternal(const ParamDomain& d, double v);
+
+  double SampleDimension(const ParamDomain& d,
+                         const std::vector<double>& good_values);
+  double LogDensity(const ParamDomain& d, const std::vector<double>& values,
+                    double candidate) const;
+
+  const ParamSpace* space_;
+  TpeOptions options_;
+  Rng rng_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_HPT_TPE_H_

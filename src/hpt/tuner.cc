@@ -1,0 +1,25 @@
+#include "hpt/tuner.h"
+
+#include <limits>
+
+namespace domd {
+
+TuningResult Tuner::Run(const Objective& objective, int num_trials) {
+  TuningResult result;
+  result.best_objective = std::numeric_limits<double>::infinity();
+  result.trials.reserve(static_cast<std::size_t>(num_trials));
+
+  for (int t = 0; t < num_trials; ++t) {
+    std::vector<double> params = sampler_.Suggest(result.trials);
+    const double score = objective(space_->ToMap(params));
+    if (score < result.best_objective) {
+      result.best_objective = score;
+      result.best_params = params;
+    }
+    result.trials.push_back(Trial{std::move(params), score});
+  }
+  result.best_map = space_->ToMap(result.best_params);
+  return result;
+}
+
+}  // namespace domd

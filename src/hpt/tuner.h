@@ -1,0 +1,45 @@
+#ifndef DOMD_HPT_TUNER_H_
+#define DOMD_HPT_TUNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hpt/space.h"
+#include "hpt/tpe.h"
+
+namespace domd {
+
+/// Outcome of a tuning run.
+struct TuningResult {
+  std::vector<double> best_params;  ///< dense, aligned with the space.
+  ParamMap best_map;                ///< same, by name.
+  double best_objective = 0.0;
+  std::vector<Trial> trials;        ///< full history, in evaluation order.
+};
+
+/// The AutoHPT module (Task 5): a Sequential Model-Based Optimization loop
+/// driven by the TPE sampler. Each iteration asks the sampler for a
+/// configuration, evaluates the (to-be-minimized) objective, and feeds the
+/// result back.
+class Tuner {
+ public:
+  /// Objective: maps a named parameter assignment to a score to minimize
+  /// (validation MAE in the pipeline).
+  using Objective = std::function<double(const ParamMap&)>;
+
+  Tuner(const ParamSpace* space, const TpeOptions& options,
+        std::uint64_t seed)
+      : space_(space), sampler_(space, options, seed) {}
+
+  /// Runs `num_trials` evaluations and returns the best configuration.
+  TuningResult Run(const Objective& objective, int num_trials);
+
+ private:
+  const ParamSpace* space_;
+  TpeSampler sampler_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_HPT_TUNER_H_

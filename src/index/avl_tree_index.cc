@@ -1,0 +1,278 @@
+#include "index/avl_tree_index.h"
+
+#include <algorithm>
+
+namespace domd {
+
+std::int32_t AvlTreeIndex::Tree::NewNode(double key, double other,
+                                         std::int64_t id) {
+  std::int32_t n;
+  if (!free_list.empty()) {
+    n = free_list.back();
+    free_list.pop_back();
+    pool[static_cast<std::size_t>(n)] = Node{key, other, id, -1, -1, 1, 1};
+  } else {
+    n = static_cast<std::int32_t>(pool.size());
+    pool.push_back(Node{key, other, id, -1, -1, 1, 1});
+  }
+  return n;
+}
+
+void AvlTreeIndex::Tree::FreeNode(std::int32_t n) { free_list.push_back(n); }
+
+void AvlTreeIndex::Tree::Update(std::int32_t n) {
+  Node& node = pool[static_cast<std::size_t>(n)];
+  node.height = 1 + std::max(Height(node.left), Height(node.right));
+  node.count = 1 + Count(node.left) + Count(node.right);
+}
+
+std::int32_t AvlTreeIndex::Tree::RotateLeft(std::int32_t n) {
+  Node& node = pool[static_cast<std::size_t>(n)];
+  const std::int32_t r = node.right;
+  node.right = pool[static_cast<std::size_t>(r)].left;
+  pool[static_cast<std::size_t>(r)].left = n;
+  Update(n);
+  Update(r);
+  return r;
+}
+
+std::int32_t AvlTreeIndex::Tree::RotateRight(std::int32_t n) {
+  Node& node = pool[static_cast<std::size_t>(n)];
+  const std::int32_t l = node.left;
+  node.left = pool[static_cast<std::size_t>(l)].right;
+  pool[static_cast<std::size_t>(l)].right = n;
+  Update(n);
+  Update(l);
+  return l;
+}
+
+std::int32_t AvlTreeIndex::Tree::Rebalance(std::int32_t n) {
+  Update(n);
+  Node& node = pool[static_cast<std::size_t>(n)];
+  const std::int32_t balance = Height(node.left) - Height(node.right);
+  if (balance > 1) {
+    const std::int32_t l = node.left;
+    const Node& lnode = pool[static_cast<std::size_t>(l)];
+    if (Height(lnode.left) < Height(lnode.right)) {
+      node.left = RotateLeft(l);
+    }
+    return RotateRight(n);
+  }
+  if (balance < -1) {
+    const std::int32_t r = node.right;
+    const Node& rnode = pool[static_cast<std::size_t>(r)];
+    if (Height(rnode.right) < Height(rnode.left)) {
+      node.right = RotateRight(r);
+    }
+    return RotateLeft(n);
+  }
+  return n;
+}
+
+std::int32_t AvlTreeIndex::Tree::Insert(std::int32_t n, double key,
+                                        double other, std::int64_t id) {
+  if (n < 0) return NewNode(key, other, id);
+  Node& node = pool[static_cast<std::size_t>(n)];
+  if (key < node.key || (key == node.key && id < node.id)) {
+    const std::int32_t child = Insert(node.left, key, other, id);
+    pool[static_cast<std::size_t>(n)].left = child;
+  } else {
+    const std::int32_t child = Insert(node.right, key, other, id);
+    pool[static_cast<std::size_t>(n)].right = child;
+  }
+  return Rebalance(n);
+}
+
+std::int32_t AvlTreeIndex::Tree::Erase(std::int32_t n, double key,
+                                       std::int64_t id, bool* erased) {
+  if (n < 0) return n;
+  Node& node = pool[static_cast<std::size_t>(n)];
+  if (key < node.key || (key == node.key && id < node.id)) {
+    const std::int32_t child = Erase(node.left, key, id, erased);
+    pool[static_cast<std::size_t>(n)].left = child;
+  } else if (key > node.key || id > node.id) {
+    const std::int32_t child = Erase(node.right, key, id, erased);
+    pool[static_cast<std::size_t>(n)].right = child;
+  } else {
+    *erased = true;
+    if (node.left < 0 || node.right < 0) {
+      const std::int32_t child = node.left >= 0 ? node.left : node.right;
+      FreeNode(n);
+      return child;
+    }
+    // Replace with in-order successor.
+    std::int32_t succ = node.right;
+    while (pool[static_cast<std::size_t>(succ)].left >= 0) {
+      succ = pool[static_cast<std::size_t>(succ)].left;
+    }
+    const Node succ_copy = pool[static_cast<std::size_t>(succ)];
+    bool dummy = false;
+    const std::int32_t new_right =
+        Erase(node.right, succ_copy.key, succ_copy.id, &dummy);
+    Node& self = pool[static_cast<std::size_t>(n)];
+    self.key = succ_copy.key;
+    self.other = succ_copy.other;
+    self.id = succ_copy.id;
+    self.right = new_right;
+  }
+  return Rebalance(n);
+}
+
+std::int32_t AvlTreeIndex::Tree::BuildBalanced(
+    const std::vector<IndexEntry>& sorted, std::size_t lo, std::size_t hi,
+    bool key_is_start) {
+  if (lo >= hi) return -1;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const IndexEntry& e = sorted[mid];
+  const std::int32_t n = key_is_start ? NewNode(e.start, e.end, e.id)
+                                      : NewNode(e.end, e.start, e.id);
+  const std::int32_t left = BuildBalanced(sorted, lo, mid, key_is_start);
+  const std::int32_t right = BuildBalanced(sorted, mid + 1, hi, key_is_start);
+  Node& node = pool[static_cast<std::size_t>(n)];
+  node.left = left;
+  node.right = right;
+  Update(n);
+  return n;
+}
+
+void AvlTreeIndex::Build(const std::vector<IndexEntry>& entries) {
+  start_tree_.Clear();
+  end_tree_.Clear();
+  size_ = entries.size();
+  start_tree_.pool.reserve(entries.size());
+  end_tree_.pool.reserve(entries.size());
+
+  std::vector<IndexEntry> sorted = entries;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const IndexEntry& a, const IndexEntry& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.id < b.id;
+            });
+  start_tree_.root = start_tree_.BuildBalanced(sorted, 0, sorted.size(),
+                                               /*key_is_start=*/true);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const IndexEntry& a, const IndexEntry& b) {
+              if (a.end != b.end) return a.end < b.end;
+              return a.id < b.id;
+            });
+  end_tree_.root = end_tree_.BuildBalanced(sorted, 0, sorted.size(),
+                                           /*key_is_start=*/false);
+}
+
+void AvlTreeIndex::Insert(const IndexEntry& entry) {
+  start_tree_.root =
+      start_tree_.Insert(start_tree_.root, entry.start, entry.end, entry.id);
+  end_tree_.root =
+      end_tree_.Insert(end_tree_.root, entry.end, entry.start, entry.id);
+  ++size_;
+}
+
+Status AvlTreeIndex::Erase(const IndexEntry& entry) {
+  bool erased_start = false;
+  bool erased_end = false;
+  start_tree_.root =
+      start_tree_.Erase(start_tree_.root, entry.start, entry.id, &erased_start);
+  end_tree_.root =
+      end_tree_.Erase(end_tree_.root, entry.end, entry.id, &erased_end);
+  if (!erased_start || !erased_end) {
+    return Status::NotFound("entry not present in AVL index");
+  }
+  --size_;
+  return Status::OK();
+}
+
+void AvlTreeIndex::ScanPrefix(const Tree& tree, std::int32_t n, double t,
+                              bool require_other_greater,
+                              std::vector<std::int64_t>* out) {
+  if (n < 0) return;
+  const Node& node = tree.pool[static_cast<std::size_t>(n)];
+  if (node.key <= t) {
+    ScanPrefix(tree, node.left, t, require_other_greater, out);
+    if (!require_other_greater || node.other > t) out->push_back(node.id);
+    ScanPrefix(tree, node.right, t, require_other_greater, out);
+  } else {
+    ScanPrefix(tree, node.left, t, require_other_greater, out);
+  }
+}
+
+std::size_t AvlTreeIndex::CountPrefix(const Tree& tree, std::int32_t n,
+                                      double t) {
+  std::size_t count = 0;
+  while (n >= 0) {
+    const Node& node = tree.pool[static_cast<std::size_t>(n)];
+    if (node.key <= t) {
+      count += 1 + tree.Count(node.left);
+      n = node.right;
+    } else {
+      n = node.left;
+    }
+  }
+  return count;
+}
+
+void AvlTreeIndex::ScanSuffix(const Tree& tree, std::int32_t n, double t,
+                              std::vector<std::int64_t>* out) {
+  if (n < 0) return;
+  const Node& node = tree.pool[static_cast<std::size_t>(n)];
+  if (node.key > t) {
+    ScanSuffix(tree, node.left, t, out);
+    out->push_back(node.id);
+    ScanSuffix(tree, node.right, t, out);
+  } else {
+    ScanSuffix(tree, node.right, t, out);
+  }
+}
+
+void AvlTreeIndex::CollectActive(double t_star,
+                                 std::vector<std::int64_t>* out) const {
+  out->clear();
+  ScanPrefix(start_tree_, start_tree_.root, t_star,
+             /*require_other_greater=*/true, out);
+}
+
+void AvlTreeIndex::CollectSettled(double t_star,
+                                  std::vector<std::int64_t>* out) const {
+  out->clear();
+  ScanPrefix(end_tree_, end_tree_.root, t_star,
+             /*require_other_greater=*/false, out);
+}
+
+void AvlTreeIndex::CollectCreated(double t_star,
+                                  std::vector<std::int64_t>* out) const {
+  out->clear();
+  ScanPrefix(start_tree_, start_tree_.root, t_star,
+             /*require_other_greater=*/false, out);
+}
+
+void AvlTreeIndex::CollectNotCreated(double t_star,
+                                     std::vector<std::int64_t>* out) const {
+  out->clear();
+  ScanSuffix(start_tree_, start_tree_.root, t_star, out);
+}
+
+std::size_t AvlTreeIndex::CountActive(double t_star) const {
+  return CountPrefix(start_tree_, start_tree_.root, t_star) -
+         CountPrefix(end_tree_, end_tree_.root, t_star);
+}
+
+std::size_t AvlTreeIndex::CountSettled(double t_star) const {
+  return CountPrefix(end_tree_, end_tree_.root, t_star);
+}
+
+std::size_t AvlTreeIndex::CountCreated(double t_star) const {
+  return CountPrefix(start_tree_, start_tree_.root, t_star);
+}
+
+std::size_t AvlTreeIndex::MemoryUsageBytes() const {
+  return (start_tree_.pool.capacity() + end_tree_.pool.capacity()) *
+         sizeof(Node);
+}
+
+int AvlTreeIndex::StartTreeHeight() const {
+  return start_tree_.root < 0
+             ? 0
+             : start_tree_.pool[static_cast<std::size_t>(start_tree_.root)]
+                   .height;
+}
+
+}  // namespace domd

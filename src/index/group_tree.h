@@ -1,0 +1,89 @@
+#ifndef DOMD_INDEX_GROUP_TREE_H_
+#define DOMD_INDEX_GROUP_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/tables.h"
+#include "index/logical_time_index.h"
+
+namespace domd {
+
+/// Enumerates the group-by nodes of the RCC-Type-Tree × SWLIN-Tree hierarchy
+/// (§4.2) with dense integer ids, so Status Queries and the feature catalog
+/// can address groups without string keys.
+///
+/// Level-1 nodes cross a type slot (ALL, G, N, NG) with a subsystem slot
+/// (ALL, SWLIN first digit 1..9): 4 x 10 = 40 nodes. Level-2 nodes refine
+/// the SWLIN to its first two digits (10..99) under the ALL type slot:
+/// 90 nodes. 130 group nodes total.
+class GroupSchema {
+ public:
+  static constexpr int kNumTypeSlots = 4;    ///< ALL + 3 RCC types.
+  static constexpr int kNumSubsystemSlots = 10;  ///< ALL + digits 1..9.
+  static constexpr int kNumLevel1Groups = kNumTypeSlots * kNumSubsystemSlots;
+  static constexpr int kNumLevel2Groups = 90;  ///< prefixes 10..99.
+  static constexpr int kNumGroups = kNumLevel1Groups + kNumLevel2Groups;
+
+  /// Type slot for a concrete RCC type (1..3); slot 0 is ALL.
+  static int TypeSlot(RccType type) { return static_cast<int>(type) + 1; }
+
+  /// Dense id of a level-1 node. type_slot in [0,4), subsystem_slot in
+  /// [0,10) where 0 = ALL and s = SWLIN first digit for s in 1..9.
+  static int Level1GroupId(int type_slot, int subsystem_slot) {
+    return type_slot * kNumSubsystemSlots + subsystem_slot;
+  }
+
+  /// Dense id of a level-2 node for two-digit prefix in [10, 99].
+  static int Level2GroupId(int prefix) {
+    return kNumLevel1Groups + (prefix - 10);
+  }
+
+  /// Appends the ids of every group node the given RCC belongs to
+  /// (4 level-1 memberships, plus 1 level-2 membership when the leading
+  /// SWLIN digit is nonzero).
+  static void GroupsForRcc(RccType type, const Swlin& swlin,
+                           std::vector<int>* out);
+
+  /// Human-readable group label used in feature names: "ALL", "G", "G1",
+  /// "ALL34", ...
+  static std::string GroupName(int group_id);
+};
+
+/// Builds the (t*_start, t*_end, id) index entries for every RCC in the
+/// dataset, converting physical dates to logical time against the owning
+/// avail (Eq. 1). RCCs whose avail is missing are skipped. Open RCCs get
+/// end = +infinity.
+std::vector<IndexEntry> BuildIndexEntries(const Dataset& data);
+
+/// The combined RCC-Type-Tree × SWLIN-Tree group index (§4.2): one
+/// logical-time index per group node, all with the same backend. Queries
+/// address nodes by GroupSchema ids; Algorithm StatusQ resolves a query's
+/// GROUP BY clause to a set of node ids and probes each node's index.
+class GroupedRccIndex {
+ public:
+  GroupedRccIndex(const Dataset& data, IndexBackend backend);
+
+  /// The logical-time index at a group node; never null for valid ids.
+  const LogicalTimeIndex& node(int group_id) const {
+    return *nodes_[static_cast<std::size_t>(group_id)];
+  }
+
+  IndexBackend backend() const { return backend_; }
+
+  /// Total entries across all nodes (each RCC counted once per membership).
+  std::size_t TotalEntries() const;
+
+  /// Aggregate memory across all node indexes.
+  std::size_t MemoryUsageBytes() const;
+
+ private:
+  IndexBackend backend_;
+  std::vector<std::unique_ptr<LogicalTimeIndex>> nodes_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_INDEX_GROUP_TREE_H_

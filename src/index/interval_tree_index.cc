@@ -1,0 +1,217 @@
+#include "index/interval_tree_index.h"
+
+#include <algorithm>
+
+namespace domd {
+
+IntervalTreeIndex::~IntervalTreeIndex() { DeleteSubtree(root_); }
+
+void IntervalTreeIndex::DeleteSubtree(Node* n) {
+  if (n == nullptr) return;
+  DeleteSubtree(n->left);
+  DeleteSubtree(n->right);
+  delete n;
+}
+
+void IntervalTreeIndex::Update(Node* n) {
+  n->height = 1 + std::max(NodeHeight(n->left), NodeHeight(n->right));
+  n->max_end = n->end;
+  n->min_end = n->end;
+  if (n->left != nullptr) {
+    n->max_end = std::max(n->max_end, n->left->max_end);
+    n->min_end = std::min(n->min_end, n->left->min_end);
+  }
+  if (n->right != nullptr) {
+    n->max_end = std::max(n->max_end, n->right->max_end);
+    n->min_end = std::min(n->min_end, n->right->min_end);
+  }
+}
+
+IntervalTreeIndex::Node* IntervalTreeIndex::RotateLeft(Node* n) {
+  Node* r = n->right;
+  n->right = r->left;
+  r->left = n;
+  Update(n);
+  Update(r);
+  return r;
+}
+
+IntervalTreeIndex::Node* IntervalTreeIndex::RotateRight(Node* n) {
+  Node* l = n->left;
+  n->left = l->right;
+  l->right = n;
+  Update(n);
+  Update(l);
+  return l;
+}
+
+IntervalTreeIndex::Node* IntervalTreeIndex::Rebalance(Node* n) {
+  Update(n);
+  const int balance = NodeHeight(n->left) - NodeHeight(n->right);
+  if (balance > 1) {
+    if (NodeHeight(n->left->left) < NodeHeight(n->left->right)) {
+      n->left = RotateLeft(n->left);
+    }
+    return RotateRight(n);
+  }
+  if (balance < -1) {
+    if (NodeHeight(n->right->right) < NodeHeight(n->right->left)) {
+      n->right = RotateRight(n->right);
+    }
+    return RotateLeft(n);
+  }
+  return n;
+}
+
+IntervalTreeIndex::Node* IntervalTreeIndex::InsertNode(
+    Node* n, const IndexEntry& entry) {
+  if (n == nullptr) {
+    Node* fresh = new Node;
+    fresh->start = entry.start;
+    fresh->end = entry.end;
+    fresh->id = entry.id;
+    fresh->max_end = entry.end;
+    fresh->min_end = entry.end;
+    return fresh;
+  }
+  if (entry.start < n->start ||
+      (entry.start == n->start && entry.id < n->id)) {
+    n->left = InsertNode(n->left, entry);
+  } else {
+    n->right = InsertNode(n->right, entry);
+  }
+  return Rebalance(n);
+}
+
+IntervalTreeIndex::Node* IntervalTreeIndex::EraseNode(Node* n,
+                                                      const IndexEntry& entry,
+                                                      bool* erased) {
+  if (n == nullptr) return nullptr;
+  if (entry.start < n->start ||
+      (entry.start == n->start && entry.id < n->id)) {
+    n->left = EraseNode(n->left, entry, erased);
+  } else if (entry.start > n->start || entry.id > n->id) {
+    n->right = EraseNode(n->right, entry, erased);
+  } else {
+    *erased = true;
+    if (n->left == nullptr || n->right == nullptr) {
+      Node* child = n->left != nullptr ? n->left : n->right;
+      delete n;
+      return child;
+    }
+    Node* succ = n->right;
+    while (succ->left != nullptr) succ = succ->left;
+    n->start = succ->start;
+    n->end = succ->end;
+    n->id = succ->id;
+    bool dummy = false;
+    const IndexEntry succ_entry{succ->start, succ->end, succ->id};
+    n->right = EraseNode(n->right, succ_entry, &dummy);
+  }
+  return Rebalance(n);
+}
+
+void IntervalTreeIndex::Build(const std::vector<IndexEntry>& entries) {
+  DeleteSubtree(root_);
+  root_ = nullptr;
+  size_ = 0;
+  for (const IndexEntry& entry : entries) Insert(entry);
+}
+
+void IntervalTreeIndex::Insert(const IndexEntry& entry) {
+  root_ = InsertNode(root_, entry);
+  ++size_;
+}
+
+Status IntervalTreeIndex::Erase(const IndexEntry& entry) {
+  bool erased = false;
+  root_ = EraseNode(root_, entry, &erased);
+  if (!erased) return Status::NotFound("entry not present in interval tree");
+  --size_;
+  return Status::OK();
+}
+
+void IntervalTreeIndex::Stab(const Node* n, double t,
+                             std::vector<std::int64_t>* out) {
+  if (n == nullptr) return;
+  // No interval in this subtree extends past t: nothing can contain t.
+  if (n->max_end <= t) {
+    // Still possible only if some interval's end > t, which max_end rules
+    // out entirely.
+    return;
+  }
+  Stab(n->left, t, out);
+  if (n->start <= t && n->end > t) out->push_back(n->id);
+  // Keys to the right have start >= n->start; if n->start > t, none can
+  // contain t.
+  if (n->start <= t) Stab(n->right, t, out);
+}
+
+void IntervalTreeIndex::EndsBefore(const Node* n, double t,
+                                   std::vector<std::int64_t>* out) {
+  if (n == nullptr) return;
+  // All ends in this subtree exceed t: prune.
+  if (n->min_end > t) return;
+  EndsBefore(n->left, t, out);
+  if (n->end <= t) out->push_back(n->id);
+  EndsBefore(n->right, t, out);
+}
+
+void IntervalTreeIndex::StartsBefore(const Node* n, double t,
+                                     std::vector<std::int64_t>* out) {
+  if (n == nullptr) return;
+  if (n->start <= t) {
+    StartsBefore(n->left, t, out);
+    out->push_back(n->id);
+    StartsBefore(n->right, t, out);
+  } else {
+    StartsBefore(n->left, t, out);
+  }
+}
+
+void IntervalTreeIndex::StartsAfter(const Node* n, double t,
+                                    std::vector<std::int64_t>* out) {
+  if (n == nullptr) return;
+  if (n->start > t) {
+    StartsAfter(n->left, t, out);
+    out->push_back(n->id);
+    StartsAfter(n->right, t, out);
+  } else {
+    StartsAfter(n->right, t, out);
+  }
+}
+
+void IntervalTreeIndex::CollectActive(double t_star,
+                                      std::vector<std::int64_t>* out) const {
+  out->clear();
+  Stab(root_, t_star, out);
+}
+
+void IntervalTreeIndex::CollectSettled(double t_star,
+                                       std::vector<std::int64_t>* out) const {
+  out->clear();
+  EndsBefore(root_, t_star, out);
+}
+
+void IntervalTreeIndex::CollectCreated(double t_star,
+                                       std::vector<std::int64_t>* out) const {
+  out->clear();
+  StartsBefore(root_, t_star, out);
+}
+
+void IntervalTreeIndex::CollectNotCreated(
+    double t_star, std::vector<std::int64_t>* out) const {
+  out->clear();
+  StartsAfter(root_, t_star, out);
+}
+
+std::size_t IntervalTreeIndex::MemoryUsageBytes() const {
+  // sizeof(Node) plus typical heap-allocator bookkeeping per node (chunk
+  // header + size-class rounding for a 64-byte payload).
+  constexpr std::size_t kAllocOverhead = 24;
+  return size_ * (sizeof(Node) + kAllocOverhead);
+}
+
+int IntervalTreeIndex::Height() const { return NodeHeight(root_); }
+
+}  // namespace domd

@@ -1,0 +1,85 @@
+#ifndef DOMD_INDEX_INTERVAL_TREE_INDEX_H_
+#define DOMD_INDEX_INTERVAL_TREE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/logical_time_index.h"
+
+namespace domd {
+
+/// Augmented interval tree over the RCC logical-time intervals (§4.1): a
+/// height-balanced BST keyed on interval start, where every node carries the
+/// max and min end times of its subtree. Stabbing queries (Active) prune on
+/// max-end; containment-before queries (Settled) prune on min-end.
+///
+/// Construction is by repeated dynamic insertion with per-node heap
+/// allocation — the generic-implementation cost profile the paper observes
+/// for its interval tree (no bulk-build fast path), while lookups remain
+/// O(log n + k).
+class IntervalTreeIndex final : public LogicalTimeIndex {
+ public:
+  IntervalTreeIndex() = default;
+  ~IntervalTreeIndex() override;
+
+  IntervalTreeIndex(const IntervalTreeIndex&) = delete;
+  IntervalTreeIndex& operator=(const IntervalTreeIndex&) = delete;
+
+  void Build(const std::vector<IndexEntry>& entries) override;
+  void Insert(const IndexEntry& entry) override;
+  Status Erase(const IndexEntry& entry) override;
+
+  void CollectActive(double t_star,
+                     std::vector<std::int64_t>* out) const override;
+  void CollectSettled(double t_star,
+                      std::vector<std::int64_t>* out) const override;
+  void CollectCreated(double t_star,
+                      std::vector<std::int64_t>* out) const override;
+  void CollectNotCreated(double t_star,
+                         std::vector<std::int64_t>* out) const override;
+
+  std::size_t size() const override { return size_; }
+  std::size_t MemoryUsageBytes() const override;
+  IndexBackend backend() const override {
+    return IndexBackend::kIntervalTree;
+  }
+
+  /// Root height (root = 1); exposed for balance testing.
+  int Height() const;
+
+ private:
+  struct Node {
+    double start;
+    double end;
+    std::int64_t id;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    int height = 1;
+    double max_end;
+    double min_end;
+  };
+
+  static int NodeHeight(const Node* n) { return n == nullptr ? 0 : n->height; }
+  static void Update(Node* n);
+  static Node* RotateLeft(Node* n);
+  static Node* RotateRight(Node* n);
+  static Node* Rebalance(Node* n);
+  Node* InsertNode(Node* n, const IndexEntry& entry);
+  Node* EraseNode(Node* n, const IndexEntry& entry, bool* erased);
+  static void DeleteSubtree(Node* n);
+
+  static void Stab(const Node* n, double t, std::vector<std::int64_t>* out);
+  static void EndsBefore(const Node* n, double t,
+                         std::vector<std::int64_t>* out);
+  static void StartsBefore(const Node* n, double t,
+                           std::vector<std::int64_t>* out);
+  static void StartsAfter(const Node* n, double t,
+                          std::vector<std::int64_t>* out);
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_INDEX_INTERVAL_TREE_INDEX_H_

@@ -1,0 +1,52 @@
+#include "index/logical_time_index.h"
+
+#include "index/avl_tree_index.h"
+#include "index/interval_tree_index.h"
+#include "index/naive_join_index.h"
+
+namespace domd {
+
+const char* IndexBackendToString(IndexBackend backend) {
+  switch (backend) {
+    case IndexBackend::kIntervalTree:
+      return "IntervalTree";
+    case IndexBackend::kAvlTree:
+      return "AVLTree";
+    case IndexBackend::kNaiveJoin:
+      return "NaiveJoin";
+  }
+  return "?";
+}
+
+std::size_t LogicalTimeIndex::CountActive(double t_star) const {
+  std::vector<std::int64_t> ids;
+  CollectActive(t_star, &ids);
+  return ids.size();
+}
+
+std::size_t LogicalTimeIndex::CountSettled(double t_star) const {
+  std::vector<std::int64_t> ids;
+  CollectSettled(t_star, &ids);
+  return ids.size();
+}
+
+std::size_t LogicalTimeIndex::CountCreated(double t_star) const {
+  std::vector<std::int64_t> ids;
+  CollectCreated(t_star, &ids);
+  return ids.size();
+}
+
+std::unique_ptr<LogicalTimeIndex> CreateLogicalTimeIndex(
+    IndexBackend backend) {
+  switch (backend) {
+    case IndexBackend::kIntervalTree:
+      return std::make_unique<IntervalTreeIndex>();
+    case IndexBackend::kAvlTree:
+      return std::make_unique<AvlTreeIndex>();
+    case IndexBackend::kNaiveJoin:
+      return std::make_unique<NaiveJoinIndex>();
+  }
+  return nullptr;
+}
+
+}  // namespace domd

@@ -1,0 +1,85 @@
+#ifndef DOMD_INDEX_LOGICAL_TIME_INDEX_H_
+#define DOMD_INDEX_LOGICAL_TIME_INDEX_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace domd {
+
+/// One indexed RCC interval in logical time: (t*_start, t*_end, ID), the
+/// triple §4.1 requires every index design to store. An RCC that never
+/// settles has end = +infinity.
+struct IndexEntry {
+  double start = 0.0;
+  double end = 0.0;
+  std::int64_t id = 0;
+
+  static constexpr double kOpenEnd = std::numeric_limits<double>::infinity();
+};
+
+/// Which concrete index structure backs logical-time retrieval.
+enum class IndexBackend {
+  kIntervalTree,  ///< Augmented balanced interval tree (§4.1).
+  kAvlTree,       ///< Dual AVL trees over start/end times (§4.1).
+  kNaiveJoin,     ///< Materialized wide-row join + scans (pandas-merge stand-in).
+};
+
+const char* IndexBackendToString(IndexBackend backend);
+
+/// Retrieval interface over logical time shared by all three index designs.
+/// The four retrieval sets follow Eq. 3-6:
+///   Active(t*)    = point query @ t*            (created <= t* < settled)
+///   Settled(t*)   = overlap query @ [-inf, t*)  (settled <= t*)
+///   Created(t*)   = Active(t*) U Settled(t*)    (created <= t*)
+///   NotCreated(t*) = all \ Created(t*)
+/// Collect* methods append matching ids to *out (cleared first).
+class LogicalTimeIndex {
+ public:
+  virtual ~LogicalTimeIndex() = default;
+
+  /// Bulk-builds the index from entries, replacing prior contents.
+  virtual void Build(const std::vector<IndexEntry>& entries) = 0;
+
+  /// Inserts one entry (dynamic maintenance).
+  virtual void Insert(const IndexEntry& entry) = 0;
+
+  /// Removes the entry with the given interval+id; returns NotFound if
+  /// absent.
+  virtual Status Erase(const IndexEntry& entry) = 0;
+
+  virtual void CollectActive(double t_star,
+                             std::vector<std::int64_t>* out) const = 0;
+  virtual void CollectSettled(double t_star,
+                              std::vector<std::int64_t>* out) const = 0;
+  virtual void CollectCreated(double t_star,
+                              std::vector<std::int64_t>* out) const = 0;
+  virtual void CollectNotCreated(double t_star,
+                                 std::vector<std::int64_t>* out) const = 0;
+
+  /// Count-only variants (no id materialization); default implementations
+  /// fall back to Collect*.
+  virtual std::size_t CountActive(double t_star) const;
+  virtual std::size_t CountSettled(double t_star) const;
+  virtual std::size_t CountCreated(double t_star) const;
+
+  /// Number of indexed entries.
+  virtual std::size_t size() const = 0;
+
+  /// Approximate resident memory of the structure, in bytes.
+  virtual std::size_t MemoryUsageBytes() const = 0;
+
+  virtual IndexBackend backend() const = 0;
+};
+
+/// Factory for the chosen backend.
+std::unique_ptr<LogicalTimeIndex> CreateLogicalTimeIndex(
+    IndexBackend backend);
+
+}  // namespace domd
+
+#endif  // DOMD_INDEX_LOGICAL_TIME_INDEX_H_

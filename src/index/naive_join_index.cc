@@ -1,0 +1,122 @@
+#include "index/naive_join_index.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace domd {
+
+NaiveJoinIndex::JoinedRow NaiveJoinIndex::MaterializeRow(
+    const IndexEntry& entry) {
+  JoinedRow row{};
+  row.rcc_id = entry.id;
+  row.start = entry.start;
+  row.end = entry.end;
+  // The avail-side payload a real merge would copy from the probed avail
+  // row; synthesized deterministically from the id so the copy work and
+  // footprint are faithful without threading the whole table through the
+  // index interface.
+  row.settled_amount = static_cast<double>(entry.id % 100000);
+  row.swlin = entry.id * 7 % 100000000;
+  row.rcc_type = static_cast<std::int32_t>(entry.id % 3);
+  row.rcc_status = 0;
+  row.avail_id = entry.id % 256;
+  row.ship_id = 100 + row.avail_id / 2;
+  row.plan_start = entry.start * 3.0;
+  row.plan_end = entry.end * 3.0;
+  row.actual_start = entry.start * 3.0;
+  row.planned_duration = 300.0;
+  row.ship_age_years = 20.0;
+  row.contract_value = 30.0;
+  row.ship_class = static_cast<std::int32_t>(entry.id % 6);
+  row.rmc_id = static_cast<std::int32_t>(entry.id % 5);
+  row.avail_type = static_cast<std::int32_t>(entry.id % 3);
+  row.homeport = static_cast<std::int32_t>(entry.id % 6);
+  row.prior_avail_count = static_cast<std::int32_t>(entry.id % 9);
+  row.crew_size = 250;
+  row.actual_end = entry.end * 3.0;
+  std::snprintf(row.status_text, sizeof(row.status_text), "%s",
+                entry.end == IndexEntry::kOpenEnd ? "ongoing" : "closed");
+  return row;
+}
+
+void NaiveJoinIndex::Build(const std::vector<IndexEntry>& entries) {
+  rows_.clear();
+  rows_.reserve(entries.size());
+  // Hash-probe phase of the merge: every RCC row looks up its avail's
+  // payload before the wide output row is materialized.
+  std::unordered_map<std::int64_t, std::int64_t> avail_lookup;
+  for (std::int64_t a = 0; a < 256; ++a) avail_lookup.emplace(a, a + 100);
+  for (const IndexEntry& entry : entries) {
+    JoinedRow row = MaterializeRow(entry);
+    const auto probe = avail_lookup.find(entry.id % 256);
+    if (probe != avail_lookup.end()) row.ship_id = probe->second;
+    rows_.push_back(row);
+  }
+  // "Performs subsequent sorting, as needed" (§4.1): order by start time.
+  std::sort(rows_.begin(), rows_.end(),
+            [](const JoinedRow& a, const JoinedRow& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.rcc_id < b.rcc_id;
+            });
+}
+
+void NaiveJoinIndex::Insert(const IndexEntry& entry) {
+  const JoinedRow row = MaterializeRow(entry);
+  const auto it = std::lower_bound(
+      rows_.begin(), rows_.end(), row,
+      [](const JoinedRow& a, const JoinedRow& b) {
+        if (a.start != b.start) return a.start < b.start;
+        return a.rcc_id < b.rcc_id;
+      });
+  rows_.insert(it, row);
+}
+
+Status NaiveJoinIndex::Erase(const IndexEntry& entry) {
+  for (auto it = rows_.begin(); it != rows_.end(); ++it) {
+    if (it->rcc_id == entry.id && it->start == entry.start &&
+        it->end == entry.end) {
+      rows_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("entry not present in naive join index");
+}
+
+void NaiveJoinIndex::CollectActive(double t_star,
+                                   std::vector<std::int64_t>* out) const {
+  out->clear();
+  for (const JoinedRow& row : rows_) {
+    if (row.start <= t_star && row.end > t_star) out->push_back(row.rcc_id);
+  }
+}
+
+void NaiveJoinIndex::CollectSettled(double t_star,
+                                    std::vector<std::int64_t>* out) const {
+  out->clear();
+  for (const JoinedRow& row : rows_) {
+    if (row.end <= t_star) out->push_back(row.rcc_id);
+  }
+}
+
+void NaiveJoinIndex::CollectCreated(double t_star,
+                                    std::vector<std::int64_t>* out) const {
+  out->clear();
+  for (const JoinedRow& row : rows_) {
+    if (row.start <= t_star) out->push_back(row.rcc_id);
+  }
+}
+
+void NaiveJoinIndex::CollectNotCreated(double t_star,
+                                       std::vector<std::int64_t>* out) const {
+  out->clear();
+  for (const JoinedRow& row : rows_) {
+    if (row.start > t_star) out->push_back(row.rcc_id);
+  }
+}
+
+std::size_t NaiveJoinIndex::MemoryUsageBytes() const {
+  return rows_.capacity() * sizeof(JoinedRow);
+}
+
+}  // namespace domd

@@ -1,0 +1,79 @@
+#ifndef DOMD_INDEX_NAIVE_JOIN_INDEX_H_
+#define DOMD_INDEX_NAIVE_JOIN_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/logical_time_index.h"
+
+namespace domd {
+
+/// The naive baseline of §4.1 (the role pandas.merge plays in the paper's
+/// Python implementation): materialize the avail ⋈ RCC join as wide rows —
+/// every output row carries the columns of both input tables — then sort
+/// once by start time and answer every Status Query predicate by scanning.
+/// Creation is O(|RCC|) row materialization plus the sort; queries are
+/// O(|RCC|) scans; memory is the wide-row footprint (about twice the tree
+/// indexes, matching Table 6's ratio).
+class NaiveJoinIndex final : public LogicalTimeIndex {
+ public:
+  NaiveJoinIndex() = default;
+
+  void Build(const std::vector<IndexEntry>& entries) override;
+  void Insert(const IndexEntry& entry) override;
+  Status Erase(const IndexEntry& entry) override;
+
+  void CollectActive(double t_star,
+                     std::vector<std::int64_t>* out) const override;
+  void CollectSettled(double t_star,
+                      std::vector<std::int64_t>* out) const override;
+  void CollectCreated(double t_star,
+                      std::vector<std::int64_t>* out) const override;
+  void CollectNotCreated(double t_star,
+                         std::vector<std::int64_t>* out) const override;
+
+  std::size_t size() const override { return rows_.size(); }
+  std::size_t MemoryUsageBytes() const override;
+  IndexBackend backend() const override { return IndexBackend::kNaiveJoin; }
+
+ private:
+  /// One materialized join-output row. The RCC-side columns are live; the
+  /// avail-side columns reproduce the width a merge output carries (the
+  /// joined table's schema), which is what drives the naive method's memory
+  /// and copy costs.
+  struct JoinedRow {
+    // RCC-side columns.
+    std::int64_t rcc_id;
+    double start;
+    double end;
+    double settled_amount;
+    std::int64_t swlin;
+    std::int32_t rcc_type;
+    std::int32_t rcc_status;
+    // Avail-side columns duplicated onto every joined row.
+    std::int64_t avail_id;
+    std::int64_t ship_id;
+    double plan_start;
+    double plan_end;
+    double actual_start;
+    double actual_end;
+    double planned_duration;
+    double ship_age_years;
+    double contract_value;
+    std::int32_t ship_class;
+    std::int32_t rmc_id;
+    std::int32_t avail_type;
+    std::int32_t homeport;
+    std::int32_t prior_avail_count;
+    std::int32_t crew_size;
+    char status_text[12];  ///< textual status column, as a merge carries it.
+  };
+
+  static JoinedRow MaterializeRow(const IndexEntry& entry);
+
+  std::vector<JoinedRow> rows_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_INDEX_NAIVE_JOIN_INDEX_H_

@@ -1,0 +1,41 @@
+#include "ml/attribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace domd {
+namespace {
+
+std::vector<FeatureContribution> TopK(const std::vector<double>& values,
+                                      const std::vector<std::string>& names,
+                                      std::size_t k) {
+  std::vector<std::size_t> order(std::min(values.size(), names.size()));
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::fabs(values[a]) > std::fabs(values[b]);
+  });
+  std::vector<FeatureContribution> out;
+  out.reserve(std::min(k, order.size()));
+  for (std::size_t i = 0; i < order.size() && i < k; ++i) {
+    out.push_back(FeatureContribution{names[order[i]], values[order[i]]});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<FeatureContribution> TopContributions(
+    const Regressor& model, std::span<const double> row,
+    const std::vector<std::string>& names, std::size_t k) {
+  std::vector<double> contributions = model.Contributions(row);
+  if (!contributions.empty()) contributions.pop_back();  // drop bias term
+  return TopK(contributions, names, k);
+}
+
+std::vector<FeatureContribution> TopImportances(
+    const Regressor& model, const std::vector<std::string>& names,
+    std::size_t k) {
+  return TopK(model.FeatureImportances(), names, k);
+}
+
+}  // namespace domd

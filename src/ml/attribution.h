@@ -1,0 +1,32 @@
+#ifndef DOMD_ML_ATTRIBUTION_H_
+#define DOMD_ML_ATTRIBUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace domd {
+
+/// One named feature contribution to a single prediction.
+struct FeatureContribution {
+  std::string feature_name;
+  double contribution = 0.0;  ///< signed, in label units (days of delay).
+};
+
+/// The interpretability surface the paper's SME review relies on (§5.2.5):
+/// the top-k features by absolute contribution for one prediction, sorted
+/// by |contribution| descending. `names` must align with the model's
+/// feature columns.
+std::vector<FeatureContribution> TopContributions(
+    const Regressor& model, std::span<const double> row,
+    const std::vector<std::string>& names, std::size_t k);
+
+/// Global top-k features by model importance.
+std::vector<FeatureContribution> TopImportances(
+    const Regressor& model, const std::vector<std::string>& names,
+    std::size_t k);
+
+}  // namespace domd
+
+#endif  // DOMD_ML_ATTRIBUTION_H_

@@ -1,0 +1,87 @@
+#include "ml/loss.h"
+
+#include <cmath>
+
+namespace domd {
+
+const char* LossKindToString(LossKind kind) {
+  switch (kind) {
+    case LossKind::kSquared:
+      return "l2";
+    case LossKind::kAbsolute:
+      return "l1";
+    case LossKind::kPseudoHuber:
+      return "pseudo_huber";
+    case LossKind::kQuantile:
+      return "quantile";
+  }
+  return "?";
+}
+
+double Loss::Value(double p, double y) const {
+  const double r = p - y;
+  switch (kind_) {
+    case LossKind::kSquared:
+      return 0.5 * r * r;
+    case LossKind::kAbsolute:
+      return std::fabs(r);
+    case LossKind::kPseudoHuber: {
+      const double z = r / delta_;
+      return delta_ * delta_ * (std::sqrt(1.0 + z * z) - 1.0);
+    }
+    case LossKind::kQuantile: {
+      // Pinball: e = y - p; tau*e for under-prediction, (tau-1)*e above.
+      const double e = -r;
+      return e >= 0.0 ? delta_ * e : (delta_ - 1.0) * e;
+    }
+  }
+  return 0.0;
+}
+
+double Loss::Gradient(double p, double y) const {
+  const double r = p - y;
+  switch (kind_) {
+    case LossKind::kSquared:
+      return r;
+    case LossKind::kAbsolute:
+      return r > 0.0 ? 1.0 : (r < 0.0 ? -1.0 : 0.0);
+    case LossKind::kPseudoHuber: {
+      const double z = r / delta_;
+      return r / std::sqrt(1.0 + z * z);
+    }
+    case LossKind::kQuantile:
+      // d/dp of pinball: -tau when p < y, (1 - tau) when p > y.
+      return r > 0.0 ? (1.0 - delta_) : (r < 0.0 ? -delta_ : 0.0);
+  }
+  return 0.0;
+}
+
+double Loss::Hessian(double p, double y) const {
+  const double r = p - y;
+  switch (kind_) {
+    case LossKind::kSquared:
+      return 1.0;
+    case LossKind::kAbsolute:
+      return 1.0;  // surrogate: |r| has zero curvature
+    case LossKind::kPseudoHuber: {
+      const double z = r / delta_;
+      const double s = 1.0 + z * z;
+      return 1.0 / (s * std::sqrt(s));
+    }
+    case LossKind::kQuantile:
+      return 1.0;  // surrogate: pinball has zero curvature
+  }
+  return 1.0;
+}
+
+std::string Loss::ToString() const {
+  std::string out = LossKindToString(kind_);
+  if (kind_ == LossKind::kPseudoHuber) {
+    out += "(delta=" + std::to_string(delta_) + ")";
+  } else if (kind_ == LossKind::kQuantile) {
+    out += "(tau=" + std::to_string(delta_) + ")";
+  }
+  return out;
+}
+
+}  // namespace domd

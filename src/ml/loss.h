@@ -1,0 +1,69 @@
+#ifndef DOMD_ML_LOSS_H_
+#define DOMD_ML_LOSS_H_
+
+#include <string>
+
+namespace domd {
+
+/// Training loss family (§3.2.3). Squared error is the default; absolute
+/// error resists outliers; Pseudo-Huber (the smooth Huber variant the paper
+/// settles on, delta = 18) interpolates between them.
+enum class LossKind {
+  kSquared,
+  kAbsolute,
+  kPseudoHuber,
+  /// Pinball loss for conditional-quantile regression (extension): lets
+  /// the pipeline report delay *ranges* (e.g. P10-P90 bands), not just
+  /// point estimates.
+  kQuantile,
+};
+
+const char* LossKindToString(LossKind kind);
+
+/// A pointwise regression loss with first and second derivatives w.r.t. the
+/// prediction, as consumed by second-order boosting. The absolute loss's
+/// Hessian is identically zero, so — as XGBoost does — Hessian() returns a
+/// unit surrogate there to keep Newton steps finite.
+class Loss {
+ public:
+  static Loss Squared() { return Loss(LossKind::kSquared, 1.0); }
+  static Loss Absolute() { return Loss(LossKind::kAbsolute, 1.0); }
+  /// delta controls where the Pseudo-Huber penalty transitions from
+  /// quadratic to linear (the paper tunes delta = 18 days).
+  static Loss PseudoHuber(double delta) {
+    return Loss(LossKind::kPseudoHuber, delta);
+  }
+
+  /// Pinball loss targeting the tau-th conditional quantile, tau in (0,1).
+  static Loss Quantile(double tau) { return Loss(LossKind::kQuantile, tau); }
+
+  /// Reconstructs a loss from its kind and parameter (delta for
+  /// Pseudo-Huber, tau for quantile); used by model deserialization.
+  static Loss FromKind(LossKind kind, double delta) {
+    return Loss(kind, delta <= 0.0 ? 1.0 : delta);
+  }
+
+  LossKind kind() const { return kind_; }
+  double delta() const { return delta_; }
+  /// The quantile level when kind() == kQuantile (stored in delta).
+  double tau() const { return delta_; }
+
+  /// Loss value for prediction p against label y.
+  double Value(double p, double y) const;
+  /// dL/dp.
+  double Gradient(double p, double y) const;
+  /// d2L/dp2 (surrogate 1.0 for absolute loss).
+  double Hessian(double p, double y) const;
+
+  std::string ToString() const;
+
+ private:
+  Loss(LossKind kind, double delta) : kind_(kind), delta_(delta) {}
+
+  LossKind kind_;
+  double delta_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_ML_LOSS_H_

@@ -1,0 +1,19 @@
+#include "ml/matrix.h"
+
+#include <cstdlib>
+
+namespace domd {
+
+Matrix Matrix::HConcat(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) std::abort();
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) out.at(r, c) = a.at(r, c);
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      out.at(r, a.cols() + c) = b.at(r, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace domd

@@ -1,0 +1,78 @@
+#ifndef DOMD_ML_MATRIX_H_
+#define DOMD_ML_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace domd {
+
+/// Dense row-major matrix of doubles: the feature-matrix currency between
+/// the feature engineering, selection, and modeling layers. Row = instance
+/// (avail), column = feature.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    return std::span<double>(data_.data() + r * cols_, cols_);
+  }
+  std::span<const double> row(std::size_t r) const {
+    return std::span<const double>(data_.data() + r * cols_, cols_);
+  }
+
+  /// Copies column c into a vector.
+  std::vector<double> Column(std::size_t c) const {
+    std::vector<double> out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) out[r] = at(r, c);
+    return out;
+  }
+
+  /// Returns a new matrix keeping only the given columns, in order.
+  Matrix SelectColumns(const std::vector<std::size_t>& columns) const {
+    Matrix out(rows_, columns.size());
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t j = 0; j < columns.size(); ++j) {
+        out.at(r, j) = at(r, columns[j]);
+      }
+    }
+    return out;
+  }
+
+  /// Returns a new matrix keeping only the given rows, in order.
+  Matrix SelectRows(const std::vector<std::size_t>& rows) const {
+    Matrix out(rows.size(), cols_);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        out.at(i, c) = at(rows[i], c);
+      }
+    }
+    return out;
+  }
+
+  /// Horizontally concatenates two matrices with equal row counts.
+  static Matrix HConcat(const Matrix& a, const Matrix& b);
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_ML_MATRIX_H_

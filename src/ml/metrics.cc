@@ -1,0 +1,81 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace domd {
+
+double MeanAbsoluteError(const std::vector<double>& y_true,
+                         const std::vector<double>& y_pred) {
+  const std::size_t n = std::min(y_true.size(), y_pred.size());
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += std::fabs(y_true[i] - y_pred[i]);
+  return sum / static_cast<double>(n);
+}
+
+double MeanSquaredError(const std::vector<double>& y_true,
+                        const std::vector<double>& y_pred) {
+  const std::size_t n = std::min(y_true.size(), y_pred.size());
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = y_true[i] - y_pred[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(n);
+}
+
+double RootMeanSquaredError(const std::vector<double>& y_true,
+                            const std::vector<double>& y_pred) {
+  return std::sqrt(MeanSquaredError(y_true, y_pred));
+}
+
+double R2Score(const std::vector<double>& y_true,
+               const std::vector<double>& y_pred) {
+  const std::size_t n = std::min(y_true.size(), y_pred.size());
+  if (n == 0) return 0.0;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += y_true[i];
+  mean /= static_cast<double>(n);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = y_true[i] - y_pred[i];
+    const double d = y_true[i] - mean;
+    ss_res += r * r;
+    ss_tot += d * d;
+  }
+  if (ss_tot <= 0.0) return ss_res <= 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double PercentileMae(const std::vector<double>& y_true,
+                     const std::vector<double>& y_pred, double fraction) {
+  const std::size_t n = std::min(y_true.size(), y_pred.size());
+  if (n == 0) return 0.0;
+  std::vector<double> errors(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    errors[i] = std::fabs(y_true[i] - y_pred[i]);
+  }
+  std::sort(errors.begin(), errors.end());
+  const auto keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             fraction * static_cast<double>(n))));
+  double sum = 0.0;
+  for (std::size_t i = 0; i < keep && i < n; ++i) sum += errors[i];
+  return sum / static_cast<double>(std::min(keep, n));
+}
+
+EvalMetrics ComputeEvalMetrics(const std::vector<double>& y_true,
+                               const std::vector<double>& y_pred) {
+  EvalMetrics m;
+  m.mae80 = PercentileMae(y_true, y_pred, 0.8);
+  m.mae90 = PercentileMae(y_true, y_pred, 0.9);
+  m.mae100 = MeanAbsoluteError(y_true, y_pred);
+  m.mse = MeanSquaredError(y_true, y_pred);
+  m.rmse = RootMeanSquaredError(y_true, y_pred);
+  m.r2 = R2Score(y_true, y_pred);
+  return m;
+}
+
+}  // namespace domd

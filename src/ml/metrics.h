@@ -1,0 +1,46 @@
+#ifndef DOMD_ML_METRICS_H_
+#define DOMD_ML_METRICS_H_
+
+#include <vector>
+
+namespace domd {
+
+/// Mean absolute error. Inputs must have equal, nonzero length.
+double MeanAbsoluteError(const std::vector<double>& y_true,
+                         const std::vector<double>& y_pred);
+
+/// Mean squared error.
+double MeanSquaredError(const std::vector<double>& y_true,
+                        const std::vector<double>& y_pred);
+
+/// Root mean squared error.
+double RootMeanSquaredError(const std::vector<double>& y_true,
+                            const std::vector<double>& y_pred);
+
+/// Coefficient of determination. 0 when y_true is constant and predictions
+/// are imperfect; 1 for a perfect fit.
+double R2Score(const std::vector<double>& y_true,
+               const std::vector<double>& y_pred);
+
+/// The paper's percentile MAE (Table 7): the MAE computed over the
+/// `fraction` (e.g. 0.8) of instances with the smallest absolute errors —
+/// "for 80% of avails, the MAE is ...".
+double PercentileMae(const std::vector<double>& y_true,
+                     const std::vector<double>& y_pred, double fraction);
+
+/// The quality panel Table 7 reports per logical time.
+struct EvalMetrics {
+  double mae80 = 0.0;
+  double mae90 = 0.0;
+  double mae100 = 0.0;
+  double mse = 0.0;
+  double rmse = 0.0;
+  double r2 = 0.0;
+};
+
+EvalMetrics ComputeEvalMetrics(const std::vector<double>& y_true,
+                               const std::vector<double>& y_pred);
+
+}  // namespace domd
+
+#endif  // DOMD_ML_METRICS_H_

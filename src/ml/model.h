@@ -1,0 +1,48 @@
+#ifndef DOMD_ML_MODEL_H_
+#define DOMD_ML_MODEL_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace domd {
+
+/// Interface every supervised base model in the pipeline implements
+/// (Task 3's model set M). Interpretability is a hard requirement in the
+/// paper's deployment, so the interface exposes both global importances and
+/// per-prediction feature contributions.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fits the model on x (instances x features) against labels y.
+  virtual Status Fit(const Matrix& x, const std::vector<double>& y) = 0;
+
+  /// Predicts one instance. Must be called after a successful Fit.
+  virtual double Predict(std::span<const double> row) const = 0;
+
+  /// Predicts every row of x.
+  std::vector<double> PredictBatch(const Matrix& x) const {
+    std::vector<double> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) out[r] = Predict(x.row(r));
+    return out;
+  }
+
+  /// Global importance per feature (non-negative; sums are model-specific).
+  virtual std::vector<double> FeatureImportances() const = 0;
+
+  /// Per-prediction additive attribution: element i is feature i's signed
+  /// contribution; the last element is the bias/base value. The sum equals
+  /// Predict(row).
+  virtual std::vector<double> Contributions(
+      std::span<const double> row) const = 0;
+
+  /// Number of features the model was fitted on; 0 before Fit.
+  virtual std::size_t num_features() const = 0;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_ML_MODEL_H_

@@ -1,0 +1,292 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+
+namespace domd {
+namespace {
+
+double NewtonWeight(double g, double h, double lambda) {
+  return -g / (h + lambda);
+}
+
+double ScoreHalf(double g, double h, double lambda) {
+  return g * g / (h + lambda);
+}
+
+}  // namespace
+
+void RegressionTree::Fit(const Matrix& x, const std::vector<double>& grad,
+                         const std::vector<double>& hess,
+                         const std::vector<std::size_t>& rows,
+                         const std::vector<std::size_t>& features,
+                         const TreeParams& params) {
+  nodes_.clear();
+  if (rows.empty()) {
+    nodes_.push_back(Node{});
+    return;
+  }
+  std::vector<std::size_t> work = rows;
+  Grow(x, grad, hess, work, 0, work.size(), features, params, 0);
+}
+
+std::int32_t RegressionTree::Grow(const Matrix& x,
+                                  const std::vector<double>& grad,
+                                  const std::vector<double>& hess,
+                                  std::vector<std::size_t>& rows,
+                                  std::size_t begin, std::size_t end,
+                                  const std::vector<std::size_t>& features,
+                                  const TreeParams& params, int depth) {
+  double g_total = 0.0, h_total = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    g_total += grad[rows[i]];
+    h_total += hess[rows[i]];
+  }
+
+  const auto node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<std::size_t>(node_id)].weight =
+      NewtonWeight(g_total, h_total, params.lambda);
+
+  if (depth >= params.max_depth || end - begin < 2) return node_id;
+
+  const SplitDecision split =
+      params.split_method == SplitMethod::kExact
+          ? FindSplitExact(x, grad, hess, rows, begin, end, features, params,
+                           g_total, h_total)
+          : FindSplitHistogram(x, grad, hess, rows, begin, end, features,
+                               params, g_total, h_total);
+  if (!split.found) return node_id;
+
+  // Partition rows in place around the threshold.
+  const std::size_t feature = split.feature;
+  const double threshold = split.threshold;
+  auto middle = std::partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(begin),
+      rows.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t r) { return x.at(r, feature) <= threshold; });
+  const auto mid =
+      static_cast<std::size_t>(middle - rows.begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate partition
+
+  const std::int32_t left =
+      Grow(x, grad, hess, rows, begin, mid, features, params, depth + 1);
+  const std::int32_t right =
+      Grow(x, grad, hess, rows, mid, end, features, params, depth + 1);
+
+  Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  node.feature = static_cast<std::int32_t>(feature);
+  node.threshold = threshold;
+  node.gain = split.gain;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+RegressionTree::SplitDecision RegressionTree::FindSplitExact(
+    const Matrix& x, const std::vector<double>& grad,
+    const std::vector<double>& hess, const std::vector<std::size_t>& rows,
+    std::size_t begin, std::size_t end,
+    const std::vector<std::size_t>& features, const TreeParams& params,
+    double g_total, double h_total) const {
+  SplitDecision best;
+  const double parent_score = ScoreHalf(g_total, h_total, params.lambda);
+
+  std::vector<std::pair<double, std::size_t>> sorted;
+  sorted.reserve(end - begin);
+  for (std::size_t f : features) {
+    sorted.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      sorted.emplace_back(x.at(rows[i], f), rows[i]);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;  // constant
+
+    double g_left = 0.0, h_left = 0.0;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      g_left += grad[sorted[i].second];
+      h_left += hess[sorted[i].second];
+      if (sorted[i].first == sorted[i + 1].first) continue;  // no boundary
+      const double g_right = g_total - g_left;
+      const double h_right = h_total - h_left;
+      if (h_left < params.min_child_weight ||
+          h_right < params.min_child_weight) {
+        continue;
+      }
+      const double gain =
+          0.5 * (ScoreHalf(g_left, h_left, params.lambda) +
+                 ScoreHalf(g_right, h_right, params.lambda) - parent_score) -
+          params.gamma;
+      if (gain > best.gain || (!best.found && gain > 0.0)) {
+        best.found = true;
+        best.feature = f;
+        best.threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+        best.gain = gain;
+      }
+    }
+  }
+  if (best.found && best.gain <= 0.0) best.found = false;
+  return best;
+}
+
+RegressionTree::SplitDecision RegressionTree::FindSplitHistogram(
+    const Matrix& x, const std::vector<double>& grad,
+    const std::vector<double>& hess, const std::vector<std::size_t>& rows,
+    std::size_t begin, std::size_t end,
+    const std::vector<std::size_t>& features, const TreeParams& params,
+    double g_total, double h_total) const {
+  SplitDecision best;
+  const double parent_score = ScoreHalf(g_total, h_total, params.lambda);
+  const auto bins = static_cast<std::size_t>(std::max(2, params.histogram_bins));
+  std::vector<double> bin_g(bins), bin_h(bins);
+
+  for (std::size_t f : features) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = begin; i < end; ++i) {
+      const double v = x.at(rows[i], f);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (!(hi > lo)) continue;
+
+    std::fill(bin_g.begin(), bin_g.end(), 0.0);
+    std::fill(bin_h.begin(), bin_h.end(), 0.0);
+    const double width = (hi - lo) / static_cast<double>(bins);
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t r = rows[i];
+      auto b = static_cast<std::size_t>((x.at(r, f) - lo) / width);
+      if (b >= bins) b = bins - 1;
+      bin_g[b] += grad[r];
+      bin_h[b] += hess[r];
+    }
+
+    double g_left = 0.0, h_left = 0.0;
+    for (std::size_t b = 0; b + 1 < bins; ++b) {
+      g_left += bin_g[b];
+      h_left += bin_h[b];
+      const double g_right = g_total - g_left;
+      const double h_right = h_total - h_left;
+      if (h_left < params.min_child_weight ||
+          h_right < params.min_child_weight) {
+        continue;
+      }
+      const double gain =
+          0.5 * (ScoreHalf(g_left, h_left, params.lambda) +
+                 ScoreHalf(g_right, h_right, params.lambda) - parent_score) -
+          params.gamma;
+      if (gain > best.gain || (!best.found && gain > 0.0)) {
+        best.found = true;
+        best.feature = f;
+        best.threshold = lo + width * static_cast<double>(b + 1);
+        best.gain = gain;
+      }
+    }
+  }
+  if (best.found && best.gain <= 0.0) best.found = false;
+  return best;
+}
+
+double RegressionTree::Predict(std::span<const double> row) const {
+  if (nodes_.empty()) return 0.0;
+  std::int32_t node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    node = row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                   : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].weight;
+}
+
+double RegressionTree::AccumulateContributions(
+    std::span<const double> row, double scale,
+    std::vector<double>* contributions) const {
+  if (nodes_.empty()) return 0.0;
+  std::int32_t node = 0;
+  const double base = nodes_[0].weight * scale;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    const std::int32_t child =
+        row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                : n.right;
+    const double delta = nodes_[static_cast<std::size_t>(child)].weight -
+                         n.weight;
+    (*contributions)[static_cast<std::size_t>(n.feature)] += delta * scale;
+    node = child;
+  }
+  return base;
+}
+
+std::int32_t RegressionTree::LeafFor(std::span<const double> row) const {
+  if (nodes_.empty()) return -1;
+  std::int32_t node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    node = row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                   : n.right;
+  }
+  return node;
+}
+
+void RegressionTree::AccumulateGains(std::vector<double>* gains) const {
+  for (const Node& node : nodes_) {
+    if (node.feature >= 0) {
+      (*gains)[static_cast<std::size_t>(node.feature)] += node.gain;
+    }
+  }
+}
+
+std::size_t RegressionTree::num_leaves() const {
+  std::size_t leaves = 0;
+  for (const Node& node : nodes_) {
+    if (node.feature < 0) ++leaves;
+  }
+  return leaves;
+}
+
+int RegressionTree::DepthOf(std::int32_t node) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.feature < 0) return 0;
+  return 1 + std::max(DepthOf(n.left), DepthOf(n.right));
+}
+
+int RegressionTree::depth() const {
+  return nodes_.empty() ? 0 : DepthOf(0);
+}
+
+void RegressionTree::Save(std::ostream& out) const {
+  out << std::setprecision(17);
+  out << "tree " << nodes_.size() << "\n";
+  for (const Node& node : nodes_) {
+    out << node.feature << ' ' << node.left << ' ' << node.right << ' '
+        << node.threshold << ' ' << node.weight << ' ' << node.gain << "\n";
+  }
+}
+
+StatusOr<RegressionTree> RegressionTree::Load(std::istream& in) {
+  std::string tag;
+  std::size_t count = 0;
+  if (!(in >> tag >> count) || tag != "tree") {
+    return Status::InvalidArgument("bad tree header");
+  }
+  if (count > 10'000'000) {
+    return Status::OutOfRange("implausible tree node count");
+  }
+  RegressionTree tree;
+  tree.nodes_.resize(count);
+  for (Node& node : tree.nodes_) {
+    if (!(in >> node.feature >> node.left >> node.right >> node.threshold >>
+          node.weight >> node.gain)) {
+      return Status::InvalidArgument("truncated tree node list");
+    }
+    const auto limit = static_cast<std::int32_t>(count);
+    if (node.left >= limit || node.right >= limit) {
+      return Status::OutOfRange("tree child index out of range");
+    }
+  }
+  return tree;
+}
+
+}  // namespace domd

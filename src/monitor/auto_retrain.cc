@@ -1,0 +1,55 @@
+#include "monitor/auto_retrain.h"
+
+#include "features/feature_catalog.h"
+#include "features/static_features.h"
+
+namespace domd {
+
+std::vector<std::string> AutoRetrainer::StaticFeatureNamesCopy() {
+  return StaticFeatureNames();
+}
+
+std::vector<std::int64_t> AutoRetrainer::LabeledIds(const Dataset& data) {
+  std::vector<std::int64_t> ids;
+  for (const Avail& avail : data.avails.rows()) {
+    if (avail.delay().has_value()) ids.push_back(avail.id);
+  }
+  return ids;
+}
+
+StatusOr<AutoRetrainer> AutoRetrainer::Create(
+    const Dataset* training_data, const PipelineConfig& config,
+    const std::vector<std::int64_t>& ids, const DriftOptions& options) {
+  AutoRetrainer retrainer(config, options);
+  auto estimator = DomdEstimator::Train(training_data, config, ids);
+  if (!estimator.ok()) return estimator.status();
+  retrainer.estimator_ =
+      std::make_unique<DomdEstimator>(std::move(*estimator));
+  DOMD_RETURN_IF_ERROR(retrainer.monitor_.SetReference(
+      BuildStaticFeatures(training_data->avails, ids)));
+  return retrainer;
+}
+
+StatusOr<RetrainDecision> AutoRetrainer::Observe(const Dataset* snapshot) {
+  const std::vector<std::int64_t> ids = LabeledIds(*snapshot);
+  if (ids.empty()) {
+    return Status::InvalidArgument("snapshot has no labeled avails");
+  }
+  const Matrix live = BuildStaticFeatures(snapshot->avails, ids);
+  auto report = monitor_.Evaluate(live);
+  if (!report.ok()) return report.status();
+
+  RetrainDecision decision;
+  decision.drift = std::move(*report);
+  if (decision.drift.retrain_recommended) {
+    auto estimator = DomdEstimator::Train(snapshot, config_, ids);
+    if (!estimator.ok()) return estimator.status();
+    estimator_ = std::make_unique<DomdEstimator>(std::move(*estimator));
+    DOMD_RETURN_IF_ERROR(monitor_.SetReference(live));
+    decision.retrained = true;
+    ++retrain_count_;
+  }
+  return decision;
+}
+
+}  // namespace domd

@@ -1,0 +1,66 @@
+#ifndef DOMD_MONITOR_AUTO_RETRAIN_H_
+#define DOMD_MONITOR_AUTO_RETRAIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/domd_estimator.h"
+#include "monitor/drift.h"
+
+namespace domd {
+
+/// Outcome of one automation cycle.
+struct RetrainDecision {
+  DriftReport drift;
+  bool retrained = false;
+};
+
+/// The closed loop of the paper's deployment story (§1): the pipeline
+/// "retrains on raw data in the Navy environment without human
+/// intervention". The retrainer holds the current estimator, watches the
+/// static-feature distribution of incoming data, and refits the frozen
+/// configuration when the drift policy fires.
+class AutoRetrainer {
+ public:
+  /// Takes ownership of an initially trained estimator; captures its
+  /// training-time static features as the drift reference. The dataset
+  /// used at construction must outlive the retrainer until the first
+  /// successful Observe-triggered retrain replaces it.
+  static StatusOr<AutoRetrainer> Create(const Dataset* training_data,
+                                        const PipelineConfig& config,
+                                        const std::vector<std::int64_t>& ids,
+                                        const DriftOptions& options = {});
+
+  /// One automation cycle against a fresh dataset snapshot: evaluate drift
+  /// of the snapshot's labeled avails vs the reference; if the policy
+  /// fires, retrain on the snapshot's labeled avails and move the
+  /// reference forward. The snapshot must outlive the retrainer while it
+  /// remains the active training data.
+  StatusOr<RetrainDecision> Observe(const Dataset* snapshot);
+
+  /// The currently serving estimator.
+  const DomdEstimator& estimator() const { return *estimator_; }
+
+  /// Number of retrains performed so far.
+  int retrain_count() const { return retrain_count_; }
+
+ private:
+  AutoRetrainer(PipelineConfig config, DriftOptions options)
+      : config_(config),
+        options_(options),
+        monitor_(options, StaticFeatureNamesCopy()) {}
+
+  static std::vector<std::string> StaticFeatureNamesCopy();
+
+  static std::vector<std::int64_t> LabeledIds(const Dataset& data);
+
+  PipelineConfig config_;
+  DriftOptions options_;
+  DriftMonitor monitor_;
+  std::unique_ptr<DomdEstimator> estimator_;
+  int retrain_count_ = 0;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_MONITOR_AUTO_RETRAIN_H_

@@ -1,0 +1,137 @@
+#include "monitor/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace domd {
+namespace {
+
+// Equal-frequency bin edges (internal edges only) of the reference sample.
+std::vector<double> DecileEdges(std::vector<double> sorted, int bins) {
+  std::vector<double> edges;
+  edges.reserve(static_cast<std::size_t>(bins) - 1);
+  const std::size_t n = sorted.size();
+  for (int b = 1; b < bins; ++b) {
+    const std::size_t index = std::min(
+        n - 1, static_cast<std::size_t>(static_cast<double>(b) *
+                                        static_cast<double>(n) / bins));
+    edges.push_back(sorted[index]);
+  }
+  return edges;
+}
+
+std::vector<double> BinShares(const std::vector<double>& values,
+                              const std::vector<double>& edges) {
+  std::vector<double> counts(edges.size() + 1, 0.0);
+  for (double v : values) {
+    const std::size_t bin = static_cast<std::size_t>(
+        std::upper_bound(edges.begin(), edges.end(), v) - edges.begin());
+    counts[bin] += 1.0;
+  }
+  // Laplace smoothing keeps the log finite for empty bins.
+  const double total =
+      static_cast<double>(values.size()) + static_cast<double>(counts.size());
+  for (double& c : counts) c = (c + 1.0) / total;
+  return counts;
+}
+
+}  // namespace
+
+double PopulationStabilityIndex(const std::vector<double>& reference,
+                                const std::vector<double>& live, int bins) {
+  if (reference.size() < 2 || live.empty() || bins < 2) return 0.0;
+  std::vector<double> sorted = reference;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.front() == sorted.back()) {
+    // Constant reference: any live deviation is total drift.
+    for (double v : live) {
+      if (v != sorted.front()) return 1.0;
+    }
+    return 0.0;
+  }
+  const std::vector<double> edges = DecileEdges(std::move(sorted), bins);
+  const std::vector<double> ref_share = BinShares(reference, edges);
+  const std::vector<double> live_share = BinShares(live, edges);
+  double psi = 0.0;
+  for (std::size_t b = 0; b < ref_share.size(); ++b) {
+    psi += (live_share[b] - ref_share[b]) *
+           std::log(live_share[b] / ref_share[b]);
+  }
+  return psi;
+}
+
+double KolmogorovSmirnovStatistic(const std::vector<double>& reference,
+                                  const std::vector<double>& live) {
+  if (reference.empty() || live.empty()) return 0.0;
+  std::vector<double> a = reference, b = live;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  double max_gap = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] <= b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+    const double fa = static_cast<double>(i) / static_cast<double>(a.size());
+    const double fb = static_cast<double>(j) / static_cast<double>(b.size());
+    max_gap = std::max(max_gap, std::fabs(fa - fb));
+  }
+  return max_gap;
+}
+
+Status DriftMonitor::SetReference(const Matrix& reference) {
+  if (reference.cols() != names_.size()) {
+    return Status::InvalidArgument(
+        "reference column count does not match monitored feature names");
+  }
+  if (reference.rows() < 2) {
+    return Status::InvalidArgument("reference needs at least 2 rows");
+  }
+  reference_columns_.clear();
+  reference_columns_.reserve(reference.cols());
+  for (std::size_t c = 0; c < reference.cols(); ++c) {
+    reference_columns_.push_back(reference.Column(c));
+  }
+  return Status::OK();
+}
+
+StatusOr<DriftReport> DriftMonitor::Evaluate(const Matrix& live) const {
+  if (reference_columns_.empty()) {
+    return Status::FailedPrecondition("SetReference has not been called");
+  }
+  if (live.cols() != reference_columns_.size()) {
+    return Status::InvalidArgument("live column count mismatch");
+  }
+  if (live.rows() == 0) {
+    return Status::InvalidArgument("live sample is empty");
+  }
+
+  DriftReport report;
+  report.features.reserve(reference_columns_.size());
+  for (std::size_t c = 0; c < reference_columns_.size(); ++c) {
+    FeatureDrift drift;
+    drift.feature_name = names_[c];
+    const std::vector<double> live_column = live.Column(c);
+    drift.psi = PopulationStabilityIndex(reference_columns_[c], live_column,
+                                         options_.bins);
+    drift.ks = KolmogorovSmirnovStatistic(reference_columns_[c], live_column);
+    drift.drifted = drift.psi > options_.psi_threshold;
+    if (drift.drifted) ++report.num_drifted;
+    report.max_psi = std::max(report.max_psi, drift.psi);
+    report.features.push_back(std::move(drift));
+  }
+  std::sort(report.features.begin(), report.features.end(),
+            [](const FeatureDrift& a, const FeatureDrift& b) {
+              return a.psi > b.psi;
+            });
+  report.retrain_recommended =
+      report.num_drifted > 0 &&
+      static_cast<double>(report.num_drifted) >=
+          options_.retrain_fraction *
+              static_cast<double>(reference_columns_.size());
+  return report;
+}
+
+}  // namespace domd

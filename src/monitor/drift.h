@@ -1,0 +1,78 @@
+#ifndef DOMD_MONITOR_DRIFT_H_
+#define DOMD_MONITOR_DRIFT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace domd {
+
+/// Population Stability Index between a reference (training-time) sample
+/// and a live sample of one feature. Bins are equal-frequency deciles of
+/// the reference with Laplace smoothing. Conventional reading: < 0.1 stable,
+/// 0.1-0.25 moderate shift, > 0.25 major shift.
+double PopulationStabilityIndex(const std::vector<double>& reference,
+                                const std::vector<double>& live,
+                                int bins = 10);
+
+/// Two-sample Kolmogorov-Smirnov statistic (sup |F_ref - F_live|) in [0,1].
+double KolmogorovSmirnovStatistic(const std::vector<double>& reference,
+                                  const std::vector<double>& live);
+
+/// Drift verdict for one feature.
+struct FeatureDrift {
+  std::string feature_name;
+  double psi = 0.0;
+  double ks = 0.0;
+  bool drifted = false;
+};
+
+/// Fleet-level drift report.
+struct DriftReport {
+  std::vector<FeatureDrift> features;  ///< sorted by PSI, descending.
+  std::size_t num_drifted = 0;
+  double max_psi = 0.0;
+  /// True when the retrain policy fires (see DriftMonitor).
+  bool retrain_recommended = false;
+};
+
+/// Options for the drift monitor.
+struct DriftOptions {
+  double psi_threshold = 0.25;  ///< per-feature "major shift" cutoff.
+  /// Retrain when at least this fraction of monitored features drifted.
+  double retrain_fraction = 0.10;
+  int bins = 10;
+};
+
+/// The automation gate of the paper's deployment (§1): the pipeline is
+/// expected to refit on raw data without human intervention, which
+/// requires detecting *when* the live avail population has shifted away
+/// from the training snapshot. The monitor compares feature matrices
+/// column-by-column (same column order as training) and recommends a
+/// retrain when enough columns show a major shift.
+class DriftMonitor {
+ public:
+  DriftMonitor(const DriftOptions& options, std::vector<std::string> names)
+      : options_(options), names_(std::move(names)) {}
+
+  /// Captures the reference distribution (training-time feature matrix).
+  /// Column count must match the names given at construction.
+  Status SetReference(const Matrix& reference);
+
+  /// Scores a live feature matrix against the reference.
+  StatusOr<DriftReport> Evaluate(const Matrix& live) const;
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  DriftOptions options_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> reference_columns_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_MONITOR_DRIFT_H_

@@ -1,0 +1,174 @@
+#include "obfuscate/obfuscator.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace domd {
+namespace {
+
+// Fills a permutation of {0..size-1} into the first `size` slots.
+template <std::size_t N>
+void FillPermutation(Rng* rng, std::array<int, N>* out, int size) {
+  std::vector<int> values(static_cast<std::size_t>(size));
+  std::iota(values.begin(), values.end(), 0);
+  rng->Shuffle(&values);
+  for (int i = 0; i < size; ++i) {
+    (*out)[static_cast<std::size_t>(i)] = values[static_cast<std::size_t>(i)];
+  }
+  for (std::size_t i = static_cast<std::size_t>(size); i < N; ++i) {
+    (*out)[i] = static_cast<int>(i);  // identity beyond the live range
+  }
+}
+
+}  // namespace
+
+Obfuscator::Obfuscator(const ObfuscationConfig& config) : config_(config) {
+  Rng rng(config.seed);
+  amount_scale_ = config.scale_amounts ? rng.Uniform(0.35, 2.6) : 1.0;
+
+  // Positional digit ciphers. Position 0 is the subsystem digit: the cipher
+  // permutes {1..9} and fixes 0, so "has a subsystem" is preserved and the
+  // group tree maps one-to-one.
+  for (int position = 0; position < Swlin::kNumDigits; ++position) {
+    auto& cipher = digit_cipher_[static_cast<std::size_t>(position)];
+    if (!config.permute_swlin) {
+      for (int d = 0; d < 10; ++d) cipher[static_cast<std::size_t>(d)] =
+          static_cast<std::uint8_t>(d);
+      continue;
+    }
+    if (position == 0) {
+      std::vector<int> digits = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+      rng.Shuffle(&digits);
+      cipher[0] = 0;
+      for (int d = 1; d <= 9; ++d) {
+        cipher[static_cast<std::size_t>(d)] =
+            static_cast<std::uint8_t>(digits[static_cast<std::size_t>(d - 1)]);
+      }
+    } else {
+      std::vector<int> digits(10);
+      std::iota(digits.begin(), digits.end(), 0);
+      rng.Shuffle(&digits);
+      for (int d = 0; d < 10; ++d) {
+        cipher[static_cast<std::size_t>(d)] =
+            static_cast<std::uint8_t>(digits[static_cast<std::size_t>(d)]);
+      }
+    }
+  }
+
+  if (config.relabel_categories) {
+    FillPermutation(&rng, &class_permutation_, 8);
+    FillPermutation(&rng, &rmc_permutation_, 8);
+    FillPermutation(&rng, &type_permutation_, 8);
+    FillPermutation(&rng, &homeport_permutation_, 8);
+    FillPermutation(&rng, &rcc_type_permutation_, kNumRccTypes);
+  } else {
+    std::iota(class_permutation_.begin(), class_permutation_.end(), 0);
+    std::iota(rmc_permutation_.begin(), rmc_permutation_.end(), 0);
+    std::iota(type_permutation_.begin(), type_permutation_.end(), 0);
+    std::iota(homeport_permutation_.begin(), homeport_permutation_.end(), 0);
+    std::iota(rcc_type_permutation_.begin(), rcc_type_permutation_.end(), 0);
+  }
+}
+
+Swlin Obfuscator::MapSwlin(const Swlin& code) const {
+  std::int64_t value = 0;
+  for (int position = 0; position < Swlin::kNumDigits; ++position) {
+    const int digit = code.digit(position);
+    value = value * 10 +
+            digit_cipher_[static_cast<std::size_t>(position)]
+                         [static_cast<std::size_t>(digit)];
+  }
+  return *Swlin::FromInt(value);
+}
+
+std::int64_t Obfuscator::AvailAlias(std::int64_t avail_id) const {
+  const auto it = avail_alias_.find(avail_id);
+  return it == avail_alias_.end() ? avail_id : it->second;
+}
+
+Dataset Obfuscator::Obfuscate(const Dataset& data) const {
+  Rng rng(config_.seed + 1);
+  Dataset out;
+  avail_alias_.clear();
+
+  // Alias pools drawn without collision.
+  std::vector<std::int64_t> avail_aliases(data.avails.size());
+  std::iota(avail_aliases.begin(), avail_aliases.end(), 1000);
+  rng.Shuffle(&avail_aliases);
+  std::unordered_map<std::int64_t, std::int64_t> ship_alias;
+  std::unordered_map<std::int64_t, std::int64_t> date_shift;
+
+  std::size_t next_alias = 0;
+  for (const Avail& original : data.avails.rows()) {
+    Avail avail = original;
+    if (config_.remap_ids) {
+      avail.id = avail_aliases[next_alias++];
+      avail_alias_[original.id] = avail.id;
+      auto [it, inserted] = ship_alias.try_emplace(
+          original.ship_id,
+          9000 + static_cast<std::int64_t>(ship_alias.size()) * 7 + 3);
+      avail.ship_id = it->second;
+    } else {
+      avail_alias_[original.id] = original.id;
+    }
+
+    std::int64_t shift = 0;
+    if (config_.shift_dates) {
+      shift = rng.UniformInt(-720, 720);
+    }
+    date_shift[original.id] = shift;
+    avail.planned_start = original.planned_start + shift;
+    avail.planned_end = original.planned_end + shift;
+    avail.actual_start = original.actual_start + shift;
+    if (original.actual_end.has_value()) {
+      avail.actual_end = *original.actual_end + shift;
+    }
+
+    if (config_.relabel_categories) {
+      avail.ship_class =
+          class_permutation_[static_cast<std::size_t>(original.ship_class)];
+      avail.rmc_id =
+          rmc_permutation_[static_cast<std::size_t>(original.rmc_id)];
+      avail.avail_type =
+          type_permutation_[static_cast<std::size_t>(original.avail_type)];
+      avail.homeport =
+          homeport_permutation_[static_cast<std::size_t>(original.homeport)];
+    }
+    if (config_.jitter_age) {
+      avail.ship_age_years =
+          std::max(0.0, original.ship_age_years + rng.Uniform(-1.5, 1.5));
+    }
+    if (config_.scale_amounts) {
+      avail.contract_value_musd = original.contract_value_musd * amount_scale_;
+    }
+    (void)out.avails.Add(avail);
+  }
+
+  std::int64_t next_rcc_id = 50000;
+  for (const Rcc& original : data.rccs.rows()) {
+    Rcc rcc = original;
+    if (config_.remap_ids) {
+      rcc.id = next_rcc_id++;
+      rcc.avail_id = AvailAlias(original.avail_id);
+    }
+    if (config_.relabel_categories) {
+      rcc.type = static_cast<RccType>(
+          rcc_type_permutation_[static_cast<std::size_t>(original.type)]);
+    }
+    rcc.swlin = MapSwlin(original.swlin);
+    const auto shift_it = date_shift.find(original.avail_id);
+    const std::int64_t shift =
+        shift_it == date_shift.end() ? 0 : shift_it->second;
+    rcc.creation_date = original.creation_date + shift;
+    if (original.settled_date.has_value()) {
+      rcc.settled_date = *original.settled_date + shift;
+    }
+    if (config_.scale_amounts) {
+      rcc.settled_amount = original.settled_amount * amount_scale_;
+    }
+    (void)out.rccs.Add(rcc);
+  }
+  return out;
+}
+
+}  // namespace domd

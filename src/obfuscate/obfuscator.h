@@ -1,0 +1,75 @@
+#ifndef DOMD_OBFUSCATE_OBFUSCATOR_H_
+#define DOMD_OBFUSCATE_OBFUSCATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "data/tables.h"
+
+namespace domd {
+
+/// Which transformations the obfuscator applies.
+struct ObfuscationConfig {
+  std::uint64_t seed = 0xD0BF;
+  bool remap_ids = true;       ///< avail/ship/RCC ids replaced by aliases.
+  bool shift_dates = true;     ///< per-avail constant day offset.
+  bool scale_amounts = true;   ///< global secret dollar scale factor.
+  bool permute_swlin = true;   ///< per-position digit substitution cipher.
+  bool relabel_categories = true;  ///< class/RMC/type/homeport relabeled.
+  bool jitter_age = true;      ///< small ship-age perturbation.
+};
+
+/// The data-protection transformation the paper's workflow depends on
+/// (§1, Abstract): the pipeline is designed on *obfuscated* CUI data
+/// outside the Navy environment and then refit on raw data inside it, so
+/// every transformation here must destroy identifying values while
+/// preserving the statistical structure the pipeline learns from.
+///
+/// Guaranteed invariants (tested):
+///  * every avail's delay (and planned/actual durations) is unchanged —
+///    date shifts move all of an avail's dates, and its RCCs' dates, by the
+///    same per-avail offset, so logical time (Eq. 1) is preserved exactly;
+///  * RCC counts per (avail, type, SWLIN group) are preserved — type
+///    relabeling and the positional SWLIN digit cipher are bijections, so
+///    group-by structure maps 1:1;
+///  * settled amounts are scaled by one global factor — all correlations
+///    and relative magnitudes survive;
+///  * categorical static attributes are relabeled by fixed permutations.
+class Obfuscator {
+ public:
+  explicit Obfuscator(const ObfuscationConfig& config);
+
+  /// Produces the obfuscated copy of a dataset. Deterministic in the seed.
+  Dataset Obfuscate(const Dataset& data) const;
+
+  /// Alias assigned to an avail id (identity when remapping is disabled or
+  /// the id was never seen). Aliases are assigned on first use inside
+  /// Obfuscate, so call this afterwards.
+  std::int64_t AvailAlias(std::int64_t avail_id) const;
+
+  /// The secret dollar scale (exposed for round-trip testing).
+  double amount_scale() const { return amount_scale_; }
+
+  /// Maps a SWLIN through the positional digit cipher.
+  Swlin MapSwlin(const Swlin& code) const;
+
+ private:
+  std::int64_t MapId(std::int64_t id, std::uint64_t salt) const;
+
+  ObfuscationConfig config_;
+  double amount_scale_ = 1.0;
+  /// digit_cipher_[position][digit] -> substituted digit.
+  std::array<std::array<std::uint8_t, 10>, Swlin::kNumDigits> digit_cipher_;
+  std::array<int, 8> class_permutation_;
+  std::array<int, 8> rmc_permutation_;
+  std::array<int, 8> type_permutation_;
+  std::array<int, 8> homeport_permutation_;
+  std::array<int, kNumRccTypes> rcc_type_permutation_;
+  mutable std::unordered_map<std::int64_t, std::int64_t> avail_alias_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_OBFUSCATE_OBFUSCATOR_H_

@@ -1,0 +1,49 @@
+#ifndef DOMD_QUERY_QUERY_PARSER_H_
+#define DOMD_QUERY_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/status_query.h"
+
+namespace domd {
+
+/// A parsed Status Query plus the logical timestamp it runs at and, when a
+/// GROUP BY clause is present (Fig. 3's form), the grouping spec for
+/// StatusQueryEngine::ExecuteGroupBy.
+struct ParsedStatusQuery {
+  StatusQuery query;
+  double t_star = 0.0;
+  std::optional<GroupBySpec> group_by;
+};
+
+/// Parses the textual Status Query form of the paper's Fig. 3. Grammar
+/// (case-insensitive keywords):
+///
+///   SELECT <agg>
+///   FROM RCC
+///   WHERE STATUS = ACTIVE|SETTLED|CREATED
+///         [AND TYPE = G|N|NG]
+///         [AND SWLIN LIKE 'D%' | 'DD%']
+///         [AND AVAIL = <id>]
+///   [GROUP BY TYPE [, SWLIN(1)] | SWLIN(1|2)]
+///   AT <t*>
+///
+///   <agg> := COUNT | SUM(AMOUNT) | AVG(AMOUNT) | MAX(AMOUNT)
+///          | SUM(DURATION) | AVG(DURATION) | MAX(DURATION)
+///
+/// Examples:
+///   SELECT AVG(AMOUNT) FROM RCC WHERE STATUS = SETTLED AND TYPE = G
+///     AND SWLIN LIKE '1%' AT 50
+///   SELECT COUNT FROM RCC WHERE STATUS = ACTIVE AND AVAIL = 7 AT 75.5
+///
+/// The SWLIN pattern must be a one- or two-digit prefix followed by '%'
+/// (the group-tree hierarchy the engine materializes).
+StatusOr<ParsedStatusQuery> ParseStatusQuery(std::string_view text);
+
+/// Renders a query back to its canonical textual form (inverse of parsing
+/// up to whitespace/case).
+std::string FormatStatusQuery(const StatusQuery& query, double t_star);
+
+}  // namespace domd
+
+#endif  // DOMD_QUERY_QUERY_PARSER_H_

@@ -1,0 +1,215 @@
+#include "query/status_query.h"
+
+#include <algorithm>
+
+#include "data/logical_time.h"
+
+namespace domd {
+
+const char* AggregateFnToString(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount:
+      return "COUNT";
+    case AggregateFn::kSum:
+      return "SUM";
+    case AggregateFn::kAvg:
+      return "AVG";
+    case AggregateFn::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+const char* RccAttributeToString(RccAttribute attribute) {
+  switch (attribute) {
+    case RccAttribute::kSettledAmount:
+      return "AMT";
+    case RccAttribute::kDuration:
+      return "DUR";
+  }
+  return "?";
+}
+
+StatusQueryEngine::StatusQueryEngine(const Dataset* data,
+                                     IndexBackend backend)
+    : data_(data),
+      grouped_(std::make_unique<GroupedRccIndex>(*data, backend)) {}
+
+StatusOr<int> StatusQueryEngine::ResolveGroup(const StatusQuery& query) {
+  const int type_slot =
+      query.type_filter.has_value() ? GroupSchema::TypeSlot(*query.type_filter)
+                                    : 0;
+  switch (query.swlin_level) {
+    case 0:
+      return GroupSchema::Level1GroupId(type_slot, 0);
+    case 1:
+      if (query.swlin_prefix < 1 || query.swlin_prefix > 9) {
+        return Status::InvalidArgument(
+            "SWLIN level-1 prefix must be a digit 1..9");
+      }
+      return GroupSchema::Level1GroupId(type_slot,
+                                        static_cast<int>(query.swlin_prefix));
+    case 2:
+      if (query.type_filter.has_value()) {
+        return Status::InvalidArgument(
+            "SWLIN level-2 group-bys are only materialized for all types");
+      }
+      if (query.swlin_prefix < 10 || query.swlin_prefix > 99) {
+        return Status::InvalidArgument(
+            "SWLIN level-2 prefix must be in [10, 99]");
+      }
+      return GroupSchema::Level2GroupId(static_cast<int>(query.swlin_prefix));
+    default:
+      return Status::InvalidArgument("unsupported SWLIN level " +
+                                     std::to_string(query.swlin_level));
+  }
+}
+
+StatusOr<std::vector<std::int64_t>> StatusQueryEngine::Retrieve(
+    const StatusQuery& query, double t_star) const {
+  auto group = ResolveGroup(query);
+  if (!group.ok()) return group.status();
+  const LogicalTimeIndex& index = grouped_->node(*group);
+
+  std::vector<std::int64_t> ids;
+  switch (query.category) {
+    case RccStatusCategory::kActive:
+      index.CollectActive(t_star, &ids);
+      break;
+    case RccStatusCategory::kSettled:
+      index.CollectSettled(t_star, &ids);
+      break;
+    case RccStatusCategory::kCreated:
+      index.CollectCreated(t_star, &ids);
+      break;
+  }
+
+  // Intersect with the avails table (Algorithm StatusQ's final step):
+  // keep ids whose RCC row joins to an existing avail, honoring the avail
+  // filter when present.
+  std::vector<std::int64_t> result;
+  result.reserve(ids.size());
+  for (std::int64_t id : ids) {
+    const auto rcc = data_->rccs.Find(id);
+    if (!rcc.ok()) continue;
+    if (query.avail_filter.has_value() &&
+        (*rcc)->avail_id != *query.avail_filter) {
+      continue;
+    }
+    if (!data_->avails.Find((*rcc)->avail_id).ok()) continue;
+    result.push_back(id);
+  }
+  return result;
+}
+
+double StatusQueryEngine::AggregateRows(
+    const StatusQuery& query, double t_star,
+    const std::vector<std::int64_t>& ids) const {
+  if (query.aggregate == AggregateFn::kCount) {
+    return static_cast<double>(ids.size());
+  }
+  double sum = 0.0;
+  double max_value = 0.0;
+  std::size_t count = 0;
+  for (std::int64_t id : ids) {
+    const auto rcc_or = data_->rccs.Find(id);
+    if (!rcc_or.ok()) continue;
+    const Rcc& rcc = **rcc_or;
+    double value = 0.0;
+    if (query.attribute == RccAttribute::kSettledAmount) {
+      value = rcc.settled_amount;
+    } else {
+      const auto duration = rcc.duration_days();
+      if (duration.has_value() &&
+          query.category != RccStatusCategory::kActive) {
+        value = static_cast<double>(*duration);
+      } else {
+        // Active (or open) RCC: elapsed days since creation at t*,
+        // converted from logical time against the owning avail.
+        const auto avail_or = data_->avails.Find(rcc.avail_id);
+        if (avail_or.ok()) {
+          const double planned =
+              static_cast<double>((*avail_or)->planned_duration());
+          const double start_t = LogicalTime(**avail_or, rcc.creation_date);
+          value = std::max(0.0, (t_star - start_t) / 100.0 * planned);
+        }
+      }
+    }
+    sum += value;
+    max_value = count == 0 ? value : std::max(max_value, value);
+    ++count;
+  }
+  switch (query.aggregate) {
+    case AggregateFn::kSum:
+      return sum;
+    case AggregateFn::kAvg:
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    case AggregateFn::kMax:
+      return max_value;
+    case AggregateFn::kCount:
+      break;
+  }
+  return static_cast<double>(count);
+}
+
+StatusOr<double> StatusQueryEngine::Execute(const StatusQuery& query,
+                                            double t_star) const {
+  auto ids = Retrieve(query, t_star);
+  if (!ids.ok()) return ids.status();
+  return AggregateRows(query, t_star, *ids);
+}
+
+StatusOr<std::vector<GroupedRow>> StatusQueryEngine::ExecuteGroupBy(
+    const StatusQuery& query, double t_star, const GroupBySpec& spec) const {
+  if (query.type_filter.has_value() || query.swlin_level != 0) {
+    return Status::InvalidArgument(
+        "grouped execution owns the type/SWLIN dimensions; clear the "
+        "query's own filters");
+  }
+  if (!spec.by_type && spec.swlin_level == 0) {
+    return Status::InvalidArgument("GROUP BY spec names no dimension");
+  }
+  if (spec.by_type && spec.swlin_level == 2) {
+    return Status::InvalidArgument(
+        "type x level-2 SWLIN groups are not materialized");
+  }
+  if (spec.swlin_level < 0 || spec.swlin_level > 2) {
+    return Status::InvalidArgument("unsupported SWLIN level");
+  }
+
+  std::vector<std::optional<RccType>> types;
+  if (spec.by_type) {
+    types = {RccType::kGrowth, RccType::kNewWork, RccType::kNewGrowth};
+  } else {
+    types = {std::nullopt};
+  }
+  std::vector<std::int64_t> prefixes;
+  if (spec.swlin_level == 1) {
+    for (std::int64_t d = 1; d <= 9; ++d) prefixes.push_back(d);
+  } else if (spec.swlin_level == 2) {
+    for (std::int64_t p = 10; p <= 99; ++p) prefixes.push_back(p);
+  } else {
+    prefixes = {-1};
+  }
+
+  std::vector<GroupedRow> rows;
+  rows.reserve(types.size() * prefixes.size());
+  for (const auto& type : types) {
+    for (std::int64_t prefix : prefixes) {
+      StatusQuery grouped = query;
+      grouped.type_filter = type;
+      grouped.swlin_level = prefix < 0 ? 0 : spec.swlin_level;
+      grouped.swlin_prefix = prefix < 0 ? 0 : prefix;
+      auto value = Execute(grouped, t_star);
+      if (!value.ok()) return value.status();
+      GroupedRow row;
+      row.type = type;
+      row.swlin_prefix = prefix;
+      row.value = *value;
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+}  // namespace domd

@@ -1,0 +1,117 @@
+#ifndef DOMD_QUERY_STATUS_QUERY_H_
+#define DOMD_QUERY_STATUS_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/tables.h"
+#include "index/group_tree.h"
+
+namespace domd {
+
+/// Aggregation function applied over the retrieved RCC set.
+enum class AggregateFn {
+  kCount,  ///< Number of matching RCCs (attribute ignored).
+  kSum,    ///< Sum of the attribute.
+  kAvg,    ///< Mean of the attribute (0 for empty sets).
+  kMax,    ///< Maximum of the attribute (0 for empty sets).
+};
+
+const char* AggregateFnToString(AggregateFn fn);
+
+/// RCC attribute the aggregate ranges over.
+enum class RccAttribute {
+  kSettledAmount,  ///< Dollar amount m_j.
+  kDuration,       ///< Settled-creation span in days; for active RCCs the
+                   ///< elapsed days since creation at t*.
+};
+
+const char* RccAttributeToString(RccAttribute attribute);
+
+/// The abstract retrieval task of §3.1 (Fig. 3): select RCCs of one
+/// life-cycle category at logical time t*, optionally restricted to a GROUP
+/// BY node (RCC type and/or SWLIN prefix) and to one avail, then aggregate
+/// an attribute. Every generated feature is one Status Query evaluation.
+struct StatusQuery {
+  RccStatusCategory category = RccStatusCategory::kCreated;
+  /// GROUP BY RCC type; nullopt = all types.
+  std::optional<RccType> type_filter;
+  /// GROUP BY SWLIN hierarchy level: 0 = none, 1 = first digit, 2 = first
+  /// two digits. Level 2 is only supported without a type filter (the group
+  /// tree refines SWLIN under the ALL-types slot).
+  int swlin_level = 0;
+  /// The group key at swlin_level (first digit for level 1, two-digit
+  /// prefix 10..99 for level 2).
+  std::int64_t swlin_prefix = 0;
+  AggregateFn aggregate = AggregateFn::kCount;
+  RccAttribute attribute = RccAttribute::kSettledAmount;
+  /// Restrict to one avail's RCCs (the per-avail feature case).
+  std::optional<std::int64_t> avail_filter;
+};
+
+/// GROUP BY clause of Fig. 3: expand a Status Query over all RCC types
+/// and/or all SWLIN prefixes at a hierarchy level, producing one row per
+/// group.
+struct GroupBySpec {
+  bool by_type = false;
+  /// 0 = no SWLIN grouping; 1 = first digit; 2 = two-digit prefix (only
+  /// without by_type, matching the materialized group tree).
+  int swlin_level = 0;
+};
+
+/// One output row of a grouped Status Query.
+struct GroupedRow {
+  /// Type of the group; unset when the spec does not group by type.
+  std::optional<RccType> type;
+  /// SWLIN prefix of the group; -1 when the spec does not group by SWLIN.
+  std::int64_t swlin_prefix = -1;
+  double value = 0.0;
+};
+
+/// Executes Status Queries against the grouped logical-time indexes:
+/// Algorithm StatusQ (§4.2). The GROUP BY clause is resolved to a node of
+/// the RCC-Type-Tree x SWLIN-Tree; the node's logical-time index retrieves
+/// the category's id set at t*; ids are intersected with the avails table /
+/// avail filter; finally the aggregate is computed from the RCC rows.
+class StatusQueryEngine {
+ public:
+  /// Builds the grouped index over the dataset with the given backend.
+  /// The dataset must outlive the engine.
+  StatusQueryEngine(const Dataset* data, IndexBackend backend);
+
+  /// Resolves the GROUP BY clause to a group node id; InvalidArgument for
+  /// unsupported combinations (e.g. type filter at SWLIN level 2).
+  static StatusOr<int> ResolveGroup(const StatusQuery& query);
+
+  /// Retrieves the ids of RCCs matching the query at t* (no aggregation).
+  StatusOr<std::vector<std::int64_t>> Retrieve(const StatusQuery& query,
+                                               double t_star) const;
+
+  /// Full Algorithm StatusQ: retrieve then aggregate.
+  StatusOr<double> Execute(const StatusQuery& query, double t_star) const;
+
+  /// Fig. 3's GROUP BY: runs the query once per group node named by the
+  /// spec (all types x all observed prefixes) and returns one row per
+  /// group, in (type, prefix) order. The query's own type/SWLIN filters
+  /// must be unset — the spec owns those dimensions.
+  StatusOr<std::vector<GroupedRow>> ExecuteGroupBy(
+      const StatusQuery& query, double t_star, const GroupBySpec& spec) const;
+
+  const GroupedRccIndex& grouped_index() const { return *grouped_; }
+  const Dataset& data() const { return *data_; }
+
+ private:
+  double AggregateRows(const StatusQuery& query, double t_star,
+                       const std::vector<std::int64_t>& ids) const;
+
+  const Dataset* data_;
+  std::unique_ptr<GroupedRccIndex> grouped_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_QUERY_STATUS_QUERY_H_

@@ -1,0 +1,114 @@
+#include "report/report_writer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace domd {
+namespace {
+
+std::string Printf(const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  return buffer;
+}
+
+}  // namespace
+
+std::string ReportWriter::QuerySection(const DomdQueryResult& result) {
+  std::string out;
+  out += Printf("### Avail %lld — fused estimate %.0f days (t* = %.0f%%)\n\n",
+                static_cast<long long>(result.avail_id),
+                result.fused_estimate_days, result.query_t_star);
+  out += "| t* | estimate (days) |\n|---|---|\n";
+  for (const auto& step : result.steps) {
+    out += Printf("| %.0f%% | %.1f |\n", step.t_star,
+                  step.estimated_delay_days);
+  }
+  if (!result.steps.empty() && !result.steps.back().top_features.empty()) {
+    out += "\nTop delay drivers:\n\n";
+    for (const auto& feature : result.steps.back().top_features) {
+      out += Printf("* `%s` (%+.1f days)\n", feature.feature_name.c_str(),
+                    feature.contribution);
+    }
+  }
+  out += "\n";
+  return out;
+}
+
+StatusOr<std::string> ReportWriter::FleetReport(
+    const Dataset& data, const DomdEstimator& estimator,
+    const DriftReport* drift) const {
+  struct Row {
+    DomdQueryResult result;
+    const Avail* avail;
+  };
+  std::vector<Row> rows;
+  for (const Avail& avail : data.avails.rows()) {
+    if (avail.status != AvailStatus::kOngoing) continue;
+    auto result =
+        estimator.QueryAtLogicalTime(avail.id, options_.query_t_star);
+    if (!result.ok()) return result.status();
+    rows.push_back(Row{std::move(*result), &avail});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.result.fused_estimate_days > b.result.fused_estimate_days;
+  });
+
+  std::string out = "# Fleet maintenance delay report\n\n";
+  out += Printf("%zu ongoing avails queried at t* = %.0f%% of planned "
+                "duration.\n\n",
+                rows.size(), options_.query_t_star);
+
+  double total_exposure = 0.0;
+  out += "| avail | ship | est. delay (days) | projected end | exposure "
+         "(M$) | top driver |\n|---|---|---|---|---|---|\n";
+  for (std::size_t i = 0; i < rows.size() && i < options_.max_rows; ++i) {
+    const Row& row = rows[i];
+    const double exposure =
+        std::max(0.0, row.result.fused_estimate_days) *
+        options_.cost_per_day_musd;
+    total_exposure += exposure;
+    const Date projected =
+        row.avail->planned_end +
+        static_cast<std::int64_t>(std::llround(row.result.fused_estimate_days));
+    const std::string driver =
+        row.result.steps.empty() || row.result.steps.back().top_features.empty()
+            ? "-"
+            : row.result.steps.back().top_features[0].feature_name;
+    out += Printf("| %lld | %lld | %.0f | %s | %.1f | `%s` |\n",
+                  static_cast<long long>(row.result.avail_id),
+                  static_cast<long long>(row.avail->ship_id),
+                  row.result.fused_estimate_days,
+                  projected.ToString().c_str(), exposure, driver.c_str());
+  }
+  out += Printf("\nEstimated budget exposure (listed avails): **%.1f M$** "
+                "at %.0fk$/delay-day.\n\n",
+                total_exposure, options_.cost_per_day_musd * 1000);
+
+  if (!rows.empty()) {
+    out += "## Worst avail detail\n\n";
+    out += QuerySection(rows.front().result);
+  }
+
+  if (drift != nullptr) {
+    out += "## Data drift\n\n";
+    out += Printf("%zu/%zu monitored features shifted (max PSI %.3f). "
+                  "Automated retrain: **%s**.\n\n",
+                  drift->num_drifted, drift->features.size(), drift->max_psi,
+                  drift->retrain_recommended ? "recommended" : "not needed");
+    for (std::size_t i = 0; i < 5 && i < drift->features.size(); ++i) {
+      const FeatureDrift& feature = drift->features[i];
+      out += Printf("* `%s` PSI %.3f KS %.3f%s\n",
+                    feature.feature_name.c_str(), feature.psi, feature.ks,
+                    feature.drifted ? " **[drifted]**" : "");
+    }
+  }
+  return out;
+}
+
+}  // namespace domd

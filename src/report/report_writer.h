@@ -1,0 +1,49 @@
+#ifndef DOMD_REPORT_REPORT_WRITER_H_
+#define DOMD_REPORT_REPORT_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/domd_estimator.h"
+#include "monitor/drift.h"
+
+namespace domd {
+
+/// Options for fleet report generation.
+struct ReportOptions {
+  /// Logical time at which ongoing avails are queried.
+  double query_t_star = 60.0;
+  /// How many worst avails to list.
+  std::size_t max_rows = 25;
+  /// Cost of one delay day, in million dollars (paper: $250k/day).
+  double cost_per_day_musd = 0.25;
+};
+
+/// Renders a Markdown fleet-readiness report from a trained estimator: the
+/// per-avail DoMD estimates for every ongoing avail (worst first), budget
+/// exposure at the paper's $250k/day figure, each avail's top delay
+/// drivers, and — when supplied — the drift report gating the next
+/// automated retrain. This is the artifact a SMDII-style front end would
+/// surface to planners.
+class ReportWriter {
+ public:
+  explicit ReportWriter(const ReportOptions& options = {})
+      : options_(options) {}
+
+  /// Builds the report text. `data` must be the dataset the estimator was
+  /// prepared with. The drift report section is omitted when `drift` is
+  /// null.
+  StatusOr<std::string> FleetReport(const Dataset& data,
+                                    const DomdEstimator& estimator,
+                                    const DriftReport* drift = nullptr) const;
+
+  /// Renders one avail's DoMD query result as a Markdown section.
+  static std::string QuerySection(const DomdQueryResult& result);
+
+ private:
+  ReportOptions options_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_REPORT_REPORT_WRITER_H_

@@ -1,0 +1,106 @@
+#include "select/rfe.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ml/gbt.h"
+
+namespace domd {
+namespace {
+
+// Importance of each surviving column, via a small GBT fit.
+std::vector<double> ModelImportances(const Matrix& x,
+                                     const std::vector<double>& y,
+                                     const RfeParams& params,
+                                     std::uint64_t seed) {
+  GbtParams gbt_params;
+  gbt_params.num_rounds = params.model_rounds;
+  gbt_params.tree.max_depth = params.model_depth;
+  gbt_params.seed = seed;
+  GbtRegressor model(gbt_params);
+  if (!model.Fit(x, y).ok()) return std::vector<double>(x.cols(), 0.0);
+  return model.FeatureImportances();
+}
+
+}  // namespace
+
+std::vector<std::size_t> RfeSelector::SelectTopK(const Matrix& x,
+                                                 const std::vector<double>& y,
+                                                 std::size_t k) {
+  std::vector<std::size_t> survivors(x.cols());
+  std::iota(survivors.begin(), survivors.end(), 0);
+  if (k >= survivors.size()) return survivors;
+
+  while (survivors.size() > k) {
+    const Matrix view = x.SelectColumns(survivors);
+    const std::vector<double> importances =
+        ModelImportances(view, y, params_, seed_);
+
+    // Keep the most important (1 - eliminate_fraction) of survivors, but
+    // never eliminate below k.
+    auto keep = static_cast<std::size_t>(
+        static_cast<double>(survivors.size()) *
+        (1.0 - params_.eliminate_fraction));
+    keep = std::max(keep, k);
+    if (keep >= survivors.size()) keep = survivors.size() - 1;
+
+    std::vector<std::size_t> order(survivors.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return importances[a] > importances[b];
+                     });
+    std::vector<std::size_t> next;
+    next.reserve(keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+      next.push_back(survivors[order[i]]);
+    }
+    std::sort(next.begin(), next.end());
+    survivors = std::move(next);
+  }
+  return survivors;
+}
+
+std::vector<double> RfeSelector::Score(const Matrix& x,
+                                       const std::vector<double>& y) {
+  // Single progressive elimination sweep: a feature's score is the round at
+  // which it was eliminated (survivors of later rounds score higher), with
+  // within-round ties broken by that round's model importances.
+  std::vector<double> scores(x.cols(), 0.0);
+  std::vector<std::size_t> survivors(x.cols());
+  std::iota(survivors.begin(), survivors.end(), 0);
+  double round = 1.0;
+  while (survivors.size() > 1) {
+    const Matrix view = x.SelectColumns(survivors);
+    const std::vector<double> importances =
+        ModelImportances(view, y, params_, seed_);
+    double max_importance = 0.0;
+    for (double g : importances) max_importance = std::max(max_importance, g);
+    const double denom = max_importance > 0.0 ? max_importance : 1.0;
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+      scores[survivors[i]] = round + 0.5 * importances[i] / denom;
+    }
+
+    auto keep = static_cast<std::size_t>(
+        static_cast<double>(survivors.size()) *
+        (1.0 - params_.eliminate_fraction));
+    if (keep >= survivors.size()) keep = survivors.size() - 1;
+    if (keep == 0) break;
+
+    std::vector<std::size_t> order(survivors.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return importances[a] > importances[b];
+                     });
+    std::vector<std::size_t> next;
+    next.reserve(keep);
+    for (std::size_t i = 0; i < keep; ++i) next.push_back(survivors[order[i]]);
+    std::sort(next.begin(), next.end());
+    survivors = std::move(next);
+    round += 1.0;
+  }
+  return scores;
+}
+
+}  // namespace domd

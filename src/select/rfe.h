@@ -1,0 +1,47 @@
+#ifndef DOMD_SELECT_RFE_H_
+#define DOMD_SELECT_RFE_H_
+
+#include <cstdint>
+
+#include "select/selectors.h"
+
+namespace domd {
+
+/// RFE configuration: the internal model is a small gradient-boosted-tree
+/// ensemble whose split gains provide the elimination ranking.
+struct RfeParams {
+  /// Fraction of surviving features eliminated per round.
+  double eliminate_fraction = 0.5;
+  /// Internal model size (kept small: RFE refits once per round).
+  int model_rounds = 40;
+  int model_depth = 3;
+};
+
+/// Recursive Feature Elimination (the model-dependent selector of §3.2.1):
+/// repeatedly fit the internal model on the surviving features and drop the
+/// least-important fraction until at most k remain.
+class RfeSelector final : public FeatureSelector {
+ public:
+  explicit RfeSelector(const RfeParams& params = {}, std::uint64_t seed = 17)
+      : params_(params), seed_(seed) {}
+
+  /// Full elimination sweep down to one feature; score = elimination round
+  /// survived (later elimination = higher score).
+  std::vector<double> Score(const Matrix& x,
+                            const std::vector<double>& y) override;
+
+  /// Eliminates down to exactly k survivors (cheaper than a full sweep).
+  std::vector<std::size_t> SelectTopK(const Matrix& x,
+                                      const std::vector<double>& y,
+                                      std::size_t k) override;
+
+  SelectionMethod method() const override { return SelectionMethod::kRfe; }
+
+ private:
+  RfeParams params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_SELECT_RFE_H_

@@ -1,0 +1,64 @@
+#ifndef DOMD_SELECT_SELECTORS_H_
+#define DOMD_SELECT_SELECTORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace domd {
+
+/// The feature-selection methods the pipeline optimizer searches over
+/// (Task 2, §5.2.2).
+enum class SelectionMethod {
+  kPearson,            ///< |Pearson correlation| with the label.
+  kSpearman,           ///< |Spearman rank correlation| with the label.
+  kMutualInformation,  ///< Binned mutual-information estimate.
+  kRfe,                ///< Recursive feature elimination (model-dependent).
+  kRandom,             ///< Uniform random ranking (sanity baseline).
+  /// Two-phase approximate top-k MI (after the paper's reference [30],
+  /// Salam et al.): a cheap subsampled MI screen keeps a candidate pool,
+  /// then exact MI ranks only the pool.
+  kMutualInformationApprox,
+};
+
+inline constexpr SelectionMethod kAllSelectionMethods[] = {
+    SelectionMethod::kPearson,
+    SelectionMethod::kSpearman,
+    SelectionMethod::kMutualInformation,
+    SelectionMethod::kRfe,
+    SelectionMethod::kRandom,
+    SelectionMethod::kMutualInformationApprox};
+
+const char* SelectionMethodToString(SelectionMethod method);
+
+/// Scores features against the label and returns the top-k column indexes.
+/// Model-agnostic selectors implement Score(); the model-dependent RFE
+/// overrides SelectTopK directly (its ranking depends on k).
+class FeatureSelector {
+ public:
+  virtual ~FeatureSelector() = default;
+
+  /// Relevance score per column (higher = keep). Score order defines the
+  /// ranking for SelectTopK's default implementation.
+  virtual std::vector<double> Score(const Matrix& x,
+                                    const std::vector<double>& y) = 0;
+
+  /// Task 2: the k columns with the highest scores, in descending score
+  /// order. k is clamped to the column count.
+  virtual std::vector<std::size_t> SelectTopK(const Matrix& x,
+                                              const std::vector<double>& y,
+                                              std::size_t k);
+
+  virtual SelectionMethod method() const = 0;
+};
+
+/// Builds a selector; `seed` feeds the stochastic methods (random ranking,
+/// RFE's internal model).
+std::unique_ptr<FeatureSelector> CreateSelector(SelectionMethod method,
+                                                std::uint64_t seed = 17);
+
+}  // namespace domd
+
+#endif  // DOMD_SELECT_SELECTORS_H_

@@ -1,0 +1,100 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace domd {
+namespace {
+
+TEST(CsvTest, ParseSimple) {
+  const auto doc = CsvDocument::Parse("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->num_columns(), 3u);
+  EXPECT_EQ(doc->num_rows(), 2u);
+  EXPECT_EQ(doc->rows()[1][2], "6");
+}
+
+TEST(CsvTest, ParseWithoutTrailingNewline) {
+  const auto doc = CsvDocument::Parse("a,b\n1,2");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->num_rows(), 1u);
+  EXPECT_EQ(doc->rows()[0][1], "2");
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  const auto doc =
+      CsvDocument::Parse("name,notes\nx,\"hello, world\"\ny,\"a\"\"b\"\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows()[0][1], "hello, world");
+  EXPECT_EQ(doc->rows()[1][1], "a\"b");
+}
+
+TEST(CsvTest, ParseQuotedNewline) {
+  const auto doc = CsvDocument::Parse("a,b\n\"line1\nline2\",2\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows()[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, ParseCrLf) {
+  const auto doc = CsvDocument::Parse("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->num_rows(), 1u);
+  EXPECT_EQ(doc->rows()[0][0], "1");
+}
+
+TEST(CsvTest, ParseRejectsArityMismatch) {
+  EXPECT_FALSE(CsvDocument::Parse("a,b\n1,2,3\n").ok());
+  EXPECT_FALSE(CsvDocument::Parse("a,b\n1\n").ok());
+}
+
+TEST(CsvTest, ParseRejectsUnterminatedQuote) {
+  EXPECT_FALSE(CsvDocument::Parse("a,b\n\"oops,2\n").ok());
+}
+
+TEST(CsvTest, EmptyFieldsPreserved) {
+  const auto doc = CsvDocument::Parse("a,b,c\n,,\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows()[0][0], "");
+  EXPECT_EQ(doc->rows()[0][2], "");
+}
+
+TEST(CsvTest, SkipsBlankTrailingLines) {
+  const auto doc = CsvDocument::Parse("a\n1\n\n\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->num_rows(), 1u);
+}
+
+TEST(CsvTest, SerializeRoundTrip) {
+  CsvDocument doc({"col1", "col 2"}, {});
+  doc.AddRow({"plain", "with,comma"});
+  doc.AddRow({"with\"quote", "with\nnewline"});
+  const auto parsed = CsvDocument::Parse(doc.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header(), doc.header());
+  EXPECT_EQ(parsed->rows(), doc.rows());
+}
+
+TEST(CsvTest, ColumnIndex) {
+  CsvDocument doc({"x", "y", "z"}, {});
+  EXPECT_EQ(*doc.ColumnIndex("y"), 1u);
+  EXPECT_FALSE(doc.ColumnIndex("missing").ok());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/domd_csv_test.csv";
+  CsvDocument doc({"a", "b"}, {{"1", "2"}, {"3", "4"}});
+  ASSERT_TRUE(doc.WriteFile(path).ok());
+  const auto loaded = CsvDocument::ReadFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows(), doc.rows());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_FALSE(CsvDocument::ReadFile("/nonexistent/dir/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace domd

@@ -1,0 +1,119 @@
+#include "common/date.h"
+
+#include <gtest/gtest.h>
+
+namespace domd {
+namespace {
+
+TEST(DateTest, EpochIsSerialZero) {
+  EXPECT_EQ(Date::FromCivil(1970, 1, 1).serial(), 0);
+}
+
+TEST(DateTest, KnownSerials) {
+  EXPECT_EQ(Date::FromCivil(1970, 1, 2).serial(), 1);
+  EXPECT_EQ(Date::FromCivil(1969, 12, 31).serial(), -1);
+  EXPECT_EQ(Date::FromCivil(2000, 3, 1).serial(), 11017);
+}
+
+TEST(DateTest, RoundTripCivil) {
+  for (int year : {1980, 1999, 2000, 2019, 2024}) {
+    for (int month : {1, 2, 6, 12}) {
+      for (int day : {1, 15, 28}) {
+        const Date d = Date::FromCivil(year, month, day);
+        EXPECT_EQ(d.year(), year);
+        EXPECT_EQ(d.month(), month);
+        EXPECT_EQ(d.day(), day);
+      }
+    }
+  }
+}
+
+TEST(DateTest, LeapYearHandling) {
+  const Date feb29 = Date::FromCivil(2020, 2, 29);
+  EXPECT_EQ(feb29.AddDays(1), Date::FromCivil(2020, 3, 1));
+  // 2100 is not a leap year; 2000 is.
+  EXPECT_EQ(Date::FromCivil(2000, 2, 29).AddDays(1),
+            Date::FromCivil(2000, 3, 1));
+}
+
+TEST(DateTest, DifferenceInDays) {
+  // The paper's example: avail 2 planned 5/7/2019..4/11/2020 = 340 days,
+  // actual 5/7/2019..5/21/2021 = 745 days, delay 405.
+  const Date plan_s = *Date::Parse("5/7/2019");
+  const Date plan_e = *Date::Parse("4/11/2020");
+  const Date act_e = *Date::Parse("5/21/2021");
+  EXPECT_EQ(plan_e - plan_s, 340);
+  EXPECT_EQ(act_e - plan_s, 745);
+  EXPECT_EQ((act_e - plan_s) - (plan_e - plan_s), 405);
+}
+
+TEST(DateTest, ParseUsFormat) {
+  const auto d = Date::Parse("8/20/23");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->year(), 2023);
+  EXPECT_EQ(d->month(), 8);
+  EXPECT_EQ(d->day(), 20);
+}
+
+TEST(DateTest, ParseTwoDigitYearWindow) {
+  EXPECT_EQ(Date::Parse("1/1/68")->year(), 2068);
+  EXPECT_EQ(Date::Parse("1/1/69")->year(), 1969);
+  EXPECT_EQ(Date::Parse("1/1/99")->year(), 1999);
+  EXPECT_EQ(Date::Parse("1/1/00")->year(), 2000);
+}
+
+TEST(DateTest, ParseIsoFormat) {
+  const auto d = Date::Parse("2021-03-01");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, Date::FromCivil(2021, 3, 1));
+}
+
+TEST(DateTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Date::Parse("").ok());
+  EXPECT_FALSE(Date::Parse("hello").ok());
+  EXPECT_FALSE(Date::Parse("1/2").ok());
+  EXPECT_FALSE(Date::Parse("1/2/2020/4").ok());
+  EXPECT_FALSE(Date::Parse("1-2/2020").ok());
+  EXPECT_FALSE(Date::Parse("13/1/2020").ok());
+  EXPECT_FALSE(Date::Parse("2/30/2020").ok());
+  EXPECT_FALSE(Date::Parse("0/10/2020").ok());
+  EXPECT_FALSE(Date::Parse("2020-02-30").ok());
+}
+
+TEST(DateTest, ParseAcceptsLeapDayOnlyInLeapYears) {
+  EXPECT_TRUE(Date::Parse("2/29/2020").ok());
+  EXPECT_FALSE(Date::Parse("2/29/2021").ok());
+  EXPECT_FALSE(Date::Parse("2/29/2100").ok());
+  EXPECT_TRUE(Date::Parse("2/29/2000").ok());
+}
+
+TEST(DateTest, Formatting) {
+  const Date d = Date::FromCivil(2019, 5, 7);
+  EXPECT_EQ(d.ToString(), "2019-05-07");
+  EXPECT_EQ(d.ToUsString(), "5/7/2019");
+}
+
+TEST(DateTest, FormatParseRoundTrip) {
+  const Date original = Date::FromCivil(2022, 11, 30);
+  EXPECT_EQ(*Date::Parse(original.ToString()), original);
+  EXPECT_EQ(*Date::Parse(original.ToUsString()), original);
+}
+
+TEST(DateTest, ComparisonOperators) {
+  const Date a = Date::FromCivil(2020, 1, 1);
+  const Date b = Date::FromCivil(2020, 6, 1);
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, a);
+  EXPECT_GT(b, a);
+  EXPECT_GE(b, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(DateTest, AddDaysAndPlus) {
+  const Date a = Date::FromCivil(2020, 12, 31);
+  EXPECT_EQ(a + 1, Date::FromCivil(2021, 1, 1));
+  EXPECT_EQ(a.AddDays(-365), Date::FromCivil(2020, 1, 1));
+}
+
+}  // namespace
+}  // namespace domd

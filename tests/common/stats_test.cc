@@ -1,0 +1,120 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace domd {
+namespace {
+
+TEST(StatsTest, MeanAndVariance) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(v), 3.0);
+  EXPECT_DOUBLE_EQ(Variance(v), 2.5);  // unbiased
+  EXPECT_DOUBLE_EQ(StdDev(v), std::sqrt(2.5));
+}
+
+TEST(StatsTest, EmptyAndSingletonEdgeCases) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({7.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> v = {0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.125), 5.0);
+}
+
+TEST(StatsTest, QuantileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(Quantile({5, 1, 3}, 0.5), 3.0);
+}
+
+TEST(StatsTest, MedianEvenCount) {
+  EXPECT_DOUBLE_EQ(Median({1, 2, 3, 4}), 2.5);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  const std::vector<double> ny = {-2, -4, -6, -8};
+  EXPECT_NEAR(PearsonCorrelation(x, ny), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonZeroVarianceIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatsTest, PearsonUncorrelatedNearZero) {
+  Rng rng(99);
+  std::vector<double> x(5000), y(5000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Gaussian();
+    y[i] = rng.Gaussian();
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.05);
+}
+
+TEST(StatsTest, MidRanksHandleTies) {
+  const std::vector<double> ranks = MidRanks({10, 20, 20, 30});
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(StatsTest, SpearmanMonotoneNonlinearIsOne) {
+  // y = x^3 is monotone, so Spearman = 1 even though Pearson < 1.
+  std::vector<double> x, y;
+  for (int i = -5; i <= 5; ++i) {
+    x.push_back(i);
+    y.push_back(static_cast<double>(i * i * i));
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(x, y), 1.0);
+}
+
+TEST(StatsTest, SpearmanReversedIsMinusOne) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(StatsTest, MutualInformationDetectsDependence) {
+  Rng rng(7);
+  std::vector<double> x(4000), y_dep(4000), y_ind(4000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Gaussian();
+    y_dep[i] = x[i] * x[i] + 0.1 * rng.Gaussian();  // nonlinear dependence
+    y_ind[i] = rng.Gaussian();
+  }
+  const double mi_dep = MutualInformation(x, y_dep);
+  const double mi_ind = MutualInformation(x, y_ind);
+  EXPECT_GT(mi_dep, mi_ind + 0.1);
+}
+
+TEST(StatsTest, MutualInformationDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(MutualInformation({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(MutualInformation({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(MutualInformation({1, 2}, {1, 2}, 1), 0.0);
+}
+
+TEST(StatsTest, MutualInformationNonNegative) {
+  Rng rng(3);
+  std::vector<double> x(500), y(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Uniform();
+    y[i] = rng.Uniform();
+  }
+  EXPECT_GE(MutualInformation(x, y), 0.0);
+}
+
+}  // namespace
+}  // namespace domd

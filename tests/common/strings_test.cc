@@ -1,0 +1,53 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace domd {
+namespace {
+
+TEST(StringsTest, SplitBasic) {
+  const auto parts = StrSplit("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitPreservesEmptyFields) {
+  const auto parts = StrSplit(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringsTest, SplitEmptyInput) {
+  const auto parts = StrSplit("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringsTest, Strip) {
+  EXPECT_EQ(StrStrip("  hi  "), "hi");
+  EXPECT_EQ(StrStrip("\t\nx\r "), "x");
+  EXPECT_EQ(StrStrip("   "), "");
+  EXPECT_EQ(StrStrip("nochange"), "nochange");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StrStartsWith("G1-AVG", "G1"));
+  EXPECT_FALSE(StrStartsWith("G1", "G1-AVG"));
+  EXPECT_TRUE(StrStartsWith("anything", ""));
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(StrToLower("MiXeD123"), "mixed123");
+}
+
+}  // namespace
+}  // namespace domd

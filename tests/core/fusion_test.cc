@@ -1,0 +1,68 @@
+#include "core/fusion.h"
+
+#include <gtest/gtest.h>
+
+namespace domd {
+namespace {
+
+TEST(FusionTest, NoneTakesLatest) {
+  const std::vector<double> preds = {10, 20, 5};
+  EXPECT_DOUBLE_EQ(FusePredictions(FusionMethod::kNone, preds), 5.0);
+}
+
+TEST(FusionTest, MinTakesMinimum) {
+  const std::vector<double> preds = {10, 20, 5};
+  EXPECT_DOUBLE_EQ(FusePredictions(FusionMethod::kMin, preds), 5.0);
+  const std::vector<double> negatives = {-3, 4, 0};
+  EXPECT_DOUBLE_EQ(FusePredictions(FusionMethod::kMin, negatives), -3.0);
+}
+
+TEST(FusionTest, AverageTakesMean) {
+  const std::vector<double> preds = {10, 20, 30};
+  EXPECT_DOUBLE_EQ(FusePredictions(FusionMethod::kAverage, preds), 20.0);
+}
+
+TEST(FusionTest, MedianExtension) {
+  EXPECT_DOUBLE_EQ(
+      FusePredictions(FusionMethod::kMedian, std::vector<double>{9, 1, 5}),
+      5.0);
+  EXPECT_DOUBLE_EQ(
+      FusePredictions(FusionMethod::kMedian, std::vector<double>{1, 9, 5, 3}),
+      4.0);
+  // Robust to a single wild step model.
+  EXPECT_DOUBLE_EQ(FusePredictions(FusionMethod::kMedian,
+                                   std::vector<double>{10, 10, 10000}),
+                   10.0);
+}
+
+TEST(FusionTest, WeightedRecentExtension) {
+  // Weighted mean lies between average and latest, closer to the latest.
+  const std::vector<double> preds = {0, 0, 0, 100};
+  const double fused =
+      FusePredictions(FusionMethod::kWeightedRecent, preds);
+  const double average = FusePredictions(FusionMethod::kAverage, preds);
+  EXPECT_GT(fused, average);
+  EXPECT_LT(fused, 100.0);
+}
+
+TEST(FusionTest, WeightedRecentOfConstantIsConstant) {
+  const std::vector<double> preds = {7, 7, 7, 7, 7};
+  EXPECT_NEAR(FusePredictions(FusionMethod::kWeightedRecent, preds), 7.0,
+              1e-12);
+}
+
+TEST(FusionTest, SingleElementAllMethodsAgree) {
+  const std::vector<double> preds = {42};
+  for (FusionMethod method :
+       {FusionMethod::kNone, FusionMethod::kMin, FusionMethod::kAverage,
+        FusionMethod::kMedian, FusionMethod::kWeightedRecent}) {
+    EXPECT_DOUBLE_EQ(FusePredictions(method, preds), 42.0);
+  }
+}
+
+TEST(FusionTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(FusePredictions(FusionMethod::kAverage, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace domd

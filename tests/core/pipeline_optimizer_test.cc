@@ -1,0 +1,162 @@
+#include "core/pipeline_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/test_helpers.h"
+
+namespace domd {
+namespace {
+
+using testing_internal::FastConfig;
+using testing_internal::MakePipelineFixture;
+
+class PipelineOptimizerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = new testing_internal::PipelineFixture(
+        MakePipelineFixture(/*seed=*/7, /*num_avails=*/50,
+                            /*window_pct=*/50.0));
+  }
+  static void TearDownTestSuite() {
+    delete fixture_;
+    fixture_ = nullptr;
+  }
+  static testing_internal::PipelineFixture* fixture_;
+
+  // Cheap options exercising a reduced search space.
+  static OptimizerOptions CheapOptions() {
+    OptimizerOptions options;
+    options.k_grid = {10, 20};
+    options.selection_methods = {SelectionMethod::kPearson,
+                                 SelectionMethod::kRandom};
+    options.hpt_trial_grid = {5, 10};
+    options.adopted_hpt_trials = 10;
+    options.search_gbt_rounds = 20;
+    return options;
+  }
+};
+
+testing_internal::PipelineFixture* PipelineOptimizerTest::fixture_ = nullptr;
+
+TEST_F(PipelineOptimizerTest, EvaluateConfigReturnsFiniteMae) {
+  PipelineOptimizer optimizer(&fixture_->train, &fixture_->validation,
+                              &fixture_->dynamic_names);
+  const auto mae = optimizer.EvaluateConfig(FastConfig());
+  ASSERT_TRUE(mae.ok());
+  EXPECT_GT(*mae, 0.0);
+  EXPECT_LT(*mae, 1000.0);
+}
+
+TEST_F(PipelineOptimizerTest, GreedyRunProducesReportsForEveryStage) {
+  PipelineOptimizer optimizer(&fixture_->train, &fixture_->validation,
+                              &fixture_->dynamic_names);
+  const auto config = optimizer.Optimize(FastConfig(), CheapOptions());
+  ASSERT_TRUE(config.ok());
+
+  const auto& reports = optimizer.reports();
+  ASSERT_EQ(reports.size(), 6u);
+  EXPECT_EQ(reports[0].stage_name, "feature_selection");
+  EXPECT_EQ(reports[1].stage_name, "base_model");
+  EXPECT_EQ(reports[2].stage_name, "architecture");
+  EXPECT_EQ(reports[3].stage_name, "loss_function");
+  EXPECT_EQ(reports[4].stage_name, "hpt_trials");
+  EXPECT_EQ(reports[5].stage_name, "fusion");
+
+  // Every stage marks exactly one selected candidate.
+  for (const StageReport& report : reports) {
+    int selected = 0;
+    for (const StageCandidate& candidate : report.candidates) {
+      if (candidate.selected) ++selected;
+      EXPECT_GE(candidate.validation_mae, 0.0);
+    }
+    EXPECT_EQ(selected, 1) << report.stage_name;
+  }
+}
+
+TEST_F(PipelineOptimizerTest, StageCandidateCountsMatchGrids) {
+  PipelineOptimizer optimizer(&fixture_->train, &fixture_->validation,
+                              &fixture_->dynamic_names);
+  ASSERT_TRUE(optimizer.Optimize(FastConfig(), CheapOptions()).ok());
+  const auto& reports = optimizer.reports();
+  EXPECT_EQ(reports[0].candidates.size(), 4u);  // 2 methods x 2 k
+  EXPECT_EQ(reports[1].candidates.size(), 2u);  // GBT, ElasticNet
+  EXPECT_EQ(reports[2].candidates.size(), 2u);  // stacked, non-stacked
+  EXPECT_EQ(reports[3].candidates.size(), 3u);  // l2, l1, huber
+  EXPECT_EQ(reports[4].candidates.size(), 2u);  // 5, 10 trials
+  EXPECT_EQ(reports[5].candidates.size(), 3u);  // none, min, average
+}
+
+TEST_F(PipelineOptimizerTest, HptBestIsMonotoneInTrialCount) {
+  PipelineOptimizer optimizer(&fixture_->train, &fixture_->validation,
+                              &fixture_->dynamic_names);
+  ASSERT_TRUE(optimizer.Optimize(FastConfig(), CheapOptions()).ok());
+  const StageReport& hpt = optimizer.reports()[4];
+  ASSERT_EQ(hpt.candidates.size(), 2u);
+  EXPECT_GE(hpt.candidates[0].validation_mae,
+            hpt.candidates[1].validation_mae);
+}
+
+TEST_F(PipelineOptimizerTest, OptimizedConfigAdoptsStageWinners) {
+  PipelineOptimizer optimizer(&fixture_->train, &fixture_->validation,
+                              &fixture_->dynamic_names);
+  const auto config = optimizer.Optimize(FastConfig(), CheapOptions());
+  ASSERT_TRUE(config.ok());
+  // The adopted selection method must be the one marked selected in the
+  // report (with its k).
+  const StageReport& selection = optimizer.reports()[0];
+  std::string selected_label;
+  for (const auto& candidate : selection.candidates) {
+    if (candidate.selected) selected_label = candidate.label;
+  }
+  const std::string expected_prefix =
+      SelectionMethodToString(config->selection);
+  EXPECT_EQ(selected_label.rfind(expected_prefix, 0), 0u)
+      << selected_label << " vs " << expected_prefix;
+  EXPECT_EQ(config->hpt_trials, 10);
+}
+
+TEST_F(PipelineOptimizerTest, StagesCanBeDisabled) {
+  PipelineOptimizer optimizer(&fixture_->train, &fixture_->validation,
+                              &fixture_->dynamic_names);
+  OptimizerOptions options = CheapOptions();
+  options.run_selection_stage = false;
+  options.run_hpt_stage = false;
+  options.run_architecture_stage = false;
+  const auto config = optimizer.Optimize(FastConfig(), options);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(optimizer.reports().size(), 3u);  // model, loss, fusion
+}
+
+TEST(PipelineOptimizerStaticTest, GbtSearchSpaceAppliesToParams) {
+  const ParamSpace space = PipelineOptimizer::GbtSearchSpace();
+  EXPECT_EQ(space.size(), 7u);
+  ParamMap map;
+  map["num_rounds"] = 123;
+  map["learning_rate"] = 0.05;
+  map["max_depth"] = 5;
+  map["lambda"] = 2.5;
+  map["min_child_weight"] = 3.0;
+  map["subsample"] = 0.9;
+  map["colsample"] = 0.8;
+  GbtParams params;
+  PipelineOptimizer::ApplyGbtParams(map, &params);
+  EXPECT_EQ(params.num_rounds, 123);
+  EXPECT_DOUBLE_EQ(params.learning_rate, 0.05);
+  EXPECT_EQ(params.tree.max_depth, 5);
+  EXPECT_DOUBLE_EQ(params.tree.lambda, 2.5);
+  EXPECT_DOUBLE_EQ(params.tree.min_child_weight, 3.0);
+  EXPECT_DOUBLE_EQ(params.subsample, 0.9);
+  EXPECT_DOUBLE_EQ(params.colsample, 0.8);
+}
+
+TEST(PipelineOptimizerStaticTest, ApplyIgnoresUnknownKeys) {
+  ParamMap map;
+  map["not_a_param"] = 1.0;
+  GbtParams params;
+  const GbtParams before = params;
+  PipelineOptimizer::ApplyGbtParams(map, &params);
+  EXPECT_EQ(params.num_rounds, before.num_rounds);
+}
+
+}  // namespace
+}  // namespace domd

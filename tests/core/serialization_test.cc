@@ -1,0 +1,230 @@
+// Round-trip tests for model persistence: trees, GBT ensembles,
+// Elastic-Net models, pipeline configs, timeline model sets, and the full
+// estimator save/load path.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/domd_estimator.h"
+#include "core/test_helpers.h"
+
+namespace domd {
+namespace {
+
+using testing_internal::FastConfig;
+using testing_internal::MakePipelineFixture;
+
+TEST(SerializationTest, GbtRoundTripPredictsIdentically) {
+  Rng rng(1);
+  Matrix x(120, 4);
+  std::vector<double> y(120);
+  for (std::size_t i = 0; i < 120; ++i) {
+    for (std::size_t c = 0; c < 4; ++c) x.at(i, c) = rng.Uniform(-1, 1);
+    y[i] = 20 * x.at(i, 0) - 5 * x.at(i, 2) * x.at(i, 3) + rng.Gaussian();
+  }
+  GbtParams params;
+  params.num_rounds = 40;
+  params.subsample = 0.9;
+  GbtRegressor model(params, Loss::PseudoHuber(18.0));
+  ASSERT_TRUE(model.Fit(x, y).ok());
+
+  std::stringstream buffer;
+  model.Save(buffer);
+  auto loaded = GbtRegressor::Load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_trees(), model.num_trees());
+  EXPECT_EQ(loaded->num_features(), model.num_features());
+  EXPECT_EQ(loaded->loss().kind(), LossKind::kPseudoHuber);
+  EXPECT_DOUBLE_EQ(loaded->loss().delta(), 18.0);
+  for (std::size_t r = 0; r < 20; ++r) {
+    EXPECT_DOUBLE_EQ(loaded->Predict(x.row(r)), model.Predict(x.row(r)));
+    // Contributions must round-trip exactly too (node weights preserved).
+    EXPECT_EQ(loaded->Contributions(x.row(r)), model.Contributions(x.row(r)));
+  }
+}
+
+TEST(SerializationTest, ElasticNetRoundTrip) {
+  Rng rng(2);
+  Matrix x(80, 3);
+  std::vector<double> y(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) x.at(i, c) = rng.Uniform(-2, 2);
+    y[i] = 3 * x.at(i, 0) - x.at(i, 1) + 0.2 * rng.Gaussian();
+  }
+  ElasticNetRegression model(ElasticNetParams{0.01, 0.5, 500, 1e-7});
+  ASSERT_TRUE(model.Fit(x, y).ok());
+
+  std::stringstream buffer;
+  model.Save(buffer);
+  auto loaded = ElasticNetRegression::Load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->coefficients(), model.coefficients());
+  EXPECT_DOUBLE_EQ(loaded->intercept(), model.intercept());
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_DOUBLE_EQ(loaded->Predict(x.row(r)), model.Predict(x.row(r)));
+  }
+}
+
+TEST(SerializationTest, PipelineConfigRoundTrip) {
+  PipelineConfig config;
+  config.selection = SelectionMethod::kSpearman;
+  config.num_features = 37;
+  config.model_family = ModelFamily::kElasticNet;
+  config.architecture = Architecture::kStacked;
+  config.loss = LossKind::kAbsolute;
+  config.huber_delta = 7.25;
+  config.hpt_trials = 12;
+  config.fusion = FusionMethod::kMin;
+  config.window_width_pct = 12.5;
+  config.seed = 9001;
+  config.gbt.num_rounds = 77;
+  config.gbt.learning_rate = 0.055;
+  config.gbt.tree.max_depth = 5;
+  config.gbt.tree.split_method = SplitMethod::kHistogram;
+  config.elastic_net.alpha = 0.125;
+
+  std::stringstream buffer;
+  config.Save(buffer);
+  auto loaded = PipelineConfig::Load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->selection, config.selection);
+  EXPECT_EQ(loaded->num_features, config.num_features);
+  EXPECT_EQ(loaded->model_family, config.model_family);
+  EXPECT_EQ(loaded->architecture, config.architecture);
+  EXPECT_EQ(loaded->loss, config.loss);
+  EXPECT_DOUBLE_EQ(loaded->huber_delta, config.huber_delta);
+  EXPECT_EQ(loaded->hpt_trials, config.hpt_trials);
+  EXPECT_EQ(loaded->fusion, config.fusion);
+  EXPECT_DOUBLE_EQ(loaded->window_width_pct, config.window_width_pct);
+  EXPECT_EQ(loaded->seed, config.seed);
+  EXPECT_EQ(loaded->gbt.num_rounds, config.gbt.num_rounds);
+  EXPECT_DOUBLE_EQ(loaded->gbt.learning_rate, config.gbt.learning_rate);
+  EXPECT_EQ(loaded->gbt.tree.split_method, SplitMethod::kHistogram);
+  EXPECT_DOUBLE_EQ(loaded->elastic_net.alpha, config.elastic_net.alpha);
+}
+
+TEST(SerializationTest, CorruptedInputsRejected) {
+  {
+    std::stringstream buffer("not a model");
+    EXPECT_FALSE(GbtRegressor::Load(buffer).ok());
+  }
+  {
+    std::stringstream buffer("gbt v1\nloss 0 0\nparams 1 0.1");
+    EXPECT_FALSE(GbtRegressor::Load(buffer).ok());
+  }
+  {
+    std::stringstream buffer("tree 3\n0 1 2 0.5");
+    EXPECT_FALSE(RegressionTree::Load(buffer).ok());
+  }
+  {
+    std::stringstream buffer("elastic_net v2\n");
+    EXPECT_FALSE(ElasticNetRegression::Load(buffer).ok());
+  }
+  {
+    std::stringstream buffer;
+    EXPECT_FALSE(PipelineConfig::Load(buffer).ok());
+  }
+  {
+    std::stringstream buffer("timeline_model_set v1\nbroken");
+    EXPECT_FALSE(TimelineModelSet::Load(buffer).ok());
+  }
+}
+
+TEST(SerializationTest, TreeChildIndexOutOfRangeRejected) {
+  std::stringstream buffer("tree 1\n0 5 6 0.5 1.0 0.0\n");
+  EXPECT_FALSE(RegressionTree::Load(buffer).ok());
+}
+
+class EstimatorSerializationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = new testing_internal::PipelineFixture(
+        MakePipelineFixture(/*seed=*/31, /*num_avails=*/40,
+                            /*window_pct=*/50.0));
+  }
+  static void TearDownTestSuite() {
+    delete fixture_;
+    fixture_ = nullptr;
+  }
+  static testing_internal::PipelineFixture* fixture_;
+};
+
+testing_internal::PipelineFixture* EstimatorSerializationTest::fixture_ =
+    nullptr;
+
+TEST_F(EstimatorSerializationTest, TimelineModelSetRoundTrip) {
+  PipelineConfig config = FastConfig();
+  config.window_width_pct = 50.0;
+  TimelineModelSet models;
+  ASSERT_TRUE(
+      models.Fit(config, fixture_->train, fixture_->dynamic_names).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(models.Save(buffer).ok());
+  auto loaded = TimelineModelSet::Load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->num_steps(), models.num_steps());
+  for (std::size_t step = 0; step < models.num_steps(); ++step) {
+    EXPECT_EQ(loaded->selected_features(step), models.selected_features(step));
+    EXPECT_EQ(loaded->input_names(step), models.input_names(step));
+  }
+  const auto original = models.PredictPerStep(fixture_->validation);
+  const auto restored = loaded->PredictPerStep(fixture_->validation);
+  for (std::size_t step = 0; step < original.size(); ++step) {
+    EXPECT_EQ(original[step], restored[step]);
+  }
+}
+
+TEST_F(EstimatorSerializationTest, StackedModelSetRoundTrip) {
+  PipelineConfig config = FastConfig();
+  config.window_width_pct = 50.0;
+  config.architecture = Architecture::kStacked;
+  TimelineModelSet models;
+  ASSERT_TRUE(
+      models.Fit(config, fixture_->train, fixture_->dynamic_names).ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(models.Save(buffer).ok());
+  auto loaded = TimelineModelSet::Load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->is_stacked());
+  const auto original = models.PredictPerStep(fixture_->validation);
+  const auto restored = loaded->PredictPerStep(fixture_->validation);
+  EXPECT_EQ(original, restored);
+}
+
+TEST_F(EstimatorSerializationTest, EstimatorSaveLoadQueriesMatch) {
+  PipelineConfig config = FastConfig();
+  config.window_width_pct = 50.0;
+  auto estimator =
+      DomdEstimator::Train(&fixture_->data, config, fixture_->split.train);
+  ASSERT_TRUE(estimator.ok()) << estimator.status();
+
+  const std::string path = ::testing::TempDir() + "/domd_models.txt";
+  ASSERT_TRUE(estimator->SaveModels(path).ok());
+  auto served = DomdEstimator::LoadModels(&fixture_->data, path);
+  ASSERT_TRUE(served.ok()) << served.status();
+
+  for (std::int64_t id : fixture_->split.test) {
+    const auto a = estimator->QueryAtLogicalTime(id, 100.0);
+    const auto b = served->QueryAtLogicalTime(id, 100.0);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_DOUBLE_EQ(a->fused_estimate_days, b->fused_estimate_days);
+    ASSERT_EQ(a->steps.size(), b->steps.size());
+    for (std::size_t s = 0; s < a->steps.size(); ++s) {
+      EXPECT_DOUBLE_EQ(a->steps[s].estimated_delay_days,
+                       b->steps[s].estimated_delay_days);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(EstimatorSerializationTest, LoadFromMissingFileFails) {
+  EXPECT_FALSE(
+      DomdEstimator::LoadModels(&fixture_->data, "/nonexistent/m.txt").ok());
+}
+
+}  // namespace
+}  // namespace domd

@@ -1,0 +1,163 @@
+#include "core/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/test_helpers.h"
+#include "ml/metrics.h"
+
+namespace domd {
+namespace {
+
+using testing_internal::FastConfig;
+using testing_internal::MakePipelineFixture;
+
+class TimelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = new testing_internal::PipelineFixture(MakePipelineFixture());
+  }
+  static void TearDownTestSuite() {
+    delete fixture_;
+    fixture_ = nullptr;
+  }
+  static testing_internal::PipelineFixture* fixture_;
+};
+
+testing_internal::PipelineFixture* TimelineTest::fixture_ = nullptr;
+
+TEST_F(TimelineTest, BuildModelingViewShapes) {
+  const auto& fixture = *fixture_;
+  EXPECT_EQ(fixture.train.avail_ids.size(), fixture.split.train.size());
+  EXPECT_EQ(fixture.train.static_x.rows(), fixture.split.train.size());
+  EXPECT_EQ(fixture.train.static_x.cols(), 8u);
+  EXPECT_EQ(fixture.train.dynamic.num_steps(), fixture.grid.size());
+  EXPECT_EQ(fixture.train.labels.size(), fixture.split.train.size());
+}
+
+TEST_F(TimelineTest, LabelsMatchDelays) {
+  const auto& fixture = *fixture_;
+  for (std::size_t i = 0; i < fixture.train.avail_ids.size(); ++i) {
+    const Avail& avail =
+        **fixture.data.avails.Find(fixture.train.avail_ids[i]);
+    EXPECT_DOUBLE_EQ(fixture.train.labels[i],
+                     static_cast<double>(*avail.delay()));
+  }
+}
+
+TEST_F(TimelineTest, FitProducesOneModelPerGridStep) {
+  TimelineModelSet models;
+  ASSERT_TRUE(models
+                  .Fit(FastConfig(), fixture_->train, fixture_->dynamic_names)
+                  .ok());
+  EXPECT_EQ(models.num_steps(), fixture_->grid.size());
+  EXPECT_FALSE(models.is_stacked());
+  for (std::size_t step = 0; step < models.num_steps(); ++step) {
+    EXPECT_EQ(models.selected_features(step).size(), 20u);
+    // statics + selected dynamics
+    EXPECT_EQ(models.input_names(step).size(), 8u + 20u);
+    EXPECT_EQ(models.input_names(step)[0], "SHIP_CLASS");
+  }
+}
+
+TEST_F(TimelineTest, TrainFitIsAccurate) {
+  TimelineModelSet models;
+  PipelineConfig config = FastConfig();
+  config.gbt.num_rounds = 80;
+  ASSERT_TRUE(
+      models.Fit(config, fixture_->train, fixture_->dynamic_names).ok());
+  const auto per_step = models.PredictPerStep(fixture_->train);
+  // Late-timeline model should fit training data well.
+  EXPECT_GT(R2Score(fixture_->train.labels, per_step.back()), 0.8);
+}
+
+TEST_F(TimelineTest, ValidationBeatsPredictingZero) {
+  TimelineModelSet models;
+  PipelineConfig config = FastConfig();
+  config.gbt.num_rounds = 80;
+  ASSERT_TRUE(
+      models.Fit(config, fixture_->train, fixture_->dynamic_names).ok());
+  const double mae =
+      TimelineValidationMae(models, fixture_->validation, FusionMethod::kNone);
+  const std::vector<double> zeros(fixture_->validation.labels.size(), 0.0);
+  const double zero_mae =
+      MeanAbsoluteError(fixture_->validation.labels, zeros);
+  EXPECT_LT(mae, zero_mae);
+}
+
+TEST_F(TimelineTest, StackedArchitectureUsesBaseModel) {
+  TimelineModelSet models;
+  PipelineConfig config = FastConfig();
+  config.architecture = Architecture::kStacked;
+  ASSERT_TRUE(
+      models.Fit(config, fixture_->train, fixture_->dynamic_names).ok());
+  EXPECT_TRUE(models.is_stacked());
+  ASSERT_NE(models.base_model(), nullptr);
+  // Inputs are selected dynamics + BASE_PREDICTION.
+  EXPECT_EQ(models.input_names(0).size(), 20u + 1u);
+  EXPECT_EQ(models.input_names(0).back(), "BASE_PREDICTION");
+  const auto per_step = models.PredictPerStep(fixture_->validation);
+  EXPECT_EQ(per_step.size(), fixture_->grid.size());
+}
+
+TEST_F(TimelineTest, ElasticNetFamilySupported) {
+  TimelineModelSet models;
+  PipelineConfig config = FastConfig();
+  config.model_family = ModelFamily::kElasticNet;
+  config.elastic_net.alpha = 0.1;
+  ASSERT_TRUE(
+      models.Fit(config, fixture_->train, fixture_->dynamic_names).ok());
+  const auto per_step = models.PredictPerStep(fixture_->validation);
+  EXPECT_EQ(per_step.size(), fixture_->grid.size());
+}
+
+TEST_F(TimelineTest, BuildInputRowMatchesPredictions) {
+  TimelineModelSet models;
+  ASSERT_TRUE(models
+                  .Fit(FastConfig(), fixture_->train, fixture_->dynamic_names)
+                  .ok());
+  const auto per_step = models.PredictPerStep(fixture_->validation);
+  for (std::size_t step = 0; step < models.num_steps(); ++step) {
+    const auto input = models.BuildInputRow(fixture_->validation, 0, step);
+    EXPECT_DOUBLE_EQ(models.model(step).Predict(input), per_step[step][0]);
+  }
+}
+
+TEST_F(TimelineTest, FusedPredictionUsesPrefix) {
+  TimelineModelSet models;
+  ASSERT_TRUE(models
+                  .Fit(FastConfig(), fixture_->train, fixture_->dynamic_names)
+                  .ok());
+  const auto per_step = models.PredictPerStep(fixture_->validation);
+  const auto fused_avg =
+      models.PredictFused(fixture_->validation, 2, FusionMethod::kAverage);
+  for (std::size_t row = 0; row < fused_avg.size(); ++row) {
+    const double expected =
+        (per_step[0][row] + per_step[1][row] + per_step[2][row]) / 3.0;
+    EXPECT_NEAR(fused_avg[row], expected, 1e-9);
+  }
+  const auto fused_none =
+      models.PredictFused(fixture_->validation, 2, FusionMethod::kNone);
+  for (std::size_t row = 0; row < fused_none.size(); ++row) {
+    EXPECT_DOUBLE_EQ(fused_none[row], per_step[2][row]);
+  }
+}
+
+TEST_F(TimelineTest, FitRejectsEmptyTrainingView) {
+  TimelineModelSet models;
+  ModelingView empty;
+  EXPECT_FALSE(models.Fit(FastConfig(), empty, fixture_->dynamic_names).ok());
+}
+
+TEST_F(TimelineTest, SelectionIsDeterministic) {
+  TimelineModelSet a, b;
+  ASSERT_TRUE(
+      a.Fit(FastConfig(), fixture_->train, fixture_->dynamic_names).ok());
+  ASSERT_TRUE(
+      b.Fit(FastConfig(), fixture_->train, fixture_->dynamic_names).ok());
+  for (std::size_t step = 0; step < a.num_steps(); ++step) {
+    EXPECT_EQ(a.selected_features(step), b.selected_features(step));
+  }
+}
+
+}  // namespace
+}  // namespace domd

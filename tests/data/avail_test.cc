@@ -1,0 +1,99 @@
+#include "data/avail.h"
+
+#include <gtest/gtest.h>
+
+namespace domd {
+namespace {
+
+Avail MakeClosedAvail() {
+  Avail a;
+  a.id = 2;
+  a.ship_id = 246;
+  a.status = AvailStatus::kClosed;
+  a.planned_start = *Date::Parse("5/7/2019");
+  a.planned_end = *Date::Parse("4/11/2020");
+  a.actual_start = *Date::Parse("5/7/2019");
+  a.actual_end = *Date::Parse("5/21/2021");
+  return a;
+}
+
+TEST(AvailTest, PaperExampleDelay405) {
+  // Table 1, avail id 2: s_plan = 340, s_act = 745, delay = 405.
+  const Avail a = MakeClosedAvail();
+  EXPECT_EQ(a.planned_duration(), 340);
+  EXPECT_EQ(*a.actual_duration(), 745);
+  EXPECT_EQ(*a.delay(), 405);
+}
+
+TEST(AvailTest, OngoingAvailHasNoDelay) {
+  Avail a = MakeClosedAvail();
+  a.status = AvailStatus::kOngoing;
+  a.actual_end.reset();
+  EXPECT_FALSE(a.actual_duration().has_value());
+  EXPECT_FALSE(a.delay().has_value());
+}
+
+TEST(AvailTest, NegativeDelayForEarlyFinish) {
+  // Table 1, avail id 5 finishes early with delay -27 (late start is
+  // delay-agnostic by definition).
+  Avail a;
+  a.id = 5;
+  a.status = AvailStatus::kClosed;
+  a.planned_start = *Date::Parse("1/31/2020");
+  a.planned_end = *Date::Parse("8/19/2020");
+  a.actual_start = *Date::Parse("2/27/2020");
+  a.actual_end = *Date::Parse("8/19/2020");
+  EXPECT_EQ(*a.delay(), -27);
+}
+
+TEST(AvailTest, ZeroDelayOnTime) {
+  Avail a;
+  a.id = 3;
+  a.status = AvailStatus::kClosed;
+  a.planned_start = *Date::Parse("7/18/2018");
+  a.planned_end = *Date::Parse("6/11/2019");
+  a.actual_start = *Date::Parse("7/18/2018");
+  a.actual_end = *Date::Parse("6/11/2019");
+  EXPECT_EQ(*a.delay(), 0);
+}
+
+TEST(AvailTest, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(ValidateAvail(MakeClosedAvail()).ok());
+}
+
+TEST(AvailTest, ValidateRejectsInvertedPlannedDates) {
+  Avail a = MakeClosedAvail();
+  a.planned_end = a.planned_start;
+  EXPECT_EQ(ValidateAvail(a).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AvailTest, ValidateRejectsClosedWithoutActualEnd) {
+  Avail a = MakeClosedAvail();
+  a.actual_end.reset();
+  EXPECT_FALSE(ValidateAvail(a).ok());
+}
+
+TEST(AvailTest, ValidateRejectsOngoingWithActualEnd) {
+  Avail a = MakeClosedAvail();
+  a.status = AvailStatus::kOngoing;
+  EXPECT_FALSE(ValidateAvail(a).ok());
+}
+
+TEST(AvailTest, ValidateRejectsActualEndBeforeStart) {
+  Avail a = MakeClosedAvail();
+  a.actual_end = a.actual_start;
+  EXPECT_FALSE(ValidateAvail(a).ok());
+}
+
+TEST(AvailStatusTest, StringRoundTrip) {
+  for (AvailStatus status : {AvailStatus::kPlanned, AvailStatus::kOngoing,
+                             AvailStatus::kClosed}) {
+    const auto parsed = AvailStatusFromString(AvailStatusToString(status));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, status);
+  }
+  EXPECT_FALSE(AvailStatusFromString("bogus").ok());
+}
+
+}  // namespace
+}  // namespace domd

@@ -1,0 +1,135 @@
+#include "data/integrity.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/generator.h"
+
+namespace domd {
+namespace {
+
+Dataset CleanData() {
+  SynthConfig config;
+  config.seed = 9;
+  config.num_avails = 20;
+  config.mean_rccs_per_avail = 30;
+  return GenerateDataset(config);
+}
+
+Avail BaseAvail(std::int64_t id) {
+  Avail a;
+  a.id = id;
+  a.status = AvailStatus::kClosed;
+  a.planned_start = Date::FromCivil(2020, 1, 1);
+  a.planned_end = Date::FromCivil(2020, 11, 1);
+  a.actual_start = a.planned_start;
+  a.actual_end = Date::FromCivil(2021, 1, 1);
+  return a;
+}
+
+Rcc BaseRcc(std::int64_t id, std::int64_t avail_id) {
+  Rcc r;
+  r.id = id;
+  r.avail_id = avail_id;
+  r.swlin = *Swlin::Parse("434-11-001");
+  r.creation_date = Date::FromCivil(2020, 3, 1);
+  r.settled_date = Date::FromCivil(2020, 5, 1);
+  r.settled_amount = 100;
+  return r;
+}
+
+TEST(IntegrityTest, GeneratedDataIsClean) {
+  const IntegrityReport report = CheckDatasetIntegrity(CleanData());
+  EXPECT_TRUE(report.ok()) << report.issues.size() << " issues, first: "
+                           << (report.issues.empty()
+                                   ? ""
+                                   : report.issues[0].detail);
+  EXPECT_EQ(report.num_errors, 0u);
+}
+
+TEST(IntegrityTest, DetectsOrphanRcc) {
+  Dataset data;
+  ASSERT_TRUE(data.avails.Add(BaseAvail(1)).ok());
+  ASSERT_TRUE(data.rccs.Add(BaseRcc(1, 1)).ok());
+  ASSERT_TRUE(data.rccs.Add(BaseRcc(2, 999)).ok());  // orphan
+  const IntegrityReport report = CheckDatasetIntegrity(data);
+  EXPECT_FALSE(report.ok());
+  bool found = false;
+  for (const auto& issue : report.issues) {
+    if (issue.kind == IntegrityIssue::Kind::kOrphanRcc) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(IntegrityTest, DetectsRccBeforeAvailStart) {
+  Dataset data;
+  ASSERT_TRUE(data.avails.Add(BaseAvail(1)).ok());
+  Rcc early = BaseRcc(1, 1);
+  early.creation_date = Date::FromCivil(2019, 6, 1);
+  ASSERT_TRUE(data.rccs.Add(early).ok());
+  const IntegrityReport report = CheckDatasetIntegrity(data);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].kind,
+            IntegrityIssue::Kind::kRccBeforeAvailStart);
+}
+
+TEST(IntegrityTest, LateRccIsWarningNotError) {
+  Dataset data;
+  ASSERT_TRUE(data.avails.Add(BaseAvail(1)).ok());
+  Rcc late = BaseRcc(1, 1);
+  late.creation_date = Date::FromCivil(2021, 8, 1);  // > 90d after end
+  late.settled_date = Date::FromCivil(2021, 9, 1);
+  ASSERT_TRUE(data.rccs.Add(late).ok());
+  const IntegrityReport report = CheckDatasetIntegrity(data);
+  EXPECT_TRUE(report.ok());  // warnings only
+  EXPECT_GE(report.num_warnings, 1u);
+}
+
+TEST(IntegrityTest, SlackIsConfigurable) {
+  Dataset data;
+  ASSERT_TRUE(data.avails.Add(BaseAvail(1)).ok());
+  Rcc late = BaseRcc(1, 1);
+  late.creation_date = *BaseAvail(1).actual_end + 30;
+  late.settled_date = late.creation_date + 5;
+  ASSERT_TRUE(data.rccs.Add(late).ok());
+  IntegrityOptions strict;
+  strict.rcc_after_end_slack_days = 10;
+  const IntegrityReport report = CheckDatasetIntegrity(data, strict);
+  bool flagged = false;
+  for (const auto& issue : report.issues) {
+    if (issue.kind == IntegrityIssue::Kind::kRccFarAfterAvailEnd) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(IntegrityTest, DetectsSuspiciousDelay) {
+  Dataset data;
+  Avail crazy = BaseAvail(1);
+  crazy.actual_end = crazy.actual_start + 9000;
+  ASSERT_TRUE(data.avails.Add(crazy).ok());
+  ASSERT_TRUE(data.rccs.Add(BaseRcc(1, 1)).ok());
+  const IntegrityReport report = CheckDatasetIntegrity(data);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].kind, IntegrityIssue::Kind::kSuspiciousDelay);
+}
+
+TEST(IntegrityTest, AvailWithoutRccsIsWarning) {
+  Dataset data;
+  ASSERT_TRUE(data.avails.Add(BaseAvail(1)).ok());
+  const IntegrityReport report = CheckDatasetIntegrity(data);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.num_warnings, 1u);
+  EXPECT_EQ(report.issues[0].kind, IntegrityIssue::Kind::kAvailWithoutRccs);
+}
+
+TEST(IntegrityTest, KindNamesAreStable) {
+  EXPECT_STREQ(IntegrityIssueKindToString(IntegrityIssue::Kind::kOrphanRcc),
+               "ORPHAN_RCC");
+  EXPECT_STREQ(
+      IntegrityIssueKindToString(IntegrityIssue::Kind::kSuspiciousDelay),
+      "SUSPICIOUS_DELAY");
+}
+
+}  // namespace
+}  // namespace domd

@@ -1,0 +1,92 @@
+#include "data/logical_time.h"
+
+#include <gtest/gtest.h>
+
+namespace domd {
+namespace {
+
+Avail MakeAvail() {
+  // The paper's avail id 2: actual start 5/7/2019, planned duration 340.
+  Avail a;
+  a.id = 2;
+  a.status = AvailStatus::kClosed;
+  a.planned_start = *Date::Parse("5/7/2019");
+  a.planned_end = *Date::Parse("4/11/2020");
+  a.actual_start = *Date::Parse("5/7/2019");
+  a.actual_end = *Date::Parse("5/21/2021");
+  return a;
+}
+
+TEST(LogicalTimeTest, PaperExampleEighteenPercent) {
+  // t = 7/06/19 is 60 days after start; 60/340 = 17.6% ~ 18% (paper).
+  const Avail a = MakeAvail();
+  const double t_star = LogicalTime(a, *Date::Parse("7/6/2019"));
+  EXPECT_NEAR(t_star, 17.65, 0.05);
+}
+
+TEST(LogicalTimeTest, StartIsZeroPlannedEndIsHundred) {
+  const Avail a = MakeAvail();
+  EXPECT_DOUBLE_EQ(LogicalTime(a, a.actual_start), 0.0);
+  EXPECT_DOUBLE_EQ(LogicalTime(a, a.actual_start + a.planned_duration()),
+                   100.0);
+}
+
+TEST(LogicalTimeTest, ExceedsHundredWhenRunningLate) {
+  const Avail a = MakeAvail();
+  EXPECT_GT(LogicalTime(a, *a.actual_end), 100.0);
+}
+
+TEST(LogicalTimeTest, NegativeBeforeStart) {
+  const Avail a = MakeAvail();
+  EXPECT_LT(LogicalTime(a, a.actual_start + (-10)), 0.0);
+}
+
+TEST(LogicalTimeTest, PhysicalTimeInvertsLogicalTime) {
+  const Avail a = MakeAvail();
+  for (double t_star : {0.0, 10.0, 42.5, 100.0}) {
+    const Date physical = PhysicalTime(a, t_star);
+    EXPECT_NEAR(LogicalTime(a, physical), t_star, 100.0 / 340.0 + 1e-9);
+  }
+}
+
+TEST(LogicalTimeGridTest, TenPercentWindowsGiveElevenModels) {
+  // 1 + ceil(100/x) models for x = 10 -> grid {0,10,...,100}.
+  const auto grid = LogicalTimeGrid(10.0);
+  ASSERT_EQ(grid.size(), 11u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 100.0);
+  EXPECT_DOUBLE_EQ(grid[3], 30.0);
+}
+
+TEST(LogicalTimeGridTest, NonDivisorWindowClampsFinalPoint) {
+  const auto grid = LogicalTimeGrid(30.0);
+  // {0, 30, 60, 90, 100}: 1 + ceil(100/30) = 5 points.
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.back(), 100.0);
+  EXPECT_DOUBLE_EQ(grid[3], 90.0);
+}
+
+TEST(LogicalTimeGridTest, FullWindowIsTwoPoints) {
+  const auto grid = LogicalTimeGrid(100.0);
+  ASSERT_EQ(grid.size(), 2u);
+}
+
+TEST(LogicalTimeGridTest, InvalidWidthsHandled) {
+  EXPECT_TRUE(LogicalTimeGrid(0.0).empty());
+  EXPECT_TRUE(LogicalTimeGrid(-5.0).empty());
+  EXPECT_EQ(LogicalTimeGrid(500.0).size(), 2u);  // clamped to 100
+}
+
+TEST(GridIndexTest, AtOrBefore) {
+  const auto grid = LogicalTimeGrid(10.0);
+  EXPECT_EQ(GridIndexAtOrBefore(grid, -1.0), -1);
+  EXPECT_EQ(GridIndexAtOrBefore(grid, 0.0), 0);
+  EXPECT_EQ(GridIndexAtOrBefore(grid, 9.9), 0);
+  EXPECT_EQ(GridIndexAtOrBefore(grid, 10.0), 1);
+  EXPECT_EQ(GridIndexAtOrBefore(grid, 55.0), 5);
+  EXPECT_EQ(GridIndexAtOrBefore(grid, 100.0), 10);
+  EXPECT_EQ(GridIndexAtOrBefore(grid, 250.0), 10);
+}
+
+}  // namespace
+}  // namespace domd

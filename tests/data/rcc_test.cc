@@ -1,0 +1,71 @@
+#include "data/rcc.h"
+
+#include <gtest/gtest.h>
+
+namespace domd {
+namespace {
+
+TEST(RccTypeTest, CodeRoundTrip) {
+  EXPECT_EQ(*RccTypeFromCode("G"), RccType::kGrowth);
+  EXPECT_EQ(*RccTypeFromCode("N"), RccType::kNewWork);
+  EXPECT_EQ(*RccTypeFromCode("NW"), RccType::kNewWork);
+  EXPECT_EQ(*RccTypeFromCode("NG"), RccType::kNewGrowth);
+  EXPECT_FALSE(RccTypeFromCode("X").ok());
+  EXPECT_STREQ(RccTypeToCode(RccType::kGrowth), "G");
+  EXPECT_STREQ(RccTypeToCode(RccType::kNewGrowth), "NG");
+}
+
+TEST(RccTest, DurationDays) {
+  Rcc r;
+  r.creation_date = *Date::Parse("3/22/2020");
+  r.settled_date = *Date::Parse("6/16/2020");
+  EXPECT_EQ(*r.duration_days(), 86);
+}
+
+TEST(RccTest, OpenRccHasNoDuration) {
+  Rcc r;
+  r.creation_date = *Date::Parse("3/22/2020");
+  EXPECT_FALSE(r.duration_days().has_value());
+}
+
+TEST(RccTest, ValidateAcceptsWellFormed) {
+  Rcc r;
+  r.id = 1;
+  r.creation_date = *Date::Parse("1/1/2020");
+  r.settled_date = *Date::Parse("2/1/2020");
+  r.settled_amount = 8000;
+  EXPECT_TRUE(ValidateRcc(r).ok());
+}
+
+TEST(RccTest, ValidateAcceptsSameDaySettlement) {
+  Rcc r;
+  r.creation_date = *Date::Parse("1/1/2020");
+  r.settled_date = r.creation_date;
+  EXPECT_TRUE(ValidateRcc(r).ok());
+}
+
+TEST(RccTest, ValidateRejectsSettledBeforeCreated) {
+  Rcc r;
+  r.creation_date = *Date::Parse("2/1/2020");
+  r.settled_date = *Date::Parse("1/1/2020");
+  EXPECT_FALSE(ValidateRcc(r).ok());
+}
+
+TEST(RccTest, ValidateRejectsNegativeAmount) {
+  Rcc r;
+  r.creation_date = *Date::Parse("1/1/2020");
+  r.settled_amount = -1.0;
+  EXPECT_FALSE(ValidateRcc(r).ok());
+}
+
+TEST(RccStatusCategoryTest, Names) {
+  EXPECT_STREQ(RccStatusCategoryToString(RccStatusCategory::kActive),
+               "ACTIVE");
+  EXPECT_STREQ(RccStatusCategoryToString(RccStatusCategory::kSettled),
+               "SETTLED");
+  EXPECT_STREQ(RccStatusCategoryToString(RccStatusCategory::kCreated),
+               "CREATED");
+}
+
+}  // namespace
+}  // namespace domd

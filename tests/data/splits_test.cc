@@ -1,0 +1,113 @@
+#include "data/splits.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace domd {
+namespace {
+
+AvailTable MakeAvails(int n, int ongoing_every = 0) {
+  AvailTable table;
+  for (int i = 0; i < n; ++i) {
+    Avail a;
+    a.id = i + 1;
+    a.ship_id = 100;
+    a.planned_start = Date::FromCivil(2015, 1, 1) + i * 30;
+    a.planned_end = a.planned_start + 300;
+    a.actual_start = a.planned_start;
+    if (ongoing_every > 0 && i % ongoing_every == 0) {
+      a.status = AvailStatus::kOngoing;
+    } else {
+      a.status = AvailStatus::kClosed;
+      a.actual_end = a.planned_end + 10;
+    }
+    EXPECT_TRUE(table.Add(a).ok());
+  }
+  return table;
+}
+
+TEST(SplitsTest, PartitionIsDisjointAndComplete) {
+  const AvailTable avails = MakeAvails(100);
+  Rng rng(1);
+  const DataSplit split = MakeSplit(avails, SplitOptions{}, &rng);
+
+  std::set<std::int64_t> all;
+  for (auto v : {&split.train, &split.validation, &split.test}) {
+    for (std::int64_t id : *v) {
+      EXPECT_TRUE(all.insert(id).second) << "duplicate id " << id;
+    }
+  }
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(SplitsTest, PaperProportions) {
+  // 30% test; of the rest 25% validation, 75% train.
+  const AvailTable avails = MakeAvails(100);
+  Rng rng(2);
+  const DataSplit split = MakeSplit(avails, SplitOptions{}, &rng);
+  EXPECT_EQ(split.test.size(), 30u);
+  EXPECT_EQ(split.validation.size(), 18u);  // 0.25 * 70 = 17.5 -> 18
+  EXPECT_EQ(split.train.size(), 52u);
+}
+
+TEST(SplitsTest, TestSetIsMostRecent) {
+  const AvailTable avails = MakeAvails(50);
+  Rng rng(3);
+  const DataSplit split = MakeSplit(avails, SplitOptions{}, &rng);
+  // Ids were created in chronological order, so the test set must be the
+  // highest-id block.
+  const std::int64_t min_test =
+      *std::min_element(split.test.begin(), split.test.end());
+  for (std::int64_t id : split.train) EXPECT_LT(id, min_test);
+  for (std::int64_t id : split.validation) EXPECT_LT(id, min_test);
+}
+
+TEST(SplitsTest, OngoingAvailsExcluded) {
+  const AvailTable avails = MakeAvails(40, /*ongoing_every=*/4);
+  Rng rng(4);
+  const DataSplit split = MakeSplit(avails, SplitOptions{}, &rng);
+  const std::size_t total =
+      split.train.size() + split.validation.size() + split.test.size();
+  EXPECT_EQ(total, 30u);  // 10 of 40 are ongoing
+  for (auto v : {&split.train, &split.validation, &split.test}) {
+    for (std::int64_t id : *v) {
+      EXPECT_EQ((*avails.Find(id))->status, AvailStatus::kClosed);
+    }
+  }
+}
+
+TEST(SplitsTest, DeterministicGivenSeed) {
+  const AvailTable avails = MakeAvails(60);
+  Rng rng1(7), rng2(7);
+  const DataSplit a = MakeSplit(avails, SplitOptions{}, &rng1);
+  const DataSplit b = MakeSplit(avails, SplitOptions{}, &rng2);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.validation, b.validation);
+  EXPECT_EQ(a.test, b.test);
+}
+
+TEST(SplitsTest, CustomFractions) {
+  const AvailTable avails = MakeAvails(100);
+  Rng rng(9);
+  SplitOptions options;
+  options.test_fraction = 0.5;
+  options.validation_fraction = 0.5;
+  const DataSplit split = MakeSplit(avails, options, &rng);
+  EXPECT_EQ(split.test.size(), 50u);
+  EXPECT_EQ(split.validation.size(), 25u);
+  EXPECT_EQ(split.train.size(), 25u);
+}
+
+TEST(SplitsTest, EmptyTableYieldsEmptySplit) {
+  AvailTable avails;
+  Rng rng(11);
+  const DataSplit split = MakeSplit(avails, SplitOptions{}, &rng);
+  EXPECT_TRUE(split.train.empty());
+  EXPECT_TRUE(split.validation.empty());
+  EXPECT_TRUE(split.test.empty());
+}
+
+}  // namespace
+}  // namespace domd

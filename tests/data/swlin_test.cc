@@ -1,0 +1,72 @@
+#include "data/swlin.h"
+
+#include <gtest/gtest.h>
+
+namespace domd {
+namespace {
+
+TEST(SwlinTest, ParseDashedForm) {
+  const auto code = Swlin::Parse("434-11-001");
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(code->subsystem(), 4);
+  EXPECT_EQ(code->digit(1), 3);
+  EXPECT_EQ(code->digit(7), 1);
+}
+
+TEST(SwlinTest, ParseBareDigits) {
+  const auto code = Swlin::Parse("91190001");
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(code->subsystem(), 9);
+  EXPECT_EQ(code->ToInt(), 91190001);
+}
+
+TEST(SwlinTest, ParseRejectsBadInput) {
+  EXPECT_FALSE(Swlin::Parse("").ok());
+  EXPECT_FALSE(Swlin::Parse("12345").ok());          // too short
+  EXPECT_FALSE(Swlin::Parse("123456789").ok());      // too long
+  EXPECT_FALSE(Swlin::Parse("12a-45-678").ok());     // non-digit
+}
+
+TEST(SwlinTest, FromIntRoundTrip) {
+  const auto code = Swlin::FromInt(43411001);
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(code->ToInt(), 43411001);
+  EXPECT_EQ(code->ToString(), "434-11-001");
+}
+
+TEST(SwlinTest, FromIntPadsLeadingZeros) {
+  const auto code = Swlin::FromInt(42);
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(code->subsystem(), 0);
+  EXPECT_EQ(code->ToString(), "000-00-042");
+}
+
+TEST(SwlinTest, FromIntRejectsOutOfRange) {
+  EXPECT_FALSE(Swlin::FromInt(-1).ok());
+  EXPECT_FALSE(Swlin::FromInt(100000000).ok());
+}
+
+TEST(SwlinTest, PrefixLevels) {
+  const Swlin code = *Swlin::Parse("434-11-001");
+  EXPECT_EQ(code.Prefix(1), 4);
+  EXPECT_EQ(code.Prefix(2), 43);
+  EXPECT_EQ(code.Prefix(3), 434);
+  EXPECT_EQ(code.Prefix(8), 43411001);
+}
+
+TEST(SwlinTest, Ordering) {
+  const Swlin a = *Swlin::Parse("111-11-111");
+  const Swlin b = *Swlin::Parse("111-11-112");
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, *Swlin::Parse("11111111"));
+}
+
+TEST(SwlinTest, DefaultIsAllZero) {
+  Swlin code;
+  EXPECT_EQ(code.ToInt(), 0);
+  EXPECT_EQ(code.subsystem(), 0);
+}
+
+}  // namespace
+}  // namespace domd

@@ -1,0 +1,154 @@
+#include "data/tables.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace domd {
+namespace {
+
+Avail MakeAvail(std::int64_t id) {
+  Avail a;
+  a.id = id;
+  a.ship_id = 100 + id;
+  a.status = AvailStatus::kClosed;
+  a.planned_start = Date::FromCivil(2020, 1, 1);
+  a.planned_end = Date::FromCivil(2020, 12, 1);
+  a.actual_start = Date::FromCivil(2020, 1, 1);
+  a.actual_end = Date::FromCivil(2021, 2, 1);
+  a.ship_class = 2;
+  a.rmc_id = 1;
+  a.ship_age_years = 17.5;
+  a.contract_value_musd = 31.25;
+  return a;
+}
+
+Rcc MakeRcc(std::int64_t id, std::int64_t avail_id) {
+  Rcc r;
+  r.id = id;
+  r.avail_id = avail_id;
+  r.type = RccType::kGrowth;
+  r.swlin = *Swlin::Parse("434-11-001");
+  r.creation_date = Date::FromCivil(2020, 3, 1);
+  r.settled_date = Date::FromCivil(2020, 6, 1);
+  r.settled_amount = 8000;
+  return r;
+}
+
+TEST(AvailTableTest, AddAndFind) {
+  AvailTable table;
+  ASSERT_TRUE(table.Add(MakeAvail(1)).ok());
+  ASSERT_TRUE(table.Add(MakeAvail(2)).ok());
+  EXPECT_EQ(table.size(), 2u);
+  const auto found = table.Find(2);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->ship_id, 102);
+  EXPECT_FALSE(table.Find(99).ok());
+}
+
+TEST(AvailTableTest, RejectsDuplicateId) {
+  AvailTable table;
+  ASSERT_TRUE(table.Add(MakeAvail(1)).ok());
+  EXPECT_EQ(table.Add(MakeAvail(1)).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(AvailTableTest, RejectsInvalidAvail) {
+  AvailTable table;
+  Avail bad = MakeAvail(1);
+  bad.planned_end = bad.planned_start;
+  EXPECT_FALSE(table.Add(bad).ok());
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(AvailTableTest, CsvRoundTrip) {
+  AvailTable table;
+  ASSERT_TRUE(table.Add(MakeAvail(1)).ok());
+  Avail ongoing = MakeAvail(2);
+  ongoing.status = AvailStatus::kOngoing;
+  ongoing.actual_end.reset();
+  ASSERT_TRUE(table.Add(ongoing).ok());
+
+  const auto restored = AvailTable::FromCsv(table.ToCsv());
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), 2u);
+  const Avail& a = restored->rows()[0];
+  EXPECT_EQ(a.id, 1);
+  EXPECT_EQ(a.ship_class, 2);
+  EXPECT_DOUBLE_EQ(a.ship_age_years, 17.5);
+  EXPECT_DOUBLE_EQ(a.contract_value_musd, 31.25);
+  EXPECT_EQ(*a.actual_end, Date::FromCivil(2021, 2, 1));
+  EXPECT_FALSE(restored->rows()[1].actual_end.has_value());
+  EXPECT_EQ(restored->rows()[1].status, AvailStatus::kOngoing);
+}
+
+TEST(AvailTableTest, FromCsvRejectsWrongArity) {
+  CsvDocument doc({"only", "two"}, {});
+  EXPECT_FALSE(AvailTable::FromCsv(doc).ok());
+}
+
+TEST(RccTableTest, AddFindAndGroupByAvail) {
+  RccTable table;
+  ASSERT_TRUE(table.Add(MakeRcc(1, 10)).ok());
+  ASSERT_TRUE(table.Add(MakeRcc(2, 10)).ok());
+  ASSERT_TRUE(table.Add(MakeRcc(3, 20)).ok());
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.RowsForAvail(10).size(), 2u);
+  EXPECT_EQ(table.RowsForAvail(20).size(), 1u);
+  EXPECT_TRUE(table.RowsForAvail(999).empty());
+  EXPECT_EQ((*table.Find(3))->avail_id, 20);
+}
+
+TEST(RccTableTest, RejectsDuplicateAndInvalid) {
+  RccTable table;
+  ASSERT_TRUE(table.Add(MakeRcc(1, 10)).ok());
+  EXPECT_EQ(table.Add(MakeRcc(1, 11)).code(), StatusCode::kAlreadyExists);
+  Rcc bad = MakeRcc(2, 10);
+  bad.settled_date = Date::FromCivil(2019, 1, 1);  // before creation
+  EXPECT_FALSE(table.Add(bad).ok());
+}
+
+TEST(RccTableTest, CsvRoundTrip) {
+  RccTable table;
+  ASSERT_TRUE(table.Add(MakeRcc(1, 10)).ok());
+  Rcc open = MakeRcc(2, 10);
+  open.settled_date.reset();
+  open.type = RccType::kNewGrowth;
+  ASSERT_TRUE(table.Add(open).ok());
+
+  const auto restored = RccTable::FromCsv(table.ToCsv());
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), 2u);
+  EXPECT_EQ(restored->rows()[0].swlin.ToString(), "434-11-001");
+  EXPECT_DOUBLE_EQ(restored->rows()[0].settled_amount, 8000);
+  EXPECT_FALSE(restored->rows()[1].settled_date.has_value());
+  EXPECT_EQ(restored->rows()[1].type, RccType::kNewGrowth);
+}
+
+TEST(RccTableTest, ScalePreservesTemporalDistribution) {
+  RccTable table;
+  ASSERT_TRUE(table.Add(MakeRcc(1, 10)).ok());
+  ASSERT_TRUE(table.Add(MakeRcc(5, 20)).ok());
+
+  const RccTable scaled = table.Scale(4);
+  EXPECT_EQ(scaled.size(), 8u);
+  // Every copy keeps the original dates / type / SWLIN / avail.
+  std::size_t avail10 = 0;
+  for (const Rcc& r : scaled.rows()) {
+    EXPECT_EQ(r.creation_date, Date::FromCivil(2020, 3, 1));
+    if (r.avail_id == 10) ++avail10;
+  }
+  EXPECT_EQ(avail10, 4u);
+  // Ids remain unique.
+  std::set<std::int64_t> ids;
+  for (const Rcc& r : scaled.rows()) ids.insert(r.id);
+  EXPECT_EQ(ids.size(), scaled.size());
+}
+
+TEST(RccTableTest, ScaleByOneIsIdentityCardinality) {
+  RccTable table;
+  ASSERT_TRUE(table.Add(MakeRcc(1, 10)).ok());
+  EXPECT_EQ(table.Scale(1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace domd

@@ -1,0 +1,130 @@
+#include "eval/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/generator.h"
+
+namespace domd {
+namespace {
+
+Dataset SmallData() {
+  SynthConfig config;
+  config.seed = 8;
+  config.num_avails = 60;
+  config.mean_rccs_per_avail = 50;
+  config.ongoing_fraction = 0.1;
+  return GenerateDataset(config);
+}
+
+PipelineConfig CheapConfig() {
+  PipelineConfig config;
+  config.num_features = 20;
+  config.gbt.num_rounds = 40;
+  config.window_width_pct = 25.0;
+  return config;
+}
+
+TEST(CrossValidationTest, FoldsPartitionLabeledAvails) {
+  const Dataset data = SmallData();
+  CvOptions options;
+  options.num_folds = 4;
+  const auto result = CrossValidate(data, CheapConfig(), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->folds.size(), 4u);
+
+  std::set<std::int64_t> seen;
+  std::size_t labeled = 0;
+  for (const Avail& avail : data.avails.rows()) {
+    if (avail.delay().has_value()) ++labeled;
+  }
+  for (const FoldResult& fold : result->folds) {
+    for (std::int64_t id : fold.held_out_ids) {
+      EXPECT_TRUE(seen.insert(id).second) << "id in two folds: " << id;
+      EXPECT_TRUE((*data.avails.Find(id))->delay().has_value());
+    }
+  }
+  EXPECT_EQ(seen.size(), labeled);
+}
+
+TEST(CrossValidationTest, MeanIsAverageOfFolds) {
+  const Dataset data = SmallData();
+  CvOptions options;
+  options.num_folds = 3;
+  const auto result = CrossValidate(data, CheapConfig(), options);
+  ASSERT_TRUE(result.ok());
+  double mean = 0;
+  for (const FoldResult& fold : result->folds) mean += fold.metrics.mae100;
+  mean /= 3.0;
+  EXPECT_NEAR(result->mean.mae100, mean, 1e-9);
+  EXPECT_GE(result->mae_stddev, 0.0);
+}
+
+TEST(CrossValidationTest, BeatsZeroPredictor) {
+  const Dataset data = SmallData();
+  const auto result = CrossValidate(data, CheapConfig(), CvOptions{});
+  ASSERT_TRUE(result.ok());
+  double zero_mae = 0;
+  std::size_t n = 0;
+  for (const Avail& avail : data.avails.rows()) {
+    if (avail.delay().has_value()) {
+      zero_mae += std::abs(static_cast<double>(*avail.delay()));
+      ++n;
+    }
+  }
+  EXPECT_LT(result->mean.mae100, zero_mae / static_cast<double>(n));
+}
+
+TEST(CrossValidationTest, RejectsDegenerateRequests) {
+  const Dataset data = SmallData();
+  CvOptions one_fold;
+  one_fold.num_folds = 1;
+  EXPECT_FALSE(CrossValidate(data, CheapConfig(), one_fold).ok());
+  CvOptions too_many;
+  too_many.num_folds = 1000;
+  EXPECT_FALSE(CrossValidate(data, CheapConfig(), too_many).ok());
+}
+
+TEST(CrossValidationTest, DeterministicGivenSeed) {
+  const Dataset data = SmallData();
+  const auto a = CrossValidate(data, CheapConfig(), CvOptions{});
+  const auto b = CrossValidate(data, CheapConfig(), CvOptions{});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->mean.mae100, b->mean.mae100);
+}
+
+TEST(BootstrapTest, IntervalContainsPointEstimate) {
+  std::vector<double> y(50), p(50);
+  Rng rng(3);
+  for (std::size_t i = 0; i < 50; ++i) {
+    y[i] = rng.Uniform(0, 100);
+    p[i] = y[i] + rng.Gaussian(0, 10);
+  }
+  const auto interval = BootstrapMaeInterval(y, p, 500, 0.9, 1);
+  EXPECT_LE(interval.lower, interval.point);
+  EXPECT_GE(interval.upper, interval.point);
+  EXPECT_GT(interval.upper, interval.lower);
+}
+
+TEST(BootstrapTest, WiderConfidenceWiderInterval) {
+  std::vector<double> y(40), p(40);
+  Rng rng(5);
+  for (std::size_t i = 0; i < 40; ++i) {
+    y[i] = rng.Uniform(0, 100);
+    p[i] = y[i] + rng.Gaussian(0, 20);
+  }
+  const auto narrow = BootstrapMaeInterval(y, p, 800, 0.5, 2);
+  const auto wide = BootstrapMaeInterval(y, p, 800, 0.99, 2);
+  EXPECT_LT(narrow.upper - narrow.lower, wide.upper - wide.lower);
+}
+
+TEST(BootstrapTest, DegenerateInputsCollapse) {
+  const auto interval = BootstrapMaeInterval({1.0}, {2.0});
+  EXPECT_DOUBLE_EQ(interval.lower, interval.point);
+  EXPECT_DOUBLE_EQ(interval.upper, interval.point);
+}
+
+}  // namespace
+}  // namespace domd

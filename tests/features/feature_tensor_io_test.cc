@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "data/logical_time.h"
+#include "features/feature_engineer.h"
+#include "synth/generator.h"
+
+namespace domd {
+namespace {
+
+TEST(FeatureTensorIoTest, BinaryRoundTripIsExact) {
+  SynthConfig config;
+  config.seed = 3;
+  config.num_avails = 10;
+  config.mean_rccs_per_avail = 25;
+  const Dataset data = GenerateDataset(config);
+  FeatureEngineer engineer(&data);
+  std::vector<std::int64_t> ids;
+  for (const Avail& a : data.avails.rows()) ids.push_back(a.id);
+  const auto grid = LogicalTimeGrid(25.0);
+  const FeatureTensor tensor = engineer.ComputeIncremental(ids, grid);
+
+  const std::string path = ::testing::TempDir() + "/tensor.bin";
+  ASSERT_TRUE(tensor.SaveBinary(path).ok());
+  const auto loaded = FeatureTensor::LoadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->avail_ids(), tensor.avail_ids());
+  EXPECT_EQ(loaded->time_grid(), tensor.time_grid());
+  EXPECT_EQ(loaded->num_features(), tensor.num_features());
+  for (std::size_t step = 0; step < grid.size(); ++step) {
+    // Bit-exact: binary doubles round-trip losslessly.
+    EXPECT_EQ(loaded->slice(step).data(), tensor.slice(step).data());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FeatureTensorIoTest, RejectsMissingAndCorruptFiles) {
+  EXPECT_FALSE(FeatureTensor::LoadBinary("/nonexistent/tensor.bin").ok());
+
+  const std::string path = ::testing::TempDir() + "/not_a_tensor.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("garbage", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(FeatureTensor::LoadBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(FeatureTensorIoTest, RejectsTruncatedFile) {
+  FeatureTensor tensor({1, 2, 3}, {0.0, 50.0, 100.0}, 5);
+  const std::string path = ::testing::TempDir() + "/trunc_tensor.bin";
+  ASSERT_TRUE(tensor.SaveBinary(path).ok());
+  // Truncate mid-slice.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size - 16), 0);
+  }
+  EXPECT_FALSE(FeatureTensor::LoadBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace domd

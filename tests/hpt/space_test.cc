@@ -1,0 +1,54 @@
+#include "hpt/space.h"
+
+#include <gtest/gtest.h>
+
+namespace domd {
+namespace {
+
+ParamSpace MakeSpace() {
+  ParamSpace space;
+  space.AddUniform("u", 0.0, 1.0)
+      .AddLogUniform("lr", 0.01, 1.0)
+      .AddInt("depth", 2, 6)
+      .AddCategorical("choice", {0.0, 1.0, 2.0});
+  return space;
+}
+
+TEST(ParamSpaceTest, DomainsRecorded) {
+  const ParamSpace space = MakeSpace();
+  ASSERT_EQ(space.size(), 4u);
+  EXPECT_EQ(space.domains()[0].kind, ParamDomain::Kind::kUniform);
+  EXPECT_EQ(space.domains()[1].kind, ParamDomain::Kind::kLogUniform);
+  EXPECT_EQ(space.domains()[2].kind, ParamDomain::Kind::kInt);
+  EXPECT_EQ(space.domains()[3].kind, ParamDomain::Kind::kCategorical);
+  EXPECT_EQ(space.domains()[3].choices.size(), 3u);
+}
+
+TEST(ParamSpaceTest, ToMapNamesValues) {
+  const ParamSpace space = MakeSpace();
+  const ParamMap map = space.ToMap({0.5, 0.1, 4.0, 2.0});
+  EXPECT_DOUBLE_EQ(map.at("u"), 0.5);
+  EXPECT_DOUBLE_EQ(map.at("lr"), 0.1);
+  EXPECT_DOUBLE_EQ(map.at("depth"), 4.0);
+  EXPECT_DOUBLE_EQ(map.at("choice"), 2.0);
+}
+
+TEST(ParamSpaceTest, ValidateAccepts) {
+  const ParamSpace space = MakeSpace();
+  EXPECT_TRUE(space.Validate({0.5, 0.1, 4.0, 2.0}).ok());
+  EXPECT_TRUE(space.Validate({0.0, 0.01, 2.0, 0.0}).ok());
+  EXPECT_TRUE(space.Validate({1.0, 1.0, 6.0, 1.0}).ok());
+}
+
+TEST(ParamSpaceTest, ValidateRejects) {
+  const ParamSpace space = MakeSpace();
+  EXPECT_FALSE(space.Validate({0.5, 0.1, 4.0}).ok());        // arity
+  EXPECT_FALSE(space.Validate({1.5, 0.1, 4.0, 2.0}).ok());   // u out of range
+  EXPECT_FALSE(space.Validate({0.5, 0.001, 4.0, 2.0}).ok()); // lr below lo
+  EXPECT_FALSE(space.Validate({0.5, 0.1, 4.5, 2.0}).ok());   // non-integer
+  EXPECT_FALSE(space.Validate({0.5, 0.1, 7.0, 2.0}).ok());   // int above hi
+  EXPECT_FALSE(space.Validate({0.5, 0.1, 4.0, 5.0}).ok());   // bad choice
+}
+
+}  // namespace
+}  // namespace domd

@@ -1,0 +1,99 @@
+#include "hpt/tpe.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace domd {
+namespace {
+
+ParamSpace MakeSpace() {
+  ParamSpace space;
+  space.AddUniform("x", -10.0, 10.0)
+      .AddLogUniform("scale", 0.01, 100.0)
+      .AddInt("n", 1, 20)
+      .AddCategorical("c", {0.0, 1.0, 2.0});
+  return space;
+}
+
+TEST(TpeSamplerTest, UniformSamplesRespectDomains) {
+  const ParamSpace space = MakeSpace();
+  TpeSampler sampler(&space, TpeOptions{}, 1);
+  for (int i = 0; i < 200; ++i) {
+    const auto params = sampler.SampleUniform();
+    EXPECT_TRUE(space.Validate(params).ok());
+  }
+}
+
+TEST(TpeSamplerTest, StartupPhaseIsRandom) {
+  const ParamSpace space = MakeSpace();
+  TpeOptions options;
+  options.num_startup_trials = 10;
+  TpeSampler sampler(&space, options, 2);
+  std::vector<Trial> history;
+  const auto params = sampler.Suggest(history);
+  EXPECT_TRUE(space.Validate(params).ok());
+}
+
+TEST(TpeSamplerTest, SuggestionsAlwaysValid) {
+  const ParamSpace space = MakeSpace();
+  TpeSampler sampler(&space, TpeOptions{}, 3);
+  std::vector<Trial> history;
+  for (int i = 0; i < 60; ++i) {
+    auto params = sampler.Suggest(history);
+    ASSERT_TRUE(space.Validate(params).ok()) << "trial " << i;
+    // Synthetic objective: distance of x from 3.
+    const double objective = std::fabs(params[0] - 3.0);
+    history.push_back(Trial{std::move(params), objective});
+  }
+}
+
+TEST(TpeSamplerTest, ConcentratesNearGoodRegion) {
+  // Optimize f(x) = (x - 3)^2 over [-10, 10]: after enough trials, TPE
+  // suggestions should cluster around 3 far more than uniform sampling.
+  ParamSpace space;
+  space.AddUniform("x", -10.0, 10.0);
+  TpeSampler sampler(&space, TpeOptions{}, 5);
+  std::vector<Trial> history;
+  for (int i = 0; i < 80; ++i) {
+    auto params = sampler.Suggest(history);
+    const double x = params[0];
+    history.push_back(Trial{std::move(params), (x - 3.0) * (x - 3.0)});
+  }
+  // Count late-phase suggestions within +-2.5 of the optimum.
+  int near = 0, total = 0;
+  for (std::size_t i = 40; i < history.size(); ++i) {
+    ++total;
+    if (std::fabs(history[i].params[0] - 3.0) < 2.5) ++near;
+  }
+  EXPECT_GT(static_cast<double>(near) / total, 0.5)
+      << "expected exploitation near the optimum";
+}
+
+TEST(TpeSamplerTest, DeterministicGivenSeed) {
+  const ParamSpace space = MakeSpace();
+  TpeSampler a(&space, TpeOptions{}, 7);
+  TpeSampler b(&space, TpeOptions{}, 7);
+  std::vector<Trial> history;
+  for (int i = 0; i < 20; ++i) {
+    const auto pa = a.Suggest(history);
+    const auto pb = b.Suggest(history);
+    EXPECT_EQ(pa, pb);
+    history.push_back(Trial{pa, static_cast<double>(i % 5)});
+  }
+}
+
+TEST(TpeSamplerTest, LogUniformStaysPositive) {
+  ParamSpace space;
+  space.AddLogUniform("s", 1e-4, 10.0);
+  TpeSampler sampler(&space, TpeOptions{}, 11);
+  std::vector<Trial> history;
+  for (int i = 0; i < 50; ++i) {
+    auto params = sampler.Suggest(history);
+    ASSERT_GT(params[0], 0.0);
+    history.push_back(Trial{std::move(params), 1.0});
+  }
+}
+
+}  // namespace
+}  // namespace domd

@@ -1,0 +1,93 @@
+#include "hpt/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace domd {
+namespace {
+
+TEST(TunerTest, FindsNearOptimumOfSmoothFunction) {
+  ParamSpace space;
+  space.AddUniform("x", 0.0, 10.0).AddUniform("y", 0.0, 10.0);
+  Tuner tuner(&space, TpeOptions{}, 3);
+  const auto result = tuner.Run(
+      [](const ParamMap& p) {
+        const double dx = p.at("x") - 7.0;
+        const double dy = p.at("y") - 2.0;
+        return dx * dx + dy * dy;
+      },
+      80);
+  EXPECT_LT(result.best_objective, 1.5);
+  EXPECT_NEAR(result.best_map.at("x"), 7.0, 1.5);
+  EXPECT_NEAR(result.best_map.at("y"), 2.0, 1.5);
+}
+
+TEST(TunerTest, HistoryLengthMatchesTrials) {
+  ParamSpace space;
+  space.AddUniform("x", 0.0, 1.0);
+  Tuner tuner(&space, TpeOptions{}, 5);
+  const auto result =
+      tuner.Run([](const ParamMap& p) { return p.at("x"); }, 25);
+  EXPECT_EQ(result.trials.size(), 25u);
+}
+
+TEST(TunerTest, BestObjectiveIsMinOfHistory) {
+  ParamSpace space;
+  space.AddUniform("x", -1.0, 1.0);
+  Tuner tuner(&space, TpeOptions{}, 7);
+  const auto result =
+      tuner.Run([](const ParamMap& p) { return std::fabs(p.at("x")); }, 30);
+  double min_seen = 1e18;
+  for (const Trial& t : result.trials) {
+    min_seen = std::min(min_seen, t.objective);
+  }
+  EXPECT_DOUBLE_EQ(result.best_objective, min_seen);
+}
+
+TEST(TunerTest, MoreTrialsNeverHurtBest) {
+  // The SMBO best-so-far is monotone in trial count — the property behind
+  // the paper's Fig. 6e table.
+  ParamSpace space;
+  space.AddUniform("x", 0.0, 100.0);
+  Tuner tuner(&space, TpeOptions{}, 9);
+  const auto result = tuner.Run(
+      [](const ParamMap& p) { return std::fabs(p.at("x") - 42.0); }, 100);
+  double best = 1e18;
+  std::vector<double> best_at;
+  for (const Trial& t : result.trials) {
+    best = std::min(best, t.objective);
+    best_at.push_back(best);
+  }
+  for (std::size_t i = 1; i < best_at.size(); ++i) {
+    EXPECT_LE(best_at[i], best_at[i - 1]);
+  }
+  EXPECT_LT(best_at.back(), best_at[9]);  // improved past random startup
+}
+
+TEST(TunerTest, DeterministicGivenSeed) {
+  ParamSpace space;
+  space.AddUniform("x", 0.0, 1.0);
+  Tuner a(&space, TpeOptions{}, 11);
+  Tuner b(&space, TpeOptions{}, 11);
+  auto objective = [](const ParamMap& p) { return p.at("x"); };
+  EXPECT_DOUBLE_EQ(a.Run(objective, 20).best_objective,
+                   b.Run(objective, 20).best_objective);
+}
+
+TEST(TunerTest, IntegerAndCategoricalDimensions) {
+  ParamSpace space;
+  space.AddInt("n", 1, 9).AddCategorical("mode", {0.0, 10.0});
+  Tuner tuner(&space, TpeOptions{}, 13);
+  const auto result = tuner.Run(
+      [](const ParamMap& p) {
+        return std::fabs(p.at("n") - 6.0) + p.at("mode");
+      },
+      60);
+  EXPECT_DOUBLE_EQ(result.best_map.at("mode"), 0.0);
+  EXPECT_NEAR(result.best_map.at("n"), 6.0, 1.0);
+}
+
+}  // namespace
+}  // namespace domd

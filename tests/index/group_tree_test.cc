@@ -1,0 +1,148 @@
+#include "index/group_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/generator.h"
+
+namespace domd {
+namespace {
+
+TEST(GroupSchemaTest, GroupCountConstants) {
+  EXPECT_EQ(GroupSchema::kNumLevel1Groups, 40);
+  EXPECT_EQ(GroupSchema::kNumLevel2Groups, 90);
+  EXPECT_EQ(GroupSchema::kNumGroups, 130);
+}
+
+TEST(GroupSchemaTest, Level1IdsAreDenseAndUnique) {
+  std::set<int> ids;
+  for (int type_slot = 0; type_slot < GroupSchema::kNumTypeSlots;
+       ++type_slot) {
+    for (int sub = 0; sub < GroupSchema::kNumSubsystemSlots; ++sub) {
+      const int id = GroupSchema::Level1GroupId(type_slot, sub);
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, GroupSchema::kNumLevel1Groups);
+      EXPECT_TRUE(ids.insert(id).second);
+    }
+  }
+  EXPECT_EQ(ids.size(), 40u);
+}
+
+TEST(GroupSchemaTest, Level2IdsFollowLevel1) {
+  EXPECT_EQ(GroupSchema::Level2GroupId(10), GroupSchema::kNumLevel1Groups);
+  EXPECT_EQ(GroupSchema::Level2GroupId(99), GroupSchema::kNumGroups - 1);
+}
+
+TEST(GroupSchemaTest, GroupsForRccMembership) {
+  std::vector<int> groups;
+  GroupSchema::GroupsForRcc(RccType::kGrowth, *Swlin::Parse("434-11-001"),
+                            &groups);
+  // ALL/ALL, G/ALL, ALL/4, G/4, ALL-prefix-43.
+  ASSERT_EQ(groups.size(), 5u);
+  EXPECT_EQ(groups[0], GroupSchema::Level1GroupId(0, 0));
+  EXPECT_EQ(groups[1],
+            GroupSchema::Level1GroupId(GroupSchema::TypeSlot(RccType::kGrowth), 0));
+  EXPECT_EQ(groups[2], GroupSchema::Level1GroupId(0, 4));
+  EXPECT_EQ(groups[3], GroupSchema::Level1GroupId(1, 4));
+  EXPECT_EQ(groups[4], GroupSchema::Level2GroupId(43));
+}
+
+TEST(GroupSchemaTest, ZeroSubsystemSkipsSwlinGroups) {
+  std::vector<int> groups;
+  GroupSchema::GroupsForRcc(RccType::kNewWork, *Swlin::Parse("012-34-567"),
+                            &groups);
+  ASSERT_EQ(groups.size(), 2u);  // only the type-level memberships
+}
+
+TEST(GroupSchemaTest, GroupNames) {
+  EXPECT_EQ(GroupSchema::GroupName(GroupSchema::Level1GroupId(0, 0)), "ALL");
+  EXPECT_EQ(GroupSchema::GroupName(GroupSchema::Level1GroupId(1, 1)), "G1");
+  EXPECT_EQ(GroupSchema::GroupName(GroupSchema::Level1GroupId(3, 9)), "NG9");
+  EXPECT_EQ(GroupSchema::GroupName(GroupSchema::Level1GroupId(2, 0)), "N");
+  EXPECT_EQ(GroupSchema::GroupName(GroupSchema::Level2GroupId(43)), "ALL43");
+}
+
+TEST(BuildIndexEntriesTest, ConvertsToLogicalTime) {
+  SynthConfig config;
+  config.num_avails = 10;
+  config.mean_rccs_per_avail = 30;
+  const Dataset data = GenerateDataset(config);
+  const auto entries = BuildIndexEntries(data);
+  EXPECT_EQ(entries.size(), data.rccs.size());
+  for (const IndexEntry& e : entries) {
+    EXPECT_GE(e.start, 0.0);
+    if (e.end != IndexEntry::kOpenEnd) {
+      EXPECT_GE(e.end, e.start);
+    }
+  }
+}
+
+TEST(GroupedRccIndexTest, NodeSizesAreConsistent) {
+  SynthConfig config;
+  config.num_avails = 15;
+  config.mean_rccs_per_avail = 40;
+  const Dataset data = GenerateDataset(config);
+  const GroupedRccIndex grouped(data, IndexBackend::kAvlTree);
+
+  // The ALL/ALL node indexes every RCC.
+  const auto& root = grouped.node(GroupSchema::Level1GroupId(0, 0));
+  EXPECT_EQ(root.size(), data.rccs.size());
+
+  // Type-marginal nodes partition the RCC set.
+  std::size_t by_type = 0;
+  for (int slot = 1; slot < GroupSchema::kNumTypeSlots; ++slot) {
+    by_type += grouped.node(GroupSchema::Level1GroupId(slot, 0)).size();
+  }
+  EXPECT_EQ(by_type, data.rccs.size());
+
+  // Subsystem-marginal nodes partition it too (all subsystems are 1..9).
+  std::size_t by_subsystem = 0;
+  for (int sub = 1; sub < GroupSchema::kNumSubsystemSlots; ++sub) {
+    by_subsystem += grouped.node(GroupSchema::Level1GroupId(0, sub)).size();
+  }
+  EXPECT_EQ(by_subsystem, data.rccs.size());
+
+  // Level-2 nodes refine the subsystem marginals.
+  std::size_t by_level2 = 0;
+  for (int prefix = 10; prefix <= 99; ++prefix) {
+    by_level2 += grouped.node(GroupSchema::Level2GroupId(prefix)).size();
+  }
+  EXPECT_EQ(by_level2, data.rccs.size());
+}
+
+TEST(GroupedRccIndexTest, QueriesAgreeAcrossBackends) {
+  SynthConfig config;
+  config.num_avails = 10;
+  config.mean_rccs_per_avail = 25;
+  const Dataset data = GenerateDataset(config);
+
+  const GroupedRccIndex avl(data, IndexBackend::kAvlTree);
+  const GroupedRccIndex interval(data, IndexBackend::kIntervalTree);
+  const GroupedRccIndex naive(data, IndexBackend::kNaiveJoin);
+
+  for (int g : {GroupSchema::Level1GroupId(0, 0),
+                GroupSchema::Level1GroupId(1, 3),
+                GroupSchema::Level2GroupId(25)}) {
+    for (double t : {10.0, 50.0, 90.0}) {
+      const std::size_t a = avl.node(g).CountActive(t);
+      EXPECT_EQ(a, interval.node(g).CountActive(t));
+      EXPECT_EQ(a, naive.node(g).CountActive(t));
+    }
+  }
+}
+
+TEST(GroupedRccIndexTest, MemoryAggregation) {
+  SynthConfig config;
+  config.num_avails = 8;
+  config.mean_rccs_per_avail = 20;
+  const Dataset data = GenerateDataset(config);
+  const GroupedRccIndex grouped(data, IndexBackend::kAvlTree);
+  EXPECT_GT(grouped.MemoryUsageBytes(), 0u);
+  // Each RCC contributes 4 or 5 memberships.
+  EXPECT_GE(grouped.TotalEntries(), data.rccs.size() * 4);
+  EXPECT_LE(grouped.TotalEntries(), data.rccs.size() * 5);
+}
+
+}  // namespace
+}  // namespace domd

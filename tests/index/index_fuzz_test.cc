@@ -1,0 +1,86 @@
+// Randomized interleaved insert/erase/query fuzzing across every backend x
+// several seeds (TEST_P sweep): after every mutation batch, all four
+// retrieval sets must match a brute-force oracle.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/logical_time_index.h"
+
+namespace domd {
+namespace {
+
+class IndexFuzzTest
+    : public ::testing::TestWithParam<std::tuple<IndexBackend, int>> {};
+
+TEST_P(IndexFuzzTest, InterleavedMutationsMatchOracle) {
+  const auto [backend, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  auto index = CreateLogicalTimeIndex(backend);
+  index->Build({});
+
+  std::map<std::int64_t, IndexEntry> live;
+  std::int64_t next_id = 1;
+
+  for (int batch = 0; batch < 20; ++batch) {
+    // Mutate: mostly inserts early, erases later.
+    const int mutations = 25;
+    for (int m = 0; m < mutations; ++m) {
+      const bool erase = !live.empty() && rng.Bernoulli(batch < 10 ? 0.2 : 0.6);
+      if (erase) {
+        auto it = live.begin();
+        std::advance(it, static_cast<long>(rng.UniformInt(
+                             0, static_cast<std::int64_t>(live.size()) - 1)));
+        ASSERT_TRUE(index->Erase(it->second).ok());
+        live.erase(it);
+      } else {
+        IndexEntry entry;
+        entry.id = next_id++;
+        entry.start = rng.Uniform(0, 100);
+        entry.end = rng.Bernoulli(0.06)
+                        ? IndexEntry::kOpenEnd
+                        : entry.start + rng.Uniform(0, 50);
+        index->Insert(entry);
+        live[entry.id] = entry;
+      }
+    }
+    ASSERT_EQ(index->size(), live.size());
+
+    // Verify against the oracle at a random probe time.
+    const double t = rng.Uniform(-10, 140);
+    std::set<std::int64_t> oracle_active, oracle_settled, oracle_created;
+    for (const auto& [id, entry] : live) {
+      if (entry.start <= t && entry.end > t) oracle_active.insert(id);
+      if (entry.end <= t) oracle_settled.insert(id);
+      if (entry.start <= t) oracle_created.insert(id);
+    }
+    std::vector<std::int64_t> ids;
+    index->CollectActive(t, &ids);
+    EXPECT_EQ(std::set<std::int64_t>(ids.begin(), ids.end()), oracle_active)
+        << "batch " << batch << " t=" << t;
+    index->CollectSettled(t, &ids);
+    EXPECT_EQ(std::set<std::int64_t>(ids.begin(), ids.end()), oracle_settled);
+    index->CollectCreated(t, &ids);
+    EXPECT_EQ(std::set<std::int64_t>(ids.begin(), ids.end()), oracle_created);
+    EXPECT_EQ(index->CountActive(t), oracle_active.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsBySeeds, IndexFuzzTest,
+    ::testing::Combine(::testing::Values(IndexBackend::kIntervalTree,
+                                         IndexBackend::kAvlTree,
+                                         IndexBackend::kNaiveJoin),
+                       ::testing::Range(0, 5)),
+    [](const ::testing::TestParamInfo<std::tuple<IndexBackend, int>>& info) {
+      return std::string(IndexBackendToString(std::get<0>(info.param))) +
+             "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace domd

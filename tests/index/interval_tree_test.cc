@@ -1,0 +1,99 @@
+#include "index/interval_tree_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace domd {
+namespace {
+
+TEST(IntervalTreeIndexTest, StaysBalancedUnderSortedInsertion) {
+  IntervalTreeIndex index;
+  const int n = 4096;
+  for (int i = 0; i < n; ++i) {
+    index.Insert({static_cast<double>(i), static_cast<double>(i) + 3.0,
+                  i + 1});
+  }
+  const double bound = 1.44 * std::log2(n + 2);
+  EXPECT_LE(index.Height(), static_cast<int>(bound) + 1);
+}
+
+TEST(IntervalTreeIndexTest, StabbingQueryPrunesCorrectly) {
+  // Construct nested and disjoint intervals around the probe point.
+  IntervalTreeIndex index;
+  index.Build({
+      {0.0, 100.0, 1},   // contains everything
+      {40.0, 60.0, 2},   // contains 50
+      {49.0, 51.0, 3},   // contains 50
+      {0.0, 10.0, 4},    // settled long before
+      {90.0, 95.0, 5},   // not yet created
+      {50.0, 50.0, 6},   // zero-width: settles instantly
+  });
+  std::vector<std::int64_t> ids;
+  index.CollectActive(50.0, &ids);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(IntervalTreeIndexTest, ZeroWidthIntervalSettlesAtItsPoint) {
+  IntervalTreeIndex index;
+  index.Build({{50.0, 50.0, 1}});
+  EXPECT_EQ(index.CountActive(50.0), 0u);
+  EXPECT_EQ(index.CountSettled(50.0), 1u);
+  EXPECT_EQ(index.CountCreated(50.0), 1u);
+  EXPECT_EQ(index.CountSettled(49.9), 0u);
+}
+
+TEST(IntervalTreeIndexTest, EraseMaintainsAugmentation) {
+  Rng rng(3);
+  std::vector<IndexEntry> entries;
+  for (int i = 0; i < 300; ++i) {
+    const double s = rng.Uniform(0, 100);
+    entries.push_back({s, s + rng.Uniform(0, 30), i + 1});
+  }
+  IntervalTreeIndex index;
+  index.Build(entries);
+  // Remove every third entry, then verify stabbing results against oracle.
+  std::vector<IndexEntry> kept;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i % 3 == 0) {
+      ASSERT_TRUE(index.Erase(entries[i]).ok());
+    } else {
+      kept.push_back(entries[i]);
+    }
+  }
+  for (double t : {10.0, 50.0, 90.0}) {
+    std::vector<std::int64_t> got;
+    index.CollectActive(t, &got);
+    std::size_t expected = 0;
+    for (const auto& e : kept) {
+      if (e.start <= t && e.end > t) ++expected;
+    }
+    EXPECT_EQ(got.size(), expected) << t;
+  }
+}
+
+TEST(IntervalTreeIndexTest, MemoryAccountsPerNode) {
+  IntervalTreeIndex index;
+  std::vector<IndexEntry> entries;
+  for (int i = 0; i < 100; ++i) {
+    entries.push_back({static_cast<double>(i), static_cast<double>(i + 1),
+                       i + 1});
+  }
+  index.Build(entries);
+  EXPECT_GE(index.MemoryUsageBytes(), 100u * 48u);
+  const std::size_t before = index.MemoryUsageBytes();
+  ASSERT_TRUE(index.Erase(entries[0]).ok());
+  EXPECT_LT(index.MemoryUsageBytes(), before);
+}
+
+TEST(IntervalTreeIndexTest, BackendTag) {
+  IntervalTreeIndex index;
+  EXPECT_EQ(index.backend(), IndexBackend::kIntervalTree);
+}
+
+}  // namespace
+}  // namespace domd

@@ -1,0 +1,145 @@
+// End-to-end integration tests: synthetic fleet -> persistence -> feature
+// engineering -> trained pipeline -> Table-7-style evaluation, exercising
+// the same path as the paper's deployment.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/domd_estimator.h"
+#include "data/splits.h"
+#include "ml/metrics.h"
+#include "synth/generator.h"
+
+namespace domd {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SynthConfig config = ModelingConfig(42);
+    config.num_avails = 120;          // trimmed for test runtime
+    config.mean_rccs_per_avail = 80;
+    data_ = new Dataset(GenerateDataset(config));
+    Rng rng(43);
+    split_ = new DataSplit(MakeSplit(data_->avails, SplitOptions{}, &rng));
+
+    PipelineConfig pipeline;
+    pipeline.window_width_pct = 20.0;  // 6 models
+    pipeline.num_features = 40;
+    pipeline.gbt.num_rounds = 80;
+    estimator_ = new StatusOr<DomdEstimator>(
+        DomdEstimator::Train(data_, pipeline, split_->train));
+  }
+  static void TearDownTestSuite() {
+    delete estimator_;
+    delete split_;
+    delete data_;
+  }
+
+  static Dataset* data_;
+  static DataSplit* split_;
+  static StatusOr<DomdEstimator>* estimator_;
+};
+
+Dataset* EndToEndTest::data_ = nullptr;
+DataSplit* EndToEndTest::split_ = nullptr;
+StatusOr<DomdEstimator>* EndToEndTest::estimator_ = nullptr;
+
+TEST_F(EndToEndTest, DatasetPersistenceRoundTrip) {
+  const std::string avail_path = ::testing::TempDir() + "/avails.csv";
+  const std::string rcc_path = ::testing::TempDir() + "/rccs.csv";
+  ASSERT_TRUE(data_->avails.WriteFile(avail_path).ok());
+  ASSERT_TRUE(data_->rccs.WriteFile(rcc_path).ok());
+
+  const auto avails = AvailTable::ReadFile(avail_path);
+  const auto rccs = RccTable::ReadFile(rcc_path);
+  ASSERT_TRUE(avails.ok());
+  ASSERT_TRUE(rccs.ok());
+  EXPECT_EQ(avails->size(), data_->avails.size());
+  EXPECT_EQ(rccs->size(), data_->rccs.size());
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(avails->rows()[i].delay(), data_->avails.rows()[i].delay());
+  }
+  std::remove(avail_path.c_str());
+  std::remove(rcc_path.c_str());
+}
+
+TEST_F(EndToEndTest, TestSetQualityPanel) {
+  // The Table-7 shape: usable R^2, percentile MAEs ordered, fused
+  // prediction at 100% better than the zero baseline by a wide margin.
+  ASSERT_TRUE(estimator_->ok()) << estimator_->status();
+  std::vector<double> truth, predicted;
+  for (std::int64_t id : split_->test) {
+    const auto result = (*estimator_)->QueryAtLogicalTime(id, 100.0);
+    ASSERT_TRUE(result.ok());
+    truth.push_back(
+        static_cast<double>(*(*data_->avails.Find(id))->delay()));
+    predicted.push_back(result->fused_estimate_days);
+  }
+  const EvalMetrics metrics = ComputeEvalMetrics(truth, predicted);
+  EXPECT_LE(metrics.mae80, metrics.mae90);
+  EXPECT_LE(metrics.mae90, metrics.mae100);
+  EXPECT_GT(metrics.r2, 0.5) << "planted signal should be learnable";
+  EXPECT_NEAR(metrics.rmse * metrics.rmse, metrics.mse,
+              1e-6 * metrics.mse + 1e-9);
+
+  const std::vector<double> zeros(truth.size(), 0.0);
+  EXPECT_LT(metrics.mae100, MeanAbsoluteError(truth, zeros) * 0.8);
+}
+
+TEST_F(EndToEndTest, ErrorImprovesFromBasePredictionToMidTimeline) {
+  // Table 7's qualitative shape: information accrues over the timeline, so
+  // mid-timeline estimates beat the t*=0 base prediction on average.
+  ASSERT_TRUE(estimator_->ok());
+  double base_error = 0.0, late_error = 0.0;
+  for (std::int64_t id : split_->test) {
+    const auto result = (*estimator_)->QueryAtLogicalTime(id, 100.0);
+    ASSERT_TRUE(result.ok());
+    const double truth =
+        static_cast<double>(*(*data_->avails.Find(id))->delay());
+    base_error += std::fabs(truth - result->steps[0].estimated_delay_days);
+    late_error +=
+        std::fabs(truth - result->steps.back().estimated_delay_days);
+  }
+  EXPECT_LT(late_error, base_error);
+}
+
+TEST_F(EndToEndTest, InterpretabilitySurfacesDynamicFeaturesLate) {
+  // By late logical time, RCC-derived features should appear among the top
+  // contributors for at least some test avails.
+  ASSERT_TRUE(estimator_->ok());
+  int dynamic_hits = 0;
+  for (std::int64_t id : split_->test) {
+    const auto result = (*estimator_)->QueryAtLogicalTime(id, 100.0, 5);
+    ASSERT_TRUE(result.ok());
+    for (const auto& feature : result->steps.back().top_features) {
+      // Dynamic names contain a '-' (e.g. "G1-SETTLED_AVG_AMT").
+      if (feature.feature_name.find('-') != std::string::npos) {
+        ++dynamic_hits;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(dynamic_hits, 0);
+}
+
+TEST_F(EndToEndTest, DeterministicEndToEnd) {
+  ASSERT_TRUE(estimator_->ok());
+  PipelineConfig pipeline = (*estimator_)->config();
+  const auto second =
+      DomdEstimator::Train(data_, pipeline, split_->train);
+  ASSERT_TRUE(second.ok());
+  for (std::int64_t id :
+       {split_->test.front(), split_->test.back()}) {
+    const auto a = (*estimator_)->QueryAtLogicalTime(id, 100.0);
+    const auto b = second->QueryAtLogicalTime(id, 100.0);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_DOUBLE_EQ(a->fused_estimate_days, b->fused_estimate_days);
+  }
+}
+
+}  // namespace
+}  // namespace domd

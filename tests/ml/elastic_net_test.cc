@@ -1,0 +1,152 @@
+#include "ml/elastic_net.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+
+namespace domd {
+namespace {
+
+// y = 3 x0 - 2 x1 + 5 plus optional noise.
+void MakeLinearData(std::size_t n, double noise, Matrix* x,
+                    std::vector<double>* y, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  *x = Matrix(n, 2);
+  y->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x->at(i, 0) = rng.Uniform(-5, 5);
+    x->at(i, 1) = rng.Uniform(-5, 5);
+    (*y)[i] = 3.0 * x->at(i, 0) - 2.0 * x->at(i, 1) + 5.0 +
+              noise * rng.Gaussian();
+  }
+}
+
+TEST(ElasticNetTest, RecoversLinearModelWithTinyRegularization) {
+  Matrix x;
+  std::vector<double> y;
+  MakeLinearData(200, 0.0, &x, &y);
+  ElasticNetParams params;
+  params.alpha = 1e-6;
+  ElasticNetRegression model(params);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_NEAR(model.coefficients()[0], 3.0, 0.01);
+  EXPECT_NEAR(model.coefficients()[1], -2.0, 0.01);
+  EXPECT_NEAR(model.intercept(), 5.0, 0.05);
+}
+
+TEST(ElasticNetTest, PredictsUnseenPoints) {
+  Matrix x;
+  std::vector<double> y;
+  MakeLinearData(300, 0.5, &x, &y);
+  ElasticNetParams params;
+  params.alpha = 0.01;
+  ElasticNetRegression model(params);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+
+  Matrix test_x;
+  std::vector<double> test_y;
+  MakeLinearData(100, 0.5, &test_x, &test_y, /*seed=*/99);
+  const std::vector<double> pred = model.PredictBatch(test_x);
+  EXPECT_GT(R2Score(test_y, pred), 0.95);
+}
+
+TEST(ElasticNetTest, HeavyL1ShrinksToZero) {
+  Matrix x;
+  std::vector<double> y;
+  MakeLinearData(100, 0.1, &x, &y);
+  ElasticNetParams params;
+  params.alpha = 1e6;
+  params.l1_ratio = 1.0;
+  ElasticNetRegression model(params);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_DOUBLE_EQ(model.coefficients()[0], 0.0);
+  EXPECT_DOUBLE_EQ(model.coefficients()[1], 0.0);
+  // Prediction collapses to the label mean.
+  double mean = 0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  EXPECT_NEAR(model.Predict(x.row(0)), mean, 1e-9);
+}
+
+TEST(ElasticNetTest, LassoSelectsRelevantFeature) {
+  // x1 is pure noise; moderate L1 should zero it while keeping x0.
+  Rng rng(5);
+  Matrix x(150, 2);
+  std::vector<double> y(150);
+  for (std::size_t i = 0; i < 150; ++i) {
+    x.at(i, 0) = rng.Uniform(-5, 5);
+    x.at(i, 1) = rng.Uniform(-5, 5);
+    y[i] = 4.0 * x.at(i, 0) + 0.05 * rng.Gaussian();
+  }
+  ElasticNetParams params;
+  params.alpha = 0.5;
+  params.l1_ratio = 1.0;
+  ElasticNetRegression model(params);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_GT(std::fabs(model.coefficients()[0]), 1.0);
+  EXPECT_NEAR(model.coefficients()[1], 0.0, 0.02);
+}
+
+TEST(ElasticNetTest, ConstantColumnGetsZeroCoefficient) {
+  Rng rng(9);
+  Matrix x(50, 2);
+  std::vector<double> y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x.at(i, 0) = 7.0;  // constant
+    x.at(i, 1) = rng.Uniform(-1, 1);
+    y[i] = 2.0 * x.at(i, 1);
+  }
+  ElasticNetRegression model(ElasticNetParams{0.001, 0.5, 1000, 1e-8});
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_NEAR(model.coefficients()[0], 0.0, 1e-9);
+  EXPECT_NEAR(model.coefficients()[1], 2.0, 0.05);
+}
+
+TEST(ElasticNetTest, RejectsDegenerateInputs) {
+  ElasticNetRegression model;
+  Matrix empty;
+  EXPECT_FALSE(model.Fit(empty, {}).ok());
+  Matrix x(3, 1);
+  EXPECT_FALSE(model.Fit(x, {1.0, 2.0}).ok());  // label mismatch
+}
+
+TEST(ElasticNetTest, ImportancesAreAbsoluteCoefficients) {
+  Matrix x;
+  std::vector<double> y;
+  MakeLinearData(100, 0.0, &x, &y);
+  ElasticNetRegression model(ElasticNetParams{1e-6, 0.5, 1000, 1e-8});
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  const auto importances = model.FeatureImportances();
+  EXPECT_NEAR(importances[0], 3.0, 0.02);
+  EXPECT_NEAR(importances[1], 2.0, 0.02);
+}
+
+TEST(ElasticNetTest, ContributionsSumToPrediction) {
+  Matrix x;
+  std::vector<double> y;
+  MakeLinearData(80, 0.3, &x, &y);
+  ElasticNetRegression model(ElasticNetParams{0.01, 0.5, 1000, 1e-8});
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  for (std::size_t r = 0; r < 5; ++r) {
+    const auto contributions = model.Contributions(x.row(r));
+    double sum = 0;
+    for (double c : contributions) sum += c;
+    EXPECT_NEAR(sum, model.Predict(x.row(r)), 1e-9);
+  }
+}
+
+TEST(ElasticNetTest, ConvergesWellBeforeIterationCap) {
+  Matrix x;
+  std::vector<double> y;
+  MakeLinearData(100, 0.0, &x, &y);
+  ElasticNetRegression model(ElasticNetParams{0.001, 0.5, 1000, 1e-8});
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_LT(model.iterations_used(), 500);
+  EXPECT_EQ(model.num_features(), 2u);
+}
+
+}  // namespace
+}  // namespace domd

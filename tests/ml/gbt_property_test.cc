@@ -1,0 +1,125 @@
+// Property tests on the GBT trainer: invariances that must hold whatever
+// the data, swept over seeds with TEST_P.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/gbt.h"
+
+namespace domd {
+namespace {
+
+struct Problem {
+  Matrix x;
+  std::vector<double> y;
+};
+
+Problem MakeProblem(std::uint64_t seed, std::size_t n = 150) {
+  Rng rng(seed);
+  Problem problem;
+  problem.x = Matrix(n, 4);
+  problem.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      problem.x.at(i, c) = rng.Uniform(-3, 3);
+    }
+    problem.y[i] = 15 * problem.x.at(i, 0) +
+                   8 * (problem.x.at(i, 1) > 0.5 ? 1 : 0) +
+                   rng.Gaussian(0, 1);
+  }
+  return problem;
+}
+
+class GbtPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GbtPropertyTest, LabelShiftEquivariance) {
+  // With squared loss, fitting on y + c must shift every prediction by
+  // exactly c: the base score absorbs c and residuals are unchanged.
+  const Problem problem = MakeProblem(GetParam() + 100u);
+  GbtParams params;
+  params.num_rounds = 30;
+  GbtRegressor base(params, Loss::Squared());
+  ASSERT_TRUE(base.Fit(problem.x, problem.y).ok());
+
+  const double shift = 250.0;
+  std::vector<double> shifted = problem.y;
+  for (double& v : shifted) v += shift;
+  GbtRegressor moved(params, Loss::Squared());
+  ASSERT_TRUE(moved.Fit(problem.x, shifted).ok());
+
+  for (std::size_t r = 0; r < 20; ++r) {
+    EXPECT_NEAR(moved.Predict(problem.x.row(r)),
+                base.Predict(problem.x.row(r)) + shift, 1e-6);
+  }
+}
+
+TEST_P(GbtPropertyTest, MonotoneFeatureTransformInvariance) {
+  // Trees split on order statistics only: applying a strictly increasing
+  // transform to a feature column must leave training-row predictions
+  // unchanged (thresholds move, partitions do not).
+  const Problem problem = MakeProblem(GetParam() + 200u);
+  GbtParams params;
+  params.num_rounds = 25;
+  GbtRegressor plain(params);
+  ASSERT_TRUE(plain.Fit(problem.x, problem.y).ok());
+
+  Matrix warped = problem.x;
+  for (std::size_t r = 0; r < warped.rows(); ++r) {
+    warped.at(r, 0) = std::exp(warped.at(r, 0));  // strictly increasing
+  }
+  GbtRegressor transformed(params);
+  ASSERT_TRUE(transformed.Fit(warped, problem.y).ok());
+
+  for (std::size_t r = 0; r < warped.rows(); r += 7) {
+    EXPECT_NEAR(transformed.Predict(warped.row(r)),
+                plain.Predict(problem.x.row(r)), 1e-9);
+  }
+}
+
+TEST_P(GbtPropertyTest, ContributionsAlwaysSumToPrediction) {
+  const Problem problem = MakeProblem(GetParam() + 300u);
+  for (const Loss& loss :
+       {Loss::Squared(), Loss::Absolute(), Loss::PseudoHuber(18.0)}) {
+    GbtParams params;
+    params.num_rounds = 20;
+    params.subsample = 0.8;
+    GbtRegressor model(params, loss);
+    ASSERT_TRUE(model.Fit(problem.x, problem.y).ok());
+    for (std::size_t r = 0; r < 10; ++r) {
+      const auto contributions = model.Contributions(problem.x.row(r));
+      double sum = 0;
+      for (double c : contributions) sum += c;
+      EXPECT_NEAR(sum, model.Predict(problem.x.row(r)), 1e-8)
+          << loss.ToString();
+    }
+  }
+}
+
+TEST_P(GbtPropertyTest, MorePredictableDataFitsBetter) {
+  // Shrinking the noise must not worsen the training fit.
+  Rng rng(GetParam() + 400u);
+  Matrix x(120, 2);
+  std::vector<double> clean(120), noisy(120);
+  for (std::size_t i = 0; i < 120; ++i) {
+    x.at(i, 0) = rng.Uniform(-1, 1);
+    x.at(i, 1) = rng.Uniform(-1, 1);
+    const double signal = 10 * x.at(i, 0);
+    const double noise = rng.Gaussian();
+    clean[i] = signal + 0.1 * noise;
+    noisy[i] = signal + 20.0 * noise;
+  }
+  GbtParams params;
+  params.num_rounds = 40;
+  GbtRegressor clean_model(params), noisy_model(params);
+  ASSERT_TRUE(clean_model.Fit(x, clean).ok());
+  ASSERT_TRUE(noisy_model.Fit(x, noisy).ok());
+  EXPECT_LT(clean_model.training_curve().back(),
+            noisy_model.training_curve().back());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GbtPropertyTest, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace domd

@@ -1,0 +1,92 @@
+#include "ml/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace domd {
+namespace {
+
+TEST(LossTest, SquaredValueGradHess) {
+  const Loss loss = Loss::Squared();
+  EXPECT_DOUBLE_EQ(loss.Value(5, 2), 4.5);
+  EXPECT_DOUBLE_EQ(loss.Gradient(5, 2), 3.0);
+  EXPECT_DOUBLE_EQ(loss.Gradient(2, 5), -3.0);
+  EXPECT_DOUBLE_EQ(loss.Hessian(5, 2), 1.0);
+}
+
+TEST(LossTest, AbsoluteValueGradHess) {
+  const Loss loss = Loss::Absolute();
+  EXPECT_DOUBLE_EQ(loss.Value(5, 2), 3.0);
+  EXPECT_DOUBLE_EQ(loss.Gradient(5, 2), 1.0);
+  EXPECT_DOUBLE_EQ(loss.Gradient(2, 5), -1.0);
+  EXPECT_DOUBLE_EQ(loss.Gradient(3, 3), 0.0);
+  EXPECT_DOUBLE_EQ(loss.Hessian(5, 2), 1.0);  // unit surrogate
+}
+
+TEST(LossTest, PseudoHuberQuadraticNearZero) {
+  // For |r| << delta, pseudo-Huber ~ r^2/2.
+  const Loss loss = Loss::PseudoHuber(18.0);
+  for (double r : {0.1, 0.5, 1.0}) {
+    EXPECT_NEAR(loss.Value(r, 0.0), 0.5 * r * r, 0.002 * r * r + 1e-9);
+    EXPECT_NEAR(loss.Gradient(r, 0.0), r, 0.01);
+  }
+}
+
+TEST(LossTest, PseudoHuberLinearInTail) {
+  // For |r| >> delta, gradient approaches sign(r) * delta.
+  const Loss loss = Loss::PseudoHuber(18.0);
+  EXPECT_NEAR(loss.Gradient(10000.0, 0.0), 18.0, 0.01);
+  EXPECT_NEAR(loss.Gradient(-10000.0, 0.0), -18.0, 0.01);
+}
+
+TEST(LossTest, PseudoHuberHessianDecaysWithResidual) {
+  const Loss loss = Loss::PseudoHuber(18.0);
+  EXPECT_NEAR(loss.Hessian(0.0, 0.0), 1.0, 1e-12);
+  EXPECT_GT(loss.Hessian(5.0, 0.0), loss.Hessian(50.0, 0.0));
+  EXPECT_GT(loss.Hessian(50.0, 0.0), 0.0);
+}
+
+TEST(LossTest, GradientIsDerivativeOfValue) {
+  // Finite-difference check across losses and residuals.
+  const double h = 1e-6;
+  for (const Loss& loss :
+       {Loss::Squared(), Loss::PseudoHuber(18.0), Loss::PseudoHuber(2.0)}) {
+    for (double p : {-30.0, -1.0, 0.5, 4.0, 100.0}) {
+      const double numeric =
+          (loss.Value(p + h, 0.0) - loss.Value(p - h, 0.0)) / (2 * h);
+      EXPECT_NEAR(loss.Gradient(p, 0.0), numeric, 1e-4)
+          << loss.ToString() << " @ " << p;
+    }
+  }
+}
+
+TEST(LossTest, HessianIsDerivativeOfGradient) {
+  const double h = 1e-6;
+  const Loss loss = Loss::PseudoHuber(18.0);
+  for (double p : {-40.0, -3.0, 0.0, 7.0, 90.0}) {
+    const double numeric =
+        (loss.Gradient(p + h, 0.0) - loss.Gradient(p - h, 0.0)) / (2 * h);
+    EXPECT_NEAR(loss.Hessian(p, 0.0), numeric, 1e-4) << p;
+  }
+}
+
+TEST(LossTest, ValueIsNonNegativeAndZeroAtTruth) {
+  for (const Loss& loss :
+       {Loss::Squared(), Loss::Absolute(), Loss::PseudoHuber(18.0)}) {
+    EXPECT_DOUBLE_EQ(loss.Value(3.0, 3.0), 0.0);
+    EXPECT_GT(loss.Value(4.0, 3.0), 0.0);
+    EXPECT_GT(loss.Value(2.0, 3.0), 0.0);
+  }
+}
+
+TEST(LossTest, ToStringAndKind) {
+  EXPECT_EQ(Loss::Squared().ToString(), "l2");
+  EXPECT_EQ(Loss::Absolute().ToString(), "l1");
+  EXPECT_EQ(Loss::PseudoHuber(18.0).kind(), LossKind::kPseudoHuber);
+  EXPECT_NE(Loss::PseudoHuber(18.0).ToString().find("pseudo_huber"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace domd

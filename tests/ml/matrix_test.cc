@@ -1,0 +1,70 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace domd {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.0);
+  m.at(1, 2) = 5.5;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5.5);
+}
+
+TEST(MatrixTest, RowSpanAliasesStorage) {
+  Matrix m(2, 2);
+  auto row = m.row(1);
+  row[0] = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 7.0);
+  EXPECT_EQ(row.size(), 2u);
+}
+
+TEST(MatrixTest, Column) {
+  Matrix m(3, 2);
+  for (std::size_t r = 0; r < 3; ++r) m.at(r, 1) = static_cast<double>(r);
+  EXPECT_EQ(m.Column(1), (std::vector<double>{0, 1, 2}));
+}
+
+TEST(MatrixTest, SelectColumns) {
+  Matrix m(2, 4);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      m.at(r, c) = static_cast<double>(10 * r + c);
+    }
+  }
+  const Matrix sel = m.SelectColumns({3, 1});
+  EXPECT_EQ(sel.cols(), 2u);
+  EXPECT_DOUBLE_EQ(sel.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sel.at(1, 1), 11.0);
+}
+
+TEST(MatrixTest, SelectRows) {
+  Matrix m(3, 2);
+  for (std::size_t r = 0; r < 3; ++r) m.at(r, 0) = static_cast<double>(r);
+  const Matrix sel = m.SelectRows({2, 0});
+  EXPECT_EQ(sel.rows(), 2u);
+  EXPECT_DOUBLE_EQ(sel.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(sel.at(1, 0), 0.0);
+}
+
+TEST(MatrixTest, HConcat) {
+  Matrix a(2, 1), b(2, 2);
+  a.at(0, 0) = 1;
+  b.at(0, 1) = 2;
+  const Matrix c = Matrix::HConcat(a, b);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 2), 2.0);
+}
+
+TEST(MatrixTest, EmptyMatrix) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace domd

@@ -1,0 +1,75 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace domd {
+namespace {
+
+TEST(MetricsTest, MaeBasic) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1, 2, 3}, {2, 2, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({5}, {5}), 0.0);
+}
+
+TEST(MetricsTest, MseAndRmse) {
+  EXPECT_DOUBLE_EQ(MeanSquaredError({1, 2}, {3, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError({1, 2}, {3, 2}), std::sqrt(2.0));
+}
+
+TEST(MetricsTest, R2PerfectAndMeanPredictor) {
+  const std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(R2Score(y, y), 1.0);
+  EXPECT_DOUBLE_EQ(R2Score(y, {2.5, 2.5, 2.5, 2.5}), 0.0);
+}
+
+TEST(MetricsTest, R2NegativeForWorseThanMean) {
+  EXPECT_LT(R2Score({1, 2, 3}, {10, -5, 20}), 0.0);
+}
+
+TEST(MetricsTest, R2ConstantTruth) {
+  EXPECT_DOUBLE_EQ(R2Score({2, 2, 2}, {2, 2, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(R2Score({2, 2, 2}, {3, 2, 2}), 0.0);
+}
+
+TEST(MetricsTest, PercentileMaeDropsWorstErrors) {
+  // Errors: {1, 1, 1, 1, 100}. MAE over best 80% = 1; full MAE = 20.8.
+  const std::vector<double> y = {0, 0, 0, 0, 0};
+  const std::vector<double> p = {1, -1, 1, -1, 100};
+  EXPECT_DOUBLE_EQ(PercentileMae(y, p, 0.8), 1.0);
+  EXPECT_DOUBLE_EQ(PercentileMae(y, p, 1.0), 20.8);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(y, p), 20.8);
+}
+
+TEST(MetricsTest, PercentileMaeMonotoneInFraction) {
+  const std::vector<double> y = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  std::vector<double> p(10);
+  for (int i = 0; i < 10; ++i) p[static_cast<std::size_t>(i)] = i;
+  double prev = 0.0;
+  for (double fraction : {0.2, 0.5, 0.8, 0.9, 1.0}) {
+    const double mae = PercentileMae(y, p, fraction);
+    EXPECT_GE(mae, prev);
+    prev = mae;
+  }
+}
+
+TEST(MetricsTest, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(R2Score({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileMae({}, {}, 0.8), 0.0);
+}
+
+TEST(MetricsTest, EvalMetricsPanel) {
+  const std::vector<double> y = {10, 20, 30, 40, 50};
+  const std::vector<double> p = {12, 18, 33, 40, 10};
+  const EvalMetrics m = ComputeEvalMetrics(y, p);
+  EXPECT_DOUBLE_EQ(m.mae100, MeanAbsoluteError(y, p));
+  EXPECT_DOUBLE_EQ(m.mse, MeanSquaredError(y, p));
+  EXPECT_DOUBLE_EQ(m.rmse, RootMeanSquaredError(y, p));
+  EXPECT_DOUBLE_EQ(m.r2, R2Score(y, p));
+  EXPECT_LE(m.mae80, m.mae90);
+  EXPECT_LE(m.mae90, m.mae100);
+}
+
+}  // namespace
+}  // namespace domd

@@ -1,0 +1,134 @@
+// Quantile (pinball) loss extension: the GBT must estimate conditional
+// quantiles, enabling delay *ranges* rather than point estimates.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/gbt.h"
+
+namespace domd {
+namespace {
+
+TEST(QuantileLossTest, PinballValueAndGradient) {
+  const Loss loss = Loss::Quantile(0.9);
+  // Under-prediction (p < y): slope tau on e = y - p.
+  EXPECT_DOUBLE_EQ(loss.Value(0.0, 10.0), 9.0);
+  EXPECT_DOUBLE_EQ(loss.Gradient(0.0, 10.0), -0.9);
+  // Over-prediction: slope (1 - tau).
+  EXPECT_DOUBLE_EQ(loss.Value(10.0, 0.0), 1.0);
+  EXPECT_NEAR(loss.Gradient(10.0, 0.0), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(loss.Value(5.0, 5.0), 0.0);
+  EXPECT_NE(loss.ToString().find("tau"), std::string::npos);
+}
+
+TEST(QuantileLossTest, MinimizerIsTheQuantile) {
+  // The pinball-optimal constant for a sample is its tau-quantile: check
+  // numerically over a grid.
+  Rng rng(1);
+  std::vector<double> y(500);
+  for (double& v : y) v = rng.Gaussian(0, 10);
+  const Loss loss = Loss::Quantile(0.8);
+  double best_c = 0, best_value = 1e18;
+  for (double c = -30; c <= 30; c += 0.25) {
+    double total = 0;
+    for (double v : y) total += loss.Value(c, v);
+    if (total < best_value) {
+      best_value = total;
+      best_c = c;
+    }
+  }
+  // N(0,10) 80th percentile ~ 8.4.
+  EXPECT_NEAR(best_c, 8.4, 1.5);
+}
+
+class QuantileGbtTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileGbtTest, EmpiricalCoverageMatchesTau) {
+  const double tau = GetParam();
+  Rng rng(7);
+  const std::size_t n = 600;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.Uniform(0, 1);
+    x.at(i, 1) = rng.Uniform(0, 1);
+    // Heteroscedastic: spread grows with x0.
+    y[i] = 50 * x.at(i, 0) + (5 + 20 * x.at(i, 0)) * rng.Gaussian();
+  }
+  GbtParams params;
+  params.num_rounds = 120;
+  params.tree.max_depth = 3;
+  GbtRegressor model(params, Loss::Quantile(tau));
+  ASSERT_TRUE(model.Fit(x, y).ok());
+
+  std::size_t below = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (y[i] <= model.Predict(x.row(i))) ++below;
+  }
+  const double coverage = static_cast<double>(below) / static_cast<double>(n);
+  EXPECT_NEAR(coverage, tau, 0.08) << "tau=" << tau;
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, QuantileGbtTest,
+                         ::testing::Values(0.1, 0.5, 0.9),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "tau" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 100));
+                         });
+
+TEST(QuantileGbtTest, BandsAreOrderedAndWidenWithSpread) {
+  Rng rng(11);
+  const std::size_t n = 500;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.Uniform(0, 1);
+    y[i] = (2 + 30 * x.at(i, 0)) * rng.Gaussian();
+  }
+  GbtParams params;
+  params.num_rounds = 100;
+  GbtRegressor low(params, Loss::Quantile(0.1));
+  GbtRegressor high(params, Loss::Quantile(0.9));
+  ASSERT_TRUE(low.Fit(x, y).ok());
+  ASSERT_TRUE(high.Fit(x, y).ok());
+
+  double narrow = 0, wide = 0;
+  int ordered = 0, total = 0;
+  for (double probe = 0.05; probe < 1.0; probe += 0.05) {
+    const std::vector<double> row = {probe};
+    const double band = high.Predict(row) - low.Predict(row);
+    if (band > 0) ++ordered;
+    ++total;
+    if (probe < 0.3) narrow += band;
+    if (probe > 0.7) wide += band;
+  }
+  EXPECT_EQ(ordered, total) << "P90 must sit above P10 everywhere";
+  EXPECT_GT(wide, narrow * 1.5) << "band must widen with the noise scale";
+}
+
+TEST(QuantileGbtTest, SerializationPreservesTau) {
+  Rng rng(13);
+  Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x.at(i, 0) = rng.Uniform(0, 1);
+    y[i] = 10 * x.at(i, 0) + rng.Gaussian();
+  }
+  GbtParams params;
+  params.num_rounds = 20;
+  GbtRegressor model(params, Loss::Quantile(0.75));
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  std::stringstream buffer;
+  model.Save(buffer);
+  auto loaded = GbtRegressor::Load(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->loss().kind(), LossKind::kQuantile);
+  EXPECT_DOUBLE_EQ(loaded->loss().tau(), 0.75);
+  EXPECT_DOUBLE_EQ(loaded->Predict(x.row(0)), model.Predict(x.row(0)));
+}
+
+}  // namespace
+}  // namespace domd

@@ -1,0 +1,98 @@
+#include "monitor/auto_retrain.h"
+
+#include <gtest/gtest.h>
+
+#include "data/splits.h"
+#include "synth/generator.h"
+
+namespace domd {
+namespace {
+
+Dataset MakeFleet(std::uint64_t seed) {
+  SynthConfig config;
+  config.seed = seed;
+  config.num_avails = 50;
+  config.mean_rccs_per_avail = 40;
+  return GenerateDataset(config);
+}
+
+PipelineConfig FastConfig() {
+  PipelineConfig config;
+  config.num_features = 15;
+  config.gbt.num_rounds = 30;
+  config.window_width_pct = 50.0;
+  return config;
+}
+
+// An aged copy of a fleet: static distribution shifted hard.
+Dataset AgeFleet(const Dataset& fleet) {
+  Dataset aged;
+  for (Avail a : fleet.avails.rows()) {
+    a.ship_age_years += 15.0;
+    a.contract_value_musd *= 2.0;
+    (void)aged.avails.Add(a);
+  }
+  for (const Rcc& r : fleet.rccs.rows()) (void)aged.rccs.Add(r);
+  return aged;
+}
+
+TEST(AutoRetrainerTest, NoDriftNoRetrain) {
+  const Dataset fleet = MakeFleet(1);
+  Rng rng(2);
+  const DataSplit split = MakeSplit(fleet.avails, SplitOptions{}, &rng);
+  auto retrainer =
+      AutoRetrainer::Create(&fleet, FastConfig(), split.train);
+  ASSERT_TRUE(retrainer.ok()) << retrainer.status();
+
+  // Observing the same fleet again: stable.
+  const auto decision = retrainer->Observe(&fleet);
+  ASSERT_TRUE(decision.ok()) << decision.status();
+  EXPECT_FALSE(decision->retrained);
+  EXPECT_EQ(retrainer->retrain_count(), 0);
+}
+
+TEST(AutoRetrainerTest, DriftTriggersRetrainAndMovesReference) {
+  const Dataset fleet = MakeFleet(3);
+  Rng rng(4);
+  const DataSplit split = MakeSplit(fleet.avails, SplitOptions{}, &rng);
+  auto retrainer =
+      AutoRetrainer::Create(&fleet, FastConfig(), split.train);
+  ASSERT_TRUE(retrainer.ok());
+
+  const Dataset aged = AgeFleet(fleet);
+  const auto first = retrainer->Observe(&aged);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_TRUE(first->retrained);
+  EXPECT_TRUE(first->drift.retrain_recommended);
+  EXPECT_EQ(retrainer->retrain_count(), 1);
+
+  // The reference moved: observing the aged fleet again is now stable.
+  const auto second = retrainer->Observe(&aged);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->retrained);
+  EXPECT_EQ(retrainer->retrain_count(), 1);
+
+  // The new estimator serves queries against the aged fleet.
+  const auto result = retrainer->estimator().QueryAtLogicalTime(
+      aged.avails.rows()[0].id, 100.0);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(AutoRetrainerTest, RejectsUnlabeledSnapshot) {
+  const Dataset fleet = MakeFleet(5);
+  Rng rng(6);
+  const DataSplit split = MakeSplit(fleet.avails, SplitOptions{}, &rng);
+  auto retrainer =
+      AutoRetrainer::Create(&fleet, FastConfig(), split.train);
+  ASSERT_TRUE(retrainer.ok());
+
+  Dataset unlabeled;
+  Avail ongoing = fleet.avails.rows()[0];
+  ongoing.status = AvailStatus::kOngoing;
+  ongoing.actual_end.reset();
+  ASSERT_TRUE(unlabeled.avails.Add(ongoing).ok());
+  EXPECT_FALSE(retrainer->Observe(&unlabeled).ok());
+}
+
+}  // namespace
+}  // namespace domd

@@ -1,0 +1,191 @@
+#include "obfuscate/obfuscator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/logical_time.h"
+#include "index/group_tree.h"
+#include "synth/generator.h"
+
+namespace domd {
+namespace {
+
+Dataset SmallData(std::uint64_t seed = 5) {
+  SynthConfig config;
+  config.seed = seed;
+  config.num_avails = 30;
+  config.mean_rccs_per_avail = 40;
+  config.ongoing_fraction = 0.1;
+  return GenerateDataset(config);
+}
+
+TEST(ObfuscatorTest, DelaysAreInvariant) {
+  const Dataset raw = SmallData();
+  Obfuscator obfuscator(ObfuscationConfig{});
+  const Dataset masked = obfuscator.Obfuscate(raw);
+  ASSERT_EQ(masked.avails.size(), raw.avails.size());
+  for (const Avail& original : raw.avails.rows()) {
+    const auto alias = obfuscator.AvailAlias(original.id);
+    const Avail& mapped = **masked.avails.Find(alias);
+    EXPECT_EQ(mapped.delay(), original.delay());
+    EXPECT_EQ(mapped.planned_duration(), original.planned_duration());
+    EXPECT_EQ(mapped.status, original.status);
+  }
+}
+
+TEST(ObfuscatorTest, DatesActuallyMove) {
+  const Dataset raw = SmallData();
+  Obfuscator obfuscator(ObfuscationConfig{});
+  const Dataset masked = obfuscator.Obfuscate(raw);
+  std::size_t moved = 0;
+  for (const Avail& original : raw.avails.rows()) {
+    const Avail& mapped =
+        **masked.avails.Find(obfuscator.AvailAlias(original.id));
+    if (mapped.planned_start != original.planned_start) ++moved;
+  }
+  EXPECT_GT(moved, raw.avails.size() * 9 / 10);
+}
+
+TEST(ObfuscatorTest, IdsAreRemappedAndUnique) {
+  const Dataset raw = SmallData();
+  Obfuscator obfuscator(ObfuscationConfig{});
+  const Dataset masked = obfuscator.Obfuscate(raw);
+  std::set<std::int64_t> raw_ids, masked_ids;
+  for (const Avail& a : raw.avails.rows()) raw_ids.insert(a.id);
+  for (const Avail& a : masked.avails.rows()) masked_ids.insert(a.id);
+  EXPECT_EQ(masked_ids.size(), raw_ids.size());
+  // Alias assignment is a bijection onto a disjoint-looking range.
+  for (const Avail& a : raw.avails.rows()) {
+    EXPECT_TRUE(masked_ids.count(obfuscator.AvailAlias(a.id)));
+  }
+}
+
+TEST(ObfuscatorTest, LogicalTimeStructurePreserved) {
+  // Each RCC's logical-time interval must be identical after obfuscation —
+  // dates shift per avail as a block.
+  const Dataset raw = SmallData();
+  Obfuscator obfuscator(ObfuscationConfig{});
+  const Dataset masked = obfuscator.Obfuscate(raw);
+
+  for (std::size_t i = 0; i < raw.rccs.size(); ++i) {
+    const Rcc& original = raw.rccs.rows()[i];
+    const Rcc& mapped = masked.rccs.rows()[i];  // insertion order preserved
+    const Avail& raw_avail = **raw.avails.Find(original.avail_id);
+    const Avail& masked_avail = **masked.avails.Find(mapped.avail_id);
+    EXPECT_DOUBLE_EQ(LogicalTime(masked_avail, mapped.creation_date),
+                     LogicalTime(raw_avail, original.creation_date));
+    EXPECT_EQ(mapped.settled_date.has_value(),
+              original.settled_date.has_value());
+    if (original.settled_date.has_value()) {
+      EXPECT_DOUBLE_EQ(LogicalTime(masked_avail, *mapped.settled_date),
+                       LogicalTime(raw_avail, *original.settled_date));
+    }
+  }
+}
+
+TEST(ObfuscatorTest, AmountsScaledByOneGlobalFactor) {
+  const Dataset raw = SmallData();
+  Obfuscator obfuscator(ObfuscationConfig{});
+  const Dataset masked = obfuscator.Obfuscate(raw);
+  const double scale = obfuscator.amount_scale();
+  EXPECT_NE(scale, 1.0);
+  for (std::size_t i = 0; i < raw.rccs.size(); ++i) {
+    EXPECT_NEAR(masked.rccs.rows()[i].settled_amount,
+                raw.rccs.rows()[i].settled_amount * scale, 1e-9);
+  }
+}
+
+TEST(ObfuscatorTest, SwlinCipherIsGroupPreservingBijection) {
+  Obfuscator obfuscator(ObfuscationConfig{});
+  // Same prefix before => same prefix after; distinct codes stay distinct.
+  const Swlin a = *Swlin::Parse("434-11-001");
+  const Swlin b = *Swlin::Parse("434-11-002");
+  const Swlin c = *Swlin::Parse("911-90-001");
+  const Swlin ma = obfuscator.MapSwlin(a);
+  const Swlin mb = obfuscator.MapSwlin(b);
+  const Swlin mc = obfuscator.MapSwlin(c);
+  EXPECT_EQ(ma.Prefix(7), mb.Prefix(7));
+  EXPECT_NE(ma, mb);
+  EXPECT_NE(ma.subsystem(), 0);
+  EXPECT_NE(mc.subsystem(), ma.subsystem());
+  // Subsystem digit stays in 1..9.
+  EXPECT_GE(ma.subsystem(), 1);
+  EXPECT_LE(ma.subsystem(), 9);
+}
+
+TEST(ObfuscatorTest, GroupCardinalitiesPreserved) {
+  // The group tree over the obfuscated data must have the same multiset of
+  // node sizes (groups are relabeled, never merged or split).
+  const Dataset raw = SmallData();
+  Obfuscator obfuscator(ObfuscationConfig{});
+  const Dataset masked = obfuscator.Obfuscate(raw);
+
+  const GroupedRccIndex raw_index(raw, IndexBackend::kAvlTree);
+  const GroupedRccIndex masked_index(masked, IndexBackend::kAvlTree);
+  std::multiset<std::size_t> raw_sizes, masked_sizes;
+  for (int g = 0; g < GroupSchema::kNumGroups; ++g) {
+    raw_sizes.insert(raw_index.node(g).size());
+    masked_sizes.insert(masked_index.node(g).size());
+  }
+  EXPECT_EQ(raw_sizes, masked_sizes);
+}
+
+TEST(ObfuscatorTest, DeterministicGivenSeed) {
+  const Dataset raw = SmallData();
+  ObfuscationConfig config;
+  config.seed = 77;
+  Obfuscator a(config), b(config);
+  const Dataset ma = a.Obfuscate(raw);
+  const Dataset mb = b.Obfuscate(raw);
+  ASSERT_EQ(ma.avails.size(), mb.avails.size());
+  for (std::size_t i = 0; i < ma.avails.size(); ++i) {
+    EXPECT_EQ(ma.avails.rows()[i].id, mb.avails.rows()[i].id);
+    EXPECT_EQ(ma.avails.rows()[i].planned_start,
+              mb.avails.rows()[i].planned_start);
+  }
+}
+
+TEST(ObfuscatorTest, DisabledTransformsAreIdentity) {
+  const Dataset raw = SmallData();
+  ObfuscationConfig config;
+  config.remap_ids = false;
+  config.shift_dates = false;
+  config.scale_amounts = false;
+  config.permute_swlin = false;
+  config.relabel_categories = false;
+  config.jitter_age = false;
+  Obfuscator obfuscator(config);
+  const Dataset masked = obfuscator.Obfuscate(raw);
+  for (std::size_t i = 0; i < raw.avails.size(); ++i) {
+    EXPECT_EQ(masked.avails.rows()[i].id, raw.avails.rows()[i].id);
+    EXPECT_EQ(masked.avails.rows()[i].planned_start,
+              raw.avails.rows()[i].planned_start);
+    EXPECT_EQ(masked.avails.rows()[i].ship_class,
+              raw.avails.rows()[i].ship_class);
+  }
+  for (std::size_t i = 0; i < raw.rccs.size(); ++i) {
+    EXPECT_EQ(masked.rccs.rows()[i].swlin, raw.rccs.rows()[i].swlin);
+    EXPECT_DOUBLE_EQ(masked.rccs.rows()[i].settled_amount,
+                     raw.rccs.rows()[i].settled_amount);
+  }
+}
+
+TEST(ObfuscatorTest, CategoriesRelabeledConsistently) {
+  const Dataset raw = SmallData();
+  Obfuscator obfuscator(ObfuscationConfig{});
+  const Dataset masked = obfuscator.Obfuscate(raw);
+  // Two avails sharing a class before must share one after.
+  for (std::size_t i = 0; i < raw.avails.size(); ++i) {
+    for (std::size_t j = i + 1; j < raw.avails.size(); ++j) {
+      const bool same_before =
+          raw.avails.rows()[i].ship_class == raw.avails.rows()[j].ship_class;
+      const bool same_after = masked.avails.rows()[i].ship_class ==
+                              masked.avails.rows()[j].ship_class;
+      EXPECT_EQ(same_before, same_after);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace domd

@@ -1,0 +1,271 @@
+#include "query/status_query.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/logical_time.h"
+#include "synth/generator.h"
+
+namespace domd {
+namespace {
+
+// Hand-built dataset with known aggregates: one avail, planned duration
+// 100 days starting 2020-01-01 (so logical time == elapsed days).
+Dataset HandDataset() {
+  Dataset data;
+  Avail a;
+  a.id = 1;
+  a.ship_id = 7;
+  a.status = AvailStatus::kClosed;
+  a.planned_start = Date::FromCivil(2020, 1, 1);
+  a.planned_end = Date::FromCivil(2020, 4, 10);  // 100 days
+  a.actual_start = a.planned_start;
+  a.actual_end = Date::FromCivil(2020, 5, 20);
+  EXPECT_TRUE(data.avails.Add(a).ok());
+
+  auto add = [&](std::int64_t id, RccType type, const char* swlin,
+                 int start_day, int end_day, double amount) {
+    Rcc r;
+    r.id = id;
+    r.avail_id = 1;
+    r.type = type;
+    r.swlin = *Swlin::Parse(swlin);
+    r.creation_date = a.actual_start + start_day;
+    if (end_day >= 0) r.settled_date = a.actual_start + end_day;
+    r.settled_amount = amount;
+    EXPECT_TRUE(data.rccs.Add(r).ok());
+  };
+  // Growth RCCs in subsystem 4.
+  add(1, RccType::kGrowth, "434-11-001", 10, 40, 8000);
+  add(2, RccType::kGrowth, "411-22-333", 20, 80, 2000);
+  // New-work in subsystem 4, open forever.
+  add(3, RccType::kNewWork, "455-00-001", 30, -1, 5000);
+  // New-growth in subsystem 9.
+  add(4, RccType::kNewGrowth, "911-90-001", 5, 25, 34520);
+  return data;
+}
+
+class StatusQueryEngineTest
+    : public ::testing::TestWithParam<IndexBackend> {};
+
+TEST_P(StatusQueryEngineTest, CountByCategory) {
+  const Dataset data = HandDataset();
+  StatusQueryEngine engine(&data, GetParam());
+
+  StatusQuery query;
+  query.category = RccStatusCategory::kCreated;
+  query.aggregate = AggregateFn::kCount;
+  EXPECT_DOUBLE_EQ(*engine.Execute(query, 50.0), 4.0);
+  EXPECT_DOUBLE_EQ(*engine.Execute(query, 7.0), 1.0);
+
+  query.category = RccStatusCategory::kSettled;
+  EXPECT_DOUBLE_EQ(*engine.Execute(query, 50.0), 2.0);  // ids 1, 4
+  query.category = RccStatusCategory::kActive;
+  EXPECT_DOUBLE_EQ(*engine.Execute(query, 50.0), 2.0);  // ids 2, 3
+}
+
+TEST_P(StatusQueryEngineTest, GroupByTypeAndSwlin) {
+  const Dataset data = HandDataset();
+  StatusQueryEngine engine(&data, GetParam());
+
+  StatusQuery query;
+  query.category = RccStatusCategory::kCreated;
+  query.aggregate = AggregateFn::kCount;
+  query.type_filter = RccType::kGrowth;
+  EXPECT_DOUBLE_EQ(*engine.Execute(query, 100.0), 2.0);
+
+  query.swlin_level = 1;
+  query.swlin_prefix = 4;
+  EXPECT_DOUBLE_EQ(*engine.Execute(query, 100.0), 2.0);  // G in subsystem 4
+
+  query.type_filter.reset();
+  EXPECT_DOUBLE_EQ(*engine.Execute(query, 100.0), 3.0);  // all subsystem 4
+
+  query.swlin_level = 2;
+  query.swlin_prefix = 43;
+  EXPECT_DOUBLE_EQ(*engine.Execute(query, 100.0), 1.0);  // only 434-...
+}
+
+TEST_P(StatusQueryEngineTest, SumAvgMaxAggregates) {
+  // The paper's example feature: "G4-SETTLED_AVG_AMT"-style computation.
+  const Dataset data = HandDataset();
+  StatusQueryEngine engine(&data, GetParam());
+
+  StatusQuery query;
+  query.category = RccStatusCategory::kSettled;
+  query.type_filter = RccType::kGrowth;
+  query.aggregate = AggregateFn::kSum;
+  query.attribute = RccAttribute::kSettledAmount;
+  EXPECT_DOUBLE_EQ(*engine.Execute(query, 100.0), 10000.0);
+
+  query.aggregate = AggregateFn::kAvg;
+  EXPECT_DOUBLE_EQ(*engine.Execute(query, 100.0), 5000.0);
+
+  query.aggregate = AggregateFn::kMax;
+  EXPECT_DOUBLE_EQ(*engine.Execute(query, 100.0), 8000.0);
+}
+
+TEST_P(StatusQueryEngineTest, DurationAggregates) {
+  const Dataset data = HandDataset();
+  StatusQueryEngine engine(&data, GetParam());
+
+  StatusQuery query;
+  query.category = RccStatusCategory::kSettled;
+  query.aggregate = AggregateFn::kAvg;
+  query.attribute = RccAttribute::kDuration;
+  // Settled at t=100: id1 (30 days), id2 (60), id4 (20) -> avg 110/3.
+  EXPECT_NEAR(*engine.Execute(query, 100.0), 110.0 / 3.0, 1e-9);
+
+  // Active duration = elapsed days since creation.
+  query.category = RccStatusCategory::kActive;
+  // At t=50: active are id2 (created day 20 -> 30 elapsed) and id3
+  // (created day 30 -> 20 elapsed) -> avg 25.
+  EXPECT_NEAR(*engine.Execute(query, 50.0), 25.0, 1e-9);
+}
+
+TEST_P(StatusQueryEngineTest, EmptyResultAggregatesToZero) {
+  const Dataset data = HandDataset();
+  StatusQueryEngine engine(&data, GetParam());
+  StatusQuery query;
+  query.category = RccStatusCategory::kSettled;
+  query.aggregate = AggregateFn::kAvg;
+  EXPECT_DOUBLE_EQ(*engine.Execute(query, 0.0), 0.0);
+}
+
+TEST_P(StatusQueryEngineTest, AvailFilter) {
+  Dataset data = HandDataset();
+  // Add a second avail with one RCC to ensure filtering works.
+  Avail b;
+  b.id = 2;
+  b.status = AvailStatus::kClosed;
+  b.planned_start = Date::FromCivil(2021, 1, 1);
+  b.planned_end = Date::FromCivil(2021, 4, 11);
+  b.actual_start = b.planned_start;
+  b.actual_end = b.planned_end;
+  ASSERT_TRUE(data.avails.Add(b).ok());
+  Rcc r;
+  r.id = 99;
+  r.avail_id = 2;
+  r.type = RccType::kGrowth;
+  r.swlin = *Swlin::Parse("434-99-999");
+  r.creation_date = b.actual_start + 1;
+  r.settled_date = b.actual_start + 2;
+  r.settled_amount = 123;
+  ASSERT_TRUE(data.rccs.Add(r).ok());
+
+  StatusQueryEngine engine(&data, GetParam());
+  StatusQuery query;
+  query.category = RccStatusCategory::kCreated;
+  query.aggregate = AggregateFn::kCount;
+  query.avail_filter = 2;
+  EXPECT_DOUBLE_EQ(*engine.Execute(query, 100.0), 1.0);
+  query.avail_filter = 1;
+  EXPECT_DOUBLE_EQ(*engine.Execute(query, 100.0), 4.0);
+  query.avail_filter.reset();
+  EXPECT_DOUBLE_EQ(*engine.Execute(query, 100.0), 5.0);
+}
+
+TEST_P(StatusQueryEngineTest, RetrieveReturnsIds) {
+  const Dataset data = HandDataset();
+  StatusQueryEngine engine(&data, GetParam());
+  StatusQuery query;
+  query.category = RccStatusCategory::kActive;
+  auto ids = engine.Retrieve(query, 50.0);
+  ASSERT_TRUE(ids.ok());
+  std::sort(ids->begin(), ids->end());
+  EXPECT_EQ(*ids, (std::vector<std::int64_t>{2, 3}));
+}
+
+TEST_P(StatusQueryEngineTest, InvalidGroupClausesRejected) {
+  const Dataset data = HandDataset();
+  StatusQueryEngine engine(&data, GetParam());
+  StatusQuery query;
+  query.swlin_level = 1;
+  query.swlin_prefix = 0;  // invalid digit
+  EXPECT_FALSE(engine.Execute(query, 50.0).ok());
+  query.swlin_prefix = 12;  // not a single digit
+  EXPECT_FALSE(engine.Execute(query, 50.0).ok());
+  query.swlin_level = 2;
+  query.swlin_prefix = 43;
+  query.type_filter = RccType::kGrowth;  // type+level2 unsupported
+  EXPECT_FALSE(engine.Execute(query, 50.0).ok());
+  query.swlin_level = 3;
+  EXPECT_FALSE(engine.Execute(query, 50.0).ok());
+}
+
+TEST_P(StatusQueryEngineTest, GroupByTypeRowsPartitionTotal) {
+  const Dataset data = HandDataset();
+  StatusQueryEngine engine(&data, GetParam());
+  StatusQuery query;
+  query.category = RccStatusCategory::kCreated;
+  query.aggregate = AggregateFn::kCount;
+
+  GroupBySpec spec;
+  spec.by_type = true;
+  const auto rows = engine.ExecuteGroupBy(query, 100.0, spec);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 3u);
+  double total = 0;
+  for (const GroupedRow& row : *rows) {
+    ASSERT_TRUE(row.type.has_value());
+    EXPECT_EQ(row.swlin_prefix, -1);
+    total += row.value;
+  }
+  EXPECT_DOUBLE_EQ(total, 4.0);  // partitions all RCCs
+  EXPECT_DOUBLE_EQ((*rows)[0].value, 2.0);  // G: ids 1, 2
+}
+
+TEST_P(StatusQueryEngineTest, GroupByTypeAndSwlinCross) {
+  const Dataset data = HandDataset();
+  StatusQueryEngine engine(&data, GetParam());
+  StatusQuery query;
+  query.category = RccStatusCategory::kCreated;
+  query.aggregate = AggregateFn::kCount;
+
+  GroupBySpec spec;
+  spec.by_type = true;
+  spec.swlin_level = 1;
+  const auto rows = engine.ExecuteGroupBy(query, 100.0, spec);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 27u);  // 3 types x subsystems 1..9
+  double total = 0;
+  for (const GroupedRow& row : *rows) total += row.value;
+  EXPECT_DOUBLE_EQ(total, 4.0);
+  // Find G x subsystem 4: RCCs 1 and 2.
+  for (const GroupedRow& row : *rows) {
+    if (row.type == RccType::kGrowth && row.swlin_prefix == 4) {
+      EXPECT_DOUBLE_EQ(row.value, 2.0);
+    }
+  }
+}
+
+TEST_P(StatusQueryEngineTest, GroupByRejectsConflictsAndEmptySpecs) {
+  const Dataset data = HandDataset();
+  StatusQueryEngine engine(&data, GetParam());
+  StatusQuery query;
+  query.category = RccStatusCategory::kCreated;
+
+  EXPECT_FALSE(engine.ExecuteGroupBy(query, 50.0, GroupBySpec{}).ok());
+
+  GroupBySpec bad_level;
+  bad_level.by_type = true;
+  bad_level.swlin_level = 2;
+  EXPECT_FALSE(engine.ExecuteGroupBy(query, 50.0, bad_level).ok());
+
+  query.type_filter = RccType::kGrowth;
+  GroupBySpec by_type;
+  by_type.by_type = true;
+  EXPECT_FALSE(engine.ExecuteGroupBy(query, 50.0, by_type).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, StatusQueryEngineTest,
+    ::testing::Values(IndexBackend::kIntervalTree, IndexBackend::kAvlTree,
+                      IndexBackend::kNaiveJoin),
+    [](const ::testing::TestParamInfo<IndexBackend>& info) {
+      return IndexBackendToString(info.param);
+    });
+
+}  // namespace
+}  // namespace domd

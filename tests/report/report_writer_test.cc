@@ -1,0 +1,140 @@
+#include "report/report_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/splits.h"
+#include "synth/generator.h"
+
+namespace domd {
+namespace {
+
+class ReportWriterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SynthConfig config;
+    config.seed = 77;
+    config.num_avails = 40;
+    config.mean_rccs_per_avail = 40;
+    config.ongoing_fraction = 0.2;
+    data_ = new Dataset(GenerateDataset(config));
+    Rng rng(1);
+    split_ = new DataSplit(MakeSplit(data_->avails, SplitOptions{}, &rng));
+    PipelineConfig pipeline;
+    pipeline.num_features = 15;
+    pipeline.gbt.num_rounds = 30;
+    pipeline.window_width_pct = 50.0;
+    estimator_ = new StatusOr<DomdEstimator>(
+        DomdEstimator::Train(data_, pipeline, split_->train));
+  }
+  static void TearDownTestSuite() {
+    delete estimator_;
+    delete split_;
+    delete data_;
+  }
+
+  static Dataset* data_;
+  static DataSplit* split_;
+  static StatusOr<DomdEstimator>* estimator_;
+};
+
+Dataset* ReportWriterTest::data_ = nullptr;
+DataSplit* ReportWriterTest::split_ = nullptr;
+StatusOr<DomdEstimator>* ReportWriterTest::estimator_ = nullptr;
+
+TEST_F(ReportWriterTest, FleetReportListsAllOngoingAvails) {
+  ASSERT_TRUE(estimator_->ok()) << estimator_->status();
+  ReportWriter writer;
+  const auto report = writer.FleetReport(*data_, **estimator_);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  std::size_t ongoing = 0;
+  for (const Avail& avail : data_->avails.rows()) {
+    if (avail.status == AvailStatus::kOngoing) {
+      ++ongoing;
+      EXPECT_NE(report->find("| " + std::to_string(avail.id) + " |"),
+                std::string::npos)
+          << "missing row for ongoing avail " << avail.id;
+    }
+  }
+  ASSERT_GT(ongoing, 0u);
+  EXPECT_NE(report->find("# Fleet maintenance delay report"),
+            std::string::npos);
+  EXPECT_NE(report->find("budget exposure"), std::string::npos);
+  EXPECT_NE(report->find("## Worst avail detail"), std::string::npos);
+  // No drift section without a drift report.
+  EXPECT_EQ(report->find("## Data drift"), std::string::npos);
+}
+
+TEST_F(ReportWriterTest, RowsSortedWorstFirst) {
+  ASSERT_TRUE(estimator_->ok());
+  ReportWriter writer;
+  const auto report = writer.FleetReport(*data_, **estimator_);
+  ASSERT_TRUE(report.ok());
+  // The worst-detail section repeats the top row's avail id.
+  const auto table_start = report->find("| avail |");
+  const auto first_row = report->find("\n| ", table_start + 1);
+  const auto detail = report->find("### Avail ");
+  ASSERT_NE(first_row, std::string::npos);
+  ASSERT_NE(detail, std::string::npos);
+  const std::string first_id = report->substr(
+      first_row + 3, report->find(' ', first_row + 3) - first_row - 3);
+  EXPECT_NE(report->find("### Avail " + first_id, detail),
+            std::string::npos);
+}
+
+TEST_F(ReportWriterTest, DriftSectionRendered) {
+  ASSERT_TRUE(estimator_->ok());
+  DriftReport drift;
+  drift.num_drifted = 2;
+  drift.max_psi = 0.9;
+  drift.retrain_recommended = true;
+  drift.features.push_back(FeatureDrift{"SHIP_AGE_YEARS", 0.9, 0.4, true});
+  drift.features.push_back(FeatureDrift{"HOMEPORT", 0.3, 0.2, true});
+
+  ReportWriter writer;
+  const auto report = writer.FleetReport(*data_, **estimator_, &drift);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("## Data drift"), std::string::npos);
+  EXPECT_NE(report->find("SHIP_AGE_YEARS"), std::string::npos);
+  EXPECT_NE(report->find("**recommended**"), std::string::npos);
+}
+
+TEST_F(ReportWriterTest, QuerySectionStandsAlone) {
+  ASSERT_TRUE(estimator_->ok());
+  std::int64_t ongoing_id = -1;
+  for (const Avail& avail : data_->avails.rows()) {
+    if (avail.status == AvailStatus::kOngoing) {
+      ongoing_id = avail.id;
+      break;
+    }
+  }
+  ASSERT_GT(ongoing_id, 0);
+  const auto result = (*estimator_)->QueryAtLogicalTime(ongoing_id, 75.0);
+  ASSERT_TRUE(result.ok());
+  const std::string section = ReportWriter::QuerySection(*result);
+  EXPECT_NE(section.find("### Avail " + std::to_string(ongoing_id)),
+            std::string::npos);
+  EXPECT_NE(section.find("| 50% |"), std::string::npos);
+  EXPECT_NE(section.find("Top delay drivers"), std::string::npos);
+}
+
+TEST_F(ReportWriterTest, MaxRowsCapsTable) {
+  ASSERT_TRUE(estimator_->ok());
+  ReportOptions options;
+  options.max_rows = 1;
+  ReportWriter writer(options);
+  const auto report = writer.FleetReport(*data_, **estimator_);
+  ASSERT_TRUE(report.ok());
+  // Exactly one data row between the table header and the exposure line.
+  std::size_t rows = 0;
+  std::size_t pos = report->find("|---|---|---|---|---|---|");
+  pos = report->find('\n', pos) + 1;
+  while ((*report)[pos] == '|') {
+    ++rows;
+    pos = report->find('\n', pos) + 1;
+  }
+  EXPECT_EQ(rows, 1u);
+}
+
+}  // namespace
+}  // namespace domd

@@ -1,0 +1,153 @@
+#include "select/selectors.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "select/rfe.h"
+
+namespace domd {
+namespace {
+
+// 20 features; only 0, 5, 10 carry signal (linear, monotone-nonlinear, and
+// interaction-free quadratic-ish via absolute value).
+struct SignalData {
+  Matrix x;
+  std::vector<double> y;
+};
+
+SignalData MakeSignalData(std::size_t n = 300, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  SignalData data;
+  data.x = Matrix(n, 20);
+  data.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 20; ++c) data.x.at(i, c) = rng.Uniform(-1, 1);
+    data.y[i] = 10.0 * data.x.at(i, 0) + 6.0 * std::pow(data.x.at(i, 5), 3) +
+                4.0 * data.x.at(i, 10) + 0.1 * rng.Gaussian();
+  }
+  return data;
+}
+
+class ModelAgnosticSelectorTest
+    : public ::testing::TestWithParam<SelectionMethod> {};
+
+TEST_P(ModelAgnosticSelectorTest, FindsPlantedSignalFeatures) {
+  const SignalData data = MakeSignalData();
+  auto selector = CreateSelector(GetParam());
+  const auto top = selector->SelectTopK(data.x, data.y, 3);
+  const std::set<std::size_t> chosen(top.begin(), top.end());
+  EXPECT_TRUE(chosen.count(0)) << "missed linear feature";
+  EXPECT_TRUE(chosen.count(5)) << "missed monotone nonlinear feature";
+  EXPECT_TRUE(chosen.count(10)) << "missed secondary linear feature";
+}
+
+TEST_P(ModelAgnosticSelectorTest, TopKClampsToColumnCount) {
+  const SignalData data = MakeSignalData(50);
+  auto selector = CreateSelector(GetParam());
+  EXPECT_EQ(selector->SelectTopK(data.x, data.y, 100).size(), 20u);
+  EXPECT_EQ(selector->SelectTopK(data.x, data.y, 0).size(), 0u);
+}
+
+TEST_P(ModelAgnosticSelectorTest, ScoresHaveOnePerColumn) {
+  const SignalData data = MakeSignalData(50);
+  auto selector = CreateSelector(GetParam());
+  EXPECT_EQ(selector->Score(data.x, data.y).size(), 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, ModelAgnosticSelectorTest,
+    ::testing::Values(SelectionMethod::kPearson, SelectionMethod::kSpearman,
+                      SelectionMethod::kMutualInformation,
+                      SelectionMethod::kMutualInformationApprox),
+    [](const ::testing::TestParamInfo<SelectionMethod>& info) {
+      return SelectionMethodToString(info.param);
+    });
+
+TEST(SelectorTest, RfeFindsSignalFeatures) {
+  const SignalData data = MakeSignalData(250, 7);
+  RfeSelector selector;
+  const auto top = selector.SelectTopK(data.x, data.y, 3);
+  const std::set<std::size_t> chosen(top.begin(), top.end());
+  EXPECT_TRUE(chosen.count(0));
+  EXPECT_TRUE(chosen.count(5));
+}
+
+TEST(SelectorTest, RfeScoresRankSignalAboveNoise) {
+  const SignalData data = MakeSignalData(250, 9);
+  RfeSelector selector;
+  const auto scores = selector.Score(data.x, data.y);
+  ASSERT_EQ(scores.size(), 20u);
+  // Feature 0 must outscore the median noise feature.
+  std::vector<double> sorted = scores;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_GT(scores[0], sorted[10]);
+}
+
+TEST(SelectorTest, RfeReturnsExactlyK) {
+  const SignalData data = MakeSignalData(100);
+  RfeSelector selector;
+  for (std::size_t k : {1u, 3u, 7u, 20u}) {
+    EXPECT_EQ(selector.SelectTopK(data.x, data.y, k).size(), k);
+  }
+}
+
+TEST(SelectorTest, RandomSelectorIsSeededAndUncorrelatedWithSignal) {
+  const SignalData data = MakeSignalData(100);
+  auto a = CreateSelector(SelectionMethod::kRandom, 5);
+  auto b = CreateSelector(SelectionMethod::kRandom, 5);
+  EXPECT_EQ(a->SelectTopK(data.x, data.y, 5), b->SelectTopK(data.x, data.y, 5));
+  auto c = CreateSelector(SelectionMethod::kRandom, 6);
+  EXPECT_NE(a->SelectTopK(data.x, data.y, 10),
+            c->SelectTopK(data.x, data.y, 10));
+}
+
+TEST(SelectorTest, PearsonRanksLinearAboveWeak) {
+  const SignalData data = MakeSignalData();
+  auto selector = CreateSelector(SelectionMethod::kPearson);
+  const auto top = selector->SelectTopK(data.x, data.y, 20);
+  // Strongest linear feature first.
+  EXPECT_EQ(top[0], 0u);
+}
+
+TEST(SelectorTest, SelectTopKOrderedByScore) {
+  const SignalData data = MakeSignalData();
+  auto selector = CreateSelector(SelectionMethod::kPearson);
+  const auto scores = selector->Score(data.x, data.y);
+  const auto top = selector->SelectTopK(data.x, data.y, 5);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(scores[top[i - 1]], scores[top[i]]);
+  }
+}
+
+TEST(SelectorTest, ApproxMiAgreesWithExactMiOnStrongSignals) {
+  // The two-phase approximation must recover the same strong features the
+  // exact estimator picks (ref [30]'s accuracy claim).
+  const SignalData data = MakeSignalData(400, 21);
+  auto exact = CreateSelector(SelectionMethod::kMutualInformation);
+  auto approx = CreateSelector(SelectionMethod::kMutualInformationApprox);
+  const auto exact_top = exact->SelectTopK(data.x, data.y, 3);
+  const auto approx_top = approx->SelectTopK(data.x, data.y, 3);
+  EXPECT_EQ(std::set<std::size_t>(exact_top.begin(), exact_top.end()),
+            std::set<std::size_t>(approx_top.begin(), approx_top.end()));
+}
+
+TEST(SelectorTest, ApproxMiDeterministicGivenSeed) {
+  const SignalData data = MakeSignalData(200, 23);
+  auto a = CreateSelector(SelectionMethod::kMutualInformationApprox, 9);
+  auto b = CreateSelector(SelectionMethod::kMutualInformationApprox, 9);
+  EXPECT_EQ(a->SelectTopK(data.x, data.y, 5),
+            b->SelectTopK(data.x, data.y, 5));
+}
+
+TEST(SelectorTest, MethodTagsMatchFactory) {
+  for (SelectionMethod method : kAllSelectionMethods) {
+    EXPECT_EQ(CreateSelector(method)->method(), method);
+  }
+}
+
+}  // namespace
+}  // namespace domd

@@ -1,0 +1,371 @@
+// domd — command-line front end to the DoMD estimation framework.
+//
+//   domd generate  --dir DATA [--avails N] [--rccs-per-avail M]
+//                  [--ongoing F] [--seed S]
+//   domd obfuscate --dir DATA --out DIR [--seed S]
+//   domd stats     --dir DATA
+//   domd train     --dir DATA --model FILE [--window X] [--k K]
+//                  [--rounds R] [--seed S]
+//   domd evaluate  --dir DATA --model FILE
+//   domd query     --dir DATA --model FILE --avail ID [--t T*] [--top K]
+//   domd sql       --dir DATA --query "SELECT ... AT <t*>"
+//   domd report    --dir DATA --model FILE [--out FILE] [--t T*]
+//
+// DATA directories hold avails.csv and rccs.csv in the library's CSV
+// schema. Model files are written by `train` (DomdEstimator::SaveModels).
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/domd_estimator.h"
+#include "data/integrity.h"
+#include "data/splits.h"
+#include "ml/metrics.h"
+#include "query/query_parser.h"
+#include "report/report_writer.h"
+#include "obfuscate/obfuscator.h"
+#include "synth/generator.h"
+
+namespace domd {
+namespace {
+
+using Flags = std::map<std::string, std::string>;
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+      flags[key.substr(2)] = argv[++i];
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const Flags& flags, const std::string& key,
+                   const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+StatusOr<Dataset> LoadData(const Flags& flags) {
+  const auto it = flags.find("dir");
+  if (it == flags.end()) {
+    return Status::InvalidArgument("--dir is required");
+  }
+  Dataset data;
+  auto avails = AvailTable::ReadFile(it->second + "/avails.csv");
+  if (!avails.ok()) return avails.status();
+  data.avails = std::move(*avails);
+  auto rccs = RccTable::ReadFile(it->second + "/rccs.csv");
+  if (!rccs.ok()) return rccs.status();
+  data.rccs = std::move(*rccs);
+
+  // Refuse corrupt datasets up front; surface warnings.
+  const IntegrityReport report = CheckDatasetIntegrity(data);
+  if (!report.ok()) {
+    std::string first;
+    for (const auto& issue : report.issues) {
+      if (first.empty()) {
+        first = std::string(IntegrityIssueKindToString(issue.kind)) + " (" +
+                issue.detail + ")";
+      }
+    }
+    return Status::FailedPrecondition(
+        "dataset failed integrity check: " +
+        std::to_string(report.num_errors) + " errors, first: " + first);
+  }
+  if (report.num_warnings > 0) {
+    std::fprintf(stderr, "warning: %zu integrity warnings in %s\n",
+                 report.num_warnings, it->second.c_str());
+  }
+  return data;
+}
+
+int CmdGenerate(const Flags& flags) {
+  SynthConfig config;
+  config.num_avails = std::atoi(FlagOr(flags, "avails", "200").c_str());
+  config.mean_rccs_per_avail =
+      std::atof(FlagOr(flags, "rccs-per-avail", "240").c_str());
+  config.ongoing_fraction = std::atof(FlagOr(flags, "ongoing", "0.05").c_str());
+  config.seed =
+      static_cast<std::uint64_t>(std::atoll(FlagOr(flags, "seed", "42").c_str()));
+  const std::string dir = FlagOr(flags, "dir", ".");
+
+  const Dataset data = GenerateDataset(config);
+  if (auto s = data.avails.WriteFile(dir + "/avails.csv"); !s.ok()) {
+    return Fail(s);
+  }
+  if (auto s = data.rccs.WriteFile(dir + "/rccs.csv"); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("wrote %zu avails and %zu RCCs to %s\n", data.avails.size(),
+              data.rccs.size(), dir.c_str());
+  return 0;
+}
+
+int CmdObfuscate(const Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+  const auto out_it = flags.find("out");
+  if (out_it == flags.end()) {
+    return Fail(Status::InvalidArgument("--out is required"));
+  }
+  ObfuscationConfig config;
+  config.seed = static_cast<std::uint64_t>(
+      std::atoll(FlagOr(flags, "seed", "53391").c_str()));
+  Obfuscator obfuscator(config);
+  const Dataset masked = obfuscator.Obfuscate(*data);
+  if (auto s = masked.avails.WriteFile(out_it->second + "/avails.csv");
+      !s.ok()) {
+    return Fail(s);
+  }
+  if (auto s = masked.rccs.WriteFile(out_it->second + "/rccs.csv"); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("obfuscated dataset written to %s\n", out_it->second.c_str());
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+  std::size_t closed = 0, ongoing = 0;
+  std::vector<double> delays;
+  for (const Avail& a : data->avails.rows()) {
+    if (a.status == AvailStatus::kClosed) {
+      ++closed;
+      delays.push_back(static_cast<double>(*a.delay()));
+    } else {
+      ++ongoing;
+    }
+  }
+  std::printf("avails:   %zu (%zu closed, %zu ongoing)\n",
+              data->avails.size(), closed, ongoing);
+  std::printf("RCCs:     %zu\n", data->rccs.size());
+  if (!delays.empty()) {
+    double sum = 0, max_delay = delays[0], min_delay = delays[0];
+    for (double d : delays) {
+      sum += d;
+      max_delay = std::max(max_delay, d);
+      min_delay = std::min(min_delay, d);
+    }
+    std::printf("delay:    mean %.1f, min %.0f, max %.0f days\n",
+                sum / static_cast<double>(delays.size()), min_delay,
+                max_delay);
+  }
+  return 0;
+}
+
+// Builds the paper's split and trains; shared by train/evaluate.
+struct TrainedContext {
+  Dataset data;
+  DataSplit split;
+};
+
+int CmdTrain(const Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+  const auto model_it = flags.find("model");
+  if (model_it == flags.end()) {
+    return Fail(Status::InvalidArgument("--model is required"));
+  }
+
+  PipelineConfig config;
+  config.window_width_pct = std::atof(FlagOr(flags, "window", "10").c_str());
+  config.num_features =
+      static_cast<std::size_t>(std::atoi(FlagOr(flags, "k", "60").c_str()));
+  config.gbt.num_rounds = std::atoi(FlagOr(flags, "rounds", "150").c_str());
+  config.seed = static_cast<std::uint64_t>(
+      std::atoll(FlagOr(flags, "seed", "42").c_str()));
+
+  Rng rng(config.seed + 1);
+  const DataSplit split = MakeSplit(data->avails, SplitOptions{}, &rng);
+  std::printf("split: %zu train / %zu validation / %zu test\n",
+              split.train.size(), split.validation.size(),
+              split.test.size());
+  std::printf("pipeline: %s\n", config.ToString().c_str());
+
+  auto estimator = DomdEstimator::Train(&*data, config, split.train);
+  if (!estimator.ok()) return Fail(estimator.status());
+  if (auto s = estimator->SaveModels(model_it->second); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("model written to %s\n", model_it->second.c_str());
+
+  // Quick test-set check.
+  std::vector<double> truth, predicted;
+  for (std::int64_t id : split.test) {
+    const auto result = estimator->QueryAtLogicalTime(id, 100.0);
+    if (!result.ok()) continue;
+    truth.push_back(static_cast<double>(*(*data->avails.Find(id))->delay()));
+    predicted.push_back(result->fused_estimate_days);
+  }
+  const EvalMetrics metrics = ComputeEvalMetrics(truth, predicted);
+  std::printf("test: MAE80 %.2f  MAE100 %.2f  RMSE %.2f  R2 %.2f\n",
+              metrics.mae80, metrics.mae100, metrics.rmse, metrics.r2);
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+  const auto model_it = flags.find("model");
+  if (model_it == flags.end()) {
+    return Fail(Status::InvalidArgument("--model is required"));
+  }
+  auto estimator = DomdEstimator::LoadModels(&*data, model_it->second);
+  if (!estimator.ok()) return Fail(estimator.status());
+
+  // Table-7-style panel over every closed avail.
+  std::printf("%-10s %9s %9s %9s %10s %9s %7s\n", "t*(%)", "MAE80", "MAE90",
+              "MAE100", "MSE", "RMSE", "R2");
+  for (double t : estimator->grid()) {
+    std::vector<double> truth, predicted;
+    for (const Avail& avail : data->avails.rows()) {
+      if (!avail.delay().has_value()) continue;
+      const auto result = estimator->QueryAtLogicalTime(avail.id, t);
+      if (!result.ok()) continue;
+      truth.push_back(static_cast<double>(*avail.delay()));
+      predicted.push_back(result->fused_estimate_days);
+    }
+    const EvalMetrics m = ComputeEvalMetrics(truth, predicted);
+    std::printf("%-10.0f %9.2f %9.2f %9.2f %10.2f %9.2f %7.2f\n", t, m.mae80,
+                m.mae90, m.mae100, m.mse, m.rmse, m.r2);
+  }
+  return 0;
+}
+
+int CmdQuery(const Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+  const auto model_it = flags.find("model");
+  const auto avail_it = flags.find("avail");
+  if (model_it == flags.end() || avail_it == flags.end()) {
+    return Fail(Status::InvalidArgument("--model and --avail are required"));
+  }
+  auto estimator = DomdEstimator::LoadModels(&*data, model_it->second);
+  if (!estimator.ok()) return Fail(estimator.status());
+
+  const std::int64_t avail_id = std::atoll(avail_it->second.c_str());
+  const double t_star = std::atof(FlagOr(flags, "t", "100").c_str());
+  const auto top_k =
+      static_cast<std::size_t>(std::atoi(FlagOr(flags, "top", "5").c_str()));
+  const auto result =
+      estimator->QueryAtLogicalTime(avail_id, t_star, top_k);
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("avail %lld at t* = %.1f%%\n",
+              static_cast<long long>(avail_id), t_star);
+  for (const auto& step : result->steps) {
+    std::printf("  t* = %5.1f%%  estimate %8.1f days\n", step.t_star,
+                step.estimated_delay_days);
+  }
+  std::printf("fused estimate: %.1f days\n", result->fused_estimate_days);
+  std::printf("top drivers at t* = %.0f%%:\n", result->steps.back().t_star);
+  for (const auto& feature : result->steps.back().top_features) {
+    std::printf("  %-32s %+8.2f days\n", feature.feature_name.c_str(),
+                feature.contribution);
+  }
+  return 0;
+}
+
+int CmdSql(const Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+  const auto query_it = flags.find("query");
+  if (query_it == flags.end()) {
+    return Fail(Status::InvalidArgument("--query is required"));
+  }
+  const auto parsed = ParseStatusQuery(query_it->second);
+  if (!parsed.ok()) return Fail(parsed.status());
+
+  StatusQueryEngine engine(&*data, IndexBackend::kAvlTree);
+  if (parsed->group_by.has_value()) {
+    const auto rows =
+        engine.ExecuteGroupBy(parsed->query, parsed->t_star,
+                              *parsed->group_by);
+    if (!rows.ok()) return Fail(rows.status());
+    for (const GroupedRow& row : *rows) {
+      std::string key;
+      if (row.type.has_value()) key += RccTypeToCode(*row.type);
+      if (row.swlin_prefix >= 0) {
+        if (!key.empty()) key += "/";
+        key += std::to_string(row.swlin_prefix);
+      }
+      std::printf("%-8s %14.4f\n", key.c_str(), row.value);
+    }
+    return 0;
+  }
+  const auto value = engine.Execute(parsed->query, parsed->t_star);
+  if (!value.ok()) return Fail(value.status());
+  std::printf("%s\n  = %.4f\n",
+              FormatStatusQuery(parsed->query, parsed->t_star).c_str(),
+              *value);
+  return 0;
+}
+
+int CmdReport(const Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+  const auto model_it = flags.find("model");
+  if (model_it == flags.end()) {
+    return Fail(Status::InvalidArgument("--model is required"));
+  }
+  auto estimator = DomdEstimator::LoadModels(&*data, model_it->second);
+  if (!estimator.ok()) return Fail(estimator.status());
+
+  ReportOptions options;
+  options.query_t_star = std::atof(FlagOr(flags, "t", "60").c_str());
+  ReportWriter writer(options);
+  const auto report = writer.FleetReport(*data, *estimator);
+  if (!report.ok()) return Fail(report.status());
+
+  const auto out_it = flags.find("out");
+  if (out_it == flags.end()) {
+    std::printf("%s", report->c_str());
+    return 0;
+  }
+  std::FILE* file = std::fopen(out_it->second.c_str(), "w");
+  if (file == nullptr) {
+    return Fail(Status::IoError("cannot open " + out_it->second));
+  }
+  std::fputs(report->c_str(), file);
+  std::fclose(file);
+  std::printf("report written to %s\n", out_it->second.c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: domd <generate|obfuscate|stats|train|evaluate|query|sql|report> "
+      "[flags]\n  see the header of tools/domd_cli.cc for flag details\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace domd
+
+int main(int argc, char** argv) {
+  if (argc < 2) return domd::Usage();
+  const std::string command = argv[1];
+  const domd::Flags flags = domd::ParseFlags(argc, argv, 2);
+  if (command == "generate") return domd::CmdGenerate(flags);
+  if (command == "obfuscate") return domd::CmdObfuscate(flags);
+  if (command == "stats") return domd::CmdStats(flags);
+  if (command == "train") return domd::CmdTrain(flags);
+  if (command == "evaluate") return domd::CmdEvaluate(flags);
+  if (command == "query") return domd::CmdQuery(flags);
+  if (command == "sql") return domd::CmdSql(flags);
+  if (command == "report") return domd::CmdReport(flags);
+  return domd::Usage();
+}
