@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_base_model.dir/bench_base_model.cc.o"
+  "CMakeFiles/bench_base_model.dir/bench_base_model.cc.o.d"
+  "bench_base_model"
+  "bench_base_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_base_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feature_selection.dir/bench_feature_selection.cc.o"
+  "CMakeFiles/bench_feature_selection.dir/bench_feature_selection.cc.o.d"
+  "bench_feature_selection"
+  "bench_feature_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feature_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gbt_ablation.dir/bench_gbt_ablation.cc.o"
+  "CMakeFiles/bench_gbt_ablation.dir/bench_gbt_ablation.cc.o.d"
+  "bench_gbt_ablation"
+  "bench_gbt_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gbt_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

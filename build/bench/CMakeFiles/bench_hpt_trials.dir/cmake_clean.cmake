@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hpt_trials.dir/bench_hpt_trials.cc.o"
+  "CMakeFiles/bench_hpt_trials.dir/bench_hpt_trials.cc.o.d"
+  "bench_hpt_trials"
+  "bench_hpt_trials.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hpt_trials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_scalability.dir/bench_index_scalability.cc.o"
+  "CMakeFiles/bench_index_scalability.dir/bench_index_scalability.cc.o.d"
+  "bench_index_scalability"
+  "bench_index_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipeline_optimizer.dir/bench_pipeline_optimizer.cc.o"
+  "CMakeFiles/bench_pipeline_optimizer.dir/bench_pipeline_optimizer.cc.o.d"
+  "bench_pipeline_optimizer"
+  "bench_pipeline_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stacking.dir/bench_stacking.cc.o"
+  "CMakeFiles/bench_stacking.dir/bench_stacking.cc.o.d"
+  "bench_stacking"
+  "bench_stacking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stacking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_test_set.dir/bench_test_set.cc.o"
+  "CMakeFiles/bench_test_set.dir/bench_test_set.cc.o.d"
+  "bench_test_set"
+  "bench_test_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_test_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_window_width.dir/bench_window_width.cc.o"
+  "CMakeFiles/bench_window_width.dir/bench_window_width.cc.o.d"
+  "bench_window_width"
+  "bench_window_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_window_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obfuscation_workflow.dir/obfuscation_workflow.cc.o"
+  "CMakeFiles/obfuscation_workflow.dir/obfuscation_workflow.cc.o.d"
+  "obfuscation_workflow"
+  "obfuscation_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obfuscation_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

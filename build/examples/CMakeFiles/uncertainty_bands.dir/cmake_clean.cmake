@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncertainty_bands.dir/uncertainty_bands.cc.o"
+  "CMakeFiles/uncertainty_bands.dir/uncertainty_bands.cc.o.d"
+  "uncertainty_bands"
+  "uncertainty_bands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncertainty_bands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/domd.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/domd.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/date.cc" "src/CMakeFiles/domd.dir/common/date.cc.o" "gcc" "src/CMakeFiles/domd.dir/common/date.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/domd.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/domd.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/domd.dir/common/status.cc.o" "gcc" "src/CMakeFiles/domd.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/domd.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/domd.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/domd.dir/core/config.cc.o" "gcc" "src/CMakeFiles/domd.dir/core/config.cc.o.d"
+  "/root/repo/src/core/domd_estimator.cc" "src/CMakeFiles/domd.dir/core/domd_estimator.cc.o" "gcc" "src/CMakeFiles/domd.dir/core/domd_estimator.cc.o.d"
+  "/root/repo/src/core/fusion.cc" "src/CMakeFiles/domd.dir/core/fusion.cc.o" "gcc" "src/CMakeFiles/domd.dir/core/fusion.cc.o.d"
+  "/root/repo/src/core/pipeline_optimizer.cc" "src/CMakeFiles/domd.dir/core/pipeline_optimizer.cc.o" "gcc" "src/CMakeFiles/domd.dir/core/pipeline_optimizer.cc.o.d"
+  "/root/repo/src/core/timeline.cc" "src/CMakeFiles/domd.dir/core/timeline.cc.o" "gcc" "src/CMakeFiles/domd.dir/core/timeline.cc.o.d"
+  "/root/repo/src/data/avail.cc" "src/CMakeFiles/domd.dir/data/avail.cc.o" "gcc" "src/CMakeFiles/domd.dir/data/avail.cc.o.d"
+  "/root/repo/src/data/integrity.cc" "src/CMakeFiles/domd.dir/data/integrity.cc.o" "gcc" "src/CMakeFiles/domd.dir/data/integrity.cc.o.d"
+  "/root/repo/src/data/logical_time.cc" "src/CMakeFiles/domd.dir/data/logical_time.cc.o" "gcc" "src/CMakeFiles/domd.dir/data/logical_time.cc.o.d"
+  "/root/repo/src/data/rcc.cc" "src/CMakeFiles/domd.dir/data/rcc.cc.o" "gcc" "src/CMakeFiles/domd.dir/data/rcc.cc.o.d"
+  "/root/repo/src/data/splits.cc" "src/CMakeFiles/domd.dir/data/splits.cc.o" "gcc" "src/CMakeFiles/domd.dir/data/splits.cc.o.d"
+  "/root/repo/src/data/swlin.cc" "src/CMakeFiles/domd.dir/data/swlin.cc.o" "gcc" "src/CMakeFiles/domd.dir/data/swlin.cc.o.d"
+  "/root/repo/src/data/tables.cc" "src/CMakeFiles/domd.dir/data/tables.cc.o" "gcc" "src/CMakeFiles/domd.dir/data/tables.cc.o.d"
+  "/root/repo/src/eval/cross_validation.cc" "src/CMakeFiles/domd.dir/eval/cross_validation.cc.o" "gcc" "src/CMakeFiles/domd.dir/eval/cross_validation.cc.o.d"
+  "/root/repo/src/features/feature_catalog.cc" "src/CMakeFiles/domd.dir/features/feature_catalog.cc.o" "gcc" "src/CMakeFiles/domd.dir/features/feature_catalog.cc.o.d"
+  "/root/repo/src/features/feature_engineer.cc" "src/CMakeFiles/domd.dir/features/feature_engineer.cc.o" "gcc" "src/CMakeFiles/domd.dir/features/feature_engineer.cc.o.d"
+  "/root/repo/src/features/feature_tensor.cc" "src/CMakeFiles/domd.dir/features/feature_tensor.cc.o" "gcc" "src/CMakeFiles/domd.dir/features/feature_tensor.cc.o.d"
+  "/root/repo/src/features/static_features.cc" "src/CMakeFiles/domd.dir/features/static_features.cc.o" "gcc" "src/CMakeFiles/domd.dir/features/static_features.cc.o.d"
+  "/root/repo/src/hpt/space.cc" "src/CMakeFiles/domd.dir/hpt/space.cc.o" "gcc" "src/CMakeFiles/domd.dir/hpt/space.cc.o.d"
+  "/root/repo/src/hpt/tpe.cc" "src/CMakeFiles/domd.dir/hpt/tpe.cc.o" "gcc" "src/CMakeFiles/domd.dir/hpt/tpe.cc.o.d"
+  "/root/repo/src/hpt/tuner.cc" "src/CMakeFiles/domd.dir/hpt/tuner.cc.o" "gcc" "src/CMakeFiles/domd.dir/hpt/tuner.cc.o.d"
+  "/root/repo/src/index/avl_tree_index.cc" "src/CMakeFiles/domd.dir/index/avl_tree_index.cc.o" "gcc" "src/CMakeFiles/domd.dir/index/avl_tree_index.cc.o.d"
+  "/root/repo/src/index/group_tree.cc" "src/CMakeFiles/domd.dir/index/group_tree.cc.o" "gcc" "src/CMakeFiles/domd.dir/index/group_tree.cc.o.d"
+  "/root/repo/src/index/interval_tree_index.cc" "src/CMakeFiles/domd.dir/index/interval_tree_index.cc.o" "gcc" "src/CMakeFiles/domd.dir/index/interval_tree_index.cc.o.d"
+  "/root/repo/src/index/logical_time_index.cc" "src/CMakeFiles/domd.dir/index/logical_time_index.cc.o" "gcc" "src/CMakeFiles/domd.dir/index/logical_time_index.cc.o.d"
+  "/root/repo/src/index/naive_join_index.cc" "src/CMakeFiles/domd.dir/index/naive_join_index.cc.o" "gcc" "src/CMakeFiles/domd.dir/index/naive_join_index.cc.o.d"
+  "/root/repo/src/ml/attribution.cc" "src/CMakeFiles/domd.dir/ml/attribution.cc.o" "gcc" "src/CMakeFiles/domd.dir/ml/attribution.cc.o.d"
+  "/root/repo/src/ml/elastic_net.cc" "src/CMakeFiles/domd.dir/ml/elastic_net.cc.o" "gcc" "src/CMakeFiles/domd.dir/ml/elastic_net.cc.o.d"
+  "/root/repo/src/ml/gbt.cc" "src/CMakeFiles/domd.dir/ml/gbt.cc.o" "gcc" "src/CMakeFiles/domd.dir/ml/gbt.cc.o.d"
+  "/root/repo/src/ml/loss.cc" "src/CMakeFiles/domd.dir/ml/loss.cc.o" "gcc" "src/CMakeFiles/domd.dir/ml/loss.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/CMakeFiles/domd.dir/ml/matrix.cc.o" "gcc" "src/CMakeFiles/domd.dir/ml/matrix.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/domd.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/domd.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "src/CMakeFiles/domd.dir/ml/tree.cc.o" "gcc" "src/CMakeFiles/domd.dir/ml/tree.cc.o.d"
+  "/root/repo/src/monitor/auto_retrain.cc" "src/CMakeFiles/domd.dir/monitor/auto_retrain.cc.o" "gcc" "src/CMakeFiles/domd.dir/monitor/auto_retrain.cc.o.d"
+  "/root/repo/src/monitor/drift.cc" "src/CMakeFiles/domd.dir/monitor/drift.cc.o" "gcc" "src/CMakeFiles/domd.dir/monitor/drift.cc.o.d"
+  "/root/repo/src/obfuscate/obfuscator.cc" "src/CMakeFiles/domd.dir/obfuscate/obfuscator.cc.o" "gcc" "src/CMakeFiles/domd.dir/obfuscate/obfuscator.cc.o.d"
+  "/root/repo/src/query/query_parser.cc" "src/CMakeFiles/domd.dir/query/query_parser.cc.o" "gcc" "src/CMakeFiles/domd.dir/query/query_parser.cc.o.d"
+  "/root/repo/src/query/stat_structure.cc" "src/CMakeFiles/domd.dir/query/stat_structure.cc.o" "gcc" "src/CMakeFiles/domd.dir/query/stat_structure.cc.o.d"
+  "/root/repo/src/query/status_query.cc" "src/CMakeFiles/domd.dir/query/status_query.cc.o" "gcc" "src/CMakeFiles/domd.dir/query/status_query.cc.o.d"
+  "/root/repo/src/report/report_writer.cc" "src/CMakeFiles/domd.dir/report/report_writer.cc.o" "gcc" "src/CMakeFiles/domd.dir/report/report_writer.cc.o.d"
+  "/root/repo/src/select/rfe.cc" "src/CMakeFiles/domd.dir/select/rfe.cc.o" "gcc" "src/CMakeFiles/domd.dir/select/rfe.cc.o.d"
+  "/root/repo/src/select/selectors.cc" "src/CMakeFiles/domd.dir/select/selectors.cc.o" "gcc" "src/CMakeFiles/domd.dir/select/selectors.cc.o.d"
+  "/root/repo/src/synth/generator.cc" "src/CMakeFiles/domd.dir/synth/generator.cc.o" "gcc" "src/CMakeFiles/domd.dir/synth/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for domd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/csv_test.cc" "tests/CMakeFiles/domd_tests.dir/common/csv_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/common/csv_test.cc.o.d"
+  "/root/repo/tests/common/date_test.cc" "tests/CMakeFiles/domd_tests.dir/common/date_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/common/date_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/domd_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/domd_tests.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/common/stats_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/domd_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/strings_test.cc" "tests/CMakeFiles/domd_tests.dir/common/strings_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/common/strings_test.cc.o.d"
+  "/root/repo/tests/core/config_test.cc" "tests/CMakeFiles/domd_tests.dir/core/config_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/core/config_test.cc.o.d"
+  "/root/repo/tests/core/domd_estimator_test.cc" "tests/CMakeFiles/domd_tests.dir/core/domd_estimator_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/core/domd_estimator_test.cc.o.d"
+  "/root/repo/tests/core/fusion_test.cc" "tests/CMakeFiles/domd_tests.dir/core/fusion_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/core/fusion_test.cc.o.d"
+  "/root/repo/tests/core/pipeline_optimizer_test.cc" "tests/CMakeFiles/domd_tests.dir/core/pipeline_optimizer_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/core/pipeline_optimizer_test.cc.o.d"
+  "/root/repo/tests/core/serialization_test.cc" "tests/CMakeFiles/domd_tests.dir/core/serialization_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/core/serialization_test.cc.o.d"
+  "/root/repo/tests/core/timeline_test.cc" "tests/CMakeFiles/domd_tests.dir/core/timeline_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/core/timeline_test.cc.o.d"
+  "/root/repo/tests/data/avail_test.cc" "tests/CMakeFiles/domd_tests.dir/data/avail_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/data/avail_test.cc.o.d"
+  "/root/repo/tests/data/integrity_test.cc" "tests/CMakeFiles/domd_tests.dir/data/integrity_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/data/integrity_test.cc.o.d"
+  "/root/repo/tests/data/logical_time_test.cc" "tests/CMakeFiles/domd_tests.dir/data/logical_time_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/data/logical_time_test.cc.o.d"
+  "/root/repo/tests/data/rcc_test.cc" "tests/CMakeFiles/domd_tests.dir/data/rcc_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/data/rcc_test.cc.o.d"
+  "/root/repo/tests/data/splits_test.cc" "tests/CMakeFiles/domd_tests.dir/data/splits_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/data/splits_test.cc.o.d"
+  "/root/repo/tests/data/swlin_test.cc" "tests/CMakeFiles/domd_tests.dir/data/swlin_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/data/swlin_test.cc.o.d"
+  "/root/repo/tests/data/tables_test.cc" "tests/CMakeFiles/domd_tests.dir/data/tables_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/data/tables_test.cc.o.d"
+  "/root/repo/tests/eval/cross_validation_test.cc" "tests/CMakeFiles/domd_tests.dir/eval/cross_validation_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/eval/cross_validation_test.cc.o.d"
+  "/root/repo/tests/features/feature_catalog_test.cc" "tests/CMakeFiles/domd_tests.dir/features/feature_catalog_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/features/feature_catalog_test.cc.o.d"
+  "/root/repo/tests/features/feature_engineer_test.cc" "tests/CMakeFiles/domd_tests.dir/features/feature_engineer_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/features/feature_engineer_test.cc.o.d"
+  "/root/repo/tests/features/feature_tensor_io_test.cc" "tests/CMakeFiles/domd_tests.dir/features/feature_tensor_io_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/features/feature_tensor_io_test.cc.o.d"
+  "/root/repo/tests/hpt/space_test.cc" "tests/CMakeFiles/domd_tests.dir/hpt/space_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/hpt/space_test.cc.o.d"
+  "/root/repo/tests/hpt/tpe_test.cc" "tests/CMakeFiles/domd_tests.dir/hpt/tpe_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/hpt/tpe_test.cc.o.d"
+  "/root/repo/tests/hpt/tuner_test.cc" "tests/CMakeFiles/domd_tests.dir/hpt/tuner_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/hpt/tuner_test.cc.o.d"
+  "/root/repo/tests/index/avl_tree_test.cc" "tests/CMakeFiles/domd_tests.dir/index/avl_tree_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/index/avl_tree_test.cc.o.d"
+  "/root/repo/tests/index/group_tree_test.cc" "tests/CMakeFiles/domd_tests.dir/index/group_tree_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/index/group_tree_test.cc.o.d"
+  "/root/repo/tests/index/index_fuzz_test.cc" "tests/CMakeFiles/domd_tests.dir/index/index_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/index/index_fuzz_test.cc.o.d"
+  "/root/repo/tests/index/index_property_test.cc" "tests/CMakeFiles/domd_tests.dir/index/index_property_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/index/index_property_test.cc.o.d"
+  "/root/repo/tests/index/interval_tree_test.cc" "tests/CMakeFiles/domd_tests.dir/index/interval_tree_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/index/interval_tree_test.cc.o.d"
+  "/root/repo/tests/index/naive_join_test.cc" "tests/CMakeFiles/domd_tests.dir/index/naive_join_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/index/naive_join_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/domd_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/obfuscation_pipeline_test.cc" "tests/CMakeFiles/domd_tests.dir/integration/obfuscation_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/integration/obfuscation_pipeline_test.cc.o.d"
+  "/root/repo/tests/ml/attribution_test.cc" "tests/CMakeFiles/domd_tests.dir/ml/attribution_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/ml/attribution_test.cc.o.d"
+  "/root/repo/tests/ml/elastic_net_test.cc" "tests/CMakeFiles/domd_tests.dir/ml/elastic_net_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/ml/elastic_net_test.cc.o.d"
+  "/root/repo/tests/ml/gbt_property_test.cc" "tests/CMakeFiles/domd_tests.dir/ml/gbt_property_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/ml/gbt_property_test.cc.o.d"
+  "/root/repo/tests/ml/gbt_test.cc" "tests/CMakeFiles/domd_tests.dir/ml/gbt_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/ml/gbt_test.cc.o.d"
+  "/root/repo/tests/ml/loss_test.cc" "tests/CMakeFiles/domd_tests.dir/ml/loss_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/ml/loss_test.cc.o.d"
+  "/root/repo/tests/ml/matrix_test.cc" "tests/CMakeFiles/domd_tests.dir/ml/matrix_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/ml/matrix_test.cc.o.d"
+  "/root/repo/tests/ml/metrics_test.cc" "tests/CMakeFiles/domd_tests.dir/ml/metrics_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/ml/metrics_test.cc.o.d"
+  "/root/repo/tests/ml/quantile_test.cc" "tests/CMakeFiles/domd_tests.dir/ml/quantile_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/ml/quantile_test.cc.o.d"
+  "/root/repo/tests/ml/tree_test.cc" "tests/CMakeFiles/domd_tests.dir/ml/tree_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/ml/tree_test.cc.o.d"
+  "/root/repo/tests/monitor/auto_retrain_test.cc" "tests/CMakeFiles/domd_tests.dir/monitor/auto_retrain_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/monitor/auto_retrain_test.cc.o.d"
+  "/root/repo/tests/monitor/drift_test.cc" "tests/CMakeFiles/domd_tests.dir/monitor/drift_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/monitor/drift_test.cc.o.d"
+  "/root/repo/tests/obfuscate/obfuscator_test.cc" "tests/CMakeFiles/domd_tests.dir/obfuscate/obfuscator_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/obfuscate/obfuscator_test.cc.o.d"
+  "/root/repo/tests/query/query_parser_test.cc" "tests/CMakeFiles/domd_tests.dir/query/query_parser_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/query/query_parser_test.cc.o.d"
+  "/root/repo/tests/query/stat_structure_test.cc" "tests/CMakeFiles/domd_tests.dir/query/stat_structure_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/query/stat_structure_test.cc.o.d"
+  "/root/repo/tests/query/status_query_test.cc" "tests/CMakeFiles/domd_tests.dir/query/status_query_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/query/status_query_test.cc.o.d"
+  "/root/repo/tests/report/report_writer_test.cc" "tests/CMakeFiles/domd_tests.dir/report/report_writer_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/report/report_writer_test.cc.o.d"
+  "/root/repo/tests/select/selectors_test.cc" "tests/CMakeFiles/domd_tests.dir/select/selectors_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/select/selectors_test.cc.o.d"
+  "/root/repo/tests/synth/generator_test.cc" "tests/CMakeFiles/domd_tests.dir/synth/generator_test.cc.o" "gcc" "tests/CMakeFiles/domd_tests.dir/synth/generator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/domd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domd_cli.dir/domd_cli.cc.o"
+  "CMakeFiles/domd_cli.dir/domd_cli.cc.o.d"
+  "domd"
+  "domd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
