@@ -1,0 +1,162 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <string>
+
+namespace domd {
+namespace {
+
+/// Identifies the pool (if any) owning the current thread, for the nested-
+/// parallelism inline fallback.
+thread_local const ThreadPool* tls_current_pool = nullptr;
+
+}  // namespace
+
+int Parallelism::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int Parallelism::EffectiveThreads() const {
+  return num_threads > 0 ? num_threads : HardwareThreads();
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int count = std::max(1, num_threads);
+  threads_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_current_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+    queue_.push_back(std::move(fn));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (OnWorkerThread()) return;  // waiting from a worker would self-deadlock
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool ThreadPool::OnWorkerThread() const { return tls_current_pool == this; }
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(Parallelism::HardwareThreads());
+  return *pool;
+}
+
+Status ParallelFor(int num_threads, std::size_t n, std::size_t grain,
+                   const std::function<Status(std::size_t begin,
+                                              std::size_t end)>& body) {
+  if (n == 0) return Status::OK();
+  const std::size_t chunk = std::max<std::size_t>(1, grain);
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+
+  auto run_chunk = [&body, n, chunk](std::size_t c) -> Status {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    try {
+      return body(begin, end);
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("parallel task threw: ") + e.what());
+    } catch (...) {
+      return Status::Internal("parallel task threw a non-std exception");
+    }
+  };
+
+  ThreadPool& pool = ThreadPool::Shared();
+  if (num_threads <= 1 || num_chunks == 1 || pool.OnWorkerThread()) {
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const Status status = run_chunk(c);
+      if (!status.ok()) return status;
+    }
+    return Status::OK();
+  }
+
+  // Shared per-call state. Heap-held so a helper that loses the race for
+  // the last chunk can still touch `next` after the caller has returned.
+  struct SharedState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable all_done;
+    std::size_t first_error_chunk = std::numeric_limits<std::size_t>::max();
+    Status error;  ///< guarded by mutex; status of first_error_chunk.
+  };
+  auto state = std::make_shared<SharedState>();
+
+  auto work = [state, run_chunk, num_chunks] {
+    for (;;) {
+      const std::size_t c = state->next.fetch_add(1);
+      if (c >= num_chunks) return;
+      const Status status = run_chunk(c);
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (c < state->first_error_chunk) {
+          state->first_error_chunk = c;
+          state->error = status;
+        }
+      }
+      if (state->done.fetch_add(1) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->all_done.notify_all();
+      }
+    }
+  };
+
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(std::min(num_threads,
+                                            pool.num_threads() + 1)),
+          num_chunks));
+  for (int helper = 1; helper < workers; ++helper) pool.Submit(work);
+  work();  // the caller is participant 0
+
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->all_done.wait(
+        lock, [&] { return state->done.load() == num_chunks; });
+    return state->error;
+  }
+}
+
+}  // namespace domd

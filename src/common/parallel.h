@@ -1,0 +1,102 @@
+#ifndef DOMD_COMMON_PARALLEL_H_
+#define DOMD_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace domd {
+
+/// Degree-of-parallelism knob threaded through PipelineConfig and the CLI
+/// (`--threads`). num_threads = 1 is the serial path and reproduces the
+/// library's historical outputs bit-for-bit; every parallel path is also
+/// required to be bit-identical to it (deterministic reduction order, no
+/// shared mutable accumulators), so the knob only trades wall-clock.
+struct Parallelism {
+  /// Worker count. 1 = serial; <= 0 = one worker per hardware thread.
+  int num_threads = 1;
+
+  /// std::thread::hardware_concurrency(), clamped to >= 1.
+  static int HardwareThreads();
+
+  /// Resolves the knob: num_threads when positive, HardwareThreads()
+  /// otherwise.
+  int EffectiveThreads() const;
+};
+
+/// A fixed-size worker pool over a single FIFO task queue. Tasks are opaque
+/// void() thunks; all error and result plumbing belongs to the caller (see
+/// ParallelFor, which layers Status propagation and determinism rules on
+/// top). Submit never blocks and never runs a task inline, so it is safe to
+/// call from any thread — including this pool's own workers.
+class ThreadPool {
+ public:
+  /// Spawns max(1, num_threads) workers.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue (every task submitted before destruction still runs)
+  /// and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues fn for execution on some worker.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every task submitted so far has finished. Calling from
+  /// one of this pool's own workers would self-deadlock, so that case
+  /// returns immediately instead (the nested-parallelism guard in
+  /// ParallelFor never waits from a worker either).
+  void Wait();
+
+  /// True when called from one of this pool's worker threads.
+  bool OnWorkerThread() const;
+
+  /// Lazily created process-wide pool with one worker per hardware thread.
+  /// Intentionally leaked so it outlives static teardown.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t pending_ = 0;  ///< queued + running tasks.
+  bool shutting_down_ = false;
+};
+
+/// Deterministic statically-chunked parallel loop over [0, n).
+///
+/// The range is split into contiguous chunks of `grain` indices (the last
+/// chunk may be short) and body(begin, end) runs once per chunk on up to
+/// num_threads workers (the caller participates) of the shared pool.
+/// Guarantees:
+///  - body must only write disjoint, index-addressed state; reductions are
+///    the caller's job, serially, after the call returns. Under that
+///    contract the result is bit-identical to the serial loop for every
+///    (num_threads, grain) combination.
+///  - num_threads <= 1, a single chunk, or a call from inside a pool worker
+///    (nested parallelism) runs every chunk inline in index order: nested
+///    ParallelFor never deadlocks and never oversubscribes.
+///  - An exception escaping body is caught and converted to
+///    Status::Internal. When several chunks fail, the status of the
+///    lowest-indexed failing chunk is returned regardless of scheduling.
+Status ParallelFor(int num_threads, std::size_t n, std::size_t grain,
+                   const std::function<Status(std::size_t begin,
+                                              std::size_t end)>& body);
+
+}  // namespace domd
+
+#endif  // DOMD_COMMON_PARALLEL_H_

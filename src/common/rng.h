@@ -17,6 +17,17 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
 
+  /// Derives an independent deterministic generator for one parallel task:
+  /// a SplitMix64 jump over the stream index decorrelates the streams, and
+  /// because the stream index (not the executing thread) selects the
+  /// stream, task i draws the same sequence however work is scheduled.
+  static Rng ForStream(std::uint64_t seed, std::uint64_t stream) {
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return Rng(z ^ (z >> 31));
+  }
+
   /// Re-seeds the generator deterministically from a single 64-bit value.
   void Seed(std::uint64_t seed) {
     // SplitMix64 expansion of the seed into the 256-bit state.

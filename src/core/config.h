@@ -6,6 +6,7 @@
 #include <ostream>
 #include <string>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "ml/elastic_net.h"
 #include "ml/gbt.h"
@@ -64,6 +65,12 @@ struct PipelineConfig {
 
   GbtParams gbt;  ///< effective GBT params (overwritten when tuned).
   ElasticNetParams elastic_net;
+
+  /// Execution parallelism (feature engineering, GBT split search, CV
+  /// folds). Runtime knob: not serialized, and results are bit-identical
+  /// for every thread count — num_threads = 1 reproduces the serial path
+  /// exactly.
+  Parallelism parallelism;
 
   /// Materializes the configured loss.
   Loss MakeLoss() const;

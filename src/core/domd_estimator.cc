@@ -29,8 +29,8 @@ StatusOr<DomdEstimator> DomdEstimator::Train(
   std::vector<std::int64_t> all_ids;
   all_ids.reserve(data->avails.size());
   for (const Avail& avail : data->avails.rows()) all_ids.push_back(avail.id);
-  estimator.all_view_ =
-      BuildModelingView(*data, estimator.engineer_, all_ids, estimator.grid_);
+  estimator.all_view_ = BuildModelingView(*data, estimator.engineer_, all_ids,
+                                          estimator.grid_, config.parallelism);
 
   auto train_view = estimator.all_view_.dynamic.SelectAvails(train_ids);
   if (!train_view.ok()) return train_view.status();
@@ -66,14 +66,16 @@ Status DomdEstimator::SaveModels(const std::string& path) const {
   return Status::OK();
 }
 
-StatusOr<DomdEstimator> DomdEstimator::LoadModels(const Dataset* data,
-                                                  const std::string& path) {
+StatusOr<DomdEstimator> DomdEstimator::LoadModels(
+    const Dataset* data, const std::string& path,
+    const Parallelism& parallelism) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
   auto models = TimelineModelSet::Load(in);
   if (!models.ok()) return models.status();
 
   DomdEstimator estimator(data, models->config());
+  estimator.config_.parallelism = parallelism;
   estimator.grid_ = LogicalTimeGrid(estimator.config_.window_width_pct);
   if (estimator.grid_.size() != models->num_steps()) {
     return Status::FailedPrecondition(
@@ -83,7 +85,8 @@ StatusOr<DomdEstimator> DomdEstimator::LoadModels(const Dataset* data,
   all_ids.reserve(data->avails.size());
   for (const Avail& avail : data->avails.rows()) all_ids.push_back(avail.id);
   estimator.all_view_ =
-      BuildModelingView(*data, estimator.engineer_, all_ids, estimator.grid_);
+      BuildModelingView(*data, estimator.engineer_, all_ids, estimator.grid_,
+                        estimator.config_.parallelism);
   estimator.models_ = std::move(*models);
   return estimator;
 }

@@ -60,10 +60,12 @@ class DomdEstimator {
   Status SaveModels(const std::string& path) const;
 
   /// Rebuilds an estimator from a dataset plus a model file written by
-  /// SaveModels. Features are recomputed for the given dataset; the models
-  /// are loaded as-is. The dataset must outlive the estimator.
+  /// SaveModels. Features are recomputed for the given dataset (honoring
+  /// `parallelism`, which is a runtime knob and never persisted); the
+  /// models are loaded as-is. The dataset must outlive the estimator.
   static StatusOr<DomdEstimator> LoadModels(const Dataset* data,
-                                            const std::string& path);
+                                            const std::string& path,
+                                            const Parallelism& parallelism = {});
 
  private:
   DomdEstimator(const Dataset* data, const PipelineConfig& config)

@@ -49,11 +49,12 @@ StatusOr<std::unique_ptr<Regressor>> LoadRegressor(std::istream& in) {
 ModelingView BuildModelingView(const Dataset& data,
                                const FeatureEngineer& engineer,
                                const std::vector<std::int64_t>& avail_ids,
-                               const std::vector<double>& grid) {
+                               const std::vector<double>& grid,
+                               const Parallelism& parallelism) {
   ModelingView view;
   view.avail_ids = avail_ids;
   view.static_x = BuildStaticFeatures(data.avails, avail_ids);
-  view.dynamic = engineer.ComputeIncremental(avail_ids, grid);
+  view.dynamic = engineer.ComputeIncremental(avail_ids, grid, parallelism);
   view.labels.assign(avail_ids.size(), 0.0);
   for (std::size_t i = 0; i < avail_ids.size(); ++i) {
     const auto avail = data.avails.Find(avail_ids[i]);
@@ -69,7 +70,9 @@ std::unique_ptr<Regressor> TimelineModelSet::MakeModel(
   if (config.model_family == ModelFamily::kElasticNet) {
     return std::make_unique<ElasticNetRegression>(config.elastic_net);
   }
-  return std::make_unique<GbtRegressor>(config.gbt, config.MakeLoss());
+  GbtParams gbt = config.gbt;
+  gbt.tree.num_threads = config.parallelism.EffectiveThreads();
+  return std::make_unique<GbtRegressor>(gbt, config.MakeLoss());
 }
 
 Status TimelineModelSet::Fit(

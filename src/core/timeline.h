@@ -28,10 +28,12 @@ struct ModelingView {
 };
 
 /// Builds a ModelingView for the given avails (labels 0 for non-closed).
+/// Feature engineering honors `parallelism` (bit-identical at any count).
 ModelingView BuildModelingView(const Dataset& data,
                                const FeatureEngineer& engineer,
                                const std::vector<std::int64_t>& avail_ids,
-                               const std::vector<double>& grid);
+                               const std::vector<double>& grid,
+                               const Parallelism& parallelism = {});
 
 /// The trained model set answering DoMD queries: one supervised model per
 /// logical-time grid point (1 + ceil(100/x) models), plus — under the

@@ -29,7 +29,8 @@ StatusOr<CvResult> CrossValidate(const Dataset& data,
   // Engineer the full tensor once; folds are row subsets.
   FeatureEngineer engineer(&data);
   const std::vector<double> grid = LogicalTimeGrid(options.window_width_pct);
-  const ModelingView full = BuildModelingView(data, engineer, ids, grid);
+  const ModelingView full =
+      BuildModelingView(data, engineer, ids, grid, config.parallelism);
   std::vector<std::string> names;
   names.reserve(engineer.catalog().size());
   for (const FeatureDef& def : engineer.catalog().features()) {
@@ -52,30 +53,46 @@ StatusOr<CvResult> CrossValidate(const Dataset& data,
 
   CvResult result;
   const std::size_t n = ids.size();
+  const auto num_folds = static_cast<std::size_t>(options.num_folds);
+
+  // Folds are independent given the shared tensor: run them in parallel,
+  // each writing only its own slot, then aggregate serially in fold order —
+  // bit-identical to the serial loop for every thread count.
+  std::vector<FoldResult> fold_results(num_folds);
+  std::vector<Status> fold_status(num_folds, Status::OK());
+  const int threads = std::min(config.parallelism.EffectiveThreads(),
+                               options.num_folds);
+  DOMD_RETURN_IF_ERROR(ParallelFor(
+      threads, num_folds, 1,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t fold = lo; fold < hi; ++fold) {
+          std::vector<std::size_t> train_rows, test_rows;
+          for (std::size_t i = 0; i < n; ++i) {
+            if (i % num_folds == fold) {
+              test_rows.push_back(i);
+            } else {
+              train_rows.push_back(i);
+            }
+          }
+          const ModelingView train = subset_view(train_rows);
+          const ModelingView test = subset_view(test_rows);
+
+          TimelineModelSet models;
+          fold_status[fold] = models.Fit(config, train, names);
+          if (!fold_status[fold].ok()) continue;
+          const std::vector<double> fused = models.PredictFused(
+              test, grid.size() - 1, config.fusion);
+
+          fold_results[fold].held_out_ids = test.avail_ids;
+          fold_results[fold].metrics = ComputeEvalMetrics(test.labels, fused);
+        }
+        return Status::OK();
+      }));
+  for (const Status& status : fold_status) DOMD_RETURN_IF_ERROR(status);
+
   std::vector<double> fold_mae;
   EvalMetrics sums;
-
-  for (int fold = 0; fold < options.num_folds; ++fold) {
-    std::vector<std::size_t> train_rows, test_rows;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (static_cast<int>(i % static_cast<std::size_t>(options.num_folds)) ==
-          fold) {
-        test_rows.push_back(i);
-      } else {
-        train_rows.push_back(i);
-      }
-    }
-    const ModelingView train = subset_view(train_rows);
-    const ModelingView test = subset_view(test_rows);
-
-    TimelineModelSet models;
-    DOMD_RETURN_IF_ERROR(models.Fit(config, train, names));
-    const std::vector<double> fused = models.PredictFused(
-        test, grid.size() - 1, config.fusion);
-
-    FoldResult fold_result;
-    fold_result.held_out_ids = test.avail_ids;
-    fold_result.metrics = ComputeEvalMetrics(test.labels, fused);
+  for (FoldResult& fold_result : fold_results) {
     fold_mae.push_back(fold_result.metrics.mae100);
     sums.mae80 += fold_result.metrics.mae80;
     sums.mae90 += fold_result.metrics.mae90;

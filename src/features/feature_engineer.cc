@@ -33,33 +33,65 @@ FeatureEngineer::FeatureEngineer(const Dataset* data) : data_(data) {}
 
 FeatureTensor FeatureEngineer::ComputeIncremental(
     const std::vector<std::int64_t>& avail_ids,
-    const std::vector<double>& time_grid) const {
+    const std::vector<double>& time_grid,
+    const Parallelism& parallelism) const {
   FeatureTensor tensor(avail_ids, time_grid, catalog_.size());
-  StatStructure sweep(*data_);
+  if (avail_ids.empty()) return tensor;
+
+  const int threads =
+      std::min(parallelism.EffectiveThreads(),
+               static_cast<int>(avail_ids.size()));
+  if (threads <= 1) {
+    EngineerRows(avail_ids, 0, avail_ids.size(), time_grid, &tensor);
+    return tensor;
+  }
+  // Contiguous row blocks, one per worker; each block owns disjoint tensor
+  // rows, so the parallel fill is race-free and bit-identical to serial.
+  const std::size_t grain =
+      (avail_ids.size() + static_cast<std::size_t>(threads) - 1) /
+      static_cast<std::size_t>(threads);
+  const Status status = ParallelFor(
+      threads, avail_ids.size(), grain,
+      [&](std::size_t lo, std::size_t hi) {
+        EngineerRows(avail_ids, lo, hi, time_grid, &tensor);
+        return Status::OK();
+      });
+  (void)status;  // the body is infallible
+  return tensor;
+}
+
+void FeatureEngineer::EngineerRows(const std::vector<std::int64_t>& avail_ids,
+                                   std::size_t row_begin, std::size_t row_end,
+                                   const std::vector<double>& time_grid,
+                                   FeatureTensor* tensor) const {
+  const std::vector<std::int64_t> block(
+      avail_ids.begin() + static_cast<std::ptrdiff_t>(row_begin),
+      avail_ids.begin() + static_cast<std::ptrdiff_t>(row_end));
+  StatStructure sweep(*data_, block);
 
   const std::size_t n_groups = GroupSchema::kNumGroups;
-  std::vector<double> prev_created(avail_ids.size() * n_groups, 0.0);
+  std::vector<double> prev_created(block.size() * n_groups, 0.0);
 
   for (std::size_t step = 0; step < time_grid.size(); ++step) {
     sweep.AdvanceTo(time_grid[step]);
-    Matrix& slice = tensor.slice(step);
-    for (std::size_t row = 0; row < avail_ids.size(); ++row) {
+    Matrix& slice = tensor->slice(step);
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const std::size_t row = row_begin + i;
       for (std::size_t f = 0; f < catalog_.size(); ++f) {
         const FeatureDef& def = catalog_.feature(f);
-        const GroupAggregates& agg = sweep.Get(avail_ids[row], def.group_id);
+        const GroupAggregates& agg = sweep.Get(block[i], def.group_id);
         slice.at(row, f) = FeatureValue(
             def.kind, agg, time_grid[step],
-            prev_created[row * n_groups +
+            prev_created[i * n_groups +
                          static_cast<std::size_t>(def.group_id)]);
       }
       // Snapshot created counts for the next step's window features.
       for (std::size_t g = 0; g < n_groups; ++g) {
-        prev_created[row * n_groups + g] = static_cast<double>(
-            sweep.Get(avail_ids[row], static_cast<int>(g)).created_count);
+        prev_created[i * n_groups + g] = static_cast<double>(
+            sweep.Get(block[i], static_cast<int>(g)).created_count);
       }
     }
   }
-  return tensor;
 }
 
 StatusOr<double> FeatureEngineer::ComputeOneFromScratch(

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "data/tables.h"
 #include "features/feature_catalog.h"
 #include "features/feature_tensor.h"
@@ -27,9 +28,13 @@ class FeatureEngineer {
   const FeatureCatalog& catalog() const { return catalog_; }
 
   /// Incremental tensor construction for the given avails over the grid.
-  FeatureTensor ComputeIncremental(
-      const std::vector<std::int64_t>& avail_ids,
-      const std::vector<double>& time_grid) const;
+  /// With more than one thread, avails are partitioned into contiguous
+  /// blocks and each worker drives its own StatStructure sweep over its
+  /// block (incremental caching intact); rows are independent, so the
+  /// tensor is bit-identical for every thread count.
+  FeatureTensor ComputeIncremental(const std::vector<std::int64_t>& avail_ids,
+                                   const std::vector<double>& time_grid,
+                                   const Parallelism& parallelism = {}) const;
 
   /// From-scratch evaluation of one feature for one avail at one t* through
   /// Algorithm StatusQ. prev_t_star feeds window features (pass the
@@ -42,6 +47,13 @@ class FeatureEngineer {
                                          double prev_t_star) const;
 
  private:
+  /// Engineers rows [row_begin, row_end) of the tensor with a private
+  /// StatStructure sweep restricted to that block's avails.
+  void EngineerRows(const std::vector<std::int64_t>& avail_ids,
+                    std::size_t row_begin, std::size_t row_end,
+                    const std::vector<double>& time_grid,
+                    FeatureTensor* tensor) const;
+
   const Dataset* data_;
   FeatureCatalog catalog_;
 };

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <iomanip>
 #include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
 
 namespace domd {
 namespace {
@@ -15,6 +19,10 @@ double NewtonWeight(double g, double h, double lambda) {
 double ScoreHalf(double g, double h, double lambda) {
   return g * g / (h + lambda);
 }
+
+/// Rows-times-features below which the split search stays serial: with so
+/// little work the ParallelFor dispatch costs more than it saves.
+constexpr std::size_t kMinParallelSplitWork = 2048;
 
 }  // namespace
 
@@ -85,46 +93,136 @@ std::int32_t RegressionTree::Grow(const Matrix& x,
   return node_id;
 }
 
+RegressionTree::SplitDecision RegressionTree::ScanFeatureExact(
+    const Matrix& x, const std::vector<double>& grad,
+    const std::vector<double>& hess, const std::vector<std::size_t>& rows,
+    std::size_t begin, std::size_t end, std::size_t feature,
+    const TreeParams& params, double g_total, double h_total,
+    double parent_score) const {
+  SplitDecision best;
+  std::vector<std::pair<double, std::size_t>> sorted;
+  sorted.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    sorted.emplace_back(x.at(rows[i], feature), rows[i]);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.front().first == sorted.back().first) return best;  // constant
+
+  double g_left = 0.0, h_left = 0.0;
+  for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+    g_left += grad[sorted[i].second];
+    h_left += hess[sorted[i].second];
+    if (sorted[i].first == sorted[i + 1].first) continue;  // no boundary
+    const double g_right = g_total - g_left;
+    const double h_right = h_total - h_left;
+    if (h_left < params.min_child_weight ||
+        h_right < params.min_child_weight) {
+      continue;
+    }
+    const double gain =
+        0.5 * (ScoreHalf(g_left, h_left, params.lambda) +
+               ScoreHalf(g_right, h_right, params.lambda) - parent_score) -
+        params.gamma;
+    if (gain > best.gain || (!best.found && gain > 0.0)) {
+      best.found = true;
+      best.feature = feature;
+      best.threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      best.gain = gain;
+    }
+  }
+  return best;
+}
+
+RegressionTree::SplitDecision RegressionTree::ScanFeatureHistogram(
+    const Matrix& x, const std::vector<double>& grad,
+    const std::vector<double>& hess, const std::vector<std::size_t>& rows,
+    std::size_t begin, std::size_t end, std::size_t feature,
+    const TreeParams& params, double g_total, double h_total,
+    double parent_score) const {
+  SplitDecision best;
+  const auto bins =
+      static_cast<std::size_t>(std::max(2, params.histogram_bins));
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = begin; i < end; ++i) {
+    const double v = x.at(rows[i], feature);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!(hi > lo)) return best;
+
+  // Task-local histogram: each worker accumulates into its own bins, so the
+  // parallel build shares no mutable state.
+  std::vector<double> bin_g(bins, 0.0), bin_h(bins, 0.0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::size_t r = rows[i];
+    auto b = static_cast<std::size_t>((x.at(r, feature) - lo) / width);
+    if (b >= bins) b = bins - 1;
+    bin_g[b] += grad[r];
+    bin_h[b] += hess[r];
+  }
+
+  double g_left = 0.0, h_left = 0.0;
+  for (std::size_t b = 0; b + 1 < bins; ++b) {
+    g_left += bin_g[b];
+    h_left += bin_h[b];
+    const double g_right = g_total - g_left;
+    const double h_right = h_total - h_left;
+    if (h_left < params.min_child_weight ||
+        h_right < params.min_child_weight) {
+      continue;
+    }
+    const double gain =
+        0.5 * (ScoreHalf(g_left, h_left, params.lambda) +
+               ScoreHalf(g_right, h_right, params.lambda) - parent_score) -
+        params.gamma;
+    if (gain > best.gain || (!best.found && gain > 0.0)) {
+      best.found = true;
+      best.feature = feature;
+      best.threshold = lo + width * static_cast<double>(b + 1);
+      best.gain = gain;
+    }
+  }
+  return best;
+}
+
 RegressionTree::SplitDecision RegressionTree::FindSplitExact(
     const Matrix& x, const std::vector<double>& grad,
     const std::vector<double>& hess, const std::vector<std::size_t>& rows,
     std::size_t begin, std::size_t end,
     const std::vector<std::size_t>& features, const TreeParams& params,
     double g_total, double h_total) const {
-  SplitDecision best;
   const double parent_score = ScoreHalf(g_total, h_total, params.lambda);
 
-  std::vector<std::pair<double, std::size_t>> sorted;
-  sorted.reserve(end - begin);
-  for (std::size_t f : features) {
-    sorted.clear();
-    for (std::size_t i = begin; i < end; ++i) {
-      sorted.emplace_back(x.at(rows[i], f), rows[i]);
-    }
-    std::sort(sorted.begin(), sorted.end());
-    if (sorted.front().first == sorted.back().first) continue;  // constant
+  // Scan features independently (possibly in parallel), then reduce
+  // serially in feature order. Within a feature ties keep the earliest
+  // boundary and across features the strict > keeps the earliest feature —
+  // exactly the serial loop's selection, so the reduction is bit-identical
+  // for every thread count.
+  std::vector<SplitDecision> per_feature(features.size());
+  const int threads =
+      (end - begin) * features.size() >= kMinParallelSplitWork
+          ? params.num_threads
+          : 1;
+  const std::size_t grain =
+      (features.size() + static_cast<std::size_t>(std::max(1, threads)) - 1) /
+      static_cast<std::size_t>(std::max(1, threads));
+  (void)ParallelFor(
+      threads, features.size(), grain,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t j = lo; j < hi; ++j) {
+          per_feature[j] =
+              ScanFeatureExact(x, grad, hess, rows, begin, end, features[j],
+                               params, g_total, h_total, parent_score);
+        }
+        return Status::OK();
+      });
 
-    double g_left = 0.0, h_left = 0.0;
-    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
-      g_left += grad[sorted[i].second];
-      h_left += hess[sorted[i].second];
-      if (sorted[i].first == sorted[i + 1].first) continue;  // no boundary
-      const double g_right = g_total - g_left;
-      const double h_right = h_total - h_left;
-      if (h_left < params.min_child_weight ||
-          h_right < params.min_child_weight) {
-        continue;
-      }
-      const double gain =
-          0.5 * (ScoreHalf(g_left, h_left, params.lambda) +
-                 ScoreHalf(g_right, h_right, params.lambda) - parent_score) -
-          params.gamma;
-      if (gain > best.gain || (!best.found && gain > 0.0)) {
-        best.found = true;
-        best.feature = f;
-        best.threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
-        best.gain = gain;
-      }
+  SplitDecision best;
+  for (const SplitDecision& candidate : per_feature) {
+    if (candidate.found && (!best.found || candidate.gain > best.gain)) {
+      best = candidate;
     }
   }
   if (best.found && best.gain <= 0.0) best.found = false;
@@ -137,52 +235,32 @@ RegressionTree::SplitDecision RegressionTree::FindSplitHistogram(
     std::size_t begin, std::size_t end,
     const std::vector<std::size_t>& features, const TreeParams& params,
     double g_total, double h_total) const {
-  SplitDecision best;
   const double parent_score = ScoreHalf(g_total, h_total, params.lambda);
-  const auto bins = static_cast<std::size_t>(std::max(2, params.histogram_bins));
-  std::vector<double> bin_g(bins), bin_h(bins);
 
-  for (std::size_t f : features) {
-    double lo = std::numeric_limits<double>::infinity();
-    double hi = -std::numeric_limits<double>::infinity();
-    for (std::size_t i = begin; i < end; ++i) {
-      const double v = x.at(rows[i], f);
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
-    }
-    if (!(hi > lo)) continue;
+  std::vector<SplitDecision> per_feature(features.size());
+  const int threads =
+      (end - begin) * features.size() >= kMinParallelSplitWork
+          ? params.num_threads
+          : 1;
+  const std::size_t grain =
+      (features.size() + static_cast<std::size_t>(std::max(1, threads)) - 1) /
+      static_cast<std::size_t>(std::max(1, threads));
+  (void)ParallelFor(
+      threads, features.size(), grain,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t j = lo; j < hi; ++j) {
+          per_feature[j] = ScanFeatureHistogram(x, grad, hess, rows, begin,
+                                                end, features[j], params,
+                                                g_total, h_total,
+                                                parent_score);
+        }
+        return Status::OK();
+      });
 
-    std::fill(bin_g.begin(), bin_g.end(), 0.0);
-    std::fill(bin_h.begin(), bin_h.end(), 0.0);
-    const double width = (hi - lo) / static_cast<double>(bins);
-    for (std::size_t i = begin; i < end; ++i) {
-      const std::size_t r = rows[i];
-      auto b = static_cast<std::size_t>((x.at(r, f) - lo) / width);
-      if (b >= bins) b = bins - 1;
-      bin_g[b] += grad[r];
-      bin_h[b] += hess[r];
-    }
-
-    double g_left = 0.0, h_left = 0.0;
-    for (std::size_t b = 0; b + 1 < bins; ++b) {
-      g_left += bin_g[b];
-      h_left += bin_h[b];
-      const double g_right = g_total - g_left;
-      const double h_right = h_total - h_left;
-      if (h_left < params.min_child_weight ||
-          h_right < params.min_child_weight) {
-        continue;
-      }
-      const double gain =
-          0.5 * (ScoreHalf(g_left, h_left, params.lambda) +
-                 ScoreHalf(g_right, h_right, params.lambda) - parent_score) -
-          params.gamma;
-      if (gain > best.gain || (!best.found && gain > 0.0)) {
-        best.found = true;
-        best.feature = f;
-        best.threshold = lo + width * static_cast<double>(b + 1);
-        best.gain = gain;
-      }
+  SplitDecision best;
+  for (const SplitDecision& candidate : per_feature) {
+    if (candidate.found && (!best.found || candidate.gain > best.gain)) {
+      best = candidate;
     }
   }
   if (best.found && best.gain <= 0.0) best.found = false;

@@ -28,6 +28,11 @@ struct TreeParams {
   double gamma = 0.0;             ///< Minimum gain to accept a split.
   SplitMethod split_method = SplitMethod::kExact;
   int histogram_bins = 32;
+  /// Workers for the per-feature split search (histogram build included).
+  /// Runtime knob, not a model parameter: never serialized, and every
+  /// thread count produces bit-identical trees (per-feature scans are
+  /// independent; the cross-feature reduction is serial in feature order).
+  int num_threads = 1;
 };
 
 /// One regression tree fitted to per-sample gradients and Hessians (a
@@ -120,6 +125,26 @@ class RegressionTree {
                                    const std::vector<std::size_t>& features,
                                    const TreeParams& params, double g_total,
                                    double h_total) const;
+
+  /// Best split of a single feature over rows [begin, end) — the unit of
+  /// work the parallel split search distributes.
+  SplitDecision ScanFeatureExact(const Matrix& x,
+                                 const std::vector<double>& grad,
+                                 const std::vector<double>& hess,
+                                 const std::vector<std::size_t>& rows,
+                                 std::size_t begin, std::size_t end,
+                                 std::size_t feature, const TreeParams& params,
+                                 double g_total, double h_total,
+                                 double parent_score) const;
+
+  SplitDecision ScanFeatureHistogram(const Matrix& x,
+                                     const std::vector<double>& grad,
+                                     const std::vector<double>& hess,
+                                     const std::vector<std::size_t>& rows,
+                                     std::size_t begin, std::size_t end,
+                                     std::size_t feature,
+                                     const TreeParams& params, double g_total,
+                                     double h_total, double parent_score) const;
 
   int DepthOf(std::int32_t node) const;
 

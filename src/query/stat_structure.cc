@@ -7,14 +7,30 @@
 
 namespace domd {
 
+namespace {
+
+std::vector<std::int64_t> AllAvailIds(const Dataset& data) {
+  std::vector<std::int64_t> ids;
+  ids.reserve(data.avails.size());
+  for (const Avail& avail : data.avails.rows()) ids.push_back(avail.id);
+  return ids;
+}
+
+}  // namespace
+
 StatStructure::StatStructure(const Dataset& data)
+    : StatStructure(data, AllAvailIds(data)) {}
+
+StatStructure::StatStructure(const Dataset& data,
+                             const std::vector<std::int64_t>& avail_ids)
     : current_time_(-std::numeric_limits<double>::infinity()) {
-  const std::size_t n_avails = data.avails.size();
-  avail_ids_.reserve(n_avails);
-  for (const Avail& avail : data.avails.rows()) {
-    avail_index_[avail.id] = avail_ids_.size();
-    avail_ids_.push_back(avail.id);
+  avail_ids_.reserve(avail_ids.size());
+  for (const std::int64_t id : avail_ids) {
+    if (!data.avails.Find(id).ok()) continue;  // unknown ids stay untracked
+    avail_index_[id] = avail_ids_.size();
+    avail_ids_.push_back(id);
   }
+  const std::size_t n_avails = avail_ids_.size();
   creation_events_.resize(n_avails);
   settle_events_.resize(n_avails);
   creation_pos_.assign(n_avails, 0);

@@ -66,6 +66,15 @@ class StatStructure {
   /// Builds buckets for every avail in the dataset.
   explicit StatStructure(const Dataset& data);
 
+  /// Builds buckets for the given avails only. RCC events of other avails
+  /// are skipped, so a set of sweeps over disjoint subsets costs the same
+  /// total event work as one full sweep — this is what lets each parallel
+  /// feature-engineering worker drive its own private sweep while keeping
+  /// the incremental cache intact. Per-avail aggregates are identical to
+  /// the full-dataset structure's.
+  StatStructure(const Dataset& data,
+                const std::vector<std::int64_t>& avail_ids);
+
   /// Rewinds the sweep: all aggregates return to empty, current time to
   /// before any event.
   void Reset();

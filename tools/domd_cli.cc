@@ -5,14 +5,20 @@
 //   domd obfuscate --dir DATA --out DIR [--seed S]
 //   domd stats     --dir DATA
 //   domd train     --dir DATA --model FILE [--window X] [--k K]
-//                  [--rounds R] [--seed S]
-//   domd evaluate  --dir DATA --model FILE
+//                  [--rounds R] [--seed S] [--threads N]
+//   domd evaluate  --dir DATA --model FILE [--threads N]
 //   domd query     --dir DATA --model FILE --avail ID [--t T*] [--top K]
+//                  [--threads N]
 //   domd sql       --dir DATA --query "SELECT ... AT <t*>"
 //   domd report    --dir DATA --model FILE [--out FILE] [--t T*]
+//                  [--threads N]
 //
 // DATA directories hold avails.csv and rccs.csv in the library's CSV
 // schema. Model files are written by `train` (DomdEstimator::SaveModels).
+//
+// --threads N sets the worker count for feature engineering, GBT split
+// search, and cross-validation (0 = one per hardware thread, the default).
+// Results are bit-identical for every N; the knob only trades wall-clock.
 
 #include <cstdio>
 #include <cstdlib>
@@ -54,6 +60,13 @@ std::string FlagOr(const Flags& flags, const std::string& key,
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+// --threads N; N = 0 (the default) resolves to hardware_concurrency.
+Parallelism ThreadsFlag(const Flags& flags) {
+  Parallelism parallelism;
+  parallelism.num_threads = std::atoi(FlagOr(flags, "threads", "0").c_str());
+  return parallelism;
 }
 
 StatusOr<Dataset> LoadData(const Flags& flags) {
@@ -186,6 +199,7 @@ int CmdTrain(const Flags& flags) {
   config.gbt.num_rounds = std::atoi(FlagOr(flags, "rounds", "150").c_str());
   config.seed = static_cast<std::uint64_t>(
       std::atoll(FlagOr(flags, "seed", "42").c_str()));
+  config.parallelism = ThreadsFlag(flags);
 
   Rng rng(config.seed + 1);
   const DataSplit split = MakeSplit(data->avails, SplitOptions{}, &rng);
@@ -222,7 +236,8 @@ int CmdEvaluate(const Flags& flags) {
   if (model_it == flags.end()) {
     return Fail(Status::InvalidArgument("--model is required"));
   }
-  auto estimator = DomdEstimator::LoadModels(&*data, model_it->second);
+  auto estimator =
+      DomdEstimator::LoadModels(&*data, model_it->second, ThreadsFlag(flags));
   if (!estimator.ok()) return Fail(estimator.status());
 
   // Table-7-style panel over every closed avail.
@@ -252,7 +267,8 @@ int CmdQuery(const Flags& flags) {
   if (model_it == flags.end() || avail_it == flags.end()) {
     return Fail(Status::InvalidArgument("--model and --avail are required"));
   }
-  auto estimator = DomdEstimator::LoadModels(&*data, model_it->second);
+  auto estimator =
+      DomdEstimator::LoadModels(&*data, model_it->second, ThreadsFlag(flags));
   if (!estimator.ok()) return Fail(estimator.status());
 
   const std::int64_t avail_id = std::atoll(avail_it->second.c_str());
@@ -320,7 +336,8 @@ int CmdReport(const Flags& flags) {
   if (model_it == flags.end()) {
     return Fail(Status::InvalidArgument("--model is required"));
   }
-  auto estimator = DomdEstimator::LoadModels(&*data, model_it->second);
+  auto estimator =
+      DomdEstimator::LoadModels(&*data, model_it->second, ThreadsFlag(flags));
   if (!estimator.ok()) return Fail(estimator.status());
 
   ReportOptions options;
