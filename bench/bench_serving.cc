@@ -1,0 +1,291 @@
+// Serving load harness: replays a seeded synthetic workload against the
+// PredictionService from concurrent client threads, performs one mid-run
+// bundle hot-swap, and checks the zero-downtime contract — every request
+// gets a valid response tagged with a bundle version, every estimate is
+// bit-identical to the tagged bundle's reference answer (zero torn
+// models), and overload answers an explicit RESOURCE_EXHAUSTED reject.
+// Throughput and latency percentiles land in BENCH_serving.json.
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/domd_estimator.h"
+#include "serve/prediction_service.h"
+
+namespace domd {
+namespace {
+
+constexpr std::size_t kClientThreads = 4;
+constexpr std::size_t kRequestsPerThread = 40;
+constexpr std::size_t kRequestPool = 12;
+
+bool BitIdentical(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+double Percentile(std::vector<double> sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      pct / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+/// A detached request carrying a copy of a reference avail + RCC stream.
+ScoreRequest MakeDetachedRequest(const Dataset& data, std::int64_t avail_id) {
+  ScoreRequest request;
+  for (const Avail& avail : data.avails.rows()) {
+    if (avail.id == avail_id) request.avail = avail;
+  }
+  std::int64_t next_id = 1;
+  for (const Rcc& rcc : data.rccs.rows()) {
+    if (rcc.avail_id != avail_id) continue;
+    request.rccs.push_back(rcc);
+    request.rccs.back().id = next_id++;
+  }
+  return request;
+}
+
+struct LoadPhaseResult {
+  std::vector<double> latencies_ms;
+  double wall_seconds = 0.0;
+  std::size_t torn = 0;
+  std::size_t failed = 0;
+  std::map<std::string, std::size_t> per_version;
+};
+
+int Run() {
+  bench::Banner("Serving: micro-batched scoring with mid-run hot-swap");
+
+  // Two bundles from two deliberately different stacks, so a torn model
+  // (estimate from one stack tagged with the other's version) is
+  // detectable bit-exactly.
+  SynthConfig synth;
+  synth.seed = 91;
+  synth.num_avails = 40;
+  synth.mean_rccs_per_avail = 60.0;
+  const Dataset data = GenerateDataset(synth);
+  Rng rng(92);
+  const DataSplit split = MakeSplit(data.avails, SplitOptions{}, &rng);
+
+  PipelineConfig config;
+  config.num_features = 20;
+  config.gbt.num_rounds = 30;
+  config.gbt.tree.max_depth = 3;
+  config.window_width_pct = 25.0;
+  auto estimator_v1 = DomdEstimator::Train(&data, config, split.train);
+  PipelineConfig config2 = config;
+  config2.gbt.num_rounds = 12;
+  auto estimator_v2 = DomdEstimator::Train(&data, config2, split.train);
+  if (!estimator_v1.ok() || !estimator_v2.ok()) {
+    std::fprintf(stderr, "training failed\n");
+    return 1;
+  }
+
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "domd_bench_serving")
+          .string();
+  if (!ModelBundle::Write(*estimator_v1, data, root + "/v1", "v1").ok() ||
+      !ModelBundle::Write(*estimator_v2, data, root + "/v2", "v2").ok()) {
+    std::fprintf(stderr, "bundle write failed\n");
+    return 1;
+  }
+  auto v1 = ModelBundle::Load(root + "/v1");
+  auto v2 = ModelBundle::Load(root + "/v2");
+  if (!v1.ok() || !v2.ok()) {
+    std::fprintf(stderr, "bundle load failed\n");
+    return 1;
+  }
+
+  // Seeded workload: a pool of detached requests over the reference fleet,
+  // with per-bundle expected estimates precomputed by solo scoring. The
+  // load phase then asserts batch-composition invariance for free.
+  std::vector<ScoreRequest> pool;
+  for (std::size_t i = 0; i < kRequestPool; ++i) {
+    pool.push_back(MakeDetachedRequest(
+        data, data.avails.rows()[i % data.avails.size()].id));
+  }
+  std::map<std::string, std::vector<double>> expected;
+  for (const auto& [bundle, tag] :
+       {std::pair{*v1, "v1"}, std::pair{*v2, "v2"}}) {
+    for (const ScoreRequest& request : pool) {
+      const auto solo = bundle->ScoreBatch({request});
+      if (!solo[0].ok()) {
+        std::fprintf(stderr, "precompute failed: %s\n",
+                     solo[0].status().ToString().c_str());
+        return 1;
+      }
+      expected[tag].push_back(solo[0]->estimate_days);
+    }
+  }
+
+  // ---- Load phase: kClientThreads concurrent clients, one mid-run swap.
+  ServeOptions options;
+  options.max_queue_depth = 256;
+  options.max_batch_size = 16;
+  options.batch_linger = std::chrono::microseconds(200);
+  PredictionService service(*v1, options);
+
+  LoadPhaseResult load;
+  std::mutex load_mutex;
+  std::atomic<std::size_t> completed{0};
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      std::vector<double> latencies;
+      std::size_t torn = 0, failed = 0;
+      std::map<std::string, std::size_t> versions;
+      for (std::size_t i = 0; i < kRequestsPerThread; ++i) {
+        const std::size_t slot = (t * kRequestsPerThread + i) % pool.size();
+        const auto start = std::chrono::steady_clock::now();
+        const auto result = service.Predict(pool[slot]);
+        latencies.push_back(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count());
+        if (!result.ok()) {
+          ++failed;
+        } else {
+          const auto it = expected.find(result->bundle_version);
+          if (it == expected.end() ||
+              !BitIdentical(result->estimate_days, it->second[slot])) {
+            ++torn;
+          } else {
+            ++versions[result->bundle_version];
+          }
+        }
+        completed.fetch_add(1);
+      }
+      std::lock_guard<std::mutex> lock(load_mutex);
+      load.latencies_ms.insert(load.latencies_ms.end(), latencies.begin(),
+                               latencies.end());
+      load.torn += torn;
+      load.failed += failed;
+      for (const auto& [version, count] : versions) {
+        load.per_version[version] += count;
+      }
+    });
+  }
+  // Hot-swap v1 -> v2 once roughly a quarter of the way through the run.
+  const std::size_t swap_after = kClientThreads * kRequestsPerThread / 4;
+  while (completed.load() < swap_after) std::this_thread::yield();
+  service.SwapBundle(*v2);
+  const std::size_t swap_at = completed.load();
+  for (std::thread& client : clients) client.join();
+  load.wall_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
+
+  // Post-swap check: the very next batch must already serve v2.
+  const auto after = service.Predict(pool[0]);
+  const bool post_swap_v2 =
+      after.ok() && after->bundle_version == "v2" &&
+      BitIdentical(after->estimate_days, expected["v2"][0]);
+  const ServeStatsSnapshot load_stats = service.stats();
+
+  // ---- Overload phase: a tiny admission queue under a burst must reject
+  // with the explicit backpressure status and still answer every accepted
+  // request.
+  ServeOptions tight;
+  tight.max_queue_depth = 2;
+  tight.batch_linger = std::chrono::milliseconds(20);
+  PredictionService throttled(*v1, tight);
+  std::vector<std::future<StatusOr<ServePrediction>>> burst;
+  for (std::size_t i = 0; i < 32; ++i) {
+    burst.push_back(throttled.Submit(pool[i % pool.size()]));
+  }
+  std::size_t burst_ok = 0, burst_rejected = 0, burst_other = 0;
+  for (auto& future : burst) {
+    const auto result = future.get();
+    if (result.ok()) {
+      ++burst_ok;
+    } else if (result.status().code() == StatusCode::kResourceExhausted) {
+      ++burst_rejected;
+    } else {
+      ++burst_other;
+    }
+  }
+
+  // ---- Report.
+  std::sort(load.latencies_ms.begin(), load.latencies_ms.end());
+  const double p50 = Percentile(load.latencies_ms, 50);
+  const double p95 = Percentile(load.latencies_ms, 95);
+  const double p99 = Percentile(load.latencies_ms, 99);
+  const std::size_t total = kClientThreads * kRequestsPerThread;
+  const double throughput =
+      load.wall_seconds > 0 ? static_cast<double>(total) / load.wall_seconds
+                            : 0.0;
+
+  std::printf("clients %zu x %zu requests, swap at completion %zu\n",
+              kClientThreads, kRequestsPerThread, swap_at);
+  std::printf("throughput %.1f req/s, latency p50 %.2f ms, p95 %.2f ms, "
+              "p99 %.2f ms\n",
+              throughput, p50, p95, p99);
+  std::printf("versions: v1=%zu v2=%zu, torn=%zu, failed=%zu, "
+              "post-swap v2 ok=%s\n",
+              load.per_version["v1"], load.per_version["v2"], load.torn,
+              load.failed, post_swap_v2 ? "yes" : "NO");
+  std::printf("batches %llu (avg %.2f req/batch), queue hwm %llu\n",
+              static_cast<unsigned long long>(load_stats.batches),
+              load_stats.batches
+                  ? static_cast<double>(load_stats.batched_requests) /
+                        static_cast<double>(load_stats.batches)
+                  : 0.0,
+              static_cast<unsigned long long>(load_stats.queue_depth_hwm));
+  std::printf("overload burst: %zu ok, %zu rejected, %zu other\n", burst_ok,
+              burst_rejected, burst_other);
+
+  const bool pass = load.torn == 0 && load.failed == 0 && post_swap_v2 &&
+                    load.per_version["v1"] > 0 &&
+                    load.per_version["v1"] + load.per_version["v2"] ==
+                        total &&
+                    load_stats.swaps == 1 && burst_rejected > 0 &&
+                    burst_other == 0 && burst_ok > 0;
+
+  std::ofstream json("BENCH_serving.json");
+  json << "{\n  \"bench\": \"serving\",\n";
+  json << "  \"fleet\": {\"num_avails\": " << data.avails.size()
+       << ", \"num_rccs\": " << data.rccs.size() << "},\n";
+  json << "  \"client_threads\": " << kClientThreads
+       << ",\n  \"requests\": " << total << ",\n";
+  json << "  \"throughput_rps\": " << throughput << ",\n";
+  json << "  \"latency_ms\": {\"p50\": " << p50 << ", \"p95\": " << p95
+       << ", \"p99\": " << p99 << "},\n";
+  json << "  \"batches\": " << load_stats.batches
+       << ",\n  \"avg_batch_size\": "
+       << (load_stats.batches
+               ? static_cast<double>(load_stats.batched_requests) /
+                     static_cast<double>(load_stats.batches)
+               : 0.0)
+       << ",\n";
+  json << "  \"hot_swap\": {\"at_completion\": " << swap_at
+       << ", \"v1_responses\": " << load.per_version["v1"]
+       << ", \"v2_responses\": " << load.per_version["v2"]
+       << ", \"torn_responses\": " << load.torn
+       << ", \"post_swap_serves_v2\": " << (post_swap_v2 ? "true" : "false")
+       << "},\n";
+  json << "  \"overload\": {\"burst\": " << burst.size()
+       << ", \"ok\": " << burst_ok << ", \"rejected\": " << burst_rejected
+       << ", \"queue_depth\": " << tight.max_queue_depth << "},\n";
+  json << "  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+  std::printf("\nwrote BENCH_serving.json (%s)\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace domd
+
+int main() { return domd::Run(); }

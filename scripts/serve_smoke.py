@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Socket-level smoke test for domd_serve.
+
+Usage: serve_smoke.py BUILD_DIR
+
+Generates a small fleet, trains a bundle via the domd CLI, starts
+domd_serve on an ephemeral port, drives the newline-delimited JSON
+protocol end to end (ping / reference predict / detached predict /
+validation error / stats / swap / shutdown), and verifies every response.
+Exits non-zero on the first mismatch. Used by the CI serving smoke job;
+runnable locally the same way.
+"""
+
+import json
+import re
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+DETACHED_REQUEST = {
+    "avail": {
+        "id": 1, "ship_id": 5, "status": "ongoing",
+        "planned_start": "2024-01-01", "planned_end": "2024-12-01",
+        "actual_start": "2024-01-10", "ship_class": 2, "rmc_id": 1,
+        "ship_age_years": 17.5, "avail_type": 0, "homeport": 2,
+        "prior_avail_count": 3, "contract_value_musd": 30.0,
+        "crew_size": 250,
+    },
+    "rccs": [
+        {"type": "G", "swlin": "434-11-001", "creation_date": "2024-02-01",
+         "settled_date": "2024-03-15", "settled_amount": 150000.0},
+        {"type": "N", "swlin": "234-01-002", "creation_date": "2024-03-01",
+         "settled_amount": 0},
+    ],
+    "t_star": 50.0, "top_k": 3,
+}
+
+
+def fail(message):
+    print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(condition, message):
+    if not condition:
+        fail(message)
+
+
+def run_cli(cli, *args):
+    result = subprocess.run([str(cli), *args], capture_output=True, text=True)
+    expect(result.returncode == 0,
+           f"`domd {' '.join(args)}` exited {result.returncode}:\n"
+           f"{result.stdout}{result.stderr}")
+    return result.stdout
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(__doc__.strip())
+    build = Path(sys.argv[1])
+    cli = build / "tools" / "domd"
+    server_bin = build / "tools" / "domd_serve"
+    expect(cli.exists(), f"missing {cli}")
+    expect(server_bin.exists(), f"missing {server_bin}")
+
+    work = Path(tempfile.mkdtemp(prefix="domd_serve_smoke_"))
+    fleet = work / "fleet"
+    bundle_v1 = work / "bundle_v1"
+    bundle_v2 = work / "bundle_v2"
+
+    fleet.mkdir(parents=True, exist_ok=True)
+    run_cli(cli, "generate", "--dir", str(fleet), "--avails", "40",
+            "--ongoing", "0.1", "--seed", "7")
+    run_cli(cli, "train", "--dir", str(fleet), "--model",
+            str(work / "models.txt"), "--window", "25", "--k", "20",
+            "--rounds", "30", "--bundle", str(bundle_v1),
+            "--bundle-version", "v1")
+    run_cli(cli, "train", "--dir", str(fleet), "--model",
+            str(work / "models2.txt"), "--window", "25", "--k", "20",
+            "--rounds", "12", "--bundle", str(bundle_v2),
+            "--bundle-version", "v2")
+
+    # The CLI predict subcommand shares the bundle loader with the server.
+    predict_out = run_cli(cli, "predict", "--bundle", str(bundle_v1),
+                          "--avail", "3", "--t", "60")
+    expect("days" in predict_out, f"unexpected predict output: {predict_out}")
+
+    server = subprocess.Popen(
+        [str(server_bin), "--bundle", str(bundle_v1), "--port", "0"],
+        stdout=subprocess.PIPE, text=True)
+    try:
+        port = None
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            line = server.stdout.readline()
+            match = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+            if match:
+                port = int(match.group(1))
+                break
+        expect(port is not None, "server never reported its port")
+
+        with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+            stream = sock.makefile("rw")
+
+            def rpc(request):
+                stream.write(json.dumps(request) + "\n")
+                stream.flush()
+                line = stream.readline()
+                expect(line, f"no response to {request}")
+                return json.loads(line)
+
+            ping = rpc({"cmd": "ping"})
+            expect(ping.get("ok") and ping.get("bundle_version") == "v1",
+                   f"bad ping response: {ping}")
+
+            reference = rpc({"avail_id": 3, "t_star": 60})
+            expect(reference.get("ok") and
+                   reference.get("bundle_version") == "v1" and
+                   reference.get("num_steps", 0) >= 1 and
+                   reference.get("band_low") <= reference.get("estimate_days")
+                   <= reference.get("band_high"),
+                   f"bad reference response: {reference}")
+
+            detached = rpc(DETACHED_REQUEST)
+            expect(detached.get("ok") and detached.get("avail_id") == 1 and
+                   len(detached.get("top_features", [])) == 3,
+                   f"bad detached response: {detached}")
+
+            invalid = rpc({"avail": {"id": 1}})
+            expect(not invalid.get("ok") and
+                   invalid.get("code") == "INVALID_ARGUMENT",
+                   f"bad validation response: {invalid}")
+
+            swap = rpc({"cmd": "swap", "bundle": str(bundle_v2)})
+            expect(swap.get("ok") and swap.get("bundle_version") == "v2",
+                   f"bad swap response: {swap}")
+            swapped = rpc(DETACHED_REQUEST)
+            expect(swapped.get("ok") and
+                   swapped.get("bundle_version") == "v2",
+                   f"post-swap response not on v2: {swapped}")
+            expect(swapped["estimate_days"] != detached["estimate_days"],
+                   "v1 and v2 produced identical estimates; swap unproven")
+
+            stats = rpc({"cmd": "stats"})
+            counters = stats.get("stats", {})
+            expect(stats.get("ok") and counters.get("swaps") == 1 and
+                   counters.get("completed_ok", 0) >= 2 and
+                   counters.get("rejected_overload") == 0,
+                   f"bad stats response: {stats}")
+
+            done = rpc({"cmd": "shutdown"})
+            expect(done.get("ok") and done.get("shutting_down"),
+                   f"bad shutdown response: {done}")
+
+        expect(server.wait(timeout=30) == 0, "server exited non-zero")
+        tail = server.stdout.read()
+        expect("clean shutdown" in tail, f"no clean-shutdown banner: {tail}")
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+    print("serve_smoke: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,8 @@ enum class StatusCode {
   kAlreadyExists,
   kInternal,
   kIoError,
+  kResourceExhausted,  ///< admission control: queue/capacity bound hit.
+  kDeadlineExceeded,   ///< the caller's deadline passed before completion.
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -62,6 +64,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,289 @@
+#include "serve/model_bundle.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/fusion.h"
+#include "data/integrity.h"
+#include "data/logical_time.h"
+#include "features/static_features.h"
+
+namespace domd {
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kModelsName[] = "models.txt";
+constexpr char kAvailsName[] = "avails.csv";
+constexpr char kRccsName[] = "rccs.csv";
+
+std::uint64_t Fnv1a(std::uint64_t hash, std::string_view text) {
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ull;
+  }
+  // Separator byte so {"ab","c"} and {"a","bc"} hash differently.
+  hash ^= 0xFF;
+  hash *= 0x100000001B3ull;
+  return hash;
+}
+
+bool IsValidVersionTag(const std::string& version) {
+  if (version.empty() || version.size() > 128) return false;
+  return std::none_of(version.begin(), version.end(), [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  });
+}
+
+}  // namespace
+
+std::uint64_t ServingSchemaHash() {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  for (const std::string& name : StaticFeatureNames()) {
+    hash = Fnv1a(hash, name);
+  }
+  static const FeatureCatalog catalog;
+  for (const FeatureDef& def : catalog.features()) {
+    hash = Fnv1a(hash, def.name);
+  }
+  return hash;
+}
+
+Status ModelBundle::Write(const DomdEstimator& estimator, const Dataset& data,
+                          const std::string& dir,
+                          const std::string& version) {
+  if (!IsValidVersionTag(version)) {
+    return Status::InvalidArgument(
+        "bundle version must be a non-empty whitespace-free tag");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create bundle directory " + dir + ": " +
+                           ec.message());
+  }
+  DOMD_RETURN_IF_ERROR(data.avails.WriteFile(dir + "/" + kAvailsName));
+  DOMD_RETURN_IF_ERROR(data.rccs.WriteFile(dir + "/" + kRccsName));
+  DOMD_RETURN_IF_ERROR(estimator.SaveModels(dir + "/" + kModelsName));
+
+  std::ofstream manifest(dir + "/" + kManifestName);
+  if (!manifest) {
+    return Status::IoError("cannot open " + dir + "/" + kManifestName);
+  }
+  manifest << "domd_bundle v1\n";
+  manifest << "version " << version << "\n";
+  manifest << "schema_hash " << ServingSchemaHash() << "\n";
+  manifest << "avails " << data.avails.size() << "\n";
+  manifest << "rccs " << data.rccs.size() << "\n";
+  if (!manifest) {
+    return Status::IoError("write failed for " + dir + "/" + kManifestName);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const ModelBundle>> ModelBundle::Load(
+    const std::string& dir, const Parallelism& parallelism) {
+  std::ifstream manifest(dir + "/" + kManifestName);
+  if (!manifest) {
+    return Status::IoError("cannot open bundle manifest in " + dir);
+  }
+  std::string magic, format;
+  if (!(manifest >> magic >> format) || magic != "domd_bundle" ||
+      format != "v1") {
+    return Status::InvalidArgument(dir + ": not a domd bundle (bad magic)");
+  }
+  std::string version;
+  std::uint64_t schema_hash = 0;
+  std::size_t num_avails = 0, num_rccs = 0;
+  std::string key;
+  if (!(manifest >> key >> version) || key != "version" ||
+      !IsValidVersionTag(version)) {
+    return Status::InvalidArgument(dir + ": bad manifest version record");
+  }
+  if (!(manifest >> key >> schema_hash) || key != "schema_hash") {
+    return Status::InvalidArgument(dir + ": bad manifest schema_hash record");
+  }
+  if (!(manifest >> key >> num_avails) || key != "avails" ||
+      !(manifest >> key >> num_rccs) || key != "rccs") {
+    return Status::InvalidArgument(dir + ": bad manifest cardinality record");
+  }
+
+  // Schema-compatibility gate: a bundle written under a different feature
+  // catalog would misalign model input columns — refuse early and loudly.
+  if (schema_hash != ServingSchemaHash()) {
+    return Status::FailedPrecondition(
+        dir + ": bundle schema hash " + std::to_string(schema_hash) +
+        " does not match this binary's feature schema " +
+        std::to_string(ServingSchemaHash()));
+  }
+
+  auto bundle = std::shared_ptr<ModelBundle>(new ModelBundle());
+  bundle->version_ = version;
+  bundle->schema_hash_ = schema_hash;
+  bundle->directory_ = dir;
+
+  bundle->data_ = std::make_unique<Dataset>();
+  auto avails = AvailTable::ReadFile(dir + "/" + kAvailsName);
+  if (!avails.ok()) return avails.status();
+  bundle->data_->avails = std::move(*avails);
+  auto rccs = RccTable::ReadFile(dir + "/" + kRccsName);
+  if (!rccs.ok()) return rccs.status();
+  bundle->data_->rccs = std::move(*rccs);
+
+  if (bundle->data_->avails.size() != num_avails ||
+      bundle->data_->rccs.size() != num_rccs) {
+    return Status::FailedPrecondition(
+        dir + ": reference tables do not match manifest cardinalities");
+  }
+  const IntegrityReport report = CheckDatasetIntegrity(*bundle->data_);
+  if (!report.ok()) {
+    return Status::FailedPrecondition(
+        dir + ": reference fleet failed integrity check (" +
+        std::to_string(report.num_errors) + " errors)");
+  }
+
+  auto estimator = DomdEstimator::LoadModels(
+      bundle->data_.get(), dir + "/" + kModelsName, parallelism);
+  if (!estimator.ok()) return estimator.status();
+  bundle->estimator_ = std::make_unique<DomdEstimator>(std::move(*estimator));
+
+  // Frozen Status-Query indexes over the reference fleet: built once here,
+  // read-only (and thus freely concurrent) for the bundle's lifetime.
+  bundle->query_engine_ = std::make_unique<StatusQueryEngine>(
+      bundle->data_.get(), IndexBackend::kAvlTree);
+
+  return std::shared_ptr<const ModelBundle>(std::move(bundle));
+}
+
+StatusOr<ServePrediction> ModelBundle::ScoreReferenceAvail(
+    std::int64_t avail_id, double t_star, std::size_t top_k) const {
+  auto result = estimator_->QueryAtLogicalTime(avail_id, t_star, top_k);
+  if (!result.ok()) return result.status();
+
+  ServePrediction prediction;
+  prediction.avail_id = avail_id;
+  prediction.t_star = t_star;
+  prediction.estimate_days = result->fused_estimate_days;
+  prediction.num_steps = result->steps.size();
+  prediction.band_low = result->steps.front().estimated_delay_days;
+  prediction.band_high = prediction.band_low;
+  for (const DomdStepEstimate& step : result->steps) {
+    prediction.band_low = std::min(prediction.band_low,
+                                   step.estimated_delay_days);
+    prediction.band_high = std::max(prediction.band_high,
+                                    step.estimated_delay_days);
+  }
+  prediction.top_features = result->steps.back().top_features;
+  prediction.bundle_version = version_;
+  return prediction;
+}
+
+std::vector<StatusOr<ServePrediction>> ModelBundle::ScoreBatch(
+    const std::vector<ScoreRequest>& requests,
+    const Parallelism& parallelism) const {
+  std::vector<StatusOr<ServePrediction>> out;
+  out.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    out.emplace_back(Status::Internal("unscored"));  // placeholder
+  }
+
+  // Validate every request and assemble the valid ones into one temporary
+  // dataset. Ids are remapped to dense temporaries so concurrent clients
+  // may reuse ids without colliding inside a batch.
+  Dataset batch_data;
+  std::vector<std::size_t> valid_slots;  ///< request index per dataset row.
+  std::int64_t next_rcc_id = 1;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const ScoreRequest& request = requests[i];
+    const std::int64_t temp_id =
+        static_cast<std::int64_t>(valid_slots.size()) + 1;
+
+    Avail avail = request.avail;
+    avail.id = temp_id;
+    Status status = ValidateAvail(avail);
+    if (!status.ok()) {
+      out[i] = Status::InvalidArgument("bad avail: " + status.message());
+      continue;
+    }
+    std::vector<Rcc> rccs;
+    rccs.reserve(request.rccs.size());
+    for (const Rcc& original : request.rccs) {
+      Rcc rcc = original;
+      rcc.id = next_rcc_id + static_cast<std::int64_t>(rccs.size());
+      rcc.avail_id = temp_id;
+      status = ValidateRcc(rcc);
+      if (!status.ok()) break;
+      rccs.push_back(std::move(rcc));
+    }
+    if (!status.ok()) {
+      out[i] = Status::InvalidArgument("bad rcc: " + status.message());
+      continue;
+    }
+
+    status = batch_data.avails.Add(std::move(avail));
+    if (!status.ok()) {
+      out[i] = status;
+      continue;
+    }
+    for (Rcc& rcc : rccs) {
+      status = batch_data.rccs.Add(std::move(rcc));
+      if (!status.ok()) break;
+    }
+    if (!status.ok()) {
+      out[i] = status;
+      continue;
+    }
+    next_rcc_id += static_cast<std::int64_t>(rccs.size());
+    valid_slots.push_back(i);
+  }
+  if (valid_slots.empty()) return out;
+
+  // One feature-engineering sweep for the whole micro-batch: the tensor
+  // block reuses the incremental StatStructure path and the ParallelFor
+  // substrate exactly like training does.
+  std::vector<std::int64_t> temp_ids;
+  temp_ids.reserve(valid_slots.size());
+  for (std::size_t row = 0; row < valid_slots.size(); ++row) {
+    temp_ids.push_back(static_cast<std::int64_t>(row) + 1);
+  }
+  const FeatureEngineer engineer(&batch_data);
+  const ModelingView view = BuildModelingView(batch_data, engineer, temp_ids,
+                                              grid(), parallelism);
+
+  const TimelineModelSet& models = estimator_->models();
+  for (std::size_t row = 0; row < valid_slots.size(); ++row) {
+    const std::size_t slot = valid_slots[row];
+    const ScoreRequest& request = requests[slot];
+
+    int last_step = GridIndexAtOrBefore(grid(), request.t_star);
+    if (last_step < 0) last_step = 0;  // before start: base step only.
+
+    ServePrediction prediction;
+    prediction.avail_id = request.avail.id;
+    prediction.t_star = request.t_star;
+    prediction.bundle_version = version_;
+
+    std::vector<double> per_step;
+    std::vector<double> last_input;
+    for (int step = 0; step <= last_step; ++step) {
+      const auto s = static_cast<std::size_t>(step);
+      std::vector<double> input = models.BuildInputRow(view, row, s);
+      per_step.push_back(models.model(s).Predict(input));
+      if (step == last_step) last_input = std::move(input);
+    }
+    prediction.num_steps = per_step.size();
+    prediction.estimate_days = FusePredictions(config().fusion, per_step);
+    prediction.band_low = *std::min_element(per_step.begin(), per_step.end());
+    prediction.band_high = *std::max_element(per_step.begin(), per_step.end());
+    const auto last = static_cast<std::size_t>(last_step);
+    prediction.top_features =
+        TopContributions(models.model(last), last_input,
+                         models.input_names(last), request.top_k);
+    out[slot] = std::move(prediction);
+  }
+  return out;
+}
+
+}  // namespace domd

@@ -1,0 +1,116 @@
+#ifndef DOMD_SERVE_MODEL_BUNDLE_H_
+#define DOMD_SERVE_MODEL_BUNDLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/domd_estimator.h"
+#include "query/status_query.h"
+
+namespace domd {
+
+/// One detached scoring request: the avail row and its RCC stream travel
+/// with the request, so the service can score ships that are not part of
+/// the bundle's reference fleet. Ids inside a request are caller-local —
+/// the scorer remaps them, so concurrent clients can reuse ids freely.
+struct ScoreRequest {
+  Avail avail;
+  std::vector<Rcc> rccs;
+  double t_star = 100.0;  ///< logical query time (percent of planned dur.).
+  std::size_t top_k = 5;  ///< number of feature-attribution drivers.
+};
+
+/// The scoring answer the service returns. The uncertainty band is the
+/// spread (min/max) of the per-step timeline estimates entering fusion — a
+/// cheap ensemble-dispersion proxy, not a calibrated interval (see
+/// examples/uncertainty_bands.cc for the conformal variant).
+struct ServePrediction {
+  std::int64_t avail_id = 0;
+  double t_star = 0.0;
+  double estimate_days = 0.0;  ///< fused estimate over steps 0..t*.
+  double band_low = 0.0;
+  double band_high = 0.0;
+  std::size_t num_steps = 0;  ///< timeline steps that contributed.
+  std::vector<FeatureContribution> top_features;  ///< at the last step.
+  std::string bundle_version;  ///< version tag of the scoring bundle.
+};
+
+/// FNV-1a hash over the serving feature schema (static feature names plus
+/// the full dynamic catalog, in column order). A bundle written under one
+/// schema refuses to load under another: model columns would silently
+/// misalign otherwise.
+std::uint64_t ServingSchemaHash();
+
+/// An immutable, versioned serving artifact: the trained `DomdEstimator`
+/// stack (per-step models + pipeline config), the reference fleet it was
+/// trained over, and frozen Status-Query indexes over that fleet. A bundle
+/// is written once by `Write`, loaded whole by `Load`, and never mutated
+/// afterwards — every accessor is const and safe to call from any number
+/// of threads concurrently (shared-immutable, per DESIGN.md §6).
+///
+/// On-disk layout (directory):
+///   MANIFEST    magic, version tag, schema hash, table cardinalities
+///   models.txt  TimelineModelSet text serialization (config included)
+///   avails.csv  reference fleet avail table
+///   rccs.csv    reference fleet RCC table
+class ModelBundle {
+ public:
+  /// Writes `estimator` (trained over `data`) as a bundle directory.
+  /// `version` must be a non-empty whitespace-free tag (e.g. "v7" or a
+  /// content hash); it comes back verbatim in every prediction.
+  static Status Write(const DomdEstimator& estimator, const Dataset& data,
+                      const std::string& dir, const std::string& version);
+
+  /// Loads a bundle directory: manifest + schema-compatibility check,
+  /// reference tables, model stack (features for the reference fleet are
+  /// re-engineered, honoring `parallelism`), and the frozen Status-Query
+  /// index build. Returns a shared_ptr because serving hot-swaps bundles
+  /// behind an atomic shared_ptr; the pointee is deeply const.
+  static StatusOr<std::shared_ptr<const ModelBundle>> Load(
+      const std::string& dir, const Parallelism& parallelism = {});
+
+  const std::string& version() const { return version_; }
+  std::uint64_t schema_hash() const { return schema_hash_; }
+  const std::string& directory() const { return directory_; }
+  const Dataset& data() const { return *data_; }
+  const DomdEstimator& estimator() const { return *estimator_; }
+  const PipelineConfig& config() const { return estimator_->config(); }
+  const std::vector<double>& grid() const { return estimator_->grid(); }
+  /// Frozen Status-Query engine over the reference fleet (concurrent
+  /// reads only).
+  const StatusQueryEngine& query_engine() const { return *query_engine_; }
+
+  /// Scores one avail of the bundle's reference fleet by id.
+  StatusOr<ServePrediction> ScoreReferenceAvail(std::int64_t avail_id,
+                                                double t_star,
+                                                std::size_t top_k = 5) const;
+
+  /// Scores a micro-batch of detached requests: validates each request,
+  /// assembles the valid ones into one temporary dataset (ids remapped),
+  /// engineers a single feature-tensor block over the bundle's grid on the
+  /// ParallelFor substrate, and evaluates the per-step models. Failures
+  /// are per-request — slot i of the result always answers request i.
+  std::vector<StatusOr<ServePrediction>> ScoreBatch(
+      const std::vector<ScoreRequest>& requests,
+      const Parallelism& parallelism = {}) const;
+
+  ModelBundle(const ModelBundle&) = delete;
+  ModelBundle& operator=(const ModelBundle&) = delete;
+
+ private:
+  ModelBundle() = default;
+
+  std::string version_;
+  std::uint64_t schema_hash_ = 0;
+  std::string directory_;
+  std::unique_ptr<Dataset> data_;  ///< unique_ptr: address-stable target
+                                   ///< of the estimator's back-pointer.
+  std::unique_ptr<DomdEstimator> estimator_;
+  std::unique_ptr<StatusQueryEngine> query_engine_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_SERVE_MODEL_BUNDLE_H_

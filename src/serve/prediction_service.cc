@@ -1,0 +1,167 @@
+#include "serve/prediction_service.h"
+
+#include <utility>
+#include <vector>
+
+namespace domd {
+namespace {
+
+/// A future that is already satisfied (overload / shutdown fast paths).
+std::future<StatusOr<ServePrediction>> ReadyFuture(Status status) {
+  std::promise<StatusOr<ServePrediction>> promise;
+  promise.set_value(StatusOr<ServePrediction>(std::move(status)));
+  return promise.get_future();
+}
+
+}  // namespace
+
+PredictionService::PredictionService(
+    std::shared_ptr<const ModelBundle> bundle, const ServeOptions& options)
+    : options_(options), bundle_(std::move(bundle)) {
+  batcher_ = std::thread([this] { BatcherLoop(); });
+}
+
+PredictionService::~PredictionService() { Shutdown(); }
+
+std::future<StatusOr<ServePrediction>> PredictionService::Submit(
+    ScoreRequest request, std::optional<Clock::time_point> deadline) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      return ReadyFuture(
+          Status::FailedPrecondition("prediction service is shut down"));
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      return ReadyFuture(Status::ResourceExhausted(
+          "admission queue full (" +
+          std::to_string(options_.max_queue_depth) + " pending)"));
+    }
+    Pending pending;
+    pending.request = std::move(request);
+    pending.deadline = deadline;
+    std::future<StatusOr<ServePrediction>> future =
+        pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    queue_depth_hwm_ = std::max<std::uint64_t>(queue_depth_hwm_,
+                                               queue_.size());
+    work_available_.notify_one();
+    return future;
+  }
+}
+
+StatusOr<ServePrediction> PredictionService::Predict(
+    ScoreRequest request, std::optional<Clock::time_point> deadline) {
+  return Submit(std::move(request), deadline).get();
+}
+
+void PredictionService::SwapBundle(
+    std::shared_ptr<const ModelBundle> bundle) {
+  bundle_.store(std::move(bundle));
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ServeStatsSnapshot PredictionService::stats() const {
+  ServeStatsSnapshot snapshot;
+  snapshot.submitted = submitted_.load(std::memory_order_relaxed);
+  snapshot.accepted = accepted_.load(std::memory_order_relaxed);
+  snapshot.rejected_overload =
+      rejected_overload_.load(std::memory_order_relaxed);
+  snapshot.rejected_shutdown =
+      rejected_shutdown_.load(std::memory_order_relaxed);
+  snapshot.expired_deadline =
+      expired_deadline_.load(std::memory_order_relaxed);
+  snapshot.completed_ok = completed_ok_.load(std::memory_order_relaxed);
+  snapshot.completed_error = completed_error_.load(std::memory_order_relaxed);
+  snapshot.batches = batches_.load(std::memory_order_relaxed);
+  snapshot.batched_requests =
+      batched_requests_.load(std::memory_order_relaxed);
+  snapshot.swaps = swaps_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.queue_depth_hwm = queue_depth_hwm_;
+    snapshot.queue_depth = queue_.size();
+  }
+  snapshot.bundle_version = bundle()->version();
+  return snapshot;
+}
+
+void PredictionService::Shutdown() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  shutting_down_ = true;
+  work_available_.notify_all();
+  if (!batcher_.joinable()) return;  // someone already joined (idempotent).
+  std::thread to_join = std::move(batcher_);  // claim the join under lock.
+  lock.unlock();
+  to_join.join();
+}
+
+void PredictionService::BatcherLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down, fully drained.
+
+      // Micro-batching: linger briefly for more arrivals unless a full
+      // batch (or shutdown) is already in hand.
+      if (queue_.size() < options_.max_batch_size && !shutting_down_ &&
+          options_.batch_linger.count() > 0) {
+        work_available_.wait_for(lock, options_.batch_linger, [this] {
+          return shutting_down_ ||
+                 queue_.size() >= options_.max_batch_size;
+        });
+      }
+      const std::size_t take =
+          std::min(queue_.size(), options_.max_batch_size);
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+
+    // Deadline gate: answer dead requests without scoring them.
+    const Clock::time_point now = Clock::now();
+    std::vector<Pending> live;
+    live.reserve(batch.size());
+    for (Pending& pending : batch) {
+      if (pending.deadline.has_value() && *pending.deadline < now) {
+        expired_deadline_.fetch_add(1, std::memory_order_relaxed);
+        pending.promise.set_value(StatusOr<ServePrediction>(
+            Status::DeadlineExceeded("request expired before scoring")));
+      } else {
+        live.push_back(std::move(pending));
+      }
+    }
+    if (live.empty()) continue;
+
+    // ONE bundle snapshot per micro-batch: the whole batch scores against
+    // a single immutable bundle even if SwapBundle lands mid-batch.
+    const std::shared_ptr<const ModelBundle> snapshot = bundle();
+
+    std::vector<ScoreRequest> requests;
+    requests.reserve(live.size());
+    for (const Pending& pending : live) requests.push_back(pending.request);
+    std::vector<StatusOr<ServePrediction>> results =
+        snapshot->ScoreBatch(requests, options_.parallelism);
+
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_requests_.fetch_add(live.size(), std::memory_order_relaxed);
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (results[i].ok()) {
+        completed_ok_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        completed_error_.fetch_add(1, std::memory_order_relaxed);
+      }
+      live[i].promise.set_value(std::move(results[i]));
+    }
+  }
+}
+
+}  // namespace domd

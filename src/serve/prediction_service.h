@@ -1,0 +1,197 @@
+#ifndef DOMD_SERVE_PREDICTION_SERVICE_H_
+#define DOMD_SERVE_PREDICTION_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "serve/model_bundle.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define DOMD_SERVE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DOMD_SERVE_TSAN 1
+#endif
+#endif
+#ifndef DOMD_SERVE_TSAN
+#define DOMD_SERVE_TSAN 0
+#endif
+
+namespace domd {
+
+/// The hot-swap cell holding the currently published bundle. Production
+/// builds use std::atomic<std::shared_ptr>: lock-free release-publish,
+/// one acquire-snapshot per reader. ThreadSanitizer builds substitute a
+/// mutex-guarded pointer with identical observable semantics, because
+/// libstdc++'s _Sp_atomic synchronizes via a spin-lock bit whose read
+/// path unlocks with memory_order_relaxed — correct per the library's
+/// reasoning, but unprovable to TSan, which reports the internal pointer
+/// access as a race.
+class BundleCell {
+ public:
+  explicit BundleCell(std::shared_ptr<const ModelBundle> bundle)
+      : bundle_(std::move(bundle)) {}
+
+#if DOMD_SERVE_TSAN
+  std::shared_ptr<const ModelBundle> load() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bundle_;
+  }
+  void store(std::shared_ptr<const ModelBundle> bundle) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bundle_ = std::move(bundle);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ModelBundle> bundle_;
+#else
+  std::shared_ptr<const ModelBundle> load() const {
+    return bundle_.load(std::memory_order_acquire);
+  }
+  void store(std::shared_ptr<const ModelBundle> bundle) {
+    bundle_.store(std::move(bundle), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const ModelBundle>> bundle_;
+#endif
+};
+
+/// Tuning knobs of the prediction service.
+struct ServeOptions {
+  /// Admission-queue bound: requests beyond this are rejected immediately
+  /// with kResourceExhausted (explicit backpressure, never unbounded
+  /// growth).
+  std::size_t max_queue_depth = 256;
+  /// Upper bound on requests scored in one micro-batch (one feature-tensor
+  /// block).
+  std::size_t max_batch_size = 16;
+  /// How long the batcher lingers for more arrivals once it holds fewer
+  /// than max_batch_size requests. 0 = score whatever is queued at once.
+  std::chrono::microseconds batch_linger{200};
+  /// Parallelism of the per-batch feature-engineering sweep.
+  Parallelism parallelism;
+};
+
+/// Monotonic service counters, exposed for /stats-style observability.
+struct ServeStatsSnapshot {
+  std::uint64_t submitted = 0;          ///< Submit calls, any outcome.
+  std::uint64_t accepted = 0;           ///< admitted to the queue.
+  std::uint64_t rejected_overload = 0;  ///< kResourceExhausted rejects.
+  std::uint64_t rejected_shutdown = 0;  ///< submitted after Shutdown().
+  std::uint64_t expired_deadline = 0;   ///< dead on dequeue.
+  std::uint64_t completed_ok = 0;
+  std::uint64_t completed_error = 0;    ///< scored but per-request error.
+  std::uint64_t batches = 0;            ///< micro-batches scored.
+  std::uint64_t batched_requests = 0;   ///< requests across those batches.
+  std::uint64_t swaps = 0;              ///< SwapBundle calls.
+  std::uint64_t queue_depth_hwm = 0;    ///< high-water mark.
+  std::uint64_t queue_depth = 0;        ///< instantaneous depth.
+  std::string bundle_version;           ///< currently served bundle.
+};
+
+/// A long-lived, thread-safe scoring engine over a hot-swappable
+/// ModelBundle.
+///
+/// Concurrency design:
+///  - The bundle lives in a BundleCell (std::atomic<std::shared_ptr<const
+///    ModelBundle>>). `SwapBundle` publishes a new bundle with one atomic
+///    store; the batcher takes one atomic snapshot per micro-batch, so a
+///    whole batch is always scored against exactly one bundle (no torn
+///    reads), and in-flight work finishes on the old bundle while new
+///    batches pick up the new one — zero downtime.
+///  - Admission is bounded: `Submit` either enqueues and returns a future,
+///    or completes the future immediately with kResourceExhausted.
+///  - A single batcher thread drains the queue in micro-batches of up to
+///    max_batch_size, lingering batch_linger for arrivals; each batch is
+///    one ModelBundle::ScoreBatch call (one feature-tensor block on the
+///    ParallelFor substrate).
+///  - Per-request deadlines are honored at dequeue: an expired request is
+///    answered kDeadlineExceeded without being scored.
+///  - Shutdown (and the destructor) drains: every accepted request is
+///    answered before the batcher exits; later Submits fail fast.
+class PredictionService {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit PredictionService(std::shared_ptr<const ModelBundle> bundle,
+                             const ServeOptions& options = {});
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Enqueues a request. The returned future is always eventually
+  /// satisfied: with a prediction, a per-request scoring error, an
+  /// immediate kResourceExhausted on overload, or kDeadlineExceeded when
+  /// `deadline` passes before the request is scored.
+  std::future<StatusOr<ServePrediction>> Submit(
+      ScoreRequest request,
+      std::optional<Clock::time_point> deadline = std::nullopt);
+
+  /// Synchronous convenience: Submit + wait.
+  StatusOr<ServePrediction> Predict(
+      ScoreRequest request,
+      std::optional<Clock::time_point> deadline = std::nullopt);
+
+  /// Atomically publishes a new bundle. In-flight batches finish on the
+  /// bundle they snapshotted; every later batch scores on `bundle`.
+  void SwapBundle(std::shared_ptr<const ModelBundle> bundle);
+
+  /// The currently published bundle (one atomic snapshot).
+  std::shared_ptr<const ModelBundle> bundle() const {
+    return bundle_.load();
+  }
+
+  /// Counter snapshot (consistent enough for observability; counters are
+  /// individually atomic).
+  ServeStatsSnapshot stats() const;
+
+  /// Drains the queue (every accepted request is answered), then stops the
+  /// batcher. Idempotent; also run by the destructor.
+  void Shutdown();
+
+ private:
+  struct Pending {
+    ScoreRequest request;
+    std::optional<Clock::time_point> deadline;
+    std::promise<StatusOr<ServePrediction>> promise;
+  };
+
+  void BatcherLoop();
+
+  const ServeOptions options_;
+  BundleCell bundle_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<Pending> queue_;
+  bool shutting_down_ = false;
+  std::uint64_t queue_depth_hwm_ = 0;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_overload_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> expired_deadline_{0};
+  std::atomic<std::uint64_t> completed_ok_{0};
+  std::atomic<std::uint64_t> completed_error_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  std::atomic<std::uint64_t> swaps_{0};
+
+  std::thread batcher_;  ///< last member: joins before the rest tears down.
+};
+
+}  // namespace domd
+
+#endif  // DOMD_SERVE_PREDICTION_SERVICE_H_

@@ -1,0 +1,43 @@
+#ifndef DOMD_SERVE_WIRE_H_
+#define DOMD_SERVE_WIRE_H_
+
+#include <optional>
+#include <string>
+
+#include "serve/json.h"
+#include "serve/model_bundle.h"
+#include "serve/prediction_service.h"
+
+namespace domd {
+
+/// The newline-delimited JSON wire format of `domd_serve` (one request and
+/// one response object per line). Shared by the server, the CLI `predict`
+/// subcommand, and the serving bench so there is exactly one codec.
+///
+/// Prediction request (detached scoring; README documents the schema):
+///   {"avail": {...}, "rccs": [...], "t_star": 60, "top_k": 5,
+///    "deadline_ms": 250}
+/// Reference-fleet scoring addresses an avail of the bundle's fleet
+/// instead: {"avail_id": 7, "t_star": 60}.
+/// Control requests: {"cmd": "stats" | "ping" | "swap" | "shutdown"}.
+
+/// Parses the "avail"/"rccs"/"t_star"/"top_k" members of a request object
+/// into a detached ScoreRequest.
+StatusOr<ScoreRequest> ParseScoreRequest(const JsonValue& request);
+
+/// The request's "deadline_ms" member, if present and positive.
+std::optional<double> RequestDeadlineMs(const JsonValue& request);
+
+/// Renders a successful prediction (latency measured by the caller).
+JsonValue PredictionToJson(const ServePrediction& prediction,
+                           double latency_ms);
+
+/// Renders an error response: {"ok":false,"code":...,"error":...}.
+JsonValue ErrorToJson(const Status& status);
+
+/// Renders the /stats-style counter snapshot.
+JsonValue StatsToJson(const ServeStatsSnapshot& stats);
+
+}  // namespace domd
+
+#endif  // DOMD_SERVE_WIRE_H_

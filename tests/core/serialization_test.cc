@@ -221,6 +221,60 @@ TEST_F(EstimatorSerializationTest, EstimatorSaveLoadQueriesMatch) {
   std::remove(path.c_str());
 }
 
+TEST_F(EstimatorSerializationTest, HistogramSplitModelSetRoundTrip) {
+  // The histogram split method serializes through the same tree format as
+  // exact splits; restored predictions must be bit-identical.
+  PipelineConfig config = FastConfig();
+  config.window_width_pct = 50.0;
+  config.gbt.tree.split_method = SplitMethod::kHistogram;
+  TimelineModelSet models;
+  ASSERT_TRUE(
+      models.Fit(config, fixture_->train, fixture_->dynamic_names).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(models.Save(buffer).ok());
+  auto loaded = TimelineModelSet::Load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const auto original = models.PredictPerStep(fixture_->validation);
+  const auto restored = loaded->PredictPerStep(fixture_->validation);
+  EXPECT_EQ(original, restored);
+}
+
+TEST_F(EstimatorSerializationTest, ElasticNetFusionEstimatorRoundTrip) {
+  // The full elastic-net serving stack — stacked architecture with min
+  // fusion — must re-score a held-out set bit-identically after a
+  // SaveModels/LoadModels cycle.
+  PipelineConfig config = FastConfig();
+  config.window_width_pct = 50.0;
+  config.model_family = ModelFamily::kElasticNet;
+  config.architecture = Architecture::kStacked;
+  config.fusion = FusionMethod::kMin;
+  auto estimator =
+      DomdEstimator::Train(&fixture_->data, config, fixture_->split.train);
+  ASSERT_TRUE(estimator.ok()) << estimator.status();
+
+  const std::string path = ::testing::TempDir() + "/domd_en_models.txt";
+  ASSERT_TRUE(estimator->SaveModels(path).ok());
+  auto served = DomdEstimator::LoadModels(&fixture_->data, path);
+  ASSERT_TRUE(served.ok()) << served.status();
+  EXPECT_EQ(served->config().model_family, ModelFamily::kElasticNet);
+  EXPECT_EQ(served->config().fusion, FusionMethod::kMin);
+
+  for (std::int64_t id : fixture_->split.test) {
+    const auto a = estimator->QueryAtLogicalTime(id, 100.0);
+    const auto b = served->QueryAtLogicalTime(id, 100.0);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->fused_estimate_days, b->fused_estimate_days);
+    ASSERT_EQ(a->steps.size(), b->steps.size());
+    for (std::size_t s = 0; s < a->steps.size(); ++s) {
+      EXPECT_EQ(a->steps[s].estimated_delay_days,
+                b->steps[s].estimated_delay_days);
+    }
+  }
+  std::remove(path.c_str());
+}
+
 TEST_F(EstimatorSerializationTest, LoadFromMissingFileFails) {
   EXPECT_FALSE(
       DomdEstimator::LoadModels(&fixture_->data, "/nonexistent/m.txt").ok());

@@ -1,0 +1,248 @@
+// Tests for the ModelBundle serving artifact: write/load round-trip,
+// schema-compatibility gating, and the bit-identity contract between
+// reference-fleet scoring, detached batch scoring, and the underlying
+// estimator.
+
+#include "serve/model_bundle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "query/status_query.h"
+#include "serve/serve_test_fixture.h"
+
+namespace domd {
+namespace {
+
+using testing_internal::GetServeFixture;
+using testing_internal::MakeDetachedRequest;
+
+bool BitIdentical(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+TEST(ModelBundleTest, WriteRejectsBadVersionTags) {
+  const auto& fixture = GetServeFixture();
+  const std::string dir = ::testing::TempDir() + "/domd_bundle_badtag";
+  EXPECT_EQ(ModelBundle::Write(*fixture.estimator_v1, fixture.pipeline.data,
+                               dir, "")
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ModelBundle::Write(*fixture.estimator_v1, fixture.pipeline.data,
+                               dir, "v 1")
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ModelBundleTest, LoadFromMissingDirectoryFails) {
+  auto bundle = ModelBundle::Load("/nonexistent/bundle");
+  EXPECT_EQ(bundle.status().code(), StatusCode::kIoError);
+}
+
+TEST(ModelBundleTest, RoundTripPreservesVersionSchemaAndFleet) {
+  const auto& fixture = GetServeFixture();
+  EXPECT_EQ(fixture.v1->version(), "v1");
+  EXPECT_EQ(fixture.v2->version(), "v2");
+  EXPECT_EQ(fixture.v1->schema_hash(), ServingSchemaHash());
+  EXPECT_EQ(fixture.v1->data().avails.size(),
+            fixture.pipeline.data.avails.size());
+  EXPECT_EQ(fixture.v1->data().rccs.size(),
+            fixture.pipeline.data.rccs.size());
+  EXPECT_EQ(fixture.v1->grid(), fixture.estimator_v1->grid());
+}
+
+TEST(ModelBundleTest, SchemaHashMismatchRefusedAtLoad) {
+  const auto& fixture = GetServeFixture();
+  const std::string dir = ::testing::TempDir() + "/domd_bundle_badschema";
+  ASSERT_TRUE(ModelBundle::Write(*fixture.estimator_v1, fixture.pipeline.data,
+                                 dir, "v1")
+                  .ok());
+  {
+    std::ofstream manifest(dir + "/MANIFEST");
+    manifest << "domd_bundle v1\nversion v1\nschema_hash 12345\n"
+             << "avails " << fixture.pipeline.data.avails.size() << "\n"
+             << "rccs " << fixture.pipeline.data.rccs.size() << "\n";
+  }
+  auto bundle = ModelBundle::Load(dir);
+  EXPECT_EQ(bundle.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ModelBundleTest, BadManifestMagicRejected) {
+  const std::string dir = ::testing::TempDir() + "/domd_bundle_badmagic";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream manifest(dir + "/MANIFEST");
+    manifest << "not_a_bundle v9\n";
+  }
+  auto bundle = ModelBundle::Load(dir);
+  EXPECT_EQ(bundle.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModelBundleTest, ManifestCardinalityMismatchRefused) {
+  const auto& fixture = GetServeFixture();
+  const std::string dir = ::testing::TempDir() + "/domd_bundle_badcounts";
+  ASSERT_TRUE(ModelBundle::Write(*fixture.estimator_v1, fixture.pipeline.data,
+                                 dir, "v1")
+                  .ok());
+  {
+    std::ofstream manifest(dir + "/MANIFEST");
+    manifest << "domd_bundle v1\nversion v1\nschema_hash "
+             << ServingSchemaHash() << "\navails 9999\nrccs 1\n";
+  }
+  auto bundle = ModelBundle::Load(dir);
+  EXPECT_EQ(bundle.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ModelBundleTest, ReferenceScoreMatchesEstimatorQuery) {
+  const auto& fixture = GetServeFixture();
+  for (std::int64_t id : fixture.pipeline.split.test) {
+    const auto expected = fixture.estimator_v1->QueryAtLogicalTime(id, 100.0);
+    const auto scored = fixture.v1->ScoreReferenceAvail(id, 100.0);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    ASSERT_TRUE(scored.ok()) << scored.status();
+    EXPECT_TRUE(BitIdentical(scored->estimate_days,
+                             expected->fused_estimate_days));
+    EXPECT_EQ(scored->num_steps, expected->steps.size());
+    EXPECT_EQ(scored->bundle_version, "v1");
+    double low = expected->steps.front().estimated_delay_days;
+    double high = low;
+    for (const DomdStepEstimate& step : expected->steps) {
+      low = std::min(low, step.estimated_delay_days);
+      high = std::max(high, step.estimated_delay_days);
+    }
+    EXPECT_TRUE(BitIdentical(scored->band_low, low));
+    EXPECT_TRUE(BitIdentical(scored->band_high, high));
+    EXPECT_LE(scored->band_low, scored->estimate_days);
+    EXPECT_GE(scored->band_high, scored->estimate_days);
+  }
+}
+
+TEST(ModelBundleTest, ScoreReferenceUnknownAvailFails) {
+  const auto& fixture = GetServeFixture();
+  EXPECT_FALSE(fixture.v1->ScoreReferenceAvail(999999, 100.0).ok());
+}
+
+TEST(ModelBundleTest, DetachedScoreBatchMatchesReferenceBitIdentically) {
+  const auto& fixture = GetServeFixture();
+  std::vector<ScoreRequest> requests;
+  std::vector<std::int64_t> ids;
+  for (std::size_t i = 0; i < 3 && i < fixture.pipeline.split.test.size();
+       ++i) {
+    ids.push_back(fixture.pipeline.split.test[i]);
+    requests.push_back(MakeDetachedRequest(fixture.pipeline.data, ids.back(),
+                                           /*t_star=*/100.0));
+  }
+  ASSERT_FALSE(requests.empty());
+
+  const auto results = fixture.v1->ScoreBatch(requests);
+  ASSERT_EQ(results.size(), requests.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status();
+    const auto reference = fixture.v1->ScoreReferenceAvail(ids[i], 100.0);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_TRUE(BitIdentical(results[i]->estimate_days,
+                             reference->estimate_days));
+    EXPECT_TRUE(BitIdentical(results[i]->band_low, reference->band_low));
+    EXPECT_TRUE(BitIdentical(results[i]->band_high, reference->band_high));
+    EXPECT_EQ(results[i]->num_steps, reference->num_steps);
+    EXPECT_EQ(results[i]->bundle_version, "v1");
+    // The response echoes the caller-local id, not the remapped one.
+    EXPECT_EQ(results[i]->avail_id, requests[i].avail.id);
+    ASSERT_EQ(results[i]->top_features.size(),
+              reference->top_features.size());
+    for (std::size_t k = 0; k < reference->top_features.size(); ++k) {
+      EXPECT_EQ(results[i]->top_features[k].feature_name,
+                reference->top_features[k].feature_name);
+      EXPECT_TRUE(BitIdentical(results[i]->top_features[k].contribution,
+                               reference->top_features[k].contribution));
+    }
+  }
+}
+
+TEST(ModelBundleTest, ScoreBatchAnswersEverySlotEvenWithBadRequests) {
+  const auto& fixture = GetServeFixture();
+  const std::int64_t good_id = fixture.pipeline.split.test.front();
+  std::vector<ScoreRequest> requests;
+  requests.push_back(MakeDetachedRequest(fixture.pipeline.data, good_id));
+  requests.emplace_back();  // default avail: invalid (no dates).
+  requests.push_back(MakeDetachedRequest(fixture.pipeline.data, good_id));
+
+  const auto results = fixture.v1->ScoreBatch(requests);
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status();
+  EXPECT_EQ(results[1].status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(results[2].ok()) << results[2].status();
+  // The bad middle slot must not shift or perturb its neighbors.
+  EXPECT_TRUE(
+      BitIdentical(results[0]->estimate_days, results[2]->estimate_days));
+  const auto solo = fixture.v1->ScoreBatch({requests[0]});
+  ASSERT_TRUE(solo[0].ok());
+  EXPECT_TRUE(
+      BitIdentical(results[0]->estimate_days, solo[0]->estimate_days));
+}
+
+TEST(ModelBundleTest, ScoreBatchParallelismIsBitIdentical) {
+  const auto& fixture = GetServeFixture();
+  std::vector<ScoreRequest> requests;
+  for (std::size_t i = 0; i < 4 && i < fixture.pipeline.split.test.size();
+       ++i) {
+    requests.push_back(MakeDetachedRequest(fixture.pipeline.data,
+                                           fixture.pipeline.split.test[i]));
+  }
+  Parallelism serial;
+  serial.num_threads = 1;
+  Parallelism parallel;
+  parallel.num_threads = 4;
+  const auto a = fixture.v1->ScoreBatch(requests, serial);
+  const auto b = fixture.v1->ScoreBatch(requests, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].ok());
+    ASSERT_TRUE(b[i].ok());
+    EXPECT_TRUE(BitIdentical(a[i]->estimate_days, b[i]->estimate_days));
+    EXPECT_TRUE(BitIdentical(a[i]->band_low, b[i]->band_low));
+    EXPECT_TRUE(BitIdentical(a[i]->band_high, b[i]->band_high));
+  }
+}
+
+TEST(ModelBundleTest, DifferentStacksProduceDifferentEstimates) {
+  // The v1/v2 fixture bundles must disagree on at least one test avail —
+  // the hot-swap torn-model checks are vacuous otherwise.
+  const auto& fixture = GetServeFixture();
+  bool any_different = false;
+  for (std::int64_t id : fixture.pipeline.split.test) {
+    const auto a = fixture.v1->ScoreReferenceAvail(id, 100.0);
+    const auto b = fixture.v2->ScoreReferenceAvail(id, 100.0);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    if (!BitIdentical(a->estimate_days, b->estimate_days)) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(ModelBundleTest, FrozenQueryEngineAnswersStatusQueries) {
+  const auto& fixture = GetServeFixture();
+  StatusQuery query;
+  query.category = RccStatusCategory::kCreated;
+  query.aggregate = AggregateFn::kCount;
+  const auto from_bundle = fixture.v1->query_engine().Execute(query, 100.0);
+  ASSERT_TRUE(from_bundle.ok()) << from_bundle.status();
+
+  const StatusQueryEngine direct(&fixture.pipeline.data,
+                                 IndexBackend::kAvlTree);
+  const auto expected = direct.Execute(query, 100.0);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_DOUBLE_EQ(*from_bundle, *expected);
+  EXPECT_GT(*from_bundle, 0.0);
+}
+
+}  // namespace
+}  // namespace domd

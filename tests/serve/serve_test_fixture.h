@@ -1,0 +1,98 @@
+#ifndef DOMD_TESTS_SERVE_SERVE_TEST_FIXTURE_H_
+#define DOMD_TESTS_SERVE_SERVE_TEST_FIXTURE_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/test_helpers.h"
+#include "serve/model_bundle.h"
+
+namespace domd {
+namespace testing_internal {
+
+/// The serving fixture shared by the ModelBundle and PredictionService
+/// suites: one small trained fleet, two bundles written from two
+/// deliberately different model stacks (v2 trains fewer rounds, so v1 and
+/// v2 predictions differ — the property the torn-model checks rely on),
+/// both loaded back. Built once per process; everything is deeply const
+/// after construction.
+struct ServeFixture {
+  PipelineFixture pipeline;
+  std::unique_ptr<DomdEstimator> estimator_v1;
+  std::string dir_v1;
+  std::string dir_v2;
+  std::shared_ptr<const ModelBundle> v1;
+  std::shared_ptr<const ModelBundle> v2;
+};
+
+inline const ServeFixture& GetServeFixture() {
+  static const ServeFixture& fixture = *[]() -> ServeFixture* {
+    auto* f = new ServeFixture;
+    f->pipeline = MakePipelineFixture(/*seed=*/77, /*num_avails=*/40,
+                                      /*window_pct=*/50.0);
+    PipelineConfig config = FastConfig();
+    config.window_width_pct = 50.0;
+
+    auto v1 = DomdEstimator::Train(&f->pipeline.data, config,
+                                   f->pipeline.split.train);
+    PipelineConfig config2 = config;
+    config2.gbt.num_rounds = 12;  // different stack => different estimates.
+    auto v2 = DomdEstimator::Train(&f->pipeline.data, config2,
+                                   f->pipeline.split.train);
+    if (!v1.ok() || !v2.ok()) {
+      std::fprintf(stderr, "ServeFixture: training failed\n");
+      std::abort();
+    }
+
+    f->dir_v1 = ::testing::TempDir() + "/domd_serve_bundle_v1";
+    f->dir_v2 = ::testing::TempDir() + "/domd_serve_bundle_v2";
+    if (!ModelBundle::Write(*v1, f->pipeline.data, f->dir_v1, "v1").ok() ||
+        !ModelBundle::Write(*v2, f->pipeline.data, f->dir_v2, "v2").ok()) {
+      std::fprintf(stderr, "ServeFixture: bundle write failed\n");
+      std::abort();
+    }
+    auto loaded_v1 = ModelBundle::Load(f->dir_v1);
+    auto loaded_v2 = ModelBundle::Load(f->dir_v2);
+    if (!loaded_v1.ok() || !loaded_v2.ok()) {
+      std::fprintf(stderr, "ServeFixture: bundle load failed\n");
+      std::abort();
+    }
+    f->v1 = std::move(*loaded_v1);
+    f->v2 = std::move(*loaded_v2);
+    f->estimator_v1 = std::make_unique<DomdEstimator>(std::move(*v1));
+    return f;
+  }();
+  return fixture;
+}
+
+/// A detached ScoreRequest carrying a copy of a reference avail and its RCC
+/// stream, with caller-local ids (the scorer must remap them).
+inline ScoreRequest MakeDetachedRequest(const Dataset& data,
+                                        std::int64_t avail_id,
+                                        double t_star = 100.0,
+                                        std::size_t top_k = 5) {
+  ScoreRequest request;
+  request.t_star = t_star;
+  request.top_k = top_k;
+  for (const Avail& avail : data.avails.rows()) {
+    if (avail.id == avail_id) request.avail = avail;
+  }
+  request.avail.id = 100000 + avail_id;  // deliberately caller-local.
+  std::int64_t next_id = 1;
+  for (const Rcc& rcc : data.rccs.rows()) {
+    if (rcc.avail_id != avail_id) continue;
+    request.rccs.push_back(rcc);
+    request.rccs.back().id = next_id++;
+    request.rccs.back().avail_id = request.avail.id;
+  }
+  return request;
+}
+
+}  // namespace testing_internal
+}  // namespace domd
+
+#endif  // DOMD_TESTS_SERVE_SERVE_TEST_FIXTURE_H_

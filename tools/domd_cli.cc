@@ -6,15 +6,22 @@
 //   domd stats     --dir DATA
 //   domd train     --dir DATA --model FILE [--window X] [--k K]
 //                  [--rounds R] [--seed S] [--threads N]
+//                  [--bundle DIR [--bundle-version V]]
 //   domd evaluate  --dir DATA --model FILE [--threads N]
 //   domd query     --dir DATA --model FILE --avail ID [--t T*] [--top K]
 //                  [--threads N]
+//   domd predict   --bundle DIR (--avail ID [--t T*] [--top K] |
+//                  --request FILE) [--threads N]
 //   domd sql       --dir DATA --query "SELECT ... AT <t*>"
 //   domd report    --dir DATA --model FILE [--out FILE] [--t T*]
 //                  [--threads N]
 //
 // DATA directories hold avails.csv and rccs.csv in the library's CSV
 // schema. Model files are written by `train` (DomdEstimator::SaveModels).
+// Bundle directories are serving artifacts written by `train --bundle`
+// (ModelBundle::Write); `predict` and `domd_serve` load them through the
+// same ModelBundle::Load path, so the CLI and the server can never drift
+// apart on the artifact format.
 //
 // --threads N sets the worker count for feature engineering, GBT split
 // search, and cross-validation (0 = one per hardware thread, the default).
@@ -26,8 +33,11 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "core/domd_estimator.h"
 #include "data/integrity.h"
+#include "serve/wire.h"
 #include "data/splits.h"
 #include "ml/metrics.h"
 #include "query/query_parser.h"
@@ -215,6 +225,18 @@ int CmdTrain(const Flags& flags) {
   }
   std::printf("model written to %s\n", model_it->second.c_str());
 
+  // Optional serving artifact: models + reference fleet + frozen indexes.
+  if (const auto bundle_it = flags.find("bundle"); bundle_it != flags.end()) {
+    const std::string version = FlagOr(flags, "bundle-version", "v1");
+    if (auto s = ModelBundle::Write(*estimator, *data, bundle_it->second,
+                                    version);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("bundle %s written to %s\n", version.c_str(),
+                bundle_it->second.c_str());
+  }
+
   // Quick test-set check.
   std::vector<double> truth, predicted;
   for (std::int64_t id : split.test) {
@@ -294,6 +316,99 @@ int CmdQuery(const Flags& flags) {
   return 0;
 }
 
+// `predict` loads a serving bundle — the same artifact and loader
+// `domd_serve` uses — and scores either one reference-fleet avail
+// (human-readable output) or a file of JSON request lines in the server's
+// wire format (one JSON response per line on stdout).
+int CmdPredict(const Flags& flags) {
+  const auto bundle_it = flags.find("bundle");
+  if (bundle_it == flags.end()) {
+    return Fail(Status::InvalidArgument("--bundle is required"));
+  }
+  auto bundle = ModelBundle::Load(bundle_it->second, ThreadsFlag(flags));
+  if (!bundle.ok()) return Fail(bundle.status());
+
+  if (const auto request_it = flags.find("request");
+      request_it != flags.end()) {
+    std::ifstream in(request_it->second);
+    if (!in) {
+      return Fail(Status::IoError("cannot open " + request_it->second));
+    }
+    std::string line;
+    int failures = 0;
+    while (std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      auto request = JsonValue::Parse(line);
+      if (!request.ok()) {
+        std::printf("%s\n",
+                    ErrorToJson(request.status()).Serialize().c_str());
+        ++failures;
+        continue;
+      }
+      // Reference-fleet form, same wire semantics as domd_serve:
+      // {"avail_id": N, "t_star": T, "top_k": K}.
+      if (const JsonValue* avail_id = request->Find("avail_id");
+          avail_id != nullptr && avail_id->is_number()) {
+        const auto result = (*bundle)->ScoreReferenceAvail(
+            static_cast<std::int64_t>(avail_id->number_value()),
+            request->NumberOr("t_star", 100.0),
+            static_cast<std::size_t>(request->NumberOr("top_k", 5)));
+        if (!result.ok()) {
+          std::printf("%s\n",
+                      ErrorToJson(result.status()).Serialize().c_str());
+          ++failures;
+        } else {
+          std::printf("%s\n",
+                      PredictionToJson(*result, 0.0).Serialize().c_str());
+        }
+        continue;
+      }
+      auto score = ParseScoreRequest(*request);
+      if (!score.ok()) {
+        std::printf("%s\n", ErrorToJson(score.status()).Serialize().c_str());
+        ++failures;
+        continue;
+      }
+      const auto results = (*bundle)->ScoreBatch({*score});
+      if (!results[0].ok()) {
+        std::printf("%s\n",
+                    ErrorToJson(results[0].status()).Serialize().c_str());
+        ++failures;
+        continue;
+      }
+      std::printf("%s\n",
+                  PredictionToJson(*results[0], 0.0).Serialize().c_str());
+    }
+    return failures == 0 ? 0 : 1;
+  }
+
+  const auto avail_it = flags.find("avail");
+  if (avail_it == flags.end()) {
+    return Fail(Status::InvalidArgument("--avail or --request is required"));
+  }
+  const std::int64_t avail_id = std::atoll(avail_it->second.c_str());
+  const double t_star = std::atof(FlagOr(flags, "t", "100").c_str());
+  const auto top_k =
+      static_cast<std::size_t>(std::atoi(FlagOr(flags, "top", "5").c_str()));
+  const auto result =
+      (*bundle)->ScoreReferenceAvail(avail_id, t_star, top_k);
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("bundle %s (version %s)\n", bundle_it->second.c_str(),
+              result->bundle_version.c_str());
+  std::printf("avail %lld at t* = %.1f%%: %.1f days "
+              "(band %.1f .. %.1f over %zu steps)\n",
+              static_cast<long long>(avail_id), t_star,
+              result->estimate_days, result->band_low, result->band_high,
+              result->num_steps);
+  std::printf("top drivers:\n");
+  for (const auto& feature : result->top_features) {
+    std::printf("  %-32s %+8.2f days\n", feature.feature_name.c_str(),
+                feature.contribution);
+  }
+  return 0;
+}
+
 int CmdSql(const Flags& flags) {
   auto data = LoadData(flags);
   if (!data.ok()) return Fail(data.status());
@@ -364,8 +479,9 @@ int CmdReport(const Flags& flags) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: domd <generate|obfuscate|stats|train|evaluate|query|sql|report> "
-      "[flags]\n  see the header of tools/domd_cli.cc for flag details\n");
+      "usage: domd <generate|obfuscate|stats|train|evaluate|query|predict|"
+      "sql|report> [flags]\n"
+      "  see the header of tools/domd_cli.cc for flag details\n");
   return 2;
 }
 
@@ -382,6 +498,7 @@ int main(int argc, char** argv) {
   if (command == "train") return domd::CmdTrain(flags);
   if (command == "evaluate") return domd::CmdEvaluate(flags);
   if (command == "query") return domd::CmdQuery(flags);
+  if (command == "predict") return domd::CmdPredict(flags);
   if (command == "sql") return domd::CmdSql(flags);
   if (command == "report") return domd::CmdReport(flags);
   return domd::Usage();

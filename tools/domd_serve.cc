@@ -1,0 +1,299 @@
+// domd_serve — online DoMD prediction service over newline-delimited JSON.
+//
+//   domd_serve --bundle DIR [--port P] [--threads N] [--max-queue Q]
+//              [--max-batch B] [--batch-linger-us U]
+//
+// Listens on 127.0.0.1:P (P = 0 picks an ephemeral port; the chosen port is
+// printed on stdout as "listening on 127.0.0.1:<port>"). Each connection
+// carries one JSON object per line and receives one JSON object per line:
+//
+//   {"avail": {...}, "rccs": [...], "t_star": 60, "top_k": 5,
+//    "deadline_ms": 250}                  detached scoring (see README)
+//   {"avail_id": 7, "t_star": 60}        score a reference-fleet avail
+//   {"cmd": "stats"}                     service counters + bundle version
+//   {"cmd": "swap", "bundle": DIR}       zero-downtime bundle hot-swap
+//   {"cmd": "ping"}                      liveness probe
+//   {"cmd": "shutdown"}                  drain and exit cleanly
+//
+// Scoring requests flow through the PredictionService admission queue
+// (bounded; overload answers {"ok":false,"code":"RESOURCE_EXHAUSTED"}) and
+// are micro-batched into feature-tensor blocks. A mid-flight "swap" never
+// drops a request: in-flight batches finish on the old bundle, later
+// batches use the new one, and every response names its bundle version.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/wire.h"
+
+namespace domd {
+namespace {
+
+using Flags = std::map<std::string, std::string>;
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+      flags[key.substr(2)] = argv[++i];
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const Flags& flags, const std::string& key,
+                   const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+/// Shared server state: the service, the swap parallelism, and the
+/// shutdown latch tripping the accept loop.
+struct Server {
+  PredictionService* service = nullptr;
+  Parallelism parallelism;
+  std::atomic<bool> stopping{false};
+  int listen_fd = -1;
+
+  std::mutex clients_mutex;
+  std::vector<int> client_fds;
+
+  void RegisterClient(int fd) {
+    std::lock_guard<std::mutex> lock(clients_mutex);
+    client_fds.push_back(fd);
+  }
+  void UnregisterClient(int fd) {
+    std::lock_guard<std::mutex> lock(clients_mutex);
+    std::erase(client_fds, fd);
+  }
+  /// Unblocks every connection reader so their threads can exit.
+  void KickClients() {
+    std::lock_guard<std::mutex> lock(clients_mutex);
+    for (int fd : client_fds) ::shutdown(fd, SHUT_RDWR);
+  }
+};
+
+bool WriteAll(int fd, const std::string& text) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    const ssize_t n = ::send(fd, text.data() + sent, text.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Handles one request line; returns the response (without newline) and
+/// sets `shutdown_requested` on a shutdown command.
+std::string HandleLine(Server& server, const std::string& line,
+                       bool* shutdown_requested) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto latency_ms = [&start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  auto request = JsonValue::Parse(line);
+  if (!request.ok()) return ErrorToJson(request.status()).Serialize();
+
+  const std::string cmd = request->StringOr("cmd", "");
+  if (cmd == "ping") {
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("bundle_version",
+            JsonValue::String(server.service->bundle()->version()));
+    return out.Serialize();
+  }
+  if (cmd == "stats") {
+    return StatsToJson(server.service->stats()).Serialize();
+  }
+  if (cmd == "swap") {
+    const std::string dir = request->StringOr("bundle", "");
+    if (dir.empty()) {
+      return ErrorToJson(Status::InvalidArgument("swap needs \"bundle\""))
+          .Serialize();
+    }
+    auto bundle = ModelBundle::Load(dir, server.parallelism);
+    if (!bundle.ok()) return ErrorToJson(bundle.status()).Serialize();
+    server.service->SwapBundle(*bundle);
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("bundle_version", JsonValue::String((*bundle)->version()));
+    return out.Serialize();
+  }
+  if (cmd == "shutdown") {
+    *shutdown_requested = true;
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("shutting_down", JsonValue::Bool(true));
+    return out.Serialize();
+  }
+  if (!cmd.empty()) {
+    return ErrorToJson(Status::InvalidArgument("unknown cmd \"" + cmd + "\""))
+        .Serialize();
+  }
+
+  // Reference-fleet scoring: cheap lock-free read against the current
+  // bundle, no queueing.
+  if (const JsonValue* avail_id = request->Find("avail_id");
+      avail_id != nullptr && avail_id->is_number()) {
+    const auto result = server.service->bundle()->ScoreReferenceAvail(
+        static_cast<std::int64_t>(avail_id->number_value()),
+        request->NumberOr("t_star", 100.0),
+        static_cast<std::size_t>(request->NumberOr("top_k", 5)));
+    if (!result.ok()) return ErrorToJson(result.status()).Serialize();
+    return PredictionToJson(*result, latency_ms()).Serialize();
+  }
+
+  // Detached scoring through the admission queue + micro-batcher.
+  auto score = ParseScoreRequest(*request);
+  if (!score.ok()) return ErrorToJson(score.status()).Serialize();
+  std::optional<PredictionService::Clock::time_point> deadline;
+  if (const auto ms = RequestDeadlineMs(*request); ms.has_value()) {
+    deadline = start + std::chrono::microseconds(
+                           static_cast<std::int64_t>(*ms * 1000.0));
+  }
+  const auto result = server.service->Predict(std::move(*score), deadline);
+  if (!result.ok()) return ErrorToJson(result.status()).Serialize();
+  return PredictionToJson(*result, latency_ms()).Serialize();
+}
+
+void ServeConnection(Server& server, int fd) {
+  server.RegisterClient(fd);
+  std::string buffer;
+  char chunk[4096];
+  bool shutdown_requested = false;
+  while (!shutdown_requested) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while (!shutdown_requested &&
+           (newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      const std::string response =
+          HandleLine(server, line, &shutdown_requested);
+      if (!WriteAll(fd, response + "\n")) break;
+    }
+  }
+  server.UnregisterClient(fd);
+  ::close(fd);
+  if (shutdown_requested && !server.stopping.exchange(true)) {
+    // Break the accept loop and unblock the other connection readers.
+    ::shutdown(server.listen_fd, SHUT_RDWR);
+    server.KickClients();
+  }
+}
+
+int Run(const Flags& flags) {
+  const auto bundle_it = flags.find("bundle");
+  if (bundle_it == flags.end()) {
+    std::fprintf(stderr, "error: --bundle is required\n");
+    return 2;
+  }
+  Parallelism parallelism;
+  parallelism.num_threads =
+      std::atoi(FlagOr(flags, "threads", "0").c_str());
+
+  auto bundle = ModelBundle::Load(bundle_it->second, parallelism);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 bundle.status().ToString().c_str());
+    return 1;
+  }
+
+  ServeOptions options;
+  options.max_queue_depth = static_cast<std::size_t>(
+      std::atoi(FlagOr(flags, "max-queue", "256").c_str()));
+  options.max_batch_size = static_cast<std::size_t>(
+      std::atoi(FlagOr(flags, "max-batch", "16").c_str()));
+  options.batch_linger = std::chrono::microseconds(
+      std::atoi(FlagOr(flags, "batch-linger-us", "200").c_str()));
+  options.parallelism = parallelism;
+  PredictionService service(*bundle, options);
+
+  Server server;
+  server.service = &service;
+  server.parallelism = parallelism;
+
+  server.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (server.listen_fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int enable = 1;
+  ::setsockopt(server.listen_fd, SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port =
+      htons(static_cast<std::uint16_t>(std::atoi(
+          FlagOr(flags, "port", "7433").c_str())));
+  if (::bind(server.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(server.listen_fd, 64) < 0) {
+    std::perror("bind/listen");
+    ::close(server.listen_fd);
+    return 1;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(server.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                &addr_len);
+  std::printf("domd_serve: bundle %s (version %s, %zu reference avails)\n",
+              bundle_it->second.c_str(), (*bundle)->version().c_str(),
+              (*bundle)->data().avails.size());
+  std::printf("listening on 127.0.0.1:%d\n",
+              static_cast<int>(ntohs(addr.sin_port)));
+  std::fflush(stdout);
+
+  std::vector<std::thread> connections;
+  while (!server.stopping.load()) {
+    const int fd = ::accept(server.listen_fd, nullptr, nullptr);
+    if (fd < 0) break;  // listener shut down (or fatal accept error).
+    connections.emplace_back(
+        [&server, fd] { ServeConnection(server, fd); });
+  }
+  for (std::thread& thread : connections) thread.join();
+  ::close(server.listen_fd);
+  service.Shutdown();
+
+  const ServeStatsSnapshot stats = service.stats();
+  std::printf(
+      "domd_serve: clean shutdown — %llu submitted, %llu ok, %llu "
+      "rejected, %llu batches, %llu swaps\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.completed_ok),
+      static_cast<unsigned long long>(stats.rejected_overload),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.swaps));
+  return 0;
+}
+
+}  // namespace
+}  // namespace domd
+
+int main(int argc, char** argv) {
+  // A peer closing mid-write must not kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
+  return domd::Run(domd::ParseFlags(argc, argv, 1));
+}
