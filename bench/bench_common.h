@@ -49,7 +49,7 @@ inline ModelingBench MakeModelingBench(double window_pct = 10.0,
   ModelingBench env;
   env.data = GenerateDataset(ModelingConfig(seed));
   Rng rng(seed + 1);
-  env.split = MakeSplit(env.data.avails, SplitOptions{}, &rng);
+  env.split = *MakeSplit(env.data.avails, SplitOptions{}, &rng);
   env.engineer = std::make_unique<FeatureEngineer>(&env.data);
   env.grid = LogicalTimeGrid(window_pct);
   env.train =

@@ -27,7 +27,7 @@ struct ServingContext {
 
   DataSplit MakeServingSplit() {
     Rng rng(43);
-    return MakeSplit(data.avails, SplitOptions{}, &rng);
+    return *MakeSplit(data.avails, SplitOptions{}, &rng);
   }
 
   static PipelineConfig MakeConfig() {

@@ -14,6 +14,7 @@
 
 #include "bench/bench_common.h"
 #include "eval/cross_validation.h"
+#include "obs/stage.h"
 
 namespace domd {
 namespace {
@@ -65,6 +66,7 @@ void Run() {
   const std::vector<double> grid = LogicalTimeGrid(10.0);
 
   std::vector<StageResult> stages;
+  obs::StageRecorder recorder;  // total wall per stage, across thread counts
 
   // Stage 1: feature engineering (the incremental tensor sweep).
   {
@@ -77,6 +79,7 @@ void Run() {
       FeatureTensor tensor;
       stage.seconds.push_back(bench::TimeSeconds(
           [&] { tensor = engineer.ComputeIncremental(ids, grid, parallelism); }));
+      recorder.Record(stage.name, stage.seconds.back());
       if (kThreadCounts[i] == 1) {
         reference = std::move(tensor);
       } else if (!TensorsBitIdentical(reference, tensor)) {
@@ -106,6 +109,7 @@ void Run() {
         models = TimelineModelSet();
         if (!models.Fit(config, view, names).ok()) std::abort();
       }));
+      recorder.Record(stage.name, stage.seconds.back());
       const std::string text = SerializeModels(models);
       if (kThreadCounts[i] == 1) {
         reference = text;
@@ -132,6 +136,7 @@ void Run() {
         if (!result.ok()) std::abort();
         mae = result->mean.mae100;
       }));
+      recorder.Record(stage.name, stage.seconds.back());
       if (kThreadCounts[i] == 1) {
         reference_mae = mae;
       } else if (!BitIdentical(mae, reference_mae)) {
@@ -174,7 +179,8 @@ void Run() {
          << (stage.bit_identical ? "true" : "false") << "}"
          << (s + 1 < stages.size() ? "," : "") << "\n";
   }
-  json << "  }\n}\n";
+  json << "  },\n";
+  json << "  \"stage_timings\": " << recorder.ToJson() << "\n}\n";
   std::printf("\nwrote BENCH_parallel_scaling.json\n");
 }
 

@@ -23,6 +23,7 @@
 
 #include "bench/bench_common.h"
 #include "core/domd_estimator.h"
+#include "obs/stage.h"
 #include "serve/prediction_service.h"
 
 namespace domd {
@@ -68,6 +69,13 @@ struct LoadPhaseResult {
 
 int Run() {
   bench::Banner("Serving: micro-batched scoring with mid-run hot-swap");
+  obs::StageRecorder recorder;
+  const auto stage_clock = [] { return std::chrono::steady_clock::now(); };
+  const auto stage_seconds = [](std::chrono::steady_clock::time_point from,
+                                std::chrono::steady_clock::time_point to) {
+    return std::chrono::duration<double>(to - from).count();
+  };
+  auto stage_start = stage_clock();
 
   // Two bundles from two deliberately different stacks, so a torn model
   // (estimate from one stack tagged with the other's version) is
@@ -78,7 +86,7 @@ int Run() {
   synth.mean_rccs_per_avail = 60.0;
   const Dataset data = GenerateDataset(synth);
   Rng rng(92);
-  const DataSplit split = MakeSplit(data.avails, SplitOptions{}, &rng);
+  const DataSplit split = *MakeSplit(data.avails, SplitOptions{}, &rng);
 
   PipelineConfig config;
   config.num_features = 20;
@@ -93,6 +101,9 @@ int Run() {
     std::fprintf(stderr, "training failed\n");
     return 1;
   }
+  recorder.Record("train_two_bundles", stage_seconds(stage_start,
+                                                     stage_clock()));
+  stage_start = stage_clock();
 
   const std::string root =
       (std::filesystem::temp_directory_path() / "domd_bench_serving")
@@ -108,6 +119,8 @@ int Run() {
     std::fprintf(stderr, "bundle load failed\n");
     return 1;
   }
+  recorder.Record("bundle_io", stage_seconds(stage_start, stage_clock()));
+  stage_start = stage_clock();
 
   // Seeded workload: a pool of detached requests over the reference fleet,
   // with per-bundle expected estimates precomputed by solo scoring. The
@@ -130,6 +143,9 @@ int Run() {
       expected[tag].push_back(solo[0]->estimate_days);
     }
   }
+
+  recorder.Record("precompute_expected",
+                  stage_seconds(stage_start, stage_clock()));
 
   // ---- Load phase: kClientThreads concurrent clients, one mid-run swap.
   ServeOptions options;
@@ -195,6 +211,8 @@ int Run() {
       after.ok() && after->bundle_version == "v2" &&
       BitIdentical(after->estimate_days, expected["v2"][0]);
   const ServeStatsSnapshot load_stats = service.stats();
+  recorder.Record("load_phase", load.wall_seconds);
+  stage_start = stage_clock();
 
   // ---- Overload phase: a tiny admission queue under a burst must reject
   // with the explicit backpressure status and still answer every accepted
@@ -218,6 +236,9 @@ int Run() {
       ++burst_other;
     }
   }
+
+  recorder.Record("overload_burst", stage_seconds(stage_start,
+                                                  stage_clock()));
 
   // ---- Report.
   std::sort(load.latencies_ms.begin(), load.latencies_ms.end());
@@ -280,6 +301,7 @@ int Run() {
   json << "  \"overload\": {\"burst\": " << burst.size()
        << ", \"ok\": " << burst_ok << ", \"rejected\": " << burst_rejected
        << ", \"queue_depth\": " << tight.max_queue_depth << "},\n";
+  json << "  \"stage_timings\": " << recorder.ToJson() << ",\n";
   json << "  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
   std::printf("\nwrote BENCH_serving.json (%s)\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;

@@ -23,7 +23,7 @@ int main() {
   const Dataset data = GenerateDataset(synth);
 
   Rng rng(1);
-  const DataSplit split = MakeSplit(data.avails, SplitOptions{}, &rng);
+  const DataSplit split = *MakeSplit(data.avails, SplitOptions{}, &rng);
   PipelineConfig config;
   config.gbt.num_rounds = 120;
   auto estimator = DomdEstimator::Train(&data, config, split.train);

@@ -71,7 +71,7 @@ int main() {
   config.window_width_pct = 20.0;
 
   Rng rng(7);
-  const DataSplit raw_split = MakeSplit(raw.avails, SplitOptions{}, &rng);
+  const DataSplit raw_split = *MakeSplit(raw.avails, SplitOptions{}, &rng);
   DataSplit masked_split;
   for (std::int64_t id : raw_split.train) {
     masked_split.train.push_back(obfuscator.AvailAlias(id));

@@ -26,7 +26,7 @@ int main() {
 
   // 2. Split: most recent 30%% held out; 25%% of the rest is validation.
   Rng rng(11);
-  const DataSplit split = MakeSplit(data.avails, SplitOptions{}, &rng);
+  const DataSplit split = *MakeSplit(data.avails, SplitOptions{}, &rng);
   std::printf("split: %zu train / %zu validation / %zu test\n",
               split.train.size(), split.validation.size(),
               split.test.size());

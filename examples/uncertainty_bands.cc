@@ -20,7 +20,7 @@ int main() {
 
   const Dataset data = GenerateDataset(ModelingConfig(2026));
   Rng rng(1);
-  const DataSplit split = MakeSplit(data.avails, SplitOptions{}, &rng);
+  const DataSplit split = *MakeSplit(data.avails, SplitOptions{}, &rng);
 
   FeatureEngineer engineer(&data);
   const auto grid = LogicalTimeGrid(10.0);

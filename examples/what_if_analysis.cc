@@ -39,7 +39,7 @@ int main() {
   Dataset data = GenerateDataset(synth);
 
   Rng rng(5);
-  const DataSplit split = MakeSplit(data.avails, SplitOptions{}, &rng);
+  const DataSplit split = *MakeSplit(data.avails, SplitOptions{}, &rng);
   PipelineConfig config;
   config.gbt.num_rounds = 100;
 

@@ -6,9 +6,11 @@ Usage: serve_smoke.py BUILD_DIR
 Generates a small fleet, trains a bundle via the domd CLI, starts
 domd_serve on an ephemeral port, drives the newline-delimited JSON
 protocol end to end (ping / reference predict / detached predict /
-validation error / stats / swap / shutdown), and verifies every response.
-Exits non-zero on the first mismatch. Used by the CI serving smoke job;
-runnable locally the same way.
+validation error / metrics / stats / swap / shutdown), and verifies every
+response — including that the `metrics` payload is well-formed Prometheus
+text exposition with the serving histograms populated. Exits non-zero on
+the first mismatch. Used by the CI serving smoke job; runnable locally the
+same way.
 """
 
 import json
@@ -37,6 +39,61 @@ DETACHED_REQUEST = {
     ],
     "t_star": 50.0, "top_k": 3,
 }
+
+
+METRIC_LINE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?P<labels>\{[^}]*\})? (?P<value>[0-9eE+.\-]+|\+Inf|NaN)$')
+TYPE_LINE = re.compile(
+    r"^# TYPE (?P<family>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<type>counter|gauge|histogram)$")
+
+
+def check_prometheus(payload):
+    """Validates Prometheus text-exposition structure and returns
+    {family: type} and {series: value}."""
+    families, samples = {}, {}
+    for line in payload.splitlines():
+        if not line:
+            continue
+        type_match = TYPE_LINE.match(line)
+        if type_match:
+            family = type_match.group("family")
+            expect(family not in families,
+                   f"duplicate # TYPE for {family}")
+            families[family] = type_match.group("type")
+            continue
+        sample = METRIC_LINE.match(line)
+        expect(sample is not None, f"unparseable exposition line: {line!r}")
+        series = sample.group("name") + (sample.group("labels") or "")
+        expect(series not in samples, f"duplicate series: {series}")
+        samples[series] = float(sample.group("value"))
+
+    # Histogram invariants: cumulative le-buckets are non-decreasing and
+    # the +Inf bucket equals _count.
+    for family, kind in families.items():
+        if kind != "histogram":
+            continue
+        buckets = {}
+        for series, value in samples.items():
+            if series.startswith(family + "_bucket"):
+                # Key one le-ladder by its other labels (span histograms
+                # carry a span=... label next to le).
+                key = re.sub(r',?le="[^"]*"', "", series).replace("{}", "")
+                buckets.setdefault(key, []).append((series, value))
+        expect(buckets, f"histogram {family} exposes no buckets")
+        for key, series_group in buckets.items():
+            values = [v for _, v in series_group]  # exposition order kept.
+            expect(values == sorted(values),
+                   f"non-cumulative buckets in {family}: {series_group}")
+            count = samples.get(
+                key.replace(family + "_bucket", family + "_count", 1))
+            inf = [v for s, v in series_group if 'le="+Inf"' in s]
+            expect(count is not None and len(inf) == 1 and
+                   inf[0] == count,
+                   f"+Inf bucket of {key} must equal _count "
+                   f"(inf={inf}, count={count})")
+    return families, samples
 
 
 def fail(message):
@@ -133,6 +190,37 @@ def main():
             expect(not invalid.get("ok") and
                    invalid.get("code") == "INVALID_ARGUMENT",
                    f"bad validation response: {invalid}")
+
+            # A degenerate planned window (planned_end == planned_start)
+            # must be rejected at the wire, not scored into NaNs.
+            degenerate = dict(DETACHED_REQUEST)
+            degenerate["avail"] = dict(DETACHED_REQUEST["avail"])
+            degenerate["avail"]["planned_end"] = \
+                degenerate["avail"]["planned_start"]
+            rejected = rpc(degenerate)
+            expect(not rejected.get("ok") and
+                   rejected.get("code") == "INVALID_ARGUMENT",
+                   f"degenerate planned window not rejected: {rejected}")
+
+            # Prometheus exposition: well-formed, serving histograms
+            # present and populated by the requests above.
+            metrics = rpc({"cmd": "metrics"})
+            expect(metrics.get("ok") and
+                   metrics.get("content_type") ==
+                   "text/plain; version=0.0.4",
+                   f"bad metrics envelope: {metrics}")
+            families, samples = check_prometheus(metrics.get("payload", ""))
+            for family in ("domd_serve_queue_wait_ms",
+                           "domd_serve_batch_score_ms",
+                           "domd_serve_batch_size"):
+                expect(families.get(family) == "histogram",
+                       f"{family} missing from exposition: "
+                       f"{sorted(families)}")
+                expect(samples.get(f"{family}_count", 0) >= 1,
+                       f"{family} never observed anything")
+            expect(samples.get(
+                       'domd_serve_requests_total{code="OK"}', 0) >= 1,
+                   "OK outcome counter not populated")
 
             swap = rpc({"cmd": "swap", "bundle": str(bundle_v2)})
             expect(swap.get("ok") and swap.get("bundle_version") == "v2",

@@ -86,4 +86,25 @@ IntegrityReport CheckDatasetIntegrity(const Dataset& data,
   return report;
 }
 
+Status CheckRequestIntegrity(const Avail& avail, const std::vector<Rcc>& rccs,
+                             const IntegrityOptions& options) {
+  DOMD_RETURN_IF_ERROR(ValidateAvail(avail));
+  const auto delay = avail.delay();
+  if (delay.has_value() &&
+      std::llabs(*delay) > options.max_plausible_delay_days) {
+    return Status::InvalidArgument(
+        "avail " + std::to_string(avail.id) + ": delay " +
+        std::to_string(*delay) + " days is outside the plausibility window");
+  }
+  for (const Rcc& rcc : rccs) {
+    DOMD_RETURN_IF_ERROR(ValidateRcc(rcc));
+    if (rcc.creation_date < avail.actual_start) {
+      return Status::InvalidArgument(
+          "RCC " + std::to_string(rcc.id) +
+          " created before the avail's actual start");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace domd

@@ -50,6 +50,17 @@ struct IntegrityOptions {
 IntegrityReport CheckDatasetIntegrity(const Dataset& data,
                                       const IntegrityOptions& options = {});
 
+/// Validates one detached avail plus its RCC stream against the same
+/// error-grade rules CheckDatasetIntegrity enforces over a dataset join:
+/// row-level validity (ValidateAvail / ValidateRcc), delay plausibility,
+/// and RCCs created before the avail's actual start. The serving path
+/// routes every parsed ScoreRequest through this, so a request the
+/// training pipeline would refuse (e.g. planned_end == planned_start,
+/// which would divide LogicalTime by a zero planned duration) is rejected
+/// with kInvalidArgument instead of being scored into NaN features.
+Status CheckRequestIntegrity(const Avail& avail, const std::vector<Rcc>& rccs,
+                             const IntegrityOptions& options = {});
+
 }  // namespace domd
 
 #endif  // DOMD_DATA_INTEGRITY_H_

@@ -20,12 +20,15 @@ Date PhysicalTime(const Avail& avail, double t_star) {
 
 std::vector<double> LogicalTimeGrid(double window_width_pct) {
   std::vector<double> grid;
-  if (window_width_pct <= 0.0) return grid;
+  if (!(window_width_pct > 0.0)) return grid;  // also rejects NaN
   if (window_width_pct > 100.0) window_width_pct = 100.0;
-  double t = 0.0;
-  while (t < 100.0 - 1e-9) {
+  // Each point is computed as i * width (one rounding each) rather than by
+  // accumulating t += width (i roundings): accumulation drifts, so the tail
+  // point could land at 100 - epsilon and near-duplicate the appended 100.
+  for (std::size_t i = 0;; ++i) {
+    const double t = static_cast<double>(i) * window_width_pct;
+    if (t >= 100.0 - 1e-9) break;  // dedupes the terminal point
     grid.push_back(t);
-    t += window_width_pct;
   }
   grid.push_back(100.0);
   return grid;

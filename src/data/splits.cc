@@ -1,11 +1,29 @@
 #include "data/splits.h"
 
 #include <algorithm>
+#include <string>
 
 namespace domd {
 
-DataSplit MakeSplit(const AvailTable& avails, const SplitOptions& options,
-                    Rng* rng) {
+namespace {
+
+/// Rounded part size, clamped to [min_size, max_size] so no part of a
+/// non-degenerate split ever rounds down to empty (or swallows the rest).
+std::size_t ClampedPart(std::size_t n, double fraction, std::size_t min_size,
+                        std::size_t max_size) {
+  auto part = static_cast<std::size_t>(static_cast<double>(n) * fraction + 0.5);
+  return std::clamp(part, min_size, max_size);
+}
+
+}  // namespace
+
+StatusOr<DataSplit> MakeSplit(const AvailTable& avails,
+                              const SplitOptions& options, Rng* rng) {
+  if (options.test_fraction < 0.0 || options.test_fraction > 1.0 ||
+      options.validation_fraction < 0.0 ||
+      options.validation_fraction > 1.0) {
+    return Status::InvalidArgument("split fractions must lie in [0, 1]");
+  }
   // Collect closed avails sorted by planned start (recency order).
   std::vector<const Avail*> closed;
   for (const Avail& a : avails.rows()) {
@@ -20,8 +38,13 @@ DataSplit MakeSplit(const AvailTable& avails, const SplitOptions& options,
 
   DataSplit split;
   const std::size_t n = closed.size();
-  const auto n_test = static_cast<std::size_t>(
-      static_cast<double>(n) * options.test_fraction + 0.5);
+  if (n == 0) return split;  // nothing labeled: empty split, by contract.
+  if (n < 3) {
+    return Status::FailedPrecondition(
+        "cannot split " + std::to_string(n) +
+        " closed avail(s) into non-empty train/validation/test; need >= 3");
+  }
+  const std::size_t n_test = ClampedPart(n, options.test_fraction, 1, n - 2);
   const std::size_t n_rest = n - n_test;
 
   for (std::size_t i = n_rest; i < n; ++i) {
@@ -33,8 +56,8 @@ DataSplit MakeSplit(const AvailTable& avails, const SplitOptions& options,
   for (std::size_t i = 0; i < n_rest; ++i) rest.push_back(closed[i]->id);
   rng->Shuffle(&rest);
 
-  const auto n_val = static_cast<std::size_t>(
-      static_cast<double>(n_rest) * options.validation_fraction + 0.5);
+  const std::size_t n_val =
+      ClampedPart(n_rest, options.validation_fraction, 1, n_rest - 1);
   split.validation.assign(rest.begin(),
                           rest.begin() + static_cast<std::ptrdiff_t>(n_val));
   split.train.assign(rest.begin() + static_cast<std::ptrdiff_t>(n_val),

@@ -27,8 +27,16 @@ struct SplitOptions {
 
 /// Builds the split over *closed* avails only (ongoing avails cannot carry a
 /// label). Deterministic given the RNG seed.
-DataSplit MakeSplit(const AvailTable& avails, const SplitOptions& options,
-                    Rng* rng);
+///
+/// Contract for degenerate inputs: an empty table yields an (ok) empty
+/// split; fractions outside [0, 1] are kInvalidArgument; fewer than 3
+/// closed avails is kFailedPrecondition (three non-empty parts are
+/// impossible). Otherwise every part is guaranteed non-empty — rounded
+/// part sizes are clamped so small fleets or extreme fractions can never
+/// silently produce an empty test or validation set (downstream CV would
+/// divide by the zero-sized fold).
+StatusOr<DataSplit> MakeSplit(const AvailTable& avails,
+                              const SplitOptions& options, Rng* rng);
 
 }  // namespace domd
 

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "data/logical_time.h"
+#include "obs/trace.h"
 
 namespace domd {
 
@@ -66,6 +67,7 @@ StatusOr<CvResult> CrossValidate(const Dataset& data,
       threads, num_folds, 1,
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t fold = lo; fold < hi; ++fold) {
+          DOMD_OBS_SPAN("cv.fold");  // concurrent observes are lock-free
           std::vector<std::size_t> train_rows, test_rows;
           for (std::size_t i = 0; i < n; ++i) {
             if (i % num_folds == fold) {

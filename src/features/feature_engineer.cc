@@ -1,5 +1,7 @@
 #include "features/feature_engineer.h"
 
+#include "obs/trace.h"
+
 namespace domd {
 namespace {
 
@@ -35,6 +37,7 @@ FeatureTensor FeatureEngineer::ComputeIncremental(
     const std::vector<std::int64_t>& avail_ids,
     const std::vector<double>& time_grid,
     const Parallelism& parallelism) const {
+  DOMD_OBS_SPAN("features.block_sweep");
   FeatureTensor tensor(avail_ids, time_grid, catalog_.size());
   if (avail_ids.empty()) return tensor;
 

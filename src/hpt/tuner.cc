@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/trace.h"
+
 namespace domd {
 
 TuningResult Tuner::Run(const Objective& objective, int num_trials) {
@@ -10,6 +12,7 @@ TuningResult Tuner::Run(const Objective& objective, int num_trials) {
   result.trials.reserve(static_cast<std::size_t>(num_trials));
 
   for (int t = 0; t < num_trials; ++t) {
+    DOMD_OBS_SPAN("hpt.trial");
     std::vector<double> params = sampler_.Suggest(result.trials);
     const double score = objective(space_->ToMap(params));
     if (score < result.best_objective) {

@@ -6,10 +6,12 @@
 #include <unordered_map>
 
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace domd {
 
 Status GbtRegressor::Fit(const Matrix& x, const std::vector<double>& y) {
+  DOMD_OBS_SPAN("gbt.fit");
   const std::size_t n = x.rows();
   const std::size_t p = x.cols();
   if (n == 0 || p == 0) {
@@ -84,7 +86,10 @@ Status GbtRegressor::Fit(const Matrix& x, const std::vector<double>& y) {
     }
 
     RegressionTree tree;
-    tree.Fit(x, grad, hess, rows, features, params_.tree);
+    {
+      DOMD_OBS_SPAN("gbt.split_search");
+      tree.Fit(x, grad, hess, rows, features, params_.tree);
+    }
 
     // Zero-curvature losses (absolute, pinball): the Newton step under the
     // unit-Hessian surrogate is a tiny fixed-size move, so (as LightGBM

@@ -1,0 +1,283 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace domd {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// Shortest round-trippable rendering of a double (Prometheus and JSON both
+/// accept scientific notation).
+std::string FormatNumber(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string FormatCount(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+/// Splits a series id "family{labels}" into its family name and the label
+/// body (without braces; empty when the id carries no labels).
+void SplitId(const std::string& id, std::string* family, std::string* labels) {
+  const std::size_t brace = id.find('{');
+  if (brace == std::string::npos) {
+    *family = id;
+    labels->clear();
+    return;
+  }
+  *family = id.substr(0, brace);
+  // Tolerate a missing closing brace rather than crashing the exporter.
+  const std::size_t end = id.rfind('}');
+  *labels = id.substr(brace + 1,
+                      end == std::string::npos || end <= brace
+                          ? std::string::npos
+                          : end - brace - 1);
+}
+
+/// Rebuilds a series id from a family, existing labels, and one extra
+/// label (the histogram `le`).
+std::string SeriesWithLabel(const std::string& family,
+                            const std::string& labels,
+                            const std::string& extra) {
+  std::string out = family + "{";
+  if (!labels.empty()) out += labels + ",";
+  out += extra + "}";
+  return out;
+}
+
+std::string SeriesId(const std::string& family, const std::string& labels) {
+  if (labels.empty()) return family;
+  return family + "{" + labels + "}";
+}
+
+/// Emits one "# TYPE family type" line the first time a family appears.
+void MaybeEmitType(const std::string& family, const char* type,
+                   std::string* last_family, std::string* out) {
+  if (family == *last_family) return;
+  *last_family = family;
+  out->append("# TYPE " + family + " " + type + "\n");
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS accumulation: atomic<double>::fetch_add is C++20 but not universally
+  // lock-free; the loop is contention-rare and portable.
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& LatencyBucketsMs() {
+  static const std::vector<double>& buckets = *new std::vector<double>{
+      0.05, 0.1, 0.25, 0.5, 1.0,  2.5,   5.0,   10.0,
+      25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0};
+  return buckets;
+}
+
+const std::vector<double>& SizeBuckets() {
+  static const std::vector<double>& buckets = *new std::vector<double>{
+      1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0};
+  return buckets;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry& registry = *new MetricsRegistry();
+  return registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[id];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[id];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(
+    const std::string& id, const std::vector<double>& upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[id];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(upper_bounds);
+  return *slot;
+}
+
+std::vector<std::string> MetricsRegistry::CounterIds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(counters_.size());
+  for (const auto& [id, counter] : counters_) ids.push_back(id);
+  return ids;
+}
+
+std::vector<std::string> MetricsRegistry::GaugeIds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(gauges_.size());
+  for (const auto& [id, gauge] : gauges_) ids.push_back(id);
+  return ids;
+}
+
+std::vector<std::string> MetricsRegistry::HistogramIds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(histograms_.size());
+  for (const auto& [id, histogram] : histograms_) ids.push_back(id);
+  return ids;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  std::string family, labels, last_family;
+
+  // std::map iteration is id-sorted, so series of one family (same name,
+  // different labels) are contiguous and share one # TYPE line.
+  for (const auto& [id, counter] : counters_) {
+    SplitId(id, &family, &labels);
+    MaybeEmitType(family, "counter", &last_family, &out);
+    out += SeriesId(family, labels) + " " + FormatCount(counter->Value()) +
+           "\n";
+  }
+  last_family.clear();
+  for (const auto& [id, gauge] : gauges_) {
+    SplitId(id, &family, &labels);
+    MaybeEmitType(family, "gauge", &last_family, &out);
+    out += SeriesId(family, labels) + " " + FormatNumber(gauge->Value()) +
+           "\n";
+  }
+  last_family.clear();
+  for (const auto& [id, histogram] : histograms_) {
+    SplitId(id, &family, &labels);
+    MaybeEmitType(family, "histogram", &last_family, &out);
+    const std::vector<std::uint64_t> buckets = histogram->BucketCounts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      cumulative += buckets[b];
+      const std::string le =
+          b < histogram->upper_bounds().size()
+              ? FormatNumber(histogram->upper_bounds()[b])
+              : "+Inf";
+      out += SeriesWithLabel(family + "_bucket", labels, "le=\"" + le + "\"") +
+             " " + FormatCount(cumulative) + "\n";
+    }
+    out += SeriesId(family + "_sum", labels) + " " +
+           FormatNumber(histogram->Sum()) + "\n";
+    out += SeriesId(family + "_count", labels) + " " +
+           FormatCount(histogram->Count()) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [id, counter] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(id) << "\":" << counter->Value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [id, gauge] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(id) << "\":" << FormatNumber(gauge->Value());
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [id, histogram] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(id) << "\":{\"count\":" << histogram->Count()
+        << ",\"sum\":" << FormatNumber(histogram->Sum()) << ",\"buckets\":{";
+    const std::vector<std::uint64_t> buckets = histogram->BucketCounts();
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      if (b > 0) out << ",";
+      const std::string le =
+          b < histogram->upper_bounds().size()
+              ? FormatNumber(histogram->upper_bounds()[b])
+              : "+Inf";
+      out << "\"" << le << "\":" << buckets[b];
+    }
+    out << "}}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [id, counter] : counters_) counter->Reset();
+  for (auto& [id, gauge] : gauges_) gauge->Reset();
+  for (auto& [id, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace obs
+}  // namespace domd

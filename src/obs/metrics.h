@@ -1,0 +1,155 @@
+#ifndef DOMD_OBS_METRICS_H_
+#define DOMD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// Compile-time kill switch: building with -DDOMD_DISABLE_OBS compiles every
+/// DOMD_OBS_* macro to nothing, so instrumentation costs zero instructions.
+/// The library below still exists (tests and tools link it); only the inline
+/// call sites vanish.
+#if !defined(DOMD_DISABLE_OBS)
+#define DOMD_OBS_COMPILED 1
+#else
+#define DOMD_OBS_COMPILED 0
+#endif
+
+namespace domd {
+namespace obs {
+
+/// Runtime switch (relaxed atomic; defaults to enabled). Instrumented call
+/// sites check this before sampling clocks or touching metric cells, so a
+/// disabled registry costs one relaxed load per site. Flipping the switch
+/// never changes model output: metrics are sinks, never inputs (the
+/// determinism contract, DESIGN.md §8).
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// Restores the previous enabled state on destruction (test helper).
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool enabled) : previous_(Enabled()) {
+    SetEnabled(enabled);
+  }
+  ~ScopedEnable() { SetEnabled(previous_); }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Monotonic counter. Increment is one relaxed fetch_add; safe from any
+/// number of threads concurrently.
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram in the Prometheus style: per-bucket atomic
+/// counters over caller-chosen upper bounds plus an implicit +Inf bucket,
+/// an atomic observation count, and a CAS-accumulated sum. Observe is
+/// lock-free; concurrent observers never lose a count.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; the +Inf bucket is
+  /// implicit and always present.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  std::uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; the last entry is the +Inf bucket.
+  std::vector<std::uint64_t> BucketCounts() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  ///< bounds+1 cells.
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency bucket ladder in milliseconds (sub-100µs to 5 s).
+const std::vector<double>& LatencyBucketsMs();
+/// Default small-cardinality ladder (batch sizes, counts): powers of two.
+const std::vector<double>& SizeBuckets();
+
+/// A process-wide named-metric registry. Metric ids are Prometheus series
+/// ids: a metric family name, optionally followed by a label set, e.g.
+///   domd_serve_queue_wait_ms
+///   domd_serve_requests_total{code="OK"}
+///   domd_span_duration_ms{span="gbt.fit"}
+/// Registration (first Get* for an id) takes a mutex; every later use of
+/// the returned reference is atomic-only. Returned references live for the
+/// registry's lifetime — Reset() zeroes values but never invalidates them,
+/// so call sites may cache pointers (ScopedSpan does).
+class MetricsRegistry {
+ public:
+  /// The process-default registry every DOMD_OBS_* macro targets.
+  static MetricsRegistry& Default();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& id);
+  Gauge& GetGauge(const std::string& id);
+  /// First registration fixes the bucket layout; later calls with the same
+  /// id ignore `upper_bounds`.
+  Histogram& GetHistogram(const std::string& id,
+                          const std::vector<double>& upper_bounds);
+
+  /// Ids of every registered metric of each kind, sorted (snapshot).
+  std::vector<std::string> CounterIds() const;
+  std::vector<std::string> GaugeIds() const;
+  std::vector<std::string> HistogramIds() const;
+
+  /// Prometheus text exposition (version 0.0.4): one # TYPE line per
+  /// family, cumulative le-buckets plus _sum/_count for histograms.
+  std::string RenderPrometheus() const;
+
+  /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  /// — the payload of domd_cli --metrics-json.
+  std::string RenderJson() const;
+
+  /// Zeroes every value but keeps registrations (and thus outstanding
+  /// references) valid. Test isolation helper.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace domd
+
+#endif  // DOMD_OBS_METRICS_H_

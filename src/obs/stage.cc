@@ -1,0 +1,48 @@
+#include "obs/stage.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace domd {
+namespace obs {
+
+void StageRecorder::Record(const std::string& stage, double seconds) {
+  for (auto& [name, total] : stages_) {
+    if (name == stage) {
+      total += seconds;
+      return;
+    }
+  }
+  stages_.emplace_back(stage, seconds);
+}
+
+double StageRecorder::Time(const std::string& stage,
+                           const std::function<void()>& fn, int runs) {
+  if (runs < 1) runs = 1;
+  double total = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    total += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+                 .count();
+  }
+  const double average = total / runs;
+  Record(stage, average);
+  return average;
+}
+
+std::string StageRecorder::ToJson() const {
+  std::string out = "{";
+  char buffer[64];
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (i > 0) out += ", ";
+    std::snprintf(buffer, sizeof(buffer), "%.6f", stages_[i].second);
+    out += "\"" + stages_[i].first + "\": " + buffer;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace domd

@@ -1,0 +1,41 @@
+#ifndef DOMD_OBS_STAGE_H_
+#define DOMD_OBS_STAGE_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace domd {
+namespace obs {
+
+/// Shared per-stage timing emitter for the bench_* harnesses: records named
+/// wall-clock stages in insertion order and renders the `stage_timings`
+/// JSON object every BENCH_*.json carries (CI fails the file without it).
+/// Single-threaded by design — benches drive it from their main thread.
+class StageRecorder {
+ public:
+  /// Records a stage duration (seconds). Repeated names accumulate.
+  void Record(const std::string& stage, double seconds);
+
+  /// Times fn (averaged over `runs` runs), records it, and returns the
+  /// average seconds.
+  double Time(const std::string& stage, const std::function<void()>& fn,
+              int runs = 1);
+
+  bool empty() const { return stages_.empty(); }
+  const std::vector<std::pair<std::string, double>>& stages() const {
+    return stages_;
+  }
+
+  /// Renders {"stage": seconds, ...} in insertion order.
+  std::string ToJson() const;
+
+ private:
+  std::vector<std::pair<std::string, double>> stages_;
+};
+
+}  // namespace obs
+}  // namespace domd
+
+#endif  // DOMD_OBS_STAGE_H_

@@ -1,0 +1,12 @@
+#include "obs/trace.h"
+
+namespace domd {
+namespace obs {
+
+SpanHandle::SpanHandle(const char* name)
+    : id_(std::string("domd_span_duration_ms{span=\"") + name + "\"}"),
+      histogram_(
+          &MetricsRegistry::Default().GetHistogram(id_, LatencyBucketsMs())) {}
+
+}  // namespace obs
+}  // namespace domd

@@ -1,0 +1,77 @@
+#ifndef DOMD_OBS_TRACE_H_
+#define DOMD_OBS_TRACE_H_
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace domd {
+namespace obs {
+
+/// Resolves the duration histogram for a span name once and caches the
+/// pointer; registry entries are never deallocated, so the cache is valid
+/// for the process lifetime. Intended for `static` storage at a call site
+/// (the DOMD_OBS_SPAN macro), making a hot-path span one relaxed load + two
+/// clock samples + one histogram observe.
+///
+/// Span naming convention (DESIGN.md §8): dotted lowercase
+/// "<subsystem>.<operation>", e.g. "features.block_sweep", "gbt.fit",
+/// "hpt.trial", "cv.fold", "serve.batch_score". Each span becomes the
+/// series `domd_span_duration_ms{span="<name>"}`.
+class SpanHandle {
+ public:
+  explicit SpanHandle(const char* name);
+  Histogram& histogram() const { return *histogram_; }
+  const std::string& id() const { return id_; }
+
+ private:
+  std::string id_;
+  Histogram* histogram_;
+};
+
+/// RAII duration probe: samples steady_clock on construction and observes
+/// the elapsed milliseconds on destruction. Does nothing (not even the
+/// clock sample) while obs::Enabled() is false. Timers only record — their
+/// readings never feed model state, so spans cannot perturb bit-exact
+/// determinism.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const SpanHandle& handle)
+      : histogram_(Enabled() ? &handle.histogram() : nullptr),
+        start_(histogram_ != nullptr ? std::chrono::steady_clock::now()
+                                     : std::chrono::steady_clock::time_point()) {
+  }
+  ~ScopedSpan() {
+    if (histogram_ == nullptr) return;
+    histogram_->Observe(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace domd
+
+#if DOMD_OBS_COMPILED
+#define DOMD_OBS_CONCAT_INNER(a, b) a##b
+#define DOMD_OBS_CONCAT(a, b) DOMD_OBS_CONCAT_INNER(a, b)
+/// Times the enclosing scope into domd_span_duration_ms{span="name"}.
+/// `name` must be a string literal. The handle is resolved once per call
+/// site (magic static), so repeated executions are registry-lock-free.
+#define DOMD_OBS_SPAN(name)                                                  \
+  static const ::domd::obs::SpanHandle DOMD_OBS_CONCAT(domd_obs_handle_,    \
+                                                       __LINE__)(name);      \
+  const ::domd::obs::ScopedSpan DOMD_OBS_CONCAT(domd_obs_span_, __LINE__)(   \
+      DOMD_OBS_CONCAT(domd_obs_handle_, __LINE__))
+#else
+#define DOMD_OBS_SPAN(name) static_cast<void>(0)
+#endif
+
+#endif  // DOMD_OBS_TRACE_H_

@@ -200,26 +200,25 @@ std::vector<StatusOr<ServePrediction>> ModelBundle::ScoreBatch(
     const std::int64_t temp_id =
         static_cast<std::int64_t>(valid_slots.size()) + 1;
 
-    Avail avail = request.avail;
-    avail.id = temp_id;
-    Status status = ValidateAvail(avail);
+    // Same semantic gate as the training pipeline's dataset checks; runs
+    // on the caller's ids so error messages match what the client sent.
+    // Requests arriving through ParseScoreRequest were already screened,
+    // but in-process callers construct ScoreRequests directly.
+    Status status = CheckRequestIntegrity(request.avail, request.rccs);
     if (!status.ok()) {
-      out[i] = Status::InvalidArgument("bad avail: " + status.message());
+      out[i] = Status::InvalidArgument("bad request: " + status.message());
       continue;
     }
+
+    Avail avail = request.avail;
+    avail.id = temp_id;
     std::vector<Rcc> rccs;
     rccs.reserve(request.rccs.size());
     for (const Rcc& original : request.rccs) {
       Rcc rcc = original;
       rcc.id = next_rcc_id + static_cast<std::int64_t>(rccs.size());
       rcc.avail_id = temp_id;
-      status = ValidateRcc(rcc);
-      if (!status.ok()) break;
       rccs.push_back(std::move(rcc));
-    }
-    if (!status.ok()) {
-      out[i] = Status::InvalidArgument("bad rcc: " + status.message());
-      continue;
     }
 
     status = batch_data.avails.Add(std::move(avail));

@@ -1,5 +1,7 @@
 #include "serve/prediction_service.h"
 
+#include <chrono>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -13,12 +15,49 @@ std::future<StatusOr<ServePrediction>> ReadyFuture(Status status) {
   return promise.get_future();
 }
 
+/// Milliseconds between two steady-clock samples, as a double.
+double ElapsedMs(PredictionService::Clock::time_point from,
+                 PredictionService::Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
 }  // namespace
+
+ServeMetricCells ServeMetricCells::Create() {
+  ServeMetricCells cells;
+#if DOMD_OBS_COMPILED
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  cells.queue_wait_ms = &registry.GetHistogram("domd_serve_queue_wait_ms",
+                                               obs::LatencyBucketsMs());
+  cells.batch_size =
+      &registry.GetHistogram("domd_serve_batch_size", obs::SizeBuckets());
+  cells.batch_score_ms = &registry.GetHistogram("domd_serve_batch_score_ms",
+                                                obs::LatencyBucketsMs());
+  cells.queue_depth = &registry.GetGauge("domd_serve_queue_depth");
+  for (std::size_t code = 0; code < kNumStatusCodes; ++code) {
+    cells.outcomes[code] = &registry.GetCounter(
+        std::string("domd_serve_requests_total{code=\"") +
+        StatusCodeToString(static_cast<StatusCode>(code)) + "\"}");
+  }
+#endif
+  return cells;
+}
 
 PredictionService::PredictionService(
     std::shared_ptr<const ModelBundle> bundle, const ServeOptions& options)
-    : options_(options), bundle_(std::move(bundle)) {
+    : options_(options),
+      bundle_(std::move(bundle)),
+      metrics_(ServeMetricCells::Create()) {
   batcher_ = std::thread([this] { BatcherLoop(); });
+}
+
+void PredictionService::CountOutcome(StatusCode code) {
+  const auto index = static_cast<std::size_t>(code);
+  if (index >= metrics_.outcomes.size()) return;
+  if (obs::Counter* counter = metrics_.outcomes[index];
+      counter != nullptr && obs::Enabled()) {
+    counter->Increment();
+  }
 }
 
 PredictionService::~PredictionService() { Shutdown(); }
@@ -30,11 +69,13 @@ std::future<StatusOr<ServePrediction>> PredictionService::Submit(
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutting_down_) {
       rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      CountOutcome(StatusCode::kFailedPrecondition);
       return ReadyFuture(
           Status::FailedPrecondition("prediction service is shut down"));
     }
     if (queue_.size() >= options_.max_queue_depth) {
       rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      CountOutcome(StatusCode::kResourceExhausted);
       return ReadyFuture(Status::ResourceExhausted(
           "admission queue full (" +
           std::to_string(options_.max_queue_depth) + " pending)"));
@@ -42,12 +83,20 @@ std::future<StatusOr<ServePrediction>> PredictionService::Submit(
     Pending pending;
     pending.request = std::move(request);
     pending.deadline = deadline;
+    // Clock sample only while metrics are live; the epoch default tells the
+    // dequeue side to skip the queue-wait observation.
+    if (metrics_.queue_wait_ms != nullptr && obs::Enabled()) {
+      pending.enqueued = Clock::now();
+    }
     std::future<StatusOr<ServePrediction>> future =
         pending.promise.get_future();
     queue_.push_back(std::move(pending));
     accepted_.fetch_add(1, std::memory_order_relaxed);
     queue_depth_hwm_ = std::max<std::uint64_t>(queue_depth_hwm_,
                                                queue_.size());
+    if (metrics_.queue_depth != nullptr && obs::Enabled()) {
+      metrics_.queue_depth->Set(static_cast<double>(queue_.size()));
+    }
     work_available_.notify_one();
     return future;
   }
@@ -124,6 +173,9 @@ void PredictionService::BatcherLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      if (metrics_.queue_depth != nullptr && obs::Enabled()) {
+        metrics_.queue_depth->Set(static_cast<double>(queue_.size()));
+      }
     }
 
     // Deadline gate: answer dead requests without scoring them.
@@ -131,8 +183,13 @@ void PredictionService::BatcherLoop() {
     std::vector<Pending> live;
     live.reserve(batch.size());
     for (Pending& pending : batch) {
+      if (metrics_.queue_wait_ms != nullptr && obs::Enabled() &&
+          pending.enqueued != Clock::time_point{}) {
+        metrics_.queue_wait_ms->Observe(ElapsedMs(pending.enqueued, now));
+      }
       if (pending.deadline.has_value() && *pending.deadline < now) {
         expired_deadline_.fetch_add(1, std::memory_order_relaxed);
+        CountOutcome(StatusCode::kDeadlineExceeded);
         pending.promise.set_value(StatusOr<ServePrediction>(
             Status::DeadlineExceeded("request expired before scoring")));
       } else {
@@ -148,8 +205,19 @@ void PredictionService::BatcherLoop() {
     std::vector<ScoreRequest> requests;
     requests.reserve(live.size());
     for (const Pending& pending : live) requests.push_back(pending.request);
+
+    // Timings are recorded around scoring, never fed into it: metrics on
+    // or off, ScoreBatch sees byte-identical inputs.
+    const bool time_batch =
+        metrics_.batch_score_ms != nullptr && obs::Enabled();
+    const Clock::time_point score_start =
+        time_batch ? Clock::now() : Clock::time_point{};
     std::vector<StatusOr<ServePrediction>> results =
         snapshot->ScoreBatch(requests, options_.parallelism);
+    if (time_batch) {
+      metrics_.batch_score_ms->Observe(ElapsedMs(score_start, Clock::now()));
+      metrics_.batch_size->Observe(static_cast<double>(live.size()));
+    }
 
     batches_.fetch_add(1, std::memory_order_relaxed);
     batched_requests_.fetch_add(live.size(), std::memory_order_relaxed);
@@ -159,6 +227,8 @@ void PredictionService::BatcherLoop() {
       } else {
         completed_error_.fetch_add(1, std::memory_order_relaxed);
       }
+      CountOutcome(results[i].ok() ? StatusCode::kOk
+                                   : results[i].status().code());
       live[i].promise.set_value(std::move(results[i]));
     }
   }

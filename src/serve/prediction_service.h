@@ -1,6 +1,7 @@
 #ifndef DOMD_SERVE_PREDICTION_SERVICE_H_
 #define DOMD_SERVE_PREDICTION_SERVICE_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -12,6 +13,7 @@
 #include <optional>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "serve/model_bundle.h"
 
 #if defined(__SANITIZE_THREAD__)
@@ -80,6 +82,32 @@ struct ServeOptions {
   std::chrono::microseconds batch_linger{200};
   /// Parallelism of the per-batch feature-engineering sweep.
   Parallelism parallelism;
+};
+
+/// Observability cells of the serving hot path, registered against the
+/// default obs::MetricsRegistry (exported by domd_serve's `metrics` wire
+/// command as Prometheus text exposition):
+///   domd_serve_queue_wait_ms      histogram  Submit -> dequeue wait
+///   domd_serve_batch_size         histogram  requests per micro-batch
+///   domd_serve_batch_score_ms     histogram  ScoreBatch wall time
+///   domd_serve_queue_depth        gauge      instantaneous admission depth
+///   domd_serve_requests_total{code=...}  one counter per outcome StatusCode
+/// All cells are null when observability is compiled out
+/// (-DDOMD_DISABLE_OBS); observation sites also honor the runtime
+/// obs::Enabled() flag, and timings never feed scoring state, so enabling
+/// or disabling metrics cannot change any prediction bit.
+struct ServeMetricCells {
+  static constexpr std::size_t kNumStatusCodes =
+      static_cast<std::size_t>(StatusCode::kDeadlineExceeded) + 1;
+
+  obs::Histogram* queue_wait_ms = nullptr;
+  obs::Histogram* batch_size = nullptr;
+  obs::Histogram* batch_score_ms = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  std::array<obs::Counter*, kNumStatusCodes> outcomes{};
+
+  /// Registers (or re-finds) every cell; null-celled when compiled out.
+  static ServeMetricCells Create();
 };
 
 /// Monotonic service counters, exposed for /stats-style observability.
@@ -165,12 +193,18 @@ class PredictionService {
     ScoreRequest request;
     std::optional<Clock::time_point> deadline;
     std::promise<StatusOr<ServePrediction>> promise;
+    /// Admission timestamp for the queue-wait histogram; unset (epoch)
+    /// while metrics are disabled so the hot path skips the clock sample.
+    Clock::time_point enqueued{};
   };
 
   void BatcherLoop();
+  /// Bumps domd_serve_requests_total{code=...} for one answered request.
+  void CountOutcome(StatusCode code);
 
   const ServeOptions options_;
   BundleCell bundle_;
+  const ServeMetricCells metrics_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_available_;

@@ -1,5 +1,7 @@
 #include "serve/wire.h"
 
+#include "data/integrity.h"
+
 namespace domd {
 namespace {
 
@@ -128,6 +130,12 @@ StatusOr<ScoreRequest> ParseScoreRequest(const JsonValue& request) {
   score.t_star = request.NumberOr("t_star", 100.0);
   const double top_k = request.NumberOr("top_k", 5);
   score.top_k = top_k < 0 ? 0 : static_cast<std::size_t>(top_k);
+
+  // Shared integrity gate: reject at parse time anything the training
+  // pipeline's dataset checks would refuse (zero planned duration, RCCs
+  // predating the actual start, ...) — such rows would otherwise reach
+  // LogicalTime's division by planned_duration() and score NaN features.
+  DOMD_RETURN_IF_ERROR(CheckRequestIntegrity(score.avail, score.rccs));
   return score;
 }
 

@@ -23,7 +23,7 @@ class DomdEstimatorTest : public ::testing::Test {
     data_ = new Dataset(GenerateDataset(config));
 
     Rng rng(3);
-    split_ = new DataSplit(MakeSplit(data_->avails, SplitOptions{}, &rng));
+    split_ = new DataSplit(*MakeSplit(data_->avails, SplitOptions{}, &rng));
 
     estimator_ = new StatusOr<DomdEstimator>(
         DomdEstimator::Train(data_, FastConfig(), split_->train));

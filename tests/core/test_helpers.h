@@ -38,7 +38,7 @@ inline PipelineFixture MakePipelineFixture(std::uint64_t seed = 42,
   fixture.data = GenerateDataset(config);
 
   Rng rng(seed + 1);
-  fixture.split = MakeSplit(fixture.data.avails, SplitOptions{}, &rng);
+  fixture.split = *MakeSplit(fixture.data.avails, SplitOptions{}, &rng);
   fixture.engineer = std::make_unique<FeatureEngineer>(&fixture.data);
   fixture.grid = LogicalTimeGrid(window_pct);
 

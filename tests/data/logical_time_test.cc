@@ -77,6 +77,54 @@ TEST(LogicalTimeGridTest, InvalidWidthsHandled) {
   EXPECT_EQ(LogicalTimeGrid(500.0).size(), 2u);  // clamped to 100
 }
 
+// Regression: the grid used to accumulate `t += width`, so every point
+// after the first carried the rounding error of all its predecessors.
+// Points must be exact multiples `i * width` for every width.
+TEST(LogicalTimeGridTest, PointsAreExactMultiplesNotAccumulatedSums) {
+  for (const double width : {10.0, 25.0, 33.3}) {
+    const auto grid = LogicalTimeGrid(width);
+    ASSERT_GE(grid.size(), 2u) << "width " << width;
+    for (std::size_t i = 0; i + 1 < grid.size(); ++i) {
+      EXPECT_EQ(grid[i], static_cast<double>(i) * width)
+          << "width " << width << " index " << i;
+    }
+    EXPECT_DOUBLE_EQ(grid.back(), 100.0) << "width " << width;
+  }
+}
+
+// Width 33.3: 3 * 33.3 = 99.899999... < 100, so the grid is
+// {0, 33.3, 66.6, 99.9, 100} — the near-terminal point survives and the
+// exact terminal is appended once (no duplicate when a multiple lands on
+// 100 within tolerance).
+TEST(LogicalTimeGridTest, TerminalPointIsNeverDuplicated) {
+  const auto grid_33 = LogicalTimeGrid(33.3);
+  ASSERT_EQ(grid_33.size(), 5u);
+  EXPECT_EQ(grid_33[3], 3.0 * 33.3);
+  EXPECT_DOUBLE_EQ(grid_33.back(), 100.0);
+
+  // 20 divides 100 exactly: the 5th multiple IS the terminal point and
+  // must appear exactly once.
+  const auto grid_20 = LogicalTimeGrid(20.0);
+  ASSERT_EQ(grid_20.size(), 6u);
+  EXPECT_DOUBLE_EQ(grid_20[4], 80.0);
+  EXPECT_DOUBLE_EQ(grid_20.back(), 100.0);
+}
+
+// Tiny-width stress: with drift-free multiples, a 0.1% grid is exactly
+// 1001 strictly increasing points; the accumulating loop produced either
+// a duplicated or a missing terminal step depending on rounding
+// direction.
+TEST(LogicalTimeGridTest, TinyWidthStressProducesExactCount) {
+  const auto grid = LogicalTimeGrid(0.1);
+  ASSERT_EQ(grid.size(), 1001u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 100.0);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    ASSERT_LT(grid[i - 1], grid[i]) << "not strictly increasing at " << i;
+  }
+  EXPECT_EQ(grid[500], 500.0 * 0.1);  // exact multiple, mid-grid.
+}
+
 TEST(GridIndexTest, AtOrBefore) {
   const auto grid = LogicalTimeGrid(10.0);
   EXPECT_EQ(GridIndexAtOrBefore(grid, -1.0), -1);

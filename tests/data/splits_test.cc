@@ -31,7 +31,7 @@ AvailTable MakeAvails(int n, int ongoing_every = 0) {
 TEST(SplitsTest, PartitionIsDisjointAndComplete) {
   const AvailTable avails = MakeAvails(100);
   Rng rng(1);
-  const DataSplit split = MakeSplit(avails, SplitOptions{}, &rng);
+  const DataSplit split = *MakeSplit(avails, SplitOptions{}, &rng);
 
   std::set<std::int64_t> all;
   for (auto v : {&split.train, &split.validation, &split.test}) {
@@ -46,7 +46,7 @@ TEST(SplitsTest, PaperProportions) {
   // 30% test; of the rest 25% validation, 75% train.
   const AvailTable avails = MakeAvails(100);
   Rng rng(2);
-  const DataSplit split = MakeSplit(avails, SplitOptions{}, &rng);
+  const DataSplit split = *MakeSplit(avails, SplitOptions{}, &rng);
   EXPECT_EQ(split.test.size(), 30u);
   EXPECT_EQ(split.validation.size(), 18u);  // 0.25 * 70 = 17.5 -> 18
   EXPECT_EQ(split.train.size(), 52u);
@@ -55,7 +55,7 @@ TEST(SplitsTest, PaperProportions) {
 TEST(SplitsTest, TestSetIsMostRecent) {
   const AvailTable avails = MakeAvails(50);
   Rng rng(3);
-  const DataSplit split = MakeSplit(avails, SplitOptions{}, &rng);
+  const DataSplit split = *MakeSplit(avails, SplitOptions{}, &rng);
   // Ids were created in chronological order, so the test set must be the
   // highest-id block.
   const std::int64_t min_test =
@@ -67,7 +67,7 @@ TEST(SplitsTest, TestSetIsMostRecent) {
 TEST(SplitsTest, OngoingAvailsExcluded) {
   const AvailTable avails = MakeAvails(40, /*ongoing_every=*/4);
   Rng rng(4);
-  const DataSplit split = MakeSplit(avails, SplitOptions{}, &rng);
+  const DataSplit split = *MakeSplit(avails, SplitOptions{}, &rng);
   const std::size_t total =
       split.train.size() + split.validation.size() + split.test.size();
   EXPECT_EQ(total, 30u);  // 10 of 40 are ongoing
@@ -81,8 +81,8 @@ TEST(SplitsTest, OngoingAvailsExcluded) {
 TEST(SplitsTest, DeterministicGivenSeed) {
   const AvailTable avails = MakeAvails(60);
   Rng rng1(7), rng2(7);
-  const DataSplit a = MakeSplit(avails, SplitOptions{}, &rng1);
-  const DataSplit b = MakeSplit(avails, SplitOptions{}, &rng2);
+  const DataSplit a = *MakeSplit(avails, SplitOptions{}, &rng1);
+  const DataSplit b = *MakeSplit(avails, SplitOptions{}, &rng2);
   EXPECT_EQ(a.train, b.train);
   EXPECT_EQ(a.validation, b.validation);
   EXPECT_EQ(a.test, b.test);
@@ -94,7 +94,7 @@ TEST(SplitsTest, CustomFractions) {
   SplitOptions options;
   options.test_fraction = 0.5;
   options.validation_fraction = 0.5;
-  const DataSplit split = MakeSplit(avails, options, &rng);
+  const DataSplit split = *MakeSplit(avails, options, &rng);
   EXPECT_EQ(split.test.size(), 50u);
   EXPECT_EQ(split.validation.size(), 25u);
   EXPECT_EQ(split.train.size(), 25u);
@@ -103,10 +103,73 @@ TEST(SplitsTest, CustomFractions) {
 TEST(SplitsTest, EmptyTableYieldsEmptySplit) {
   AvailTable avails;
   Rng rng(11);
-  const DataSplit split = MakeSplit(avails, SplitOptions{}, &rng);
-  EXPECT_TRUE(split.train.empty());
-  EXPECT_TRUE(split.validation.empty());
-  EXPECT_TRUE(split.test.empty());
+  const auto split = MakeSplit(avails, SplitOptions{}, &rng);
+  ASSERT_TRUE(split.ok()) << split.status();
+  EXPECT_TRUE(split->train.empty());
+  EXPECT_TRUE(split->validation.empty());
+  EXPECT_TRUE(split->test.empty());
+}
+
+TEST(SplitsTest, TinyFleetIsRejectedNotSilentlyDegenerate) {
+  // 1 or 2 closed avails cannot form three non-empty parts: a clear error
+  // beats a split whose test or validation set is empty (downstream CV
+  // would divide by the zero-sized fold).
+  for (int n : {1, 2}) {
+    const AvailTable avails = MakeAvails(n);
+    Rng rng(12);
+    const auto split = MakeSplit(avails, SplitOptions{}, &rng);
+    EXPECT_EQ(split.status().code(), StatusCode::kFailedPrecondition)
+        << "n = " << n;
+  }
+}
+
+TEST(SplitsTest, SmallFleetClampsEveryPartNonEmpty) {
+  // n = 3 with default fractions rounds test to 1 and validation to 0.5 ->
+  // 1; without the clamp the validation set would round to empty for n = 4
+  // (0.25 * 3 + 0.5 -> 1, but e.g. n_rest = 2 with fraction 0.1 -> 0).
+  for (int n : {3, 4, 5, 7}) {
+    const AvailTable avails = MakeAvails(n);
+    Rng rng(13);
+    const auto split = MakeSplit(avails, SplitOptions{}, &rng);
+    ASSERT_TRUE(split.ok()) << "n = " << n << ": " << split.status();
+    EXPECT_GE(split->train.size(), 1u) << "n = " << n;
+    EXPECT_GE(split->validation.size(), 1u) << "n = " << n;
+    EXPECT_GE(split->test.size(), 1u) << "n = " << n;
+    EXPECT_EQ(split->train.size() + split->validation.size() +
+                  split->test.size(),
+              static_cast<std::size_t>(n));
+  }
+}
+
+TEST(SplitsTest, ExtremeFractionsClampInsteadOfEmptying) {
+  const AvailTable avails = MakeAvails(20);
+  for (const auto& [test_fraction, validation_fraction] :
+       {std::pair{0.0, 0.25}, std::pair{1.0, 0.25}, std::pair{0.3, 0.0},
+        std::pair{0.3, 1.0}, std::pair{0.99, 0.99}}) {
+    Rng rng(14);
+    SplitOptions options;
+    options.test_fraction = test_fraction;
+    options.validation_fraction = validation_fraction;
+    const auto split = MakeSplit(avails, options, &rng);
+    ASSERT_TRUE(split.ok()) << split.status();
+    EXPECT_GE(split->train.size(), 1u);
+    EXPECT_GE(split->validation.size(), 1u);
+    EXPECT_GE(split->test.size(), 1u);
+  }
+}
+
+TEST(SplitsTest, OutOfRangeFractionsAreInvalidArgument) {
+  const AvailTable avails = MakeAvails(20);
+  for (const auto& [test_fraction, validation_fraction] :
+       {std::pair{-0.1, 0.25}, std::pair{1.5, 0.25}, std::pair{0.3, -1.0},
+        std::pair{0.3, 2.0}}) {
+    Rng rng(15);
+    SplitOptions options;
+    options.test_fraction = test_fraction;
+    options.validation_fraction = validation_fraction;
+    EXPECT_EQ(MakeSplit(avails, options, &rng).status().code(),
+              StatusCode::kInvalidArgument);
+  }
 }
 
 }  // namespace

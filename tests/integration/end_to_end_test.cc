@@ -23,7 +23,7 @@ class EndToEndTest : public ::testing::Test {
     config.mean_rccs_per_avail = 80;
     data_ = new Dataset(GenerateDataset(config));
     Rng rng(43);
-    split_ = new DataSplit(MakeSplit(data_->avails, SplitOptions{}, &rng));
+    split_ = new DataSplit(*MakeSplit(data_->avails, SplitOptions{}, &rng));
 
     PipelineConfig pipeline;
     pipeline.window_width_pct = 20.0;  // 6 models

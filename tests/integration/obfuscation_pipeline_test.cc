@@ -42,7 +42,7 @@ TEST(ObfuscationPipelineTest, ObfuscatedTrainingMatchesRawTraining) {
   const Dataset masked = obfuscator.Obfuscate(raw);
 
   Rng rng(13);
-  const DataSplit raw_split = MakeSplit(raw.avails, SplitOptions{}, &rng);
+  const DataSplit raw_split = *MakeSplit(raw.avails, SplitOptions{}, &rng);
   // Identical split under the alias map.
   DataSplit masked_split;
   for (std::int64_t id : raw_split.train) {

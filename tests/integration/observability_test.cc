@@ -1,0 +1,121 @@
+// Integration contract of the observability layer (DESIGN.md §8):
+//  1. A pipeline run (train + cross-validation + a tuner loop) populates
+//     the expected trace-span set in the default metric registry.
+//  2. Metrics are sinks, never inputs: predictions are bit-identical with
+//     observability enabled and disabled.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/domd_estimator.h"
+#include "eval/cross_validation.h"
+#include "hpt/tuner.h"
+#include "obs/trace.h"
+#include "synth/generator.h"
+
+namespace domd {
+namespace {
+
+Dataset TinyFleet() {
+  SynthConfig config;
+  config.seed = 7;
+  config.num_avails = 24;
+  config.mean_rccs_per_avail = 30;
+  return GenerateDataset(config);
+}
+
+PipelineConfig TinyConfig() {
+  PipelineConfig config;
+  config.num_features = 8;
+  config.gbt.num_rounds = 5;
+  config.gbt.tree.max_depth = 2;
+  config.window_width_pct = 25.0;
+  return config;
+}
+
+std::vector<std::int64_t> LabeledIds(const Dataset& data) {
+  std::vector<std::int64_t> ids;
+  for (const Avail& avail : data.avails.rows()) {
+    if (avail.delay().has_value()) ids.push_back(avail.id);
+  }
+  return ids;
+}
+
+std::uint64_t SpanObservations(const std::string& name) {
+  return obs::MetricsRegistry::Default()
+      .GetHistogram("domd_span_duration_ms{span=\"" + name + "\"}",
+                    obs::LatencyBucketsMs())
+      .Count();
+}
+
+TEST(ObservabilityIntegrationTest, PipelineRunEmitsTheExpectedSpanSet) {
+#if DOMD_OBS_COMPILED
+  obs::ScopedEnable on(true);
+  const Dataset data = TinyFleet();
+  const PipelineConfig config = TinyConfig();
+
+  const std::uint64_t before_sweep = SpanObservations("features.block_sweep");
+  const std::uint64_t before_fit = SpanObservations("gbt.fit");
+  const std::uint64_t before_split = SpanObservations("gbt.split_search");
+  const std::uint64_t before_fold = SpanObservations("cv.fold");
+  const std::uint64_t before_trial = SpanObservations("hpt.trial");
+
+  // Train: engineers the tensor (block sweep) and fits GBTs (fit + split
+  // search).
+  const auto estimator = DomdEstimator::Train(&data, config, LabeledIds(data));
+  ASSERT_TRUE(estimator.ok()) << estimator.status();
+
+  // Cross-validate: one span per fold.
+  CvOptions cv;
+  cv.num_folds = 3;
+  cv.window_width_pct = config.window_width_pct;
+  const auto result = CrossValidate(data, config, cv);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Tuner: one span per trial.
+  ParamSpace space;
+  space.AddUniform("x", 0.0, 1.0);
+  Tuner tuner(&space, TpeOptions{}, 11);
+  tuner.Run([](const ParamMap& p) { return p.at("x"); }, 4);
+
+  EXPECT_GT(SpanObservations("features.block_sweep"), before_sweep);
+  EXPECT_GT(SpanObservations("gbt.fit"), before_fit);
+  EXPECT_GT(SpanObservations("gbt.split_search"), before_split);
+  EXPECT_EQ(SpanObservations("cv.fold"), before_fold + 3);
+  EXPECT_EQ(SpanObservations("hpt.trial"), before_trial + 4);
+#else
+  GTEST_SKIP() << "observability compiled out (DOMD_DISABLE_OBS)";
+#endif
+}
+
+TEST(ObservabilityIntegrationTest, DisablingMetricsChangesNoPredictionBit) {
+  const Dataset data = TinyFleet();
+  const PipelineConfig config = TinyConfig();
+  const std::vector<std::int64_t> ids = LabeledIds(data);
+
+  auto run = [&](bool metrics_enabled) {
+    obs::ScopedEnable scoped(metrics_enabled);
+    const auto estimator = DomdEstimator::Train(&data, config, ids);
+    EXPECT_TRUE(estimator.ok()) << estimator.status();
+    std::vector<std::uint64_t> bits;
+    for (std::int64_t id : ids) {
+      for (double t_star : {30.0, 60.0, 100.0}) {
+        const auto query = estimator->QueryAtLogicalTime(id, t_star);
+        if (!query.ok()) continue;
+        bits.push_back(
+            std::bit_cast<std::uint64_t>(query->fused_estimate_days));
+      }
+    }
+    EXPECT_FALSE(bits.empty());
+    return bits;
+  };
+
+  EXPECT_EQ(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace domd

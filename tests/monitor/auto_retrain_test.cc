@@ -39,7 +39,7 @@ Dataset AgeFleet(const Dataset& fleet) {
 TEST(AutoRetrainerTest, NoDriftNoRetrain) {
   const Dataset fleet = MakeFleet(1);
   Rng rng(2);
-  const DataSplit split = MakeSplit(fleet.avails, SplitOptions{}, &rng);
+  const DataSplit split = *MakeSplit(fleet.avails, SplitOptions{}, &rng);
   auto retrainer =
       AutoRetrainer::Create(&fleet, FastConfig(), split.train);
   ASSERT_TRUE(retrainer.ok()) << retrainer.status();
@@ -54,7 +54,7 @@ TEST(AutoRetrainerTest, NoDriftNoRetrain) {
 TEST(AutoRetrainerTest, DriftTriggersRetrainAndMovesReference) {
   const Dataset fleet = MakeFleet(3);
   Rng rng(4);
-  const DataSplit split = MakeSplit(fleet.avails, SplitOptions{}, &rng);
+  const DataSplit split = *MakeSplit(fleet.avails, SplitOptions{}, &rng);
   auto retrainer =
       AutoRetrainer::Create(&fleet, FastConfig(), split.train);
   ASSERT_TRUE(retrainer.ok());
@@ -81,7 +81,7 @@ TEST(AutoRetrainerTest, DriftTriggersRetrainAndMovesReference) {
 TEST(AutoRetrainerTest, RejectsUnlabeledSnapshot) {
   const Dataset fleet = MakeFleet(5);
   Rng rng(6);
-  const DataSplit split = MakeSplit(fleet.avails, SplitOptions{}, &rng);
+  const DataSplit split = *MakeSplit(fleet.avails, SplitOptions{}, &rng);
   auto retrainer =
       AutoRetrainer::Create(&fleet, FastConfig(), split.train);
   ASSERT_TRUE(retrainer.ok());

@@ -1,0 +1,227 @@
+// Unit tests for the obs metrics registry: counter/gauge/histogram
+// semantics, concurrent-increment exactness (run under TSan in CI), both
+// render formats, Reset, and the runtime enable switch.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/stage.h"
+
+namespace domd {
+namespace obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(3.5);
+  gauge.Set(-1.25);
+  EXPECT_EQ(gauge.Value(), -1.25);
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundsAreInclusiveLikePrometheusLe) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // <= 1
+  histogram.Observe(1.0);    // le="1" is inclusive
+  histogram.Observe(10.0);   // le="10" is inclusive
+  histogram.Observe(99.0);   // <= 100
+  histogram.Observe(1e9);    // +Inf overflow bucket
+  const std::vector<std::uint64_t> counts = histogram.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);  // three bounds + implicit +Inf.
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(histogram.Count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 0.5 + 1.0 + 10.0 + 99.0 + 1e9);
+}
+
+TEST(HistogramTest, ResetZeroesEverything) {
+  Histogram histogram({1.0});
+  histogram.Observe(0.5);
+  histogram.Observe(5.0);
+  histogram.Reset();
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_EQ(histogram.Sum(), 0.0);
+  for (std::uint64_t c : histogram.BucketCounts()) EXPECT_EQ(c, 0u);
+}
+
+// The lock-free claim, checked the hard way: hammer one counter and one
+// histogram from many threads and demand exact totals. CI runs this under
+// ThreadSanitizer.
+TEST(ConcurrencyTest, ConcurrentIncrementsLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("hammered_total");
+  Histogram& histogram = registry.GetHistogram("hammered_ms", {1.0, 2.0});
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+        histogram.Observe(static_cast<double>(t % 3));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(counter.Value(), kTotal);
+  EXPECT_EQ(histogram.Count(), kTotal);
+  const std::vector<std::uint64_t> counts = histogram.BucketCounts();
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::uint64_t{0}),
+            kTotal);
+}
+
+// Registration returns stable references: the same id always resolves to
+// the same cell, and Reset never invalidates it.
+TEST(RegistryTest, SameIdReturnsSameCell) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x_total");
+  Counter& b = registry.GetCounter("x_total");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  registry.Reset();
+  EXPECT_EQ(b.Value(), 0u);  // zeroed, not deallocated.
+  b.Increment();
+  EXPECT_EQ(a.Value(), 1u);
+}
+
+TEST(RegistryTest, FirstHistogramRegistrationFixesBuckets) {
+  MetricsRegistry registry;
+  Histogram& first = registry.GetHistogram("h", {1.0, 2.0});
+  Histogram& again = registry.GetHistogram("h", {999.0});
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(again.upper_bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(RegistryTest, IdListingsAreSortedSnapshots) {
+  MetricsRegistry registry;
+  registry.GetCounter("b_total");
+  registry.GetCounter("a_total");
+  registry.GetGauge("depth");
+  registry.GetHistogram("lat_ms", {1.0});
+  EXPECT_EQ(registry.CounterIds(),
+            (std::vector<std::string>{"a_total", "b_total"}));
+  EXPECT_EQ(registry.GaugeIds(), (std::vector<std::string>{"depth"}));
+  EXPECT_EQ(registry.HistogramIds(), (std::vector<std::string>{"lat_ms"}));
+}
+
+TEST(RenderTest, PrometheusTextExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("req_total{code=\"OK\"}").Increment(3);
+  registry.GetCounter("req_total{code=\"INVALID_ARGUMENT\"}").Increment();
+  registry.GetGauge("queue_depth").Set(7.0);
+  Histogram& histogram = registry.GetHistogram("wait_ms", {1.0, 10.0});
+  histogram.Observe(0.5);
+  histogram.Observe(5.0);
+  histogram.Observe(50.0);
+
+  const std::string text = registry.RenderPrometheus();
+  // One # TYPE line per family, label'd series beneath it.
+  EXPECT_NE(text.find("# TYPE req_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("req_total{code=\"OK\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("req_total{code=\"INVALID_ARGUMENT\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth 7\n"), std::string::npos);
+  // Histogram: cumulative buckets, then _sum and _count.
+  EXPECT_NE(text.find("# TYPE wait_ms histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("wait_ms_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("wait_ms_bucket{le=\"10\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("wait_ms_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("wait_ms_sum 55.5\n"), std::string::npos);
+  EXPECT_NE(text.find("wait_ms_count 3\n"), std::string::npos);
+  // The +Inf cumulative bucket always equals _count.
+}
+
+TEST(RenderTest, HistogramLabelsMergeWithLeLabel) {
+  MetricsRegistry registry;
+  registry.GetHistogram("span_ms{span=\"gbt.fit\"}", {1.0}).Observe(0.5);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("span_ms_bucket{span=\"gbt.fit\",le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("span_ms_sum{span=\"gbt.fit\"} 0.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("span_ms_count{span=\"gbt.fit\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(RenderTest, JsonPayloadCarriesAllThreeKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total").Increment(2);
+  registry.GetGauge("g").Set(1.5);
+  registry.GetHistogram("h_ms", {1.0}).Observe(0.25);
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"counters\":{\"c_total\":2}"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"g\":1.5}"), std::string::npos);
+  EXPECT_NE(json.find("\"h_ms\":{\"count\":1,\"sum\":0.25,\"buckets\":"),
+            std::string::npos);
+}
+
+TEST(EnabledTest, ScopedEnableRestoresPreviousState) {
+  const bool before = Enabled();
+  {
+    ScopedEnable off(false);
+    EXPECT_FALSE(Enabled());
+    {
+      ScopedEnable on(true);
+      EXPECT_TRUE(Enabled());
+    }
+    EXPECT_FALSE(Enabled());
+  }
+  EXPECT_EQ(Enabled(), before);
+}
+
+TEST(StageRecorderTest, RecordsInInsertionOrderAndAccumulatesRepeats) {
+  StageRecorder recorder;
+  EXPECT_TRUE(recorder.empty());
+  recorder.Record("load", 1.5);
+  recorder.Record("train", 2.0);
+  recorder.Record("load", 0.5);  // repeats accumulate.
+  ASSERT_EQ(recorder.stages().size(), 2u);
+  EXPECT_EQ(recorder.stages()[0].first, "load");
+  EXPECT_DOUBLE_EQ(recorder.stages()[0].second, 2.0);
+  EXPECT_EQ(recorder.stages()[1].first, "train");
+  const std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("\"load\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"train\": 2"), std::string::npos);
+  EXPECT_LT(json.find("load"), json.find("train"));  // insertion order.
+}
+
+TEST(StageRecorderTest, TimeRunsAndRecordsTheStage) {
+  StageRecorder recorder;
+  std::atomic<int> runs{0};
+  const double seconds = recorder.Time("spin", [&] { ++runs; }, 3);
+  EXPECT_EQ(runs.load(), 3);
+  EXPECT_GE(seconds, 0.0);
+  ASSERT_EQ(recorder.stages().size(), 1u);
+  EXPECT_EQ(recorder.stages()[0].first, "spin");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace domd

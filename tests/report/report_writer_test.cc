@@ -18,7 +18,7 @@ class ReportWriterTest : public ::testing::Test {
     config.ongoing_fraction = 0.2;
     data_ = new Dataset(GenerateDataset(config));
     Rng rng(1);
-    split_ = new DataSplit(MakeSplit(data_->avails, SplitOptions{}, &rng));
+    split_ = new DataSplit(*MakeSplit(data_->avails, SplitOptions{}, &rng));
     PipelineConfig pipeline;
     pipeline.num_features = 15;
     pipeline.gbt.num_rounds = 30;

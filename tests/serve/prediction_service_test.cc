@@ -15,7 +15,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/serve_test_fixture.h"
+#include "serve/wire.h"
 
 namespace domd {
 namespace {
@@ -243,6 +245,95 @@ TEST(PredictionServiceTest, StatsCountersBalance) {
   EXPECT_EQ(stats.completed_ok, 1u);
   EXPECT_EQ(stats.completed_error, 1u);
   EXPECT_EQ(stats.bundle_version, "v1");
+}
+
+// Regression: an avail whose planned window is empty (planned_end ==
+// planned_start) previously reached feature engineering, where the
+// zero-length window produced NaNs. It must be rejected as
+// kInvalidArgument — both at wire parse time and through the scoring path.
+TEST(PredictionServiceTest, DegeneratePlannedWindowIsInvalidArgument) {
+  const auto& fixture = GetServeFixture();
+  ScoreRequest request = MakeDetachedRequest(
+      fixture.pipeline.data, fixture.pipeline.split.test.front());
+  request.avail.planned_end = request.avail.planned_start;
+
+  // Scoring path: the shared integrity sweep rejects before any features
+  // are computed.
+  PredictionService service(fixture.v1);
+  const auto served = service.Predict(request);
+  ASSERT_FALSE(served.ok());
+  EXPECT_EQ(served.status().code(), StatusCode::kInvalidArgument);
+
+  // Wire path: ParseScoreRequest runs the same checks, so a malformed
+  // request fails fast before it is ever queued.
+  const auto json = JsonValue::Parse(
+      R"({"avail": {"id": 1, "status": "ongoing",)"
+      R"( "planned_start": "2020-01-01", "planned_end": "2020-01-01",)"
+      R"( "actual_start": "2020-01-01"}, "t_star": 50})");
+  ASSERT_TRUE(json.ok()) << json.status();
+  const auto parsed = ParseScoreRequest(*json);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+// A served request populates the serve metric cells in the default
+// registry: the per-outcome counter, queue-wait, batch-size, and
+// batch-score histograms.
+TEST(PredictionServiceTest, ServingPopulatesMetricCells) {
+#if DOMD_OBS_COMPILED
+  obs::ScopedEnable on(true);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  obs::Counter& ok_counter =
+      registry.GetCounter("domd_serve_requests_total{code=\"OK\"}");
+  obs::Histogram& wait = registry.GetHistogram("domd_serve_queue_wait_ms",
+                                               obs::LatencyBucketsMs());
+  obs::Histogram& batch_size =
+      registry.GetHistogram("domd_serve_batch_size", obs::SizeBuckets());
+  obs::Histogram& score = registry.GetHistogram("domd_serve_batch_score_ms",
+                                                obs::LatencyBucketsMs());
+  const std::uint64_t ok_before = ok_counter.Value();
+  const std::uint64_t wait_before = wait.Count();
+  const std::uint64_t size_before = batch_size.Count();
+  const std::uint64_t score_before = score.Count();
+
+  const auto& fixture = GetServeFixture();
+  PredictionService service(fixture.v1);
+  ASSERT_TRUE(service
+                  .Predict(MakeDetachedRequest(
+                      fixture.pipeline.data,
+                      fixture.pipeline.split.test.front()))
+                  .ok());
+
+  EXPECT_EQ(ok_counter.Value(), ok_before + 1);
+  EXPECT_EQ(wait.Count(), wait_before + 1);
+  EXPECT_EQ(batch_size.Count(), size_before + 1);
+  EXPECT_EQ(score.Count(), score_before + 1);
+#else
+  GTEST_SKIP() << "observability compiled out (DOMD_DISABLE_OBS)";
+#endif
+}
+
+// With the runtime switch off, serving touches no metric cell.
+TEST(PredictionServiceTest, DisabledMetricsRecordNothingWhileServing) {
+  obs::ScopedEnable off(false);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  obs::Counter& ok_counter =
+      registry.GetCounter("domd_serve_requests_total{code=\"OK\"}");
+  obs::Histogram& wait = registry.GetHistogram("domd_serve_queue_wait_ms",
+                                               obs::LatencyBucketsMs());
+  const std::uint64_t ok_before = ok_counter.Value();
+  const std::uint64_t wait_before = wait.Count();
+
+  const auto& fixture = GetServeFixture();
+  PredictionService service(fixture.v1);
+  ASSERT_TRUE(service
+                  .Predict(MakeDetachedRequest(
+                      fixture.pipeline.data,
+                      fixture.pipeline.split.test.front()))
+                  .ok());
+
+  EXPECT_EQ(ok_counter.Value(), ok_before);
+  EXPECT_EQ(wait.Count(), wait_before);
 }
 
 }  // namespace

@@ -26,6 +26,11 @@
 // --threads N sets the worker count for feature engineering, GBT split
 // search, and cross-validation (0 = one per hardware thread, the default).
 // Results are bit-identical for every N; the knob only trades wall-clock.
+//
+// --metrics-json FILE (any command) dumps the run's metric registry as
+// JSON on exit: pipeline span histograms (features.block_sweep, gbt.fit,
+// gbt.split_search, cv.fold, hpt.trial) plus any counters/gauges the
+// command touched. Purely observational — it never changes results.
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +42,7 @@
 
 #include "core/domd_estimator.h"
 #include "data/integrity.h"
+#include "obs/metrics.h"
 #include "serve/wire.h"
 #include "data/splits.h"
 #include "ml/metrics.h"
@@ -70,6 +76,22 @@ std::string FlagOr(const Flags& flags, const std::string& key,
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Writes the default metric registry as JSON. Surfaces every counter,
+/// gauge, and histogram the command populated — notably the
+/// domd_span_duration_ms series from the pipeline trace spans.
+int DumpMetricsJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Fail(Status::IoError("cannot write metrics to " + path));
+  }
+  out << obs::MetricsRegistry::Default().RenderJson() << '\n';
+  if (!out.good()) {
+    return Fail(Status::IoError("short write dumping metrics to " + path));
+  }
+  std::printf("metrics written to %s\n", path.c_str());
+  return 0;
 }
 
 // --threads N; N = 0 (the default) resolves to hardware_concurrency.
@@ -212,7 +234,7 @@ int CmdTrain(const Flags& flags) {
   config.parallelism = ThreadsFlag(flags);
 
   Rng rng(config.seed + 1);
-  const DataSplit split = MakeSplit(data->avails, SplitOptions{}, &rng);
+  const DataSplit split = *MakeSplit(data->avails, SplitOptions{}, &rng);
   std::printf("split: %zu train / %zu validation / %zu test\n",
               split.train.size(), split.validation.size(),
               split.test.size());
@@ -492,14 +514,26 @@ int main(int argc, char** argv) {
   if (argc < 2) return domd::Usage();
   const std::string command = argv[1];
   const domd::Flags flags = domd::ParseFlags(argc, argv, 2);
-  if (command == "generate") return domd::CmdGenerate(flags);
-  if (command == "obfuscate") return domd::CmdObfuscate(flags);
-  if (command == "stats") return domd::CmdStats(flags);
-  if (command == "train") return domd::CmdTrain(flags);
-  if (command == "evaluate") return domd::CmdEvaluate(flags);
-  if (command == "query") return domd::CmdQuery(flags);
-  if (command == "predict") return domd::CmdPredict(flags);
-  if (command == "sql") return domd::CmdSql(flags);
-  if (command == "report") return domd::CmdReport(flags);
-  return domd::Usage();
+  int exit_code = 2;
+  bool dispatched = true;
+  if (command == "generate") exit_code = domd::CmdGenerate(flags);
+  else if (command == "obfuscate") exit_code = domd::CmdObfuscate(flags);
+  else if (command == "stats") exit_code = domd::CmdStats(flags);
+  else if (command == "train") exit_code = domd::CmdTrain(flags);
+  else if (command == "evaluate") exit_code = domd::CmdEvaluate(flags);
+  else if (command == "query") exit_code = domd::CmdQuery(flags);
+  else if (command == "predict") exit_code = domd::CmdPredict(flags);
+  else if (command == "sql") exit_code = domd::CmdSql(flags);
+  else if (command == "report") exit_code = domd::CmdReport(flags);
+  else dispatched = false;
+  if (!dispatched) return domd::Usage();
+  // --metrics-json PATH: dump everything the run observed (pipeline spans,
+  // stage histograms) once the command finishes, pass or fail.
+  if (const auto it = flags.find("metrics-json"); it != flags.end()) {
+    if (int rc = domd::DumpMetricsJson(it->second); rc != 0 &&
+        exit_code == 0) {
+      exit_code = rc;
+    }
+  }
+  return exit_code;
 }

@@ -11,6 +11,9 @@
 //    "deadline_ms": 250}                  detached scoring (see README)
 //   {"avail_id": 7, "t_star": 60}        score a reference-fleet avail
 //   {"cmd": "stats"}                     service counters + bundle version
+//   {"cmd": "metrics"}                   Prometheus text exposition (the
+//                                        payload rides one NDJSON line; \n
+//                                        inside it is JSON-escaped)
 //   {"cmd": "swap", "bundle": DIR}       zero-downtime bundle hot-swap
 //   {"cmd": "ping"}                      liveness probe
 //   {"cmd": "shutdown"}                  drain and exit cleanly
@@ -38,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/wire.h"
 
 namespace domd {
@@ -123,6 +127,17 @@ std::string HandleLine(Server& server, const std::string& line,
   }
   if (cmd == "stats") {
     return StatsToJson(server.service->stats()).Serialize();
+  }
+  if (cmd == "metrics") {
+    // Prometheus text exposition 0.0.4. The multi-line payload is safe on
+    // the NDJSON wire because Serialize() escapes every newline.
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("content_type",
+            JsonValue::String("text/plain; version=0.0.4"));
+    out.Set("payload", JsonValue::String(
+                           obs::MetricsRegistry::Default().RenderPrometheus()));
+    return out.Serialize();
   }
   if (cmd == "swap") {
     const std::string dir = request->StringOr("bundle", "");
