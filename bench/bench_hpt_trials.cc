@@ -1,22 +1,41 @@
-// Reproduces Fig. 6e: best validation MAE as a function of the number of
-// AutoHPT (TPE/SMBO) optimization trials, over the paper's grid
-// {10, 20, 30, 40, 50, 100, 200}. A single long SMBO run is evaluated at
-// each prefix so trial counts are directly comparable.
+// AutoHPT benches, two stages:
+//
+//  1. Fig. 6e (--fig6e-trials N, default 200, 0 skips): best validation
+//     MAE as a function of the number of AutoHPT (TPE/SMBO) optimization
+//     trials, over the paper's grid {10, 20, 30, 40, 50, 100, 200}. A
+//     single long SMBO run is evaluated at each prefix so trial counts
+//     are directly comparable.
+//
+//  2. Modeling-view cache (--cache-trials N, default 12, needs >= 10):
+//     every HPT trial re-requests the same train/validation views, so
+//     the snapshot cache should collapse N feature-engineering sweeps
+//     into one per view. Measures total view-construction wall time for
+//     N same-width trials with the cache on vs off (--cache-bytes 0
+//     semantics) and FAILS unless the cached run is >= 5x faster. The
+//     hit ratio and both wall times land in stage_timings.
+//
+// Results land in BENCH_hpt_trials.json.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <limits>
 
 #include "bench/bench_common.h"
+#include "cache/view_cache.h"
 #include "core/pipeline_optimizer.h"
 #include "ml/metrics.h"
+#include "obs/stage.h"
 
 namespace domd {
 namespace {
 
-void Run() {
+void RunFig6e(bench::ModelingBench& env, int num_trials,
+              obs::StageRecorder* recorder) {
   bench::Banner("Fig. 6e: best validation MAE vs # AutoHPT trials");
-  auto env = bench::MakeModelingBench();
 
   // Objective: validation MAE of a GBT with candidate hyperparameters at
   // the 50% grid step with Pearson k=60 inputs (the representative step —
@@ -44,11 +63,17 @@ void Run() {
                              model.PredictBatch(val_x));
   };
 
-  Tuner tuner(&space, TpeOptions{}, 99);
-  const TuningResult result = tuner.Run(objective, 200);
+  Tuner tuner(&space, TpeOptions{});
+  TunerOptions tuner_options;
+  tuner_options.num_trials = num_trials;
+  tuner_options.seed = 99;
+  TuningResult result;
+  recorder->Record("fig6e_tuning_s", bench::TimeSeconds(
+      [&] { result = tuner.Run(objective, tuner_options); }, 1));
 
   std::printf("%-10s %16s\n", "# trials", "best val MAE");
   for (int count : {10, 20, 30, 40, 50, 100, 200}) {
+    if (count > num_trials) break;
     double best = std::numeric_limits<double>::infinity();
     for (int i = 0; i < count; ++i) {
       best = std::min(best,
@@ -62,10 +87,98 @@ void Run() {
       "robustness choice)\n");
 }
 
+/// Total wall seconds spent materializing the train+validation views for
+/// `num_trials` same-width trials through `cache` under `cache_bytes`.
+double TrialViewSeconds(const bench::ModelingBench& env, int num_trials,
+                        std::size_t cache_bytes, ViewCache* cache) {
+  double total = 0.0;
+  for (int trial = 0; trial < num_trials; ++trial) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto train = BuildModelingViewShared(
+        env.data, *env.engineer, env.split.train, env.grid, {}, cache_bytes,
+        cache);
+    const auto validation = BuildModelingViewShared(
+        env.data, *env.engineer, env.split.validation, env.grid, {},
+        cache_bytes, cache);
+    const auto end = std::chrono::steady_clock::now();
+    total += std::chrono::duration<double>(end - start).count();
+    if (train->avail_ids.empty() || validation->avail_ids.empty()) {
+      std::printf("unexpected empty view at trial %d\n", trial);
+    }
+  }
+  return total;
+}
+
+bool RunCacheStage(const bench::ModelingBench& env, int num_trials,
+                   obs::StageRecorder* recorder) {
+  bench::Banner("Modeling-view cache across same-width HPT trials");
+  if (num_trials < 10) {
+    std::printf("--cache-trials %d < 10: the 5x contract needs >= 10 "
+                "same-width trials\n", num_trials);
+    return false;
+  }
+
+  // Cache off: every trial pays the full feature-engineering sweep
+  // (exactly what --cache-bytes 0 gives the CLI pipelines).
+  ViewCache off_cache(0, 1);
+  const double off_seconds = TrialViewSeconds(env, num_trials, 0, &off_cache);
+
+  // Cache on: trial 1 builds each view once; trials 2..N are hits.
+  ViewCache on_cache(256ull << 20, 8);
+  const double on_seconds = TrialViewSeconds(
+      env, num_trials, on_cache.max_bytes(), &on_cache);
+
+  const ViewCacheStats stats = on_cache.Stats();
+  const double speedup =
+      on_seconds > 0.0 ? off_seconds / on_seconds
+                       : std::numeric_limits<double>::infinity();
+  std::printf("%d trials x 2 views, grid width %.0f%%\n", num_trials,
+              100.0 / static_cast<double>(env.grid.size() - 1));
+  std::printf("feature engineering: cache off %.4f s, cache on %.4f s "
+              "(%.1fx)\n", off_seconds, on_seconds, speedup);
+  std::printf("cache: %zu hits / %zu misses (hit ratio %.3f), "
+              "%zu evictions\n", stats.hits, stats.misses, stats.HitRatio(),
+              stats.evictions);
+
+  recorder->Record("cache_off_engineering_s", off_seconds);
+  recorder->Record("cache_on_engineering_s", on_seconds);
+  recorder->Record("cache_hit_ratio", stats.HitRatio());
+
+  const bool pass = speedup >= 5.0 && stats.hits > 0;
+  std::printf("5x reduction contract: %s\n", pass ? "PASS" : "FAIL");
+  return pass;
+}
+
+int Run(int fig6e_trials, int cache_trials) {
+  auto env = bench::MakeModelingBench();
+
+  obs::StageRecorder recorder;
+  if (fig6e_trials > 0) RunFig6e(env, fig6e_trials, &recorder);
+  const bool pass = RunCacheStage(env, cache_trials, &recorder);
+
+  std::ofstream json("BENCH_hpt_trials.json");
+  json << "{\n  \"bench\": \"hpt_trials\",\n";
+  json << "  \"fig6e_trials\": " << fig6e_trials << ",\n";
+  json << "  \"cache_trials\": " << cache_trials << ",\n";
+  json << "  \"stage_timings\": " << recorder.ToJson() << ",\n";
+  json << "  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+  std::printf("\nwrote BENCH_hpt_trials.json (%s)\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace domd
 
-int main() {
-  domd::Run();
-  return 0;
+int main(int argc, char** argv) {
+  int fig6e_trials = 200;
+  int cache_trials = 12;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--fig6e-trials") == 0) {
+      fig6e_trials = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--cache-trials") == 0) {
+      cache_trials = std::atoi(argv[i + 1]);
+    }
+  }
+  return domd::Run(fig6e_trials, cache_trials);
 }

@@ -29,11 +29,11 @@ SweepResult FromScratchSweep(const LogicalTimeIndex& index,
   SweepResult result;
   std::vector<std::int64_t> ids;
   for (double t : grid) {
-    index.CollectCreated(t, &ids);
+    index.Collect(RccStatusCategory::kCreated, t, &ids);
     double sum = 0;
     for (std::int64_t id : ids) sum += static_cast<double>(id % 97);
     result.checksum += sum + static_cast<double>(ids.size());
-    index.CollectSettled(t, &ids);
+    index.Collect(RccStatusCategory::kSettled, t, &ids);
     sum = 0;
     for (std::int64_t id : ids) sum += static_cast<double>(id % 97);
     result.checksum += sum + static_cast<double>(ids.size());

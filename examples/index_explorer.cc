@@ -29,7 +29,7 @@ int main() {
     auto index = CreateLogicalTimeIndex(backend);
     index->Build(entries);
     std::vector<std::int64_t> ids;
-    index->CollectNotCreated(50.0, &ids);
+    index->Collect(RccStatusCategory::kNotCreated, 50.0, &ids);
     std::printf("%-14s %10zu %10zu %10zu %12zu %12.1f\n",
                 IndexBackendToString(backend), index->CountActive(50.0),
                 index->CountSettled(50.0), index->CountCreated(50.0),

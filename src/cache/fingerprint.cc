@@ -1,0 +1,169 @@
+#include "cache/fingerprint.h"
+
+#include <bit>
+#include <mutex>
+
+namespace domd {
+namespace {
+
+std::uint64_t MixDouble(std::uint64_t hash, double value) {
+  // Bit-exact: +0.0 and -0.0 hash differently, which is fine — the tables
+  // never distinguish them semantically but bit-identity is the contract.
+  return FingerprintMix(hash, std::bit_cast<std::uint64_t>(value));
+}
+
+std::uint64_t MixOptionalDate(std::uint64_t hash,
+                              const std::optional<Date>& date) {
+  hash = FingerprintMix(hash, date.has_value() ? 1 : 0);
+  return FingerprintMix(
+      hash, date.has_value() ? static_cast<std::uint64_t>(date->serial()) : 0);
+}
+
+std::uint64_t MixAvail(std::uint64_t hash, const Avail& avail) {
+  hash = FingerprintMix(hash, static_cast<std::uint64_t>(avail.id));
+  hash = FingerprintMix(hash, static_cast<std::uint64_t>(avail.ship_id));
+  hash = FingerprintMix(hash, static_cast<std::uint64_t>(avail.status));
+  hash = FingerprintMix(
+      hash, static_cast<std::uint64_t>(avail.planned_start.serial()));
+  hash = FingerprintMix(
+      hash, static_cast<std::uint64_t>(avail.planned_end.serial()));
+  hash = FingerprintMix(
+      hash, static_cast<std::uint64_t>(avail.actual_start.serial()));
+  hash = MixOptionalDate(hash, avail.actual_end);
+  hash = FingerprintMix(hash, static_cast<std::uint64_t>(avail.ship_class));
+  hash = FingerprintMix(hash, static_cast<std::uint64_t>(avail.rmc_id));
+  hash = MixDouble(hash, avail.ship_age_years);
+  hash = FingerprintMix(hash, static_cast<std::uint64_t>(avail.avail_type));
+  hash = FingerprintMix(hash, static_cast<std::uint64_t>(avail.homeport));
+  hash = FingerprintMix(hash,
+                        static_cast<std::uint64_t>(avail.prior_avail_count));
+  hash = MixDouble(hash, avail.contract_value_musd);
+  hash = FingerprintMix(hash, static_cast<std::uint64_t>(avail.crew_size));
+  return hash;
+}
+
+std::uint64_t MixRcc(std::uint64_t hash, const Rcc& rcc) {
+  hash = FingerprintMix(hash, static_cast<std::uint64_t>(rcc.id));
+  hash = FingerprintMix(hash, static_cast<std::uint64_t>(rcc.avail_id));
+  hash = FingerprintMix(hash, static_cast<std::uint64_t>(rcc.type));
+  std::uint64_t swlin = 0;
+  for (int d = 0; d < Swlin::kNumDigits; ++d) {
+    swlin = swlin * 10 + static_cast<std::uint64_t>(rcc.swlin.digit(d));
+  }
+  hash = FingerprintMix(hash, swlin);
+  hash = FingerprintMix(
+      hash, static_cast<std::uint64_t>(rcc.creation_date.serial()));
+  hash = MixOptionalDate(hash, rcc.settled_date);
+  hash = MixDouble(hash, rcc.settled_amount);
+  return hash;
+}
+
+/// One memo slot: the dataset's address plus cheap revalidation probes.
+struct MemoEntry {
+  const Dataset* dataset = nullptr;
+  std::size_t num_avails = 0;
+  std::size_t num_rccs = 0;
+  std::int64_t last_avail_id = 0;
+  std::int64_t last_rcc_id = 0;
+  std::uint64_t fingerprint = 0;
+};
+
+constexpr std::size_t kMemoCapacity = 64;
+
+std::mutex& MemoMutex() {
+  static std::mutex& mutex = *new std::mutex;
+  return mutex;
+}
+
+std::vector<MemoEntry>& MemoEntries() {
+  static std::vector<MemoEntry>& entries = *new std::vector<MemoEntry>;
+  return entries;
+}
+
+MemoEntry MakeProbe(const Dataset& data) {
+  MemoEntry probe;
+  probe.dataset = &data;
+  probe.num_avails = data.avails.size();
+  probe.num_rccs = data.rccs.size();
+  probe.last_avail_id =
+      data.avails.empty() ? 0 : data.avails.rows().back().id;
+  probe.last_rcc_id = data.rccs.empty() ? 0 : data.rccs.rows().back().id;
+  return probe;
+}
+
+bool ProbesMatch(const MemoEntry& a, const MemoEntry& b) {
+  return a.dataset == b.dataset && a.num_avails == b.num_avails &&
+         a.num_rccs == b.num_rccs && a.last_avail_id == b.last_avail_id &&
+         a.last_rcc_id == b.last_rcc_id;
+}
+
+}  // namespace
+
+std::uint64_t FingerprintMix(std::uint64_t hash, std::uint64_t word) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (word >> (byte * 8)) & 0xFF;
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+std::uint64_t ComputeDatasetFingerprint(const Dataset& data) {
+  std::uint64_t hash = kFingerprintSeed;
+  hash = FingerprintMix(hash, data.avails.size());
+  for (const Avail& avail : data.avails.rows()) hash = MixAvail(hash, avail);
+  hash = FingerprintMix(hash, data.rccs.size());
+  for (const Rcc& rcc : data.rccs.rows()) hash = MixRcc(hash, rcc);
+  return hash;
+}
+
+std::uint64_t DatasetFingerprint(const Dataset& data) {
+  MemoEntry probe = MakeProbe(data);
+  {
+    std::lock_guard<std::mutex> lock(MemoMutex());
+    for (const MemoEntry& entry : MemoEntries()) {
+      if (ProbesMatch(entry, probe)) return entry.fingerprint;
+    }
+  }
+  probe.fingerprint = ComputeDatasetFingerprint(data);
+  std::lock_guard<std::mutex> lock(MemoMutex());
+  auto& entries = MemoEntries();
+  // A racer may have inserted the same dataset meanwhile; dedupe by probe.
+  for (const MemoEntry& entry : entries) {
+    if (ProbesMatch(entry, probe)) return entry.fingerprint;
+  }
+  if (entries.size() >= kMemoCapacity) entries.erase(entries.begin());
+  entries.push_back(probe);
+  return probe.fingerprint;
+}
+
+void InvalidateFingerprint(const Dataset& data) {
+  std::lock_guard<std::mutex> lock(MemoMutex());
+  auto& entries = MemoEntries();
+  for (std::size_t i = 0; i < entries.size();) {
+    if (entries[i].dataset == &data) {
+      entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+std::uint64_t DigestIds(const std::vector<std::int64_t>& ids) {
+  std::uint64_t hash = kFingerprintSeed;
+  hash = FingerprintMix(hash, ids.size());
+  for (std::int64_t id : ids) {
+    hash = FingerprintMix(hash, static_cast<std::uint64_t>(id));
+  }
+  return hash;
+}
+
+std::uint64_t DigestGrid(const std::vector<double>& grid) {
+  std::uint64_t hash = kFingerprintSeed;
+  hash = FingerprintMix(hash, grid.size());
+  for (double t : grid) {
+    hash = FingerprintMix(hash, std::bit_cast<std::uint64_t>(t));
+  }
+  return hash;
+}
+
+}  // namespace domd

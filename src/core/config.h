@@ -47,6 +47,11 @@ enum class FusionMethod {
 
 const char* FusionMethodToString(FusionMethod method);
 
+/// Default byte budget of the process-wide modeling-view cache (see
+/// cache/view_cache.h). Generous for the paper-scale fleets: one 200-avail
+/// x 1490-feature x 11-step view is ~26 MB.
+inline constexpr std::size_t kDefaultViewCacheBytes = 256ull << 20;
+
 /// The full pipeline parameterization x-hat = (s, m, l, p, f) of Problem 2,
 /// plus the model-gap interval x. Defaults are the paper's selected
 /// configuration: Pearson k=60, GBT, non-stacked, Pseudo-Huber(18), 30 HPT
@@ -71,6 +76,11 @@ struct PipelineConfig {
   /// for every thread count — num_threads = 1 reproduces the serial path
   /// exactly.
   Parallelism parallelism;
+
+  /// Byte budget for the modeling-view cache (cache/view_cache.h). Runtime
+  /// knob like `parallelism`: not serialized, and 0 disables caching with
+  /// bit-identical results — the cache is purely an identity optimization.
+  std::size_t cache_bytes = kDefaultViewCacheBytes;
 
   /// Materializes the configured loss.
   Loss MakeLoss() const;

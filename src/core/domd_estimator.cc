@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 
+#include "cache/view_cache.h"
 #include "data/logical_time.h"
 
 namespace domd {
@@ -29,10 +30,12 @@ StatusOr<DomdEstimator> DomdEstimator::Train(
   std::vector<std::int64_t> all_ids;
   all_ids.reserve(data->avails.size());
   for (const Avail& avail : data->avails.rows()) all_ids.push_back(avail.id);
-  estimator.all_view_ = BuildModelingView(*data, estimator.engineer_, all_ids,
-                                          estimator.grid_, config.parallelism);
+  estimator.all_view_ =
+      BuildModelingViewShared(*data, estimator.engineer_, all_ids,
+                              estimator.grid_, config.parallelism,
+                              config.cache_bytes);
 
-  auto train_view = estimator.all_view_.dynamic.SelectAvails(train_ids);
+  auto train_view = estimator.all_view_->dynamic.SelectAvails(train_ids);
   if (!train_view.ok()) return train_view.status();
   ModelingView train;
   train.avail_ids = train_ids;
@@ -41,12 +44,12 @@ StatusOr<DomdEstimator> DomdEstimator::Train(
   rows.reserve(train_ids.size());
   for (std::int64_t id : train_ids) {
     rows.push_back(
-        static_cast<std::size_t>(estimator.all_view_.dynamic.RowOf(id)));
+        static_cast<std::size_t>(estimator.all_view_->dynamic.RowOf(id)));
   }
-  train.static_x = estimator.all_view_.static_x.SelectRows(rows);
+  train.static_x = estimator.all_view_->static_x.SelectRows(rows);
   train.labels.reserve(train_ids.size());
   for (std::size_t r : rows) {
-    train.labels.push_back(estimator.all_view_.labels[r]);
+    train.labels.push_back(estimator.all_view_->labels[r]);
   }
 
   std::vector<std::string> dynamic_names;
@@ -68,7 +71,7 @@ Status DomdEstimator::SaveModels(const std::string& path) const {
 
 StatusOr<DomdEstimator> DomdEstimator::LoadModels(
     const Dataset* data, const std::string& path,
-    const Parallelism& parallelism) {
+    const Parallelism& parallelism, std::size_t cache_bytes) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
   auto models = TimelineModelSet::Load(in);
@@ -76,6 +79,7 @@ StatusOr<DomdEstimator> DomdEstimator::LoadModels(
 
   DomdEstimator estimator(data, models->config());
   estimator.config_.parallelism = parallelism;
+  estimator.config_.cache_bytes = cache_bytes;
   estimator.grid_ = LogicalTimeGrid(estimator.config_.window_width_pct);
   if (estimator.grid_.size() != models->num_steps()) {
     return Status::FailedPrecondition(
@@ -85,8 +89,9 @@ StatusOr<DomdEstimator> DomdEstimator::LoadModels(
   all_ids.reserve(data->avails.size());
   for (const Avail& avail : data->avails.rows()) all_ids.push_back(avail.id);
   estimator.all_view_ =
-      BuildModelingView(*data, estimator.engineer_, all_ids, estimator.grid_,
-                        estimator.config_.parallelism);
+      BuildModelingViewShared(*data, estimator.engineer_, all_ids,
+                              estimator.grid_, estimator.config_.parallelism,
+                              estimator.config_.cache_bytes);
   estimator.models_ = std::move(*models);
   return estimator;
 }
@@ -97,12 +102,18 @@ StatusOr<DomdQueryResult> DomdEstimator::Query(std::int64_t avail_id,
   const auto avail = data_->avails.Find(avail_id);
   if (!avail.ok()) return avail.status();
   const double t_star = std::max(0.0, LogicalTime(**avail, as_of));
-  return QueryAtLogicalTime(avail_id, t_star, top_k);
+  return QueryImpl(avail_id, t_star, top_k);
 }
 
 StatusOr<DomdQueryResult> DomdEstimator::QueryAtLogicalTime(
     std::int64_t avail_id, double t_star, std::size_t top_k) const {
-  const int row_index = all_view_.dynamic.RowOf(avail_id);
+  return QueryImpl(avail_id, t_star, top_k);
+}
+
+StatusOr<DomdQueryResult> DomdEstimator::QueryImpl(std::int64_t avail_id,
+                                                   double t_star,
+                                                   std::size_t top_k) const {
+  const int row_index = all_view_->dynamic.RowOf(avail_id);
   if (row_index < 0) {
     return Status::NotFound("avail " + std::to_string(avail_id) +
                             " unknown to the estimator");
@@ -119,7 +130,8 @@ StatusOr<DomdQueryResult> DomdEstimator::QueryAtLogicalTime(
   std::vector<double> predictions;
   for (int step = 0; step <= last_step; ++step) {
     const auto s = static_cast<std::size_t>(step);
-    const std::vector<double> input = models_.BuildInputRow(all_view_, row, s);
+    const std::vector<double> input =
+        models_.BuildInputRow(*all_view_, row, s);
     DomdStepEstimate estimate;
     estimate.t_star = grid_[s];
     estimate.estimated_delay_days = models_.model(s).Predict(input);

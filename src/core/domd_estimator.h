@@ -60,22 +60,37 @@ class DomdEstimator {
   Status SaveModels(const std::string& path) const;
 
   /// Rebuilds an estimator from a dataset plus a model file written by
-  /// SaveModels. Features are recomputed for the given dataset (honoring
-  /// `parallelism`, which is a runtime knob and never persisted); the
-  /// models are loaded as-is. The dataset must outlive the estimator.
-  static StatusOr<DomdEstimator> LoadModels(const Dataset* data,
-                                            const std::string& path,
-                                            const Parallelism& parallelism = {});
+  /// SaveModels. Features are recomputed for the given dataset through the
+  /// modeling-view cache (honoring `parallelism` and `cache_bytes`, both
+  /// runtime knobs and never persisted); the models are loaded as-is. Two
+  /// loads over content-identical datasets share one cached view. The
+  /// dataset must outlive the estimator.
+  static StatusOr<DomdEstimator> LoadModels(
+      const Dataset* data, const std::string& path,
+      const Parallelism& parallelism = {},
+      std::size_t cache_bytes = kDefaultViewCacheBytes);
+
+  /// The immutable all-avails view snapshot (shared with the cache and any
+  /// other estimator built over the same dataset/grid/catalog).
+  const std::shared_ptr<const ModelingView>& shared_view() const {
+    return all_view_;
+  }
 
  private:
   DomdEstimator(const Dataset* data, const PipelineConfig& config)
       : data_(data), config_(config), engineer_(data) {}
 
+  /// Common body of Query/QueryAtLogicalTime: per-step estimates up to
+  /// t_star plus fused estimate and attributions.
+  StatusOr<DomdQueryResult> QueryImpl(std::int64_t avail_id, double t_star,
+                                      std::size_t top_k) const;
+
   const Dataset* data_;
   PipelineConfig config_;
   FeatureEngineer engineer_;
   std::vector<double> grid_;
-  ModelingView all_view_;  ///< features for every avail in the dataset.
+  /// Features for every avail in the dataset (immutable cache snapshot).
+  std::shared_ptr<const ModelingView> all_view_;
   TimelineModelSet models_;
 };
 

@@ -232,8 +232,11 @@ StatusOr<PipelineConfig> PipelineOptimizer::Optimize(
     // history so the evaluation is consistent across counts.
     const int max_trials = *std::max_element(options.hpt_trial_grid.begin(),
                                              options.hpt_trial_grid.end());
-    Tuner tuner(&space, TpeOptions{}, search.seed + 1);
-    const TuningResult full = tuner.Run(objective, max_trials);
+    Tuner tuner(&space, TpeOptions{});
+    TunerOptions tuner_options;
+    tuner_options.num_trials = max_trials;
+    tuner_options.seed = search.seed + 1;
+    const TuningResult full = tuner.Run(objective, tuner_options);
 
     GbtParams adopted_gbt = search.gbt;
     ElasticNetParams adopted_linear = search.elastic_net;

@@ -42,6 +42,8 @@ const char* RccStatusCategoryToString(RccStatusCategory category) {
       return "SETTLED";
     case RccStatusCategory::kCreated:
       return "CREATED";
+    case RccStatusCategory::kNotCreated:
+      return "NOT_CREATED";
   }
   return "?";
 }

@@ -54,12 +54,13 @@ Status ValidateRcc(const Rcc& rcc);
 /// Life-cycle category of an RCC relative to a logical timestamp t*:
 /// the WHERE clause of a Status Query picks one of these.
 enum class RccStatusCategory {
-  kActive,   ///< created <= t* and not yet settled at t*.
-  kSettled,  ///< settled at or before t*.
-  kCreated,  ///< created at or before t* (active OR settled).
+  kActive,      ///< created <= t* and not yet settled at t*.
+  kSettled,     ///< settled at or before t*.
+  kCreated,     ///< created at or before t* (active OR settled).
+  kNotCreated,  ///< not yet created at t* (complement of kCreated).
 };
 
-inline constexpr int kNumRccStatusCategories = 3;
+inline constexpr int kNumRccStatusCategories = 4;
 
 const char* RccStatusCategoryToString(RccStatusCategory category);
 

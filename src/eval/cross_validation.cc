@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cache/view_cache.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "data/logical_time.h"
@@ -27,11 +28,14 @@ StatusOr<CvResult> CrossValidate(const Dataset& data,
   Rng rng(options.seed);
   rng.Shuffle(&ids);
 
-  // Engineer the full tensor once; folds are row subsets.
+  // Engineer the full tensor once; folds are row subsets. The snapshot
+  // comes from the modeling-view cache, so repeated CV over the same
+  // dataset/split/grid (HPT trials, fusion sweeps) reuses one build.
   FeatureEngineer engineer(&data);
   const std::vector<double> grid = LogicalTimeGrid(options.window_width_pct);
-  const ModelingView full =
-      BuildModelingView(data, engineer, ids, grid, config.parallelism);
+  const std::shared_ptr<const ModelingView> full_view = BuildModelingViewShared(
+      data, engineer, ids, grid, config.parallelism, config.cache_bytes);
+  const ModelingView& full = *full_view;
   std::vector<std::string> names;
   names.reserve(engineer.catalog().size());
   for (const FeatureDef& def : engineer.catalog().features()) {

@@ -144,4 +144,28 @@ const std::vector<std::string>& StaticFeatureNames() {
   return names;
 }
 
+std::uint64_t FeatureCatalogVersion() {
+  static const std::uint64_t version = [] {
+    auto fnv1a = [](std::uint64_t hash, const std::string& text) {
+      for (char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001B3ull;
+      }
+      hash ^= 0xFF;  // separator so {"ab","c"} != {"a","bc"}
+      hash *= 0x100000001B3ull;
+      return hash;
+    };
+    std::uint64_t hash = 0xCBF29CE484222325ull;
+    for (const std::string& name : StaticFeatureNames()) {
+      hash = fnv1a(hash, name);
+    }
+    const FeatureCatalog catalog;
+    for (const FeatureDef& def : catalog.features()) {
+      hash = fnv1a(hash, def.name);
+    }
+    return hash;
+  }();
+  return version;
+}
+
 }  // namespace domd

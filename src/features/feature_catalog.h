@@ -1,6 +1,7 @@
 #ifndef DOMD_FEATURES_FEATURE_CATALOG_H_
 #define DOMD_FEATURES_FEATURE_CATALOG_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,13 @@ class FeatureCatalog {
 
 /// Names of the 8 static (time-invariant) avail features, in column order.
 const std::vector<std::string>& StaticFeatureNames();
+
+/// 64-bit FNV-1a digest of the feature schema (static feature names plus
+/// the full dynamic catalog, in column order), computed once per process.
+/// Any change to the generated feature set changes this value, which keys
+/// the modeling-view cache and invalidates snapshots built under an older
+/// catalog.
+std::uint64_t FeatureCatalogVersion();
 
 }  // namespace domd
 

@@ -6,20 +6,27 @@
 
 namespace domd {
 
-TuningResult Tuner::Run(const Objective& objective, int num_trials) {
+TuningResult Tuner::Run(const Objective& objective,
+                        const TunerOptions& options) {
   TuningResult result;
   result.best_objective = std::numeric_limits<double>::infinity();
-  result.trials.reserve(static_cast<std::size_t>(num_trials));
+  result.trials.reserve(static_cast<std::size_t>(options.num_trials));
 
-  for (int t = 0; t < num_trials; ++t) {
+  TpeSampler sampler(space_, options_, options.seed);
+  int stale = 0;
+  for (int t = 0; t < options.num_trials; ++t) {
     DOMD_OBS_SPAN("hpt.trial");
-    std::vector<double> params = sampler_.Suggest(result.trials);
+    std::vector<double> params = sampler.Suggest(result.trials);
     const double score = objective(space_->ToMap(params));
     if (score < result.best_objective) {
       result.best_objective = score;
       result.best_params = params;
+      stale = 0;
+    } else {
+      ++stale;
     }
     result.trials.push_back(Trial{std::move(params), score});
+    if (options.patience > 0 && stale >= options.patience) break;
   }
   result.best_map = space_->ToMap(result.best_params);
   return result;

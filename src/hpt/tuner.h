@@ -18,6 +18,16 @@ struct TuningResult {
   std::vector<Trial> trials;        ///< full history, in evaluation order.
 };
 
+/// Controls one Tuner::Run invocation. The seed lives here (not on the
+/// Tuner) so a single Tuner can drive several independent, reproducible
+/// searches over the same space.
+struct TunerOptions {
+  int num_trials = 30;      ///< SMBO iterations (upper bound with patience).
+  std::uint64_t seed = 0;   ///< sampler stream; same seed -> same trials.
+  int patience = 0;         ///< stop after this many non-improving trials;
+                            ///< 0 disables early stopping.
+};
+
 /// The AutoHPT module (Task 5): a Sequential Model-Based Optimization loop
 /// driven by the TPE sampler. Each iteration asks the sampler for a
 /// configuration, evaluates the (to-be-minimized) objective, and feeds the
@@ -28,16 +38,18 @@ class Tuner {
   /// (validation MAE in the pipeline).
   using Objective = std::function<double(const ParamMap&)>;
 
-  Tuner(const ParamSpace* space, const TpeOptions& options,
-        std::uint64_t seed)
-      : space_(space), sampler_(space, options, seed) {}
+  Tuner(const ParamSpace* space, const TpeOptions& options)
+      : space_(space), options_(options) {}
 
-  /// Runs `num_trials` evaluations and returns the best configuration.
-  TuningResult Run(const Objective& objective, int num_trials);
+  /// Runs up to options.num_trials evaluations (fewer when patience
+  /// triggers) and returns the best configuration. A fresh sampler is
+  /// seeded from options.seed, so identical options reproduce the run
+  /// bit-exactly.
+  TuningResult Run(const Objective& objective, const TunerOptions& options);
 
  private:
   const ParamSpace* space_;
-  TpeSampler sampler_;
+  TpeOptions options_;
 };
 
 }  // namespace domd

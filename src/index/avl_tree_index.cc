@@ -223,31 +223,26 @@ void AvlTreeIndex::ScanSuffix(const Tree& tree, std::int32_t n, double t,
   }
 }
 
-void AvlTreeIndex::CollectActive(double t_star,
-                                 std::vector<std::int64_t>* out) const {
+void AvlTreeIndex::Collect(RccStatusCategory category, double t_star,
+                           std::vector<std::int64_t>* out) const {
   out->clear();
-  ScanPrefix(start_tree_, start_tree_.root, t_star,
-             /*require_other_greater=*/true, out);
-}
-
-void AvlTreeIndex::CollectSettled(double t_star,
-                                  std::vector<std::int64_t>* out) const {
-  out->clear();
-  ScanPrefix(end_tree_, end_tree_.root, t_star,
-             /*require_other_greater=*/false, out);
-}
-
-void AvlTreeIndex::CollectCreated(double t_star,
-                                  std::vector<std::int64_t>* out) const {
-  out->clear();
-  ScanPrefix(start_tree_, start_tree_.root, t_star,
-             /*require_other_greater=*/false, out);
-}
-
-void AvlTreeIndex::CollectNotCreated(double t_star,
-                                     std::vector<std::int64_t>* out) const {
-  out->clear();
-  ScanSuffix(start_tree_, start_tree_.root, t_star, out);
+  switch (category) {
+    case RccStatusCategory::kActive:
+      ScanPrefix(start_tree_, start_tree_.root, t_star,
+                 /*require_other_greater=*/true, out);
+      break;
+    case RccStatusCategory::kSettled:
+      ScanPrefix(end_tree_, end_tree_.root, t_star,
+                 /*require_other_greater=*/false, out);
+      break;
+    case RccStatusCategory::kCreated:
+      ScanPrefix(start_tree_, start_tree_.root, t_star,
+                 /*require_other_greater=*/false, out);
+      break;
+    case RccStatusCategory::kNotCreated:
+      ScanSuffix(start_tree_, start_tree_.root, t_star, out);
+      break;
+  }
 }
 
 std::size_t AvlTreeIndex::CountActive(double t_star) const {

@@ -71,6 +71,14 @@ class GroupedRccIndex {
     return *nodes_[static_cast<std::size_t>(group_id)];
   }
 
+  /// Collects a life-cycle category at t* from one group node (Algorithm
+  /// StatusQ's retrieval step): the grouped counterpart of
+  /// LogicalTimeIndex::Collect.
+  void Collect(int group_id, RccStatusCategory category, double t_star,
+               std::vector<std::int64_t>* out) const {
+    node(group_id).Collect(category, t_star, out);
+  }
+
   IndexBackend backend() const { return backend_; }
 
   /// Total entries across all nodes (each RCC counted once per membership).

@@ -181,28 +181,23 @@ void IntervalTreeIndex::StartsAfter(const Node* n, double t,
   }
 }
 
-void IntervalTreeIndex::CollectActive(double t_star,
-                                      std::vector<std::int64_t>* out) const {
+void IntervalTreeIndex::Collect(RccStatusCategory category, double t_star,
+                                std::vector<std::int64_t>* out) const {
   out->clear();
-  Stab(root_, t_star, out);
-}
-
-void IntervalTreeIndex::CollectSettled(double t_star,
-                                       std::vector<std::int64_t>* out) const {
-  out->clear();
-  EndsBefore(root_, t_star, out);
-}
-
-void IntervalTreeIndex::CollectCreated(double t_star,
-                                       std::vector<std::int64_t>* out) const {
-  out->clear();
-  StartsBefore(root_, t_star, out);
-}
-
-void IntervalTreeIndex::CollectNotCreated(
-    double t_star, std::vector<std::int64_t>* out) const {
-  out->clear();
-  StartsAfter(root_, t_star, out);
+  switch (category) {
+    case RccStatusCategory::kActive:
+      Stab(root_, t_star, out);
+      break;
+    case RccStatusCategory::kSettled:
+      EndsBefore(root_, t_star, out);
+      break;
+    case RccStatusCategory::kCreated:
+      StartsBefore(root_, t_star, out);
+      break;
+    case RccStatusCategory::kNotCreated:
+      StartsAfter(root_, t_star, out);
+      break;
+  }
 }
 
 std::size_t IntervalTreeIndex::MemoryUsageBytes() const {

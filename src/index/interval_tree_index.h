@@ -29,14 +29,8 @@ class IntervalTreeIndex final : public LogicalTimeIndex {
   void Insert(const IndexEntry& entry) override;
   Status Erase(const IndexEntry& entry) override;
 
-  void CollectActive(double t_star,
-                     std::vector<std::int64_t>* out) const override;
-  void CollectSettled(double t_star,
-                      std::vector<std::int64_t>* out) const override;
-  void CollectCreated(double t_star,
-                      std::vector<std::int64_t>* out) const override;
-  void CollectNotCreated(double t_star,
-                         std::vector<std::int64_t>* out) const override;
+  void Collect(RccStatusCategory category, double t_star,
+               std::vector<std::int64_t>* out) const override;
 
   std::size_t size() const override { return size_; }
   std::size_t MemoryUsageBytes() const override;

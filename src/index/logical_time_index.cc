@@ -20,19 +20,19 @@ const char* IndexBackendToString(IndexBackend backend) {
 
 std::size_t LogicalTimeIndex::CountActive(double t_star) const {
   std::vector<std::int64_t> ids;
-  CollectActive(t_star, &ids);
+  Collect(RccStatusCategory::kActive, t_star, &ids);
   return ids.size();
 }
 
 std::size_t LogicalTimeIndex::CountSettled(double t_star) const {
   std::vector<std::int64_t> ids;
-  CollectSettled(t_star, &ids);
+  Collect(RccStatusCategory::kSettled, t_star, &ids);
   return ids.size();
 }
 
 std::size_t LogicalTimeIndex::CountCreated(double t_star) const {
   std::vector<std::int64_t> ids;
-  CollectCreated(t_star, &ids);
+  Collect(RccStatusCategory::kCreated, t_star, &ids);
   return ids.size();
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "data/rcc.h"
 
 namespace domd {
 
@@ -32,12 +33,11 @@ enum class IndexBackend {
 const char* IndexBackendToString(IndexBackend backend);
 
 /// Retrieval interface over logical time shared by all three index designs.
-/// The four retrieval sets follow Eq. 3-6:
-///   Active(t*)    = point query @ t*            (created <= t* < settled)
-///   Settled(t*)   = overlap query @ [-inf, t*)  (settled <= t*)
-///   Created(t*)   = Active(t*) U Settled(t*)    (created <= t*)
+/// The retrieval sets follow Eq. 3-6, addressed by RccStatusCategory:
+///   Active(t*)     = point query @ t*            (created <= t* < settled)
+///   Settled(t*)    = overlap query @ [-inf, t*)  (settled <= t*)
+///   Created(t*)    = Active(t*) U Settled(t*)    (created <= t*)
 ///   NotCreated(t*) = all \ Created(t*)
-/// Collect* methods append matching ids to *out (cleared first).
 class LogicalTimeIndex {
  public:
   virtual ~LogicalTimeIndex() = default;
@@ -52,17 +52,14 @@ class LogicalTimeIndex {
   /// absent.
   virtual Status Erase(const IndexEntry& entry) = 0;
 
-  virtual void CollectActive(double t_star,
-                             std::vector<std::int64_t>* out) const = 0;
-  virtual void CollectSettled(double t_star,
-                              std::vector<std::int64_t>* out) const = 0;
-  virtual void CollectCreated(double t_star,
-                              std::vector<std::int64_t>* out) const = 0;
-  virtual void CollectNotCreated(double t_star,
-                                 std::vector<std::int64_t>* out) const = 0;
+  /// Appends the ids of the given life-cycle category at t* to *out
+  /// (cleared first). One entry point for all four Eq. 3-6 retrieval sets;
+  /// every backend implements every category.
+  virtual void Collect(RccStatusCategory category, double t_star,
+                       std::vector<std::int64_t>* out) const = 0;
 
   /// Count-only variants (no id materialization); default implementations
-  /// fall back to Collect*.
+  /// fall back to Collect.
   virtual std::size_t CountActive(double t_star) const;
   virtual std::size_t CountSettled(double t_star) const;
   virtual std::size_t CountCreated(double t_star) const;

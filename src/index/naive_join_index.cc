@@ -83,35 +83,28 @@ Status NaiveJoinIndex::Erase(const IndexEntry& entry) {
   return Status::NotFound("entry not present in naive join index");
 }
 
-void NaiveJoinIndex::CollectActive(double t_star,
-                                   std::vector<std::int64_t>* out) const {
+void NaiveJoinIndex::Collect(RccStatusCategory category, double t_star,
+                             std::vector<std::int64_t>* out) const {
   out->clear();
+  // One sorted-row scan per category; the predicate is the only difference
+  // (the naive method pays the full scan regardless of selectivity).
   for (const JoinedRow& row : rows_) {
-    if (row.start <= t_star && row.end > t_star) out->push_back(row.rcc_id);
-  }
-}
-
-void NaiveJoinIndex::CollectSettled(double t_star,
-                                    std::vector<std::int64_t>* out) const {
-  out->clear();
-  for (const JoinedRow& row : rows_) {
-    if (row.end <= t_star) out->push_back(row.rcc_id);
-  }
-}
-
-void NaiveJoinIndex::CollectCreated(double t_star,
-                                    std::vector<std::int64_t>* out) const {
-  out->clear();
-  for (const JoinedRow& row : rows_) {
-    if (row.start <= t_star) out->push_back(row.rcc_id);
-  }
-}
-
-void NaiveJoinIndex::CollectNotCreated(double t_star,
-                                       std::vector<std::int64_t>* out) const {
-  out->clear();
-  for (const JoinedRow& row : rows_) {
-    if (row.start > t_star) out->push_back(row.rcc_id);
+    bool match = false;
+    switch (category) {
+      case RccStatusCategory::kActive:
+        match = row.start <= t_star && row.end > t_star;
+        break;
+      case RccStatusCategory::kSettled:
+        match = row.end <= t_star;
+        break;
+      case RccStatusCategory::kCreated:
+        match = row.start <= t_star;
+        break;
+      case RccStatusCategory::kNotCreated:
+        match = row.start > t_star;
+        break;
+    }
+    if (match) out->push_back(row.rcc_id);
   }
 }
 

@@ -69,20 +69,9 @@ StatusOr<std::vector<std::int64_t>> StatusQueryEngine::Retrieve(
     const StatusQuery& query, double t_star) const {
   auto group = ResolveGroup(query);
   if (!group.ok()) return group.status();
-  const LogicalTimeIndex& index = grouped_->node(*group);
 
   std::vector<std::int64_t> ids;
-  switch (query.category) {
-    case RccStatusCategory::kActive:
-      index.CollectActive(t_star, &ids);
-      break;
-    case RccStatusCategory::kSettled:
-      index.CollectSettled(t_star, &ids);
-      break;
-    case RccStatusCategory::kCreated:
-      index.CollectCreated(t_star, &ids);
-      break;
-  }
+  grouped_->Collect(*group, query.category, t_star, &ids);
 
   // Intersect with the avails table (Algorithm StatusQ's final step):
   // keep ids whose RCC row joins to an existing avail, honoring the avail

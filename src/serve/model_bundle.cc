@@ -84,7 +84,8 @@ Status ModelBundle::Write(const DomdEstimator& estimator, const Dataset& data,
 }
 
 StatusOr<std::shared_ptr<const ModelBundle>> ModelBundle::Load(
-    const std::string& dir, const Parallelism& parallelism) {
+    const std::string& dir, const Parallelism& parallelism,
+    std::size_t cache_bytes) {
   std::ifstream manifest(dir + "/" + kManifestName);
   if (!manifest) {
     return Status::IoError("cannot open bundle manifest in " + dir);
@@ -145,7 +146,7 @@ StatusOr<std::shared_ptr<const ModelBundle>> ModelBundle::Load(
   }
 
   auto estimator = DomdEstimator::LoadModels(
-      bundle->data_.get(), dir + "/" + kModelsName, parallelism);
+      bundle->data_.get(), dir + "/" + kModelsName, parallelism, cache_bytes);
   if (!estimator.ok()) return estimator.status();
   bundle->estimator_ = std::make_unique<DomdEstimator>(std::move(*estimator));
 

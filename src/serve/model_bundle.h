@@ -64,12 +64,16 @@ class ModelBundle {
                       const std::string& dir, const std::string& version);
 
   /// Loads a bundle directory: manifest + schema-compatibility check,
-  /// reference tables, model stack (features for the reference fleet are
-  /// re-engineered, honoring `parallelism`), and the frozen Status-Query
-  /// index build. Returns a shared_ptr because serving hot-swaps bundles
-  /// behind an atomic shared_ptr; the pointee is deeply const.
+  /// reference tables, model stack (features for the reference fleet come
+  /// from the modeling-view cache, honoring `parallelism` and
+  /// `cache_bytes`), and the frozen Status-Query index build. Returns a
+  /// shared_ptr because serving hot-swaps bundles behind an atomic
+  /// shared_ptr; the pointee is deeply const. Hot-swapping to a bundle
+  /// whose reference tables are content-identical to the live one reuses
+  /// the live view snapshot instead of re-engineering features.
   static StatusOr<std::shared_ptr<const ModelBundle>> Load(
-      const std::string& dir, const Parallelism& parallelism = {});
+      const std::string& dir, const Parallelism& parallelism = {},
+      std::size_t cache_bytes = kDefaultViewCacheBytes);
 
   const std::string& version() const { return version_; }
   std::uint64_t schema_hash() const { return schema_hash_; }

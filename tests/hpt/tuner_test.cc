@@ -8,17 +8,25 @@
 namespace domd {
 namespace {
 
+TunerOptions Opts(int num_trials, std::uint64_t seed, int patience = 0) {
+  TunerOptions options;
+  options.num_trials = num_trials;
+  options.seed = seed;
+  options.patience = patience;
+  return options;
+}
+
 TEST(TunerTest, FindsNearOptimumOfSmoothFunction) {
   ParamSpace space;
   space.AddUniform("x", 0.0, 10.0).AddUniform("y", 0.0, 10.0);
-  Tuner tuner(&space, TpeOptions{}, 3);
+  Tuner tuner(&space, TpeOptions{});
   const auto result = tuner.Run(
       [](const ParamMap& p) {
         const double dx = p.at("x") - 7.0;
         const double dy = p.at("y") - 2.0;
         return dx * dx + dy * dy;
       },
-      80);
+      Opts(80, 3));
   EXPECT_LT(result.best_objective, 1.5);
   EXPECT_NEAR(result.best_map.at("x"), 7.0, 1.5);
   EXPECT_NEAR(result.best_map.at("y"), 2.0, 1.5);
@@ -27,18 +35,18 @@ TEST(TunerTest, FindsNearOptimumOfSmoothFunction) {
 TEST(TunerTest, HistoryLengthMatchesTrials) {
   ParamSpace space;
   space.AddUniform("x", 0.0, 1.0);
-  Tuner tuner(&space, TpeOptions{}, 5);
+  Tuner tuner(&space, TpeOptions{});
   const auto result =
-      tuner.Run([](const ParamMap& p) { return p.at("x"); }, 25);
+      tuner.Run([](const ParamMap& p) { return p.at("x"); }, Opts(25, 5));
   EXPECT_EQ(result.trials.size(), 25u);
 }
 
 TEST(TunerTest, BestObjectiveIsMinOfHistory) {
   ParamSpace space;
   space.AddUniform("x", -1.0, 1.0);
-  Tuner tuner(&space, TpeOptions{}, 7);
-  const auto result =
-      tuner.Run([](const ParamMap& p) { return std::fabs(p.at("x")); }, 30);
+  Tuner tuner(&space, TpeOptions{});
+  const auto result = tuner.Run(
+      [](const ParamMap& p) { return std::fabs(p.at("x")); }, Opts(30, 7));
   double min_seen = 1e18;
   for (const Trial& t : result.trials) {
     min_seen = std::min(min_seen, t.objective);
@@ -51,9 +59,10 @@ TEST(TunerTest, MoreTrialsNeverHurtBest) {
   // the paper's Fig. 6e table.
   ParamSpace space;
   space.AddUniform("x", 0.0, 100.0);
-  Tuner tuner(&space, TpeOptions{}, 9);
+  Tuner tuner(&space, TpeOptions{});
   const auto result = tuner.Run(
-      [](const ParamMap& p) { return std::fabs(p.at("x") - 42.0); }, 100);
+      [](const ParamMap& p) { return std::fabs(p.at("x") - 42.0); },
+      Opts(100, 9));
   double best = 1e18;
   std::vector<double> best_at;
   for (const Trial& t : result.trials) {
@@ -69,22 +78,58 @@ TEST(TunerTest, MoreTrialsNeverHurtBest) {
 TEST(TunerTest, DeterministicGivenSeed) {
   ParamSpace space;
   space.AddUniform("x", 0.0, 1.0);
-  Tuner a(&space, TpeOptions{}, 11);
-  Tuner b(&space, TpeOptions{}, 11);
+  Tuner a(&space, TpeOptions{});
+  Tuner b(&space, TpeOptions{});
   auto objective = [](const ParamMap& p) { return p.at("x"); };
-  EXPECT_DOUBLE_EQ(a.Run(objective, 20).best_objective,
-                   b.Run(objective, 20).best_objective);
+  EXPECT_DOUBLE_EQ(a.Run(objective, Opts(20, 11)).best_objective,
+                   b.Run(objective, Opts(20, 11)).best_objective);
+}
+
+TEST(TunerTest, RunsAreIndependentOnOneTuner) {
+  // The sampler is re-seeded per Run: two Run calls on the same Tuner with
+  // the same options replay identical trial sequences.
+  ParamSpace space;
+  space.AddUniform("x", 0.0, 1.0);
+  Tuner tuner(&space, TpeOptions{});
+  auto objective = [](const ParamMap& p) { return p.at("x"); };
+  const auto first = tuner.Run(objective, Opts(15, 21));
+  const auto second = tuner.Run(objective, Opts(15, 21));
+  ASSERT_EQ(first.trials.size(), second.trials.size());
+  for (std::size_t i = 0; i < first.trials.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first.trials[i].objective, second.trials[i].objective);
+  }
+}
+
+TEST(TunerTest, PatienceStopsEarlyOnFlatObjective) {
+  // A constant objective never improves after trial 0, so patience p ends
+  // the run after exactly 1 + p trials.
+  ParamSpace space;
+  space.AddUniform("x", 0.0, 1.0);
+  Tuner tuner(&space, TpeOptions{});
+  const auto result =
+      tuner.Run([](const ParamMap&) { return 1.0; }, Opts(50, 17, 5));
+  EXPECT_EQ(result.trials.size(), 6u);
+  EXPECT_DOUBLE_EQ(result.best_objective, 1.0);
+}
+
+TEST(TunerTest, ZeroPatienceDisablesEarlyStop) {
+  ParamSpace space;
+  space.AddUniform("x", 0.0, 1.0);
+  Tuner tuner(&space, TpeOptions{});
+  const auto result =
+      tuner.Run([](const ParamMap&) { return 1.0; }, Opts(12, 19, 0));
+  EXPECT_EQ(result.trials.size(), 12u);
 }
 
 TEST(TunerTest, IntegerAndCategoricalDimensions) {
   ParamSpace space;
   space.AddInt("n", 1, 9).AddCategorical("mode", {0.0, 10.0});
-  Tuner tuner(&space, TpeOptions{}, 13);
+  Tuner tuner(&space, TpeOptions{});
   const auto result = tuner.Run(
       [](const ParamMap& p) {
         return std::fabs(p.at("n") - 6.0) + p.at("mode");
       },
-      60);
+      Opts(60, 13));
   EXPECT_DOUBLE_EQ(result.best_map.at("mode"), 0.0);
   EXPECT_NEAR(result.best_map.at("n"), 6.0, 1.0);
 }

@@ -47,7 +47,7 @@ TEST(AvlTreeIndexTest, CountsUseSubtreeSizesNotScans) {
   index.Build(entries);
   std::vector<std::int64_t> ids;
   for (double t = 0; t <= 140; t += 7) {
-    index.CollectActive(t, &ids);
+    index.Collect(RccStatusCategory::kActive, t, &ids);
     EXPECT_EQ(index.CountActive(t), ids.size()) << t;
   }
 }

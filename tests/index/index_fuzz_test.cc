@@ -66,12 +66,12 @@ TEST_P(IndexFuzzTest, InterleavedMutationsMatchOracle) {
       if (entry.start <= t) oracle_created.insert(id);
     }
     std::vector<std::int64_t> ids;
-    index->CollectActive(t, &ids);
+    index->Collect(RccStatusCategory::kActive, t, &ids);
     EXPECT_EQ(std::set<std::int64_t>(ids.begin(), ids.end()), oracle_active)
         << "batch " << batch << " t=" << t;
-    index->CollectSettled(t, &ids);
+    index->Collect(RccStatusCategory::kSettled, t, &ids);
     EXPECT_EQ(std::set<std::int64_t>(ids.begin(), ids.end()), oracle_settled);
-    index->CollectCreated(t, &ids);
+    index->Collect(RccStatusCategory::kCreated, t, &ids);
     EXPECT_EQ(std::set<std::int64_t>(ids.begin(), ids.end()), oracle_created);
     EXPECT_EQ(index->CountActive(t), oracle_active.size());
   }
@@ -109,11 +109,11 @@ TEST_P(ConcurrentReadFuzzTest, EightReadersMatchSingleThreadedAnswers) {
   std::vector<ProbeAnswer> expected(probes.size());
   for (std::size_t p = 0; p < probes.size(); ++p) {
     std::vector<std::int64_t> ids;
-    index->CollectActive(probes[p], &ids);
+    index->Collect(RccStatusCategory::kActive, probes[p], &ids);
     expected[p].active.insert(ids.begin(), ids.end());
-    index->CollectSettled(probes[p], &ids);
+    index->Collect(RccStatusCategory::kSettled, probes[p], &ids);
     expected[p].settled.insert(ids.begin(), ids.end());
-    index->CollectCreated(probes[p], &ids);
+    index->Collect(RccStatusCategory::kCreated, probes[p], &ids);
     expected[p].created.insert(ids.begin(), ids.end());
     expected[p].count_active = index->CountActive(probes[p]);
   }
@@ -132,21 +132,21 @@ TEST_P(ConcurrentReadFuzzTest, EightReadersMatchSingleThreadedAnswers) {
         const auto p = static_cast<std::size_t>(local.UniformInt(
             0, static_cast<std::int64_t>(probes.size()) - 1));
         const double t = probes[p];
-        index->CollectActive(t, &ids);
+        index->Collect(RccStatusCategory::kActive, t, &ids);
         if (std::set<std::int64_t>(ids.begin(), ids.end()) !=
             expected[p].active) {
           mismatch[reader] = "CollectActive mismatch at t=" +
                              std::to_string(t);
           return;
         }
-        index->CollectSettled(t, &ids);
+        index->Collect(RccStatusCategory::kSettled, t, &ids);
         if (std::set<std::int64_t>(ids.begin(), ids.end()) !=
             expected[p].settled) {
           mismatch[reader] = "CollectSettled mismatch at t=" +
                              std::to_string(t);
           return;
         }
-        index->CollectCreated(t, &ids);
+        index->Collect(RccStatusCategory::kCreated, t, &ids);
         if (std::set<std::int64_t>(ids.begin(), ids.end()) !=
             expected[p].created) {
           mismatch[reader] = "CollectCreated mismatch at t=" +

@@ -73,11 +73,11 @@ TEST_P(IndexPropertyTest, EmptyIndexReturnsNothing) {
   auto index = MakeIndex();
   index->Build({});
   std::vector<std::int64_t> ids;
-  index->CollectActive(50.0, &ids);
+  index->Collect(RccStatusCategory::kActive, 50.0, &ids);
   EXPECT_TRUE(ids.empty());
-  index->CollectSettled(50.0, &ids);
+  index->Collect(RccStatusCategory::kSettled, 50.0, &ids);
   EXPECT_TRUE(ids.empty());
-  index->CollectCreated(50.0, &ids);
+  index->Collect(RccStatusCategory::kCreated, 50.0, &ids);
   EXPECT_TRUE(ids.empty());
   EXPECT_EQ(index->size(), 0u);
 }
@@ -91,11 +91,11 @@ TEST_P(IndexPropertyTest, MatchesOracleOnRandomWorkload) {
 
   std::vector<std::int64_t> ids;
   for (double t : {-5.0, 0.0, 10.0, 33.3, 50.0, 77.7, 99.0, 100.0, 160.0}) {
-    index->CollectActive(t, &ids);
+    index->Collect(RccStatusCategory::kActive, t, &ids);
     EXPECT_EQ(AsSet(ids), OracleActive(entries, t)) << "active @ " << t;
-    index->CollectSettled(t, &ids);
+    index->Collect(RccStatusCategory::kSettled, t, &ids);
     EXPECT_EQ(AsSet(ids), OracleSettled(entries, t)) << "settled @ " << t;
-    index->CollectCreated(t, &ids);
+    index->Collect(RccStatusCategory::kCreated, t, &ids);
     EXPECT_EQ(AsSet(ids), OracleCreated(entries, t)) << "created @ " << t;
   }
 }
@@ -109,9 +109,9 @@ TEST_P(IndexPropertyTest, CreatedIsUnionOfActiveAndSettled) {
 
   std::vector<std::int64_t> active, settled, created;
   for (double t : {5.0, 25.0, 60.0, 95.0}) {
-    index->CollectActive(t, &active);
-    index->CollectSettled(t, &settled);
-    index->CollectCreated(t, &created);
+    index->Collect(RccStatusCategory::kActive, t, &active);
+    index->Collect(RccStatusCategory::kSettled, t, &settled);
+    index->Collect(RccStatusCategory::kCreated, t, &created);
     std::set<std::int64_t> merged(active.begin(), active.end());
     merged.insert(settled.begin(), settled.end());
     EXPECT_EQ(AsSet(created), merged) << "union identity @ " << t;
@@ -131,8 +131,8 @@ TEST_P(IndexPropertyTest, NotCreatedIsComplement) {
 
   std::vector<std::int64_t> created, not_created;
   for (double t : {0.0, 40.0, 90.0}) {
-    index->CollectCreated(t, &created);
-    index->CollectNotCreated(t, &not_created);
+    index->Collect(RccStatusCategory::kCreated, t, &created);
+    index->Collect(RccStatusCategory::kNotCreated, t, &not_created);
     EXPECT_EQ(created.size() + not_created.size(), entries.size());
     std::set<std::int64_t> all(created.begin(), created.end());
     all.insert(not_created.begin(), not_created.end());
@@ -147,11 +147,11 @@ TEST_P(IndexPropertyTest, CountsMatchCollects) {
   index->Build(entries);
   std::vector<std::int64_t> ids;
   for (double t : {10.0, 50.0, 90.0}) {
-    index->CollectActive(t, &ids);
+    index->Collect(RccStatusCategory::kActive, t, &ids);
     EXPECT_EQ(index->CountActive(t), ids.size());
-    index->CollectSettled(t, &ids);
+    index->Collect(RccStatusCategory::kSettled, t, &ids);
     EXPECT_EQ(index->CountSettled(t), ids.size());
-    index->CollectCreated(t, &ids);
+    index->Collect(RccStatusCategory::kCreated, t, &ids);
     EXPECT_EQ(index->CountCreated(t), ids.size());
   }
 }
@@ -182,9 +182,9 @@ TEST_P(IndexPropertyTest, OpenIntervalsNeverSettle) {
   auto index = MakeIndex();
   index->Build(entries);
   std::vector<std::int64_t> ids;
-  index->CollectSettled(1e9, &ids);
+  index->Collect(RccStatusCategory::kSettled, 1e9, &ids);
   EXPECT_EQ(AsSet(ids), std::set<std::int64_t>{2});
-  index->CollectActive(1e9, &ids);
+  index->Collect(RccStatusCategory::kActive, 1e9, &ids);
   EXPECT_EQ(AsSet(ids), std::set<std::int64_t>{1});
 }
 
@@ -212,7 +212,7 @@ TEST_P(IndexPropertyTest, DuplicateKeysAreAllRetrievable) {
   auto index = MakeIndex();
   index->Build(entries);
   std::vector<std::int64_t> ids;
-  index->CollectActive(50.0, &ids);
+  index->Collect(RccStatusCategory::kActive, 50.0, &ids);
   EXPECT_EQ(ids.size(), 50u);
   EXPECT_EQ(AsSet(ids).size(), 50u);
 }
@@ -228,11 +228,11 @@ TEST_P(IndexPropertyTest, DynamicInsertMatchesBulkBuild) {
 
   std::vector<std::int64_t> a, b;
   for (double t : {15.0, 45.0, 85.0}) {
-    bulk->CollectActive(t, &a);
-    dynamic->CollectActive(t, &b);
+    bulk->Collect(RccStatusCategory::kActive, t, &a);
+    dynamic->Collect(RccStatusCategory::kActive, t, &b);
     EXPECT_EQ(AsSet(a), AsSet(b));
-    bulk->CollectSettled(t, &a);
-    dynamic->CollectSettled(t, &b);
+    bulk->Collect(RccStatusCategory::kSettled, t, &a);
+    dynamic->Collect(RccStatusCategory::kSettled, t, &b);
     EXPECT_EQ(AsSet(a), AsSet(b));
   }
 }
@@ -255,7 +255,7 @@ TEST_P(IndexPropertyTest, EraseRemovesExactlyOneEntry) {
   EXPECT_EQ(index->size(), kept.size());
   std::vector<std::int64_t> ids;
   for (double t : {20.0, 60.0}) {
-    index->CollectCreated(t, &ids);
+    index->Collect(RccStatusCategory::kCreated, t, &ids);
     EXPECT_EQ(AsSet(ids), OracleCreated(kept, t));
   }
 }
@@ -273,7 +273,7 @@ TEST_P(IndexPropertyTest, RebuildReplacesContents) {
   index->Build({{10.0, 20.0, 3}});
   EXPECT_EQ(index->size(), 1u);
   std::vector<std::int64_t> ids;
-  index->CollectCreated(100.0, &ids);
+  index->Collect(RccStatusCategory::kCreated, 100.0, &ids);
   EXPECT_EQ(AsSet(ids), std::set<std::int64_t>{3});
 }
 

@@ -33,7 +33,7 @@ TEST(IntervalTreeIndexTest, StabbingQueryPrunesCorrectly) {
       {50.0, 50.0, 6},   // zero-width: settles instantly
   });
   std::vector<std::int64_t> ids;
-  index.CollectActive(50.0, &ids);
+  index.Collect(RccStatusCategory::kActive, 50.0, &ids);
   std::sort(ids.begin(), ids.end());
   EXPECT_EQ(ids, (std::vector<std::int64_t>{1, 2, 3}));
 }
@@ -67,7 +67,7 @@ TEST(IntervalTreeIndexTest, EraseMaintainsAugmentation) {
   }
   for (double t : {10.0, 50.0, 90.0}) {
     std::vector<std::int64_t> got;
-    index.CollectActive(t, &got);
+    index.Collect(RccStatusCategory::kActive, t, &got);
     std::size_t expected = 0;
     for (const auto& e : kept) {
       if (e.start <= t && e.end > t) ++expected;

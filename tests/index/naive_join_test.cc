@@ -23,7 +23,7 @@ TEST(NaiveJoinIndexTest, InsertKeepsSortedOrderInvariant) {
   index.Build({{5.0, 10.0, 1}, {1.0, 3.0, 2}});
   index.Insert({3.0, 4.0, 3});
   std::vector<std::int64_t> ids;
-  index.CollectCreated(100.0, &ids);
+  index.Collect(RccStatusCategory::kCreated, 100.0, &ids);
   EXPECT_EQ(ids, (std::vector<std::int64_t>{2, 3, 1}));  // start order
 }
 
@@ -34,7 +34,7 @@ TEST(NaiveJoinIndexTest, EraseByIdAndInterval) {
   EXPECT_EQ(index.size(), 1u);
   EXPECT_FALSE(index.Erase({1.0, 2.0, 1}).ok());
   std::vector<std::int64_t> ids;
-  index.CollectCreated(5.0, &ids);
+  index.Collect(RccStatusCategory::kCreated, 5.0, &ids);
   EXPECT_EQ(ids, std::vector<std::int64_t>{2});
 }
 

@@ -79,8 +79,11 @@ TEST(ObservabilityIntegrationTest, PipelineRunEmitsTheExpectedSpanSet) {
   // Tuner: one span per trial.
   ParamSpace space;
   space.AddUniform("x", 0.0, 1.0);
-  Tuner tuner(&space, TpeOptions{}, 11);
-  tuner.Run([](const ParamMap& p) { return p.at("x"); }, 4);
+  Tuner tuner(&space, TpeOptions{});
+  TunerOptions tuner_options;
+  tuner_options.num_trials = 4;
+  tuner_options.seed = 11;
+  tuner.Run([](const ParamMap& p) { return p.at("x"); }, tuner_options);
 
   EXPECT_GT(SpanObservations("features.block_sweep"), before_sweep);
   EXPECT_GT(SpanObservations("gbt.fit"), before_fit);

@@ -7,6 +7,8 @@
 //   domd train     --dir DATA --model FILE [--window X] [--k K]
 //                  [--rounds R] [--seed S] [--threads N]
 //                  [--bundle DIR [--bundle-version V]]
+//   domd tune      --dir DATA [--trials N] [--patience P] [--seed S]
+//                  [--window X] [--k K] [--threads N]
 //   domd evaluate  --dir DATA --model FILE [--threads N]
 //   domd query     --dir DATA --model FILE --avail ID [--t T*] [--top K]
 //                  [--threads N]
@@ -27,6 +29,11 @@
 // search, and cross-validation (0 = one per hardware thread, the default).
 // Results are bit-identical for every N; the knob only trades wall-clock.
 //
+// --cache-bytes B (train/tune/evaluate/query/predict/report) budgets the
+// process-wide modeling-view cache; 0 disables caching. Like --threads, it
+// never changes a single output bit — only how often feature engineering
+// reruns.
+//
 // --metrics-json FILE (any command) dumps the run's metric registry as
 // JSON on exit: pipeline span histograms (features.block_sweep, gbt.fit,
 // gbt.split_search, cv.fold, hpt.trial) plus any counters/gauges the
@@ -34,13 +41,17 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
 
 #include <fstream>
 
+#include "cache/view_cache.h"
 #include "core/domd_estimator.h"
+#include "core/pipeline_optimizer.h"
+#include "data/logical_time.h"
 #include "data/integrity.h"
 #include "obs/metrics.h"
 #include "serve/wire.h"
@@ -99,6 +110,13 @@ Parallelism ThreadsFlag(const Flags& flags) {
   Parallelism parallelism;
   parallelism.num_threads = std::atoi(FlagOr(flags, "threads", "0").c_str());
   return parallelism;
+}
+
+// --cache-bytes B; byte budget of the modeling-view cache (0 disables).
+std::size_t CacheBytesFlag(const Flags& flags) {
+  const auto it = flags.find("cache-bytes");
+  if (it == flags.end()) return kDefaultViewCacheBytes;
+  return static_cast<std::size_t>(std::atoll(it->second.c_str()));
 }
 
 StatusOr<Dataset> LoadData(const Flags& flags) {
@@ -232,6 +250,7 @@ int CmdTrain(const Flags& flags) {
   config.seed = static_cast<std::uint64_t>(
       std::atoll(FlagOr(flags, "seed", "42").c_str()));
   config.parallelism = ThreadsFlag(flags);
+  config.cache_bytes = CacheBytesFlag(flags);
 
   Rng rng(config.seed + 1);
   const DataSplit split = *MakeSplit(data->avails, SplitOptions{}, &rng);
@@ -273,6 +292,72 @@ int CmdTrain(const Flags& flags) {
   return 0;
 }
 
+// AutoHPT from the command line: TPE search over the GBT space, trial
+// objective = mean validation MAE of the full timeline. Every trial
+// re-requests the train/validation views through the modeling-view cache,
+// so trial 2..N skip feature engineering entirely (watch the hit ratio the
+// command prints, or pass --cache-bytes 0 to feel the difference).
+int CmdTune(const Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+
+  PipelineConfig config;
+  config.window_width_pct = std::atof(FlagOr(flags, "window", "10").c_str());
+  config.num_features =
+      static_cast<std::size_t>(std::atoi(FlagOr(flags, "k", "60").c_str()));
+  config.seed = static_cast<std::uint64_t>(
+      std::atoll(FlagOr(flags, "seed", "42").c_str()));
+  config.parallelism = ThreadsFlag(flags);
+  config.cache_bytes = CacheBytesFlag(flags);
+
+  Rng rng(config.seed + 1);
+  const DataSplit split = *MakeSplit(data->avails, SplitOptions{}, &rng);
+  const std::vector<double> grid = LogicalTimeGrid(config.window_width_pct);
+  const FeatureEngineer engineer(&*data);
+  std::vector<std::string> names;
+  names.reserve(engineer.catalog().size());
+  for (const FeatureDef& def : engineer.catalog().features()) {
+    names.push_back(def.name);
+  }
+
+  const ParamSpace space = PipelineOptimizer::GbtSearchSpace();
+  const auto objective = [&](const ParamMap& map) {
+    // Deliberately inside the trial: cache hit after the first trial.
+    const auto train = BuildModelingViewShared(
+        *data, engineer, split.train, grid, config.parallelism,
+        config.cache_bytes);
+    const auto validation = BuildModelingViewShared(
+        *data, engineer, split.validation, grid, config.parallelism,
+        config.cache_bytes);
+    PipelineConfig candidate = config;
+    PipelineOptimizer::ApplyGbtParams(map, &candidate.gbt);
+    candidate.fusion = FusionMethod::kNone;
+    TimelineModelSet models;
+    if (!models.Fit(candidate, *train, names).ok()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return TimelineValidationMae(models, *validation, candidate.fusion);
+  };
+
+  TunerOptions tuner_options;
+  tuner_options.num_trials = std::atoi(FlagOr(flags, "trials", "30").c_str());
+  tuner_options.patience = std::atoi(FlagOr(flags, "patience", "0").c_str());
+  tuner_options.seed = config.seed + 1;
+  Tuner tuner(&space, TpeOptions{});
+  const TuningResult result = tuner.Run(objective, tuner_options);
+
+  std::printf("ran %zu trials; best validation MAE %.4f\n",
+              result.trials.size(), result.best_objective);
+  for (const auto& [name, value] : result.best_map) {
+    std::printf("  %-18s %.6g\n", name.c_str(), value);
+  }
+  const ViewCacheStats stats = ViewCache::Default().Stats();
+  std::printf("view cache: %zu hits / %zu misses (hit ratio %.2f), "
+              "%zu bytes live\n",
+              stats.hits, stats.misses, stats.HitRatio(), stats.bytes);
+  return 0;
+}
+
 int CmdEvaluate(const Flags& flags) {
   auto data = LoadData(flags);
   if (!data.ok()) return Fail(data.status());
@@ -281,7 +366,8 @@ int CmdEvaluate(const Flags& flags) {
     return Fail(Status::InvalidArgument("--model is required"));
   }
   auto estimator =
-      DomdEstimator::LoadModels(&*data, model_it->second, ThreadsFlag(flags));
+      DomdEstimator::LoadModels(&*data, model_it->second, ThreadsFlag(flags),
+                                CacheBytesFlag(flags));
   if (!estimator.ok()) return Fail(estimator.status());
 
   // Table-7-style panel over every closed avail.
@@ -312,7 +398,8 @@ int CmdQuery(const Flags& flags) {
     return Fail(Status::InvalidArgument("--model and --avail are required"));
   }
   auto estimator =
-      DomdEstimator::LoadModels(&*data, model_it->second, ThreadsFlag(flags));
+      DomdEstimator::LoadModels(&*data, model_it->second, ThreadsFlag(flags),
+                                CacheBytesFlag(flags));
   if (!estimator.ok()) return Fail(estimator.status());
 
   const std::int64_t avail_id = std::atoll(avail_it->second.c_str());
@@ -347,7 +434,8 @@ int CmdPredict(const Flags& flags) {
   if (bundle_it == flags.end()) {
     return Fail(Status::InvalidArgument("--bundle is required"));
   }
-  auto bundle = ModelBundle::Load(bundle_it->second, ThreadsFlag(flags));
+  auto bundle = ModelBundle::Load(bundle_it->second, ThreadsFlag(flags),
+                                  CacheBytesFlag(flags));
   if (!bundle.ok()) return Fail(bundle.status());
 
   if (const auto request_it = flags.find("request");
@@ -474,7 +562,8 @@ int CmdReport(const Flags& flags) {
     return Fail(Status::InvalidArgument("--model is required"));
   }
   auto estimator =
-      DomdEstimator::LoadModels(&*data, model_it->second, ThreadsFlag(flags));
+      DomdEstimator::LoadModels(&*data, model_it->second, ThreadsFlag(flags),
+                                CacheBytesFlag(flags));
   if (!estimator.ok()) return Fail(estimator.status());
 
   ReportOptions options;
@@ -501,8 +590,8 @@ int CmdReport(const Flags& flags) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: domd <generate|obfuscate|stats|train|evaluate|query|predict|"
-      "sql|report> [flags]\n"
+      "usage: domd <generate|obfuscate|stats|train|tune|evaluate|query|"
+      "predict|sql|report> [flags]\n"
       "  see the header of tools/domd_cli.cc for flag details\n");
   return 2;
 }
@@ -520,6 +609,7 @@ int main(int argc, char** argv) {
   else if (command == "obfuscate") exit_code = domd::CmdObfuscate(flags);
   else if (command == "stats") exit_code = domd::CmdStats(flags);
   else if (command == "train") exit_code = domd::CmdTrain(flags);
+  else if (command == "tune") exit_code = domd::CmdTune(flags);
   else if (command == "evaluate") exit_code = domd::CmdEvaluate(flags);
   else if (command == "query") exit_code = domd::CmdQuery(flags);
   else if (command == "predict") exit_code = domd::CmdPredict(flags);

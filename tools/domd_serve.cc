@@ -1,7 +1,7 @@
 // domd_serve — online DoMD prediction service over newline-delimited JSON.
 //
 //   domd_serve --bundle DIR [--port P] [--threads N] [--max-queue Q]
-//              [--max-batch B] [--batch-linger-us U]
+//              [--max-batch B] [--batch-linger-us U] [--cache-bytes B]
 //
 // Listens on 127.0.0.1:P (P = 0 picks an ephemeral port; the chosen port is
 // printed on stdout as "listening on 127.0.0.1:<port>"). Each connection
@@ -71,6 +71,7 @@ std::string FlagOr(const Flags& flags, const std::string& key,
 struct Server {
   PredictionService* service = nullptr;
   Parallelism parallelism;
+  std::size_t cache_bytes = kDefaultViewCacheBytes;
   std::atomic<bool> stopping{false};
   int listen_fd = -1;
 
@@ -145,7 +146,10 @@ std::string HandleLine(Server& server, const std::string& line,
       return ErrorToJson(Status::InvalidArgument("swap needs \"bundle\""))
           .Serialize();
     }
-    auto bundle = ModelBundle::Load(dir, server.parallelism);
+    // Hot-swap to a content-identical reference fleet reuses the live
+    // modeling-view snapshot via the cache (same fingerprint, no rebuild).
+    auto bundle = ModelBundle::Load(dir, server.parallelism,
+                                    server.cache_bytes);
     if (!bundle.ok()) return ErrorToJson(bundle.status()).Serialize();
     server.service->SwapBundle(*bundle);
     JsonValue out = JsonValue::Object();
@@ -228,8 +232,13 @@ int Run(const Flags& flags) {
   Parallelism parallelism;
   parallelism.num_threads =
       std::atoi(FlagOr(flags, "threads", "0").c_str());
+  std::size_t cache_bytes = kDefaultViewCacheBytes;
+  if (const auto it = flags.find("cache-bytes"); it != flags.end()) {
+    cache_bytes = static_cast<std::size_t>(std::atoll(it->second.c_str()));
+  }
 
-  auto bundle = ModelBundle::Load(bundle_it->second, parallelism);
+  auto bundle = ModelBundle::Load(bundle_it->second, parallelism,
+                                  cache_bytes);
   if (!bundle.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  bundle.status().ToString().c_str());
@@ -249,6 +258,7 @@ int Run(const Flags& flags) {
   Server server;
   server.service = &service;
   server.parallelism = parallelism;
+  server.cache_bytes = cache_bytes;
 
   server.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (server.listen_fd < 0) {
