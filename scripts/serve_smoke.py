@@ -1,20 +1,31 @@
 #!/usr/bin/env python3
 """Socket-level smoke test for domd_serve.
 
-Usage: serve_smoke.py BUILD_DIR
+Usage: serve_smoke.py BUILD_DIR [--inject-faults]
 
 Generates a small fleet, trains a bundle via the domd CLI, starts
 domd_serve on an ephemeral port, drives the newline-delimited JSON
-protocol end to end (ping / reference predict / detached predict /
+protocol end to end (ping / health / reference predict / detached predict /
 validation error / metrics / stats / swap / shutdown), and verifies every
 response — including that the `metrics` payload is well-formed Prometheus
-text exposition with the serving histograms populated. Exits non-zero on
-the first mismatch. Used by the CI serving smoke job; runnable locally the
-same way.
+text exposition with the serving histograms populated. The client dials
+the server with exponential backoff and probes `health` before the first
+predict, the same discipline a production caller would use.
+
+With --inject-faults the server is started under a deterministic fault
+spec (`serve.bundle.read=fail-first:2`) so the initial bundle load must
+survive two injected read failures via its internal retry, and a
+corrupt-bundle fixture (one flipped byte in models.txt) is offered via
+`swap` — the server must reject it as DATA_LOSS, keep serving the
+last-known-good bundle bit-identically, and still report ready.
+
+Exits non-zero on the first mismatch. Used by the CI serving smoke and
+chaos jobs; runnable locally the same way.
 """
 
 import json
 import re
+import shutil
 import socket
 import subprocess
 import sys
@@ -114,16 +125,67 @@ def run_cli(cli, *args):
     return result.stdout
 
 
-def main():
-    if len(sys.argv) != 2:
-        fail(__doc__.strip())
-    build = Path(sys.argv[1])
-    cli = build / "tools" / "domd"
-    server_bin = build / "tools" / "domd_serve"
-    expect(cli.exists(), f"missing {cli}")
-    expect(server_bin.exists(), f"missing {server_bin}")
+def connect_with_retry(port, attempts=5, backoff_s=0.2):
+    """Dials the server with exponential backoff; transient connection
+    refusals (server still binding) are absorbed, persistent ones fail."""
+    delay = backoff_s
+    for attempt in range(1, attempts + 1):
+        try:
+            return socket.create_connection(("127.0.0.1", port), timeout=30)
+        except OSError as error:
+            if attempt == attempts:
+                fail(f"cannot connect to 127.0.0.1:{port} after "
+                     f"{attempts} attempts: {error}")
+            time.sleep(delay)
+            delay *= 2
 
-    work = Path(tempfile.mkdtemp(prefix="domd_serve_smoke_"))
+
+def start_server(server_bin, bundle, extra_args=()):
+    """Starts domd_serve on an ephemeral port; returns (process, port)."""
+    server = subprocess.Popen(
+        [str(server_bin), "--bundle", str(bundle), "--port", "0",
+         *extra_args],
+        stdout=subprocess.PIPE, text=True)
+    port = None
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        line = server.stdout.readline()
+        if not line:
+            break
+        match = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+        if match:
+            port = int(match.group(1))
+            break
+    if port is None:
+        server.kill()
+        fail("server never reported its port")
+    return server, port
+
+
+def make_rpc(stream):
+    def rpc(request):
+        stream.write(json.dumps(request) + "\n")
+        stream.flush()
+        line = stream.readline()
+        expect(line, f"no response to {request}")
+        return json.loads(line)
+    return rpc
+
+
+def probe_health(rpc, version):
+    """Readiness gate a production client runs before routing traffic."""
+    health = rpc({"cmd": "health"})
+    expect(health.get("ok") and health.get("ready") is True and
+           health.get("bundle_version") == version and
+           health.get("breaker_state") == "closed",
+           f"bad health response: {health}")
+    return health
+
+
+def train_bundles(build, work):
+    """Generates a fleet and trains the v1/v2 bundles used by both modes."""
+    cli = build / "tools" / "domd"
+    expect(cli.exists(), f"missing {cli}")
     fleet = work / "fleet"
     bundle_v1 = work / "bundle_v1"
     bundle_v2 = work / "bundle_v2"
@@ -144,34 +206,22 @@ def main():
     predict_out = run_cli(cli, "predict", "--bundle", str(bundle_v1),
                           "--avail", "3", "--t", "60")
     expect("days" in predict_out, f"unexpected predict output: {predict_out}")
+    return bundle_v1, bundle_v2
 
-    server = subprocess.Popen(
-        [str(server_bin), "--bundle", str(bundle_v1), "--port", "0"],
-        stdout=subprocess.PIPE, text=True)
+
+def run_normal_flow(server_bin, bundle_v1, bundle_v2):
+    server, port = start_server(server_bin, bundle_v1)
     try:
-        port = None
-        deadline = time.time() + 30
-        while time.time() < deadline:
-            line = server.stdout.readline()
-            match = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
-            if match:
-                port = int(match.group(1))
-                break
-        expect(port is not None, "server never reported its port")
-
-        with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+        with connect_with_retry(port) as sock:
             stream = sock.makefile("rw")
-
-            def rpc(request):
-                stream.write(json.dumps(request) + "\n")
-                stream.flush()
-                line = stream.readline()
-                expect(line, f"no response to {request}")
-                return json.loads(line)
+            rpc = make_rpc(stream)
 
             ping = rpc({"cmd": "ping"})
             expect(ping.get("ok") and ping.get("bundle_version") == "v1",
                    f"bad ping response: {ping}")
+
+            # Health probe before the first predict, like a real client.
+            probe_health(rpc, "v1")
 
             reference = rpc({"avail_id": 3, "t_star": 60})
             expect(reference.get("ok") and
@@ -236,7 +286,9 @@ def main():
             counters = stats.get("stats", {})
             expect(stats.get("ok") and counters.get("swaps") == 1 and
                    counters.get("completed_ok", 0) >= 2 and
-                   counters.get("rejected_overload") == 0,
+                   counters.get("rejected_overload") == 0 and
+                   counters.get("swap_failures") == 0 and
+                   stats.get("breaker_state") == "closed",
                    f"bad stats response: {stats}")
 
             done = rpc({"cmd": "shutdown"})
@@ -250,7 +302,91 @@ def main():
         if server.poll() is None:
             server.kill()
 
-    print("serve_smoke: PASS")
+
+def run_fault_flow(server_bin, bundle_v1, bundle_v2, work):
+    """Chaos mode: the initial load must absorb two injected read faults,
+    and a corrupt bundle offered via swap must be rejected as DATA_LOSS
+    while the last-known-good bundle keeps serving bit-identically."""
+    corrupt = work / "bundle_corrupt"
+    shutil.copytree(bundle_v2, corrupt)
+    target = corrupt / "models.txt"
+    payload = bytearray(target.read_bytes())
+    expect(len(payload) > 100, f"{target} implausibly small")
+    payload[100] ^= 0x40  # one flipped byte, invisible without checksums.
+    target.write_bytes(bytes(payload))
+
+    server, port = start_server(
+        server_bin, bundle_v1,
+        ("--fault-spec", "serve.bundle.read=fail-first:2"))
+    try:
+        with connect_with_retry(port) as sock:
+            stream = sock.makefile("rw")
+            rpc = make_rpc(stream)
+
+            # Reaching here at all proves the initial load retried through
+            # the two injected read failures with zero client-visible
+            # errors; health confirms the server is ready on v1.
+            probe_health(rpc, "v1")
+
+            baseline = rpc(DETACHED_REQUEST)
+            expect(baseline.get("ok") and
+                   baseline.get("bundle_version") == "v1",
+                   f"bad pre-swap predict: {baseline}")
+
+            swap = rpc({"cmd": "swap", "bundle": str(corrupt)})
+            expect(not swap.get("ok") and swap.get("code") == "DATA_LOSS" and
+                   swap.get("bundle_version") == "v1",
+                   f"corrupt bundle not rejected as DATA_LOSS: {swap}")
+
+            # Degraded gracefully: still ready, still on v1, predictions
+            # bit-identical to before the failed swap.
+            probe_health(rpc, "v1")
+            after = rpc(DETACHED_REQUEST)
+            expect(after.get("ok") and after.get("bundle_version") == "v1" and
+                   after["estimate_days"] == baseline["estimate_days"],
+                   f"post-failed-swap predict drifted: {after}")
+
+            stats = rpc({"cmd": "stats"})
+            counters = stats.get("stats", {})
+            expect(counters.get("swap_failures") == 1 and
+                   counters.get("swaps") == 0,
+                   f"swap failure not counted: {stats}")
+
+            # The pristine copy of the same version still swaps cleanly.
+            healthy = rpc({"cmd": "swap", "bundle": str(bundle_v2)})
+            expect(healthy.get("ok") and
+                   healthy.get("bundle_version") == "v2",
+                   f"healthy swap failed after rejection: {healthy}")
+
+            done = rpc({"cmd": "shutdown"})
+            expect(done.get("ok") and done.get("shutting_down"),
+                   f"bad shutdown response: {done}")
+
+        expect(server.wait(timeout=30) == 0, "server exited non-zero")
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+
+def main():
+    args = [a for a in sys.argv[1:]]
+    inject_faults = "--inject-faults" in args
+    args = [a for a in args if a != "--inject-faults"]
+    if len(args) != 1:
+        fail(__doc__.strip())
+    build = Path(args[0])
+    server_bin = build / "tools" / "domd_serve"
+    expect(server_bin.exists(), f"missing {server_bin}")
+
+    work = Path(tempfile.mkdtemp(prefix="domd_serve_smoke_"))
+    bundle_v1, bundle_v2 = train_bundles(build, work)
+
+    if inject_faults:
+        run_fault_flow(server_bin, bundle_v1, bundle_v2, work)
+        print("serve_smoke: PASS (fault injection)")
+    else:
+        run_normal_flow(server_bin, bundle_v1, bundle_v2)
+        print("serve_smoke: PASS")
 
 
 if __name__ == "__main__":

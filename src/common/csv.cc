@@ -24,10 +24,15 @@ void AppendField(std::string* out, std::string_view field) {
 }
 
 // Parses one CSV record starting at *pos; advances *pos past the record's
-// trailing newline. Returns false on unterminated quote.
+// trailing newline. Returns false on unterminated quote. *lines_spanned is
+// the number of physical lines the record occupies (1 plus any newlines
+// consumed inside quoted fields), so callers can report 1-based physical
+// line numbers even after multi-line quoted fields.
 bool ParseRecord(std::string_view text, std::size_t* pos,
-                 std::vector<std::string>* fields) {
+                 std::vector<std::string>* fields,
+                 std::size_t* lines_spanned) {
   fields->clear();
+  *lines_spanned = 1;
   std::string field;
   bool in_quotes = false;
   std::size_t i = *pos;
@@ -42,6 +47,7 @@ bool ParseRecord(std::string_view text, std::size_t* pos,
           in_quotes = false;
         }
       } else {
+        if (c == '\n') ++*lines_spanned;
         field.push_back(c);
       }
     } else if (c == '"') {
@@ -76,24 +82,30 @@ StatusOr<CsvDocument> CsvDocument::Parse(std::string_view text) {
   CsvDocument doc;
   std::size_t pos = 0;
   std::vector<std::string> fields;
+  // `line` is the 1-based PHYSICAL line where the next record starts —
+  // quoted fields may span newlines, so record index and line number
+  // diverge; error messages always name the line an editor would show.
+  std::size_t line = 1;
+  std::size_t spanned = 0;
   if (pos < text.size()) {
-    if (!ParseRecord(text, &pos, &fields)) {
+    if (!ParseRecord(text, &pos, &fields, &spanned)) {
       return Status::InvalidArgument("unterminated quote in CSV header");
     }
     doc.header_ = fields;
+    line += spanned;
   }
-  std::size_t line = 1;
   while (pos < text.size()) {
-    ++line;
-    if (!ParseRecord(text, &pos, &fields)) {
-      return Status::InvalidArgument("unterminated quote in CSV row " +
-                                     std::to_string(line));
+    const std::size_t row_line = line;
+    if (!ParseRecord(text, &pos, &fields, &spanned)) {
+      return Status::InvalidArgument("unterminated quote in CSV row at line " +
+                                     std::to_string(row_line));
     }
+    line += spanned;
     // Skip blank trailing lines.
     if (fields.size() == 1 && fields[0].empty()) continue;
     if (fields.size() != doc.header_.size()) {
       return Status::InvalidArgument(
-          "CSV row " + std::to_string(line) + " has " +
+          "CSV row at line " + std::to_string(row_line) + " has " +
           std::to_string(fields.size()) + " fields, header has " +
           std::to_string(doc.header_.size()));
     }

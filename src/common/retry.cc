@@ -1,0 +1,60 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace domd {
+
+bool IsRetryableCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kIoError:
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Backoff::Backoff(const RetryOptions& options)
+    : options_(options),
+      rng_(Rng::ForStream(options.seed, options.stream)),
+      wait_ms_(static_cast<double>(options.initial_backoff.count())) {}
+
+bool Backoff::NextDelay() {
+  if (attempt_ >= options_.max_attempts) return false;
+
+  const double jitter = std::clamp(options_.jitter, 0.0, 1.0);
+  // The rng draw happens unconditionally for jitter == 0 too, so turning
+  // jitter on or off never shifts the stream consumed by later waits.
+  const double factor = 1.0 + jitter * (2.0 * rng_.Uniform() - 1.0);
+  const double wait_ms = std::max(0.0, wait_ms_ * factor);
+  const auto wait = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double, std::milli>(wait_ms));
+
+  if (options_.deadline.has_value() &&
+      RetryOptions::Clock::now() + wait > *options_.deadline) {
+    return false;  // the wait would overshoot the caller's deadline.
+  }
+
+  if (options_.sleeper) {
+    options_.sleeper(wait);
+  } else if (wait.count() > 0) {
+    std::this_thread::sleep_for(wait);
+  }
+  wait_ms_ *= std::max(1.0, options_.backoff_multiplier);
+  ++attempt_;
+  return true;
+}
+
+Status RetryWithBackoff(const RetryOptions& options,
+                        const std::function<Status()>& op) {
+  Backoff backoff(options);
+  for (;;) {
+    Status status = op();
+    if (status.ok() || !IsRetryableCode(status.code())) return status;
+    if (!backoff.NextDelay()) return status;
+  }
+}
+
+}  // namespace domd

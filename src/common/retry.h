@@ -1,0 +1,85 @@
+#ifndef DOMD_COMMON_RETRY_H_
+#define DOMD_COMMON_RETRY_H_
+
+#include <chrono>
+#include <functional>
+#include <optional>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace domd {
+
+/// Bounded retry-with-exponential-backoff, shared by bundle loading and
+/// the serving swap path. All stochastic jitter comes from Rng::ForStream,
+/// so a given (seed, stream) retries with the same schedule every run.
+struct RetryOptions {
+  using Clock = std::chrono::steady_clock;
+
+  /// Total attempts, including the first (1 = no retry).
+  int max_attempts = 4;
+  /// Backoff before attempt 2; each later wait multiplies by
+  /// `backoff_multiplier`.
+  std::chrono::milliseconds initial_backoff{10};
+  double backoff_multiplier = 2.0;
+  /// Each wait is scaled by a factor drawn uniformly from
+  /// [1 - jitter, 1 + jitter] (deterministic per seed/stream).
+  double jitter = 0.2;
+  std::uint64_t seed = 0;
+  std::uint64_t stream = 0;
+  /// Optional absolute deadline: no attempt starts after it, and a wait
+  /// that would overshoot it is abandoned (the last error is returned).
+  std::optional<Clock::time_point> deadline;
+  /// Sleep hook; tests substitute a recorder so schedules are asserted
+  /// without real waiting. Defaults to std::this_thread::sleep_for.
+  std::function<void(std::chrono::nanoseconds)> sleeper;
+};
+
+/// Codes worth retrying: transient I/O errors and temporary unavailability
+/// (breaker open, overload). Corruption (kDataLoss), validation, and
+/// precondition failures are permanent — retrying cannot fix them.
+bool IsRetryableCode(StatusCode code);
+
+/// The deterministic backoff schedule behind RetryWithBackoff, exposed so
+/// StatusOr-returning operations can share one implementation.
+class Backoff {
+ public:
+  explicit Backoff(const RetryOptions& options);
+
+  /// Called after a failed attempt. Returns true after sleeping the next
+  /// backoff (caller should retry); false when attempts or the deadline
+  /// are exhausted (caller should give up with the last error).
+  bool NextDelay();
+
+  int attempts_started() const { return attempt_; }
+
+ private:
+  RetryOptions options_;
+  Rng rng_;
+  double wait_ms_;
+  int attempt_ = 1;  ///< attempts started so far.
+};
+
+/// Runs `op` up to options.max_attempts times, backing off exponentially
+/// (with deterministic jitter) between attempts, and retrying only
+/// IsRetryableCode failures. Returns the first OK, or the last error.
+Status RetryWithBackoff(const RetryOptions& options,
+                        const std::function<Status()>& op);
+
+/// StatusOr variant of RetryWithBackoff.
+template <typename T>
+StatusOr<T> RetryWithBackoff(const RetryOptions& options,
+                             const std::function<StatusOr<T>()>& op) {
+  Backoff backoff(options);
+  for (;;) {
+    StatusOr<T> result = op();
+    if (result.ok() || !IsRetryableCode(result.status().code())) {
+      return result;
+    }
+    if (!backoff.NextDelay()) return result;
+  }
+}
+
+}  // namespace domd
+
+#endif  // DOMD_COMMON_RETRY_H_

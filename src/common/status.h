@@ -23,6 +23,8 @@ enum class StatusCode {
   kIoError,
   kResourceExhausted,  ///< admission control: queue/capacity bound hit.
   kDeadlineExceeded,   ///< the caller's deadline passed before completion.
+  kUnavailable,        ///< transient: the service is shedding load; retry.
+  kDataLoss,           ///< unrecoverable corruption (torn write, bad sum).
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -70,6 +72,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -74,6 +74,12 @@ StatusOr<DomdEstimator> DomdEstimator::LoadModels(
     const Parallelism& parallelism, std::size_t cache_bytes) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
+  return LoadModelsFromStream(data, in, parallelism, cache_bytes);
+}
+
+StatusOr<DomdEstimator> DomdEstimator::LoadModelsFromStream(
+    const Dataset* data, std::istream& in, const Parallelism& parallelism,
+    std::size_t cache_bytes) {
   auto models = TimelineModelSet::Load(in);
   if (!models.ok()) return models.status();
 

@@ -2,6 +2,7 @@
 #define DOMD_CORE_DOMD_ESTIMATOR_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "core/pipeline_optimizer.h"
@@ -67,6 +68,15 @@ class DomdEstimator {
   /// dataset must outlive the estimator.
   static StatusOr<DomdEstimator> LoadModels(
       const Dataset* data, const std::string& path,
+      const Parallelism& parallelism = {},
+      std::size_t cache_bytes = kDefaultViewCacheBytes);
+
+  /// Stream variant of LoadModels: parses the model set from `in` instead
+  /// of opening a file. The bundle loader uses this to parse models from
+  /// bytes it has already checksum-verified, so a corrupt artifact can
+  /// never be half-parsed.
+  static StatusOr<DomdEstimator> LoadModelsFromStream(
+      const Dataset* data, std::istream& in,
       const Parallelism& parallelism = {},
       std::size_t cache_bytes = kDefaultViewCacheBytes);
 

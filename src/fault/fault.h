@@ -1,0 +1,182 @@
+#ifndef DOMD_FAULT_FAULT_H_
+#define DOMD_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+/// Compile-time kill switch, mirroring the observability one: building with
+/// -DDOMD_DISABLE_FAULTS compiles every DOMD_FAULT_* macro to a no-op with
+/// zero instructions at the call site. The library below still exists (the
+/// registry tests link it); only the inline injection sites vanish, so a
+/// production binary carries no fault plumbing on its hot paths.
+#if !defined(DOMD_DISABLE_FAULTS)
+#define DOMD_FAULT_COMPILED 1
+#else
+#define DOMD_FAULT_COMPILED 0
+#endif
+
+namespace domd {
+namespace fault {
+
+/// Process-wide runtime switch. Off by default: with no --fault-spec (or
+/// DOMD_FAULT_SPEC) a fault point costs exactly one relaxed atomic load.
+/// Injection is only ever armed explicitly — never in production traffic.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// What a fault point does when its policy fires.
+struct FaultPolicy {
+  enum class Kind {
+    kFailNth,    ///< fail exactly the Nth hit (1-based), all others pass.
+    kFailFirst,  ///< fail hits 1..N (a transient error burst), then pass.
+    kFailProb,   ///< fail each hit with probability p (per-point rng stream).
+    kLatencyMs,  ///< sleep latency_ms on every hit, never fail.
+    kCorrupt,    ///< flip n deterministic bytes of the site's buffer.
+  };
+
+  Kind kind = Kind::kFailNth;
+  std::uint64_t n = 1;         ///< kFailNth / kFailFirst / kCorrupt count.
+  double probability = 0.0;    ///< kFailProb.
+  double latency_ms = 0.0;     ///< kLatencyMs.
+  std::uint64_t seed = 0;      ///< rng seed for kFailProb / kCorrupt.
+
+  /// Parses one policy spec: "fail-nth:N", "fail-first:K",
+  /// "fail-prob:P[:SEED]", "latency-ms:M", or "corrupt:N[:SEED]".
+  static StatusOr<FaultPolicy> Parse(const std::string& text);
+  std::string ToString() const;
+};
+
+/// One named injection site. A FaultPoint is resolved once per call site
+/// (the DOMD_FAULT_POINT macro caches the registry lookup in a magic
+/// static) and then hit on every pass through the site. All mutation is
+/// mutex-guarded: faults are a test-only instrument, so a lock on the
+/// armed path is fine, and it makes the per-point hit counter and rng
+/// stream deterministic under single-threaded schedules.
+class FaultPoint {
+ public:
+  explicit FaultPoint(std::string name);
+
+  FaultPoint(const FaultPoint&) = delete;
+  FaultPoint& operator=(const FaultPoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Evaluates the armed policy (if any) against this hit: counts the hit,
+  /// sleeps injected latency, and returns a non-OK Status when the policy
+  /// says this hit fails. Returns OK when unarmed or the policy passes.
+  /// The injected status is kIoError with a message naming the point and
+  /// hit number, so surviving paths can be traced back to their schedule.
+  Status Check();
+
+  /// Corrupt-bytes injection: when a kCorrupt policy is armed, flips
+  /// policy.n deterministically chosen bytes of `*bytes` (positions and
+  /// xor masks from the point's rng stream) and returns true. Counts a
+  /// hit either way; non-corrupt policies never touch the buffer.
+  bool MaybeCorrupt(std::string* bytes);
+
+  void Arm(const FaultPolicy& policy);
+  void Disarm();
+  std::optional<FaultPolicy> policy() const;
+
+  /// Total times this point was evaluated while fault::Enabled().
+  std::uint64_t hits() const;
+  /// Times the policy actually fired (failed, slept, or corrupted).
+  std::uint64_t injected() const;
+  void ResetCounters();
+
+ private:
+  const std::string name_;
+  mutable std::mutex mutex_;
+  std::optional<FaultPolicy> policy_;
+  Rng rng_;  ///< re-seeded per Arm via Rng::ForStream(seed, fnv(name)).
+  std::uint64_t hit_count_ = 0;
+  std::uint64_t injected_count_ = 0;
+};
+
+/// The process-wide registry of fault points. Points are created on first
+/// use (by an injection site or by a spec naming them) and never removed,
+/// so references are stable for the process lifetime, exactly like metric
+/// cells in obs::MetricsRegistry.
+class FaultRegistry {
+ public:
+  static FaultRegistry& Default();
+
+  FaultRegistry() = default;
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
+  /// The point named `name`, created unarmed on first request.
+  FaultPoint& GetPoint(const std::string& name);
+
+  /// Applies a fault spec: one or more comma-separated "point=policy"
+  /// clauses, e.g. "serve.bundle.read=fail-first:2,serve.batch.score=
+  /// latency-ms:50". Arms each named point; unknown points are created.
+  /// Does NOT flip the global switch — callers decide (the CLIs enable
+  /// injection after a successful parse).
+  Status ApplySpec(const std::string& spec);
+
+  /// Disarms every point and zeroes every counter. Points stay registered.
+  void Clear();
+
+  std::vector<std::string> PointNames() const;
+  /// Sum of injected() over every point (did anything fire at all?).
+  std::uint64_t TotalInjected() const;
+  /// Sum of hits() over every point.
+  std::uint64_t TotalHits() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<FaultPoint>> points_;
+};
+
+/// Test helper: arms a spec and enables injection for one scope, then
+/// disarms everything and restores the previous switch state. Aborts on a
+/// malformed spec (programming error in a test).
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const std::string& spec);
+  ~ScopedFaultInjection();
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace fault
+}  // namespace domd
+
+/// DOMD_FAULT_POINT("name") — the site's FaultPoint handle, resolved once
+/// (magic static) per call site. Typical uses:
+///   DOMD_RETURN_IF_ERROR(DOMD_FAULT_POINT("serve.bundle.read").Check());
+///   DOMD_FAULT_POINT("serve.bundle.corrupt").MaybeCorrupt(&bytes);
+/// Compiled out (-DDOMD_DISABLE_FAULTS) the macro yields a stateless no-op
+/// object whose Check()/MaybeCorrupt() constant-fold away.
+#if DOMD_FAULT_COMPILED
+#define DOMD_FAULT_POINT(name)                                  \
+  ([]() -> ::domd::fault::FaultPoint& {                         \
+    static ::domd::fault::FaultPoint& domd_fault_point_ =       \
+        ::domd::fault::FaultRegistry::Default().GetPoint(name); \
+    return domd_fault_point_;                                   \
+  }())
+#else
+namespace domd {
+namespace fault {
+struct NullFaultPoint {
+  ::domd::Status Check() const { return {}; }
+  bool MaybeCorrupt(std::string*) const { return false; }
+};
+}  // namespace fault
+}  // namespace domd
+#define DOMD_FAULT_POINT(name) (::domd::fault::NullFaultPoint{})
+#endif
+
+#endif  // DOMD_FAULT_FAULT_H_

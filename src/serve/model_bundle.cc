@@ -1,14 +1,19 @@
 #include "serve/model_bundle.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "core/fusion.h"
 #include "data/integrity.h"
 #include "data/logical_time.h"
+#include "fault/fault.h"
 #include "features/static_features.h"
 
 namespace domd {
@@ -30,11 +35,109 @@ std::uint64_t Fnv1a(std::uint64_t hash, std::string_view text) {
   return hash;
 }
 
+/// Plain FNV-1a 64 over a file's raw bytes — the per-file checksum recorded
+/// in the MANIFEST and re-verified on every load.
+std::uint64_t FileChecksum(std::string_view bytes) {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  for (char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
 bool IsValidVersionTag(const std::string& version) {
   if (version.empty() || version.size() > 128) return false;
   return std::none_of(version.begin(), version.end(), [](char c) {
     return std::isspace(static_cast<unsigned char>(c)) != 0;
   });
+}
+
+/// Reads a whole file. The serve.bundle.read fault point injects transient
+/// read errors here (absorbed by LoadBundleWithRetry); serve.bundle.corrupt
+/// flips bytes of what was read, which the checksum gate must then catch.
+StatusOr<std::string> ReadFileBytes(const std::string& path) {
+  DOMD_RETURN_IF_ERROR(DOMD_FAULT_POINT("serve.bundle.read").Check());
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed for " + path);
+  std::string bytes = buffer.str();
+  DOMD_FAULT_POINT("serve.bundle.corrupt").MaybeCorrupt(&bytes);
+  return bytes;
+}
+
+/// Writes `content` to `path` and fsyncs it before closing, so a committed
+/// bundle file is durable before the manifest (and then the rename) makes
+/// it reachable. The serve.bundle.write fault point simulates a crash
+/// mid-publication: the staging file is left torn and never committed.
+Status WriteFileDurable(const std::string& path, std::string_view content) {
+  DOMD_RETURN_IF_ERROR(DOMD_FAULT_POINT("serve.bundle.write").Check());
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + written,
+                              content.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      return Status::IoError("write failed for " + path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IoError("fsync failed for " + path);
+  }
+  if (::close(fd) != 0) {
+    return Status::IoError("close failed for " + path);
+  }
+  return Status::OK();
+}
+
+/// Best-effort fsync of a directory, making a just-renamed entry durable.
+void FsyncDirectory(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Atomically publishes the fully-written staging directory as `final`.
+/// A pre-existing bundle at `final` is displaced to final.old first and
+/// removed after the swap, so readers only ever see the old complete
+/// bundle or the new complete bundle — never a mixture.
+Status CommitDirectory(const std::string& staging, const std::string& final) {
+  std::error_code ec;
+  const bool displaced = std::filesystem::exists(final, ec);
+  const std::string old = final + ".old";
+  if (displaced) {
+    std::filesystem::remove_all(old, ec);
+    ec.clear();
+    std::filesystem::rename(final, old, ec);
+    if (ec) {
+      return Status::IoError("cannot displace existing bundle " + final +
+                             ": " + ec.message());
+    }
+  }
+  std::filesystem::rename(staging, final, ec);
+  if (ec) {
+    // Roll the old bundle back so the published path stays valid.
+    if (displaced) {
+      std::error_code rollback;
+      std::filesystem::rename(old, final, rollback);
+    }
+    return Status::IoError("cannot publish bundle " + staging + " -> " +
+                           final + ": " + ec.message());
+  }
+  if (displaced) std::filesystem::remove_all(old, ec);
+  const std::filesystem::path parent =
+      std::filesystem::path(final).parent_path();
+  FsyncDirectory(parent.empty() ? "." : parent.string());
+  return Status::OK();
 }
 
 }  // namespace
@@ -58,29 +161,55 @@ Status ModelBundle::Write(const DomdEstimator& estimator, const Dataset& data,
     return Status::InvalidArgument(
         "bundle version must be a non-empty whitespace-free tag");
   }
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return Status::IoError("cannot create bundle directory " + dir + ": " +
-                           ec.message());
-  }
-  DOMD_RETURN_IF_ERROR(data.avails.WriteFile(dir + "/" + kAvailsName));
-  DOMD_RETURN_IF_ERROR(data.rccs.WriteFile(dir + "/" + kRccsName));
-  DOMD_RETURN_IF_ERROR(estimator.SaveModels(dir + "/" + kModelsName));
 
-  std::ofstream manifest(dir + "/" + kManifestName);
-  if (!manifest) {
-    return Status::IoError("cannot open " + dir + "/" + kManifestName);
+  // Crash-safe publication protocol (DESIGN.md §10): every file is staged
+  // into <dir>.tmp, fsynced, and checksummed into the MANIFEST; only a
+  // fully-written staging directory is atomically renamed onto <dir>. A
+  // crash at any earlier instant leaves at most a stale .tmp directory —
+  // the published path never holds a torn bundle.
+  const std::string staging = dir + ".tmp";
+  std::error_code ec;
+  std::filesystem::remove_all(staging, ec);  // stale staging from a crash.
+  ec.clear();
+  std::filesystem::create_directories(staging, ec);
+  if (ec) {
+    return Status::IoError("cannot create staging directory " + staging +
+                           ": " + ec.message());
   }
-  manifest << "domd_bundle v1\n";
+
+  const std::string avails_text = data.avails.ToCsv().Serialize();
+  const std::string rccs_text = data.rccs.ToCsv().Serialize();
+  std::ostringstream models_out;
+  DOMD_RETURN_IF_ERROR(estimator.models().Save(models_out));
+  const std::string models_text = models_out.str();
+
+  DOMD_RETURN_IF_ERROR(
+      WriteFileDurable(staging + "/" + kAvailsName, avails_text));
+  DOMD_RETURN_IF_ERROR(
+      WriteFileDurable(staging + "/" + kRccsName, rccs_text));
+  DOMD_RETURN_IF_ERROR(
+      WriteFileDurable(staging + "/" + kModelsName, models_text));
+
+  std::ostringstream manifest;
+  manifest << "domd_bundle v2\n";
   manifest << "version " << version << "\n";
   manifest << "schema_hash " << ServingSchemaHash() << "\n";
   manifest << "avails " << data.avails.size() << "\n";
   manifest << "rccs " << data.rccs.size() << "\n";
-  if (!manifest) {
-    return Status::IoError("write failed for " + dir + "/" + kManifestName);
-  }
-  return Status::OK();
+  manifest << "checksum " << kAvailsName << " " << FileChecksum(avails_text)
+           << "\n";
+  manifest << "checksum " << kRccsName << " " << FileChecksum(rccs_text)
+           << "\n";
+  manifest << "checksum " << kModelsName << " " << FileChecksum(models_text)
+           << "\n";
+  DOMD_RETURN_IF_ERROR(
+      WriteFileDurable(staging + "/" + kManifestName, manifest.str()));
+  FsyncDirectory(staging);
+
+  // The commit point: a crash (or injected fault) before the rename leaves
+  // only the staging directory; the published path is untouched.
+  DOMD_RETURN_IF_ERROR(DOMD_FAULT_POINT("serve.bundle.commit").Check());
+  return CommitDirectory(staging, dir);
 }
 
 StatusOr<std::shared_ptr<const ModelBundle>> ModelBundle::Load(
@@ -90,11 +219,16 @@ StatusOr<std::shared_ptr<const ModelBundle>> ModelBundle::Load(
   if (!manifest) {
     return Status::IoError("cannot open bundle manifest in " + dir);
   }
+  DOMD_RETURN_IF_ERROR(DOMD_FAULT_POINT("serve.bundle.read").Check());
   std::string magic, format;
   if (!(manifest >> magic >> format) || magic != "domd_bundle" ||
-      format != "v1") {
+      (format != "v1" && format != "v2")) {
     return Status::InvalidArgument(dir + ": not a domd bundle (bad magic)");
   }
+  // v1 manifests (pre-checksum) are still accepted so old artifacts load;
+  // they simply skip the corruption gate. Every v2 manifest must name a
+  // checksum for all three payload files.
+  const bool has_checksums = format == "v2";
   std::string version;
   std::uint64_t schema_hash = 0;
   std::size_t num_avails = 0, num_rccs = 0;
@@ -110,6 +244,24 @@ StatusOr<std::shared_ptr<const ModelBundle>> ModelBundle::Load(
       !(manifest >> key >> num_rccs) || key != "rccs") {
     return Status::InvalidArgument(dir + ": bad manifest cardinality record");
   }
+  std::map<std::string, std::uint64_t> checksums;
+  if (has_checksums) {
+    std::string name;
+    std::uint64_t sum = 0;
+    while (manifest >> key >> name >> sum) {
+      if (key != "checksum") {
+        return Status::InvalidArgument(dir + ": bad manifest record \"" +
+                                       key + "\"");
+      }
+      checksums[name] = sum;
+    }
+    for (const char* required : {kAvailsName, kRccsName, kModelsName}) {
+      if (checksums.count(required) == 0) {
+        return Status::DataLoss(dir + ": manifest lacks a checksum for " +
+                                required + " — torn or tampered bundle");
+      }
+    }
+  }
 
   // Schema-compatibility gate: a bundle written under a different feature
   // catalog would misalign model input columns — refuse early and loudly.
@@ -120,16 +272,48 @@ StatusOr<std::shared_ptr<const ModelBundle>> ModelBundle::Load(
         std::to_string(ServingSchemaHash()));
   }
 
+  // Read every payload file once, verify its recorded checksum, and parse
+  // from those exact verified bytes. A flipped bit anywhere in the payload
+  // is kDataLoss before any parser runs — a corrupt artifact can never be
+  // half-loaded into a serving process.
+  std::map<std::string, std::string> payload;
+  for (const char* name : {kAvailsName, kRccsName, kModelsName}) {
+    auto bytes = ReadFileBytes(dir + "/" + name);
+    if (!bytes.ok()) {
+      if (bytes.status().code() == StatusCode::kIoError &&
+          !std::filesystem::exists(dir + "/" + name) && has_checksums) {
+        // The manifest promises this file: its absence is a torn publish,
+        // not a transient I/O failure — retrying cannot help.
+        return Status::DataLoss(dir + "/" + name +
+                                " is missing but listed in the manifest — "
+                                "torn bundle publish");
+      }
+      return bytes.status();
+    }
+    if (has_checksums && FileChecksum(*bytes) != checksums[name]) {
+      return Status::DataLoss(
+          dir + "/" + name + ": checksum mismatch (manifest " +
+          std::to_string(checksums[name]) + ", file " +
+          std::to_string(FileChecksum(*bytes)) +
+          ") — bundle is torn or corrupt");
+    }
+    payload[name] = std::move(*bytes);
+  }
+
   auto bundle = std::shared_ptr<ModelBundle>(new ModelBundle());
   bundle->version_ = version;
   bundle->schema_hash_ = schema_hash;
   bundle->directory_ = dir;
 
   bundle->data_ = std::make_unique<Dataset>();
-  auto avails = AvailTable::ReadFile(dir + "/" + kAvailsName);
+  auto avails_doc = CsvDocument::Parse(payload[kAvailsName]);
+  if (!avails_doc.ok()) return avails_doc.status();
+  auto avails = AvailTable::FromCsv(*avails_doc);
   if (!avails.ok()) return avails.status();
   bundle->data_->avails = std::move(*avails);
-  auto rccs = RccTable::ReadFile(dir + "/" + kRccsName);
+  auto rccs_doc = CsvDocument::Parse(payload[kRccsName]);
+  if (!rccs_doc.ok()) return rccs_doc.status();
+  auto rccs = RccTable::FromCsv(*rccs_doc);
   if (!rccs.ok()) return rccs.status();
   bundle->data_->rccs = std::move(*rccs);
 
@@ -145,8 +329,9 @@ StatusOr<std::shared_ptr<const ModelBundle>> ModelBundle::Load(
         std::to_string(report.num_errors) + " errors)");
   }
 
-  auto estimator = DomdEstimator::LoadModels(
-      bundle->data_.get(), dir + "/" + kModelsName, parallelism, cache_bytes);
+  std::istringstream models_in(payload[kModelsName]);
+  auto estimator = DomdEstimator::LoadModelsFromStream(
+      bundle->data_.get(), models_in, parallelism, cache_bytes);
   if (!estimator.ok()) return estimator.status();
   bundle->estimator_ = std::make_unique<DomdEstimator>(std::move(*estimator));
 
@@ -156,6 +341,15 @@ StatusOr<std::shared_ptr<const ModelBundle>> ModelBundle::Load(
       bundle->data_.get(), IndexBackend::kAvlTree);
 
   return std::shared_ptr<const ModelBundle>(std::move(bundle));
+}
+
+StatusOr<std::shared_ptr<const ModelBundle>> LoadBundleWithRetry(
+    const std::string& dir, const Parallelism& parallelism,
+    std::size_t cache_bytes, const RetryOptions& retry) {
+  return RetryWithBackoff<std::shared_ptr<const ModelBundle>>(
+      retry, [&]() -> StatusOr<std::shared_ptr<const ModelBundle>> {
+        return ModelBundle::Load(dir, parallelism, cache_bytes);
+      });
 }
 
 StatusOr<ServePrediction> ModelBundle::ScoreReferenceAvail(

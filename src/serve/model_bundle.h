@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "core/domd_estimator.h"
 #include "query/status_query.h"
 
@@ -51,10 +52,17 @@ std::uint64_t ServingSchemaHash();
 /// of threads concurrently (shared-immutable, per DESIGN.md §6).
 ///
 /// On-disk layout (directory):
-///   MANIFEST    magic, version tag, schema hash, table cardinalities
+///   MANIFEST    magic, version tag, schema hash, cardinalities, checksums
 ///   models.txt  TimelineModelSet text serialization (config included)
 ///   avails.csv  reference fleet avail table
 ///   rccs.csv    reference fleet RCC table
+///
+/// Publication is crash-safe: `Write` stages the bundle in `<dir>.tmp`,
+/// fsyncs every file, records a per-file FNV-1a checksum in the manifest
+/// (format v2), and atomically renames the staging directory into place.
+/// `Load` verifies every checksum before parsing a byte, so a torn or
+/// bit-flipped artifact is rejected as kDataLoss rather than half-served.
+/// Legacy v1 manifests (no checksums) still load, skipping verification.
 class ModelBundle {
  public:
   /// Writes `estimator` (trained over `data`) as a bundle directory.
@@ -114,6 +122,17 @@ class ModelBundle {
   std::unique_ptr<DomdEstimator> estimator_;
   std::unique_ptr<StatusQueryEngine> query_engine_;
 };
+
+/// `ModelBundle::Load` wrapped in bounded retry-with-backoff: transient
+/// failures (kIoError, kUnavailable, kResourceExhausted) are retried per
+/// `retry`; permanent ones (kDataLoss, kFailedPrecondition, ...) return
+/// immediately. This is the entry point serving uses for initial load and
+/// hot-swap, so a flaky filesystem read does not kill an otherwise healthy
+/// swap — while a corrupt artifact still fails fast.
+StatusOr<std::shared_ptr<const ModelBundle>> LoadBundleWithRetry(
+    const std::string& dir, const Parallelism& parallelism = {},
+    std::size_t cache_bytes = kDefaultViewCacheBytes,
+    const RetryOptions& retry = {});
 
 }  // namespace domd
 

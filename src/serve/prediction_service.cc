@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault.h"
+
 namespace domd {
 namespace {
 
@@ -23,6 +25,18 @@ double ElapsedMs(PredictionService::Clock::time_point from,
 
 }  // namespace
 
+const char* BreakerStateToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
 ServeMetricCells ServeMetricCells::Create() {
   ServeMetricCells cells;
 #if DOMD_OBS_COMPILED
@@ -34,6 +48,13 @@ ServeMetricCells ServeMetricCells::Create() {
   cells.batch_score_ms = &registry.GetHistogram("domd_serve_batch_score_ms",
                                                 obs::LatencyBucketsMs());
   cells.queue_depth = &registry.GetGauge("domd_serve_queue_depth");
+  cells.swap_failures =
+      &registry.GetCounter("domd_serve_swap_failures_total");
+  cells.batch_failures =
+      &registry.GetCounter("domd_serve_batch_failures_total");
+  cells.breaker_opens =
+      &registry.GetCounter("domd_serve_breaker_opens_total");
+  cells.breaker_state = &registry.GetGauge("domd_serve_breaker_state");
   for (std::size_t code = 0; code < kNumStatusCodes; ++code) {
     cells.outcomes[code] = &registry.GetCounter(
         std::string("domd_serve_requests_total{code=\"") +
@@ -72,6 +93,22 @@ std::future<StatusOr<ServePrediction>> PredictionService::Submit(
       CountOutcome(StatusCode::kFailedPrecondition);
       return ReadyFuture(
           Status::FailedPrecondition("prediction service is shut down"));
+    }
+    // Breaker shed: while Open, refuse load we know we cannot score. Once
+    // the open interval elapses, admit traffic again as a HalfOpen probe.
+    if (options_.breaker_failure_threshold > 0 &&
+        breaker_ == BreakerState::kOpen) {
+      if (Clock::now() >= breaker_open_until_) {
+        breaker_ = BreakerState::kHalfOpen;
+        SetBreakerGaugeLocked();
+      } else {
+        rejected_breaker_.fetch_add(1, std::memory_order_relaxed);
+        CountOutcome(StatusCode::kUnavailable);
+        return ReadyFuture(Status::Unavailable(
+            "circuit breaker open after " +
+            std::to_string(consecutive_batch_failures_) +
+            " consecutive batch failures; shedding load"));
+      }
     }
     if (queue_.size() >= options_.max_queue_depth) {
       rejected_overload_.fetch_add(1, std::memory_order_relaxed);
@@ -113,6 +150,61 @@ void PredictionService::SwapBundle(
   swaps_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void PredictionService::NoteSwapFailure(const Status& status) {
+  (void)status;
+  swap_failures_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.swap_failures != nullptr && obs::Enabled()) {
+    metrics_.swap_failures->Increment();
+  }
+}
+
+BreakerState PredictionService::breaker_state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return breaker_;
+}
+
+void PredictionService::SetBreakerGaugeLocked() {
+  if (metrics_.breaker_state != nullptr && obs::Enabled()) {
+    metrics_.breaker_state->Set(static_cast<double>(static_cast<int>(breaker_)));
+  }
+}
+
+void PredictionService::RecordBatchOutcome(bool success) {
+  if (options_.breaker_failure_threshold == 0) {
+    if (!success) batch_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (success) {
+    consecutive_batch_failures_ = 0;
+    if (breaker_ != BreakerState::kClosed) {
+      breaker_ = BreakerState::kClosed;
+      SetBreakerGaugeLocked();
+    }
+    return;
+  }
+  batch_failures_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.batch_failures != nullptr && obs::Enabled()) {
+    metrics_.batch_failures->Increment();
+  }
+  ++consecutive_batch_failures_;
+  // A failed HalfOpen probe reopens immediately; Closed trips only once
+  // the consecutive-failure budget is spent.
+  const bool trip =
+      breaker_ == BreakerState::kHalfOpen ||
+      (breaker_ == BreakerState::kClosed &&
+       consecutive_batch_failures_ >= options_.breaker_failure_threshold);
+  if (trip) {
+    breaker_ = BreakerState::kOpen;
+    breaker_open_until_ = Clock::now() + options_.breaker_open_duration;
+    breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.breaker_opens != nullptr && obs::Enabled()) {
+      metrics_.breaker_opens->Increment();
+    }
+    SetBreakerGaugeLocked();
+  }
+}
+
 ServeStatsSnapshot PredictionService::stats() const {
   ServeStatsSnapshot snapshot;
   snapshot.submitted = submitted_.load(std::memory_order_relaxed);
@@ -129,10 +221,16 @@ ServeStatsSnapshot PredictionService::stats() const {
   snapshot.batched_requests =
       batched_requests_.load(std::memory_order_relaxed);
   snapshot.swaps = swaps_.load(std::memory_order_relaxed);
+  snapshot.swap_failures = swap_failures_.load(std::memory_order_relaxed);
+  snapshot.batch_failures = batch_failures_.load(std::memory_order_relaxed);
+  snapshot.breaker_opens = breaker_opens_.load(std::memory_order_relaxed);
+  snapshot.rejected_breaker =
+      rejected_breaker_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     snapshot.queue_depth_hwm = queue_depth_hwm_;
     snapshot.queue_depth = queue_.size();
+    snapshot.breaker = breaker_;
   }
   snapshot.bundle_version = bundle()->version();
   return snapshot;
@@ -206,6 +304,23 @@ void PredictionService::BatcherLoop() {
     requests.reserve(live.size());
     for (const Pending& pending : live) requests.push_back(pending.request);
 
+    // Whole-batch fault gate: "serve.batch.score" models infrastructure
+    // failures that take down an entire scoring pass (as opposed to
+    // per-request input errors, which never trip the breaker).
+    const Status batch_status =
+        DOMD_FAULT_POINT("serve.batch.score").Check();
+    if (!batch_status.ok()) {
+      // Breaker first, answers second: a caller that sees its failure and
+      // immediately resubmits must observe the already-updated state.
+      RecordBatchOutcome(/*success=*/false);
+      for (Pending& pending : live) {
+        completed_error_.fetch_add(1, std::memory_order_relaxed);
+        CountOutcome(batch_status.code());
+        pending.promise.set_value(StatusOr<ServePrediction>(batch_status));
+      }
+      continue;
+    }
+
     // Timings are recorded around scoring, never fed into it: metrics on
     // or off, ScoreBatch sees byte-identical inputs.
     const bool time_batch =
@@ -221,6 +336,7 @@ void PredictionService::BatcherLoop() {
 
     batches_.fetch_add(1, std::memory_order_relaxed);
     batched_requests_.fetch_add(live.size(), std::memory_order_relaxed);
+    RecordBatchOutcome(/*success=*/true);
     for (std::size_t i = 0; i < live.size(); ++i) {
       if (results[i].ok()) {
         completed_ok_.fetch_add(1, std::memory_order_relaxed);

@@ -82,7 +82,26 @@ struct ServeOptions {
   std::chrono::microseconds batch_linger{200};
   /// Parallelism of the per-batch feature-engineering sweep.
   Parallelism parallelism;
+  /// Circuit breaker: after this many consecutive whole-batch scoring
+  /// failures the service opens and sheds load with kUnavailable instead
+  /// of queueing work it cannot serve. 0 disables the breaker entirely.
+  /// Per-request errors (bad inputs) never count — only infrastructure
+  /// failures that take down an entire batch.
+  std::size_t breaker_failure_threshold = 5;
+  /// How long the breaker stays open before admitting one half-open probe
+  /// batch. A successful probe closes the breaker; a failed one reopens it
+  /// for another full interval.
+  std::chrono::milliseconds breaker_open_duration{1000};
 };
+
+/// Circuit-breaker states (DESIGN.md §10): Closed admits normally; Open
+/// sheds every Submit with kUnavailable until the open interval elapses;
+/// HalfOpen admits traffic as a probe — the next batch outcome decides
+/// between Closed (success) and Open again (failure).
+enum class BreakerState { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+/// Stable lowercase name ("closed" / "open" / "half_open").
+const char* BreakerStateToString(BreakerState state);
 
 /// Observability cells of the serving hot path, registered against the
 /// default obs::MetricsRegistry (exported by domd_serve's `metrics` wire
@@ -98,12 +117,21 @@ struct ServeOptions {
 /// or disabling metrics cannot change any prediction bit.
 struct ServeMetricCells {
   static constexpr std::size_t kNumStatusCodes =
-      static_cast<std::size_t>(StatusCode::kDeadlineExceeded) + 1;
+      static_cast<std::size_t>(StatusCode::kDataLoss) + 1;
 
   obs::Histogram* queue_wait_ms = nullptr;
   obs::Histogram* batch_size = nullptr;
   obs::Histogram* batch_score_ms = nullptr;
   obs::Gauge* queue_depth = nullptr;
+  /// domd_serve_swap_failures_total: hot-swaps that failed to load a new
+  /// bundle (the last-known-good bundle kept serving).
+  obs::Counter* swap_failures = nullptr;
+  /// domd_serve_batch_failures_total: whole-batch scoring failures.
+  obs::Counter* batch_failures = nullptr;
+  /// domd_serve_breaker_opens_total: Closed/HalfOpen -> Open transitions.
+  obs::Counter* breaker_opens = nullptr;
+  /// domd_serve_breaker_state: 0 closed, 1 open, 2 half-open.
+  obs::Gauge* breaker_state = nullptr;
   std::array<obs::Counter*, kNumStatusCodes> outcomes{};
 
   /// Registers (or re-finds) every cell; null-celled when compiled out.
@@ -122,6 +150,11 @@ struct ServeStatsSnapshot {
   std::uint64_t batches = 0;            ///< micro-batches scored.
   std::uint64_t batched_requests = 0;   ///< requests across those batches.
   std::uint64_t swaps = 0;              ///< SwapBundle calls.
+  std::uint64_t swap_failures = 0;      ///< NoteSwapFailure calls.
+  std::uint64_t batch_failures = 0;     ///< whole-batch scoring failures.
+  std::uint64_t breaker_opens = 0;      ///< transitions into Open.
+  std::uint64_t rejected_breaker = 0;   ///< kUnavailable sheds while Open.
+  BreakerState breaker = BreakerState::kClosed;  ///< instantaneous state.
   std::uint64_t queue_depth_hwm = 0;    ///< high-water mark.
   std::uint64_t queue_depth = 0;        ///< instantaneous depth.
   std::string bundle_version;           ///< currently served bundle.
@@ -175,6 +208,15 @@ class PredictionService {
   /// bundle they snapshotted; every later batch scores on `bundle`.
   void SwapBundle(std::shared_ptr<const ModelBundle> bundle);
 
+  /// Records a hot-swap that failed to load its replacement bundle. The
+  /// live bundle is untouched — graceful degradation is "keep serving the
+  /// last known good" — but the failure is counted in stats and in
+  /// domd_serve_swap_failures_total so operators can alert on it.
+  void NoteSwapFailure(const Status& status);
+
+  /// Instantaneous circuit-breaker state.
+  BreakerState breaker_state() const;
+
   /// The currently published bundle (one atomic snapshot).
   std::shared_ptr<const ModelBundle> bundle() const {
     return bundle_.load();
@@ -201,6 +243,11 @@ class PredictionService {
   void BatcherLoop();
   /// Bumps domd_serve_requests_total{code=...} for one answered request.
   void CountOutcome(StatusCode code);
+  /// Feeds one whole-batch outcome into the breaker state machine.
+  /// Requires mutex_ NOT held.
+  void RecordBatchOutcome(bool success);
+  /// Publishes the breaker gauge. Requires mutex_ held.
+  void SetBreakerGaugeLocked();
 
   const ServeOptions options_;
   BundleCell bundle_;
@@ -211,6 +258,10 @@ class PredictionService {
   std::deque<Pending> queue_;
   bool shutting_down_ = false;
   std::uint64_t queue_depth_hwm_ = 0;
+  /// Circuit-breaker cell (guarded by mutex_, like the queue it protects).
+  BreakerState breaker_ = BreakerState::kClosed;
+  std::size_t consecutive_batch_failures_ = 0;
+  Clock::time_point breaker_open_until_{};
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> accepted_{0};
@@ -222,6 +273,10 @@ class PredictionService {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_requests_{0};
   std::atomic<std::uint64_t> swaps_{0};
+  std::atomic<std::uint64_t> swap_failures_{0};
+  std::atomic<std::uint64_t> batch_failures_{0};
+  std::atomic<std::uint64_t> breaker_opens_{0};
+  std::atomic<std::uint64_t> rejected_breaker_{0};
 
   std::thread batcher_;  ///< last member: joins before the rest tears down.
 };

@@ -193,12 +193,18 @@ JsonValue StatsToJson(const ServeStatsSnapshot& stats) {
   set("batches", stats.batches);
   set("batched_requests", stats.batched_requests);
   set("swaps", stats.swaps);
+  set("swap_failures", stats.swap_failures);
+  set("batch_failures", stats.batch_failures);
+  set("breaker_opens", stats.breaker_opens);
+  set("rejected_breaker", stats.rejected_breaker);
   set("queue_depth_hwm", stats.queue_depth_hwm);
   set("queue_depth", stats.queue_depth);
 
   JsonValue out = JsonValue::Object();
   out.Set("ok", JsonValue::Bool(true));
   out.Set("bundle_version", JsonValue::String(stats.bundle_version));
+  out.Set("breaker_state",
+          JsonValue::String(BreakerStateToString(stats.breaker)));
   out.Set("stats", std::move(counters));
   return out;
 }

@@ -96,5 +96,54 @@ TEST(CsvTest, ReadMissingFileFails) {
   EXPECT_FALSE(CsvDocument::ReadFile("/nonexistent/dir/file.csv").ok());
 }
 
+TEST(CsvTest, WrongColumnCountNamesThePhysicalLine) {
+  const auto doc = CsvDocument::Parse("a,b,c\n1,2,3\n4,5\n");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kInvalidArgument);
+  // The bad row is on physical line 3 (header is line 1).
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos)
+      << doc.status().message();
+  EXPECT_NE(doc.status().message().find("2 fields"), std::string::npos);
+}
+
+TEST(CsvTest, TooManyColumnsRejectedToo) {
+  const auto doc = CsvDocument::Parse("a,b\n1,2\n3,4,5\n");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(doc.status().message().find("3 fields"), std::string::npos);
+}
+
+TEST(CsvTest, LineNumbersCountPhysicalLinesThroughQuotedNewlines) {
+  // The second record spans physical lines 2-4 (two quoted newlines), so
+  // the malformed record starts on physical line 5 — the number an editor
+  // would show, not the record index (3).
+  const auto doc =
+      CsvDocument::Parse("a,b\n\"l1\nl2\nl3\",2\nonly-one-field\n");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 5"), std::string::npos)
+      << doc.status().message();
+}
+
+TEST(CsvTest, UnterminatedQuoteNamesItsStartingLine) {
+  const auto doc = CsvDocument::Parse("a,b\n1,2\n\"never closed,3\n");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos)
+      << doc.status().message();
+}
+
+TEST(CsvTest, MalformedFixtureFileReportsLineNumber) {
+  const std::string path = ::testing::TempDir() + "/domd_csv_malformed.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "id,name,value\n1,alpha,10\n2,beta\n3,gamma,30\n";
+  }
+  const auto loaded = CsvDocument::ReadFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("line 3"), std::string::npos)
+      << loaded.status().message();
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace domd

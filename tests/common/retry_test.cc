@@ -1,0 +1,189 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+namespace domd {
+namespace {
+
+using std::chrono::nanoseconds;
+
+/// RetryOptions with a recording sleeper: tests assert the exact backoff
+/// schedule without any real waiting.
+struct Recorder {
+  std::vector<double> waits_ms;
+
+  RetryOptions Options(int max_attempts = 4, double jitter = 0.0) {
+    RetryOptions options;
+    options.max_attempts = max_attempts;
+    options.initial_backoff = std::chrono::milliseconds(10);
+    options.backoff_multiplier = 2.0;
+    options.jitter = jitter;
+    options.sleeper = [this](nanoseconds wait) {
+      waits_ms.push_back(
+          std::chrono::duration<double, std::milli>(wait).count());
+    };
+    return options;
+  }
+};
+
+TEST(RetryTest, RetryableCodesAreTransientOnly) {
+  EXPECT_TRUE(IsRetryableCode(StatusCode::kIoError));
+  EXPECT_TRUE(IsRetryableCode(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetryableCode(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kDataLoss));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kOk));
+}
+
+TEST(RetryTest, FirstSuccessNeverSleeps) {
+  Recorder recorder;
+  int calls = 0;
+  const Status status = RetryWithBackoff(recorder.Options(), [&calls] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(recorder.waits_ms.empty());
+}
+
+TEST(RetryTest, TransientFailuresRetryWithExponentialBackoff) {
+  Recorder recorder;
+  int calls = 0;
+  const Status status =
+      RetryWithBackoff(recorder.Options(/*max_attempts=*/4), [&calls] {
+        ++calls;
+        if (calls < 3) return Status::IoError("flaky");
+        return Status::OK();
+      });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  // jitter = 0: waits are exactly 10ms then 20ms.
+  ASSERT_EQ(recorder.waits_ms.size(), 2u);
+  EXPECT_DOUBLE_EQ(recorder.waits_ms[0], 10.0);
+  EXPECT_DOUBLE_EQ(recorder.waits_ms[1], 20.0);
+}
+
+TEST(RetryTest, ExhaustedAttemptsReturnLastError) {
+  Recorder recorder;
+  int calls = 0;
+  const Status status =
+      RetryWithBackoff(recorder.Options(/*max_attempts=*/3), [&calls] {
+        ++calls;
+        return Status::Unavailable("still down #" + std::to_string(calls));
+      });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("#3"), std::string::npos);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(recorder.waits_ms.size(), 2u);
+}
+
+TEST(RetryTest, PermanentErrorsNeverRetry) {
+  Recorder recorder;
+  int calls = 0;
+  const Status status = RetryWithBackoff(recorder.Options(), [&calls] {
+    ++calls;
+    return Status::DataLoss("corrupt artifact");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(calls, 1);  // kDataLoss is permanent: no second attempt.
+  EXPECT_TRUE(recorder.waits_ms.empty());
+}
+
+TEST(RetryTest, MaxAttemptsOneMeansNoRetry) {
+  Recorder recorder;
+  int calls = 0;
+  const Status status =
+      RetryWithBackoff(recorder.Options(/*max_attempts=*/1), [&calls] {
+        ++calls;
+        return Status::IoError("flaky");
+      });
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(recorder.waits_ms.empty());
+}
+
+TEST(RetryTest, JitterIsDeterministicPerSeedAndBounded) {
+  const auto schedule = [](std::uint64_t seed) {
+    Recorder recorder;
+    RetryOptions options = recorder.Options(/*max_attempts=*/6,
+                                            /*jitter=*/0.2);
+    options.seed = seed;
+    (void)RetryWithBackoff(options,
+                           [] { return Status::IoError("always"); });
+    return recorder.waits_ms;
+  };
+  const auto a = schedule(1);
+  const auto b = schedule(1);
+  const auto c = schedule(2);
+  EXPECT_EQ(a, b);  // same seed => identical schedule.
+  EXPECT_NE(a, c);
+  ASSERT_EQ(a.size(), 5u);
+  double nominal = 10.0;
+  for (double wait : a) {
+    EXPECT_GE(wait, nominal * 0.8);
+    EXPECT_LE(wait, nominal * 1.2);
+    nominal *= 2.0;
+  }
+}
+
+TEST(RetryTest, ExpiredDeadlineAbandonsTheWait) {
+  Recorder recorder;
+  RetryOptions options = recorder.Options(/*max_attempts=*/10);
+  options.deadline = RetryOptions::Clock::now();  // already passed.
+  int calls = 0;
+  const Status status = RetryWithBackoff(options, [&calls] {
+    ++calls;
+    return Status::IoError("flaky");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 1);  // no wait may overshoot the deadline.
+  EXPECT_TRUE(recorder.waits_ms.empty());
+}
+
+TEST(RetryTest, FarDeadlineDoesNotLimitAttempts) {
+  Recorder recorder;
+  RetryOptions options = recorder.Options(/*max_attempts=*/3);
+  options.deadline = RetryOptions::Clock::now() + std::chrono::hours(1);
+  int calls = 0;
+  (void)RetryWithBackoff(options, [&calls] {
+    ++calls;
+    return Status::IoError("flaky");
+  });
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, StatusOrVariantReturnsTheValue) {
+  Recorder recorder;
+  int calls = 0;
+  const StatusOr<int> result = RetryWithBackoff<int>(
+      recorder.Options(), [&calls]() -> StatusOr<int> {
+        ++calls;
+        if (calls < 2) return Status::IoError("flaky");
+        return 42;
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(recorder.waits_ms.size(), 1u);
+}
+
+TEST(RetryTest, StatusOrVariantStopsOnPermanentError) {
+  Recorder recorder;
+  int calls = 0;
+  const StatusOr<int> result = RetryWithBackoff<int>(
+      recorder.Options(), [&calls]() -> StatusOr<int> {
+        ++calls;
+        return Status::FailedPrecondition("schema mismatch");
+      });
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace domd

@@ -40,6 +40,21 @@ TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IO_ERROR");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
                "ALREADY_EXISTS");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DATA_LOSS");
+}
+
+TEST(StatusTest, UnavailableAndDataLossConstructors) {
+  const Status unavailable = Status::Unavailable("breaker open");
+  EXPECT_FALSE(unavailable.ok());
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.ToString(), "UNAVAILABLE: breaker open");
+
+  const Status data_loss = Status::DataLoss("checksum mismatch");
+  EXPECT_FALSE(data_loss.ok());
+  EXPECT_EQ(data_loss.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(data_loss.ToString(), "DATA_LOSS: checksum mismatch");
+  EXPECT_FALSE(unavailable == data_loss);
 }
 
 TEST(StatusOrTest, HoldsValue) {

@@ -1,0 +1,286 @@
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace domd {
+namespace {
+
+using fault::FaultPoint;
+using fault::FaultPolicy;
+using fault::FaultRegistry;
+using fault::ScopedFaultInjection;
+
+// Every test uses its own point names: the registry is process-global and
+// points are never removed, so shared names would leak armed policies
+// between tests.
+
+TEST(FaultRegistryTest, ParsesEveryPolicyKind) {
+  auto nth = FaultPolicy::Parse("fail-nth:3");
+  ASSERT_TRUE(nth.ok());
+  EXPECT_EQ(nth->kind, FaultPolicy::Kind::kFailNth);
+  EXPECT_EQ(nth->n, 3u);
+
+  auto first = FaultPolicy::Parse("fail-first:2");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->kind, FaultPolicy::Kind::kFailFirst);
+  EXPECT_EQ(first->n, 2u);
+
+  auto prob = FaultPolicy::Parse("fail-prob:0.25:99");
+  ASSERT_TRUE(prob.ok());
+  EXPECT_EQ(prob->kind, FaultPolicy::Kind::kFailProb);
+  EXPECT_DOUBLE_EQ(prob->probability, 0.25);
+  EXPECT_EQ(prob->seed, 99u);
+
+  auto latency = FaultPolicy::Parse("latency-ms:7.5");
+  ASSERT_TRUE(latency.ok());
+  EXPECT_EQ(latency->kind, FaultPolicy::Kind::kLatencyMs);
+  EXPECT_DOUBLE_EQ(latency->latency_ms, 7.5);
+
+  auto corrupt = FaultPolicy::Parse("corrupt:4:11");
+  ASSERT_TRUE(corrupt.ok());
+  EXPECT_EQ(corrupt->kind, FaultPolicy::Kind::kCorrupt);
+  EXPECT_EQ(corrupt->n, 4u);
+  EXPECT_EQ(corrupt->seed, 11u);
+}
+
+TEST(FaultRegistryTest, RejectsMalformedPolicies) {
+  EXPECT_FALSE(FaultPolicy::Parse("").ok());
+  EXPECT_FALSE(FaultPolicy::Parse("explode").ok());
+  EXPECT_FALSE(FaultPolicy::Parse("fail-nth:zero").ok());
+  EXPECT_FALSE(FaultPolicy::Parse("fail-nth:0").ok());
+  EXPECT_FALSE(FaultPolicy::Parse("fail-prob").ok());
+  EXPECT_FALSE(FaultPolicy::Parse("fail-prob:1.5").ok());
+  EXPECT_FALSE(FaultPolicy::Parse("fail-prob:-0.1").ok());
+  EXPECT_FALSE(FaultPolicy::Parse("latency-ms").ok());
+  EXPECT_FALSE(FaultPolicy::Parse("latency-ms:-1").ok());
+  EXPECT_FALSE(FaultPolicy::Parse("fail-nth:1:junk").ok());
+}
+
+TEST(FaultRegistryTest, RejectsMalformedSpecs) {
+  FaultRegistry registry;
+  EXPECT_FALSE(registry.ApplySpec("").ok());
+  EXPECT_FALSE(registry.ApplySpec("no-equals").ok());
+  EXPECT_FALSE(registry.ApplySpec("=fail-nth:1").ok());
+  EXPECT_FALSE(registry.ApplySpec("point=").ok());
+  EXPECT_FALSE(registry.ApplySpec("a=fail-nth:1,b=bogus").ok());
+}
+
+TEST(FaultRegistryTest, FailNthFailsExactlyTheNthHit) {
+  ScopedFaultInjection faults("t.nth=fail-nth:3");
+  FaultPoint& point = FaultRegistry::Default().GetPoint("t.nth");
+  EXPECT_TRUE(point.Check().ok());
+  EXPECT_TRUE(point.Check().ok());
+  const Status third = point.Check();
+  EXPECT_EQ(third.code(), StatusCode::kIoError);
+  EXPECT_NE(third.message().find("t.nth"), std::string::npos);
+  EXPECT_TRUE(point.Check().ok());
+  EXPECT_EQ(point.hits(), 4u);
+  EXPECT_EQ(point.injected(), 1u);
+}
+
+TEST(FaultRegistryTest, FailFirstIsATransientBurst) {
+  ScopedFaultInjection faults("t.first=fail-first:2");
+  FaultPoint& point = FaultRegistry::Default().GetPoint("t.first");
+  EXPECT_FALSE(point.Check().ok());
+  EXPECT_FALSE(point.Check().ok());
+  EXPECT_TRUE(point.Check().ok());
+  EXPECT_TRUE(point.Check().ok());
+  EXPECT_EQ(point.injected(), 2u);
+}
+
+TEST(FaultRegistryTest, FailProbIsDeterministicPerSeed) {
+  const auto schedule = [](const std::string& spec, const std::string& name,
+                           int hits) {
+    ScopedFaultInjection faults(spec);
+    FaultPoint& point = FaultRegistry::Default().GetPoint(name);
+    std::vector<bool> fired;
+    for (int i = 0; i < hits; ++i) fired.push_back(!point.Check().ok());
+    return fired;
+  };
+  const auto a = schedule("t.prob=fail-prob:0.5:7", "t.prob", 64);
+  const auto b = schedule("t.prob=fail-prob:0.5:7", "t.prob", 64);
+  EXPECT_EQ(a, b);  // same seed => identical schedule, run to run.
+  const auto c = schedule("t.prob=fail-prob:0.5:8", "t.prob", 64);
+  EXPECT_NE(a, c);  // a different seed draws a different schedule.
+  int fired = 0;
+  for (bool f : a) fired += f ? 1 : 0;
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 64);
+}
+
+TEST(FaultRegistryTest, DistinctPointsDrawDecorrelatedStreams) {
+  ScopedFaultInjection faults(
+      "t.stream.a=fail-prob:0.5:7,t.stream.b=fail-prob:0.5:7");
+  FaultPoint& a = FaultRegistry::Default().GetPoint("t.stream.a");
+  FaultPoint& b = FaultRegistry::Default().GetPoint("t.stream.b");
+  std::vector<bool> fired_a, fired_b;
+  for (int i = 0; i < 64; ++i) {
+    fired_a.push_back(!a.Check().ok());
+    fired_b.push_back(!b.Check().ok());
+  }
+  // Same seed, but the stream index is derived from the point name.
+  EXPECT_NE(fired_a, fired_b);
+}
+
+TEST(FaultRegistryTest, LatencyInjectsSleepNotFailure) {
+  ScopedFaultInjection faults("t.latency=latency-ms:1");
+  FaultPoint& point = FaultRegistry::Default().GetPoint("t.latency");
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(point.Check().ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(1));
+  EXPECT_EQ(point.injected(), 1u);
+}
+
+TEST(FaultRegistryTest, CorruptFlipsBytesDeterministically) {
+  const std::string original(256, 'x');
+  const auto corrupt_once = [&original](const std::string& spec) {
+    ScopedFaultInjection faults(spec);
+    std::string bytes = original;
+    EXPECT_TRUE(FaultRegistry::Default()
+                    .GetPoint("t.corrupt")
+                    .MaybeCorrupt(&bytes));
+    return bytes;
+  };
+  const std::string a = corrupt_once("t.corrupt=corrupt:3:5");
+  const std::string b = corrupt_once("t.corrupt=corrupt:3:5");
+  EXPECT_NE(a, original);  // xor with a non-zero mask always changes bytes.
+  EXPECT_EQ(a, b);         // same seed => same positions and masks.
+  const std::string c = corrupt_once("t.corrupt=corrupt:3:6");
+  EXPECT_NE(a, c);
+}
+
+TEST(FaultRegistryTest, NonCorruptPoliciesNeverTouchTheBuffer) {
+  ScopedFaultInjection faults("t.notouch=fail-nth:1");
+  std::string bytes = "payload";
+  EXPECT_FALSE(
+      FaultRegistry::Default().GetPoint("t.notouch").MaybeCorrupt(&bytes));
+  EXPECT_EQ(bytes, "payload");
+}
+
+TEST(FaultRegistryTest, DisabledMeansZeroInjections) {
+  // Armed but not enabled: the site must behave exactly as if the policy
+  // did not exist — no failures, no corruption, no counted hits.
+  ASSERT_TRUE(FaultRegistry::Default()
+                  .ApplySpec("t.disabled=fail-first:1000000")
+                  .ok());
+  ASSERT_FALSE(fault::Enabled());
+  FaultPoint& point = FaultRegistry::Default().GetPoint("t.disabled");
+  std::string bytes = "payload";
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(point.Check().ok());
+    EXPECT_FALSE(point.MaybeCorrupt(&bytes));
+  }
+  EXPECT_EQ(bytes, "payload");
+  EXPECT_EQ(point.hits(), 0u);
+  EXPECT_EQ(point.injected(), 0u);
+  FaultRegistry::Default().Clear();
+}
+
+TEST(FaultRegistryTest, ScopedInjectionRestoresDisarmedState) {
+  FaultPoint& point = FaultRegistry::Default().GetPoint("t.scoped");
+  {
+    ScopedFaultInjection faults("t.scoped=fail-first:1");
+    EXPECT_TRUE(fault::Enabled());
+    EXPECT_TRUE(point.policy().has_value());
+    EXPECT_FALSE(point.Check().ok());
+  }
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_FALSE(point.policy().has_value());
+  EXPECT_EQ(point.injected(), 0u);  // Clear() also zeroes counters.
+}
+
+TEST(FaultRegistryTest, ApplySpecArmsMultiplePoints) {
+  ScopedFaultInjection faults(
+      "t.multi.a=fail-nth:1,t.multi.b=latency-ms:0");
+  FaultRegistry& registry = FaultRegistry::Default();
+  EXPECT_TRUE(registry.GetPoint("t.multi.a").policy().has_value());
+  EXPECT_TRUE(registry.GetPoint("t.multi.b").policy().has_value());
+  EXPECT_FALSE(registry.GetPoint("t.multi.a").Check().ok());
+  EXPECT_GE(registry.TotalInjected(), 1u);
+  EXPECT_GE(registry.TotalHits(), 1u);
+}
+
+TEST(FaultRegistryTest, PointReferencesAreStable) {
+  FaultRegistry registry;
+  FaultPoint& first = registry.GetPoint("t.stable");
+  for (int i = 0; i < 100; ++i) registry.GetPoint("pad." + std::to_string(i));
+  EXPECT_EQ(&first, &registry.GetPoint("t.stable"));
+}
+
+TEST(FaultRegistryTest, PolicyRoundTripsThroughToString) {
+  for (const char* spec :
+       {"fail-nth:5", "fail-first:2", "fail-prob:0.500000:9",
+        "latency-ms:3.000000", "corrupt:2:7"}) {
+    auto policy = FaultPolicy::Parse(spec);
+    ASSERT_TRUE(policy.ok()) << spec;
+    auto reparsed = FaultPolicy::Parse(policy->ToString());
+    ASSERT_TRUE(reparsed.ok()) << policy->ToString();
+    EXPECT_EQ(reparsed->kind, policy->kind);
+    EXPECT_EQ(reparsed->n, policy->n);
+    EXPECT_EQ(reparsed->seed, policy->seed);
+  }
+}
+
+// Exercised under ThreadSanitizer in CI: concurrent hitters, an arming
+// thread, and a reader must not race the point's counters or policy.
+TEST(FaultConcurrencyTest, ConcurrentHittersCountEveryHit) {
+  ScopedFaultInjection faults("t.concurrent=fail-prob:0.5:3");
+  FaultPoint& point = FaultRegistry::Default().GetPoint("t.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kHitsPerThread = 500;
+  std::atomic<std::uint64_t> observed_failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&point, &observed_failures] {
+      for (int i = 0; i < kHitsPerThread; ++i) {
+        if (!point.Check().ok()) {
+          observed_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(point.hits(), static_cast<std::uint64_t>(kThreads) *
+                              kHitsPerThread);
+  EXPECT_EQ(point.injected(), observed_failures.load());
+}
+
+TEST(FaultConcurrencyTest, ArmDisarmRacesHittersSafely) {
+  ScopedFaultInjection faults("t.armrace=fail-prob:0.1:1");
+  FaultPoint& point = FaultRegistry::Default().GetPoint("t.armrace");
+  std::atomic<bool> stop{false};
+  std::thread armer([&point, &stop] {
+    FaultPolicy policy;
+    policy.kind = FaultPolicy::Kind::kFailNth;
+    policy.n = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      point.Arm(policy);
+      point.Disarm();
+    }
+  });
+  std::thread reader([&point, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)point.hits();
+      (void)point.policy();
+    }
+  });
+  std::string bytes(64, 'y');
+  for (int i = 0; i < 2000; ++i) {
+    (void)point.Check();
+    (void)point.MaybeCorrupt(&bytes);
+  }
+  stop.store(true);
+  armer.join();
+  reader.join();
+}
+
+}  // namespace
+}  // namespace domd

@@ -99,6 +99,117 @@ TEST(ModelBundleTest, ManifestCardinalityMismatchRefused) {
   EXPECT_EQ(bundle.status().code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(ModelBundleTest, ManifestRecordsAChecksumPerPayloadFile) {
+  const auto& fixture = GetServeFixture();
+  std::ifstream manifest(fixture.dir_v1 + "/MANIFEST");
+  ASSERT_TRUE(manifest.good());
+  std::string text((std::istreambuf_iterator<char>(manifest)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("domd_bundle v2"), std::string::npos);
+  EXPECT_NE(text.find("checksum avails.csv "), std::string::npos);
+  EXPECT_NE(text.find("checksum rccs.csv "), std::string::npos);
+  EXPECT_NE(text.find("checksum models.txt "), std::string::npos);
+}
+
+TEST(ModelBundleTest, FlippedPayloadByteIsDataLoss) {
+  const auto& fixture = GetServeFixture();
+  const std::string dir = ::testing::TempDir() + "/domd_bundle_flip";
+  std::filesystem::remove_all(dir);
+  std::filesystem::copy(fixture.dir_v1, dir,
+                        std::filesystem::copy_options::recursive);
+  const std::string target = dir + "/models.txt";
+  std::string bytes;
+  {
+    std::ifstream in(target, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 10u);
+  bytes[10] = static_cast<char>(bytes[10] ^ 0x01);  // a single flipped bit.
+  {
+    std::ofstream out(target, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto bundle = ModelBundle::Load(dir);
+  EXPECT_EQ(bundle.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ModelBundleTest, TruncatedPayloadIsDataLoss) {
+  const auto& fixture = GetServeFixture();
+  const std::string dir = ::testing::TempDir() + "/domd_bundle_trunc";
+  std::filesystem::remove_all(dir);
+  std::filesystem::copy(fixture.dir_v1, dir,
+                        std::filesystem::copy_options::recursive);
+  std::filesystem::resize_file(dir + "/avails.csv", 64);
+  auto bundle = ModelBundle::Load(dir);
+  EXPECT_EQ(bundle.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ModelBundleTest, MissingManifestedFileIsDataLoss) {
+  const auto& fixture = GetServeFixture();
+  const std::string dir = ::testing::TempDir() + "/domd_bundle_missing";
+  std::filesystem::remove_all(dir);
+  std::filesystem::copy(fixture.dir_v1, dir,
+                        std::filesystem::copy_options::recursive);
+  std::filesystem::remove(dir + "/models.txt");
+  auto bundle = ModelBundle::Load(dir);
+  EXPECT_EQ(bundle.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ModelBundleTest, V2ManifestMissingAChecksumLineIsDataLoss) {
+  const auto& fixture = GetServeFixture();
+  const std::string dir = ::testing::TempDir() + "/domd_bundle_nosum";
+  std::filesystem::remove_all(dir);
+  std::filesystem::copy(fixture.dir_v1, dir,
+                        std::filesystem::copy_options::recursive);
+  {
+    // Rewrite the manifest keeping the v2 tag but dropping every checksum:
+    // a v2 bundle without its integrity records is itself torn.
+    std::ofstream manifest(dir + "/MANIFEST", std::ios::trunc);
+    manifest << "domd_bundle v2\nversion v1\nschema_hash "
+             << ServingSchemaHash() << "\navails "
+             << fixture.pipeline.data.avails.size() << "\nrccs "
+             << fixture.pipeline.data.rccs.size() << "\n";
+  }
+  auto bundle = ModelBundle::Load(dir);
+  EXPECT_EQ(bundle.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ModelBundleTest, LegacyV1ManifestStillLoadsWithoutChecksums) {
+  const auto& fixture = GetServeFixture();
+  const std::string dir = ::testing::TempDir() + "/domd_bundle_legacy";
+  std::filesystem::remove_all(dir);
+  std::filesystem::copy(fixture.dir_v1, dir,
+                        std::filesystem::copy_options::recursive);
+  {
+    std::ofstream manifest(dir + "/MANIFEST", std::ios::trunc);
+    manifest << "domd_bundle v1\nversion v1\nschema_hash "
+             << ServingSchemaHash() << "\navails "
+             << fixture.pipeline.data.avails.size() << "\nrccs "
+             << fixture.pipeline.data.rccs.size() << "\n";
+  }
+  auto bundle = ModelBundle::Load(dir);
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  EXPECT_EQ((*bundle)->version(), "v1");
+}
+
+TEST(ModelBundleTest, RewritingABundleReplacesItAtomically) {
+  const auto& fixture = GetServeFixture();
+  const std::string dir = ::testing::TempDir() + "/domd_bundle_republish";
+  ASSERT_TRUE(ModelBundle::Write(*fixture.estimator_v1, fixture.pipeline.data,
+                                 dir, "first")
+                  .ok());
+  ASSERT_TRUE(ModelBundle::Write(*fixture.estimator_v1, fixture.pipeline.data,
+                                 dir, "second")
+                  .ok());
+  auto bundle = ModelBundle::Load(dir);
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  EXPECT_EQ((*bundle)->version(), "second");
+  // Neither the staging dir nor the displaced old bundle linger.
+  EXPECT_FALSE(std::filesystem::exists(dir + ".tmp"));
+  EXPECT_FALSE(std::filesystem::exists(dir + ".old"));
+}
+
 TEST(ModelBundleTest, ReferenceScoreMatchesEstimatorQuery) {
   const auto& fixture = GetServeFixture();
   for (std::int64_t id : fixture.pipeline.split.test) {

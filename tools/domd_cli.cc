@@ -38,6 +38,11 @@
 // JSON on exit: pipeline span histograms (features.block_sweep, gbt.fit,
 // gbt.split_search, cv.fold, hpt.trial) plus any counters/gauges the
 // command touched. Purely observational — it never changes results.
+//
+// --fault-spec "point=policy,..." (any command; also the DOMD_FAULT_SPEC
+// environment variable) arms deterministic fault injection at the named
+// fault points (DESIGN.md §10) — chaos-testing only, off by default.
+// Builds with -DDOMD_DISABLE_FAULTS refuse the flag.
 
 #include <cstdio>
 #include <cstdlib>
@@ -50,6 +55,7 @@
 
 #include "cache/view_cache.h"
 #include "core/domd_estimator.h"
+#include "fault/fault.h"
 #include "core/pipeline_optimizer.h"
 #include "data/logical_time.h"
 #include "data/integrity.h"
@@ -87,6 +93,33 @@ std::string FlagOr(const Flags& flags, const std::string& key,
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Arms fault injection from --fault-spec or $DOMD_FAULT_SPEC before the
+/// subcommand runs. Returns 0 on success (or nothing to arm), 2 on a
+/// malformed spec or when fault support was compiled out.
+int ArmFaults(const Flags& flags) {
+  std::string spec = FlagOr(flags, "fault-spec", "");
+  if (spec.empty()) {
+    if (const char* env = std::getenv("DOMD_FAULT_SPEC")) spec = env;
+  }
+  if (spec.empty()) return 0;
+#if DOMD_FAULT_COMPILED
+  const Status status = fault::FaultRegistry::Default().ApplySpec(spec);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: --fault-spec: %s\n",
+                 status.ToString().c_str());
+    return 2;
+  }
+  fault::SetEnabled(true);
+  std::fprintf(stderr, "domd: fault injection armed: %s\n", spec.c_str());
+  return 0;
+#else
+  std::fprintf(stderr,
+               "error: --fault-spec given but fault injection was compiled "
+               "out (-DDOMD_DISABLE_FAULTS)\n");
+  return 2;
+#endif
 }
 
 /// Writes the default metric registry as JSON. Surfaces every counter,
@@ -603,6 +636,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return domd::Usage();
   const std::string command = argv[1];
   const domd::Flags flags = domd::ParseFlags(argc, argv, 2);
+  if (const int rc = domd::ArmFaults(flags); rc != 0) return rc;
   int exit_code = 2;
   bool dispatched = true;
   if (command == "generate") exit_code = domd::CmdGenerate(flags);

@@ -2,6 +2,8 @@
 //
 //   domd_serve --bundle DIR [--port P] [--threads N] [--max-queue Q]
 //              [--max-batch B] [--batch-linger-us U] [--cache-bytes B]
+//              [--load-retries R] [--breaker-threshold K]
+//              [--breaker-open-ms M] [--fault-spec SPEC]
 //
 // Listens on 127.0.0.1:P (P = 0 picks an ephemeral port; the chosen port is
 // printed on stdout as "listening on 127.0.0.1:<port>"). Each connection
@@ -15,8 +17,18 @@
 //                                        payload rides one NDJSON line; \n
 //                                        inside it is JSON-escaped)
 //   {"cmd": "swap", "bundle": DIR}       zero-downtime bundle hot-swap
+//   {"cmd": "health"}                    readiness: bundle identity, circuit-
+//                                        breaker state, queue depth
 //   {"cmd": "ping"}                      liveness probe
 //   {"cmd": "shutdown"}                  drain and exit cleanly
+//
+// Robustness: bundle loads (initial and swap) run under bounded retry with
+// exponential backoff, so transient I/O hiccups never kill a swap; a load
+// that still fails (or fails permanently, e.g. DATA_LOSS on a corrupt
+// artifact) leaves the last-known-good bundle serving and is reported in
+// stats/metrics. `--fault-spec "point=policy,..."` (or the DOMD_FAULT_SPEC
+// environment variable) arms deterministic fault injection for chaos
+// testing; builds with -DDOMD_DISABLE_FAULTS refuse the flag.
 //
 // Scoring requests flow through the PredictionService admission queue
 // (bounded; overload answers {"ok":false,"code":"RESOURCE_EXHAUSTED"}) and
@@ -41,6 +53,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "serve/wire.h"
 
@@ -66,12 +79,41 @@ std::string FlagOr(const Flags& flags, const std::string& key,
   return it == flags.end() ? fallback : it->second;
 }
 
+/// Arms fault injection from --fault-spec or $DOMD_FAULT_SPEC. Returns 0
+/// on success (or nothing to arm), 2 on a malformed spec or when fault
+/// support was compiled out.
+int ArmFaults(const Flags& flags) {
+  std::string spec = FlagOr(flags, "fault-spec", "");
+  if (spec.empty()) {
+    if (const char* env = std::getenv("DOMD_FAULT_SPEC")) spec = env;
+  }
+  if (spec.empty()) return 0;
+#if DOMD_FAULT_COMPILED
+  const Status status = fault::FaultRegistry::Default().ApplySpec(spec);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: --fault-spec: %s\n",
+                 status.ToString().c_str());
+    return 2;
+  }
+  fault::SetEnabled(true);
+  std::fprintf(stderr, "domd_serve: fault injection armed: %s\n",
+               spec.c_str());
+  return 0;
+#else
+  std::fprintf(stderr,
+               "error: --fault-spec given but fault injection was compiled "
+               "out (-DDOMD_DISABLE_FAULTS)\n");
+  return 2;
+#endif
+}
+
 /// Shared server state: the service, the swap parallelism, and the
 /// shutdown latch tripping the accept loop.
 struct Server {
   PredictionService* service = nullptr;
   Parallelism parallelism;
   std::size_t cache_bytes = kDefaultViewCacheBytes;
+  RetryOptions load_retry;
   std::atomic<bool> stopping{false};
   int listen_fd = -1;
 
@@ -129,6 +171,27 @@ std::string HandleLine(Server& server, const std::string& line,
   if (cmd == "stats") {
     return StatsToJson(server.service->stats()).Serialize();
   }
+  if (cmd == "health") {
+    // Readiness probe: "ready" means the service is admitting work (the
+    // breaker is not shedding). The identity fields let orchestration
+    // confirm which bundle answers before routing traffic.
+    const ServeStatsSnapshot stats = server.service->stats();
+    const auto bundle = server.service->bundle();
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("ready", JsonValue::Bool(stats.breaker != BreakerState::kOpen));
+    out.Set("bundle_version", JsonValue::String(bundle->version()));
+    out.Set("bundle_dir", JsonValue::String(bundle->directory()));
+    out.Set("schema_hash", JsonValue::Number(
+                               static_cast<double>(bundle->schema_hash())));
+    out.Set("breaker_state",
+            JsonValue::String(BreakerStateToString(stats.breaker)));
+    out.Set("queue_depth",
+            JsonValue::Number(static_cast<double>(stats.queue_depth)));
+    out.Set("swap_failures",
+            JsonValue::Number(static_cast<double>(stats.swap_failures)));
+    return out.Serialize();
+  }
   if (cmd == "metrics") {
     // Prometheus text exposition 0.0.4. The multi-line payload is safe on
     // the NDJSON wire because Serialize() escapes every newline.
@@ -146,11 +209,28 @@ std::string HandleLine(Server& server, const std::string& line,
       return ErrorToJson(Status::InvalidArgument("swap needs \"bundle\""))
           .Serialize();
     }
+    const Status fault = DOMD_FAULT_POINT("serve.swap").Check();
+    if (!fault.ok()) {
+      server.service->NoteSwapFailure(fault);
+      JsonValue out = ErrorToJson(fault);
+      out.Set("bundle_version",
+              JsonValue::String(server.service->bundle()->version()));
+      return out.Serialize();
+    }
     // Hot-swap to a content-identical reference fleet reuses the live
     // modeling-view snapshot via the cache (same fingerprint, no rebuild).
-    auto bundle = ModelBundle::Load(dir, server.parallelism,
-                                    server.cache_bytes);
-    if (!bundle.ok()) return ErrorToJson(bundle.status()).Serialize();
+    // Transient load failures are absorbed by bounded retry; a load that
+    // still fails degrades gracefully — the last-known-good bundle keeps
+    // serving, and the response names it so the caller knows what is live.
+    auto bundle = LoadBundleWithRetry(dir, server.parallelism,
+                                      server.cache_bytes, server.load_retry);
+    if (!bundle.ok()) {
+      server.service->NoteSwapFailure(bundle.status());
+      JsonValue out = ErrorToJson(bundle.status());
+      out.Set("bundle_version",
+              JsonValue::String(server.service->bundle()->version()));
+      return out.Serialize();
+    }
     server.service->SwapBundle(*bundle);
     JsonValue out = JsonValue::Object();
     out.Set("ok", JsonValue::Bool(true));
@@ -229,6 +309,7 @@ int Run(const Flags& flags) {
     std::fprintf(stderr, "error: --bundle is required\n");
     return 2;
   }
+  if (const int rc = ArmFaults(flags); rc != 0) return rc;
   Parallelism parallelism;
   parallelism.num_threads =
       std::atoi(FlagOr(flags, "threads", "0").c_str());
@@ -237,8 +318,11 @@ int Run(const Flags& flags) {
     cache_bytes = static_cast<std::size_t>(std::atoll(it->second.c_str()));
   }
 
-  auto bundle = ModelBundle::Load(bundle_it->second, parallelism,
-                                  cache_bytes);
+  RetryOptions load_retry;
+  load_retry.max_attempts =
+      std::atoi(FlagOr(flags, "load-retries", "4").c_str());
+  auto bundle = LoadBundleWithRetry(bundle_it->second, parallelism,
+                                    cache_bytes, load_retry);
   if (!bundle.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  bundle.status().ToString().c_str());
@@ -253,12 +337,17 @@ int Run(const Flags& flags) {
   options.batch_linger = std::chrono::microseconds(
       std::atoi(FlagOr(flags, "batch-linger-us", "200").c_str()));
   options.parallelism = parallelism;
+  options.breaker_failure_threshold = static_cast<std::size_t>(
+      std::atoi(FlagOr(flags, "breaker-threshold", "5").c_str()));
+  options.breaker_open_duration = std::chrono::milliseconds(
+      std::atoi(FlagOr(flags, "breaker-open-ms", "1000").c_str()));
   PredictionService service(*bundle, options);
 
   Server server;
   server.service = &service;
   server.parallelism = parallelism;
   server.cache_bytes = cache_bytes;
+  server.load_retry = load_retry;
 
   server.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (server.listen_fd < 0) {
