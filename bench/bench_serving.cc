@@ -6,12 +6,21 @@
 // models), and overload answers an explicit RESOURCE_EXHAUSTED reject.
 // Throughput and latency percentiles land in BENCH_serving.json.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <bit>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <future>
@@ -24,7 +33,9 @@
 #include "bench/bench_common.h"
 #include "core/domd_estimator.h"
 #include "obs/stage.h"
+#include "serve/frontend.h"
 #include "serve/prediction_service.h"
+#include "serve/reactor.h"
 
 namespace domd {
 namespace {
@@ -66,6 +77,207 @@ struct LoadPhaseResult {
   std::size_t failed = 0;
   std::map<std::string, std::size_t> per_version;
 };
+
+// ---- Open-loop many-connection phase ------------------------------------
+
+constexpr std::size_t kOpenLoopConnections = 1024;
+constexpr double kOpenLoopTargetRps = 1500.0;
+constexpr std::size_t kOpenLoopRequests = 3000;
+
+struct OpenLoopResult {
+  bool ran = false;          ///< false = could not set up (fd limit etc.).
+  std::size_t connections = 0;
+  std::size_t requests = 0;
+  std::size_t responses = 0;
+  std::size_t invalid = 0;   ///< malformed or error responses.
+  double wall_seconds = 0.0;
+  double achieved_rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Lifts the soft RLIMIT_NOFILE toward the hard limit so the bench can
+/// hold >2k sockets (client + server side) at once.
+void RaiseFdLimit(rlim_t want) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return;
+  if (lim.rlim_cur >= want) return;
+  lim.rlim_cur = std::min<rlim_t>(lim.rlim_max, want);
+  ::setrlimit(RLIMIT_NOFILE, &lim);
+}
+
+int ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Drives the epoll reactor front-end with kOpenLoopConnections sockets in
+/// open-loop mode: requests go out on the target-rps schedule regardless
+/// of response progress, so a slow server shows up as latency, not as a
+/// reduced offered load. Requests are cheap reference-fleet scores
+/// (`avail_id` verb), every response line is validated, and responses on
+/// one connection are matched to its sends in order (NDJSON pipelining
+/// guarantees in-order responses per connection).
+OpenLoopResult RunOpenLoop(std::shared_ptr<const ModelBundle> bundle,
+                           const Dataset& data) {
+  OpenLoopResult out;
+  RaiseFdLimit(3 * kOpenLoopConnections + 64);
+
+  ServeOptions serve_options;
+  serve_options.max_queue_depth = 512;
+  PredictionService service(std::move(bundle), serve_options);
+  ServeFrontend frontend(&service, FrontendOptions{});
+  ReactorOptions reactor_options;
+  reactor_options.num_shards = 2;
+  reactor_options.max_connections = kOpenLoopConnections + 64;
+  auto reactor = Reactor::Create(
+      reactor_options, [&frontend](std::string line, Responder responder) {
+        frontend.Handle(std::move(line), std::move(responder));
+      });
+  if (!reactor.ok()) {
+    std::fprintf(stderr, "open-loop: reactor create failed: %s\n",
+                 reactor.status().ToString().c_str());
+    return out;
+  }
+  const int port = (*reactor)->port();
+
+  // One request line per reference avail, reused round-robin.
+  std::vector<std::string> requests;
+  for (const Avail& avail : data.avails.rows()) {
+    requests.push_back("{\"avail_id\": " + std::to_string(avail.id) +
+                       ", \"t_star\": 60}\n");
+  }
+
+  using TimePoint = std::chrono::steady_clock::time_point;
+  std::vector<int> fds;
+  std::vector<std::deque<TimePoint>> in_flight(kOpenLoopConnections);
+  std::vector<std::string> read_buffers(kOpenLoopConnections);
+  const int client_epoll = ::epoll_create1(0);
+  if (client_epoll < 0) return out;
+  for (std::size_t i = 0; i < kOpenLoopConnections; ++i) {
+    const int fd = ConnectLoopback(port);
+    if (fd < 0) break;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = i;
+    ::epoll_ctl(client_epoll, EPOLL_CTL_ADD, fd, &ev);
+    fds.push_back(fd);
+  }
+  out.connections = fds.size();
+  if (out.connections < kOpenLoopConnections) {
+    std::fprintf(stderr, "open-loop: only %zu/%zu connections\n",
+                 out.connections, kOpenLoopConnections);
+  }
+  out.ran = !fds.empty();
+  if (!out.ran) {
+    ::close(client_epoll);
+    return out;
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(kOpenLoopRequests);
+  std::size_t sent = 0;
+  const auto start = std::chrono::steady_clock::now();
+
+  const auto drain = [&](int wait_ms) {
+    epoll_event events[128];
+    const int n = ::epoll_wait(client_epoll, events, 128, wait_ms);
+    for (int e = 0; e < n; ++e) {
+      const std::size_t index = static_cast<std::size_t>(events[e].data.u64);
+      char chunk[8192];
+      for (;;) {
+        const ssize_t got = ::recv(fds[index], chunk, sizeof(chunk),
+                                   MSG_DONTWAIT);
+        if (got <= 0) break;
+        read_buffers[index].append(chunk, static_cast<std::size_t>(got));
+      }
+      std::string& buffer = read_buffers[index];
+      std::size_t newline;
+      while ((newline = buffer.find('\n')) != std::string::npos) {
+        const std::string line = buffer.substr(0, newline);
+        buffer.erase(0, newline + 1);
+        ++out.responses;
+        if (in_flight[index].empty()) {
+          ++out.invalid;  // response with no matching request.
+          continue;
+        }
+        const TimePoint sent_at = in_flight[index].front();
+        in_flight[index].pop_front();
+        latencies.push_back(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - sent_at)
+                                .count());
+        // A valid answer is a JSON object with "ok": true and a tagged
+        // bundle version; anything else (error, truncation) is invalid.
+        if (line.find("\"ok\":true") == std::string::npos ||
+            line.find("\"bundle_version\"") == std::string::npos) {
+          ++out.invalid;
+        }
+      }
+    }
+  };
+
+  while (sent < kOpenLoopRequests) {
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    const auto due = std::min<std::size_t>(
+        kOpenLoopRequests,
+        static_cast<std::size_t>(elapsed * kOpenLoopTargetRps));
+    while (sent < due) {
+      const std::size_t index = sent % fds.size();
+      const std::string& line = requests[sent % requests.size()];
+      // Request lines are tiny; a full socket buffer here would mean the
+      // server stopped reading entirely, which the final accounting
+      // (responses < requests) surfaces anyway.
+      std::size_t offset = 0;
+      while (offset < line.size()) {
+        const ssize_t n = ::send(fds[index], line.data() + offset,
+                                 line.size() - offset, MSG_NOSIGNAL);
+        if (n <= 0) break;
+        offset += static_cast<std::size_t>(n);
+      }
+      in_flight[index].push_back(std::chrono::steady_clock::now());
+      ++sent;
+    }
+    drain(1);
+  }
+  out.requests = sent;
+
+  // Drain the tail: everything in flight should answer promptly.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (out.responses < out.requests &&
+         std::chrono::steady_clock::now() < deadline) {
+    drain(10);
+  }
+  out.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  out.achieved_rps = out.wall_seconds > 0
+                         ? static_cast<double>(out.responses) /
+                               out.wall_seconds
+                         : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  out.p50_ms = Percentile(latencies, 50);
+  out.p99_ms = Percentile(latencies, 99);
+
+  for (const int fd : fds) ::close(fd);
+  ::close(client_epoll);
+  (*reactor)->Stop();
+  (*reactor)->Wait();
+  return out;
+}
 
 int Run() {
   bench::Banner("Serving: micro-batched scoring with mid-run hot-swap");
@@ -239,6 +451,12 @@ int Run() {
 
   recorder.Record("overload_burst", stage_seconds(stage_start,
                                                   stage_clock()));
+  stage_start = stage_clock();
+
+  // ---- Open-loop phase: the epoll reactor front-end under 1k+ sockets
+  // at a fixed offered rate, every response validated on the wire.
+  const OpenLoopResult open_loop = RunOpenLoop(*v1, data);
+  recorder.Record("open_loop", stage_seconds(stage_start, stage_clock()));
 
   // ---- Report.
   std::sort(load.latencies_ms.begin(), load.latencies_ms.end());
@@ -268,13 +486,22 @@ int Run() {
               static_cast<unsigned long long>(load_stats.queue_depth_hwm));
   std::printf("overload burst: %zu ok, %zu rejected, %zu other\n", burst_ok,
               burst_rejected, burst_other);
+  std::printf("open loop: %zu connections, %zu/%zu responses (%zu invalid), "
+              "%.0f rps achieved (target %.0f), p50 %.2f ms, p99 %.2f ms\n",
+              open_loop.connections, open_loop.responses, open_loop.requests,
+              open_loop.invalid, open_loop.achieved_rps, kOpenLoopTargetRps,
+              open_loop.p50_ms, open_loop.p99_ms);
 
+  const bool open_loop_pass = open_loop.ran &&
+                              open_loop.connections >= kOpenLoopConnections &&
+                              open_loop.responses == open_loop.requests &&
+                              open_loop.invalid == 0;
   const bool pass = load.torn == 0 && load.failed == 0 && post_swap_v2 &&
                     load.per_version["v1"] > 0 &&
                     load.per_version["v1"] + load.per_version["v2"] ==
                         total &&
                     load_stats.swaps == 1 && burst_rejected > 0 &&
-                    burst_other == 0 && burst_ok > 0;
+                    burst_other == 0 && burst_ok > 0 && open_loop_pass;
 
   std::ofstream json("BENCH_serving.json");
   json << "{\n  \"bench\": \"serving\",\n";
@@ -301,6 +528,15 @@ int Run() {
   json << "  \"overload\": {\"burst\": " << burst.size()
        << ", \"ok\": " << burst_ok << ", \"rejected\": " << burst_rejected
        << ", \"queue_depth\": " << tight.max_queue_depth << "},\n";
+  json << "  \"open_loop\": {\"connections\": " << open_loop.connections
+       << ", \"target_rps\": " << kOpenLoopTargetRps
+       << ", \"requests\": " << open_loop.requests
+       << ", \"responses\": " << open_loop.responses
+       << ", \"invalid\": " << open_loop.invalid
+       << ", \"achieved_rps\": " << open_loop.achieved_rps
+       << ", \"latency_ms\": {\"p50\": " << open_loop.p50_ms
+       << ", \"p99\": " << open_loop.p99_ms
+       << "}, \"pass\": " << (open_loop_pass ? "true" : "false") << "},\n";
   json << "  \"stage_timings\": " << recorder.ToJson() << ",\n";
   json << "  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
   std::printf("\nwrote BENCH_serving.json (%s)\n", pass ? "PASS" : "FAIL");

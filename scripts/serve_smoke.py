@@ -2,6 +2,15 @@
 """Socket-level smoke test for domd_serve.
 
 Usage: serve_smoke.py BUILD_DIR [--inject-faults]
+       serve_smoke.py BUILD_DIR --connections N --target-rps R
+
+The second form is the open-loop many-connection mode: it ramps up N
+concurrent sockets against the epoll reactor front-end, offers cheap
+reference predictions at a fixed R requests/second across them (open
+loop: the schedule does not wait for responses), validates every response
+line, and — while the load is in flight — requires `health` and `metrics`
+on a separate control connection to stay responsive. Used by CI to prove
+the reactor sustains 1k+ connections with zero invalid responses.
 
 Generates a small fleet, trains a bundle via the domd CLI, starts
 domd_serve on an ephemeral port, drives the newline-delimited JSON
@@ -25,6 +34,8 @@ chaos jobs; runnable locally the same way.
 
 import json
 import re
+import resource
+import selectors
 import shutil
 import socket
 import subprocess
@@ -368,10 +379,138 @@ def run_fault_flow(server_bin, bundle_v1, bundle_v2, work):
             server.kill()
 
 
+def run_open_loop(server_bin, bundle_v1, connections, target_rps):
+    """Open-loop many-connection mode: see the module docstring."""
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    want = 2 * connections + 256
+    if soft < want:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (min(want, hard), hard))
+
+    total_requests = max(connections, int(target_rps * 2))
+    request_line = (json.dumps({"avail_id": 3, "t_star": 60}) + "\n").encode()
+
+    server, port = start_server(
+        server_bin, bundle_v1,
+        ("--max-connections", str(connections + 16)))
+    try:
+        # Control connection first: it probes health/metrics mid-load.
+        control = connect_with_retry(port)
+        control_stream = control.makefile("rw")
+        rpc = make_rpc(control_stream)
+        probe_health(rpc, "v1")
+
+        # Ramp up the fleet of sockets.
+        selector = selectors.DefaultSelector()
+        socks = []
+        for index in range(connections):
+            sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.setblocking(False)
+            selector.register(sock, selectors.EVENT_READ, index)
+            socks.append(sock)
+        buffers = [b""] * connections
+        in_flight = [0] * connections
+
+        sent = responses = invalid = 0
+        probed_under_load = False
+        start = time.monotonic()
+
+        def drain(timeout):
+            nonlocal responses, invalid
+            for key, _ in selector.select(timeout):
+                index = key.data
+                sock = key.fileobj
+                try:
+                    while True:
+                        chunk = sock.recv(65536)
+                        if not chunk:
+                            break
+                        buffers[index] += chunk
+                except BlockingIOError:
+                    pass
+                while b"\n" in buffers[index]:
+                    line, _, buffers[index] = buffers[index].partition(b"\n")
+                    responses += 1
+                    in_flight[index] -= 1
+                    try:
+                        reply = json.loads(line)
+                    except json.JSONDecodeError:
+                        invalid += 1
+                        continue
+                    if not (reply.get("ok") and
+                            reply.get("bundle_version") == "v1" and
+                            reply.get("num_steps", 0) >= 1):
+                        invalid += 1
+
+        while sent < total_requests:
+            due = min(total_requests,
+                      int((time.monotonic() - start) * target_rps))
+            while sent < due:
+                index = sent % connections
+                socks[index].sendall(request_line)
+                in_flight[index] += 1
+                sent += 1
+            if not probed_under_load and sent >= total_requests // 2:
+                # Mid-load responsiveness: the shards keep answering
+                # control-plane verbs while the request fleet is hot.
+                probe_health(rpc, "v1")
+                metrics = rpc({"cmd": "metrics"})
+                expect(metrics.get("ok"), f"metrics dead under load: "
+                       f"{metrics}")
+                check_prometheus(metrics.get("payload", ""))
+                probed_under_load = True
+            drain(0.001)
+
+        deadline = time.monotonic() + 30
+        while responses < sent and time.monotonic() < deadline:
+            drain(0.05)
+        wall = time.monotonic() - start
+
+        expect(responses == sent,
+               f"only {responses}/{sent} responses within 30s of last send")
+        expect(invalid == 0, f"{invalid} invalid responses out of {sent}")
+        expect(probed_under_load, "load finished before the mid-load probe")
+        expect(all(n == 0 for n in in_flight), "in-flight accounting drifted")
+
+        stats = rpc({"cmd": "stats"})
+        expect(stats.get("ok"), f"bad stats response: {stats}")
+
+        for sock in socks:
+            selector.unregister(sock)
+            sock.close()
+        selector.close()
+
+        done = rpc({"cmd": "shutdown"})
+        expect(done.get("ok") and done.get("shutting_down"),
+               f"bad shutdown response: {done}")
+        control.close()
+        expect(server.wait(timeout=30) == 0, "server exited non-zero")
+        print(f"serve_smoke: open loop sustained {connections} connections, "
+              f"{sent} requests in {wall:.2f}s "
+              f"({sent / wall:.0f} rps achieved, target {target_rps:.0f}), "
+              f"0 invalid")
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+
+def pop_flag_value(args, name):
+    """Removes `name VALUE` from args, returning VALUE or None."""
+    if name not in args:
+        return None
+    where = args.index(name)
+    expect(where + 1 < len(args), f"{name} needs a value")
+    value = args[where + 1]
+    del args[where:where + 2]
+    return value
+
+
 def main():
     args = [a for a in sys.argv[1:]]
     inject_faults = "--inject-faults" in args
     args = [a for a in args if a != "--inject-faults"]
+    connections = pop_flag_value(args, "--connections")
+    target_rps = pop_flag_value(args, "--target-rps")
     if len(args) != 1:
         fail(__doc__.strip())
     build = Path(args[0])
@@ -381,7 +520,12 @@ def main():
     work = Path(tempfile.mkdtemp(prefix="domd_serve_smoke_"))
     bundle_v1, bundle_v2 = train_bundles(build, work)
 
-    if inject_faults:
+    if connections is not None or target_rps is not None:
+        expect(connections is not None and target_rps is not None,
+               "--connections and --target-rps go together")
+        run_open_loop(server_bin, bundle_v1, int(connections),
+                      float(target_rps))
+    elif inject_faults:
         run_fault_flow(server_bin, bundle_v1, bundle_v2, work)
         print("serve_smoke: PASS (fault injection)")
     else:

@@ -1,0 +1,209 @@
+#include "serve/frontend.h"
+
+#include <optional>
+#include <utility>
+
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "serve/wire.h"
+
+namespace domd {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+ServeFrontend::ServeFrontend(PredictionService* service,
+                             FrontendOptions options)
+    : service_(service), options_(std::move(options)) {
+  swap_worker_ = std::thread([this] { SwapWorkerLoop(); });
+}
+
+ServeFrontend::~ServeFrontend() {
+  {
+    std::lock_guard<std::mutex> lock(swap_mutex_);
+    stopping_ = true;
+    swap_available_.notify_all();
+  }
+  if (swap_worker_.joinable()) swap_worker_.join();
+}
+
+void ServeFrontend::SwapWorkerLoop() {
+  for (;;) {
+    SwapJob job;
+    {
+      std::unique_lock<std::mutex> lock(swap_mutex_);
+      swap_available_.wait(
+          lock, [this] { return stopping_ || !swap_queue_.empty(); });
+      if (swap_queue_.empty()) return;  // stopping, fully drained.
+      job = std::move(swap_queue_.front());
+      swap_queue_.pop_front();
+    }
+    // The serve.swap fault gate and the (blocking, retried) bundle load
+    // both run here, off the event-loop shards. Failure keeps the
+    // last-known-good bundle serving and names it in the response.
+    const Status fault = DOMD_FAULT_POINT("serve.swap").Check();
+    if (!fault.ok()) {
+      service_->NoteSwapFailure(fault);
+      JsonValue out = ErrorToJson(fault);
+      out.Set("bundle_version",
+              JsonValue::String(service_->bundle()->version()));
+      job.responder.Respond(out.Serialize());
+      continue;
+    }
+    auto bundle = LoadBundleWithRetry(job.bundle_dir, options_.parallelism,
+                                      options_.cache_bytes,
+                                      options_.load_retry);
+    if (!bundle.ok()) {
+      service_->NoteSwapFailure(bundle.status());
+      JsonValue out = ErrorToJson(bundle.status());
+      out.Set("bundle_version",
+              JsonValue::String(service_->bundle()->version()));
+      job.responder.Respond(out.Serialize());
+      continue;
+    }
+    service_->SwapBundle(*bundle);
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("bundle_version", JsonValue::String((*bundle)->version()));
+    job.responder.Respond(out.Serialize());
+  }
+}
+
+void ServeFrontend::Handle(std::string line, Responder responder) {
+  const Clock::time_point start = Clock::now();
+
+  auto request = JsonValue::Parse(line);
+  if (!request.ok()) {
+    responder.Respond(ErrorToJson(request.status()).Serialize());
+    return;
+  }
+
+  const std::string cmd = request->StringOr("cmd", "");
+  if (cmd == "ping") {
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("bundle_version",
+            JsonValue::String(service_->bundle()->version()));
+    responder.Respond(out.Serialize());
+    return;
+  }
+  if (cmd == "stats") {
+    responder.Respond(StatsToJson(service_->stats()).Serialize());
+    return;
+  }
+  if (cmd == "health") {
+    // Readiness probe: "ready" means the service is admitting work (the
+    // breaker is not shedding). The identity fields let orchestration
+    // confirm which bundle answers before routing traffic.
+    const ServeStatsSnapshot stats = service_->stats();
+    const auto bundle = service_->bundle();
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("ready", JsonValue::Bool(stats.breaker != BreakerState::kOpen));
+    out.Set("bundle_version", JsonValue::String(bundle->version()));
+    out.Set("bundle_dir", JsonValue::String(bundle->directory()));
+    out.Set("schema_hash", JsonValue::Number(
+                               static_cast<double>(bundle->schema_hash())));
+    out.Set("breaker_state",
+            JsonValue::String(BreakerStateToString(stats.breaker)));
+    out.Set("queue_depth",
+            JsonValue::Number(static_cast<double>(stats.queue_depth)));
+    out.Set("swap_failures",
+            JsonValue::Number(static_cast<double>(stats.swap_failures)));
+    responder.Respond(out.Serialize());
+    return;
+  }
+  if (cmd == "metrics") {
+    // Prometheus text exposition 0.0.4. The multi-line payload is safe on
+    // the NDJSON wire because Serialize() escapes every newline.
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("content_type",
+            JsonValue::String("text/plain; version=0.0.4"));
+    out.Set("payload", JsonValue::String(
+                           obs::MetricsRegistry::Default().RenderPrometheus()));
+    responder.Respond(out.Serialize());
+    return;
+  }
+  if (cmd == "swap") {
+    std::string dir = request->StringOr("bundle", "");
+    if (dir.empty()) {
+      responder.Respond(
+          ErrorToJson(Status::InvalidArgument("swap needs \"bundle\""))
+              .Serialize());
+      return;
+    }
+    SwapJob job;
+    job.bundle_dir = std::move(dir);
+    job.responder = std::move(responder);
+    std::lock_guard<std::mutex> lock(swap_mutex_);
+    if (stopping_) return;  // teardown races a late swap: drop it.
+    swap_queue_.push_back(std::move(job));
+    swap_available_.notify_one();
+    return;
+  }
+  if (cmd == "shutdown") {
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("shutting_down", JsonValue::Bool(true));
+    responder.RespondThenStop(out.Serialize());
+    return;
+  }
+  if (!cmd.empty()) {
+    responder.Respond(
+        ErrorToJson(Status::InvalidArgument("unknown cmd \"" + cmd + "\""))
+            .Serialize());
+    return;
+  }
+
+  // Reference-fleet scoring: cheap lock-free read against the current
+  // bundle, answered inline on the shard (no queueing).
+  if (const JsonValue* avail_id = request->Find("avail_id");
+      avail_id != nullptr && avail_id->is_number()) {
+    const auto result = service_->bundle()->ScoreReferenceAvail(
+        static_cast<std::int64_t>(avail_id->number_value()),
+        request->NumberOr("t_star", 100.0),
+        static_cast<std::size_t>(request->NumberOr("top_k", 5)));
+    if (!result.ok()) {
+      responder.Respond(ErrorToJson(result.status()).Serialize());
+      return;
+    }
+    responder.Respond(
+        PredictionToJson(*result, ElapsedMs(start, Clock::now()))
+            .Serialize());
+    return;
+  }
+
+  // Detached scoring through the admission queue + micro-batcher. The
+  // completion fires on the batcher thread (or inline for an immediate
+  // rejection) and posts the response back to the owning shard.
+  auto score = ParseScoreRequest(*request);
+  if (!score.ok()) {
+    responder.Respond(ErrorToJson(score.status()).Serialize());
+    return;
+  }
+  std::optional<PredictionService::Clock::time_point> deadline;
+  if (const auto ms = RequestDeadlineMs(*request); ms.has_value()) {
+    deadline = start + std::chrono::microseconds(
+                           static_cast<std::int64_t>(*ms * 1000.0));
+  }
+  service_->SubmitAsync(
+      std::move(*score), deadline,
+      [responder, start](StatusOr<ServePrediction> result) {
+        if (!result.ok()) {
+          responder.Respond(ErrorToJson(result.status()).Serialize());
+          return;
+        }
+        responder.Respond(
+            PredictionToJson(*result, ElapsedMs(start, Clock::now()))
+                .Serialize());
+      });
+}
+
+}  // namespace domd

@@ -1,0 +1,72 @@
+#ifndef DOMD_SERVE_FRONTEND_H_
+#define DOMD_SERVE_FRONTEND_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/prediction_service.h"
+#include "serve/reactor.h"
+
+namespace domd {
+
+/// Knobs the verb router needs beyond the PredictionService itself.
+struct FrontendOptions {
+  Parallelism parallelism;
+  std::size_t cache_bytes = kDefaultViewCacheBytes;
+  RetryOptions load_retry;
+};
+
+/// The NDJSON verb router of domd_serve, factored out of the binary so the
+/// chaos tests and the bench drive the exact same request handling the
+/// server runs. One instance plugs into a Reactor as its Handler:
+///
+///   reactor = Reactor::Create(opts, [&f](std::string line, Responder r) {
+///     f.Handle(std::move(line), std::move(r));
+///   });
+///
+/// Routing preserves the thread-per-connection wire semantics verb by
+/// verb: ping/stats/health/metrics answer inline on the shard (pure
+/// snapshot reads), predict requests flow through
+/// PredictionService::SubmitAsync and respond from the batcher thread,
+/// reference-fleet scoring (`avail_id`) answers inline against one bundle
+/// snapshot, and `swap` — whose bundle load blocks on disk I/O and bounded
+/// retry — runs on a dedicated swap worker thread so it can never stall an
+/// event-loop shard. `shutdown` responds through RespondThenStop, which
+/// stops the reactor only after the response line has drained.
+class ServeFrontend {
+ public:
+  ServeFrontend(PredictionService* service, FrontendOptions options);
+  ~ServeFrontend();
+
+  ServeFrontend(const ServeFrontend&) = delete;
+  ServeFrontend& operator=(const ServeFrontend&) = delete;
+
+  /// Routes one request line; always answers via `responder`, exactly once.
+  void Handle(std::string line, Responder responder);
+
+ private:
+  struct SwapJob {
+    std::string bundle_dir;
+    Responder responder;
+  };
+
+  void SwapWorkerLoop();
+
+  PredictionService* const service_;
+  const FrontendOptions options_;
+
+  std::mutex swap_mutex_;
+  std::condition_variable swap_available_;
+  std::deque<SwapJob> swap_queue_;
+  bool stopping_ = false;
+  std::thread swap_worker_;  ///< last member: joins before teardown.
+};
+
+}  // namespace domd
+
+#endif  // DOMD_SERVE_FRONTEND_H_

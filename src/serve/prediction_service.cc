@@ -10,13 +10,6 @@
 namespace domd {
 namespace {
 
-/// A future that is already satisfied (overload / shutdown fast paths).
-std::future<StatusOr<ServePrediction>> ReadyFuture(Status status) {
-  std::promise<StatusOr<ServePrediction>> promise;
-  promise.set_value(StatusOr<ServePrediction>(std::move(status)));
-  return promise.get_future();
-}
-
 /// Milliseconds between two steady-clock samples, as a double.
 double ElapsedMs(PredictionService::Clock::time_point from,
                  PredictionService::Clock::time_point to) {
@@ -83,20 +76,21 @@ void PredictionService::CountOutcome(StatusCode code) {
 
 PredictionService::~PredictionService() { Shutdown(); }
 
-std::future<StatusOr<ServePrediction>> PredictionService::Submit(
-    ScoreRequest request, std::optional<Clock::time_point> deadline) {
+void PredictionService::SubmitAsync(ScoreRequest request,
+                                    std::optional<Clock::time_point> deadline,
+                                    Completion completion) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  std::optional<Status> rejection;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutting_down_) {
       rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
       CountOutcome(StatusCode::kFailedPrecondition);
-      return ReadyFuture(
-          Status::FailedPrecondition("prediction service is shut down"));
+      rejection = Status::FailedPrecondition("prediction service is shut down");
     }
     // Breaker shed: while Open, refuse load we know we cannot score. Once
     // the open interval elapses, admit traffic again as a HalfOpen probe.
-    if (options_.breaker_failure_threshold > 0 &&
+    if (!rejection.has_value() && options_.breaker_failure_threshold > 0 &&
         breaker_ == BreakerState::kOpen) {
       if (Clock::now() >= breaker_open_until_) {
         breaker_ = BreakerState::kHalfOpen;
@@ -104,39 +98,57 @@ std::future<StatusOr<ServePrediction>> PredictionService::Submit(
       } else {
         rejected_breaker_.fetch_add(1, std::memory_order_relaxed);
         CountOutcome(StatusCode::kUnavailable);
-        return ReadyFuture(Status::Unavailable(
+        rejection = Status::Unavailable(
             "circuit breaker open after " +
             std::to_string(consecutive_batch_failures_) +
-            " consecutive batch failures; shedding load"));
+            " consecutive batch failures; shedding load");
       }
     }
-    if (queue_.size() >= options_.max_queue_depth) {
+    if (!rejection.has_value() &&
+        queue_.size() >= options_.max_queue_depth) {
       rejected_overload_.fetch_add(1, std::memory_order_relaxed);
       CountOutcome(StatusCode::kResourceExhausted);
-      return ReadyFuture(Status::ResourceExhausted(
+      rejection = Status::ResourceExhausted(
           "admission queue full (" +
-          std::to_string(options_.max_queue_depth) + " pending)"));
+          std::to_string(options_.max_queue_depth) + " pending)");
     }
-    Pending pending;
-    pending.request = std::move(request);
-    pending.deadline = deadline;
-    // Clock sample only while metrics are live; the epoch default tells the
-    // dequeue side to skip the queue-wait observation.
-    if (metrics_.queue_wait_ms != nullptr && obs::Enabled()) {
-      pending.enqueued = Clock::now();
+    if (!rejection.has_value()) {
+      Pending pending;
+      pending.request = std::move(request);
+      pending.deadline = deadline;
+      pending.completion = std::move(completion);
+      // Clock sample only while metrics are live; the epoch default tells
+      // the dequeue side to skip the queue-wait observation.
+      if (metrics_.queue_wait_ms != nullptr && obs::Enabled()) {
+        pending.enqueued = Clock::now();
+      }
+      queue_.push_back(std::move(pending));
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      queue_depth_hwm_ = std::max<std::uint64_t>(queue_depth_hwm_,
+                                                 queue_.size());
+      if (metrics_.queue_depth != nullptr && obs::Enabled()) {
+        metrics_.queue_depth->Set(static_cast<double>(queue_.size()));
+      }
+      work_available_.notify_one();
+      return;
     }
-    std::future<StatusOr<ServePrediction>> future =
-        pending.promise.get_future();
-    queue_.push_back(std::move(pending));
-    accepted_.fetch_add(1, std::memory_order_relaxed);
-    queue_depth_hwm_ = std::max<std::uint64_t>(queue_depth_hwm_,
-                                               queue_.size());
-    if (metrics_.queue_depth != nullptr && obs::Enabled()) {
-      metrics_.queue_depth->Set(static_cast<double>(queue_.size()));
-    }
-    work_available_.notify_one();
-    return future;
   }
+  // Rejection completions run after the mutex is released: a completion is
+  // allowed to be slow-ish plumbing (e.g. posting to a reactor mailbox)
+  // and must never extend the admission critical section.
+  completion(StatusOr<ServePrediction>(std::move(*rejection)));
+}
+
+std::future<StatusOr<ServePrediction>> PredictionService::Submit(
+    ScoreRequest request, std::optional<Clock::time_point> deadline) {
+  auto promise =
+      std::make_shared<std::promise<StatusOr<ServePrediction>>>();
+  std::future<StatusOr<ServePrediction>> future = promise->get_future();
+  SubmitAsync(std::move(request), deadline,
+              [promise](StatusOr<ServePrediction> result) {
+                promise->set_value(std::move(result));
+              });
+  return future;
 }
 
 StatusOr<ServePrediction> PredictionService::Predict(
@@ -288,7 +300,7 @@ void PredictionService::BatcherLoop() {
       if (pending.deadline.has_value() && *pending.deadline < now) {
         expired_deadline_.fetch_add(1, std::memory_order_relaxed);
         CountOutcome(StatusCode::kDeadlineExceeded);
-        pending.promise.set_value(StatusOr<ServePrediction>(
+        pending.completion(StatusOr<ServePrediction>(
             Status::DeadlineExceeded("request expired before scoring")));
       } else {
         live.push_back(std::move(pending));
@@ -316,7 +328,7 @@ void PredictionService::BatcherLoop() {
       for (Pending& pending : live) {
         completed_error_.fetch_add(1, std::memory_order_relaxed);
         CountOutcome(batch_status.code());
-        pending.promise.set_value(StatusOr<ServePrediction>(batch_status));
+        pending.completion(StatusOr<ServePrediction>(batch_status));
       }
       continue;
     }
@@ -345,7 +357,7 @@ void PredictionService::BatcherLoop() {
       }
       CountOutcome(results[i].ok() ? StatusCode::kOk
                                    : results[i].status().code());
-      live[i].promise.set_value(std::move(results[i]));
+      live[i].completion(std::move(results[i]));
     }
   }
 }

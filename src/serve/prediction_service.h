@@ -183,6 +183,11 @@ struct ServeStatsSnapshot {
 class PredictionService {
  public:
   using Clock = std::chrono::steady_clock;
+  /// Completion callback for SubmitAsync. Invoked exactly once per
+  /// request: on the caller's thread for immediate rejections (overload,
+  /// breaker, shutdown), on the batcher thread otherwise. Must not block
+  /// and must not call back into the service.
+  using Completion = std::function<void(StatusOr<ServePrediction>)>;
 
   explicit PredictionService(std::shared_ptr<const ModelBundle> bundle,
                              const ServeOptions& options = {});
@@ -198,6 +203,16 @@ class PredictionService {
   std::future<StatusOr<ServePrediction>> Submit(
       ScoreRequest request,
       std::optional<Clock::time_point> deadline = std::nullopt);
+
+  /// Callback flavor of Submit with identical admission semantics —
+  /// shutdown, breaker shed, and overload rejections hit the same
+  /// counters and status codes, in the same order. `completion` is always
+  /// invoked exactly once, never while the service mutex is held. This is
+  /// the reactor front-end's path: completions post back to the owning
+  /// shard instead of parking a thread on a future.
+  void SubmitAsync(ScoreRequest request,
+                   std::optional<Clock::time_point> deadline,
+                   Completion completion);
 
   /// Synchronous convenience: Submit + wait.
   StatusOr<ServePrediction> Predict(
@@ -234,7 +249,7 @@ class PredictionService {
   struct Pending {
     ScoreRequest request;
     std::optional<Clock::time_point> deadline;
-    std::promise<StatusOr<ServePrediction>> promise;
+    Completion completion;
     /// Admission timestamp for the queue-wait histogram; unset (epoch)
     /// while metrics are disabled so the hot path skips the clock sample.
     Clock::time_point enqueued{};

@@ -2,6 +2,7 @@
 #define DOMD_TESTS_SERVE_SERVE_TEST_FIXTURE_H_
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -48,8 +49,12 @@ inline const ServeFixture& GetServeFixture() {
       std::abort();
     }
 
-    f->dir_v1 = ::testing::TempDir() + "/domd_serve_bundle_v1";
-    f->dir_v2 = ::testing::TempDir() + "/domd_serve_bundle_v2";
+    // Pid-unique paths: ctest runs each test as its own process, and
+    // concurrent processes writing one shared bundle dir race on the
+    // staging/rename publication step.
+    const std::string pid = std::to_string(::getpid());
+    f->dir_v1 = ::testing::TempDir() + "/domd_serve_bundle_v1." + pid;
+    f->dir_v2 = ::testing::TempDir() + "/domd_serve_bundle_v2." + pid;
     if (!ModelBundle::Write(*v1, f->pipeline.data, f->dir_v1, "v1").ok() ||
         !ModelBundle::Write(*v2, f->pipeline.data, f->dir_v2, "v2").ok()) {
       std::fprintf(stderr, "ServeFixture: bundle write failed\n");

@@ -3,7 +3,9 @@
 //   domd_serve --bundle DIR [--port P] [--threads N] [--max-queue Q]
 //              [--max-batch B] [--batch-linger-us U] [--cache-bytes B]
 //              [--load-retries R] [--breaker-threshold K]
-//              [--breaker-open-ms M] [--fault-spec SPEC]
+//              [--breaker-open-ms M] [--loop-shards S]
+//              [--max-connections C] [--idle-timeout-ms T]
+//              [--max-request-bytes L] [--fault-spec SPEC]
 //
 // Listens on 127.0.0.1:P (P = 0 picks an ephemeral port; the chosen port is
 // printed on stdout as "listening on 127.0.0.1:<port>"). Each connection
@@ -22,6 +24,15 @@
 //   {"cmd": "ping"}                      liveness probe
 //   {"cmd": "shutdown"}                  drain and exit cleanly
 //
+// Front-end: a non-blocking epoll reactor (DESIGN.md §11) — one acceptor
+// plus --loop-shards event-loop shards, each owning its connections. Client
+// requests pipeline: N requests on one connection are answered in order
+// without waiting for each other. Per-connection read/write buffers are
+// bounded (--max-request-bytes per line; a client that stops reading gets a
+// bounded write buffer, then a clean disconnect), idle connections are
+// reaped after --idle-timeout-ms, and accepts beyond --max-connections are
+// shed at the door.
+//
 // Robustness: bundle loads (initial and swap) run under bounded retry with
 // exponential backoff, so transient I/O hiccups never kill a swap; a load
 // that still fails (or fails permanently, e.g. DATA_LOSS on a corrupt
@@ -36,25 +47,16 @@
 // drops a request: in-flight batches finish on the old bundle, later
 // batches use the new one, and every response names its bundle version.
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <atomic>
-#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <map>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "fault/fault.h"
-#include "obs/metrics.h"
+#include "serve/frontend.h"
+#include "serve/reactor.h"
 #include "serve/wire.h"
 
 namespace domd {
@@ -107,202 +109,6 @@ int ArmFaults(const Flags& flags) {
 #endif
 }
 
-/// Shared server state: the service, the swap parallelism, and the
-/// shutdown latch tripping the accept loop.
-struct Server {
-  PredictionService* service = nullptr;
-  Parallelism parallelism;
-  std::size_t cache_bytes = kDefaultViewCacheBytes;
-  RetryOptions load_retry;
-  std::atomic<bool> stopping{false};
-  int listen_fd = -1;
-
-  std::mutex clients_mutex;
-  std::vector<int> client_fds;
-
-  void RegisterClient(int fd) {
-    std::lock_guard<std::mutex> lock(clients_mutex);
-    client_fds.push_back(fd);
-  }
-  void UnregisterClient(int fd) {
-    std::lock_guard<std::mutex> lock(clients_mutex);
-    std::erase(client_fds, fd);
-  }
-  /// Unblocks every connection reader so their threads can exit.
-  void KickClients() {
-    std::lock_guard<std::mutex> lock(clients_mutex);
-    for (int fd : client_fds) ::shutdown(fd, SHUT_RDWR);
-  }
-};
-
-bool WriteAll(int fd, const std::string& text) {
-  std::size_t sent = 0;
-  while (sent < text.size()) {
-    const ssize_t n = ::send(fd, text.data() + sent, text.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// Handles one request line; returns the response (without newline) and
-/// sets `shutdown_requested` on a shutdown command.
-std::string HandleLine(Server& server, const std::string& line,
-                       bool* shutdown_requested) {
-  const auto start = std::chrono::steady_clock::now();
-  const auto latency_ms = [&start] {
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - start)
-        .count();
-  };
-
-  auto request = JsonValue::Parse(line);
-  if (!request.ok()) return ErrorToJson(request.status()).Serialize();
-
-  const std::string cmd = request->StringOr("cmd", "");
-  if (cmd == "ping") {
-    JsonValue out = JsonValue::Object();
-    out.Set("ok", JsonValue::Bool(true));
-    out.Set("bundle_version",
-            JsonValue::String(server.service->bundle()->version()));
-    return out.Serialize();
-  }
-  if (cmd == "stats") {
-    return StatsToJson(server.service->stats()).Serialize();
-  }
-  if (cmd == "health") {
-    // Readiness probe: "ready" means the service is admitting work (the
-    // breaker is not shedding). The identity fields let orchestration
-    // confirm which bundle answers before routing traffic.
-    const ServeStatsSnapshot stats = server.service->stats();
-    const auto bundle = server.service->bundle();
-    JsonValue out = JsonValue::Object();
-    out.Set("ok", JsonValue::Bool(true));
-    out.Set("ready", JsonValue::Bool(stats.breaker != BreakerState::kOpen));
-    out.Set("bundle_version", JsonValue::String(bundle->version()));
-    out.Set("bundle_dir", JsonValue::String(bundle->directory()));
-    out.Set("schema_hash", JsonValue::Number(
-                               static_cast<double>(bundle->schema_hash())));
-    out.Set("breaker_state",
-            JsonValue::String(BreakerStateToString(stats.breaker)));
-    out.Set("queue_depth",
-            JsonValue::Number(static_cast<double>(stats.queue_depth)));
-    out.Set("swap_failures",
-            JsonValue::Number(static_cast<double>(stats.swap_failures)));
-    return out.Serialize();
-  }
-  if (cmd == "metrics") {
-    // Prometheus text exposition 0.0.4. The multi-line payload is safe on
-    // the NDJSON wire because Serialize() escapes every newline.
-    JsonValue out = JsonValue::Object();
-    out.Set("ok", JsonValue::Bool(true));
-    out.Set("content_type",
-            JsonValue::String("text/plain; version=0.0.4"));
-    out.Set("payload", JsonValue::String(
-                           obs::MetricsRegistry::Default().RenderPrometheus()));
-    return out.Serialize();
-  }
-  if (cmd == "swap") {
-    const std::string dir = request->StringOr("bundle", "");
-    if (dir.empty()) {
-      return ErrorToJson(Status::InvalidArgument("swap needs \"bundle\""))
-          .Serialize();
-    }
-    const Status fault = DOMD_FAULT_POINT("serve.swap").Check();
-    if (!fault.ok()) {
-      server.service->NoteSwapFailure(fault);
-      JsonValue out = ErrorToJson(fault);
-      out.Set("bundle_version",
-              JsonValue::String(server.service->bundle()->version()));
-      return out.Serialize();
-    }
-    // Hot-swap to a content-identical reference fleet reuses the live
-    // modeling-view snapshot via the cache (same fingerprint, no rebuild).
-    // Transient load failures are absorbed by bounded retry; a load that
-    // still fails degrades gracefully — the last-known-good bundle keeps
-    // serving, and the response names it so the caller knows what is live.
-    auto bundle = LoadBundleWithRetry(dir, server.parallelism,
-                                      server.cache_bytes, server.load_retry);
-    if (!bundle.ok()) {
-      server.service->NoteSwapFailure(bundle.status());
-      JsonValue out = ErrorToJson(bundle.status());
-      out.Set("bundle_version",
-              JsonValue::String(server.service->bundle()->version()));
-      return out.Serialize();
-    }
-    server.service->SwapBundle(*bundle);
-    JsonValue out = JsonValue::Object();
-    out.Set("ok", JsonValue::Bool(true));
-    out.Set("bundle_version", JsonValue::String((*bundle)->version()));
-    return out.Serialize();
-  }
-  if (cmd == "shutdown") {
-    *shutdown_requested = true;
-    JsonValue out = JsonValue::Object();
-    out.Set("ok", JsonValue::Bool(true));
-    out.Set("shutting_down", JsonValue::Bool(true));
-    return out.Serialize();
-  }
-  if (!cmd.empty()) {
-    return ErrorToJson(Status::InvalidArgument("unknown cmd \"" + cmd + "\""))
-        .Serialize();
-  }
-
-  // Reference-fleet scoring: cheap lock-free read against the current
-  // bundle, no queueing.
-  if (const JsonValue* avail_id = request->Find("avail_id");
-      avail_id != nullptr && avail_id->is_number()) {
-    const auto result = server.service->bundle()->ScoreReferenceAvail(
-        static_cast<std::int64_t>(avail_id->number_value()),
-        request->NumberOr("t_star", 100.0),
-        static_cast<std::size_t>(request->NumberOr("top_k", 5)));
-    if (!result.ok()) return ErrorToJson(result.status()).Serialize();
-    return PredictionToJson(*result, latency_ms()).Serialize();
-  }
-
-  // Detached scoring through the admission queue + micro-batcher.
-  auto score = ParseScoreRequest(*request);
-  if (!score.ok()) return ErrorToJson(score.status()).Serialize();
-  std::optional<PredictionService::Clock::time_point> deadline;
-  if (const auto ms = RequestDeadlineMs(*request); ms.has_value()) {
-    deadline = start + std::chrono::microseconds(
-                           static_cast<std::int64_t>(*ms * 1000.0));
-  }
-  const auto result = server.service->Predict(std::move(*score), deadline);
-  if (!result.ok()) return ErrorToJson(result.status()).Serialize();
-  return PredictionToJson(*result, latency_ms()).Serialize();
-}
-
-void ServeConnection(Server& server, int fd) {
-  server.RegisterClient(fd);
-  std::string buffer;
-  char chunk[4096];
-  bool shutdown_requested = false;
-  while (!shutdown_requested) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t newline;
-    while (!shutdown_requested &&
-           (newline = buffer.find('\n')) != std::string::npos) {
-      const std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-      const std::string response =
-          HandleLine(server, line, &shutdown_requested);
-      if (!WriteAll(fd, response + "\n")) break;
-    }
-  }
-  server.UnregisterClient(fd);
-  ::close(fd);
-  if (shutdown_requested && !server.stopping.exchange(true)) {
-    // Break the accept loop and unblock the other connection readers.
-    ::shutdown(server.listen_fd, SHUT_RDWR);
-    server.KickClients();
-  }
-}
-
 int Run(const Flags& flags) {
   const auto bundle_it = flags.find("bundle");
   if (bundle_it == flags.end()) {
@@ -343,52 +149,42 @@ int Run(const Flags& flags) {
       std::atoi(FlagOr(flags, "breaker-open-ms", "1000").c_str()));
   PredictionService service(*bundle, options);
 
-  Server server;
-  server.service = &service;
-  server.parallelism = parallelism;
-  server.cache_bytes = cache_bytes;
-  server.load_retry = load_retry;
+  FrontendOptions frontend_options;
+  frontend_options.parallelism = parallelism;
+  frontend_options.cache_bytes = cache_bytes;
+  frontend_options.load_retry = load_retry;
+  ServeFrontend frontend(&service, frontend_options);
 
-  server.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (server.listen_fd < 0) {
-    std::perror("socket");
+  ReactorOptions reactor_options;
+  reactor_options.port = std::atoi(FlagOr(flags, "port", "7433").c_str());
+  reactor_options.num_shards = static_cast<std::size_t>(
+      std::atoi(FlagOr(flags, "loop-shards", "2").c_str()));
+  reactor_options.max_connections = static_cast<std::size_t>(
+      std::atoi(FlagOr(flags, "max-connections", "1024").c_str()));
+  reactor_options.idle_timeout = std::chrono::milliseconds(
+      std::atoll(FlagOr(flags, "idle-timeout-ms", "60000").c_str()));
+  reactor_options.max_request_bytes = static_cast<std::size_t>(
+      std::atoll(FlagOr(flags, "max-request-bytes",
+                        std::to_string(std::size_t{1} << 20))
+                     .c_str()));
+  auto reactor = Reactor::Create(
+      reactor_options, [&frontend](std::string line, Responder responder) {
+        frontend.Handle(std::move(line), std::move(responder));
+      });
+  if (!reactor.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 reactor.status().ToString().c_str());
     return 1;
   }
-  const int enable = 1;
-  ::setsockopt(server.listen_fd, SOL_SOCKET, SO_REUSEADDR, &enable,
-               sizeof(enable));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port =
-      htons(static_cast<std::uint16_t>(std::atoi(
-          FlagOr(flags, "port", "7433").c_str())));
-  if (::bind(server.listen_fd, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) < 0 ||
-      ::listen(server.listen_fd, 64) < 0) {
-    std::perror("bind/listen");
-    ::close(server.listen_fd);
-    return 1;
-  }
-  socklen_t addr_len = sizeof(addr);
-  ::getsockname(server.listen_fd, reinterpret_cast<sockaddr*>(&addr),
-                &addr_len);
+
   std::printf("domd_serve: bundle %s (version %s, %zu reference avails)\n",
               bundle_it->second.c_str(), (*bundle)->version().c_str(),
               (*bundle)->data().avails.size());
-  std::printf("listening on 127.0.0.1:%d\n",
-              static_cast<int>(ntohs(addr.sin_port)));
+  std::printf("listening on 127.0.0.1:%d\n", (*reactor)->port());
   std::fflush(stdout);
 
-  std::vector<std::thread> connections;
-  while (!server.stopping.load()) {
-    const int fd = ::accept(server.listen_fd, nullptr, nullptr);
-    if (fd < 0) break;  // listener shut down (or fatal accept error).
-    connections.emplace_back(
-        [&server, fd] { ServeConnection(server, fd); });
-  }
-  for (std::thread& thread : connections) thread.join();
-  ::close(server.listen_fd);
+  (*reactor)->Wait();
+  reactor->reset();  // join shards and release every connection.
   service.Shutdown();
 
   const ServeStatsSnapshot stats = service.stats();
