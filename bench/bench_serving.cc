@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "cluster/hash_ring.h"
+#include "cluster/router.h"
 #include "core/domd_estimator.h"
 #include "obs/stage.h"
 #include "serve/frontend.h"
@@ -279,6 +281,282 @@ OpenLoopResult RunOpenLoop(std::shared_ptr<const ModelBundle> bundle,
   return out;
 }
 
+// ---- Cluster phase ------------------------------------------------------
+//
+// The sharded serving tier (DESIGN.md §12): K in-process serve stacks
+// behind a real ClusterRouter on its own reactor, driven over TCP. The
+// scale sweep reports routed throughput at K = 1, 2, 4 with every
+// response validated; the chaos sample kills a primary replica mid-load
+// and checks that hedged retries keep the error count bounded.
+
+constexpr std::size_t kClusterClientThreads = 4;
+constexpr std::size_t kClusterRequestsPerThread = 150;
+constexpr std::size_t kChaosRequests = 300;
+
+/// Blocking NDJSON client over one loopback connection.
+class LineClient {
+ public:
+  explicit LineClient(int port) : fd_(ConnectLoopback(port)) {}
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool SendLine(const std::string& line) {
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t offset = 0;
+    while (offset < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + offset,
+                               framed.size() - offset, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      offset += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool ReadLine(std::string* out) {
+    for (;;) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        out->assign(buffer_, 0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (got <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// One in-process serve stack (the objects domd_serve wires up) on an
+/// ephemeral loopback port.
+struct BenchShard {
+  std::unique_ptr<PredictionService> service;
+  std::unique_ptr<ServeFrontend> frontend;
+  std::unique_ptr<Reactor> reactor;
+  int port = 0;
+
+  static std::unique_ptr<BenchShard> Start(
+      std::shared_ptr<const ModelBundle> bundle) {
+    auto shard = std::make_unique<BenchShard>();
+    shard->service = std::make_unique<PredictionService>(std::move(bundle));
+    shard->frontend = std::make_unique<ServeFrontend>(shard->service.get(),
+                                                      FrontendOptions{});
+    ReactorOptions options;
+    options.port = 0;
+    options.num_shards = 1;
+    ServeFrontend* frontend = shard->frontend.get();
+    auto reactor = Reactor::Create(
+        options, [frontend](std::string line, Responder responder) {
+          frontend->Handle(std::move(line), std::move(responder));
+        });
+    if (!reactor.ok()) return nullptr;
+    shard->reactor = std::move(*reactor);
+    shard->port = shard->reactor->port();
+    return shard;
+  }
+
+  void Kill() { reactor.reset(); }  // connections die; service stays up.
+};
+
+/// K shards (each `replicas_per_shard` stacks over the same bundle)
+/// fronted by the cluster router on its own reactor.
+struct BenchCluster {
+  std::vector<std::vector<std::unique_ptr<BenchShard>>> shards;
+  std::unique_ptr<cluster::ClusterRouter> router;
+  std::unique_ptr<Reactor> router_reactor;
+  int router_port = 0;
+
+  static std::unique_ptr<BenchCluster> Start(
+      std::size_t num_shards, std::size_t replicas_per_shard,
+      std::shared_ptr<const ModelBundle> bundle,
+      cluster::RouterOptions options) {
+    auto out = std::make_unique<BenchCluster>();
+    std::vector<cluster::ShardSpec> specs;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      out->shards.emplace_back();
+      cluster::ShardSpec spec;
+      spec.id = static_cast<int>(s);
+      for (std::size_t r = 0; r < replicas_per_shard; ++r) {
+        auto shard = BenchShard::Start(bundle);
+        if (shard == nullptr) return nullptr;
+        spec.replicas.push_back({"127.0.0.1", shard->port});
+        out->shards.back().push_back(std::move(shard));
+      }
+      specs.push_back(std::move(spec));
+    }
+    auto host_map = cluster::HostMap::Create(std::move(specs));
+    if (!host_map.ok()) return nullptr;
+    out->router = std::make_unique<cluster::ClusterRouter>(
+        std::move(*host_map), options);
+    ReactorOptions reactor_options;
+    reactor_options.port = 0;
+    reactor_options.num_shards = 1;
+    cluster::ClusterRouter* router = out->router.get();
+    auto reactor = Reactor::Create(
+        reactor_options, [router](std::string line, Responder responder) {
+          router->Handle(std::move(line), std::move(responder));
+        });
+    if (!reactor.ok()) return nullptr;
+    out->router_reactor = std::move(*reactor);
+    out->router_port = out->router_reactor->port();
+    return out;
+  }
+};
+
+struct ClusterScalePoint {
+  std::size_t shards = 0;
+  std::size_t requests = 0;
+  std::size_t ok = 0;
+  std::size_t invalid = 0;
+  double wall_seconds = 0.0;
+  double rps = 0.0;
+};
+
+struct ClusterChaosResult {
+  bool ran = false;
+  std::size_t requests = 0;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::uint64_t hedged = 0;
+};
+
+struct ClusterResult {
+  bool ran = false;
+  std::vector<ClusterScalePoint> scale;
+  ClusterChaosResult chaos;
+};
+
+cluster::RouterOptions BenchRouterOptions() {
+  cluster::RouterOptions options;
+  options.workers = 4;
+  options.hedge_deadline = std::chrono::milliseconds(300);
+  options.probe_interval = std::chrono::milliseconds(200);
+  return options;
+}
+
+/// A routed answer is valid when it carries the serve success contract —
+/// the router forwards shard responses verbatim, so the check matches the
+/// open-loop phase exactly.
+bool ValidRoutedResponse(const std::string& line) {
+  return line.find("\"ok\":true") != std::string::npos &&
+         line.find("\"bundle_version\"") != std::string::npos;
+}
+
+ClusterResult RunCluster(std::shared_ptr<const ModelBundle> bundle,
+                         const Dataset& data) {
+  ClusterResult out;
+
+  std::vector<std::string> requests;
+  for (const Avail& avail : data.avails.rows()) {
+    requests.push_back("{\"avail_id\": " + std::to_string(avail.id) +
+                       ", \"t_star\": 60}");
+  }
+
+  // ---- Scale sweep: closed-loop clients, single replica per shard.
+  for (const std::size_t num_shards : {std::size_t{1}, std::size_t{2},
+                                       std::size_t{4}}) {
+    auto cluster = BenchCluster::Start(num_shards, 1, bundle,
+                                       BenchRouterOptions());
+    if (cluster == nullptr) {
+      std::fprintf(stderr, "cluster: start failed at K=%zu\n", num_shards);
+      return out;
+    }
+    ClusterScalePoint point;
+    point.shards = num_shards;
+    std::atomic<std::size_t> ok{0}, invalid{0};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (std::size_t t = 0; t < kClusterClientThreads; ++t) {
+      clients.emplace_back([&, t] {
+        LineClient client(cluster->router_port);
+        if (!client.connected()) {
+          invalid.fetch_add(kClusterRequestsPerThread);
+          return;
+        }
+        std::string response;
+        for (std::size_t i = 0; i < kClusterRequestsPerThread; ++i) {
+          const std::size_t slot =
+              (t * kClusterRequestsPerThread + i) % requests.size();
+          if (!client.SendLine(requests[slot]) ||
+              !client.ReadLine(&response)) {
+            invalid.fetch_add(1);
+            continue;
+          }
+          if (ValidRoutedResponse(response)) {
+            ok.fetch_add(1);
+          } else {
+            invalid.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    point.requests = kClusterClientThreads * kClusterRequestsPerThread;
+    point.ok = ok.load();
+    point.invalid = invalid.load();
+    point.wall_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    point.rps = point.wall_seconds > 0
+                    ? static_cast<double>(point.ok) / point.wall_seconds
+                    : 0.0;
+    out.scale.push_back(point);
+  }
+
+  // ---- Chaos sample: two shards x two replicas; the primary of shard 0
+  // dies mid-load and hedged retries absorb the failure.
+  auto cluster = BenchCluster::Start(2, 2, bundle, BenchRouterOptions());
+  if (cluster == nullptr) {
+    std::fprintf(stderr, "cluster: chaos start failed\n");
+    return out;
+  }
+  LineClient client(cluster->router_port);
+  if (!client.connected()) return out;
+  out.chaos.requests = kChaosRequests;
+  std::string response;
+  for (std::size_t i = 0; i < kChaosRequests; ++i) {
+    if (i == kChaosRequests / 2) cluster->shards[0][0]->Kill();
+    if (!client.SendLine(requests[i % requests.size()]) ||
+        !client.ReadLine(&response)) {
+      ++out.chaos.failed;
+      continue;
+    }
+    if (ValidRoutedResponse(response)) {
+      ++out.chaos.ok;
+    } else {
+      ++out.chaos.failed;
+    }
+  }
+  out.chaos.hedged = cluster->router->stats().hedged;
+  out.chaos.ran = true;
+  out.ran = true;
+  return out;
+}
+
+/// Cluster pass contract: every scale point answers every request
+/// validly, and the chaos run keeps failures within 2% with at least one
+/// hedge observed (proof the failover path actually ran).
+bool ClusterPass(const ClusterResult& cluster) {
+  if (!cluster.ran || cluster.scale.size() != 3) return false;
+  for (const ClusterScalePoint& point : cluster.scale) {
+    if (point.ok != point.requests || point.invalid != 0) return false;
+  }
+  return cluster.chaos.ran &&
+         cluster.chaos.failed <= cluster.chaos.requests / 50 &&
+         cluster.chaos.hedged >= 1;
+}
+
 int Run() {
   bench::Banner("Serving: micro-batched scoring with mid-run hot-swap");
   obs::StageRecorder recorder;
@@ -457,6 +735,12 @@ int Run() {
   // at a fixed offered rate, every response validated on the wire.
   const OpenLoopResult open_loop = RunOpenLoop(*v1, data);
   recorder.Record("open_loop", stage_seconds(stage_start, stage_clock()));
+  stage_start = stage_clock();
+
+  // ---- Cluster phase: the sharded tier behind the consistent-hash
+  // router, scaled across K and sampled under a replica kill.
+  const ClusterResult cluster = RunCluster(*v1, data);
+  recorder.Record("cluster", stage_seconds(stage_start, stage_clock()));
 
   // ---- Report.
   std::sort(load.latencies_ms.begin(), load.latencies_ms.end());
@@ -491,17 +775,27 @@ int Run() {
               open_loop.connections, open_loop.responses, open_loop.requests,
               open_loop.invalid, open_loop.achieved_rps, kOpenLoopTargetRps,
               open_loop.p50_ms, open_loop.p99_ms);
+  for (const ClusterScalePoint& point : cluster.scale) {
+    std::printf("cluster K=%zu: %zu/%zu ok (%zu invalid), %.0f rps\n",
+                point.shards, point.ok, point.requests, point.invalid,
+                point.rps);
+  }
+  std::printf("cluster chaos: %zu/%zu ok, %zu failed, hedged %llu\n",
+              cluster.chaos.ok, cluster.chaos.requests, cluster.chaos.failed,
+              static_cast<unsigned long long>(cluster.chaos.hedged));
 
   const bool open_loop_pass = open_loop.ran &&
                               open_loop.connections >= kOpenLoopConnections &&
                               open_loop.responses == open_loop.requests &&
                               open_loop.invalid == 0;
+  const bool cluster_pass = ClusterPass(cluster);
   const bool pass = load.torn == 0 && load.failed == 0 && post_swap_v2 &&
                     load.per_version["v1"] > 0 &&
                     load.per_version["v1"] + load.per_version["v2"] ==
                         total &&
                     load_stats.swaps == 1 && burst_rejected > 0 &&
-                    burst_other == 0 && burst_ok > 0 && open_loop_pass;
+                    burst_other == 0 && burst_ok > 0 && open_loop_pass &&
+                    cluster_pass;
 
   std::ofstream json("BENCH_serving.json");
   json << "{\n  \"bench\": \"serving\",\n";
@@ -537,6 +831,19 @@ int Run() {
        << ", \"latency_ms\": {\"p50\": " << open_loop.p50_ms
        << ", \"p99\": " << open_loop.p99_ms
        << "}, \"pass\": " << (open_loop_pass ? "true" : "false") << "},\n";
+  json << "  \"cluster\": {\"scale\": [";
+  for (std::size_t i = 0; i < cluster.scale.size(); ++i) {
+    const ClusterScalePoint& point = cluster.scale[i];
+    json << (i ? ", " : "") << "{\"shards\": " << point.shards
+         << ", \"requests\": " << point.requests << ", \"ok\": " << point.ok
+         << ", \"invalid\": " << point.invalid
+         << ", \"rps\": " << point.rps << "}";
+  }
+  json << "], \"chaos\": {\"requests\": " << cluster.chaos.requests
+       << ", \"ok\": " << cluster.chaos.ok
+       << ", \"failed\": " << cluster.chaos.failed
+       << ", \"hedged\": " << cluster.chaos.hedged
+       << "}, \"pass\": " << (cluster_pass ? "true" : "false") << "},\n";
   json << "  \"stage_timings\": " << recorder.ToJson() << ",\n";
   json << "  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
   std::printf("\nwrote BENCH_serving.json (%s)\n", pass ? "PASS" : "FAIL");

@@ -3,6 +3,15 @@
 
 Usage: serve_smoke.py BUILD_DIR [--inject-faults]
        serve_smoke.py BUILD_DIR --connections N --target-rps R
+       serve_smoke.py BUILD_DIR --cluster K
+
+The third form is the sharded-cluster mode: it launches K domd_serve
+shards (shard 0 with a replica) plus a domd_router fronting them, checks
+routed answers against the shards directly (bit-identity, latency aside),
+exercises scatter-gather, kills shard 0's primary mid-load and requires
+hedging to keep client-visible errors bounded, restarts it on the same
+port and waits for the router's health prober to report the rejoin, then
+drives a coordinated rollout to a second bundle through the router.
 
 The second form is the open-loop many-connection mode: it ramps up N
 concurrent sockets against the epoll reactor front-end, offers cheap
@@ -151,12 +160,8 @@ def connect_with_retry(port, attempts=5, backoff_s=0.2):
             delay *= 2
 
 
-def start_server(server_bin, bundle, extra_args=()):
-    """Starts domd_serve on an ephemeral port; returns (process, port)."""
-    server = subprocess.Popen(
-        [str(server_bin), "--bundle", str(bundle), "--port", "0",
-         *extra_args],
-        stdout=subprocess.PIPE, text=True)
+def wait_for_port(server):
+    """Reads the server's stdout until the listening banner names its port."""
     port = None
     deadline = time.time() + 60
     while time.time() < deadline:
@@ -170,7 +175,25 @@ def start_server(server_bin, bundle, extra_args=()):
     if port is None:
         server.kill()
         fail("server never reported its port")
-    return server, port
+    return port
+
+
+def start_server(server_bin, bundle, extra_args=(), port=0):
+    """Starts domd_serve (port 0 = ephemeral); returns (process, port)."""
+    server = subprocess.Popen(
+        [str(server_bin), "--bundle", str(bundle), "--port", str(port),
+         *extra_args],
+        stdout=subprocess.PIPE, text=True)
+    return server, wait_for_port(server)
+
+
+def start_router(router_bin, spec_path, extra_args=()):
+    """Starts domd_router on an ephemeral port; returns (process, port)."""
+    router = subprocess.Popen(
+        [str(router_bin), "--cluster-spec", str(spec_path), "--port", "0",
+         *extra_args],
+        stdout=subprocess.PIPE, text=True)
+    return router, wait_for_port(router)
 
 
 def make_rpc(stream):
@@ -410,6 +433,7 @@ def run_open_loop(server_bin, bundle_v1, connections, target_rps):
             socks.append(sock)
         buffers = [b""] * connections
         in_flight = [0] * connections
+        registered = [True] * connections
 
         sent = responses = invalid = 0
         probed_under_load = False
@@ -428,6 +452,18 @@ def run_open_loop(server_bin, bundle_v1, connections, target_rps):
                         buffers[index] += chunk
                 except BlockingIOError:
                     pass
+                except ConnectionResetError:
+                    # A reset after the connection already received every
+                    # response it was owed is benign teardown timing (the
+                    # server closed first and the kernel RSTs our next
+                    # recv); a reset with responses outstanding is a real
+                    # failure.
+                    expect(in_flight[index] == 0,
+                           f"connection {index} reset with "
+                           f"{in_flight[index]} responses outstanding")
+                    selector.unregister(sock)
+                    registered[index] = False
+                    continue
                 while b"\n" in buffers[index]:
                     line, _, buffers[index] = buffers[index].partition(b"\n")
                     responses += 1
@@ -475,8 +511,9 @@ def run_open_loop(server_bin, bundle_v1, connections, target_rps):
         stats = rpc({"cmd": "stats"})
         expect(stats.get("ok"), f"bad stats response: {stats}")
 
-        for sock in socks:
-            selector.unregister(sock)
+        for index, sock in enumerate(socks):
+            if registered[index]:
+                selector.unregister(sock)
             sock.close()
         selector.close()
 
@@ -492,6 +529,158 @@ def run_open_loop(server_bin, bundle_v1, connections, target_rps):
     finally:
         if server.poll() is None:
             server.kill()
+
+
+def run_cluster_flow(build, bundle_v1, bundle_v2, work, num_shards):
+    """Cluster mode: K single-replica shards plus a replicated shard 0,
+    fronted by domd_router. Verifies routed answers against the shards
+    directly, kills shard 0's primary mid-load (hedging must keep client-
+    visible errors bounded), restarts it on the same port and waits for the
+    router's prober to report the rejoin, then runs a coordinated rollout
+    to bundle_v2 through the router."""
+    server_bin = build / "tools" / "domd_serve"
+    router_bin = build / "tools" / "domd_router"
+    expect(router_bin.exists(), f"missing {router_bin}")
+
+    shards = []      # (process, port) per endpoint, for teardown.
+    spec_shards = []
+    try:
+        # Shard 0 gets a replica (the hedge target of the kill test);
+        # shards 1..K-1 are single-replica.
+        for shard_id in range(num_shards):
+            replicas = []
+            for _ in range(2 if shard_id == 0 else 1):
+                process, port = start_server(server_bin, bundle_v1)
+                shards.append((process, port))
+                replicas.append(f"127.0.0.1:{port}")
+            spec_shards.append({"id": shard_id, "replicas": replicas})
+        spec_path = work / "cluster_spec.json"
+        spec_path.write_text(json.dumps(
+            {"vnodes": 64, "shards": spec_shards}))
+
+        router, router_port = start_router(
+            router_bin, spec_path,
+            ("--probe-interval-ms", "200", "--hedge-ms", "300"))
+        shards.append((router, router_port))
+
+        control = connect_with_retry(router_port)
+        stream = control.makefile("rw")
+        rpc = make_rpc(stream)
+
+        ping = rpc({"cmd": "ping"})
+        expect(ping.get("ok") and ping.get("role") == "router" and
+               ping.get("num_shards") == num_shards,
+               f"bad router ping: {ping}")
+
+        # Direct connections to every shard endpoint (for identity checks
+        # and the shard-side view of the rollout).
+        def shard_rpc(port, request):
+            with connect_with_retry(port) as sock:
+                shard_stream = sock.makefile("rw")
+                return make_rpc(shard_stream)(request)
+
+        def strip_latency(reply):
+            return {k: v for k, v in reply.items() if k != "latency_ms"}
+
+        # Routed answers must be (latency aside) identical to what exactly
+        # one shard answers directly — the bit-identity contract, checked
+        # here without reimplementing the ring client-side.
+        for avail_id in (1, 3, 7, 19, 33):
+            request = {"avail_id": avail_id, "t_star": 60}
+            routed = rpc(request)
+            expect(routed.get("ok"), f"routed predict failed: {routed}")
+            direct = [strip_latency(shard_rpc(port, request))
+                      for _, port in shards[:-1]]
+            expect(strip_latency(routed) in direct,
+                   f"routed answer for avail {avail_id} matches no shard")
+
+        # Scatter-gather across the whole fleet, merged in request order.
+        ids = [1, 5, 9, 14, 22, 31]
+        scatter = rpc({"avail_ids": ids, "t_star": 60})
+        expect(scatter.get("ok") and scatter.get("errors") == 0 and
+               [r.get("avail_id") for r in scatter.get("results", [])] == ids,
+               f"bad scatter-gather response: {scatter}")
+
+        # Wait for the prober to mark every replica up before the chaos.
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            health = rpc({"cmd": "health"})
+            if health.get("all_shards_routable"):
+                break
+            time.sleep(0.1)
+        expect(health.get("all_shards_routable"),
+               f"cluster never became fully routable: {health}")
+
+        # Kill shard 0's primary mid-load. Hedging to its replica must
+        # keep client-visible errors bounded (the only loss window is a
+        # request in flight on the dying socket, and even that retries).
+        primary_process, primary_port = shards[0]
+        total, failures = 200, 0
+        for i in range(total):
+            if i == total // 2:
+                primary_process.kill()
+                primary_process.wait(timeout=30)
+            reply = rpc({"avail_id": 1 + (i % 40), "t_star": 60})
+            if not reply.get("ok"):
+                failures += 1
+        expect(failures <= total // 50,
+               f"{failures}/{total} requests failed after killing the "
+               f"primary (hedging should absorb the kill)")
+        stats = rpc({"cmd": "stats"})
+        expect(stats.get("hedged", 0) >= 1,
+               f"kill absorbed without any hedge recorded: {stats}")
+
+        # Restart the killed primary on its old port and wait for the
+        # router's prober to report the rejoin.
+        process, port = start_server(server_bin, bundle_v1,
+                                     port=primary_port)
+        expect(port == primary_port, "restarted shard lost its port")
+        shards[0] = (process, port)
+        rejoined = False
+        deadline = time.time() + 15
+        while time.time() < deadline and not rejoined:
+            health = rpc({"cmd": "health"})
+            for shard in health.get("shards", []):
+                if shard.get("id") != 0:
+                    continue
+                rejoined = all(r.get("up")
+                               for r in shard.get("replicas", []))
+            time.sleep(0.1)
+        expect(rejoined, f"restarted primary never rejoined: {health}")
+
+        # Coordinated rollout through the router: stage everywhere, verify,
+        # flip shard-by-shard; afterwards every endpoint serves v2.
+        rollout = rpc({"cmd": "rollout", "bundle": str(bundle_v2)})
+        expect(rollout.get("ok") and
+               rollout.get("bundle_version") == "v2" and
+               rollout.get("flipped_shards") ==
+               list(range(num_shards)),
+               f"bad rollout response: {rollout}")
+        for _, port in shards[:-1]:
+            health = shard_rpc(port, {"cmd": "health"})
+            expect(health.get("bundle_version") == "v2",
+                   f"endpoint :{port} not on v2 after rollout: {health}")
+
+        done = rpc({"cmd": "shutdown"})
+        expect(done.get("ok") and done.get("shutting_down"),
+               f"bad router shutdown response: {done}")
+        control.close()
+        expect(router.wait(timeout=30) == 0, "router exited non-zero")
+        shards.pop()  # the router row; shards remain for teardown below.
+
+        for _, port in shards:
+            done = shard_rpc(port, {"cmd": "shutdown"})
+            expect(done.get("ok"), f"bad shard shutdown response: {done}")
+        for process, _ in shards:
+            expect(process.wait(timeout=30) == 0, "shard exited non-zero")
+        shards = []
+        print(f"serve_smoke: cluster of {num_shards} shards survived a "
+              f"primary kill with {failures}/{total} failed requests and "
+              f"rolled out v2")
+    finally:
+        for process, _ in shards:
+            if process.poll() is None:
+                process.kill()
 
 
 def pop_flag_value(args, name):
@@ -511,6 +700,7 @@ def main():
     args = [a for a in args if a != "--inject-faults"]
     connections = pop_flag_value(args, "--connections")
     target_rps = pop_flag_value(args, "--target-rps")
+    cluster = pop_flag_value(args, "--cluster")
     if len(args) != 1:
         fail(__doc__.strip())
     build = Path(args[0])
@@ -520,7 +710,10 @@ def main():
     work = Path(tempfile.mkdtemp(prefix="domd_serve_smoke_"))
     bundle_v1, bundle_v2 = train_bundles(build, work)
 
-    if connections is not None or target_rps is not None:
+    if cluster is not None:
+        run_cluster_flow(build, bundle_v1, bundle_v2, work, int(cluster))
+        print("serve_smoke: PASS (cluster)")
+    elif connections is not None or target_rps is not None:
         expect(connections is not None and target_rps is not None,
                "--connections and --target-rps go together")
         run_open_loop(server_bin, bundle_v1, int(connections),

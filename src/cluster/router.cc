@@ -1,0 +1,803 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "fault/fault.h"
+#include "serve/wire.h"
+
+namespace domd {
+namespace cluster {
+namespace {
+
+/// Does this response line report an app-level shed the router should hedge
+/// around? Breaker-open shards answer UNAVAILABLE / RESOURCE_EXHAUSTED; a
+/// replica serving the same partition can still answer, so those responses
+/// are retryable. Every other app-level error (bad request, unknown avail)
+/// is a deterministic answer and must forward verbatim. An unparseable
+/// response is treated as hedgeable corruption, not an answer.
+bool IsHedgeableResponse(const std::string& line) {
+  auto parsed = JsonValue::Parse(line);
+  if (!parsed.ok()) return true;
+  if (parsed->BoolOr("ok", true)) return false;
+  const std::string code = parsed->StringOr("code", "");
+  return code == "UNAVAILABLE" || code == "RESOURCE_EXHAUSTED";
+}
+
+}  // namespace
+
+ClusterRouter::ClusterRouter(HostMap host_map, RouterOptions options)
+    : host_map_(std::move(host_map)),
+      options_(options),
+      pool_(options.upstream) {
+  const std::size_t num_shards = host_map_.num_shards();
+  replica_states_.resize(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    replica_states_[i].resize(host_map_.shards()[i].replicas.size());
+  }
+
+#if DOMD_OBS_COMPILED
+  auto& registry = obs::MetricsRegistry::Default();
+  for (const ShardSpec& shard : host_map_.shards()) {
+    const std::string label = "{shard=\"" + std::to_string(shard.id) + "\"}";
+    cells_.routed_by_shard.push_back(
+        &registry.GetCounter("domd_router_routed_total" + label));
+    cells_.shard_up.push_back(
+        &registry.GetGauge("domd_router_shard_up" + label));
+  }
+  cells_.hedged = &registry.GetCounter("domd_router_hedged_total");
+  cells_.failed = &registry.GetCounter("domd_router_failed_total");
+  cells_.fanout = &registry.GetHistogram("domd_router_scatter_fanout",
+                                         obs::SizeBuckets());
+  cells_.rollouts = &registry.GetCounter("domd_router_rollouts_total");
+  cells_.rollout_failures =
+      &registry.GetCounter("domd_router_rollout_failures_total");
+#else
+  cells_.routed_by_shard.assign(num_shards, nullptr);
+  cells_.shard_up.assign(num_shards, nullptr);
+#endif
+
+  const std::size_t workers = std::max<std::size_t>(1, options_.workers);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  if (options_.start_prober) {
+    prober_ = std::thread([this] { ProberLoop(); });
+  }
+}
+
+ClusterRouter::~ClusterRouter() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+    work_available_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(prober_mutex_);
+    prober_stop_ = true;
+    prober_cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  if (prober_.joinable()) prober_.join();
+  pool_.CloseIdle();
+}
+
+void ClusterRouter::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, fully drained.
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RunJob(job);
+  }
+}
+
+void ClusterRouter::ProberLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(prober_mutex_);
+      prober_cv_.wait_for(lock, options_.probe_interval,
+                          [this] { return prober_stop_; });
+      if (prober_stop_) return;
+    }
+    ProbeOnce();
+  }
+}
+
+void ClusterRouter::Dispatch(Job job) {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  if (stopping_) return;  // teardown races a late request: drop it.
+  if (queue_.size() >= options_.max_queue_depth) {
+    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    job.responder.Respond(
+        ErrorToJson(Status::ResourceExhausted("router worker queue full"))
+            .Serialize());
+    return;
+  }
+  queue_.push_back(std::move(job));
+  work_available_.notify_one();
+}
+
+void ClusterRouter::Handle(std::string line, Responder responder) {
+  auto request = JsonValue::Parse(line);
+  if (!request.ok()) {
+    responder.Respond(ErrorToJson(request.status()).Serialize());
+    return;
+  }
+
+  const std::string cmd = request->StringOr("cmd", "");
+  if (cmd == "ping") {
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("role", JsonValue::String("router"));
+    out.Set("num_shards",
+            JsonValue::Number(static_cast<double>(host_map_.num_shards())));
+    responder.Respond(out.Serialize());
+    return;
+  }
+  if (cmd == "health") {
+    responder.Respond(HealthJson().Serialize());
+    return;
+  }
+  if (cmd == "stats") {
+    responder.Respond(StatsJson().Serialize());
+    return;
+  }
+  if (cmd == "metrics") {
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("content_type", JsonValue::String("text/plain; version=0.0.4"));
+    out.Set("payload", JsonValue::String(
+                           obs::MetricsRegistry::Default().RenderPrometheus()));
+    responder.Respond(out.Serialize());
+    return;
+  }
+  if (cmd == "shutdown") {
+    // Stops the router only; the shards it fronts keep serving.
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("shutting_down", JsonValue::Bool(true));
+    responder.RespondThenStop(out.Serialize());
+    return;
+  }
+  if (cmd == "rollout") {
+    if (request->StringOr("bundle", "").empty()) {
+      responder.Respond(
+          ErrorToJson(Status::InvalidArgument("rollout needs \"bundle\""))
+              .Serialize());
+      return;
+    }
+    Job job;
+    job.request = std::move(*request);
+    job.raw_line = std::move(line);
+    job.responder = std::move(responder);
+    Dispatch(std::move(job));
+    return;
+  }
+  if (!cmd.empty()) {
+    responder.Respond(
+        ErrorToJson(Status::InvalidArgument("unknown cmd \"" + cmd + "\""))
+            .Serialize());
+    return;
+  }
+
+  // Prediction traffic. Ownership is decided here (cheap ring lookup) but
+  // the blocking upstream I/O always happens on the worker pool.
+  const JsonValue* avail_ids = request->Find("avail_ids");
+  const JsonValue* avail_id = request->Find("avail_id");
+  const JsonValue* avail = request->Find("avail");
+  if (avail_ids == nullptr && avail_id == nullptr && avail == nullptr) {
+    responder.Respond(
+        ErrorToJson(Status::InvalidArgument(
+                        "request needs \"avail_id\", \"avail_ids\", or "
+                        "\"avail\""))
+            .Serialize());
+    return;
+  }
+  if (avail_ids != nullptr && !avail_ids->is_array()) {
+    responder.Respond(
+        ErrorToJson(Status::InvalidArgument("\"avail_ids\" must be an array"))
+            .Serialize());
+    return;
+  }
+  if (avail_id != nullptr && avail_ids == nullptr && !avail_id->is_number()) {
+    responder.Respond(
+        ErrorToJson(Status::InvalidArgument("\"avail_id\" must be a number"))
+            .Serialize());
+    return;
+  }
+  Job job;
+  job.request = std::move(*request);
+  job.raw_line = std::move(line);
+  job.responder = std::move(responder);
+  Dispatch(std::move(job));
+}
+
+void ClusterRouter::RunJob(Job& job) {
+  if (job.request.StringOr("cmd", "") == "rollout") {
+    RunRollout(job);
+    return;
+  }
+  if (const JsonValue* ids = job.request.Find("avail_ids");
+      ids != nullptr && ids->is_array()) {
+    RunScatter(job);
+    return;
+  }
+  std::uint64_t key = 0;
+  if (const JsonValue* avail_id = job.request.Find("avail_id");
+      avail_id != nullptr && avail_id->is_number()) {
+    key = KeyForAvail(
+        static_cast<std::int64_t>(avail_id->number_value()));
+  } else {
+    // Detached scoring travels with its avail; the ship owns the key so a
+    // ship's traffic lands on one shard regardless of avail numbering.
+    const JsonValue* avail = job.request.Find("avail");
+    const double ship_id =
+        avail != nullptr ? avail->NumberOr("ship_id", 0.0) : 0.0;
+    key = KeyForShip(static_cast<std::int64_t>(ship_id));
+  }
+  RunSingle(job, host_map_.OwnerIndexOf(key));
+}
+
+void ClusterRouter::RunSingle(Job& job, std::size_t shard_index) {
+  routed_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Counter* cell = cells_.routed_by_shard[shard_index];
+      cell != nullptr && obs::Enabled()) {
+    cell->Increment();
+  }
+  bool hedged = false;
+  auto response = RouteToShard(shard_index, job.raw_line,
+                               Clock::now() + options_.upstream_deadline,
+                               &hedged);
+  if (hedged) {
+    hedged_.fetch_add(1, std::memory_order_relaxed);
+    if (cells_.hedged != nullptr && obs::Enabled()) cells_.hedged->Increment();
+  }
+  if (!response.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    if (cells_.failed != nullptr && obs::Enabled()) cells_.failed->Increment();
+    job.responder.Respond(ErrorToJson(response.status()).Serialize());
+    return;
+  }
+  // Verbatim forwarding: a routed answer is bit-identical to asking the
+  // owning shard directly (the bit-identity contract, DESIGN.md §12).
+  job.responder.Respond(std::move(*response));
+}
+
+void ClusterRouter::RunScatter(Job& job) {
+  scattered_.fetch_add(1, std::memory_order_relaxed);
+  const JsonValue& ids = *job.request.Find("avail_ids");
+  const std::size_t n = ids.items().size();
+  const Clock::time_point deadline =
+      Clock::now() + options_.upstream_deadline;
+
+  // Per-id subrequests inherit the parent's scoring knobs, so each shard
+  // answers exactly as it would a direct single-avail request.
+  std::vector<std::string> sublines(n);
+  std::vector<std::string> results(n);
+  std::vector<bool> done(n, false);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const JsonValue& id = ids.items()[i];
+    if (!id.is_number()) {
+      results[i] = ErrorToJson(Status::InvalidArgument(
+                                   "avail_ids[" + std::to_string(i) +
+                                   "] must be a number"))
+                       .Serialize();
+      done[i] = true;
+      ++errors;
+      continue;
+    }
+    JsonValue sub = JsonValue::Object();
+    sub.Set("avail_id", id);
+    if (const JsonValue* t = job.request.Find("t_star"); t != nullptr) {
+      sub.Set("t_star", *t);
+    }
+    if (const JsonValue* k = job.request.Find("top_k"); k != nullptr) {
+      sub.Set("top_k", *k);
+    }
+    sublines[i] = sub.Serialize();
+  }
+
+  // Group the valid positions by owning shard, preserving request order
+  // within each group.
+  std::vector<std::vector<std::size_t>> by_shard(host_map_.num_shards());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (done[i]) continue;
+    by_shard[host_map_.OwnerIndexOf(KeyForAvail(
+                 static_cast<std::int64_t>(ids.items()[i].number_value())))]
+        .push_back(i);
+  }
+  std::size_t fanout = 0;
+  for (const auto& group : by_shard) fanout += group.empty() ? 0 : 1;
+  if (cells_.fanout != nullptr && obs::Enabled()) {
+    cells_.fanout->Observe(static_cast<double>(fanout));
+  }
+
+  // Phase 1 — pipeline: one pooled connection per touched shard, every
+  // subrequest written up front. Reads below are sequential per shard but
+  // the shards compute concurrently from the moment their lines land.
+  std::vector<UpstreamConn> conns(host_map_.num_shards());
+  std::vector<bool> conn_ok(host_map_.num_shards(), false);
+  bool any_hedged = false;
+  for (std::size_t s = 0; s < by_shard.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    const Endpoint& primary = host_map_.shards()[s].replicas[0];
+    auto conn = pool_.Checkout(primary, deadline);
+    if (!conn.ok()) {
+      MarkTransportFailure(s, 0);
+      continue;  // phase 2 re-routes this shard's ids through hedging.
+    }
+    bool sent_all = true;
+    for (std::size_t i : by_shard[s]) {
+      if (!conn->SendLine(sublines[i], deadline).ok()) {
+        sent_all = false;
+        break;
+      }
+    }
+    if (!sent_all) {
+      MarkTransportFailure(s, 0);
+      continue;
+    }
+    conns[s] = std::move(*conn);
+    conn_ok[s] = true;
+  }
+  for (std::size_t s = 0; s < by_shard.size(); ++s) {
+    if (!conn_ok[s]) continue;
+    bool conn_healthy = true;
+    for (std::size_t gi = 0; gi < by_shard[s].size(); ++gi) {
+      const std::size_t i = by_shard[s][gi];
+      auto line = conns[s].ReadLine(deadline);
+      if (!line.ok()) {
+        // Every pipelined response after a transport failure is lost;
+        // the unanswered tail re-routes through hedging below.
+        MarkTransportFailure(s, 0);
+        conn_healthy = false;
+        break;
+      }
+      results[i] = std::move(*line);
+      done[i] = true;
+    }
+    if (conn_healthy) {
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        replica_states_[s][0].up = true;
+      }
+      pool_.Return(host_map_.shards()[s].replicas[0], std::move(conns[s]));
+    }
+  }
+
+  // Phase 2 — repair: any id its primary never answered retries through
+  // the full hedged path (which now prefers the live replica, because the
+  // failures above marked the primary down).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (done[i]) continue;
+    const std::size_t s = host_map_.OwnerIndexOf(KeyForAvail(
+        static_cast<std::int64_t>(ids.items()[i].number_value())));
+    bool hedged = false;
+    auto line = RouteToShard(s, sublines[i], deadline, &hedged);
+    any_hedged = any_hedged || hedged;
+    if (line.ok()) {
+      results[i] = std::move(*line);
+    } else {
+      results[i] = ErrorToJson(line.status()).Serialize();
+      ++errors;
+    }
+    done[i] = true;
+  }
+  if (any_hedged) {
+    hedged_.fetch_add(1, std::memory_order_relaxed);
+    if (cells_.hedged != nullptr && obs::Enabled()) cells_.hedged->Increment();
+  }
+  if (errors == n && n > 0) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    if (cells_.failed != nullptr && obs::Enabled()) cells_.failed->Increment();
+  }
+
+  // In-order merge by raw-line splicing: each result is the owning shard's
+  // response byte-for-byte, never reserialized.
+  std::string out = "{\"ok\": ";
+  out += errors == 0 ? "true" : "false";
+  out += ", \"results\": [";
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) out += ", ";
+    out += results[i];
+  }
+  out += "], \"fanout\": " + std::to_string(fanout);
+  out += ", \"hedged\": ";
+  out += any_hedged ? "true" : "false";
+  out += ", \"errors\": " + std::to_string(errors) + "}";
+  job.responder.Respond(std::move(out));
+}
+
+std::vector<std::size_t> ClusterRouter::PreferenceOrder(
+    std::size_t shard_index) const {
+  const std::size_t count = host_map_.shards()[shard_index].replicas.size();
+  std::vector<std::size_t> routable;
+  std::vector<std::size_t> last_resort;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    for (std::size_t r = 0; r < count; ++r) {
+      const ReplicaState& state = replica_states_[shard_index][r];
+      // A replica the prober has never reached (no probe yet) counts as
+      // routable: at cold start everything is unprobed, and refusing to
+      // route would deadlock the cluster.
+      const bool routable_now =
+          (state.up || state.probe_failures == 0) &&
+          (state.ready || state.probe_failures == 0);
+      (routable_now ? routable : last_resort).push_back(r);
+    }
+  }
+  routable.insert(routable.end(), last_resort.begin(), last_resort.end());
+  return routable;
+}
+
+StatusOr<std::string> ClusterRouter::RouteToShard(std::size_t shard_index,
+                                                  const std::string& line,
+                                                  Clock::time_point deadline,
+                                                  bool* hedged) {
+  const std::vector<std::size_t> order = PreferenceOrder(shard_index);
+  Status last_error = Status::Unavailable("no replicas configured");
+  std::string shed_response;  // last breaker-shed answer, if all replicas shed.
+  for (std::size_t attempt = 0; attempt < order.size(); ++attempt) {
+    const std::size_t r = order[attempt];
+    const bool last = attempt + 1 == order.size();
+    // Non-final attempts get the hedge budget; the final replica gets
+    // whatever remains of the overall deadline.
+    Clock::time_point attempt_deadline = deadline;
+    if (!last) {
+      attempt_deadline =
+          std::min(deadline, Clock::now() + options_.hedge_deadline);
+    }
+    if (attempt > 0 && hedged != nullptr) *hedged = true;
+    auto response = pool_.Rpc(host_map_.shards()[shard_index].replicas[r],
+                              line, attempt_deadline);
+    if (!response.ok()) {
+      MarkTransportFailure(shard_index, r);
+      last_error = response.status();
+      continue;
+    }
+    if (IsHedgeableResponse(*response)) {
+      MarkBreakerShed(shard_index, r);
+      shed_response = std::move(*response);
+      last_error = Status::Unavailable("shard " +
+                                       std::to_string(
+                                           host_map_.shards()[shard_index].id) +
+                                       " is shedding load");
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ReplicaState& state = replica_states_[shard_index][r];
+      state.up = true;
+      state.ready = true;
+    }
+    return std::move(*response);
+  }
+  // Every replica shed but answered coherently: forward the shard's own
+  // shed response rather than inventing a router-side error.
+  if (!shed_response.empty()) return shed_response;
+  return last_error;
+}
+
+void ClusterRouter::MarkTransportFailure(std::size_t shard_index,
+                                         std::size_t replica_index) {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ReplicaState& state = replica_states_[shard_index][replica_index];
+    state.up = false;
+    state.ready = false;
+    state.probe_failures += 1;
+  }
+  PublishShardGauges();
+}
+
+void ClusterRouter::MarkBreakerShed(std::size_t shard_index,
+                                    std::size_t replica_index) {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ReplicaState& state = replica_states_[shard_index][replica_index];
+    state.up = true;  // transport is fine; the shard is shedding.
+    state.ready = false;
+    state.probe_failures += 1;
+  }
+  PublishShardGauges();
+}
+
+void ClusterRouter::PublishShardGauges() {
+#if DOMD_OBS_COMPILED
+  if (!obs::Enabled()) return;
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  for (std::size_t s = 0; s < replica_states_.size(); ++s) {
+    if (cells_.shard_up[s] == nullptr) continue;
+    double routable = 0;
+    for (const ReplicaState& state : replica_states_[s]) {
+      if (state.up && state.ready) routable += 1;
+    }
+    cells_.shard_up[s]->Set(routable);
+  }
+#endif
+}
+
+void ClusterRouter::ProbeOnce() {
+  const std::string probe = "{\"cmd\": \"health\"}";
+  for (std::size_t s = 0; s < host_map_.num_shards(); ++s) {
+    const ShardSpec& shard = host_map_.shards()[s];
+    for (std::size_t r = 0; r < shard.replicas.size(); ++r) {
+      probes_.fetch_add(1, std::memory_order_relaxed);
+      auto response = pool_.Rpc(shard.replicas[r], probe,
+                                Clock::now() + options_.probe_timeout);
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ReplicaState& state = replica_states_[s][r];
+      if (!response.ok()) {
+        state.up = false;
+        state.ready = false;
+        state.probe_failures += 1;
+        continue;
+      }
+      auto health = JsonValue::Parse(*response);
+      if (!health.ok() || !health->BoolOr("ok", false)) {
+        state.up = false;
+        state.ready = false;
+        state.probe_failures += 1;
+        continue;
+      }
+      state.up = true;
+      state.ready = health->BoolOr("ready", false);
+      state.bundle_version = health->StringOr("bundle_version", "");
+      state.probe_failures = 0;
+    }
+  }
+  PublishShardGauges();
+}
+
+void ClusterRouter::RunRollout(Job& job) {
+  std::unique_lock<std::mutex> rollout_lock(rollout_mutex_, std::try_to_lock);
+  if (!rollout_lock.owns_lock()) {
+    job.responder.Respond(
+        ErrorToJson(
+            Status::FailedPrecondition("a rollout is already in progress"))
+            .Serialize());
+    return;
+  }
+  rollouts_.fetch_add(1, std::memory_order_relaxed);
+  if (cells_.rollouts != nullptr && obs::Enabled()) {
+    cells_.rollouts->Increment();
+  }
+  const std::string bundle = job.request.StringOr("bundle", "");
+
+  JsonValue flipped = JsonValue::Array();
+  // Halts the rollout and reports exactly where it stopped. Every shard is
+  // on its last-known-good bundle except those already in `flipped` — a
+  // failed stage or flip never leaves a shard half-switched, because the
+  // shard-side stage is side-effect-free and swap keeps last-known-good on
+  // failure.
+  const auto halt = [&](const std::string& phase, int shard_id,
+                        const Endpoint& endpoint, const Status& error) {
+    rollout_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (cells_.rollout_failures != nullptr && obs::Enabled()) {
+      cells_.rollout_failures->Increment();
+    }
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(false));
+    out.Set("phase", JsonValue::String(phase));
+    out.Set("failed_shard", JsonValue::Number(static_cast<double>(shard_id)));
+    out.Set("failed_endpoint", JsonValue::String(endpoint.ToString()));
+    out.Set("code", JsonValue::String(StatusCodeToString(error.code())));
+    out.Set("error", JsonValue::String(error.message()));
+    out.Set("flipped_shards", flipped);
+    job.responder.Respond(out.Serialize());
+  };
+  const auto rpc = [&](const Endpoint& endpoint,
+                       const std::string& line) -> StatusOr<JsonValue> {
+    auto response = pool_.Rpc(endpoint, line,
+                              Clock::now() + options_.rollout_rpc_deadline);
+    if (!response.ok()) return response.status();
+    auto parsed = JsonValue::Parse(*response);
+    if (!parsed.ok()) return parsed.status();
+    if (!parsed->BoolOr("ok", false)) {
+      const std::string code = parsed->StringOr("code", "INTERNAL");
+      const std::string message = parsed->StringOr("error", *response);
+      if (code == "DATA_LOSS") return Status::DataLoss(message);
+      if (code == "UNAVAILABLE") return Status::Unavailable(message);
+      if (code == "IO_ERROR") return Status::IoError(message);
+      return Status::Internal("[" + code + "] " + message);
+    }
+    return parsed;
+  };
+
+  // Phase 1 — stage everywhere. Each replica copies the bundle crash-
+  // safely into its own staging tree and fully validates the copy. No
+  // traffic is affected yet.
+  JsonValue stage_request = JsonValue::Object();
+  stage_request.Set("cmd", JsonValue::String("stage"));
+  stage_request.Set("bundle", JsonValue::String(bundle));
+  const std::string stage_line = stage_request.Serialize();
+  // staged_dirs[shard_index][replica_index] — each replica stages into its
+  // own tree, so the flip must name each replica's own staged directory.
+  std::vector<std::vector<std::string>> staged_dirs(host_map_.num_shards());
+  std::string staged_version;
+  for (std::size_t s = 0; s < host_map_.num_shards(); ++s) {
+    const ShardSpec& shard = host_map_.shards()[s];
+    staged_dirs[s].resize(shard.replicas.size());
+    for (std::size_t r = 0; r < shard.replicas.size(); ++r) {
+      if (const Status fault =
+              DOMD_FAULT_POINT("cluster.rollout.stage").Check();
+          !fault.ok()) {
+        halt("stage", shard.id, shard.replicas[r], fault);
+        return;
+      }
+      auto response = rpc(shard.replicas[r], stage_line);
+      if (!response.ok()) {
+        halt("stage", shard.id, shard.replicas[r], response.status());
+        return;
+      }
+      staged_dirs[s][r] = response->StringOr("staged_dir", "");
+      const std::string version = response->StringOr("staged_version", "");
+      if (staged_dirs[s][r].empty() || version.empty()) {
+        halt("stage", shard.id, shard.replicas[r],
+             Status::Internal("stage response missing staged_dir/version"));
+        return;
+      }
+      if (staged_version.empty()) {
+        staged_version = version;
+      } else if (version != staged_version) {
+        halt("stage", shard.id, shard.replicas[r],
+             Status::DataLoss("staged version \"" + version +
+                              "\" disagrees with \"" + staged_version +
+                              "\""));
+        return;
+      }
+    }
+  }
+
+  // Phase 2 — verify: every replica must be healthy and admitting work
+  // before any traffic-affecting flip starts.
+  const std::string health_line = "{\"cmd\": \"health\"}";
+  for (std::size_t s = 0; s < host_map_.num_shards(); ++s) {
+    const ShardSpec& shard = host_map_.shards()[s];
+    for (std::size_t r = 0; r < shard.replicas.size(); ++r) {
+      auto health = rpc(shard.replicas[r], health_line);
+      if (!health.ok()) {
+        halt("verify", shard.id, shard.replicas[r], health.status());
+        return;
+      }
+      if (!health->BoolOr("ready", false)) {
+        halt("verify", shard.id, shard.replicas[r],
+             Status::Unavailable("replica is not ready (breaker open)"));
+        return;
+      }
+    }
+  }
+
+  // Phase 3 — flip shard-by-shard: swap every replica of one shard onto
+  // its staged directory, confirm via health that the new bundle answers,
+  // then move to the next shard. At most one shard is ever mid-flip.
+  for (std::size_t s = 0; s < host_map_.num_shards(); ++s) {
+    const ShardSpec& shard = host_map_.shards()[s];
+    for (std::size_t r = 0; r < shard.replicas.size(); ++r) {
+      if (const Status fault =
+              DOMD_FAULT_POINT("cluster.rollout.flip").Check();
+          !fault.ok()) {
+        halt("flip", shard.id, shard.replicas[r], fault);
+        return;
+      }
+      JsonValue swap_request = JsonValue::Object();
+      swap_request.Set("cmd", JsonValue::String("swap"));
+      swap_request.Set("bundle", JsonValue::String(staged_dirs[s][r]));
+      auto response = rpc(shard.replicas[r], swap_request.Serialize());
+      if (!response.ok()) {
+        halt("flip", shard.id, shard.replicas[r], response.status());
+        return;
+      }
+      auto health = rpc(shard.replicas[r], health_line);
+      if (!health.ok()) {
+        halt("flip", shard.id, shard.replicas[r], health.status());
+        return;
+      }
+      if (health->StringOr("bundle_version", "") != staged_version) {
+        halt("flip", shard.id, shard.replicas[r],
+             Status::Internal("replica reports bundle_version \"" +
+                              health->StringOr("bundle_version", "") +
+                              "\" after flip to \"" + staged_version + "\""));
+        return;
+      }
+    }
+    flipped.Append(JsonValue::Number(static_cast<double>(shard.id)));
+  }
+
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("bundle_version", JsonValue::String(staged_version));
+  out.Set("flipped_shards", flipped);
+  job.responder.Respond(out.Serialize());
+}
+
+RouterStatsSnapshot ClusterRouter::stats() const {
+  RouterStatsSnapshot snapshot;
+  snapshot.routed = routed_.load(std::memory_order_relaxed);
+  snapshot.scattered = scattered_.load(std::memory_order_relaxed);
+  snapshot.hedged = hedged_.load(std::memory_order_relaxed);
+  snapshot.failed = failed_.load(std::memory_order_relaxed);
+  snapshot.rejected_overload =
+      rejected_overload_.load(std::memory_order_relaxed);
+  snapshot.probes = probes_.load(std::memory_order_relaxed);
+  snapshot.rollouts = rollouts_.load(std::memory_order_relaxed);
+  snapshot.rollout_failures =
+      rollout_failures_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+std::vector<ReplicaState> ClusterRouter::replica_states(
+    std::size_t shard_index) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return replica_states_[shard_index];
+}
+
+JsonValue ClusterRouter::HealthJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("role", JsonValue::String("router"));
+  out.Set("num_shards",
+          JsonValue::Number(static_cast<double>(host_map_.num_shards())));
+  JsonValue shards = JsonValue::Array();
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  bool all_up = true;
+  for (std::size_t s = 0; s < host_map_.num_shards(); ++s) {
+    const ShardSpec& spec = host_map_.shards()[s];
+    JsonValue shard = JsonValue::Object();
+    shard.Set("id", JsonValue::Number(static_cast<double>(spec.id)));
+    JsonValue replicas = JsonValue::Array();
+    bool any_routable = false;
+    for (std::size_t r = 0; r < spec.replicas.size(); ++r) {
+      const ReplicaState& state = replica_states_[s][r];
+      JsonValue replica = JsonValue::Object();
+      replica.Set("endpoint", JsonValue::String(spec.replicas[r].ToString()));
+      replica.Set("up", JsonValue::Bool(state.up));
+      replica.Set("ready", JsonValue::Bool(state.ready));
+      replica.Set("bundle_version", JsonValue::String(state.bundle_version));
+      replica.Set("probe_failures",
+                  JsonValue::Number(
+                      static_cast<double>(state.probe_failures)));
+      replicas.Append(std::move(replica));
+      any_routable = any_routable || (state.up && state.ready);
+    }
+    shard.Set("routable", JsonValue::Bool(any_routable));
+    shard.Set("replicas", std::move(replicas));
+    shards.Append(std::move(shard));
+    all_up = all_up && any_routable;
+  }
+  out.Set("all_shards_routable", JsonValue::Bool(all_up));
+  out.Set("shards", std::move(shards));
+  return out;
+}
+
+JsonValue ClusterRouter::StatsJson() const {
+  const RouterStatsSnapshot snapshot = stats();
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("role", JsonValue::String("router"));
+  const auto number = [](std::uint64_t value) {
+    return JsonValue::Number(static_cast<double>(value));
+  };
+  out.Set("routed", number(snapshot.routed));
+  out.Set("scattered", number(snapshot.scattered));
+  out.Set("hedged", number(snapshot.hedged));
+  out.Set("failed", number(snapshot.failed));
+  out.Set("rejected_overload", number(snapshot.rejected_overload));
+  out.Set("probes", number(snapshot.probes));
+  out.Set("rollouts", number(snapshot.rollouts));
+  out.Set("rollout_failures", number(snapshot.rollout_failures));
+  return out;
+}
+
+}  // namespace cluster
+}  // namespace domd

@@ -1,0 +1,217 @@
+#ifndef DOMD_CLUSTER_ROUTER_H_
+#define DOMD_CLUSTER_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/host_map.h"
+#include "cluster/upstream.h"
+#include "obs/metrics.h"
+#include "serve/json.h"
+#include "serve/reactor.h"
+
+namespace domd {
+namespace cluster {
+
+/// Tuning knobs of the routing tier.
+struct RouterOptions {
+  /// Worker threads doing blocking upstream I/O (the reactor's event-loop
+  /// shards never block; every routed verb hops onto this pool).
+  std::size_t workers = 4;
+  /// Pending routed requests beyond this are rejected with
+  /// RESOURCE_EXHAUSTED — the same explicit backpressure contract as the
+  /// PredictionService admission queue.
+  std::size_t max_queue_depth = 512;
+  /// Per-attempt budget against one replica. An attempt that has not
+  /// answered by this deadline is abandoned and hedged to the next
+  /// replica; the final replica in the preference order gets the full
+  /// remaining upstream_deadline instead.
+  std::chrono::milliseconds hedge_deadline{250};
+  /// Total budget for one routed request across every hedge attempt.
+  std::chrono::milliseconds upstream_deadline{5000};
+  /// Health-probe period. Each round probes `health` on every replica of
+  /// every shard and updates the routing state (up/down, breaker
+  /// readiness, served bundle version).
+  std::chrono::milliseconds probe_interval{500};
+  /// Probe RPC budget (smaller than a routed request: probes must fail
+  /// fast so a dead shard is detected within ~one probe round).
+  std::chrono::milliseconds probe_timeout{250};
+  /// Per-RPC budget during rollout. Staging loads and validates a full
+  /// bundle on the shard, so this is deliberately much larger than the
+  /// predict-path deadlines.
+  std::chrono::milliseconds rollout_rpc_deadline{30000};
+  /// Start the background prober (tests drive ProbeOnce() by hand).
+  bool start_prober = true;
+  UpstreamOptions upstream;
+};
+
+/// What the router currently believes about one replica endpoint.
+struct ReplicaState {
+  bool up = false;     ///< transport-level liveness (probe or traffic).
+  bool ready = false;  ///< shard admits work (breaker not open).
+  std::string bundle_version;  ///< from the last successful health probe.
+  std::uint64_t probe_failures = 0;  ///< consecutive, resets on success.
+};
+
+/// Monotonic router counters, exposed by the stats verb and mirrored into
+/// the obs registry (domd_router_*).
+struct RouterStatsSnapshot {
+  std::uint64_t routed = 0;         ///< single-shard requests forwarded.
+  std::uint64_t scattered = 0;      ///< multi-avail scatter-gather requests.
+  std::uint64_t hedged = 0;         ///< requests that needed >= 1 hedge.
+  std::uint64_t failed = 0;         ///< requests with no live replica left.
+  std::uint64_t rejected_overload = 0;  ///< worker-queue sheds.
+  std::uint64_t probes = 0;         ///< health probes sent.
+  std::uint64_t rollouts = 0;       ///< rollout attempts.
+  std::uint64_t rollout_failures = 0;
+};
+
+/// The cluster routing tier (DESIGN.md §12): terminates client NDJSON
+/// connections (plugged into a Reactor exactly like ServeFrontend),
+/// partitions prediction traffic across the host map's shards on the
+/// consistent-hash ring, and answers with the owning shard's response
+/// verbatim — a routed request that succeeds is bit-identical to asking
+/// that shard directly.
+///
+/// Verbs:
+///   {"avail_id": N, ...}        forwarded to the owning shard.
+///   {"avail": {...}, ...}       detached scoring, owner keyed by ship_id.
+///   {"avail_ids": [...], ...}   scatter-gather: per-id subrequests fan
+///                               out to the owning shards over pipelined
+///                               upstream connections and merge back in
+///                               request order.
+///   {"cmd": "health"}           per-shard routing state.
+///   {"cmd": "stats"}            router counters.
+///   {"cmd": "metrics"}          Prometheus exposition.
+///   {"cmd": "ping"}             liveness.
+///   {"cmd": "rollout", "bundle": DIR}  coordinated rollout (stage every
+///                               shard, verify, flip shard-by-shard,
+///                               halt-and-report on first failure).
+///   {"cmd": "shutdown"}         stop the router (never the shards).
+///
+/// Hedging: each routed request walks the shard's replica preference
+/// order (primary first, replicas the prober marked down or breaker-open
+/// moved last). A replica that is down, not ready, or silent past
+/// hedge_deadline is abandoned and the request is retried on the next
+/// replica. Only transport failures and breaker sheds hedge — an
+/// application-level error (bad request, unknown avail) is a
+/// deterministic answer and forwards as-is.
+class ClusterRouter {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ClusterRouter(HostMap host_map, RouterOptions options = {});
+  ~ClusterRouter();
+
+  ClusterRouter(const ClusterRouter&) = delete;
+  ClusterRouter& operator=(const ClusterRouter&) = delete;
+
+  /// Routes one client request line; always answers via `responder`,
+  /// exactly once. Control verbs answer inline on the reactor shard;
+  /// routed verbs hop to the worker pool.
+  void Handle(std::string line, Responder responder);
+
+  /// One synchronous probe round over every replica of every shard
+  /// (the background prober calls this; tests call it directly).
+  void ProbeOnce();
+
+  const HostMap& host_map() const { return host_map_; }
+  RouterStatsSnapshot stats() const;
+  /// Snapshot of the routing state of shards()[shard_index].
+  std::vector<ReplicaState> replica_states(std::size_t shard_index) const;
+
+ private:
+  struct Job {
+    JsonValue request;
+    std::string raw_line;
+    Responder responder;
+  };
+
+  /// Obs cells (null when compiled out), registered once per router.
+  struct MetricCells {
+    std::vector<obs::Counter*> routed_by_shard;  ///< {shard="<id>"}.
+    std::vector<obs::Gauge*> shard_up;  ///< routable replicas per shard.
+    obs::Counter* hedged = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Histogram* fanout = nullptr;   ///< shards touched per scatter.
+    obs::Counter* rollouts = nullptr;
+    obs::Counter* rollout_failures = nullptr;
+  };
+
+  void WorkerLoop();
+  void ProberLoop();
+  void Dispatch(Job job);  ///< enqueue or reject with backpressure.
+
+  /// Executes one routed job on a worker thread.
+  void RunJob(Job& job);
+  void RunSingle(Job& job, std::size_t shard_index);
+  void RunScatter(Job& job);
+  void RunRollout(Job& job);
+
+  /// Sends `line` to shard `shard_index` with hedged retries across its
+  /// replica preference order. Success returns the replica's verbatim
+  /// response line. `hedged` reports whether any non-primary attempt ran.
+  StatusOr<std::string> RouteToShard(std::size_t shard_index,
+                                     const std::string& line,
+                                     Clock::time_point deadline,
+                                     bool* hedged);
+
+  /// Replica indexes of shard `shard_index` in attempt order: routable
+  /// replicas first (spec order), then the rest as a last resort.
+  std::vector<std::size_t> PreferenceOrder(std::size_t shard_index) const;
+
+  void MarkTransportFailure(std::size_t shard_index,
+                            std::size_t replica_index);
+  void MarkBreakerShed(std::size_t shard_index, std::size_t replica_index);
+  void PublishShardGauges();
+
+  JsonValue HealthJson() const;
+  JsonValue StatsJson() const;
+
+  const HostMap host_map_;
+  const RouterOptions options_;
+  UpstreamPool pool_;
+  MetricCells cells_;
+
+  mutable std::mutex state_mutex_;  ///< guards replica_states_.
+  std::vector<std::vector<ReplicaState>> replica_states_;  ///< [shard][rep].
+
+  std::mutex queue_mutex_;
+  std::condition_variable work_available_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+
+  std::mutex rollout_mutex_;  ///< one rollout at a time.
+
+  /// The prober waits on its own cv: the worker queue uses notify_one, and
+  /// a shared cv could hand a job wakeup to the sleeping prober instead of
+  /// a worker.
+  std::mutex prober_mutex_;
+  std::condition_variable prober_cv_;
+  bool prober_stop_ = false;
+
+  std::atomic<std::uint64_t> routed_{0};
+  std::atomic<std::uint64_t> scattered_{0};
+  std::atomic<std::uint64_t> hedged_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> rejected_overload_{0};
+  std::atomic<std::uint64_t> probes_{0};
+  std::atomic<std::uint64_t> rollouts_{0};
+  std::atomic<std::uint64_t> rollout_failures_{0};
+
+  std::vector<std::thread> workers_;
+  std::thread prober_;  ///< joined in the destructor after workers.
+};
+
+}  // namespace cluster
+}  // namespace domd
+
+#endif  // DOMD_CLUSTER_ROUTER_H_

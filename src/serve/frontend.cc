@@ -1,5 +1,9 @@
 #include "serve/frontend.h"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
 #include <optional>
 #include <utility>
 
@@ -16,63 +20,141 @@ double ElapsedMs(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
+std::string DefaultStageRoot() {
+  // Pid + per-frontend counter: co-located shards (several frontends in
+  // one test or bench process) get disjoint staging trees.
+  static std::atomic<int> instance{0};
+  return (std::filesystem::temp_directory_path() /
+          ("domd_staged." + std::to_string(::getpid()) + "." +
+           std::to_string(instance.fetch_add(1))))
+      .string();
+}
+
 }  // namespace
 
 ServeFrontend::ServeFrontend(PredictionService* service,
                              FrontendOptions options)
-    : service_(service), options_(std::move(options)) {
-  swap_worker_ = std::thread([this] { SwapWorkerLoop(); });
+    : service_(service),
+      options_(std::move(options)),
+      stage_root_(options_.stage_root.empty() ? DefaultStageRoot()
+                                              : options_.stage_root) {
+  bundle_worker_ = std::thread([this] { BundleWorkerLoop(); });
 }
 
 ServeFrontend::~ServeFrontend() {
   {
-    std::lock_guard<std::mutex> lock(swap_mutex_);
+    std::lock_guard<std::mutex> lock(bundle_mutex_);
     stopping_ = true;
-    swap_available_.notify_all();
+    bundle_available_.notify_all();
   }
-  if (swap_worker_.joinable()) swap_worker_.join();
+  if (bundle_worker_.joinable()) bundle_worker_.join();
 }
 
-void ServeFrontend::SwapWorkerLoop() {
+void ServeFrontend::BundleWorkerLoop() {
   for (;;) {
-    SwapJob job;
+    BundleJob job;
     {
-      std::unique_lock<std::mutex> lock(swap_mutex_);
-      swap_available_.wait(
-          lock, [this] { return stopping_ || !swap_queue_.empty(); });
-      if (swap_queue_.empty()) return;  // stopping, fully drained.
-      job = std::move(swap_queue_.front());
-      swap_queue_.pop_front();
+      std::unique_lock<std::mutex> lock(bundle_mutex_);
+      bundle_available_.wait(
+          lock, [this] { return stopping_ || !bundle_queue_.empty(); });
+      if (bundle_queue_.empty()) return;  // stopping, fully drained.
+      job = std::move(bundle_queue_.front());
+      bundle_queue_.pop_front();
     }
-    // The serve.swap fault gate and the (blocking, retried) bundle load
-    // both run here, off the event-loop shards. Failure keeps the
-    // last-known-good bundle serving and names it in the response.
-    const Status fault = DOMD_FAULT_POINT("serve.swap").Check();
-    if (!fault.ok()) {
-      service_->NoteSwapFailure(fault);
-      JsonValue out = ErrorToJson(fault);
-      out.Set("bundle_version",
-              JsonValue::String(service_->bundle()->version()));
-      job.responder.Respond(out.Serialize());
-      continue;
+    if (job.kind == BundleJob::Kind::kSwap) {
+      RunSwap(job);
+    } else {
+      RunStage(job);
     }
-    auto bundle = LoadBundleWithRetry(job.bundle_dir, options_.parallelism,
-                                      options_.cache_bytes,
-                                      options_.load_retry);
-    if (!bundle.ok()) {
-      service_->NoteSwapFailure(bundle.status());
-      JsonValue out = ErrorToJson(bundle.status());
-      out.Set("bundle_version",
-              JsonValue::String(service_->bundle()->version()));
-      job.responder.Respond(out.Serialize());
-      continue;
-    }
-    service_->SwapBundle(*bundle);
+  }
+}
+
+void ServeFrontend::RunSwap(const BundleJob& job) {
+  // The serve.swap fault gate and the (blocking, retried) bundle load
+  // both run here, off the event-loop shards. Failure keeps the
+  // last-known-good bundle serving and names it in the response.
+  const Status fault = DOMD_FAULT_POINT("serve.swap").Check();
+  if (!fault.ok()) {
+    service_->NoteSwapFailure(fault);
+    JsonValue out = ErrorToJson(fault);
+    out.Set("bundle_version",
+            JsonValue::String(service_->bundle()->version()));
+    job.responder.Respond(out.Serialize());
+    return;
+  }
+  // A swap onto a directory this shard staged flips without touching
+  // disk: the staged bundle was fully loaded and validated at stage time.
+  std::shared_ptr<const ModelBundle> staged;
+  {
+    std::lock_guard<std::mutex> lock(bundle_mutex_);
+    const auto it = staged_.find(job.bundle_dir);
+    if (it != staged_.end()) staged = it->second;
+  }
+  if (staged != nullptr) {
+    service_->SwapBundle(staged);
     JsonValue out = JsonValue::Object();
     out.Set("ok", JsonValue::Bool(true));
-    out.Set("bundle_version", JsonValue::String((*bundle)->version()));
+    out.Set("bundle_version", JsonValue::String(staged->version()));
+    out.Set("from_stage", JsonValue::Bool(true));
     job.responder.Respond(out.Serialize());
+    return;
   }
+  auto bundle = LoadBundleWithRetry(job.bundle_dir, options_.parallelism,
+                                    options_.cache_bytes,
+                                    options_.load_retry);
+  if (!bundle.ok()) {
+    service_->NoteSwapFailure(bundle.status());
+    JsonValue out = ErrorToJson(bundle.status());
+    out.Set("bundle_version",
+            JsonValue::String(service_->bundle()->version()));
+    job.responder.Respond(out.Serialize());
+    return;
+  }
+  service_->SwapBundle(*bundle);
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("bundle_version", JsonValue::String((*bundle)->version()));
+  job.responder.Respond(out.Serialize());
+}
+
+void ServeFrontend::RunStage(const BundleJob& job) {
+  // Crash-safe copy into this shard's staging tree, then a full load to
+  // validate the copy end to end (checksums, schema, model parse). Any
+  // failure leaves the live bundle untouched — staging is side-effect-free
+  // until the flip.
+  const std::string dest =
+      stage_root_ + "/" +
+      std::filesystem::path(job.bundle_dir).filename().string();
+  std::error_code ec;
+  std::filesystem::create_directories(stage_root_, ec);
+  if (ec) {
+    job.responder.Respond(
+        ErrorToJson(Status::IoError("cannot create stage root " +
+                                    stage_root_ + ": " + ec.message()))
+            .Serialize());
+    return;
+  }
+  const Status copied = CopyBundleDurable(job.bundle_dir, dest);
+  if (!copied.ok()) {
+    job.responder.Respond(ErrorToJson(copied).Serialize());
+    return;
+  }
+  auto bundle = LoadBundleWithRetry(dest, options_.parallelism,
+                                    options_.cache_bytes,
+                                    options_.load_retry);
+  if (!bundle.ok()) {
+    job.responder.Respond(ErrorToJson(bundle.status()).Serialize());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(bundle_mutex_);
+    staged_[dest] = *bundle;
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("staged_version", JsonValue::String((*bundle)->version()));
+  out.Set("staged_dir", JsonValue::String(dest));
+  job.responder.Respond(out.Serialize());
 }
 
 void ServeFrontend::Handle(std::string line, Responder responder) {
@@ -131,21 +213,23 @@ void ServeFrontend::Handle(std::string line, Responder responder) {
     responder.Respond(out.Serialize());
     return;
   }
-  if (cmd == "swap") {
+  if (cmd == "swap" || cmd == "stage") {
     std::string dir = request->StringOr("bundle", "");
     if (dir.empty()) {
       responder.Respond(
-          ErrorToJson(Status::InvalidArgument("swap needs \"bundle\""))
+          ErrorToJson(Status::InvalidArgument(cmd + " needs \"bundle\""))
               .Serialize());
       return;
     }
-    SwapJob job;
+    BundleJob job;
+    job.kind = cmd == "swap" ? BundleJob::Kind::kSwap
+                             : BundleJob::Kind::kStage;
     job.bundle_dir = std::move(dir);
     job.responder = std::move(responder);
-    std::lock_guard<std::mutex> lock(swap_mutex_);
+    std::lock_guard<std::mutex> lock(bundle_mutex_);
     if (stopping_) return;  // teardown races a late swap: drop it.
-    swap_queue_.push_back(std::move(job));
-    swap_available_.notify_one();
+    bundle_queue_.push_back(std::move(job));
+    bundle_available_.notify_one();
     return;
   }
   if (cmd == "shutdown") {

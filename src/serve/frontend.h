@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -19,6 +20,10 @@ struct FrontendOptions {
   Parallelism parallelism;
   std::size_t cache_bytes = kDefaultViewCacheBytes;
   RetryOptions load_retry;
+  /// Where `stage` copies incoming bundles. Empty picks a process-unique
+  /// temp directory (pid + frontend instance), so co-located shards never
+  /// stage onto each other's copies.
+  std::string stage_root;
 };
 
 /// The NDJSON verb router of domd_serve, factored out of the binary so the
@@ -34,10 +39,17 @@ struct FrontendOptions {
 /// snapshot reads), predict requests flow through
 /// PredictionService::SubmitAsync and respond from the batcher thread,
 /// reference-fleet scoring (`avail_id`) answers inline against one bundle
-/// snapshot, and `swap` — whose bundle load blocks on disk I/O and bounded
-/// retry — runs on a dedicated swap worker thread so it can never stall an
-/// event-loop shard. `shutdown` responds through RespondThenStop, which
-/// stops the reactor only after the response line has drained.
+/// snapshot, and `swap`/`stage` — whose bundle I/O blocks on disk and
+/// bounded retry — run on a dedicated worker thread so they can never
+/// stall an event-loop shard. `shutdown` responds through RespondThenStop,
+/// which stops the reactor only after the response line has drained.
+///
+/// `stage` is the per-shard half of a coordinated cluster rollout
+/// (DESIGN.md §12): it copies the named bundle crash-safely into this
+/// shard's stage_root, fully loads and validates the copy, and parks the
+/// loaded bundle so a later `swap` onto the staged directory flips
+/// instantly without re-reading disk. A failed stage leaves the live
+/// bundle untouched.
 class ServeFrontend {
  public:
   ServeFrontend(PredictionService* service, FrontendOptions options);
@@ -50,21 +62,29 @@ class ServeFrontend {
   void Handle(std::string line, Responder responder);
 
  private:
-  struct SwapJob {
+  struct BundleJob {
+    enum class Kind { kSwap, kStage };
+    Kind kind = Kind::kSwap;
     std::string bundle_dir;
     Responder responder;
   };
 
-  void SwapWorkerLoop();
+  void BundleWorkerLoop();
+  void RunSwap(const BundleJob& job);
+  void RunStage(const BundleJob& job);
 
   PredictionService* const service_;
   const FrontendOptions options_;
+  const std::string stage_root_;  ///< resolved from options_.stage_root.
 
-  std::mutex swap_mutex_;
-  std::condition_variable swap_available_;
-  std::deque<SwapJob> swap_queue_;
+  std::mutex bundle_mutex_;
+  std::condition_variable bundle_available_;
+  std::deque<BundleJob> bundle_queue_;
   bool stopping_ = false;
-  std::thread swap_worker_;  ///< last member: joins before teardown.
+  /// Staged bundles by their staged directory, kept loaded so the flip
+  /// half of a rollout swaps without touching disk.
+  std::map<std::string, std::shared_ptr<const ModelBundle>> staged_;
+  std::thread bundle_worker_;  ///< last member: joins before teardown.
 };
 
 }  // namespace domd

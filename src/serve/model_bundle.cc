@@ -212,6 +212,63 @@ Status ModelBundle::Write(const DomdEstimator& estimator, const Dataset& data,
   return CommitDirectory(staging, dir);
 }
 
+Status CopyBundleDurable(const std::string& src_dir,
+                         const std::string& dest_dir) {
+  // Read the manifest first: its checksum records gate the copy exactly
+  // like they gate Load, so a corrupt source never propagates.
+  auto manifest_bytes = ReadFileBytes(src_dir + "/" + kManifestName);
+  if (!manifest_bytes.ok()) return manifest_bytes.status();
+
+  std::map<std::string, std::uint64_t> checksums;
+  {
+    std::istringstream manifest(*manifest_bytes);
+    std::string magic, format;
+    if (!(manifest >> magic >> format) || magic != "domd_bundle" ||
+        (format != "v1" && format != "v2")) {
+      return Status::InvalidArgument(src_dir +
+                                     ": not a domd bundle (bad magic)");
+    }
+    if (format == "v2") {
+      std::string line;
+      std::getline(manifest, line);  // rest of the magic line.
+      while (std::getline(manifest, line)) {
+        std::istringstream record(line);
+        std::string key, name;
+        std::uint64_t sum = 0;
+        if ((record >> key >> name >> sum) && key == "checksum") {
+          checksums[name] = sum;
+        }
+      }
+    }
+  }
+
+  const std::string staging = dest_dir + ".tmp";
+  std::error_code ec;
+  std::filesystem::remove_all(staging, ec);
+  ec.clear();
+  std::filesystem::create_directories(staging, ec);
+  if (ec) {
+    return Status::IoError("cannot create staging directory " + staging +
+                           ": " + ec.message());
+  }
+  for (const char* name : {kModelsName, kAvailsName, kRccsName}) {
+    auto bytes = ReadFileBytes(src_dir + "/" + name);
+    if (!bytes.ok()) return bytes.status();
+    const auto expected = checksums.find(name);
+    if (expected != checksums.end() &&
+        FileChecksum(*bytes) != expected->second) {
+      return Status::DataLoss(src_dir + "/" + name +
+                              ": checksum mismatch during staging copy");
+    }
+    DOMD_RETURN_IF_ERROR(WriteFileDurable(staging + "/" + name, *bytes));
+  }
+  DOMD_RETURN_IF_ERROR(
+      WriteFileDurable(staging + "/" + kManifestName, *manifest_bytes));
+  FsyncDirectory(staging);
+  DOMD_RETURN_IF_ERROR(DOMD_FAULT_POINT("serve.bundle.commit").Check());
+  return CommitDirectory(staging, dest_dir);
+}
+
 StatusOr<std::shared_ptr<const ModelBundle>> ModelBundle::Load(
     const std::string& dir, const Parallelism& parallelism,
     std::size_t cache_bytes) {

@@ -123,6 +123,17 @@ class ModelBundle {
   std::unique_ptr<StatusQueryEngine> query_engine_;
 };
 
+/// Crash-safe bundle distribution: copies the published bundle at
+/// `src_dir` into `dest_dir` through the same staging protocol as
+/// `ModelBundle::Write` — every file is read (serve.bundle.read), verified
+/// against the manifest checksums, staged durably into `dest_dir.tmp`
+/// (serve.bundle.write), and atomically renamed into place
+/// (serve.bundle.commit). This is the per-shard "stage" step of a
+/// coordinated cluster rollout: a crash or injected fault mid-copy leaves
+/// the destination untouched, so the shard keeps serving last-known-good.
+Status CopyBundleDurable(const std::string& src_dir,
+                         const std::string& dest_dir);
+
 /// `ModelBundle::Load` wrapped in bounded retry-with-backoff: transient
 /// failures (kIoError, kUnavailable, kResourceExhausted) are retried per
 /// `retry`; permanent ones (kDataLoss, kFailedPrecondition, ...) return
