@@ -636,6 +636,55 @@ int Run() {
 
   recorder.Record("precompute_expected",
                   stage_seconds(stage_start, stage_clock()));
+  stage_start = stage_clock();
+
+  // ---- Batch-scoring phase: the whole request pool in one ScoreBatch
+  // (one feature sweep + the breadth-first batch scorer per step) against
+  // the same requests scored one at a time. The batched path must be
+  // bit-identical to solo scoring and at least as fast per row.
+  struct BatchScoringResult {
+    std::size_t rows = 0;
+    double solo_seconds = 0.0;
+    double batch_seconds = 0.0;
+    bool bit_identical = false;
+    double solo_rows_per_s() const {
+      return solo_seconds > 0 ? static_cast<double>(rows) / solo_seconds : 0;
+    }
+    double batch_rows_per_s() const {
+      return batch_seconds > 0 ? static_cast<double>(rows) / batch_seconds
+                               : 0;
+    }
+    bool pass() const {
+      return bit_identical && batch_rows_per_s() >= solo_rows_per_s();
+    }
+  };
+  BatchScoringResult batch_scoring;
+  batch_scoring.rows = pool.size();
+  batch_scoring.solo_seconds = bench::TimeSeconds([&] {
+    for (const ScoreRequest& request : pool) {
+      if (!(*v1)->ScoreBatch({request})[0].ok()) std::abort();
+    }
+  });
+  std::vector<StatusOr<ServePrediction>> batched_predictions;
+  batch_scoring.batch_seconds = bench::TimeSeconds(
+      [&] { batched_predictions = (*v1)->ScoreBatch(pool); });
+  batch_scoring.bit_identical = batched_predictions.size() == pool.size();
+  for (std::size_t i = 0; i < batched_predictions.size(); ++i) {
+    if (!batched_predictions[i].ok() ||
+        !BitIdentical(batched_predictions[i]->estimate_days,
+                      expected["v1"][i])) {
+      batch_scoring.bit_identical = false;
+    }
+  }
+  std::printf("batch scoring: %zu rows, solo %.0f rows/s, batched %.0f "
+              "rows/s (%.2fx), identical=%s\n",
+              batch_scoring.rows, batch_scoring.solo_rows_per_s(),
+              batch_scoring.batch_rows_per_s(),
+              batch_scoring.solo_seconds > 0 && batch_scoring.batch_seconds > 0
+                  ? batch_scoring.solo_seconds / batch_scoring.batch_seconds
+                  : 0.0,
+              batch_scoring.bit_identical ? "yes" : "NO");
+  recorder.Record("batch_scoring", stage_seconds(stage_start, stage_clock()));
 
   // ---- Load phase: kClientThreads concurrent clients, one mid-run swap.
   ServeOptions options;
@@ -795,7 +844,7 @@ int Run() {
                         total &&
                     load_stats.swaps == 1 && burst_rejected > 0 &&
                     burst_other == 0 && burst_ok > 0 && open_loop_pass &&
-                    cluster_pass;
+                    cluster_pass && batch_scoring.pass();
 
   std::ofstream json("BENCH_serving.json");
   json << "{\n  \"bench\": \"serving\",\n";
@@ -822,6 +871,13 @@ int Run() {
   json << "  \"overload\": {\"burst\": " << burst.size()
        << ", \"ok\": " << burst_ok << ", \"rejected\": " << burst_rejected
        << ", \"queue_depth\": " << tight.max_queue_depth << "},\n";
+  json << "  \"batch_scoring\": {\"rows\": " << batch_scoring.rows
+       << ", \"solo_rows_per_s\": " << batch_scoring.solo_rows_per_s()
+       << ", \"batch_rows_per_s\": " << batch_scoring.batch_rows_per_s()
+       << ", \"bit_identical\": "
+       << (batch_scoring.bit_identical ? "true" : "false")
+       << ", \"pass\": " << (batch_scoring.pass() ? "true" : "false")
+       << "},\n";
   json << "  \"open_loop\": {\"connections\": " << open_loop.connections
        << ", \"target_rps\": " << kOpenLoopTargetRps
        << ", \"requests\": " << open_loop.requests

@@ -1,6 +1,7 @@
 #include "common/strings.h"
 
 #include <cctype>
+#include <charconv>
 
 namespace domd {
 
@@ -43,6 +44,35 @@ std::string StrJoin(const std::vector<std::string>& parts,
 bool StrStartsWith(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() &&
          text.substr(0, prefix.size()) == prefix;
+}
+
+StatusOr<double> ParseDouble(std::string_view text) {
+  // from_chars takes an optional '-' but not '+'; strip one '+' so inputs
+  // like "+1.5" keep parsing as they did under strtod.
+  std::string_view body = text;
+  if (!body.empty() && body.front() == '+') {
+    body.remove_prefix(1);
+    if (!body.empty() && (body.front() == '+' || body.front() == '-')) {
+      return Status::InvalidArgument("not a number: \"" + std::string(text) +
+                                     "\"");
+    }
+  }
+  if (body.empty()) {
+    return Status::InvalidArgument("not a number: \"" + std::string(text) +
+                                   "\"");
+  }
+  double value = 0.0;
+  const auto [end, ec] =
+      std::from_chars(body.data(), body.data() + body.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::InvalidArgument("number out of double range: \"" +
+                                   std::string(text) + "\"");
+  }
+  if (ec != std::errc() || end != body.data() + body.size()) {
+    return Status::InvalidArgument("not a number: \"" + std::string(text) +
+                                   "\"");
+  }
+  return value;
 }
 
 std::string StrToLower(std::string_view text) {

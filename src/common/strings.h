@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.h"
+
 namespace domd {
 
 /// Splits text on a single-character delimiter. Empty fields are preserved;
@@ -23,6 +25,14 @@ bool StrStartsWith(std::string_view text, std::string_view prefix);
 
 /// Lower-cases ASCII letters.
 std::string StrToLower(std::string_view text);
+
+/// Parses `text` as a double, checked. The whole string must be a valid
+/// number: empty input, partial parses ("1.2.3", "5 days", " 1"), and
+/// values outside double range are InvalidArgument — unlike bare strtod,
+/// which silently stops at the first bad character and saturates on
+/// overflow. Accepts decimal and exponent forms, optional leading sign,
+/// and "inf"/"nan" (case-insensitive); locale-independent.
+StatusOr<double> ParseDouble(std::string_view text);
 
 }  // namespace domd
 

@@ -62,6 +62,8 @@ ModelingView BuildModelingView(const Dataset& data,
     const auto delay = (*avail)->delay();
     if (delay.has_value()) view.labels[i] = static_cast<double>(*delay);
   }
+  view.columnar = ColumnarView::Build(view.static_x, view.dynamic,
+                                      kDefaultFrameBins, parallelism);
   return view;
 }
 
@@ -106,27 +108,55 @@ Status TimelineModelSet::Fit(
     // Task 2: per-step top-k selection over dynamic features only.
     std::vector<std::size_t> cols =
         selector->SelectTopK(slice, train.labels, config.num_features);
-    const Matrix dynamic_selected = slice.SelectColumns(cols);
 
-    // Assemble the model input and its column names.
-    Matrix input;
+    // Input column names, in the exact order the model sees its features.
     std::vector<std::string> names;
     if (config.architecture == Architecture::kStacked) {
-      Matrix base_col(train.avail_ids.size(), 1);
-      for (std::size_t r = 0; r < base_train_pred.size(); ++r) {
-        base_col.at(r, 0) = base_train_pred[r];
-      }
-      input = Matrix::HConcat(dynamic_selected, base_col);
       for (std::size_t c : cols) names.push_back(dynamic_feature_names[c]);
       names.push_back("BASE_PREDICTION");
     } else {
-      input = Matrix::HConcat(train.static_x, dynamic_selected);
       names = static_names;
       for (std::size_t c : cols) names.push_back(dynamic_feature_names[c]);
     }
 
     auto model = MakeModel(config);
-    DOMD_RETURN_IF_ERROR(model->Fit(input, train.labels));
+    auto* gbt = dynamic_cast<GbtRegressor*>(model.get());
+    if (gbt != nullptr && train.columnar != nullptr &&
+        gbt->params().tree.layout == TreeLayout::kColumnar) {
+      // Zero-copy columnar fit: borrow the shared view's prepared columns,
+      // in exactly the order HConcat would lay the row-major input out.
+      TrainingFrame frame;
+      frame.set_rows(train.avail_ids.size());
+      if (config.architecture == Architecture::kStacked) {
+        for (std::size_t c : cols) {
+          frame.AddColumn(train.columnar->dynamic_column(step, c));
+        }
+        frame.AddOwnedColumn(base_train_pred);
+      } else {
+        for (std::size_t c = 0; c < train.columnar->static_cols(); ++c) {
+          frame.AddColumn(train.columnar->static_column(c));
+        }
+        for (std::size_t c : cols) {
+          frame.AddColumn(train.columnar->dynamic_column(step, c));
+        }
+      }
+      DOMD_RETURN_IF_ERROR(gbt->FitWithFrame(frame, train.labels));
+    } else {
+      // Row-major fallback: hand-assembled views without a columnar
+      // companion, the kRowMajor reference layout, and elastic net.
+      const Matrix dynamic_selected = slice.SelectColumns(cols);
+      Matrix input;
+      if (config.architecture == Architecture::kStacked) {
+        Matrix base_col(train.avail_ids.size(), 1);
+        for (std::size_t r = 0; r < base_train_pred.size(); ++r) {
+          base_col.at(r, 0) = base_train_pred[r];
+        }
+        input = Matrix::HConcat(dynamic_selected, base_col);
+      } else {
+        input = Matrix::HConcat(train.static_x, dynamic_selected);
+      }
+      DOMD_RETURN_IF_ERROR(model->Fit(input, train.labels));
+    }
     models_.push_back(std::move(model));
     selected_.push_back(std::move(cols));
     input_names_.push_back(std::move(names));
@@ -154,15 +184,43 @@ std::vector<double> TimelineModelSet::BuildInputRow(const ModelingView& view,
   return input;
 }
 
+Matrix TimelineModelSet::BuildInputMatrix(
+    const ModelingView& view, std::size_t step,
+    const std::vector<double>& base_pred) const {
+  const std::size_t n = view.avail_ids.size();
+  const auto& cols = selected_[step];
+  const Matrix& slice = view.dynamic.slice(step);
+  if (is_stacked()) {
+    Matrix input(n, cols.size() + 1);
+    for (std::size_t row = 0; row < n; ++row) {
+      std::size_t out_c = 0;
+      for (std::size_t c : cols) input.at(row, out_c++) = slice.at(row, c);
+      input.at(row, out_c) = base_pred[row];
+    }
+    return input;
+  }
+  const std::size_t statics = view.static_x.cols();
+  Matrix input(n, statics + cols.size());
+  for (std::size_t row = 0; row < n; ++row) {
+    for (std::size_t c = 0; c < statics; ++c) {
+      input.at(row, c) = view.static_x.at(row, c);
+    }
+    std::size_t out_c = statics;
+    for (std::size_t c : cols) input.at(row, out_c++) = slice.at(row, c);
+  }
+  return input;
+}
+
 std::vector<std::vector<double>> TimelineModelSet::PredictPerStep(
     const ModelingView& view) const {
   std::vector<std::vector<double>> out(models_.size());
+  // One base-model sweep feeds every step's input matrix (stacked only);
+  // PredictBatch is bit-identical to per-row Predict by contract.
+  std::vector<double> base_pred;
+  if (is_stacked()) base_pred = base_model_->PredictBatch(view.static_x);
   for (std::size_t step = 0; step < models_.size(); ++step) {
-    out[step].resize(view.avail_ids.size());
-    for (std::size_t row = 0; row < view.avail_ids.size(); ++row) {
-      const std::vector<double> input = BuildInputRow(view, row, step);
-      out[step][row] = models_[step]->Predict(input);
-    }
+    const Matrix input = BuildInputMatrix(view, step, base_pred);
+    out[step] = models_[step]->PredictBatch(input);
   }
   return out;
 }

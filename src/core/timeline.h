@@ -9,6 +9,7 @@
 #include "core/config.h"
 #include "core/fusion.h"
 #include "data/tables.h"
+#include "features/columnar.h"
 #include "features/feature_engineer.h"
 #include "features/feature_tensor.h"
 #include "ml/model.h"
@@ -23,6 +24,11 @@ struct ModelingView {
   Matrix static_x;        ///< avails x |static features|.
   FeatureTensor dynamic;  ///< avails x |catalog| per grid step.
   std::vector<double> labels;
+  /// Columnar restructuring of static_x + dynamic (sorted per-feature
+  /// columns and u8/u16 bin codes), built once per view and shared by the
+  /// snapshot cache. Null on hand-assembled views; GBT training falls back
+  /// to columnarizing its own input matrix in that case.
+  std::shared_ptr<const ColumnarView> columnar;
 
   std::size_t num_steps() const { return dynamic.num_steps(); }
 };
@@ -50,7 +56,9 @@ class TimelineModelSet {
              const std::vector<std::string>& dynamic_feature_names);
 
   /// Raw per-step predictions for every avail in the view:
-  /// result[step][row].
+  /// result[step][row]. Batched: assembles one input matrix per step and
+  /// scores it through Regressor::PredictBatch — bit-identical to calling
+  /// BuildInputRow + Predict row by row.
   std::vector<std::vector<double>> PredictPerStep(
       const ModelingView& view) const;
 
@@ -89,6 +97,12 @@ class TimelineModelSet {
 
  private:
   std::unique_ptr<Regressor> MakeModel(const PipelineConfig& config) const;
+
+  /// Row-major input matrix for one step over every view row, laid out
+  /// exactly like BuildInputRow. `base_pred` is the precomputed base-model
+  /// prediction per row (stacked architecture only; ignored otherwise).
+  Matrix BuildInputMatrix(const ModelingView& view, std::size_t step,
+                          const std::vector<double>& base_pred) const;
 
   PipelineConfig config_;
   std::unique_ptr<Regressor> base_model_;  ///< stacked architecture only.

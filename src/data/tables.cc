@@ -3,6 +3,8 @@
 #include <charconv>
 #include <cstdio>
 
+#include "common/strings.h"
+
 namespace domd {
 namespace {
 
@@ -22,13 +24,10 @@ StatusOr<std::int64_t> ParseInt64(const std::string& text) {
   return value;
 }
 
-StatusOr<double> ParseDouble(const std::string& text) {
-  char* end = nullptr;
-  const double value = std::strtod(text.c_str(), &end);
-  if (end != text.c_str() + text.size() || text.empty()) {
-    return Status::InvalidArgument("bad double: " + text);
-  }
-  return value;
+StatusOr<double> ParseField(const std::string& text) {
+  const auto value = domd::ParseDouble(text);
+  if (!value.ok()) return Status::InvalidArgument("bad double: " + text);
+  return *value;
 }
 
 }  // namespace
@@ -109,7 +108,7 @@ StatusOr<AvailTable> AvailTable::FromCsv(const CsvDocument& doc) {
     auto rmc = ParseInt64(row[8]);
     if (!rmc.ok()) return rmc.status();
     a.rmc_id = static_cast<int>(*rmc);
-    auto age = ParseDouble(row[9]);
+    auto age = ParseField(row[9]);
     if (!age.ok()) return age.status();
     a.ship_age_years = *age;
     auto type = ParseInt64(row[10]);
@@ -121,7 +120,7 @@ StatusOr<AvailTable> AvailTable::FromCsv(const CsvDocument& doc) {
     auto prior = ParseInt64(row[12]);
     if (!prior.ok()) return prior.status();
     a.prior_avail_count = static_cast<int>(*prior);
-    auto value = ParseDouble(row[13]);
+    auto value = ParseField(row[13]);
     if (!value.ok()) return value.status();
     a.contract_value_musd = *value;
     auto crew = ParseInt64(row[14]);
@@ -222,7 +221,7 @@ StatusOr<RccTable> RccTable::FromCsv(const CsvDocument& doc) {
       if (!settled.ok()) return settled.status();
       r.settled_date = *settled;
     }
-    auto amount = ParseDouble(row[6]);
+    auto amount = ParseField(row[6]);
     if (!amount.ok()) return amount.status();
     r.settled_amount = *amount;
     DOMD_RETURN_IF_ERROR(table.Add(std::move(r)));

@@ -37,13 +37,12 @@ StatusOr<std::uint64_t> ParseCount(const std::string& text,
 
 StatusOr<double> ParseNumber(const std::string& text,
                              const std::string& spec) {
-  char* end = nullptr;
-  const double value = std::strtod(text.c_str(), &end);
-  if (end != text.c_str() + text.size() || text.empty()) {
+  const auto value = ParseDouble(text);
+  if (!value.ok()) {
     return Status::InvalidArgument("bad number \"" + text +
                                    "\" in fault policy " + spec);
   }
-  return value;
+  return *value;
 }
 
 }  // namespace

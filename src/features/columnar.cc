@@ -1,0 +1,114 @@
+#include "features/columnar.h"
+
+#include <algorithm>
+
+namespace domd {
+
+FrameColumn ColumnarBlock::column(std::size_t c) const {
+  FrameColumn out;
+  out.values = std::span<const double>(values.data() + c * rows, rows);
+  out.order = std::span<const std::uint32_t>(order.data() + c * rows, rows);
+  if (!codes8.empty()) {
+    out.codes8 =
+        std::span<const std::uint8_t>(codes8.data() + c * rows, rows);
+  } else if (!codes16.empty()) {
+    out.codes16 =
+        std::span<const std::uint16_t>(codes16.data() + c * rows, rows);
+  }
+  out.cuts = std::span<const double>(cuts.data() + cut_offsets[c],
+                                     cut_offsets[c + 1] - cut_offsets[c]);
+  return out;
+}
+
+std::size_t ColumnarBlock::ApproxBytes() const {
+  return values.size() * sizeof(double) +
+         order.size() * sizeof(std::uint32_t) +
+         codes8.size() * sizeof(std::uint8_t) +
+         codes16.size() * sizeof(std::uint16_t) +
+         cuts.size() * sizeof(double) +
+         cut_offsets.size() * sizeof(std::uint32_t);
+}
+
+ColumnarBlock BuildColumnarBlock(const Matrix& x, std::size_t max_bins,
+                                 const Parallelism& parallelism) {
+  const std::size_t rows = x.rows();
+  const std::size_t cols = x.cols();
+
+  // Phase 1: sort/cut/code each column independently (parallel; each slot
+  // is written by exactly one worker, so any thread count is
+  // bit-identical).
+  std::vector<OwnedColumn> prepared(cols);
+  const int threads = rows * cols >= 4096 ? parallelism.EffectiveThreads() : 1;
+  (void)ParallelFor(threads, cols, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t c = lo; c < hi; ++c) {
+      prepared[c] = MakeOwnedColumn(x.Column(c), max_bins);
+    }
+    return Status::OK();
+  });
+
+  // Phase 2: pack into contiguous pools. One code width per block: a
+  // single over-budget column widens every column's codes to u16.
+  ColumnarBlock block;
+  block.rows = rows;
+  block.cols = cols;
+  bool wide = false;
+  std::size_t total_cuts = 0;
+  for (const OwnedColumn& col : prepared) {
+    wide = wide || !col.codes16.empty();
+    total_cuts += col.cuts.size();
+  }
+  block.values.reserve(rows * cols);
+  block.order.reserve(rows * cols);
+  if (wide) {
+    block.codes16.reserve(rows * cols);
+  } else {
+    block.codes8.reserve(rows * cols);
+  }
+  block.cuts.reserve(total_cuts);
+  block.cut_offsets.reserve(cols + 1);
+  block.cut_offsets.push_back(0);
+  for (OwnedColumn& col : prepared) {
+    block.values.insert(block.values.end(), col.values.begin(),
+                        col.values.end());
+    block.order.insert(block.order.end(), col.order.begin(), col.order.end());
+    if (wide) {
+      if (!col.codes16.empty()) {
+        block.codes16.insert(block.codes16.end(), col.codes16.begin(),
+                             col.codes16.end());
+      } else {
+        for (const std::uint8_t code : col.codes8) {
+          block.codes16.push_back(code);
+        }
+      }
+    } else {
+      block.codes8.insert(block.codes8.end(), col.codes8.begin(),
+                          col.codes8.end());
+    }
+    block.cuts.insert(block.cuts.end(), col.cuts.begin(), col.cuts.end());
+    block.cut_offsets.push_back(
+        static_cast<std::uint32_t>(block.cuts.size()));
+    col = OwnedColumn{};  // release as we go
+  }
+  return block;
+}
+
+std::shared_ptr<const ColumnarView> ColumnarView::Build(
+    const Matrix& statics, const FeatureTensor& dynamic,
+    std::size_t max_bins, const Parallelism& parallelism) {
+  auto view = std::make_shared<ColumnarView>();
+  view->statics_ = BuildColumnarBlock(statics, max_bins, parallelism);
+  view->steps_.reserve(dynamic.num_steps());
+  for (std::size_t step = 0; step < dynamic.num_steps(); ++step) {
+    view->steps_.push_back(
+        BuildColumnarBlock(dynamic.slice(step), max_bins, parallelism));
+  }
+  return view;
+}
+
+std::size_t ColumnarView::ApproxBytes() const {
+  std::size_t bytes = statics_.ApproxBytes();
+  for (const ColumnarBlock& step : steps_) bytes += step.ApproxBytes();
+  return bytes;
+}
+
+}  // namespace domd

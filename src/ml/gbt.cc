@@ -2,18 +2,41 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <limits>
 #include <numeric>
 #include <unordered_map>
 
 #include "common/rng.h"
+#include "ml/columnar.h"
 #include "obs/trace.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
 
 namespace domd {
 
 Status GbtRegressor::Fit(const Matrix& x, const std::vector<double>& y) {
+  if (params_.tree.layout == TreeLayout::kRowMajor) {
+    return FitImpl(&x, nullptr, y);
+  }
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("gbt: empty design matrix");
+  }
+  const TrainingFrame frame = TrainingFrame::FromMatrix(x);
+  return FitImpl(nullptr, &frame, y);
+}
+
+Status GbtRegressor::FitWithFrame(const TrainingFrame& frame,
+                                  const std::vector<double>& y) {
+  return FitImpl(nullptr, &frame, y);
+}
+
+Status GbtRegressor::FitImpl(const Matrix* x, const TrainingFrame* frame,
+                             const std::vector<double>& y) {
   DOMD_OBS_SPAN("gbt.fit");
-  const std::size_t n = x.rows();
-  const std::size_t p = x.cols();
+  const std::size_t n = frame ? frame->rows() : x->rows();
+  const std::size_t p = frame ? frame->cols() : x->cols();
   if (n == 0 || p == 0) {
     return Status::InvalidArgument("gbt: empty design matrix");
   }
@@ -88,7 +111,11 @@ Status GbtRegressor::Fit(const Matrix& x, const std::vector<double>& y) {
     RegressionTree tree;
     {
       DOMD_OBS_SPAN("gbt.split_search");
-      tree.Fit(x, grad, hess, rows, features, params_.tree);
+      if (frame) {
+        tree.FitFrame(*frame, grad, hess, rows, features, params_.tree);
+      } else {
+        tree.Fit(*x, grad, hess, rows, features, params_.tree);
+      }
     }
 
     // Zero-curvature losses (absolute, pinball): the Newton step under the
@@ -101,8 +128,9 @@ Status GbtRegressor::Fit(const Matrix& x, const std::vector<double>& y) {
           loss_.kind() == LossKind::kQuantile ? loss_.tau() : 0.5;
       std::unordered_map<std::int32_t, std::vector<double>> leaf_residuals;
       for (std::size_t i : rows) {
-        leaf_residuals[tree.LeafFor(x.row(i))].push_back(y[i] -
-                                                         predictions[i]);
+        const std::int32_t leaf =
+            frame ? tree.LeafForFrameRow(*frame, i) : tree.LeafFor(x->row(i));
+        leaf_residuals[leaf].push_back(y[i] - predictions[i]);
       }
       for (auto& [leaf, residuals] : leaf_residuals) {
         std::sort(residuals.begin(), residuals.end());
@@ -115,7 +143,9 @@ Status GbtRegressor::Fit(const Matrix& x, const std::vector<double>& y) {
     }
 
     for (std::size_t i = 0; i < n; ++i) {
-      predictions[i] += params_.learning_rate * tree.Predict(x.row(i));
+      const double step = frame ? tree.PredictFrameRow(*frame, i)
+                                : tree.Predict(x->row(i));
+      predictions[i] += params_.learning_rate * step;
     }
     trees_.push_back(std::move(tree));
 
@@ -134,6 +164,106 @@ double GbtRegressor::Predict(std::span<const double> row) const {
     value += params_.learning_rate * tree.Predict(row);
   }
   return value;
+}
+
+std::vector<double> GbtRegressor::PredictBatch(const Matrix& x) const {
+  const std::size_t n = x.rows();
+  std::vector<double> out(n, base_score_);
+  if (trees_.empty() || n == 0) return out;
+
+  // Flatten the ensemble into parallel node arrays: one contiguous pool,
+  // per-tree root offsets, leaves as self-loops. Flattening is linear in
+  // node count (~tens of KB), negligible next to scoring a batch.
+  std::vector<std::int32_t> feature, left, right, roots;
+  std::vector<double> threshold, weight;
+  std::vector<int> depths;
+  roots.reserve(trees_.size());
+  depths.reserve(trees_.size());
+  for (const RegressionTree& tree : trees_) {
+    roots.push_back(static_cast<std::int32_t>(feature.size()));
+    depths.push_back(tree.depth());
+    tree.AppendFlat(roots.back(), &feature, &threshold, &left, &right,
+                    &weight);
+  }
+
+  // Block of rows descends one tree at a time: every step reads one node
+  // array entry per row (branch-free select), and per-row accumulation
+  // stays in tree order — the exact FP sequence of Predict().
+  constexpr std::size_t kBlock = 256;
+  std::vector<std::int32_t> idx(kBlock);
+  const double lr = params_.learning_rate;
+  const std::size_t cols = x.cols();
+  const double* xd = x.data().data();
+
+#if defined(__AVX2__)
+  // The gathers index with i32 lane offsets; huge matrices fall back to
+  // the scalar path.
+  const bool simd_ok =
+      n * cols < static_cast<std::size_t>(std::numeric_limits<
+                                          std::int32_t>::max());
+#endif
+
+  for (std::size_t b0 = 0; b0 < n; b0 += kBlock) {
+    const std::size_t bn = std::min(kBlock, n - b0);
+    for (std::size_t t = 0; t < trees_.size(); ++t) {
+      const std::int32_t root = roots[t];
+      const int depth = depths[t];
+      std::size_t j = 0;
+#if defined(__AVX2__)
+      if (simd_ok) {
+        // Four rows per vector; only comparisons and index selects are
+        // vectorized, so the result is bit-identical (v <= t with NaN is
+        // false under _CMP_LE_OQ, matching the scalar route-right).
+        const auto* fp = reinterpret_cast<const int*>(feature.data());
+        const auto* lp = reinterpret_cast<const int*>(left.data());
+        const auto* rp = reinterpret_cast<const int*>(right.data());
+        const int icols = static_cast<int>(cols);
+        for (; j + 4 <= bn; j += 4) {
+          __m128i vidx = _mm_set1_epi32(root);
+          const int r0 = static_cast<int>((b0 + j) * cols);
+          const __m128i rowbase =
+              _mm_setr_epi32(r0, r0 + icols, r0 + 2 * icols, r0 + 3 * icols);
+          for (int d = 0; d < depth; ++d) {
+            const __m128i f = _mm_i32gather_epi32(fp, vidx, 4);
+            const __m256d v =
+                _mm256_i32gather_pd(xd, _mm_add_epi32(rowbase, f), 8);
+            const __m256d th =
+                _mm256_i32gather_pd(threshold.data(), vidx, 8);
+            const __m256d le = _mm256_cmp_pd(v, th, _CMP_LE_OQ);
+            const __m128i l = _mm_i32gather_epi32(lp, vidx, 4);
+            const __m128i r = _mm_i32gather_epi32(rp, vidx, 4);
+            // Pack the 4x64-bit compare mask down to 4x32 for the select.
+            const __m256i lei = _mm256_castpd_si256(le);
+            const __m128i m32 = _mm_castps_si128(_mm_shuffle_ps(
+                _mm_castsi128_ps(_mm256_castsi256_si128(lei)),
+                _mm_castsi128_ps(_mm256_extracti128_si256(lei, 1)),
+                _MM_SHUFFLE(2, 0, 2, 0)));
+            vidx = _mm_blendv_epi8(r, l, m32);
+          }
+          alignas(16) std::int32_t lanes[4];
+          _mm_store_si128(reinterpret_cast<__m128i*>(lanes), vidx);
+          for (int lane = 0; lane < 4; ++lane) {
+            out[b0 + j + static_cast<std::size_t>(lane)] +=
+                lr * weight[static_cast<std::size_t>(lanes[lane])];
+          }
+        }
+      }
+#endif
+      for (std::size_t k = j; k < bn; ++k) idx[k] = root;
+      for (int d = 0; d < depth; ++d) {
+        for (std::size_t k = j; k < bn; ++k) {
+          const auto node = static_cast<std::size_t>(idx[k]);
+          const double v =
+              xd[(b0 + k) * cols + static_cast<std::size_t>(feature[node])];
+          idx[k] = v <= threshold[node] ? left[node] : right[node];
+        }
+      }
+      for (std::size_t k = j; k < bn; ++k) {
+        out[b0 + k] += lr * weight[static_cast<std::size_t>(idx[k])];
+      }
+    }
+  }
+  return out;
 }
 
 std::vector<double> GbtRegressor::FeatureImportances() const {

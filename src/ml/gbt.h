@@ -33,8 +33,24 @@ class GbtRegressor final : public Regressor {
                         Loss loss = Loss::Squared())
       : params_(params), loss_(loss) {}
 
+  /// Fits per params_.tree.layout: the default columnar path builds a
+  /// TrainingFrame from x (sorted + quantized columns) and trains on it;
+  /// kRowMajor keeps the legacy row-major scans. Both produce bit-identical
+  /// ensembles unless params_.tree.quantized opts into the binned scan.
   Status Fit(const Matrix& x, const std::vector<double>& y) override;
+
+  /// Fits directly on a prepared columnar frame (zero-copy when the frame
+  /// aliases a shared ColumnarView), bypassing row-major assembly.
+  Status FitWithFrame(const TrainingFrame& frame,
+                      const std::vector<double>& y);
+
   double Predict(std::span<const double> row) const override;
+
+  /// Breadth-first batch scorer: flattens the ensemble into parallel node
+  /// arrays and descends all rows of a block through one tree at a time
+  /// (branch-free, prefetch-friendly; AVX2 when compiled in). Bit-identical
+  /// to calling Predict per row — per-row accumulation stays in tree order.
+  std::vector<double> PredictBatch(const Matrix& x) const override;
   /// Total split gain per feature across the ensemble.
   std::vector<double> FeatureImportances() const override;
   /// Saabas path attribution summed over all trees; exact decomposition of
@@ -60,6 +76,10 @@ class GbtRegressor final : public Regressor {
   static StatusOr<GbtRegressor> Load(std::istream& in);
 
  private:
+  /// Shared boosting loop; exactly one of x / frame is non-null.
+  Status FitImpl(const Matrix* x, const TrainingFrame* frame,
+                 const std::vector<double>& y);
+
   GbtParams params_;
   Loss loss_;
   std::vector<RegressionTree> trees_;

@@ -23,8 +23,9 @@ class Regressor {
   /// Predicts one instance. Must be called after a successful Fit.
   virtual double Predict(std::span<const double> row) const = 0;
 
-  /// Predicts every row of x.
-  std::vector<double> PredictBatch(const Matrix& x) const {
+  /// Predicts every row of x. Implementations may batch the traversal but
+  /// must return exactly Predict(x.row(r)) for every row (bit-identical).
+  virtual std::vector<double> PredictBatch(const Matrix& x) const {
     std::vector<double> out(x.rows());
     for (std::size_t r = 0; r < x.rows(); ++r) out[r] = Predict(x.row(r));
     return out;

@@ -12,10 +12,20 @@
 
 namespace domd {
 
+class TrainingFrame;
+
 /// How a tree enumerates candidate split thresholds.
 enum class SplitMethod {
   kExact,      ///< Sort node samples per feature, scan every boundary.
   kHistogram,  ///< Equal-width histograms per feature (approximate).
+};
+
+/// Physical layout the GBT trainer consumes. Both produce bit-identical
+/// models for every SplitMethod; kRowMajor survives as the reference
+/// implementation (bench baselines, identity tests).
+enum class TreeLayout {
+  kColumnar,  ///< Contiguous presorted per-feature columns (default).
+  kRowMajor,  ///< Legacy row-major Matrix scans.
 };
 
 /// Regression-tree growing parameters (the XGBoost-style regularized
@@ -33,6 +43,15 @@ struct TreeParams {
   /// thread count produces bit-identical trees (per-feature scans are
   /// independent; the cross-feature reduction is serial in feature order).
   int num_threads = 1;
+  /// Physical layout of the training scans. Runtime knob, never
+  /// serialized: both layouts grow bit-identical trees.
+  TreeLayout layout = TreeLayout::kColumnar;
+  /// Opt-in quantized (binned-code) split search over the frame's
+  /// precomputed u8/u16 codes. Reorders the gradient/Hessian accumulation
+  /// (per-bin partial sums instead of the sorted sequential fold), so
+  /// trees are NOT guaranteed bit-identical to the exact/histogram scans —
+  /// which is why it is off by default and never serialized.
+  bool quantized = false;
 };
 
 /// One regression tree fitted to per-sample gradients and Hessians (a
@@ -50,6 +69,18 @@ class RegressionTree {
            const std::vector<std::size_t>& rows,
            const std::vector<std::size_t>& features, const TreeParams& params);
 
+  /// Grows the tree over a columnar TrainingFrame. Bit-identical to Fit on
+  /// the equivalent row-major matrix for both split methods (the exact
+  /// scan walks each column's presorted order filtered by a node
+  /// membership mask, reproducing the per-node sort's accumulation order
+  /// exactly); `params.quantized` switches to the binned-code scan, which
+  /// is approximate by design.
+  void FitFrame(const TrainingFrame& frame, const std::vector<double>& grad,
+                const std::vector<double>& hess,
+                const std::vector<std::size_t>& rows,
+                const std::vector<std::size_t>& features,
+                const TreeParams& params);
+
   /// The tree's output for one instance (no shrinkage applied).
   double Predict(std::span<const double> row) const;
 
@@ -64,6 +95,24 @@ class RegressionTree {
 
   /// Node index of the leaf this instance routes to.
   std::int32_t LeafFor(std::span<const double> row) const;
+
+  /// Predict / LeafFor for one row of a columnar frame (training-time
+  /// traversal without materializing row-major inputs).
+  double PredictFrameRow(const TrainingFrame& frame, std::size_t row) const;
+  std::int32_t LeafForFrameRow(const TrainingFrame& frame,
+                               std::size_t row) const;
+
+  /// Appends this tree's nodes as flat parallel arrays for breadth-first
+  /// batch traversal. `base` is the index the first appended node receives;
+  /// child links are rebased onto it. Leaves become self-loops (feature 0,
+  /// threshold +inf, left = right = self), so iterating depth() steps from
+  /// the root lands every row on its leaf. An empty tree appends one
+  /// zero-weight self-loop (matching Predict() == 0.0).
+  void AppendFlat(std::int32_t base, std::vector<std::int32_t>* feature,
+                  std::vector<double>* threshold,
+                  std::vector<std::int32_t>* left,
+                  std::vector<std::int32_t>* right,
+                  std::vector<double>* weight) const;
 
   /// Overrides a node's weight. Used by losses whose optimal leaf value is
   /// not the Newton step (e.g. the median residual for absolute loss).
@@ -107,6 +156,50 @@ class RegressionTree {
                     std::size_t end,
                     const std::vector<std::size_t>& features,
                     const TreeParams& params, int depth);
+
+  std::int32_t GrowFrame(const TrainingFrame& frame,
+                         const std::vector<double>& grad,
+                         const std::vector<double>& hess,
+                         std::vector<std::size_t>& rows, std::size_t begin,
+                         std::size_t end,
+                         const std::vector<std::size_t>& features,
+                         const TreeParams& params, int depth,
+                         std::vector<std::uint8_t>& mask);
+
+  SplitDecision FindSplitFrame(const TrainingFrame& frame,
+                               const std::vector<double>& grad,
+                               const std::vector<double>& hess,
+                               const std::vector<std::size_t>& rows,
+                               std::size_t begin, std::size_t end,
+                               const std::vector<std::size_t>& features,
+                               const TreeParams& params, double g_total,
+                               double h_total,
+                               const std::vector<std::uint8_t>& mask) const;
+
+  SplitDecision ScanFeatureExactFrame(const TrainingFrame& frame,
+                                      const std::vector<double>& grad,
+                                      const std::vector<double>& hess,
+                                      std::size_t node_size,
+                                      std::size_t feature,
+                                      const TreeParams& params,
+                                      double g_total, double h_total,
+                                      double parent_score,
+                                      const std::vector<std::uint8_t>& mask)
+      const;
+
+  SplitDecision ScanFeatureHistogramFrame(
+      const TrainingFrame& frame, const std::vector<double>& grad,
+      const std::vector<double>& hess, const std::vector<std::size_t>& rows,
+      std::size_t begin, std::size_t end, std::size_t feature,
+      const TreeParams& params, double g_total, double h_total,
+      double parent_score) const;
+
+  SplitDecision ScanFeatureQuantizedFrame(
+      const TrainingFrame& frame, const std::vector<double>& grad,
+      const std::vector<double>& hess, const std::vector<std::size_t>& rows,
+      std::size_t begin, std::size_t end, std::size_t feature,
+      const TreeParams& params, double g_total, double h_total,
+      double parent_score) const;
 
   SplitDecision FindSplitExact(const Matrix& x,
                                const std::vector<double>& grad,

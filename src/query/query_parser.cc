@@ -58,10 +58,14 @@ class Lexer {
           digits.push_back(text_[pos_]);
           ++pos_;
         }
-        if (digits.empty() || digits == "-") {
-          return Status::InvalidArgument("bad number in query");
+        // Checked parse: the digit sweep admits shapes strtod would
+        // silently truncate ("1.2.3" parsed as 1.2); reject them instead.
+        const auto number = ParseDouble(digits);
+        if (!number.ok()) {
+          return Status::InvalidArgument("bad number in query: \"" + digits +
+                                         "\"");
         }
-        token.number = std::strtod(digits.c_str(), nullptr);
+        token.number = *number;
         token.text = digits;
         tokens.push_back(std::move(token));
         continue;

@@ -112,8 +112,10 @@ std::string JsonQuote(std::string_view text) {
 namespace {
 
 std::string FormatNumber(double value) {
+  // The integer fast-path must skip -0.0: casting to long long would emit
+  // "0" and lose the sign on the round-trip (to_chars keeps "-0").
   if (std::isfinite(value) && value == std::floor(value) &&
-      std::fabs(value) < 1e15) {
+      std::fabs(value) < 1e15 && !(value == 0.0 && std::signbit(value))) {
     return std::to_string(static_cast<long long>(value));
   }
   if (!std::isfinite(value)) return "null";  // JSON has no Inf/NaN.

@@ -504,6 +504,12 @@ std::vector<StatusOr<ServePrediction>> ModelBundle::ScoreBatch(
                                               grid(), parallelism);
 
   const TimelineModelSet& models = estimator_->models();
+  // Batched scoring: one PredictPerStep sweep drives the breadth-first
+  // batch scorer over the whole micro-batch per step — bit-identical to
+  // per-row BuildInputRow + Predict traversal. BuildInputRow survives only
+  // for the single attribution input each request still needs.
+  const std::vector<std::vector<double>> per_step_all =
+      models.PredictPerStep(view);
   for (std::size_t row = 0; row < valid_slots.size(); ++row) {
     const std::size_t slot = valid_slots[row];
     const ScoreRequest& request = requests[slot];
@@ -517,18 +523,17 @@ std::vector<StatusOr<ServePrediction>> ModelBundle::ScoreBatch(
     prediction.bundle_version = version_;
 
     std::vector<double> per_step;
-    std::vector<double> last_input;
+    per_step.reserve(static_cast<std::size_t>(last_step) + 1);
     for (int step = 0; step <= last_step; ++step) {
-      const auto s = static_cast<std::size_t>(step);
-      std::vector<double> input = models.BuildInputRow(view, row, s);
-      per_step.push_back(models.model(s).Predict(input));
-      if (step == last_step) last_input = std::move(input);
+      per_step.push_back(per_step_all[static_cast<std::size_t>(step)][row]);
     }
     prediction.num_steps = per_step.size();
     prediction.estimate_days = FusePredictions(config().fusion, per_step);
     prediction.band_low = *std::min_element(per_step.begin(), per_step.end());
     prediction.band_high = *std::max_element(per_step.begin(), per_step.end());
     const auto last = static_cast<std::size_t>(last_step);
+    const std::vector<double> last_input =
+        models.BuildInputRow(view, row, last);
     prediction.top_features =
         TopContributions(models.model(last), last_input,
                          models.input_names(last), request.top_k);

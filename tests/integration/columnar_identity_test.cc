@@ -1,0 +1,122 @@
+// End-to-end identity battery for the columnar training/scoring paths
+// (DESIGN.md §13). The contract: the default columnar layout and the
+// breadth-first batch scorer are pure performance changes — every model a
+// pipeline trains and every prediction it serves must be bit-identical to
+// the row-major reference layout and to per-row traversal, at every thread
+// count. Models are compared by serialized text, doubles by bit pattern.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/test_helpers.h"
+#include "core/timeline.h"
+
+namespace domd {
+namespace {
+
+using testing_internal::FastConfig;
+using testing_internal::MakePipelineFixture;
+using testing_internal::PipelineFixture;
+
+const int kThreadCounts[] = {1, 2, 4};
+
+bool BitIdentical(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+const PipelineFixture& Fixture() {
+  static const PipelineFixture& fixture =
+      *new PipelineFixture(MakePipelineFixture(/*seed=*/1234,
+                                               /*num_avails=*/50,
+                                               /*window_pct=*/50.0));
+  return fixture;
+}
+
+std::string FitAndSerialize(const PipelineConfig& config,
+                            const ModelingView& train,
+                            const std::vector<std::string>& names) {
+  TimelineModelSet models;
+  const Status status = models.Fit(config, train, names);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  std::ostringstream out;
+  EXPECT_TRUE(models.Save(out).ok());
+  return out.str();
+}
+
+class ColumnarIdentityTest
+    : public ::testing::TestWithParam<Architecture> {};
+
+TEST_P(ColumnarIdentityTest, TrainedModelsMatchRowMajorAtEveryThreadCount) {
+  const PipelineFixture& fixture = Fixture();
+  PipelineConfig config = FastConfig();
+  config.window_width_pct = 50.0;
+  config.architecture = GetParam();
+
+  // The reference: row-major scans, serial.
+  PipelineConfig reference = config;
+  reference.gbt.tree.layout = TreeLayout::kRowMajor;
+  reference.parallelism.num_threads = 1;
+  const std::string expected =
+      FitAndSerialize(reference, fixture.train, fixture.dynamic_names);
+
+  for (int threads : kThreadCounts) {
+    PipelineConfig columnar = config;
+    columnar.gbt.tree.layout = TreeLayout::kColumnar;
+    columnar.parallelism.num_threads = threads;
+    EXPECT_EQ(FitAndSerialize(columnar, fixture.train, fixture.dynamic_names),
+              expected)
+        << "columnar fit diverged at threads=" << threads;
+
+    // The row-major path must itself be thread-invariant too.
+    PipelineConfig row = config;
+    row.gbt.tree.layout = TreeLayout::kRowMajor;
+    row.parallelism.num_threads = threads;
+    EXPECT_EQ(FitAndSerialize(row, fixture.train, fixture.dynamic_names),
+              expected)
+        << "row-major fit diverged at threads=" << threads;
+  }
+}
+
+TEST_P(ColumnarIdentityTest, BatchedPredictPerStepMatchesPerRowTraversal) {
+  const PipelineFixture& fixture = Fixture();
+  PipelineConfig config = FastConfig();
+  config.window_width_pct = 50.0;
+  config.architecture = GetParam();
+
+  TimelineModelSet models;
+  const Status status =
+      models.Fit(config, fixture.train, fixture.dynamic_names);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  // Batched scoring (one input matrix per step through PredictBatch)
+  // against the reference per-row walk, on a view the models never saw.
+  const std::vector<std::vector<double>> batched =
+      models.PredictPerStep(fixture.test);
+  ASSERT_EQ(batched.size(), models.num_steps());
+  for (std::size_t step = 0; step < models.num_steps(); ++step) {
+    ASSERT_EQ(batched[step].size(), fixture.test.avail_ids.size());
+    for (std::size_t row = 0; row < fixture.test.avail_ids.size(); ++row) {
+      const std::vector<double> input =
+          models.BuildInputRow(fixture.test, row, step);
+      const double expected = models.model(step).Predict(input);
+      ASSERT_TRUE(BitIdentical(batched[step][row], expected))
+          << "step=" << step << " row=" << row << ": " << batched[step][row]
+          << " vs " << expected;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, ColumnarIdentityTest,
+    ::testing::Values(Architecture::kNonStacked, Architecture::kStacked),
+    [](const ::testing::TestParamInfo<Architecture>& info) {
+      return info.param == Architecture::kStacked ? "Stacked" : "NonStacked";
+    });
+
+}  // namespace
+}  // namespace domd

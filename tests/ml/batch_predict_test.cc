@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/gbt.h"
+
+namespace domd {
+namespace {
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      x.at(r, c) = rng.Uniform() * 10.0 - 5.0;
+    }
+  }
+  return x;
+}
+
+GbtRegressor TrainedModel(const Matrix& x, Loss loss, int depth,
+                          int rounds = 30) {
+  Rng rng(99);
+  std::vector<double> y(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    y[r] = x.at(r, 0) * 3.0 + rng.Uniform();
+  }
+  GbtParams params;
+  params.num_rounds = rounds;
+  params.tree.max_depth = depth;
+  GbtRegressor model(params, loss);
+  EXPECT_TRUE(model.Fit(x, y).ok());
+  return model;
+}
+
+void ExpectBatchMatchesPerRow(const GbtRegressor& model, const Matrix& x) {
+  const std::vector<double> batch = model.PredictBatch(x);
+  ASSERT_EQ(batch.size(), x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double row = model.Predict(x.row(r));
+    if (std::isnan(row)) {
+      EXPECT_TRUE(std::isnan(batch[r])) << "row " << r;
+    } else {
+      EXPECT_EQ(row, batch[r]) << "row " << r;
+    }
+  }
+}
+
+TEST(BatchPredict, BitIdenticalToPerRowTraversal) {
+  const Matrix train = RandomMatrix(200, 9, 3);
+  const GbtRegressor model = TrainedModel(train, Loss::Squared(), 4);
+  ExpectBatchMatchesPerRow(model, train);
+  ExpectBatchMatchesPerRow(model, RandomMatrix(513, 9, 5));
+}
+
+TEST(BatchPredict, DeepAndShallowTrees) {
+  const Matrix train = RandomMatrix(300, 6, 13);
+  ExpectBatchMatchesPerRow(TrainedModel(train, Loss::PseudoHuber(18.0), 1),
+                           RandomMatrix(100, 6, 17));
+  ExpectBatchMatchesPerRow(TrainedModel(train, Loss::Absolute(), 6),
+                           RandomMatrix(100, 6, 19));
+}
+
+TEST(BatchPredict, NanFeaturesRouteRightInBothPaths) {
+  const Matrix train = RandomMatrix(150, 4, 23);
+  const GbtRegressor model = TrainedModel(train, Loss::Squared(), 3);
+  Matrix probe = RandomMatrix(64, 4, 29);
+  for (std::size_t r = 0; r < probe.rows(); r += 3) {
+    probe.at(r, r % 4) = std::numeric_limits<double>::quiet_NaN();
+  }
+  ExpectBatchMatchesPerRow(model, probe);
+}
+
+TEST(BatchPredict, OddBlockSizesAndSingleRow) {
+  const Matrix train = RandomMatrix(120, 5, 31);
+  const GbtRegressor model = TrainedModel(train, Loss::Squared(), 3);
+  ExpectBatchMatchesPerRow(model, RandomMatrix(1, 5, 37));
+  ExpectBatchMatchesPerRow(model, RandomMatrix(3, 5, 41));
+  ExpectBatchMatchesPerRow(model, RandomMatrix(255, 5, 43));
+  ExpectBatchMatchesPerRow(model, RandomMatrix(257, 5, 47));
+}
+
+TEST(BatchPredict, EmptyMatrixYieldsEmpty) {
+  const Matrix train = RandomMatrix(80, 3, 53);
+  const GbtRegressor model = TrainedModel(train, Loss::Squared(), 2);
+  EXPECT_TRUE(model.PredictBatch(Matrix(0, 3)).empty());
+}
+
+TEST(BatchPredict, VirtualDispatchThroughRegressorBase) {
+  const Matrix train = RandomMatrix(90, 4, 59);
+  auto model = std::make_unique<GbtRegressor>();
+  std::vector<double> y(train.rows());
+  for (std::size_t r = 0; r < y.size(); ++r) y[r] = train.at(r, 1);
+  ASSERT_TRUE(model->Fit(train, y).ok());
+  const Regressor* base = model.get();
+  const std::vector<double> via_base = base->PredictBatch(train);
+  const std::vector<double> direct = model->PredictBatch(train);
+  EXPECT_EQ(via_base, direct);
+}
+
+}  // namespace
+}  // namespace domd

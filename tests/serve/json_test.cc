@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
 #include <limits>
 #include <string>
 
@@ -118,6 +121,42 @@ TEST(JsonTest, NonFiniteNumbersSerializeAsNull) {
   EXPECT_EQ(
       JsonValue::Number(std::numeric_limits<double>::infinity()).Serialize(),
       "null");
+  EXPECT_EQ(
+      JsonValue::Number(-std::numeric_limits<double>::infinity()).Serialize(),
+      "null");
+}
+
+TEST(JsonTest, ExtremeDoublesRoundTripBitExactly) {
+  const double cases[] = {
+      std::numeric_limits<double>::denorm_min(),   // 5e-324
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),          // smallest normal
+      std::numeric_limits<double>::max(),          // 1.7976931348623157e308
+      -std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::epsilon(),
+      0.1,                                         // classic repeating binary
+      1.0 / 3.0,
+      86.79170664066879,                           // needs all 17 digits
+      9007199254740993.0,                          // 2^53 + 1 rounds; > 1e15
+      -2.2250738585072011e-308,                    // the strtod stress value
+  };
+  for (const double value : cases) {
+    auto parsed = JsonValue::Parse(JsonValue::Number(value).Serialize());
+    ASSERT_TRUE(parsed.ok()) << value;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed->number_value()),
+              std::bit_cast<std::uint64_t>(value))
+        << "round-trip changed bits of " << value;
+  }
+}
+
+TEST(JsonTest, NegativeZeroKeepsItsSign) {
+  // -0.0 is integer-valued, so a naive integer fast-path would print "0"
+  // and silently flip the sign on the round-trip.
+  EXPECT_EQ(JsonValue::Number(-0.0).Serialize(), "-0");
+  auto parsed = JsonValue::Parse("-0");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(std::signbit(parsed->number_value()));
+  EXPECT_EQ(JsonValue::Number(0.0).Serialize(), "0");
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 // half-close/reset reaping, and deterministic idle-timeout reaping under an
 // injectable clock. No model bundle is involved — the reactor is
 // codec-agnostic, and the NDJSON routing on top of it has its own tests.
+// The one codec-level test here pins the response serializer's non-finite
+// handling at the wire: NaN/Inf predictions must arrive as JSON nulls.
 
 #include "serve/reactor.h"
 
@@ -12,12 +14,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "serve/reactor_test_client.h"
+#include "serve/wire.h"
 
 namespace domd {
 namespace {
@@ -367,6 +371,42 @@ TEST(ReactorTest, ResponderOutlivesReactorSafely) {
   // A completion for a dead reactor is dropped, never dereferenced.
   shared->held.front().Respond("into the void");
   shared->held.front().Respond("double-respond is also fine");
+}
+
+TEST(ReactorTest, NonFinitePredictionServesAsValidJsonNulls) {
+  // A numerically-poisoned prediction (NaN estimate, infinite band) must
+  // cross the wire as parseable JSON with nulls — never bare "nan"/"inf"
+  // tokens, which no JSON client would accept. The handler runs the real
+  // response serializer over a real socket.
+  auto reactor = MustCreate(
+      ReactorOptions{}, [](std::string, Responder responder) {
+        ServePrediction prediction;
+        prediction.avail_id = 9;
+        prediction.t_star = 60.0;
+        prediction.estimate_days = std::numeric_limits<double>::quiet_NaN();
+        prediction.band_low = -std::numeric_limits<double>::infinity();
+        prediction.band_high = std::numeric_limits<double>::infinity();
+        prediction.num_steps = 3;
+        prediction.bundle_version = "v1";
+        responder.Respond(PredictionToJson(prediction, 1.25).Serialize());
+      });
+  TestClient client = TestClient::Connect(reactor->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine(R"({"avail_id": 9, "t_star": 60})"));
+  const auto line = client.ReadLine();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->find("nan"), std::string::npos) << *line;
+  EXPECT_EQ(line->find("inf"), std::string::npos) << *line;
+  const auto doc = JsonValue::Parse(*line);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_NE(doc->Find("estimate_days"), nullptr);
+  EXPECT_TRUE(doc->Find("estimate_days")->is_null());
+  ASSERT_NE(doc->Find("band_low"), nullptr);
+  EXPECT_TRUE(doc->Find("band_low")->is_null());
+  ASSERT_NE(doc->Find("band_high"), nullptr);
+  EXPECT_TRUE(doc->Find("band_high")->is_null());
+  EXPECT_TRUE(doc->BoolOr("ok", false));
+  EXPECT_DOUBLE_EQ(doc->NumberOr("t_star", 0.0), 60.0);
 }
 
 TEST(ReactorTest, WhitespaceOnlyLinesAreIgnored) {
