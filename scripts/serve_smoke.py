@@ -4,6 +4,15 @@
 Usage: serve_smoke.py BUILD_DIR [--inject-faults]
        serve_smoke.py BUILD_DIR --connections N --target-rps R
        serve_smoke.py BUILD_DIR --cluster K
+       serve_smoke.py BUILD_DIR --ingest
+
+The fourth form is the streaming-ingestion mode: it boots domd_serve with
+an ingest log and a retrain root, checks `freshness` reports the bundle
+caught up, streams a brand-new availability and its RCCs over the wire
+via `ingest`, watches `freshness` flip to stale, drives `retrain` (train
+from a pinned store snapshot, write a fresh bundle version, hot-swap it),
+and verifies the swapped bundle predicts for the avail that only ever
+existed as a mutation stream — the continuous-retraining loop end to end.
 
 The third form is the sharded-cluster mode: it launches K domd_serve
 shards (shard 0 with a replica) plus a domd_router fronting them, checks
@@ -683,6 +692,141 @@ def run_cluster_flow(build, bundle_v1, bundle_v2, work, num_shards):
                 process.kill()
 
 
+def run_ingest_flow(server_bin, bundle_v1, work):
+    """Streaming-ingestion mode: boots domd_serve with an ingest log and a
+    retrain root, streams a new availability (plus its RCCs) over the wire,
+    watches `freshness` flip to stale, retrains from a pinned snapshot, and
+    checks the hot-swapped bundle answers with the new version — including
+    a prediction for the avail that only ever existed as a mutation
+    stream."""
+    log_path = work / "ingest.log"
+    retrain_root = work / "retrain"
+    server, port = start_server(
+        server_bin, bundle_v1,
+        ("--ingest-log", str(log_path), "--retrain-root", str(retrain_root),
+         "--merge-threshold", "64"))
+    try:
+        with connect_with_retry(port) as sock:
+            stream = sock.makefile("rw")
+            rpc = make_rpc(stream)
+
+            probe_health(rpc, "v1")
+
+            # A freshly booted store exposes exactly the bundle's fleet, so
+            # the bundle cannot be stale relative to it.
+            fresh = rpc({"cmd": "freshness"})
+            expect(fresh.get("ok") and fresh.get("stale") is False and
+                   fresh.get("bundle_version") == "v1" and
+                   fresh.get("bundle_epoch") == fresh.get("store_epoch") and
+                   fresh.get("pending_mutations") == 0,
+                   f"bad initial freshness: {fresh}")
+
+            baseline = rpc({"avail_id": 3, "t_star": 60})
+            expect(baseline.get("ok") and
+                   baseline.get("bundle_version") == "v1",
+                   f"bad baseline predict: {baseline}")
+
+            # Stream a closed availability the fleet has never seen (the
+            # generated fleet has avails 1..40) together with its RCCs —
+            # closed with a real delay, so the retrain gains a training row.
+            ingest = rpc({
+                "cmd": "ingest",
+                "avails": [{
+                    "id": 41, "ship_id": 9001, "status": "closed",
+                    "planned_start": "2023-01-05",
+                    "planned_end": "2023-04-05",
+                    "actual_start": "2023-01-08",
+                    "actual_end": "2023-04-25",
+                    "ship_class": 2, "rmc_id": 1, "ship_age_years": 17.5,
+                    "avail_type": 0, "homeport": 2, "prior_avail_count": 3,
+                    "contract_value_musd": 30.0, "crew_size": 250,
+                }],
+                "rccs": [
+                    {"id": 900001, "avail_id": 41, "type": "G",
+                     "swlin": "434-11-001", "creation_date": "2023-01-20",
+                     "settled_date": "2023-02-10",
+                     "settled_amount": 125000.0},
+                    {"id": 900002, "avail_id": 41, "type": "N",
+                     "swlin": "234-01-002", "creation_date": "2023-02-15",
+                     "settled_date": "2023-03-20",
+                     "settled_amount": 40000.0},
+                    {"id": 900003, "avail_id": 41, "type": "G",
+                     "swlin": "511-02-003", "creation_date": "2023-03-10"},
+                ],
+            })
+            expect(ingest.get("ok") and ingest.get("appended") == 4 and
+                   ingest.get("store_epoch") != fresh.get("store_epoch"),
+                   f"bad ingest response: {ingest}")
+
+            # A malformed mutation is rejected at the wire without touching
+            # the durable log.
+            rejected = rpc({"cmd": "ingest", "rccs": [
+                {"id": 900004, "type": "G", "swlin": "434-11-001",
+                 "creation_date": "2023-04-01"}]})
+            expect(not rejected.get("ok") and
+                   rejected.get("code") == "INVALID_ARGUMENT",
+                   f"avail-less RCC not rejected: {rejected}")
+
+            # The store moved; the bundle did not: freshness flips.
+            stale = rpc({"cmd": "freshness"})
+            expect(stale.get("ok") and stale.get("stale") is True and
+                   stale.get("bundle_epoch") != stale.get("store_epoch") and
+                   stale.get("appended") == 4,
+                   f"freshness did not flip to stale: {stale}")
+
+            # Retrain from a pinned snapshot and hot-swap the result.
+            retrain = rpc({"cmd": "retrain"})
+            expect(retrain.get("ok") and
+                   retrain.get("bundle_version") not in (None, "v1") and
+                   retrain.get("bundle_epoch") == stale.get("store_epoch")
+                   and retrain.get("trained_avails", 0) >= 30,
+                   f"bad retrain response: {retrain}")
+            version = retrain["bundle_version"]
+
+            # The new bundle serves — and it knows the streamed avail,
+            # which only ever arrived as mutations over this socket.
+            swapped = rpc({"avail_id": 3, "t_star": 60})
+            expect(swapped.get("ok") and
+                   swapped.get("bundle_version") == version,
+                   f"post-retrain predict not on {version}: {swapped}")
+            streamed = rpc({"avail_id": 41, "t_star": 30})
+            expect(streamed.get("ok") and
+                   streamed.get("bundle_version") == version and
+                   streamed.get("num_steps", 0) >= 1,
+                   f"streamed avail not predictable after retrain: "
+                   f"{streamed}")
+
+            # Caught up: the bundle's epoch equals the store's again.
+            caught_up = rpc({"cmd": "freshness"})
+            expect(caught_up.get("ok") and
+                   caught_up.get("stale") is False and
+                   caught_up.get("bundle_version") == version and
+                   caught_up.get("bundle_epoch") ==
+                   caught_up.get("store_epoch"),
+                   f"freshness still stale after retrain: {caught_up}")
+
+            stats = rpc({"cmd": "stats"})
+            counters = stats.get("stats", {})
+            expect(stats.get("ok") and counters.get("swaps", 0) >= 1 and
+                   counters.get("swap_failures") == 0,
+                   f"retrain swap not counted: {stats}")
+
+            done = rpc({"cmd": "shutdown"})
+            expect(done.get("ok") and done.get("shutting_down"),
+                   f"bad shutdown response: {done}")
+
+        expect(server.wait(timeout=30) == 0, "server exited non-zero")
+        expect(log_path.exists(), "ingest log never written")
+        expect((retrain_root / version).is_dir(),
+               f"retrained bundle {version} not on disk")
+        print(f"serve_smoke: ingest loop appended 4 mutations, retrained "
+              f"{version} from the pinned snapshot, and caught freshness "
+              f"back up")
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+
 def pop_flag_value(args, name):
     """Removes `name VALUE` from args, returning VALUE or None."""
     if name not in args:
@@ -698,6 +842,8 @@ def main():
     args = [a for a in sys.argv[1:]]
     inject_faults = "--inject-faults" in args
     args = [a for a in args if a != "--inject-faults"]
+    ingest = "--ingest" in args
+    args = [a for a in args if a != "--ingest"]
     connections = pop_flag_value(args, "--connections")
     target_rps = pop_flag_value(args, "--target-rps")
     cluster = pop_flag_value(args, "--cluster")
@@ -718,6 +864,9 @@ def main():
                "--connections and --target-rps go together")
         run_open_loop(server_bin, bundle_v1, int(connections),
                       float(target_rps))
+    elif ingest:
+        run_ingest_flow(server_bin, bundle_v1, work)
+        print("serve_smoke: PASS (ingest)")
     elif inject_faults:
         run_fault_flow(server_bin, bundle_v1, bundle_v2, work)
         print("serve_smoke: PASS (fault injection)")

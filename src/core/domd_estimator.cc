@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <fstream>
+#include <utility>
 
 #include "cache/view_cache.h"
 #include "data/logical_time.h"
+#include "ingest/data_store.h"
 
 namespace domd {
 
@@ -63,6 +65,19 @@ StatusOr<DomdEstimator> DomdEstimator::Train(
   return estimator;
 }
 
+StatusOr<DomdEstimator> DomdEstimator::Train(
+    std::shared_ptr<const DataSnapshot> snapshot,
+    const PipelineConfig& config,
+    const std::vector<std::int64_t>& train_ids) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("DomdEstimator::Train: null snapshot");
+  }
+  auto estimator = Train(&snapshot->data(), config, train_ids);
+  if (!estimator.ok()) return estimator.status();
+  estimator->snapshot_ = std::move(snapshot);
+  return estimator;
+}
+
 Status DomdEstimator::SaveModels(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
@@ -101,6 +116,33 @@ StatusOr<DomdEstimator> DomdEstimator::LoadModelsFromStream(
                               estimator.grid_, estimator.config_.parallelism,
                               estimator.config_.cache_bytes);
   estimator.models_ = std::move(*models);
+  return estimator;
+}
+
+StatusOr<DomdEstimator> DomdEstimator::LoadModels(
+    std::shared_ptr<const DataSnapshot> snapshot, const std::string& path,
+    const Parallelism& parallelism, std::size_t cache_bytes) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("DomdEstimator::LoadModels: null snapshot");
+  }
+  auto estimator =
+      LoadModels(&snapshot->data(), path, parallelism, cache_bytes);
+  if (!estimator.ok()) return estimator.status();
+  estimator->snapshot_ = std::move(snapshot);
+  return estimator;
+}
+
+StatusOr<DomdEstimator> DomdEstimator::LoadModelsFromStream(
+    std::shared_ptr<const DataSnapshot> snapshot, std::istream& in,
+    const Parallelism& parallelism, std::size_t cache_bytes) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument(
+        "DomdEstimator::LoadModelsFromStream: null snapshot");
+  }
+  auto estimator =
+      LoadModelsFromStream(&snapshot->data(), in, parallelism, cache_bytes);
+  if (!estimator.ok()) return estimator.status();
+  estimator->snapshot_ = std::move(snapshot);
   return estimator;
 }
 

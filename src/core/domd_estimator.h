@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <vector>
 
 #include "core/pipeline_optimizer.h"
@@ -10,6 +11,8 @@
 #include "ml/attribution.h"
 
 namespace domd {
+
+class DataSnapshot;
 
 /// One per-step DoMD estimate with its interpretability payload: the top
 /// contributing features the paper's SMEs review for each availability.
@@ -38,6 +41,15 @@ class DomdEstimator {
   /// outlive the estimator.
   static StatusOr<DomdEstimator> Train(
       const Dataset* data, const PipelineConfig& config,
+      const std::vector<std::int64_t>& train_ids);
+
+  /// Snapshot-isolated variant: trains over the pinned, epoch-stamped cut
+  /// of a DataStore. The estimator keeps the snapshot alive, so "the
+  /// dataset must outlive the estimator" holds by construction and later
+  /// ingestion can never shift the data under a trained model.
+  static StatusOr<DomdEstimator> Train(
+      std::shared_ptr<const DataSnapshot> snapshot,
+      const PipelineConfig& config,
       const std::vector<std::int64_t>& train_ids);
 
   /// DoMD query at a physical date: estimates at 0, x, 2x, ..., t*(as_of).
@@ -71,6 +83,13 @@ class DomdEstimator {
       const Parallelism& parallelism = {},
       std::size_t cache_bytes = kDefaultViewCacheBytes);
 
+  /// Snapshot-isolated variant of LoadModels (see the snapshot Train
+  /// overload for the lifetime contract).
+  static StatusOr<DomdEstimator> LoadModels(
+      std::shared_ptr<const DataSnapshot> snapshot, const std::string& path,
+      const Parallelism& parallelism = {},
+      std::size_t cache_bytes = kDefaultViewCacheBytes);
+
   /// Stream variant of LoadModels: parses the model set from `in` instead
   /// of opening a file. The bundle loader uses this to parse models from
   /// bytes it has already checksum-verified, so a corrupt artifact can
@@ -79,6 +98,18 @@ class DomdEstimator {
       const Dataset* data, std::istream& in,
       const Parallelism& parallelism = {},
       std::size_t cache_bytes = kDefaultViewCacheBytes);
+
+  /// Snapshot-isolated variant of LoadModelsFromStream.
+  static StatusOr<DomdEstimator> LoadModelsFromStream(
+      std::shared_ptr<const DataSnapshot> snapshot, std::istream& in,
+      const Parallelism& parallelism = {},
+      std::size_t cache_bytes = kDefaultViewCacheBytes);
+
+  /// The pinned snapshot this estimator was built from, or nullptr when it
+  /// was constructed over a raw Dataset pointer.
+  const std::shared_ptr<const DataSnapshot>& snapshot() const {
+    return snapshot_;
+  }
 
   /// The immutable all-avails view snapshot (shared with the cache and any
   /// other estimator built over the same dataset/grid/catalog).
@@ -96,6 +127,9 @@ class DomdEstimator {
                                       std::size_t top_k) const;
 
   const Dataset* data_;
+  /// Set by the snapshot overloads: pins the DataStore cut (tables + index)
+  /// `data_` points into for the estimator's lifetime.
+  std::shared_ptr<const DataSnapshot> snapshot_;
   PipelineConfig config_;
   FeatureEngineer engineer_;
   std::vector<double> grid_;

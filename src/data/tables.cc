@@ -1,5 +1,6 @@
 #include "data/tables.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 
@@ -40,6 +41,14 @@ Status AvailTable::Add(Avail avail) {
   }
   by_id_[avail.id] = rows_.size();
   rows_.push_back(std::move(avail));
+  return Status::OK();
+}
+
+Status AvailTable::Upsert(Avail avail) {
+  const auto it = by_id_.find(avail.id);
+  if (it == by_id_.end()) return Add(std::move(avail));
+  DOMD_RETURN_IF_ERROR(ValidateAvail(avail));
+  rows_[it->second] = std::move(avail);
   return Status::OK();
 }
 
@@ -145,6 +154,23 @@ Status RccTable::Add(Rcc rcc) {
   by_id_[rcc.id] = rows_.size();
   by_avail_[rcc.avail_id].push_back(rows_.size());
   rows_.push_back(std::move(rcc));
+  return Status::OK();
+}
+
+Status RccTable::Upsert(Rcc rcc) {
+  const auto it = by_id_.find(rcc.id);
+  if (it == by_id_.end()) return Add(std::move(rcc));
+  DOMD_RETURN_IF_ERROR(ValidateRcc(rcc));
+  const std::size_t row = it->second;
+  const std::int64_t old_avail = rows_[row].avail_id;
+  if (old_avail != rcc.avail_id) {
+    auto& old_rows = by_avail_[old_avail];
+    old_rows.erase(std::remove(old_rows.begin(), old_rows.end(), row),
+                   old_rows.end());
+    if (old_rows.empty()) by_avail_.erase(old_avail);
+    by_avail_[rcc.avail_id].push_back(row);
+  }
+  rows_[row] = std::move(rcc);
   return Status::OK();
 }
 

@@ -22,6 +22,11 @@ class AvailTable {
   /// Appends an avail after validation; rejects duplicate ids.
   Status Add(Avail avail);
 
+  /// Add-or-amend: a fresh id appends, an existing id replaces its row in
+  /// place (insertion order preserved). The ingestion merge path applies
+  /// replayed mutations through this, so re-applying is idempotent.
+  Status Upsert(Avail avail);
+
   const std::vector<Avail>& rows() const { return rows_; }
   std::size_t size() const { return rows_.size(); }
   bool empty() const { return rows_.empty(); }
@@ -52,6 +57,11 @@ class RccTable {
 
   /// Appends an RCC after validation; rejects duplicate ids.
   Status Add(Rcc rcc);
+
+  /// Add-or-amend by RCC id; an amend that moves the RCC to a different
+  /// avail rewires the per-avail grouping. Idempotent like
+  /// AvailTable::Upsert.
+  Status Upsert(Rcc rcc);
 
   const std::vector<Rcc>& rows() const { return rows_; }
   std::size_t size() const { return rows_.size(); }

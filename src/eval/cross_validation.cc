@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "data/logical_time.h"
+#include "ingest/data_store.h"
 #include "obs/trace.h"
 
 namespace domd {
@@ -120,6 +121,15 @@ StatusOr<CvResult> CrossValidate(const Dataset& data,
   result.mean.r2 = sums.r2 / k;
   result.mae_stddev = StdDev(fold_mae);
   return result;
+}
+
+StatusOr<CvResult> CrossValidate(
+    const std::shared_ptr<const DataSnapshot>& snapshot,
+    const PipelineConfig& config, const CvOptions& options) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("CrossValidate: null snapshot");
+  }
+  return CrossValidate(snapshot->data(), config, options);
 }
 
 BootstrapInterval BootstrapMaeInterval(const std::vector<double>& y_true,

@@ -2,12 +2,15 @@
 #define DOMD_EVAL_CROSS_VALIDATION_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/timeline.h"
 #include "ml/metrics.h"
 
 namespace domd {
+
+class DataSnapshot;
 
 /// Cross-validation options.
 struct CvOptions {
@@ -39,6 +42,13 @@ struct CvResult {
 StatusOr<CvResult> CrossValidate(const Dataset& data,
                                  const PipelineConfig& config,
                                  const CvOptions& options);
+
+/// Snapshot-isolated variant: cross-validates the pinned, epoch-stamped cut
+/// of a DataStore, so folds engineered mid-ingestion never see a moving
+/// dataset.
+StatusOr<CvResult> CrossValidate(
+    const std::shared_ptr<const DataSnapshot>& snapshot,
+    const PipelineConfig& config, const CvOptions& options);
 
 /// Percentile-bootstrap confidence interval for the MAE of predictions.
 struct BootstrapInterval {

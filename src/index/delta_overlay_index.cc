@@ -1,0 +1,82 @@
+#include "index/delta_overlay_index.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace domd {
+namespace {
+
+/// The Eq. 3-6 life-cycle predicates over one (start, end) interval; the
+/// same set algebra every built backend answers structurally.
+bool Matches(RccStatusCategory category, const IndexEntry& entry,
+             double t_star) {
+  switch (category) {
+    case RccStatusCategory::kActive:
+      return entry.start <= t_star && t_star < entry.end;
+    case RccStatusCategory::kSettled:
+      return entry.end <= t_star;
+    case RccStatusCategory::kCreated:
+      return entry.start <= t_star;
+    case RccStatusCategory::kNotCreated:
+      return entry.start > t_star;
+  }
+  return false;
+}
+
+}  // namespace
+
+DeltaOverlayIndex::DeltaOverlayIndex(
+    std::shared_ptr<const LogicalTimeIndex> base,
+    std::vector<IndexEntry> overlay, std::vector<std::int64_t> superseded)
+    : base_(std::move(base)), overlay_(std::move(overlay)) {
+  superseded_.insert(superseded.begin(), superseded.end());
+}
+
+void DeltaOverlayIndex::Build(const std::vector<IndexEntry>& entries) {
+  overlay_ = entries;
+}
+
+void DeltaOverlayIndex::Insert(const IndexEntry& entry) {
+  overlay_.push_back(entry);
+}
+
+Status DeltaOverlayIndex::Erase(const IndexEntry& entry) {
+  const auto it = std::find_if(
+      overlay_.begin(), overlay_.end(), [&entry](const IndexEntry& e) {
+        return e.id == entry.id && e.start == entry.start &&
+               e.end == entry.end;
+      });
+  if (it == overlay_.end()) {
+    return Status::NotFound("entry " + std::to_string(entry.id) +
+                            " not in delta overlay");
+  }
+  overlay_.erase(it);
+  return Status::OK();
+}
+
+void DeltaOverlayIndex::Collect(RccStatusCategory category, double t_star,
+                                std::vector<std::int64_t>* out) const {
+  base_->Collect(category, t_star, out);
+  if (!superseded_.empty()) {
+    out->erase(std::remove_if(out->begin(), out->end(),
+                              [this](std::int64_t id) {
+                                return superseded_.count(id) != 0;
+                              }),
+               out->end());
+  }
+  for (const IndexEntry& entry : overlay_) {
+    if (Matches(category, entry, t_star)) out->push_back(entry.id);
+  }
+}
+
+std::size_t DeltaOverlayIndex::size() const {
+  return base_->size() - superseded_.size() + overlay_.size();
+}
+
+std::size_t DeltaOverlayIndex::MemoryUsageBytes() const {
+  return overlay_.capacity() * sizeof(IndexEntry) +
+         superseded_.size() *
+             (sizeof(std::int64_t) + sizeof(void*) * 2);
+}
+
+}  // namespace domd

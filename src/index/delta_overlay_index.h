@@ -1,0 +1,68 @@
+#ifndef DOMD_INDEX_DELTA_OVERLAY_INDEX_H_
+#define DOMD_INDEX_DELTA_OVERLAY_INDEX_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "index/logical_time_index.h"
+
+namespace domd {
+
+/// A logical-time index view that layers in-memory delta entries over an
+/// immutable base index (the memtable/run half of the ingestion LSM,
+/// DESIGN.md §14). The base is shared — typically with the DataStore and
+/// every live snapshot — and is never mutated through this view; Build,
+/// Insert and Erase act on the overlay only.
+///
+/// Retrieval semantics: a base id listed in `superseded` is invisible (its
+/// current interval, if any, lives in the overlay), and overlay entries
+/// are evaluated against the same Eq. 3-6 category predicates the built
+/// backends answer. Collect returns the surviving base ids first (base
+/// order), then matching overlay ids in overlay order, so results are
+/// deterministic for bit-identity checks.
+///
+/// The caller is responsible for superseding a base id before re-adding it
+/// to the overlay; otherwise the id is reported twice.
+class DeltaOverlayIndex final : public LogicalTimeIndex {
+ public:
+  DeltaOverlayIndex(std::shared_ptr<const LogicalTimeIndex> base,
+                    std::vector<IndexEntry> overlay,
+                    std::vector<std::int64_t> superseded);
+
+  /// Replaces the overlay entries (the base is untouched).
+  void Build(const std::vector<IndexEntry>& entries) override;
+
+  /// Adds one overlay entry on top of the base.
+  void Insert(const IndexEntry& entry) override;
+
+  /// Removes a matching overlay entry; NotFound if the overlay has none
+  /// (erasing through to the immutable base is not supported).
+  Status Erase(const IndexEntry& entry) override;
+
+  void Collect(RccStatusCategory category, double t_star,
+               std::vector<std::int64_t>* out) const override;
+
+  /// Visible entries: base minus superseded plus overlay.
+  std::size_t size() const override;
+
+  /// Overlay-side memory only; the base is shared and accounted elsewhere.
+  std::size_t MemoryUsageBytes() const override;
+
+  IndexBackend backend() const override {
+    return IndexBackend::kDeltaOverlay;
+  }
+
+  std::size_t overlay_size() const { return overlay_.size(); }
+  std::size_t superseded_size() const { return superseded_.size(); }
+  const LogicalTimeIndex& base() const { return *base_; }
+
+ private:
+  std::shared_ptr<const LogicalTimeIndex> base_;
+  std::vector<IndexEntry> overlay_;
+  std::unordered_set<std::int64_t> superseded_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_INDEX_DELTA_OVERLAY_INDEX_H_

@@ -1,6 +1,9 @@
 #include "index/logical_time_index.h"
 
+#include <utility>
+
 #include "index/avl_tree_index.h"
+#include "index/delta_overlay_index.h"
 #include "index/interval_tree_index.h"
 #include "index/naive_join_index.h"
 
@@ -14,6 +17,8 @@ const char* IndexBackendToString(IndexBackend backend) {
       return "AVLTree";
     case IndexBackend::kNaiveJoin:
       return "NaiveJoin";
+    case IndexBackend::kDeltaOverlay:
+      return "DeltaOverlay";
   }
   return "?";
 }
@@ -36,17 +41,29 @@ std::size_t LogicalTimeIndex::CountCreated(double t_star) const {
   return ids.size();
 }
 
-std::unique_ptr<LogicalTimeIndex> CreateLogicalTimeIndex(
-    IndexBackend backend) {
+StatusOr<std::unique_ptr<LogicalTimeIndex>> MakeLogicalTimeIndex(
+    IndexBackend backend, DeltaOverlayConfig config) {
   switch (backend) {
     case IndexBackend::kIntervalTree:
-      return std::make_unique<IntervalTreeIndex>();
+      return std::unique_ptr<LogicalTimeIndex>(
+          std::make_unique<IntervalTreeIndex>());
     case IndexBackend::kAvlTree:
-      return std::make_unique<AvlTreeIndex>();
+      return std::unique_ptr<LogicalTimeIndex>(
+          std::make_unique<AvlTreeIndex>());
     case IndexBackend::kNaiveJoin:
-      return std::make_unique<NaiveJoinIndex>();
+      return std::unique_ptr<LogicalTimeIndex>(
+          std::make_unique<NaiveJoinIndex>());
+    case IndexBackend::kDeltaOverlay:
+      if (config.base == nullptr) {
+        return Status::InvalidArgument(
+            "MakeLogicalTimeIndex: kDeltaOverlay needs a base index");
+      }
+      return std::unique_ptr<LogicalTimeIndex>(
+          std::make_unique<DeltaOverlayIndex>(std::move(config.base),
+                                              std::move(config.overlay),
+                                              std::move(config.superseded)));
   }
-  return nullptr;
+  return Status::InvalidArgument("MakeLogicalTimeIndex: unknown backend");
 }
 
 }  // namespace domd

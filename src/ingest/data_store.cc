@@ -1,0 +1,454 @@
+#include "ingest/data_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "cache/fingerprint.h"
+#include "data/logical_time.h"
+#include "fault/fault.h"
+#include "index/group_tree.h"
+
+namespace domd {
+namespace {
+
+/// Binary search in a frozen run (sorted by (kind, id)).
+const IngestMutation* FindInRun(const DeltaRun& run, MutationKind kind,
+                                std::int64_t id) {
+  const std::pair<int, std::int64_t> key{static_cast<int>(kind), id};
+  const auto it = std::lower_bound(
+      run.mutations.begin(), run.mutations.end(), key,
+      [](const IngestMutation& m, const std::pair<int, std::int64_t>& k) {
+        return std::pair<int, std::int64_t>(static_cast<int>(m.kind),
+                                            m.key_id()) < k;
+      });
+  if (it == run.mutations.end() || it->kind != kind || it->key_id() != id) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+/// Applies runs (freeze order) then the memtable cut on top of a copy of
+/// the base. Mutations were validated at append/replay time, so upserts
+/// cannot fail here; a record that still fails (defensive) is skipped
+/// deterministically.
+std::shared_ptr<const Dataset> Materialize(
+    const Dataset& base,
+    const std::vector<std::shared_ptr<const DeltaRun>>& runs,
+    const DeltaRun* memtable_cut) {
+  auto merged = std::make_shared<Dataset>(base);
+  const auto apply = [&merged](const IngestMutation& mutation) {
+    if (mutation.kind == MutationKind::kAvailUpsert) {
+      (void)merged->avails.Upsert(mutation.avail);
+    } else {
+      (void)merged->rccs.Upsert(mutation.rcc);
+    }
+  };
+  for (const auto& run : runs) {
+    for (const IngestMutation& mutation : run->mutations) apply(mutation);
+  }
+  if (memtable_cut != nullptr) {
+    for (const IngestMutation& mutation : memtable_cut->mutations) {
+      apply(mutation);
+    }
+  }
+  return merged;
+}
+
+/// One (t*_start, t*_end, id) entry for an RCC of `data`, exactly as
+/// BuildIndexEntries computes it for the base build.
+bool EntryFor(const Dataset& data, std::int64_t rcc_id, IndexEntry* out) {
+  const auto rcc = data.rccs.Find(rcc_id);
+  if (!rcc.ok()) return false;
+  const auto avail = data.avails.Find((*rcc)->avail_id);
+  if (!avail.ok()) return false;
+  out->id = rcc_id;
+  out->start = LogicalTime(**avail, (*rcc)->creation_date);
+  out->end = (*rcc)->settled_date.has_value()
+                 ? LogicalTime(**avail, *(*rcc)->settled_date)
+                 : IndexEntry::kOpenEnd;
+  return true;
+}
+
+/// Builds the delta-overlay view for a dirty snapshot: pending RCC
+/// upserts supersede their base entries and re-enter with their merged
+/// intervals; a pending avail amend re-times every base RCC under that
+/// avail (their logical-time mapping depends on the avail's planned
+/// window).
+std::shared_ptr<const LogicalTimeIndex> BuildOverlay(
+    const Dataset& base, const Dataset& merged,
+    std::shared_ptr<const LogicalTimeIndex> base_index,
+    const std::vector<std::shared_ptr<const DeltaRun>>& runs,
+    const DeltaRun& memtable_cut) {
+  std::set<std::int64_t> readd;  // ordered: deterministic overlay order.
+  std::unordered_set<std::int64_t> superseded;
+  const auto consider = [&](const IngestMutation& mutation) {
+    if (mutation.kind == MutationKind::kAvailUpsert) {
+      if (!base.avails.Find(mutation.avail.id).ok()) return;
+      for (const std::size_t row :
+           base.rccs.RowsForAvail(mutation.avail.id)) {
+        const std::int64_t id = base.rccs.rows()[row].id;
+        superseded.insert(id);
+        readd.insert(id);
+      }
+    } else {
+      if (base.rccs.Find(mutation.rcc.id).ok()) {
+        superseded.insert(mutation.rcc.id);
+      }
+      readd.insert(mutation.rcc.id);
+    }
+  };
+  for (const auto& run : runs) {
+    for (const IngestMutation& mutation : run->mutations) {
+      consider(mutation);
+    }
+  }
+  for (const IngestMutation& mutation : memtable_cut.mutations) {
+    consider(mutation);
+  }
+
+  DeltaOverlayConfig config;
+  config.base = std::move(base_index);
+  config.superseded.assign(superseded.begin(), superseded.end());
+  config.overlay.reserve(readd.size());
+  for (const std::int64_t id : readd) {
+    IndexEntry entry;
+    if (EntryFor(merged, id, &entry)) config.overlay.push_back(entry);
+  }
+  auto overlay =
+      MakeLogicalTimeIndex(IndexBackend::kDeltaOverlay, std::move(config));
+  return std::shared_ptr<const LogicalTimeIndex>(std::move(*overlay));
+}
+
+std::shared_ptr<const LogicalTimeIndex> BuildBaseIndex(
+    const Dataset& data, IndexBackend backend) {
+  auto index = MakeLogicalTimeIndex(backend).value();
+  index->Build(BuildIndexEntries(data));
+  return std::shared_ptr<const LogicalTimeIndex>(std::move(index));
+}
+
+}  // namespace
+
+std::uint64_t DataStore::EpochOf(const Dataset& data) {
+  // Dropping the address-keyed memo entry first is load-bearing: an
+  // in-place amend can preserve the memo's cheap probes (cardinalities +
+  // boundary ids), and only this invalidation guarantees the epoch — and
+  // with it every ViewCache key — reflects the amended content.
+  InvalidateFingerprint(data);
+  return DatasetFingerprint(data);
+}
+
+StatusOr<std::unique_ptr<DataStore>> DataStore::Open(
+    Dataset base, DataStoreOptions options) {
+  if (options.index_backend == IndexBackend::kDeltaOverlay) {
+    return Status::InvalidArgument(
+        "DataStore: the base index backend must be self-contained");
+  }
+  auto store = std::unique_ptr<DataStore>(new DataStore());
+  store->options_ = std::move(options);
+  store->base_ = std::make_shared<const Dataset>(std::move(base));
+  store->base_epoch_ = EpochOf(*store->base_);
+  store->base_index_ =
+      BuildBaseIndex(*store->base_, store->options_.index_backend);
+  if (!store->options_.log_path.empty()) {
+    IngestLog::ReplayResult replay;
+    auto log = IngestLog::Open(store->options_.log_path, &replay);
+    if (!log.ok()) return log.status();
+    store->log_ = std::move(*log);
+    for (IngestMutation& mutation : replay.records) {
+      store->memtable_.Apply(std::move(mutation));
+    }
+    store->replayed_ = replay.records.size();
+    if (store->replayed_ > 0) store->generation_ = 1;
+  }
+  if (store->options_.merge_threshold > 0) {
+    store->merger_ = std::thread([s = store.get()] { s->MergerLoop(); });
+  }
+  return store;
+}
+
+StatusOr<std::unique_ptr<DataStore>> DataStore::OpenDir(
+    const std::string& dir, DataStoreOptions options) {
+  auto avails = AvailTable::ReadFile(dir + "/avails.csv");
+  if (!avails.ok()) return avails.status();
+  auto rccs = RccTable::ReadFile(dir + "/rccs.csv");
+  if (!rccs.ok()) return rccs.status();
+  Dataset base;
+  base.avails = std::move(*avails);
+  base.rccs = std::move(*rccs);
+  if (options.log_path.empty()) {
+    const std::string log_path = dir + "/ingest.log";
+    if (!options.adopt_existing_log_only ||
+        std::filesystem::exists(log_path)) {
+      options.log_path = log_path;
+    }
+  }
+  if (options.persist_dir.empty()) options.persist_dir = dir;
+  return Open(std::move(base), std::move(options));
+}
+
+DataStore::~DataStore() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    merge_cv_.notify_all();
+  }
+  if (merger_.joinable()) merger_.join();
+}
+
+bool DataStore::HasAvailLocked(std::int64_t avail_id) const {
+  if (memtable_.Find(MutationKind::kAvailUpsert, avail_id) != nullptr) {
+    return true;
+  }
+  for (const auto& run : runs_) {
+    if (FindInRun(*run, MutationKind::kAvailUpsert, avail_id) != nullptr) {
+      return true;
+    }
+  }
+  return base_->avails.Find(avail_id).ok();
+}
+
+std::size_t DataStore::PendingLocked() const {
+  std::size_t pending = memtable_.size();
+  for (const auto& run : runs_) pending += run->mutations.size();
+  return pending;
+}
+
+Status DataStore::Append(const IngestMutation& mutation) {
+  return AppendBatch({mutation});
+}
+
+Status DataStore::AppendBatch(
+    const std::vector<IngestMutation>& mutations) {
+  if (mutations.empty()) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unordered_set<std::int64_t> batch_avails;
+    for (const IngestMutation& mutation : mutations) {
+      DOMD_RETURN_IF_ERROR(ValidateMutation(mutation));
+      if (mutation.kind == MutationKind::kAvailUpsert) {
+        batch_avails.insert(mutation.avail.id);
+      } else if (batch_avails.count(mutation.rcc.avail_id) == 0 &&
+                 !HasAvailLocked(mutation.rcc.avail_id)) {
+        return Status::NotFound(
+            "ingest: RCC " + std::to_string(mutation.rcc.id) +
+            " references unknown avail " +
+            std::to_string(mutation.rcc.avail_id));
+      }
+    }
+  }
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  if (log_ != nullptr) {
+    DOMD_RETURN_IF_ERROR(log_->AppendBatch(mutations));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const IngestMutation& mutation : mutations) {
+      memtable_.Apply(mutation);
+    }
+    appended_ += mutations.size();
+    ++generation_;
+    if (options_.merge_threshold > 0 &&
+        PendingLocked() >= options_.merge_threshold) {
+      merge_cv_.notify_all();
+    }
+  }
+  return Status::OK();
+}
+
+void DataStore::FlushDelta() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (memtable_.empty()) return;
+  runs_.push_back(memtable_.Freeze());
+  // Content is unchanged (the run holds exactly the memtable's rows), so
+  // the cached snapshot stays valid and the generation does not move.
+}
+
+std::shared_ptr<const DataSnapshot> DataStore::Snapshot() const {
+  std::shared_ptr<const Dataset> base;
+  std::shared_ptr<const LogicalTimeIndex> base_index;
+  std::vector<std::shared_ptr<const DeltaRun>> runs;
+  std::shared_ptr<const DeltaRun> memtable_cut;
+  std::uint64_t generation = 0;
+  std::uint64_t base_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cached_snapshot_ != nullptr && cached_generation_ == generation_) {
+      return cached_snapshot_;
+    }
+    generation = generation_;
+    base = base_;
+    base_index = base_index_;
+    base_epoch = base_epoch_;
+    runs = runs_;
+    memtable_cut = memtable_.Snapshot();
+  }
+
+  std::size_t depth = memtable_cut->mutations.size();
+  for (const auto& run : runs) depth += run->mutations.size();
+
+  auto snapshot = std::shared_ptr<DataSnapshot>(new DataSnapshot());
+  snapshot->base_epoch_ = base_epoch;
+  snapshot->delta_depth_ = depth;
+  if (depth == 0) {
+    snapshot->data_ = base;
+    snapshot->index_ = base_index;
+    snapshot->epoch_ = base_epoch;
+  } else {
+    // Materialization happens outside the lock: appends keep landing in
+    // the memtable while this cut is assembled.
+    auto merged = Materialize(*base, runs, memtable_cut.get());
+    snapshot->epoch_ = EpochOf(*merged);
+    snapshot->index_ =
+        BuildOverlay(*base, *merged, base_index, runs, *memtable_cut);
+    snapshot->data_ = std::move(merged);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation_ == generation) {
+    cached_snapshot_ = snapshot;
+    cached_generation_ = generation;
+  }
+  // Even if newer appends arrived meanwhile, this is a valid consistent
+  // cut as of the call — return it without caching.
+  return snapshot;
+}
+
+StatusOr<MergeStats> DataStore::Merge() {
+  std::lock_guard<std::mutex> merge_lock(merge_mu_);
+
+  std::shared_ptr<const Dataset> base;
+  std::vector<std::shared_ptr<const DeltaRun>> runs;
+  MergeStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!memtable_.empty()) runs_.push_back(memtable_.Freeze());
+    base = base_;
+    runs = runs_;
+    stats.old_epoch = base_epoch_;
+    stats.new_epoch = base_epoch_;
+  }
+  for (const auto& run : runs) {
+    stats.merged_mutations += run->mutations.size();
+  }
+  if (stats.merged_mutations == 0) return stats;
+
+  // The expensive half runs without any store lock: copy + apply + epoch
+  // fingerprint + full index rebuild over the merged tables.
+  auto merged = Materialize(*base, runs, nullptr);
+  const std::uint64_t new_epoch = EpochOf(*merged);
+  auto new_index = BuildBaseIndex(*merged, options_.index_backend);
+
+  const Status fault = DOMD_FAULT_POINT("ingest.merge.commit").Check();
+  if (!fault.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++merge_failures_;
+    return fault;
+  }
+
+  if (!options_.persist_dir.empty()) {
+    Status persisted = WriteFileDurably(
+        options_.persist_dir + "/avails.csv",
+        merged->avails.ToCsv().Serialize());
+    if (persisted.ok()) {
+      persisted = WriteFileDurably(options_.persist_dir + "/rccs.csv",
+                                   merged->rccs.ToCsv().Serialize());
+    }
+    if (!persisted.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++merge_failures_;
+      return persisted;
+    }
+    stats.persisted = true;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    base_ = std::move(merged);
+    base_index_ = std::move(new_index);
+    base_epoch_ = new_epoch;
+    runs_.erase(runs_.begin(),
+                runs_.begin() + static_cast<std::ptrdiff_t>(runs.size()));
+    ++generation_;
+    ++merges_;
+    merge_cv_.notify_all();
+  }
+
+  if (stats.persisted && log_ != nullptr) {
+    // The merged prefix is durable in the CSVs now; rotate the log down
+    // to the records that arrived after the cut. Replaying a log that
+    // still holds merged records is harmless (upserts are idempotent),
+    // so a crash anywhere in this window cannot lose state.
+    std::lock_guard<std::mutex> append_lock(append_mu_);
+    std::vector<IngestMutation> still_pending;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& run : runs_) {
+        still_pending.insert(still_pending.end(), run->mutations.begin(),
+                             run->mutations.end());
+      }
+      const auto cut = memtable_.Snapshot();
+      still_pending.insert(still_pending.end(), cut->mutations.begin(),
+                           cut->mutations.end());
+    }
+    DOMD_RETURN_IF_ERROR(log_->Reset());
+    DOMD_RETURN_IF_ERROR(log_->AppendBatch(still_pending));
+  }
+
+  stats.new_epoch = new_epoch;
+  return stats;
+}
+
+std::uint64_t DataStore::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_epoch_;
+}
+
+std::size_t DataStore::pending_mutations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PendingLocked();
+}
+
+IngestStats DataStore::stats() const {
+  IngestStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.appended = appended_;
+    out.replayed = replayed_;
+    out.merges = merges_;
+    out.merge_failures = merge_failures_;
+    out.pending = PendingLocked();
+    out.epoch = base_epoch_;
+  }
+  if (log_ != nullptr) {
+    std::lock_guard<std::mutex> append_lock(append_mu_);
+    out.log_bytes = log_->size_bytes();
+  }
+  return out;
+}
+
+void DataStore::MergerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    merge_cv_.wait(lock, [this] {
+      return stopping_ ||
+             PendingLocked() >= options_.merge_threshold;
+    });
+    if (stopping_) break;
+    lock.unlock();
+    const auto merged = Merge();
+    lock.lock();
+    if (!merged.ok()) {
+      // Injected or real commit failure: hold position until new appends
+      // change the picture instead of spinning on the same delta.
+      const std::uint64_t generation = generation_;
+      merge_cv_.wait(lock, [this, generation] {
+        return stopping_ || generation_ != generation;
+      });
+    }
+  }
+}
+
+}  // namespace domd

@@ -1,0 +1,199 @@
+#ifndef DOMD_INGEST_DATA_STORE_H_
+#define DOMD_INGEST_DATA_STORE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "data/tables.h"
+#include "index/logical_time_index.h"
+#include "ingest/delta_index.h"
+#include "ingest/ingest_log.h"
+#include "ingest/mutation.h"
+
+namespace domd {
+
+/// Construction knobs for a DataStore.
+struct DataStoreOptions {
+  /// Append-only mutation log. Empty disables durability (in-memory
+  /// store); otherwise the log is replayed on open and every Append is
+  /// fsync'd through it before becoming visible.
+  std::string log_path;
+  /// Where Merge persists the compacted base tables (avails.csv +
+  /// rccs.csv, durably). Empty means merges stay in-memory and the log is
+  /// never truncated, so a restart can still rebuild the full state.
+  std::string persist_dir;
+  /// Backend of the base logical-time index snapshots expose (the delta
+  /// overlay wraps it while mutations are pending).
+  IndexBackend index_backend = IndexBackend::kAvlTree;
+  /// When > 0, a background merger thread compacts the delta into the
+  /// base whenever at least this many mutations are pending.
+  std::size_t merge_threshold = 0;
+  /// OpenDir only: when true, dir/ingest.log is attached only if it
+  /// already exists. Read-only consumers still replay pending mutations
+  /// but never create an empty log as a side effect.
+  bool adopt_existing_log_only = false;
+};
+
+/// What one Merge accomplished.
+struct MergeStats {
+  std::size_t merged_mutations = 0;
+  std::uint64_t old_epoch = 0;
+  std::uint64_t new_epoch = 0;
+  bool persisted = false;  ///< base tables rewritten + log truncated.
+};
+
+/// Ingestion counters (monotonic over the store's lifetime).
+struct IngestStats {
+  std::uint64_t appended = 0;   ///< mutations accepted via Append*.
+  std::uint64_t replayed = 0;   ///< mutations recovered from the log.
+  std::uint64_t merges = 0;     ///< successful merges.
+  std::uint64_t merge_failures = 0;
+  std::size_t pending = 0;      ///< mutations not yet merged into base.
+  std::uint64_t epoch = 0;      ///< current base epoch.
+  std::size_t log_bytes = 0;
+};
+
+/// An immutable, epoch-stamped view of the store: the avail/RCC tables at
+/// one consistent cut plus a logical-time index over the RCCs at that cut
+/// (the base index when clean, a DeltaOverlayIndex layering pending
+/// mutations over the shared base when dirty). The epoch *is* the PR-4
+/// dataset fingerprint of the exposed tables, so every downstream cache
+/// keyed on DatasetFingerprint invalidates exactly when the data changes
+/// and stays warm when it does not.
+///
+/// Snapshots pin their state: merges and appends after the pin never
+/// mutate what a live snapshot sees. Deeply const and safe to share
+/// across threads.
+class DataSnapshot {
+ public:
+  std::uint64_t epoch() const { return epoch_; }
+  const Dataset& data() const { return *data_; }
+  /// Shared ownership for consumers that outlive the store (estimators
+  /// hold this so "the dataset must outlive the estimator" is automatic).
+  const std::shared_ptr<const Dataset>& shared_data() const { return data_; }
+  /// Logical-time index over the snapshot's RCCs.
+  const LogicalTimeIndex& rcc_index() const { return *index_; }
+  /// Epoch of the merged base under this snapshot (== epoch() if clean).
+  std::uint64_t base_epoch() const { return base_epoch_; }
+  /// Pending mutations overlaid on the base in this snapshot.
+  std::size_t delta_depth() const { return delta_depth_; }
+
+ private:
+  friend class DataStore;
+  DataSnapshot() = default;
+
+  std::shared_ptr<const Dataset> data_;
+  std::shared_ptr<const LogicalTimeIndex> index_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t base_epoch_ = 0;
+  std::size_t delta_depth_ = 0;
+};
+
+/// The single entry point through which the pipeline reads data
+/// (DESIGN.md §14). A DataStore owns an immutable base dataset + index, a
+/// DeltaIndex memtable absorbing appends, frozen delta runs awaiting
+/// compaction, and (optionally) the crash-safe IngestLog that makes every
+/// accepted append durable before it becomes visible.
+///
+/// Concurrency contract: Append/AppendBatch, Snapshot and Merge may all
+/// race freely. Readers pin an epoch via Snapshot() and never block on
+/// writers; the background merger (or an explicit Merge) compacts
+/// base+runs into a fresh immutable base and bumps the epoch — it never
+/// mutates state a live snapshot references.
+class DataStore {
+ public:
+  /// Opens a store over an in-memory base. If options.log_path names an
+  /// existing log, its records are replayed into the delta (so restart
+  /// reproduces the pre-crash state given the same base).
+  static StatusOr<std::unique_ptr<DataStore>> Open(
+      Dataset base, DataStoreOptions options = {});
+
+  /// Opens the CSV-backed store of a data directory: avails.csv +
+  /// rccs.csv as the base, dir/ingest.log as the mutation log and `dir`
+  /// as the merge persistence target (unless overridden in `options`).
+  static StatusOr<std::unique_ptr<DataStore>> OpenDir(
+      const std::string& dir, DataStoreOptions options = {});
+
+  ~DataStore();
+  DataStore(const DataStore&) = delete;
+  DataStore& operator=(const DataStore&) = delete;
+
+  /// The current consistent cut. Repeated calls without intervening
+  /// mutations return the same cached snapshot (pinning is O(1)).
+  std::shared_ptr<const DataSnapshot> Snapshot() const;
+
+  /// Validates, durably logs, then applies one mutation to the memtable.
+  Status Append(const IngestMutation& mutation);
+
+  /// Batch variant: all-or-nothing validation, one log fsync.
+  Status AppendBatch(const std::vector<IngestMutation>& mutations);
+
+  /// Freezes the memtable into an immutable run (no epoch change; the
+  /// background merger does this implicitly before compacting).
+  void FlushDelta();
+
+  /// Compacts base + runs + memtable into a fresh immutable base,
+  /// rebuilds the base index, bumps the epoch to the new fingerprint and
+  /// — when a persist_dir is configured — durably rewrites the base CSVs
+  /// and truncates the log. Guarded by the ingest.merge.commit fault
+  /// point: a failed merge leaves the base, the log and every pinned
+  /// snapshot intact.
+  StatusOr<MergeStats> Merge();
+
+  /// Current base epoch (cheap; no materialization).
+  std::uint64_t epoch() const;
+
+  /// Mutations not yet compacted into the base (runs + memtable).
+  std::size_t pending_mutations() const;
+
+  IngestStats stats() const;
+  const DataStoreOptions& options() const { return options_; }
+
+  /// The canonical epoch of a dataset: drops any stale address-keyed
+  /// fingerprint memo entry first, then fingerprints the content. Every
+  /// epoch bump goes through here, which is what makes an in-place amend
+  /// unable to resurrect a stale cached view (the ViewCache regression).
+  static std::uint64_t EpochOf(const Dataset& data);
+
+ private:
+  DataStore() = default;
+
+  /// True if the avail id is visible in base, runs or memtable.
+  bool HasAvailLocked(std::int64_t avail_id) const;
+  std::size_t PendingLocked() const;
+  void MergerLoop();
+
+  DataStoreOptions options_;
+  std::unique_ptr<IngestLog> log_;
+
+  mutable std::mutex mu_;
+  mutable std::mutex append_mu_;  ///< orders log writes with memtable
+                                  ///< applies (stats reads log size).
+  std::mutex merge_mu_;   ///< serializes merges.
+  std::shared_ptr<const Dataset> base_;
+  std::shared_ptr<const LogicalTimeIndex> base_index_;
+  std::uint64_t base_epoch_ = 0;
+  std::vector<std::shared_ptr<const DeltaRun>> runs_;
+  DeltaIndex memtable_;
+  std::uint64_t generation_ = 0;  ///< bumped on every visible change.
+  mutable std::shared_ptr<const DataSnapshot> cached_snapshot_;
+  mutable std::uint64_t cached_generation_ = 0;
+  std::uint64_t appended_ = 0;
+  std::uint64_t replayed_ = 0;
+  std::uint64_t merges_ = 0;
+  std::uint64_t merge_failures_ = 0;
+
+  std::condition_variable merge_cv_;
+  bool stopping_ = false;
+  std::thread merger_;  ///< last member: joins before teardown.
+};
+
+}  // namespace domd
+
+#endif  // DOMD_INGEST_DATA_STORE_H_

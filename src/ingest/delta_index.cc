@@ -1,0 +1,38 @@
+#include "ingest/delta_index.h"
+
+namespace domd {
+
+void DeltaIndex::Apply(IngestMutation mutation) {
+  const Key key{static_cast<int>(mutation.kind), mutation.key_id()};
+  entries_[key] = std::move(mutation);
+}
+
+const IngestMutation* DeltaIndex::Find(MutationKind kind,
+                                       std::int64_t id) const {
+  const auto it = entries_.find(Key{static_cast<int>(kind), id});
+  if (it == entries_.end()) return nullptr;
+  return &it->second;
+}
+
+std::shared_ptr<const DeltaRun> DeltaIndex::Snapshot() const {
+  auto run = std::make_shared<DeltaRun>();
+  run->mutations.reserve(entries_.size());
+  for (const auto& [key, mutation] : entries_) {
+    run->mutations.push_back(mutation);
+  }
+  return run;
+}
+
+std::shared_ptr<const DeltaRun> DeltaIndex::Freeze() {
+  auto run = Snapshot();
+  entries_.clear();
+  return run;
+}
+
+std::size_t DeltaIndex::MemoryUsageBytes() const {
+  // Red-black node overhead (3 pointers + color) plus the payload.
+  return entries_.size() *
+         (sizeof(IngestMutation) + sizeof(Key) + 4 * sizeof(void*));
+}
+
+}  // namespace domd

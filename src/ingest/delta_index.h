@@ -1,0 +1,55 @@
+#ifndef DOMD_INGEST_DELTA_INDEX_H_
+#define DOMD_INGEST_DELTA_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "ingest/mutation.h"
+
+namespace domd {
+
+/// An immutable, sorted run of mutations frozen out of the memtable — the
+/// "sorted string table" of the ingestion LSM. Runs are shared by const
+/// pointer between the store and any snapshot that overlays them; they are
+/// never mutated after freezing.
+struct DeltaRun {
+  /// Sorted by (kind, id); one mutation per key (later upserts replaced
+  /// earlier ones inside the memtable).
+  std::vector<IngestMutation> mutations;
+};
+
+/// The memtable of the ingestion path: a sorted in-memory tree keyed like
+/// the built indexes (mutation kind, then record id) that absorbs appends
+/// in O(log n) without blocking readers — readers only ever see immutable
+/// frozen copies. Not internally synchronized; the DataStore guards it.
+class DeltaIndex {
+ public:
+  /// Upserts a mutation; a later record for the same (kind, id) replaces
+  /// the earlier one, so the memtable holds the newest version only.
+  void Apply(IngestMutation mutation);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Latest pending version for a key, or nullptr.
+  const IngestMutation* Find(MutationKind kind, std::int64_t id) const;
+
+  /// Immutable sorted copy of the current contents (for snapshots).
+  std::shared_ptr<const DeltaRun> Snapshot() const;
+
+  /// Freezes the contents into an immutable run and clears the memtable.
+  std::shared_ptr<const DeltaRun> Freeze();
+
+  std::size_t MemoryUsageBytes() const;
+
+ private:
+  using Key = std::pair<int, std::int64_t>;  ///< (kind, record id).
+  std::map<Key, IngestMutation> entries_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_INGEST_DELTA_INDEX_H_

@@ -1,0 +1,307 @@
+#include "ingest/ingest_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "fault/fault.h"
+
+namespace domd {
+namespace {
+
+constexpr char kHeader[] = "domd-ingest-log v1\n";
+
+std::uint64_t Fnv1a(std::string_view bytes) {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+std::string HexU64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string EncodeRecord(const IngestMutation& mutation) {
+  const std::string payload = EncodeMutation(mutation);
+  return std::to_string(payload.size()) + " " + HexU64(Fnv1a(payload)) +
+         " " + payload + "\n";
+}
+
+Status FsyncFd(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) {
+    return Status::IoError("fsync failed for " + what + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FsyncParentDir(const std::string& path) {
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("open dir for fsync failed: " + dir + ": " +
+                           std::strerror(errno));
+  }
+  const Status synced = FsyncFd(fd, "dir " + dir);
+  ::close(fd);
+  return synced;
+}
+
+Status WriteAll(int fd, std::string_view bytes, const std::string& what) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("write failed for " + what + ": " +
+                             std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// One complete record line (no trailing '\n'): length, checksum and
+/// payload all consistent.
+bool LineIsValidRecord(std::string_view line) {
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  std::size_t payload_len = 0;
+  const auto [ptr, ec] = std::from_chars(
+      line.data(), line.data() + sp1, payload_len);
+  if (ec != std::errc() || ptr != line.data() + sp1) return false;
+  if (line.size() != sp1 + 1 + 16 + 1 + payload_len) return false;
+  if (line[sp1 + 17] != ' ') return false;
+  const std::string_view payload = line.substr(sp1 + 18);
+  std::uint64_t checksum = 0;
+  const std::string_view checksum_text = line.substr(sp1 + 1, 16);
+  const auto [cptr, cec] =
+      std::from_chars(checksum_text.data(),
+                      checksum_text.data() + checksum_text.size(),
+                      checksum, 16);
+  if (cec != std::errc() || checksum != Fnv1a(payload)) return false;
+  return DecodeMutation(payload).ok();
+}
+
+/// Walks the record region after the header, validating length + checksum
+/// line by line. Returns the byte offset just past the last intact record;
+/// `*torn` reports whether a bad or incomplete record cut the walk short.
+std::size_t ScanRecords(std::string_view contents, std::size_t begin,
+                        std::vector<IngestMutation>* records, bool* torn) {
+  std::size_t offset = begin;
+  *torn = false;
+  while (offset < contents.size()) {
+    const std::size_t line_start = offset;
+    // "<len> <hex16> <payload>\n"
+    const std::size_t sp1 = contents.find(' ', offset);
+    if (sp1 == std::string_view::npos) {
+      *torn = true;
+      return line_start;
+    }
+    std::size_t payload_len = 0;
+    {
+      const std::string_view len_text =
+          contents.substr(offset, sp1 - offset);
+      const auto [ptr, ec] = std::from_chars(
+          len_text.data(), len_text.data() + len_text.size(), payload_len);
+      if (ec != std::errc() ||
+          ptr != len_text.data() + len_text.size()) {
+        *torn = true;
+        return line_start;
+      }
+    }
+    const std::size_t checksum_begin = sp1 + 1;
+    const std::size_t payload_begin = checksum_begin + 17;
+    const std::size_t line_end = payload_begin + payload_len;
+    if (line_end + 1 > contents.size() ||
+        contents[checksum_begin + 16] != ' ' ||
+        contents[line_end] != '\n') {
+      *torn = true;
+      return line_start;
+    }
+    const std::string_view payload =
+        contents.substr(payload_begin, payload_len);
+    const std::string_view checksum_text =
+        contents.substr(checksum_begin, 16);
+    std::uint64_t checksum = 0;
+    const auto [ptr, ec] =
+        std::from_chars(checksum_text.data(),
+                        checksum_text.data() + checksum_text.size(),
+                        checksum, 16);
+    if (ec != std::errc() || checksum != Fnv1a(payload)) {
+      *torn = true;
+      return line_start;
+    }
+    auto mutation = DecodeMutation(payload);
+    if (!mutation.ok()) {
+      *torn = true;
+      return line_start;
+    }
+    records->push_back(std::move(*mutation));
+    offset = line_end + 1;
+  }
+  return offset;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<IngestLog>> IngestLog::Open(
+    const std::string& path, ReplayResult* replay) {
+  *replay = ReplayResult();
+  const Status fault = DOMD_FAULT_POINT("ingest.log.replay").Check();
+  if (!fault.ok()) return fault;
+
+  std::string contents;
+  bool existed = false;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      existed = true;
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      contents = buffer.str();
+      if (!in && !in.eof()) {
+        return Status::IoError("read failed for ingest log " + path);
+      }
+    }
+  }
+
+  if (contents.empty()) existed = false;  // empty file: write a header.
+
+  std::size_t good_end = 0;
+  if (existed) {
+    const std::string_view header(kHeader);
+    if (contents.size() < header.size() ||
+        std::string_view(contents).substr(0, header.size()) != header) {
+      return Status::DataLoss("ingest log " + path +
+                              " has an unrecognized header");
+    }
+    bool torn = false;
+    good_end = ScanRecords(contents, header.size(), &replay->records,
+                           &torn);
+    if (torn) {
+      // A torn *tail* is the expected crash artifact and truncates
+      // cleanly. Intact records after the bad region mean mid-file
+      // corruption instead — refusing beats silently dropping durable
+      // records, mirroring the bundle checksum contract.
+      std::string_view rest = std::string_view(contents).substr(good_end);
+      while (!rest.empty()) {
+        const std::size_t eol = rest.find('\n');
+        if (eol == std::string_view::npos) break;
+        rest.remove_prefix(eol + 1);
+        const std::size_t next_eol = rest.find('\n');
+        if (next_eol != std::string_view::npos &&
+            LineIsValidRecord(rest.substr(0, next_eol))) {
+          return Status::DataLoss(
+              "ingest log " + path +
+              " is corrupt mid-file (valid records follow a bad one)");
+        }
+      }
+      replay->truncated_bytes = contents.size() - good_end;
+      std::error_code ec;
+      std::filesystem::resize_file(path, good_end, ec);
+      if (ec) {
+        return Status::IoError("cannot truncate torn ingest log tail of " +
+                               path + ": " + ec.message());
+      }
+    }
+  }
+
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open ingest log " + path + ": " +
+                           std::strerror(errno));
+  }
+  auto log = std::unique_ptr<IngestLog>(
+      new IngestLog(path, fd, existed ? good_end : 0));
+  if (!existed) {
+    DOMD_RETURN_IF_ERROR(WriteAll(fd, kHeader, path));
+    DOMD_RETURN_IF_ERROR(FsyncFd(fd, path));
+    DOMD_RETURN_IF_ERROR(FsyncParentDir(path));
+    log->size_bytes_ = sizeof(kHeader) - 1;
+  } else if (replay->truncated_bytes > 0) {
+    DOMD_RETURN_IF_ERROR(FsyncFd(fd, path));
+  }
+  return log;
+}
+
+IngestLog::~IngestLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status IngestLog::Append(const IngestMutation& mutation) {
+  return AppendBatch({mutation});
+}
+
+Status IngestLog::AppendBatch(
+    const std::vector<IngestMutation>& mutations) {
+  if (mutations.empty()) return Status::OK();
+  const Status fault = DOMD_FAULT_POINT("ingest.log.append").Check();
+  if (!fault.ok()) return fault;
+  std::string buffer;
+  for (const IngestMutation& mutation : mutations) {
+    buffer += EncodeRecord(mutation);
+  }
+  DOMD_RETURN_IF_ERROR(WriteAll(fd_, buffer, path_));
+  // Between the write above and the fsync below is exactly the window a
+  // real torn write lives in: an injected fsync fault reports the batch
+  // as not durable while the bytes may still land — replay's torn-tail
+  // truncation owns that ambiguity.
+  const Status fsync_fault = DOMD_FAULT_POINT("ingest.log.fsync").Check();
+  if (!fsync_fault.ok()) return fsync_fault;
+  DOMD_RETURN_IF_ERROR(FsyncFd(fd_, path_));
+  size_bytes_ += buffer.size();
+  appended_ += mutations.size();
+  return Status::OK();
+}
+
+Status IngestLog::Reset() {
+  const std::size_t header_len = sizeof(kHeader) - 1;
+  if (::ftruncate(fd_, static_cast<off_t>(header_len)) != 0) {
+    return Status::IoError("cannot reset ingest log " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  DOMD_RETURN_IF_ERROR(FsyncFd(fd_, path_));
+  size_bytes_ = header_len;
+  return Status::OK();
+}
+
+Status WriteFileDurably(const std::string& path,
+                        const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  Status written = WriteAll(fd, contents, tmp);
+  if (written.ok()) written = FsyncFd(fd, tmp);
+  ::close(fd);
+  if (!written.ok()) return written;
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename " + tmp + " into place: " +
+                           std::strerror(errno));
+  }
+  return FsyncParentDir(path);
+}
+
+}  // namespace domd

@@ -1,0 +1,81 @@
+#ifndef DOMD_INGEST_INGEST_LOG_H_
+#define DOMD_INGEST_INGEST_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ingest/mutation.h"
+
+namespace domd {
+
+/// Crash-safe append-only log of ingestion mutations (DESIGN.md §14).
+///
+/// On-disk format (text, one record per line):
+///   domd-ingest-log v1\n
+///   <payload-bytes> <fnv1a-checksum-hex> <payload>\n
+///   ...
+///
+/// Every Append writes one checksummed record and fsyncs before returning
+/// (the PR-5 durability idiom); the batch variant amortizes the fsync over
+/// the whole batch. Replay verifies length + checksum record by record; the
+/// first bad or truncated record marks a torn tail, which Open truncates
+/// back to the last durable record — a crash mid-append can only ever cost
+/// the record being appended, never a settled prefix. Corruption *before*
+/// the tail (a flipped byte under a valid suffix) is kDataLoss, mirroring
+/// the bundle checksum contract.
+///
+/// Fault points: ingest.log.append (before the record write),
+/// ingest.log.fsync (between write and fsync — the record may or may not
+/// survive a crash, exactly like a real torn write), ingest.log.replay
+/// (transient read failure during Open).
+class IngestLog {
+ public:
+  struct ReplayResult {
+    std::vector<IngestMutation> records;
+    std::size_t truncated_bytes = 0;  ///< torn-tail bytes discarded.
+  };
+
+  /// Opens (creating if absent) the log at `path`, replaying existing
+  /// records into `replay` (required). A torn tail is truncated in place.
+  static StatusOr<std::unique_ptr<IngestLog>> Open(const std::string& path,
+                                                   ReplayResult* replay);
+
+  ~IngestLog();
+  IngestLog(const IngestLog&) = delete;
+  IngestLog& operator=(const IngestLog&) = delete;
+
+  /// Durably appends one record (write + fsync).
+  Status Append(const IngestMutation& mutation);
+
+  /// Durably appends a batch with a single fsync.
+  Status AppendBatch(const std::vector<IngestMutation>& mutations);
+
+  /// Truncates the log back to its header after a merge has durably
+  /// persisted the merged base (log rotation).
+  Status Reset();
+
+  const std::string& path() const { return path_; }
+  std::size_t size_bytes() const { return size_bytes_; }
+  std::uint64_t appended() const { return appended_; }
+
+ private:
+  IngestLog(std::string path, int fd, std::size_t size_bytes)
+      : path_(std::move(path)), fd_(fd), size_bytes_(size_bytes) {}
+
+  const std::string path_;
+  int fd_ = -1;
+  std::size_t size_bytes_ = 0;
+  std::uint64_t appended_ = 0;
+};
+
+/// Durable small-file write (write to <path>.tmp, fsync, rename, fsync
+/// parent): the staging idiom the bundle writer uses, shared here for the
+/// merge path's CSV persistence.
+Status WriteFileDurably(const std::string& path, const std::string& contents);
+
+}  // namespace domd
+
+#endif  // DOMD_INGEST_INGEST_LOG_H_

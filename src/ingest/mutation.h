@@ -1,0 +1,56 @@
+#ifndef DOMD_INGEST_MUTATION_H_
+#define DOMD_INGEST_MUTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "data/avail.h"
+#include "data/rcc.h"
+
+namespace domd {
+
+/// What one ingestion record does to the dataset. Open, settle and amend
+/// are all modeled as upsert-by-id: an RCC "open" is an upsert of a fresh
+/// id, a "settle" re-upserts the same id with a settled date/amount, and
+/// an "amend" re-upserts with any field changed. Upserts are idempotent,
+/// which is what makes log replay after a torn merge safe (DESIGN.md §14).
+enum class MutationKind {
+  kAvailUpsert,
+  kRccUpsert,
+};
+
+/// One replayable mutation record: exactly one of `avail`/`rcc` is
+/// meaningful, selected by `kind`. Plain value type — records travel
+/// through the log, the memtable and the frozen runs by copy.
+struct IngestMutation {
+  MutationKind kind = MutationKind::kRccUpsert;
+  Avail avail;
+  Rcc rcc;
+
+  /// The id the memtable keys on (within its kind).
+  std::int64_t key_id() const {
+    return kind == MutationKind::kAvailUpsert ? avail.id : rcc.id;
+  }
+};
+
+IngestMutation MakeAvailUpsert(Avail avail);
+IngestMutation MakeRccUpsert(Rcc rcc);
+
+/// Validates the payload row (same rules the tables enforce on Add).
+Status ValidateMutation(const IngestMutation& mutation);
+
+/// Serializes a mutation as one newline-free log payload. The field layout
+/// mirrors the CSV column order of the tables, but doubles are written
+/// with 17 significant digits so a replayed record reproduces the appended
+/// in-memory value bit for bit (the CSV files themselves round to %.6g;
+/// bit-identity of ingest vs batch depends on the log not rounding again).
+std::string EncodeMutation(const IngestMutation& mutation);
+
+/// Parses a payload produced by EncodeMutation.
+StatusOr<IngestMutation> DecodeMutation(std::string_view payload);
+
+}  // namespace domd
+
+#endif  // DOMD_INGEST_MUTATION_H_

@@ -3,9 +3,12 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cinttypes>
+#include <cstdio>
 #include <filesystem>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "fault/fault.h"
 #include "obs/metrics.h"
@@ -30,6 +33,14 @@ std::string DefaultStageRoot() {
       .string();
 }
 
+/// Epochs are 64-bit fingerprints; hex strings keep them exact on the
+/// wire (a JSON double would round them past 2^53).
+std::string HexEpoch(std::uint64_t epoch) {
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "%016" PRIx64, epoch);
+  return std::string(buffer);
+}
+
 }  // namespace
 
 ServeFrontend::ServeFrontend(PredictionService* service,
@@ -38,38 +49,148 @@ ServeFrontend::ServeFrontend(PredictionService* service,
       options_(std::move(options)),
       stage_root_(options_.stage_root.empty() ? DefaultStageRoot()
                                               : options_.stage_root) {
-  bundle_worker_ = std::thread([this] { BundleWorkerLoop(); });
+  RegisterBuiltinVerbs();
+  worker_ = std::thread([this] { WorkerLoop(); });
 }
 
 ServeFrontend::~ServeFrontend() {
   {
-    std::lock_guard<std::mutex> lock(bundle_mutex_);
+    std::lock_guard<std::mutex> lock(worker_mutex_);
     stopping_ = true;
-    bundle_available_.notify_all();
+    worker_available_.notify_all();
   }
-  if (bundle_worker_.joinable()) bundle_worker_.join();
+  if (worker_.joinable()) worker_.join();
 }
 
-void ServeFrontend::BundleWorkerLoop() {
+void ServeFrontend::RegisterVerb(const std::string& name, VerbPolicy policy,
+                                 VerbHandler handler) {
+  verbs_[name] = Verb{policy, std::move(handler)};
+}
+
+void ServeFrontend::RegisterBuiltinVerbs() {
+  RegisterVerb("ping", VerbPolicy::kInline,
+               [this](const JsonValue&, Responder responder) {
+                 JsonValue out = JsonValue::Object();
+                 out.Set("ok", JsonValue::Bool(true));
+                 out.Set("bundle_version",
+                         JsonValue::String(service_->bundle()->version()));
+                 responder.Respond(out.Serialize());
+               });
+  RegisterVerb("stats", VerbPolicy::kInline,
+               [this](const JsonValue&, Responder responder) {
+                 responder.Respond(
+                     StatsToJson(service_->stats()).Serialize());
+               });
+  RegisterVerb("health", VerbPolicy::kInline, [this](const JsonValue&,
+                                                     Responder responder) {
+    // Readiness probe: "ready" means the service is admitting work (the
+    // breaker is not shedding). The identity fields let orchestration
+    // confirm which bundle answers before routing traffic.
+    const ServeStatsSnapshot stats = service_->stats();
+    const auto bundle = service_->bundle();
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("ready", JsonValue::Bool(stats.breaker != BreakerState::kOpen));
+    out.Set("bundle_version", JsonValue::String(bundle->version()));
+    out.Set("bundle_dir", JsonValue::String(bundle->directory()));
+    out.Set("schema_hash",
+            JsonValue::Number(static_cast<double>(bundle->schema_hash())));
+    out.Set("breaker_state",
+            JsonValue::String(BreakerStateToString(stats.breaker)));
+    out.Set("queue_depth",
+            JsonValue::Number(static_cast<double>(stats.queue_depth)));
+    out.Set("swap_failures",
+            JsonValue::Number(static_cast<double>(stats.swap_failures)));
+    responder.Respond(out.Serialize());
+  });
+  RegisterVerb("metrics", VerbPolicy::kInline, [](const JsonValue&,
+                                                  Responder responder) {
+    // Prometheus text exposition 0.0.4. The multi-line payload is safe on
+    // the NDJSON wire because Serialize() escapes every newline.
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("content_type", JsonValue::String("text/plain; version=0.0.4"));
+    out.Set("payload",
+            JsonValue::String(
+                obs::MetricsRegistry::Default().RenderPrometheus()));
+    responder.Respond(out.Serialize());
+  });
+  RegisterVerb("swap", VerbPolicy::kWorker,
+               [this](const JsonValue& request, Responder responder) {
+                 RunSwap(request, std::move(responder));
+               });
+  RegisterVerb("stage", VerbPolicy::kWorker,
+               [this](const JsonValue& request, Responder responder) {
+                 RunStage(request, std::move(responder));
+               });
+  RegisterVerb("shutdown", VerbPolicy::kInline,
+               [](const JsonValue&, Responder responder) {
+                 JsonValue out = JsonValue::Object();
+                 out.Set("ok", JsonValue::Bool(true));
+                 out.Set("shutting_down", JsonValue::Bool(true));
+                 responder.RespondThenStop(out.Serialize());
+               });
+
+  if (options_.store == nullptr) return;
+
+  // Streaming-ingestion verbs (DESIGN.md §14), registered only when the
+  // server owns a DataStore.
+  RegisterVerb("ingest", VerbPolicy::kWorker,
+               [this](const JsonValue& request, Responder responder) {
+                 RunIngest(request, std::move(responder));
+               });
+  RegisterVerb("freshness", VerbPolicy::kInline, [this](const JsonValue&,
+                                                        Responder responder) {
+    // Staleness probe: the live bundle embeds the data epoch it was
+    // trained from; the store's snapshot epoch says what the data looks
+    // like now. Unequal epochs mean a retrain would pick up new data.
+    const auto bundle = service_->bundle();
+    const auto snapshot = options_.store->Snapshot();
+    const IngestStats stats = options_.store->stats();
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("bundle_version", JsonValue::String(bundle->version()));
+    out.Set("bundle_epoch", JsonValue::String(HexEpoch(bundle->data_epoch())));
+    out.Set("store_epoch", JsonValue::String(HexEpoch(snapshot->epoch())));
+    out.Set("stale",
+            JsonValue::Bool(bundle->data_epoch() != snapshot->epoch()));
+    out.Set("pending_mutations",
+            JsonValue::Number(static_cast<double>(stats.pending)));
+    out.Set("appended", JsonValue::Number(static_cast<double>(stats.appended)));
+    out.Set("merges", JsonValue::Number(static_cast<double>(stats.merges)));
+    responder.Respond(out.Serialize());
+  });
+  if (!options_.retrain_root.empty()) {
+    RegisterVerb("retrain", VerbPolicy::kWorker,
+                 [this](const JsonValue& request, Responder responder) {
+                   RunRetrain(request, std::move(responder));
+                 });
+  }
+}
+
+void ServeFrontend::WorkerLoop() {
   for (;;) {
-    BundleJob job;
+    WorkerJob job;
     {
-      std::unique_lock<std::mutex> lock(bundle_mutex_);
-      bundle_available_.wait(
-          lock, [this] { return stopping_ || !bundle_queue_.empty(); });
-      if (bundle_queue_.empty()) return;  // stopping, fully drained.
-      job = std::move(bundle_queue_.front());
-      bundle_queue_.pop_front();
+      std::unique_lock<std::mutex> lock(worker_mutex_);
+      worker_available_.wait(
+          lock, [this] { return stopping_ || !worker_queue_.empty(); });
+      if (worker_queue_.empty()) return;  // stopping, fully drained.
+      job = std::move(worker_queue_.front());
+      worker_queue_.pop_front();
     }
-    if (job.kind == BundleJob::Kind::kSwap) {
-      RunSwap(job);
-    } else {
-      RunStage(job);
-    }
+    job.handler(job.request, std::move(job.responder));
   }
 }
 
-void ServeFrontend::RunSwap(const BundleJob& job) {
+void ServeFrontend::RunSwap(const JsonValue& request, Responder responder) {
+  std::string dir = request.StringOr("bundle", "");
+  if (dir.empty()) {
+    responder.Respond(
+        ErrorToJson(Status::InvalidArgument("swap needs \"bundle\""))
+            .Serialize());
+    return;
+  }
   // The serve.swap fault gate and the (blocking, retried) bundle load
   // both run here, off the event-loop shards. Failure keeps the
   // last-known-good bundle serving and names it in the response.
@@ -79,15 +200,15 @@ void ServeFrontend::RunSwap(const BundleJob& job) {
     JsonValue out = ErrorToJson(fault);
     out.Set("bundle_version",
             JsonValue::String(service_->bundle()->version()));
-    job.responder.Respond(out.Serialize());
+    responder.Respond(out.Serialize());
     return;
   }
   // A swap onto a directory this shard staged flips without touching
   // disk: the staged bundle was fully loaded and validated at stage time.
   std::shared_ptr<const ModelBundle> staged;
   {
-    std::lock_guard<std::mutex> lock(bundle_mutex_);
-    const auto it = staged_.find(job.bundle_dir);
+    std::lock_guard<std::mutex> lock(worker_mutex_);
+    const auto it = staged_.find(dir);
     if (it != staged_.end()) staged = it->second;
   }
   if (staged != nullptr) {
@@ -96,10 +217,10 @@ void ServeFrontend::RunSwap(const BundleJob& job) {
     out.Set("ok", JsonValue::Bool(true));
     out.Set("bundle_version", JsonValue::String(staged->version()));
     out.Set("from_stage", JsonValue::Bool(true));
-    job.responder.Respond(out.Serialize());
+    responder.Respond(out.Serialize());
     return;
   }
-  auto bundle = LoadBundleWithRetry(job.bundle_dir, options_.parallelism,
+  auto bundle = LoadBundleWithRetry(dir, options_.parallelism,
                                     options_.cache_bytes,
                                     options_.load_retry);
   if (!bundle.ok()) {
@@ -107,54 +228,148 @@ void ServeFrontend::RunSwap(const BundleJob& job) {
     JsonValue out = ErrorToJson(bundle.status());
     out.Set("bundle_version",
             JsonValue::String(service_->bundle()->version()));
-    job.responder.Respond(out.Serialize());
+    responder.Respond(out.Serialize());
     return;
   }
   service_->SwapBundle(*bundle);
   JsonValue out = JsonValue::Object();
   out.Set("ok", JsonValue::Bool(true));
   out.Set("bundle_version", JsonValue::String((*bundle)->version()));
-  job.responder.Respond(out.Serialize());
+  responder.Respond(out.Serialize());
 }
 
-void ServeFrontend::RunStage(const BundleJob& job) {
+void ServeFrontend::RunStage(const JsonValue& request, Responder responder) {
+  std::string bundle_dir = request.StringOr("bundle", "");
+  if (bundle_dir.empty()) {
+    responder.Respond(
+        ErrorToJson(Status::InvalidArgument("stage needs \"bundle\""))
+            .Serialize());
+    return;
+  }
   // Crash-safe copy into this shard's staging tree, then a full load to
   // validate the copy end to end (checksums, schema, model parse). Any
   // failure leaves the live bundle untouched — staging is side-effect-free
   // until the flip.
   const std::string dest =
       stage_root_ + "/" +
-      std::filesystem::path(job.bundle_dir).filename().string();
+      std::filesystem::path(bundle_dir).filename().string();
   std::error_code ec;
   std::filesystem::create_directories(stage_root_, ec);
   if (ec) {
-    job.responder.Respond(
+    responder.Respond(
         ErrorToJson(Status::IoError("cannot create stage root " +
                                     stage_root_ + ": " + ec.message()))
             .Serialize());
     return;
   }
-  const Status copied = CopyBundleDurable(job.bundle_dir, dest);
+  const Status copied = CopyBundleDurable(bundle_dir, dest);
   if (!copied.ok()) {
-    job.responder.Respond(ErrorToJson(copied).Serialize());
+    responder.Respond(ErrorToJson(copied).Serialize());
     return;
   }
   auto bundle = LoadBundleWithRetry(dest, options_.parallelism,
                                     options_.cache_bytes,
                                     options_.load_retry);
   if (!bundle.ok()) {
-    job.responder.Respond(ErrorToJson(bundle.status()).Serialize());
+    responder.Respond(ErrorToJson(bundle.status()).Serialize());
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(bundle_mutex_);
+    std::lock_guard<std::mutex> lock(worker_mutex_);
     staged_[dest] = *bundle;
   }
   JsonValue out = JsonValue::Object();
   out.Set("ok", JsonValue::Bool(true));
   out.Set("staged_version", JsonValue::String((*bundle)->version()));
   out.Set("staged_dir", JsonValue::String(dest));
-  job.responder.Respond(out.Serialize());
+  responder.Respond(out.Serialize());
+}
+
+void ServeFrontend::RunIngest(const JsonValue& request, Responder responder) {
+  // Parse, validate, durably append. Runs on the worker because the log
+  // fsync (and any triggered merge wait) must never block a shard.
+  auto mutations = ParseIngestMutations(request);
+  if (!mutations.ok()) {
+    responder.Respond(ErrorToJson(mutations.status()).Serialize());
+    return;
+  }
+  const Status appended = options_.store->AppendBatch(*mutations);
+  if (!appended.ok()) {
+    responder.Respond(ErrorToJson(appended).Serialize());
+    return;
+  }
+  const IngestStats stats = options_.store->stats();
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("appended",
+          JsonValue::Number(static_cast<double>(mutations->size())));
+  out.Set("pending_mutations",
+          JsonValue::Number(static_cast<double>(stats.pending)));
+  out.Set("store_epoch",
+          JsonValue::String(HexEpoch(options_.store->Snapshot()->epoch())));
+  responder.Respond(out.Serialize());
+}
+
+void ServeFrontend::RunRetrain(const JsonValue& request, Responder responder) {
+  // The continuous-retraining loop: pin a consistent cut of everything
+  // ingested so far, train with the live bundle's pipeline config, write
+  // the result as a fresh bundle version and hot-swap it through the same
+  // SwapBundle path `swap` uses. Failure at any step keeps the
+  // last-known-good bundle serving.
+  const auto snapshot = options_.store->Snapshot();
+  PipelineConfig config = service_->bundle()->config();
+  config.parallelism = options_.parallelism;
+  config.cache_bytes = options_.cache_bytes;
+
+  std::vector<std::int64_t> train_ids;
+  for (const Avail& avail : snapshot->data().avails.rows()) {
+    if (avail.delay().has_value()) train_ids.push_back(avail.id);
+  }
+  auto estimator = DomdEstimator::Train(snapshot, config, train_ids);
+  if (!estimator.ok()) {
+    responder.Respond(ErrorToJson(estimator.status()).Serialize());
+    return;
+  }
+
+  const std::string version =
+      request.StringOr("version", "e" + HexEpoch(snapshot->epoch()));
+  const std::string dir = options_.retrain_root + "/" + version;
+  std::error_code ec;
+  std::filesystem::create_directories(options_.retrain_root, ec);
+  if (ec) {
+    responder.Respond(
+        ErrorToJson(Status::IoError("cannot create retrain root " +
+                                    options_.retrain_root + ": " +
+                                    ec.message()))
+            .Serialize());
+    return;
+  }
+  const Status written =
+      ModelBundle::Write(*estimator, snapshot->data(), dir, version);
+  if (!written.ok()) {
+    responder.Respond(ErrorToJson(written).Serialize());
+    return;
+  }
+  auto bundle = LoadBundleWithRetry(dir, options_.parallelism,
+                                    options_.cache_bytes,
+                                    options_.load_retry);
+  if (!bundle.ok()) {
+    service_->NoteSwapFailure(bundle.status());
+    JsonValue out = ErrorToJson(bundle.status());
+    out.Set("bundle_version",
+            JsonValue::String(service_->bundle()->version()));
+    responder.Respond(out.Serialize());
+    return;
+  }
+  service_->SwapBundle(*bundle);
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("bundle_version", JsonValue::String((*bundle)->version()));
+  out.Set("bundle_dir", JsonValue::String(dir));
+  out.Set("bundle_epoch", JsonValue::String(HexEpoch(snapshot->epoch())));
+  out.Set("trained_avails",
+          JsonValue::Number(static_cast<double>(train_ids.size())));
+  responder.Respond(out.Serialize());
 }
 
 void ServeFrontend::Handle(std::string line, Responder responder) {
@@ -167,82 +382,26 @@ void ServeFrontend::Handle(std::string line, Responder responder) {
   }
 
   const std::string cmd = request->StringOr("cmd", "");
-  if (cmd == "ping") {
-    JsonValue out = JsonValue::Object();
-    out.Set("ok", JsonValue::Bool(true));
-    out.Set("bundle_version",
-            JsonValue::String(service_->bundle()->version()));
-    responder.Respond(out.Serialize());
-    return;
-  }
-  if (cmd == "stats") {
-    responder.Respond(StatsToJson(service_->stats()).Serialize());
-    return;
-  }
-  if (cmd == "health") {
-    // Readiness probe: "ready" means the service is admitting work (the
-    // breaker is not shedding). The identity fields let orchestration
-    // confirm which bundle answers before routing traffic.
-    const ServeStatsSnapshot stats = service_->stats();
-    const auto bundle = service_->bundle();
-    JsonValue out = JsonValue::Object();
-    out.Set("ok", JsonValue::Bool(true));
-    out.Set("ready", JsonValue::Bool(stats.breaker != BreakerState::kOpen));
-    out.Set("bundle_version", JsonValue::String(bundle->version()));
-    out.Set("bundle_dir", JsonValue::String(bundle->directory()));
-    out.Set("schema_hash", JsonValue::Number(
-                               static_cast<double>(bundle->schema_hash())));
-    out.Set("breaker_state",
-            JsonValue::String(BreakerStateToString(stats.breaker)));
-    out.Set("queue_depth",
-            JsonValue::Number(static_cast<double>(stats.queue_depth)));
-    out.Set("swap_failures",
-            JsonValue::Number(static_cast<double>(stats.swap_failures)));
-    responder.Respond(out.Serialize());
-    return;
-  }
-  if (cmd == "metrics") {
-    // Prometheus text exposition 0.0.4. The multi-line payload is safe on
-    // the NDJSON wire because Serialize() escapes every newline.
-    JsonValue out = JsonValue::Object();
-    out.Set("ok", JsonValue::Bool(true));
-    out.Set("content_type",
-            JsonValue::String("text/plain; version=0.0.4"));
-    out.Set("payload", JsonValue::String(
-                           obs::MetricsRegistry::Default().RenderPrometheus()));
-    responder.Respond(out.Serialize());
-    return;
-  }
-  if (cmd == "swap" || cmd == "stage") {
-    std::string dir = request->StringOr("bundle", "");
-    if (dir.empty()) {
+  if (!cmd.empty()) {
+    const auto it = verbs_.find(cmd);
+    if (it == verbs_.end()) {
       responder.Respond(
-          ErrorToJson(Status::InvalidArgument(cmd + " needs \"bundle\""))
+          ErrorToJson(Status::InvalidArgument("unknown cmd \"" + cmd + "\""))
               .Serialize());
       return;
     }
-    BundleJob job;
-    job.kind = cmd == "swap" ? BundleJob::Kind::kSwap
-                             : BundleJob::Kind::kStage;
-    job.bundle_dir = std::move(dir);
+    if (it->second.policy == VerbPolicy::kInline) {
+      it->second.handler(*request, std::move(responder));
+      return;
+    }
+    WorkerJob job;
+    job.handler = it->second.handler;
+    job.request = std::move(*request);
     job.responder = std::move(responder);
-    std::lock_guard<std::mutex> lock(bundle_mutex_);
-    if (stopping_) return;  // teardown races a late swap: drop it.
-    bundle_queue_.push_back(std::move(job));
-    bundle_available_.notify_one();
-    return;
-  }
-  if (cmd == "shutdown") {
-    JsonValue out = JsonValue::Object();
-    out.Set("ok", JsonValue::Bool(true));
-    out.Set("shutting_down", JsonValue::Bool(true));
-    responder.RespondThenStop(out.Serialize());
-    return;
-  }
-  if (!cmd.empty()) {
-    responder.Respond(
-        ErrorToJson(Status::InvalidArgument("unknown cmd \"" + cmd + "\""))
-            .Serialize());
+    std::lock_guard<std::mutex> lock(worker_mutex_);
+    if (stopping_) return;  // teardown races a late job: drop it.
+    worker_queue_.push_back(std::move(job));
+    worker_available_.notify_one();
     return;
   }
 

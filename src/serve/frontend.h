@@ -4,12 +4,15 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
+#include "ingest/data_store.h"
+#include "serve/json.h"
 #include "serve/prediction_service.h"
 #include "serve/reactor.h"
 
@@ -24,6 +27,20 @@ struct FrontendOptions {
   /// temp directory (pid + frontend instance), so co-located shards never
   /// stage onto each other's copies.
   std::string stage_root;
+  /// Optional streaming-ingestion store (not owned; must outlive the
+  /// frontend). When set, the frontend registers the `ingest` and
+  /// `freshness` verbs over it — and, when retrain_root is also set, the
+  /// `retrain` verb that trains a fresh bundle from a consistent snapshot
+  /// and hot-swaps it through the usual swap machinery.
+  DataStore* store = nullptr;
+  /// Directory `retrain` writes new bundle versions under.
+  std::string retrain_root;
+};
+
+/// Where a verb's handler runs.
+enum class VerbPolicy {
+  kInline,  ///< on the event-loop shard; handlers must never block.
+  kWorker,  ///< on the dedicated worker thread (disk I/O, retry, training).
 };
 
 /// The NDJSON verb router of domd_serve, factored out of the binary so the
@@ -34,15 +51,17 @@ struct FrontendOptions {
 ///     f.Handle(std::move(line), std::move(r));
 ///   });
 ///
-/// Routing preserves the thread-per-connection wire semantics verb by
-/// verb: ping/stats/health/metrics answer inline on the shard (pure
-/// snapshot reads), predict requests flow through
-/// PredictionService::SubmitAsync and respond from the batcher thread,
-/// reference-fleet scoring (`avail_id`) answers inline against one bundle
-/// snapshot, and `swap`/`stage` — whose bundle I/O blocks on disk and
-/// bounded retry — run on a dedicated worker thread so they can never
-/// stall an event-loop shard. `shutdown` responds through RespondThenStop,
-/// which stops the reactor only after the response line has drained.
+/// Verbs are dispatched through a registration table instead of an ad-hoc
+/// `if` chain: each verb carries a policy saying where its handler runs.
+/// Inline verbs (ping/stats/health/metrics/freshness — pure snapshot
+/// reads) answer on the shard; worker verbs (swap/stage/ingest/retrain —
+/// blocking disk I/O, bounded retry, training) queue to a dedicated worker
+/// thread so they can never stall an event-loop shard. `shutdown` responds
+/// through RespondThenStop, which stops the reactor only after the
+/// response line has drained. Requests with no `cmd` score: reference-
+/// fleet requests (`avail_id`) answer inline against one bundle snapshot,
+/// detached requests flow through PredictionService::SubmitAsync and
+/// respond from the batcher thread.
 ///
 /// `stage` is the per-shard half of a coordinated cluster rollout
 /// (DESIGN.md §12): it copies the named bundle crash-safely into this
@@ -50,41 +69,67 @@ struct FrontendOptions {
 /// loaded bundle so a later `swap` onto the staged directory flips
 /// instantly without re-reading disk. A failed stage leaves the live
 /// bundle untouched.
+///
+/// With a DataStore attached (DESIGN.md §14), `ingest` appends mutations
+/// durably, `freshness` reports the live bundle's data epoch against the
+/// store's, and `retrain` closes the loop: pin a snapshot, train, write a
+/// new bundle version, hot-swap.
 class ServeFrontend {
  public:
+  /// A verb handler: answers the parsed request via `responder`, exactly
+  /// once. The request outlives the call only for worker verbs (the job
+  /// owns a copy).
+  using VerbHandler =
+      std::function<void(const JsonValue& request, Responder responder)>;
+
   ServeFrontend(PredictionService* service, FrontendOptions options);
   ~ServeFrontend();
 
   ServeFrontend(const ServeFrontend&) = delete;
   ServeFrontend& operator=(const ServeFrontend&) = delete;
 
+  /// Registers (or replaces) a verb. Not synchronized with Handle: wire up
+  /// custom verbs before the reactor starts feeding requests in.
+  void RegisterVerb(const std::string& name, VerbPolicy policy,
+                    VerbHandler handler);
+
   /// Routes one request line; always answers via `responder`, exactly once.
   void Handle(std::string line, Responder responder);
 
  private:
-  struct BundleJob {
-    enum class Kind { kSwap, kStage };
-    Kind kind = Kind::kSwap;
-    std::string bundle_dir;
+  struct Verb {
+    VerbPolicy policy = VerbPolicy::kInline;
+    VerbHandler handler;
+  };
+  /// One queued worker-verb invocation (owns its parsed request).
+  struct WorkerJob {
+    VerbHandler handler;
+    JsonValue request;
     Responder responder;
   };
 
-  void BundleWorkerLoop();
-  void RunSwap(const BundleJob& job);
-  void RunStage(const BundleJob& job);
+  void RegisterBuiltinVerbs();
+  void WorkerLoop();
+  void RunSwap(const JsonValue& request, Responder responder);
+  void RunStage(const JsonValue& request, Responder responder);
+  void RunIngest(const JsonValue& request, Responder responder);
+  void RunRetrain(const JsonValue& request, Responder responder);
 
   PredictionService* const service_;
   const FrontendOptions options_;
   const std::string stage_root_;  ///< resolved from options_.stage_root.
 
-  std::mutex bundle_mutex_;
-  std::condition_variable bundle_available_;
-  std::deque<BundleJob> bundle_queue_;
+  /// The verb table. Only mutated by RegisterVerb (construction time).
+  std::map<std::string, Verb> verbs_;
+
+  std::mutex worker_mutex_;
+  std::condition_variable worker_available_;
+  std::deque<WorkerJob> worker_queue_;
   bool stopping_ = false;
   /// Staged bundles by their staged directory, kept loaded so the flip
   /// half of a rollout swaps without touching disk.
   std::map<std::string, std::shared_ptr<const ModelBundle>> staged_;
-  std::thread bundle_worker_;  ///< last member: joins before teardown.
+  std::thread worker_;  ///< last member: joins before teardown.
 };
 
 }  // namespace domd

@@ -362,40 +362,48 @@ StatusOr<std::shared_ptr<const ModelBundle>> ModelBundle::Load(
   bundle->schema_hash_ = schema_hash;
   bundle->directory_ = dir;
 
-  bundle->data_ = std::make_unique<Dataset>();
+  Dataset reference;
   auto avails_doc = CsvDocument::Parse(payload[kAvailsName]);
   if (!avails_doc.ok()) return avails_doc.status();
   auto avails = AvailTable::FromCsv(*avails_doc);
   if (!avails.ok()) return avails.status();
-  bundle->data_->avails = std::move(*avails);
+  reference.avails = std::move(*avails);
   auto rccs_doc = CsvDocument::Parse(payload[kRccsName]);
   if (!rccs_doc.ok()) return rccs_doc.status();
   auto rccs = RccTable::FromCsv(*rccs_doc);
   if (!rccs.ok()) return rccs.status();
-  bundle->data_->rccs = std::move(*rccs);
+  reference.rccs = std::move(*rccs);
 
-  if (bundle->data_->avails.size() != num_avails ||
-      bundle->data_->rccs.size() != num_rccs) {
+  if (reference.avails.size() != num_avails ||
+      reference.rccs.size() != num_rccs) {
     return Status::FailedPrecondition(
         dir + ": reference tables do not match manifest cardinalities");
   }
-  const IntegrityReport report = CheckDatasetIntegrity(*bundle->data_);
+  const IntegrityReport report = CheckDatasetIntegrity(reference);
   if (!report.ok()) {
     return Status::FailedPrecondition(
         dir + ": reference fleet failed integrity check (" +
         std::to_string(report.num_errors) + " errors)");
   }
 
+  // The reference fleet goes behind an in-memory DataStore so every bundle
+  // consumer reads through the same snapshot-isolated cut; the pinned
+  // snapshot keeps the tables address-stable for the estimator and index.
+  auto store = DataStore::Open(std::move(reference));
+  if (!store.ok()) return store.status();
+  bundle->store_ = std::move(*store);
+  bundle->snapshot_ = bundle->store_->Snapshot();
+
   std::istringstream models_in(payload[kModelsName]);
   auto estimator = DomdEstimator::LoadModelsFromStream(
-      bundle->data_.get(), models_in, parallelism, cache_bytes);
+      bundle->snapshot_, models_in, parallelism, cache_bytes);
   if (!estimator.ok()) return estimator.status();
   bundle->estimator_ = std::make_unique<DomdEstimator>(std::move(*estimator));
 
   // Frozen Status-Query indexes over the reference fleet: built once here,
   // read-only (and thus freely concurrent) for the bundle's lifetime.
   bundle->query_engine_ = std::make_unique<StatusQueryEngine>(
-      bundle->data_.get(), IndexBackend::kAvlTree);
+      &bundle->snapshot_->data(), IndexBackend::kAvlTree);
 
   return std::shared_ptr<const ModelBundle>(std::move(bundle));
 }

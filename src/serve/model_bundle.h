@@ -8,6 +8,7 @@
 
 #include "common/retry.h"
 #include "core/domd_estimator.h"
+#include "ingest/data_store.h"
 #include "query/status_query.h"
 
 namespace domd {
@@ -86,7 +87,14 @@ class ModelBundle {
   const std::string& version() const { return version_; }
   std::uint64_t schema_hash() const { return schema_hash_; }
   const std::string& directory() const { return directory_; }
-  const Dataset& data() const { return *data_; }
+  const Dataset& data() const { return snapshot_->data(); }
+  /// The pinned DataStore cut the bundle serves from. Its epoch is the
+  /// dataset fingerprint of the reference fleet, so `data_epoch()` tells a
+  /// freshness probe exactly which data generation this bundle embeds.
+  const std::shared_ptr<const DataSnapshot>& snapshot() const {
+    return snapshot_;
+  }
+  std::uint64_t data_epoch() const { return snapshot_->epoch(); }
   const DomdEstimator& estimator() const { return *estimator_; }
   const PipelineConfig& config() const { return estimator_->config(); }
   const std::vector<double>& grid() const { return estimator_->grid(); }
@@ -117,8 +125,12 @@ class ModelBundle {
   std::string version_;
   std::uint64_t schema_hash_ = 0;
   std::string directory_;
-  std::unique_ptr<Dataset> data_;  ///< unique_ptr: address-stable target
-                                   ///< of the estimator's back-pointer.
+  /// The reference fleet lives behind a DataStore: `snapshot_` pins the
+  /// epoch-stamped cut every accessor serves from (address-stable target of
+  /// the estimator's back-pointer), and the store keeps the bundle on the
+  /// same read path as every other pipeline consumer (DESIGN.md §14).
+  std::unique_ptr<DataStore> store_;
+  std::shared_ptr<const DataSnapshot> snapshot_;
   std::unique_ptr<DomdEstimator> estimator_;
   std::unique_ptr<StatusQueryEngine> query_engine_;
 };

@@ -21,7 +21,9 @@ StatusOr<Date> DateMember(const JsonValue& object, const std::string& key,
   return Date::Parse(member->string_value());
 }
 
-StatusOr<Avail> ParseAvail(const JsonValue& object) {
+}  // namespace
+
+StatusOr<Avail> AvailFromJson(const JsonValue& object) {
   if (!object.is_object()) {
     return Status::InvalidArgument("\"avail\" must be an object");
   }
@@ -60,12 +62,13 @@ StatusOr<Avail> ParseAvail(const JsonValue& object) {
   return avail;
 }
 
-StatusOr<Rcc> ParseRcc(const JsonValue& object) {
+StatusOr<Rcc> RccFromJson(const JsonValue& object) {
   if (!object.is_object()) {
     return Status::InvalidArgument("each rcc must be an object");
   }
   Rcc rcc;
   rcc.id = static_cast<std::int64_t>(object.NumberOr("id", 0));
+  rcc.avail_id = static_cast<std::int64_t>(object.NumberOr("avail_id", 0));
   auto type = RccTypeFromCode(object.StringOr("type", "G"));
   if (!type.ok()) return type.status();
   rcc.type = *type;
@@ -100,7 +103,42 @@ StatusOr<Rcc> ParseRcc(const JsonValue& object) {
   return rcc;
 }
 
-}  // namespace
+StatusOr<std::vector<IngestMutation>> ParseIngestMutations(
+    const JsonValue& request) {
+  std::vector<IngestMutation> mutations;
+  const JsonValue* avails = request.Find("avails");
+  if (avails != nullptr) {
+    if (!avails->is_array()) {
+      return Status::InvalidArgument("\"avails\" must be an array");
+    }
+    for (const JsonValue& item : avails->items()) {
+      auto avail = AvailFromJson(item);
+      if (!avail.ok()) return avail.status();
+      mutations.push_back(MakeAvailUpsert(std::move(*avail)));
+    }
+  }
+  const JsonValue* rccs = request.Find("rccs");
+  if (rccs != nullptr) {
+    if (!rccs->is_array()) {
+      return Status::InvalidArgument("\"rccs\" must be an array");
+    }
+    for (const JsonValue& item : rccs->items()) {
+      auto rcc = RccFromJson(item);
+      if (!rcc.ok()) return rcc.status();
+      if (rcc->avail_id == 0) {
+        return Status::InvalidArgument(
+            "ingest rcc " + std::to_string(rcc->id) +
+            " has no \"avail_id\" member");
+      }
+      mutations.push_back(MakeRccUpsert(std::move(*rcc)));
+    }
+  }
+  if (mutations.empty()) {
+    return Status::InvalidArgument(
+        "ingest request has no \"avails\" or \"rccs\" to apply");
+  }
+  return mutations;
+}
 
 StatusOr<ScoreRequest> ParseScoreRequest(const JsonValue& request) {
   if (!request.is_object()) {
@@ -111,7 +149,7 @@ StatusOr<ScoreRequest> ParseScoreRequest(const JsonValue& request) {
     return Status::InvalidArgument("request has no \"avail\" member");
   }
   ScoreRequest score;
-  auto parsed_avail = ParseAvail(*avail);
+  auto parsed_avail = AvailFromJson(*avail);
   if (!parsed_avail.ok()) return parsed_avail.status();
   score.avail = std::move(*parsed_avail);
 
@@ -122,7 +160,7 @@ StatusOr<ScoreRequest> ParseScoreRequest(const JsonValue& request) {
     }
     score.rccs.reserve(rccs->items().size());
     for (const JsonValue& item : rccs->items()) {
-      auto rcc = ParseRcc(item);
+      auto rcc = RccFromJson(item);
       if (!rcc.ok()) return rcc.status();
       score.rccs.push_back(std::move(*rcc));
     }

@@ -3,7 +3,9 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "ingest/mutation.h"
 #include "serve/json.h"
 #include "serve/model_bundle.h"
 #include "serve/prediction_service.h"
@@ -20,6 +22,22 @@ namespace domd {
 /// Reference-fleet scoring addresses an avail of the bundle's fleet
 /// instead: {"avail_id": 7, "t_star": 60}.
 /// Control requests: {"cmd": "stats" | "ping" | "swap" | "shutdown"}.
+
+/// Parses one JSON avail object (the schema of a prediction request's
+/// "avail" member) into an Avail row.
+StatusOr<Avail> AvailFromJson(const JsonValue& object);
+
+/// Parses one JSON RCC object (the schema of a prediction request's
+/// "rccs" items, plus an "avail_id" member when detached) into an Rcc row.
+StatusOr<Rcc> RccFromJson(const JsonValue& object);
+
+/// Parses the payload of an ingest request —
+///   {"cmd": "ingest", "avails": [{...}], "rccs": [{...}]}
+/// — into upsert mutations, avails before RCCs so one batch can introduce
+/// an avail together with its RCC stream. Each RCC object must carry an
+/// "avail_id" member.
+StatusOr<std::vector<IngestMutation>> ParseIngestMutations(
+    const JsonValue& request);
 
 /// Parses the "avail"/"rccs"/"t_star"/"top_k" members of a request object
 /// into a detached ScoreRequest.

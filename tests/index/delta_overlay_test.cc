@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "index/group_tree.h"
+#include "index/logical_time_index.h"
+#include "ingest/data_store.h"
+#include "synth/generator.h"
+
+namespace domd {
+namespace {
+
+Dataset Fleet() {
+  SynthConfig config;
+  config.num_avails = 8;
+  config.mean_rccs_per_avail = 40.0;
+  config.seed = 23;
+  return GenerateDataset(config);
+}
+
+std::vector<std::int64_t> Sorted(std::vector<std::int64_t> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// The overlay's correctness bar: for any category and t*, a snapshot's
+/// index must return exactly what a from-scratch index over the same
+/// tables returns. Order is not part of the contract, membership is.
+void ExpectIndexEquivalence(const DataSnapshot& snapshot) {
+  auto fresh = MakeLogicalTimeIndex(IndexBackend::kAvlTree);
+  ASSERT_TRUE(fresh.ok());
+  (*fresh)->Build(BuildIndexEntries(snapshot.data()));
+  ASSERT_EQ(snapshot.rcc_index().size(), (*fresh)->size());
+
+  const RccStatusCategory categories[] = {
+      RccStatusCategory::kActive, RccStatusCategory::kSettled,
+      RccStatusCategory::kCreated, RccStatusCategory::kNotCreated};
+  const double t_stars[] = {-50.0, 0.0, 10.0, 45.0, 90.0, 200.0, 1e6};
+  std::vector<std::int64_t> got;
+  std::vector<std::int64_t> want;
+  for (const RccStatusCategory category : categories) {
+    for (const double t_star : t_stars) {
+      snapshot.rcc_index().Collect(category, t_star, &got);
+      (*fresh)->Collect(category, t_star, &want);
+      EXPECT_EQ(Sorted(got), Sorted(want))
+          << RccStatusCategoryToString(category) << " @ t*=" << t_star;
+    }
+  }
+}
+
+std::int64_t NextRccId(const Dataset& data) {
+  std::int64_t max_id = 0;
+  for (const Rcc& rcc : data.rccs.rows()) {
+    if (rcc.id > max_id) max_id = rcc.id;
+  }
+  return max_id + 1;
+}
+
+Rcc OpenRcc(std::int64_t id, std::int64_t avail_id, const Dataset& data) {
+  Rcc rcc;
+  rcc.id = id;
+  rcc.avail_id = avail_id;
+  rcc.type = RccType::kGrowth;
+  rcc.swlin = *Swlin::Parse("511-22-003");
+  const Avail& avail = **data.avails.Find(avail_id);
+  rcc.creation_date = avail.actual_start + 20;
+  rcc.settled_date = std::nullopt;  // stays open: end = +infinity.
+  rcc.settled_amount = 0.0;
+  return rcc;
+}
+
+TEST(DeltaIndexTest, CleanSnapshotMatchesFreshIndex) {
+  auto store = DataStore::Open(Fleet());
+  ASSERT_TRUE(store.ok());
+  const auto snapshot = (*store)->Snapshot();
+  EXPECT_EQ(snapshot->rcc_index().backend(), IndexBackend::kAvlTree);
+  ExpectIndexEquivalence(*snapshot);
+}
+
+TEST(DeltaIndexTest, DirtySnapshotOverlayMatchesFreshIndex) {
+  auto store = DataStore::Open(Fleet());
+  ASSERT_TRUE(store.ok());
+  const Dataset& base = (*store)->Snapshot()->data();
+  std::int64_t next_id = NextRccId(base);
+
+  // Inserts: a new open RCC and a new settled one.
+  ASSERT_TRUE((*store)->Append(MakeRccUpsert(OpenRcc(next_id++, 3, base))).ok());
+  Rcc settled = OpenRcc(next_id++, 5, base);
+  settled.settled_date = settled.creation_date + 30;
+  settled.settled_amount = 900.5;
+  ASSERT_TRUE((*store)->Append(MakeRccUpsert(settled)).ok());
+
+  const auto snapshot = (*store)->Snapshot();
+  ASSERT_EQ(snapshot->delta_depth(), 2u);
+  EXPECT_EQ(snapshot->rcc_index().backend(), IndexBackend::kDeltaOverlay);
+  ExpectIndexEquivalence(*snapshot);
+}
+
+TEST(DeltaIndexTest, AmendedIntervalSupersedesTheBaseEntry) {
+  auto store = DataStore::Open(Fleet());
+  ASSERT_TRUE(store.ok());
+  const auto before = (*store)->Snapshot();
+
+  // Settle a previously-open base RCC (interval end moves from +inf to a
+  // finite t*): its base entry must stop answering queries.
+  const Rcc* victim = nullptr;
+  for (const Rcc& rcc : before->data().rccs.rows()) {
+    if (!rcc.settled_date.has_value()) {
+      victim = &rcc;
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr) << "fleet has no open RCC to settle";
+  Rcc amended = *victim;
+  amended.settled_date = amended.creation_date + 14;
+  amended.settled_amount = 777.25;
+  ASSERT_TRUE((*store)->Append(MakeRccUpsert(amended)).ok());
+
+  const auto snapshot = (*store)->Snapshot();
+  // An amend replaces, it does not add.
+  EXPECT_EQ(snapshot->rcc_index().size(), before->rcc_index().size());
+  ExpectIndexEquivalence(*snapshot);
+
+  // And after compaction the merged base index agrees again.
+  ASSERT_TRUE((*store)->Merge().ok());
+  const auto merged = (*store)->Snapshot();
+  EXPECT_EQ(merged->rcc_index().backend(), IndexBackend::kAvlTree);
+  ExpectIndexEquivalence(*merged);
+}
+
+TEST(DeltaIndexTest, OverlaySurvivesFrozenRuns) {
+  auto store = DataStore::Open(Fleet());
+  ASSERT_TRUE(store.ok());
+  const Dataset& base = (*store)->Snapshot()->data();
+  std::int64_t next_id = NextRccId(base);
+
+  // Memtable -> frozen run -> more memtable: the overlay must read both.
+  ASSERT_TRUE((*store)->Append(MakeRccUpsert(OpenRcc(next_id++, 1, base))).ok());
+  (*store)->FlushDelta();
+  ASSERT_TRUE((*store)->Append(MakeRccUpsert(OpenRcc(next_id++, 2, base))).ok());
+
+  const auto snapshot = (*store)->Snapshot();
+  ASSERT_EQ(snapshot->delta_depth(), 2u);
+  ExpectIndexEquivalence(*snapshot);
+}
+
+TEST(DeltaIndexTest, FactoryRejectsOverlayWithoutBase) {
+  auto index = MakeLogicalTimeIndex(IndexBackend::kDeltaOverlay);
+  EXPECT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace domd

@@ -47,7 +47,7 @@ TEST(NaiveJoinIndexTest, FactoryProducesCorrectTypes) {
   for (IndexBackend backend :
        {IndexBackend::kIntervalTree, IndexBackend::kAvlTree,
         IndexBackend::kNaiveJoin}) {
-    auto index = CreateLogicalTimeIndex(backend);
+    auto index = MakeLogicalTimeIndex(backend).value();
     ASSERT_NE(index, nullptr);
     EXPECT_EQ(index->backend(), backend);
   }

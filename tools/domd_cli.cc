@@ -19,6 +19,15 @@
 //   domd sql       --dir DATA --query "SELECT ... AT <t*>"
 //   domd report    --dir DATA --model FILE [--out FILE] [--t T*]
 //                  [--threads N]
+//   domd ingest    --dir DATA [--mutations FILE] [--merge 1]
+//
+// `ingest` appends avail/RCC mutations to DATA/ingest.log — the
+// crash-safe, fsync'd append-only log every other subcommand replays on
+// open (DESIGN.md §14). --mutations FILE is newline-delimited JSON, one
+// {"avails": [...], "rccs": [...]} object per line in the server's ingest
+// wire schema. --merge 1 compacts log + base into fresh avails.csv /
+// rccs.csv afterwards (durably) and truncates the log; without it the
+// mutations stay pending and every reader overlays them on the base.
 //
 // DATA directories hold avails.csv and rccs.csv in the library's CSV
 // schema. Model files are written by `train` (DomdEstimator::SaveModels).
@@ -68,6 +77,7 @@
 #include "cache/view_cache.h"
 #include "core/domd_estimator.h"
 #include "fault/fault.h"
+#include "ingest/data_store.h"
 #include "core/pipeline_optimizer.h"
 #include "data/logical_time.h"
 #include "data/integrity.h"
@@ -181,21 +191,31 @@ std::size_t CacheBytesFlag(const Flags& flags) {
   return static_cast<std::size_t>(std::atoll(it->second.c_str()));
 }
 
-StatusOr<Dataset> LoadData(const Flags& flags) {
+/// Every subcommand reads --dir through a DataStore snapshot (DESIGN.md
+/// §14): the pinned, epoch-stamped cut of avails.csv + rccs.csv overlaid
+/// with any mutations still pending in dir/ingest.log from `domd ingest`.
+struct StoreHandle {
+  std::unique_ptr<DataStore> store;
+  std::shared_ptr<const DataSnapshot> snapshot;
+  const Dataset& data() const { return snapshot->data(); }
+};
+
+StatusOr<StoreHandle> OpenStore(const Flags& flags, bool for_ingest = false) {
   const auto it = flags.find("dir");
   if (it == flags.end()) {
     return Status::InvalidArgument("--dir is required");
   }
-  Dataset data;
-  auto avails = AvailTable::ReadFile(it->second + "/avails.csv");
-  if (!avails.ok()) return avails.status();
-  data.avails = std::move(*avails);
-  auto rccs = RccTable::ReadFile(it->second + "/rccs.csv");
-  if (!rccs.ok()) return rccs.status();
-  data.rccs = std::move(*rccs);
+  DataStoreOptions options;
+  // Read-only commands replay an existing log but never create one.
+  options.adopt_existing_log_only = !for_ingest;
+  auto store = DataStore::OpenDir(it->second, std::move(options));
+  if (!store.ok()) return store.status();
+  StoreHandle handle;
+  handle.store = std::move(*store);
+  handle.snapshot = handle.store->Snapshot();
 
   // Refuse corrupt datasets up front; surface warnings.
-  const IntegrityReport report = CheckDatasetIntegrity(data);
+  const IntegrityReport report = CheckDatasetIntegrity(handle.data());
   if (!report.ok()) {
     std::string first;
     for (const auto& issue : report.issues) {
@@ -212,7 +232,7 @@ StatusOr<Dataset> LoadData(const Flags& flags) {
     std::fprintf(stderr, "warning: %zu integrity warnings in %s\n",
                  report.num_warnings, it->second.c_str());
   }
-  return data;
+  return handle;
 }
 
 int CmdGenerate(const Flags& flags) {
@@ -238,8 +258,8 @@ int CmdGenerate(const Flags& flags) {
 }
 
 int CmdObfuscate(const Flags& flags) {
-  auto data = LoadData(flags);
-  if (!data.ok()) return Fail(data.status());
+  auto store = OpenStore(flags);
+  if (!store.ok()) return Fail(store.status());
   const auto out_it = flags.find("out");
   if (out_it == flags.end()) {
     return Fail(Status::InvalidArgument("--out is required"));
@@ -248,7 +268,7 @@ int CmdObfuscate(const Flags& flags) {
   config.seed = static_cast<std::uint64_t>(
       std::atoll(FlagOr(flags, "seed", "53391").c_str()));
   Obfuscator obfuscator(config);
-  const Dataset masked = obfuscator.Obfuscate(*data);
+  const Dataset masked = obfuscator.Obfuscate(store->data());
   if (auto s = masked.avails.WriteFile(out_it->second + "/avails.csv");
       !s.ok()) {
     return Fail(s);
@@ -261,11 +281,12 @@ int CmdObfuscate(const Flags& flags) {
 }
 
 int CmdStats(const Flags& flags) {
-  auto data = LoadData(flags);
-  if (!data.ok()) return Fail(data.status());
+  auto store = OpenStore(flags);
+  if (!store.ok()) return Fail(store.status());
+  const Dataset& data = store->data();
   std::size_t closed = 0, ongoing = 0;
   std::vector<double> delays;
-  for (const Avail& a : data->avails.rows()) {
+  for (const Avail& a : data.avails.rows()) {
     if (a.status == AvailStatus::kClosed) {
       ++closed;
       delays.push_back(static_cast<double>(*a.delay()));
@@ -274,8 +295,11 @@ int CmdStats(const Flags& flags) {
     }
   }
   std::printf("avails:   %zu (%zu closed, %zu ongoing)\n",
-              data->avails.size(), closed, ongoing);
-  std::printf("RCCs:     %zu\n", data->rccs.size());
+              data.avails.size(), closed, ongoing);
+  std::printf("RCCs:     %zu\n", data.rccs.size());
+  std::printf("epoch:    %016llx (%zu pending ingest mutations)\n",
+              static_cast<unsigned long long>(store->snapshot->epoch()),
+              store->snapshot->delta_depth());
   if (!delays.empty()) {
     double sum = 0, max_delay = delays[0], min_delay = delays[0];
     for (double d : delays) {
@@ -297,8 +321,9 @@ struct TrainedContext {
 };
 
 int CmdTrain(const Flags& flags) {
-  auto data = LoadData(flags);
-  if (!data.ok()) return Fail(data.status());
+  auto store = OpenStore(flags);
+  if (!store.ok()) return Fail(store.status());
+  const Dataset& data = store->data();
   const auto model_it = flags.find("model");
   if (model_it == flags.end()) {
     return Fail(Status::InvalidArgument("--model is required"));
@@ -316,13 +341,14 @@ int CmdTrain(const Flags& flags) {
   if (auto s = ApplyGbtLayoutFlags(flags, &config); !s.ok()) return Fail(s);
 
   Rng rng(config.seed + 1);
-  const DataSplit split = *MakeSplit(data->avails, SplitOptions{}, &rng);
+  const DataSplit split = *MakeSplit(data.avails, SplitOptions{}, &rng);
   std::printf("split: %zu train / %zu validation / %zu test\n",
               split.train.size(), split.validation.size(),
               split.test.size());
   std::printf("pipeline: %s\n", config.ToString().c_str());
 
-  auto estimator = DomdEstimator::Train(&*data, config, split.train);
+  auto estimator =
+      DomdEstimator::Train(store->snapshot, config, split.train);
   if (!estimator.ok()) return Fail(estimator.status());
   if (auto s = estimator->SaveModels(model_it->second); !s.ok()) {
     return Fail(s);
@@ -332,7 +358,7 @@ int CmdTrain(const Flags& flags) {
   // Optional serving artifact: models + reference fleet + frozen indexes.
   if (const auto bundle_it = flags.find("bundle"); bundle_it != flags.end()) {
     const std::string version = FlagOr(flags, "bundle-version", "v1");
-    if (auto s = ModelBundle::Write(*estimator, *data, bundle_it->second,
+    if (auto s = ModelBundle::Write(*estimator, data, bundle_it->second,
                                     version);
         !s.ok()) {
       return Fail(s);
@@ -346,7 +372,7 @@ int CmdTrain(const Flags& flags) {
   for (std::int64_t id : split.test) {
     const auto result = estimator->QueryAtLogicalTime(id, 100.0);
     if (!result.ok()) continue;
-    truth.push_back(static_cast<double>(*(*data->avails.Find(id))->delay()));
+    truth.push_back(static_cast<double>(*(*data.avails.Find(id))->delay()));
     predicted.push_back(result->fused_estimate_days);
   }
   const EvalMetrics metrics = ComputeEvalMetrics(truth, predicted);
@@ -361,8 +387,9 @@ int CmdTrain(const Flags& flags) {
 // so trial 2..N skip feature engineering entirely (watch the hit ratio the
 // command prints, or pass --cache-bytes 0 to feel the difference).
 int CmdTune(const Flags& flags) {
-  auto data = LoadData(flags);
-  if (!data.ok()) return Fail(data.status());
+  auto store = OpenStore(flags);
+  if (!store.ok()) return Fail(store.status());
+  const Dataset& data = store->data();
 
   PipelineConfig config;
   config.window_width_pct = std::atof(FlagOr(flags, "window", "10").c_str());
@@ -375,9 +402,9 @@ int CmdTune(const Flags& flags) {
   if (auto s = ApplyGbtLayoutFlags(flags, &config); !s.ok()) return Fail(s);
 
   Rng rng(config.seed + 1);
-  const DataSplit split = *MakeSplit(data->avails, SplitOptions{}, &rng);
+  const DataSplit split = *MakeSplit(data.avails, SplitOptions{}, &rng);
   const std::vector<double> grid = LogicalTimeGrid(config.window_width_pct);
-  const FeatureEngineer engineer(&*data);
+  const FeatureEngineer engineer(&data);
   std::vector<std::string> names;
   names.reserve(engineer.catalog().size());
   for (const FeatureDef& def : engineer.catalog().features()) {
@@ -388,10 +415,10 @@ int CmdTune(const Flags& flags) {
   const auto objective = [&](const ParamMap& map) {
     // Deliberately inside the trial: cache hit after the first trial.
     const auto train = BuildModelingViewShared(
-        *data, engineer, split.train, grid, config.parallelism,
+        data, engineer, split.train, grid, config.parallelism,
         config.cache_bytes);
     const auto validation = BuildModelingViewShared(
-        *data, engineer, split.validation, grid, config.parallelism,
+        data, engineer, split.validation, grid, config.parallelism,
         config.cache_bytes);
     PipelineConfig candidate = config;
     PipelineOptimizer::ApplyGbtParams(map, &candidate.gbt);
@@ -423,15 +450,16 @@ int CmdTune(const Flags& flags) {
 }
 
 int CmdEvaluate(const Flags& flags) {
-  auto data = LoadData(flags);
-  if (!data.ok()) return Fail(data.status());
+  auto store = OpenStore(flags);
+  if (!store.ok()) return Fail(store.status());
   const auto model_it = flags.find("model");
   if (model_it == flags.end()) {
     return Fail(Status::InvalidArgument("--model is required"));
   }
-  auto estimator =
-      DomdEstimator::LoadModels(&*data, model_it->second, ThreadsFlag(flags),
-                                CacheBytesFlag(flags));
+  auto estimator = DomdEstimator::LoadModels(store->snapshot,
+                                             model_it->second,
+                                             ThreadsFlag(flags),
+                                             CacheBytesFlag(flags));
   if (!estimator.ok()) return Fail(estimator.status());
 
   // Table-7-style panel over every closed avail.
@@ -439,7 +467,7 @@ int CmdEvaluate(const Flags& flags) {
               "MAE100", "MSE", "RMSE", "R2");
   for (double t : estimator->grid()) {
     std::vector<double> truth, predicted;
-    for (const Avail& avail : data->avails.rows()) {
+    for (const Avail& avail : store->data().avails.rows()) {
       if (!avail.delay().has_value()) continue;
       const auto result = estimator->QueryAtLogicalTime(avail.id, t);
       if (!result.ok()) continue;
@@ -454,16 +482,17 @@ int CmdEvaluate(const Flags& flags) {
 }
 
 int CmdQuery(const Flags& flags) {
-  auto data = LoadData(flags);
-  if (!data.ok()) return Fail(data.status());
+  auto store = OpenStore(flags);
+  if (!store.ok()) return Fail(store.status());
   const auto model_it = flags.find("model");
   const auto avail_it = flags.find("avail");
   if (model_it == flags.end() || avail_it == flags.end()) {
     return Fail(Status::InvalidArgument("--model and --avail are required"));
   }
-  auto estimator =
-      DomdEstimator::LoadModels(&*data, model_it->second, ThreadsFlag(flags),
-                                CacheBytesFlag(flags));
+  auto estimator = DomdEstimator::LoadModels(store->snapshot,
+                                             model_it->second,
+                                             ThreadsFlag(flags),
+                                             CacheBytesFlag(flags));
   if (!estimator.ok()) return Fail(estimator.status());
 
   const std::int64_t avail_id = std::atoll(avail_it->second.c_str());
@@ -584,8 +613,8 @@ int CmdPredict(const Flags& flags) {
 }
 
 int CmdSql(const Flags& flags) {
-  auto data = LoadData(flags);
-  if (!data.ok()) return Fail(data.status());
+  auto store = OpenStore(flags);
+  if (!store.ok()) return Fail(store.status());
   const auto query_it = flags.find("query");
   if (query_it == flags.end()) {
     return Fail(Status::InvalidArgument("--query is required"));
@@ -593,7 +622,7 @@ int CmdSql(const Flags& flags) {
   const auto parsed = ParseStatusQuery(query_it->second);
   if (!parsed.ok()) return Fail(parsed.status());
 
-  StatusQueryEngine engine(&*data, IndexBackend::kAvlTree);
+  StatusQueryEngine engine(&store->data(), IndexBackend::kAvlTree);
   if (parsed->group_by.has_value()) {
     const auto rows =
         engine.ExecuteGroupBy(parsed->query, parsed->t_star,
@@ -619,21 +648,22 @@ int CmdSql(const Flags& flags) {
 }
 
 int CmdReport(const Flags& flags) {
-  auto data = LoadData(flags);
-  if (!data.ok()) return Fail(data.status());
+  auto store = OpenStore(flags);
+  if (!store.ok()) return Fail(store.status());
   const auto model_it = flags.find("model");
   if (model_it == flags.end()) {
     return Fail(Status::InvalidArgument("--model is required"));
   }
-  auto estimator =
-      DomdEstimator::LoadModels(&*data, model_it->second, ThreadsFlag(flags),
-                                CacheBytesFlag(flags));
+  auto estimator = DomdEstimator::LoadModels(store->snapshot,
+                                             model_it->second,
+                                             ThreadsFlag(flags),
+                                             CacheBytesFlag(flags));
   if (!estimator.ok()) return Fail(estimator.status());
 
   ReportOptions options;
   options.query_t_star = std::atof(FlagOr(flags, "t", "60").c_str());
   ReportWriter writer(options);
-  const auto report = writer.FleetReport(*data, *estimator);
+  const auto report = writer.FleetReport(store->data(), *estimator);
   if (!report.ok()) return Fail(report.status());
 
   const auto out_it = flags.find("out");
@@ -651,11 +681,65 @@ int CmdReport(const Flags& flags) {
   return 0;
 }
 
+// `ingest` is the batch producer of the streaming path: it validates,
+// durably logs and applies mutations through the same DataStore every
+// reader opens, so a crash between append and merge never loses an
+// accepted record (replay on next open reproduces it).
+int CmdIngest(const Flags& flags) {
+  auto store = OpenStore(flags, /*for_ingest=*/true);
+  if (!store.ok()) return Fail(store.status());
+
+  std::size_t applied = 0;
+  if (const auto mutations_it = flags.find("mutations");
+      mutations_it != flags.end()) {
+    std::ifstream in(mutations_it->second);
+    if (!in) {
+      return Fail(Status::IoError("cannot open " + mutations_it->second));
+    }
+    std::vector<IngestMutation> batch;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      auto request = JsonValue::Parse(line);
+      if (!request.ok()) return Fail(request.status());
+      auto mutations = ParseIngestMutations(*request);
+      if (!mutations.ok()) return Fail(mutations.status());
+      for (IngestMutation& mutation : *mutations) {
+        batch.push_back(std::move(mutation));
+      }
+    }
+    if (batch.empty()) {
+      return Fail(Status::InvalidArgument(mutations_it->second +
+                                          " holds no mutations"));
+    }
+    if (auto s = store->store->AppendBatch(batch); !s.ok()) return Fail(s);
+    applied = batch.size();
+  }
+
+  const IngestStats stats = store->store->stats();
+  std::printf("appended %zu mutations (%zu pending, log %zu bytes, "
+              "epoch %016llx)\n",
+              applied, stats.pending, stats.log_bytes,
+              static_cast<unsigned long long>(
+                  store->store->Snapshot()->epoch()));
+
+  if (std::atoi(FlagOr(flags, "merge", "0").c_str()) != 0) {
+    auto merged = store->store->Merge();
+    if (!merged.ok()) return Fail(merged.status());
+    std::printf("merged %zu mutations: epoch %016llx -> %016llx%s\n",
+                merged->merged_mutations,
+                static_cast<unsigned long long>(merged->old_epoch),
+                static_cast<unsigned long long>(merged->new_epoch),
+                merged->persisted ? " (persisted, log truncated)" : "");
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
       "usage: domd <generate|obfuscate|stats|train|tune|evaluate|query|"
-      "predict|sql|report> [flags]\n"
+      "predict|sql|report|ingest> [flags]\n"
       "  see the header of tools/domd_cli.cc for flag details\n");
   return 2;
 }
@@ -680,6 +764,7 @@ int main(int argc, char** argv) {
   else if (command == "predict") exit_code = domd::CmdPredict(flags);
   else if (command == "sql") exit_code = domd::CmdSql(flags);
   else if (command == "report") exit_code = domd::CmdReport(flags);
+  else if (command == "ingest") exit_code = domd::CmdIngest(flags);
   else dispatched = false;
   if (!dispatched) return domd::Usage();
   // --metrics-json PATH: dump everything the run observed (pipeline spans,

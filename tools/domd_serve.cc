@@ -6,6 +6,8 @@
 //              [--breaker-open-ms M] [--loop-shards S]
 //              [--max-connections C] [--idle-timeout-ms T]
 //              [--max-request-bytes L] [--fault-spec SPEC]
+//              [--ingest-log FILE] [--retrain-root DIR]
+//              [--merge-threshold N]
 //
 // Listens on 127.0.0.1:P (P = 0 picks an ephemeral port; the chosen port is
 // printed on stdout as "listening on 127.0.0.1:<port>"). Each connection
@@ -23,6 +25,22 @@
 //                                        breaker state, queue depth
 //   {"cmd": "ping"}                      liveness probe
 //   {"cmd": "shutdown"}                  drain and exit cleanly
+//
+// With --ingest-log FILE the server opens a streaming DataStore (DESIGN.md
+// §14) seeded from the bundle's reference fleet, replaying any records
+// already in FILE, and three more verbs come online:
+//
+//   {"cmd": "ingest", "avails": [...], "rccs": [...]}
+//       validate + durably log + apply avail/RCC upserts
+//   {"cmd": "freshness"}                 live bundle's data epoch vs the
+//                                        store's (is the model stale?)
+//   {"cmd": "retrain", "version": V}     train a new bundle from a pinned
+//                                        snapshot under --retrain-root and
+//                                        hot-swap it (requires the flag)
+//
+// --merge-threshold N starts a background merger that compacts the delta
+// into the base once N mutations are pending (0, the default, merges only
+// by explicit DataStore::Merge).
 //
 // Front-end: a non-blocking epoll reactor (DESIGN.md §11) — one acceptor
 // plus --loop-shards event-loop shards, each owning its connections. Client
@@ -55,6 +73,7 @@
 #include <string>
 
 #include "fault/fault.h"
+#include "ingest/data_store.h"
 #include "serve/frontend.h"
 #include "serve/reactor.h"
 #include "serve/wire.h"
@@ -149,10 +168,35 @@ int Run(const Flags& flags) {
       std::atoi(FlagOr(flags, "breaker-open-ms", "1000").c_str()));
   PredictionService service(*bundle, options);
 
+  // Streaming ingestion: the store's base is the bundle's reference
+  // fleet, so freshness epochs and retrain cuts both extend the data the
+  // live model was trained from.
+  std::unique_ptr<DataStore> store;
+  if (const auto it = flags.find("ingest-log"); it != flags.end()) {
+    DataStoreOptions store_options;
+    store_options.log_path = it->second;
+    store_options.merge_threshold = static_cast<std::size_t>(
+        std::atoll(FlagOr(flags, "merge-threshold", "0").c_str()));
+    auto opened = DataStore::Open((*bundle)->data(), store_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: --ingest-log: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    store = std::move(*opened);
+    const IngestStats ingest = store->stats();
+    std::printf("domd_serve: ingest log %s (%llu replayed, %zu pending)\n",
+                it->second.c_str(),
+                static_cast<unsigned long long>(ingest.replayed),
+                ingest.pending);
+  }
+
   FrontendOptions frontend_options;
   frontend_options.parallelism = parallelism;
   frontend_options.cache_bytes = cache_bytes;
   frontend_options.load_retry = load_retry;
+  frontend_options.store = store.get();
+  frontend_options.retrain_root = FlagOr(flags, "retrain-root", "");
   ServeFrontend frontend(&service, frontend_options);
 
   ReactorOptions reactor_options;
