@@ -223,6 +223,12 @@ Status DataStore::Append(const IngestMutation& mutation) {
 Status DataStore::AppendBatch(
     const std::vector<IngestMutation>& mutations) {
   if (mutations.empty()) return Status::OK();
+  // Validation, log write, and memtable apply all happen under append_mu_
+  // (mu_ is taken inside it, matching Merge's rotation block): referential
+  // checks and visibility use one consistent cut, so an RCC referencing an
+  // avail from any previously acknowledged batch can never be spuriously
+  // rejected by a validate-then-apply race.
+  std::lock_guard<std::mutex> append_lock(append_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     std::unordered_set<std::int64_t> batch_avails;
@@ -239,7 +245,6 @@ Status DataStore::AppendBatch(
       }
     }
   }
-  std::lock_guard<std::mutex> append_lock(append_mu_);
   if (log_ != nullptr) {
     DOMD_RETURN_IF_ERROR(log_->AppendBatch(mutations));
   }
@@ -378,9 +383,11 @@ StatusOr<MergeStats> DataStore::Merge() {
 
   if (stats.persisted && log_ != nullptr) {
     // The merged prefix is durable in the CSVs now; rotate the log down
-    // to the records that arrived after the cut. Replaying a log that
-    // still holds merged records is harmless (upserts are idempotent),
-    // so a crash anywhere in this window cannot lose state.
+    // to the records that arrived after the cut. Rotate() never truncates
+    // the old log — it renames a durable replacement over it — so a crash
+    // anywhere in this window replays either the full old log (merged
+    // records are idempotent upserts) or exactly the pending suffix, and
+    // acknowledged mutations are never lost.
     std::lock_guard<std::mutex> append_lock(append_mu_);
     std::vector<IngestMutation> still_pending;
     {
@@ -393,8 +400,7 @@ StatusOr<MergeStats> DataStore::Merge() {
       still_pending.insert(still_pending.end(), cut->mutations.begin(),
                            cut->mutations.end());
     }
-    DOMD_RETURN_IF_ERROR(log_->Reset());
-    DOMD_RETURN_IF_ERROR(log_->AppendBatch(still_pending));
+    DOMD_RETURN_IF_ERROR(log_->Rotate(still_pending));
   }
 
   stats.new_epoch = new_epoch;

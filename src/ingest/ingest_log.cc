@@ -273,15 +273,44 @@ Status IngestLog::AppendBatch(
   return Status::OK();
 }
 
-Status IngestLog::Reset() {
-  const std::size_t header_len = sizeof(kHeader) - 1;
-  if (::ftruncate(fd_, static_cast<off_t>(header_len)) != 0) {
-    return Status::IoError("cannot reset ingest log " + path_ + ": " +
+Status IngestLog::Rotate(
+    const std::vector<IngestMutation>& still_pending) {
+  // Never truncate the only durable copy. The replacement log is built in
+  // a sibling file and made durable first; the rename below is the single
+  // atomic commit point, so a crash anywhere leaves exactly one intact
+  // log — the old one (extra merged records replay as idempotent upserts)
+  // or the new one (exactly the still-pending suffix).
+  const std::string tmp = path_ + ".rotate";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + tmp + ": " +
                            std::strerror(errno));
   }
-  DOMD_RETURN_IF_ERROR(FsyncFd(fd_, path_));
-  size_bytes_ = header_len;
-  return Status::OK();
+  std::string buffer = kHeader;
+  for (const IngestMutation& mutation : still_pending) {
+    buffer += EncodeRecord(mutation);
+  }
+  Status written = WriteAll(fd, buffer, tmp);
+  if (written.ok()) written = FsyncFd(fd, tmp);
+  if (written.ok()) written = DOMD_FAULT_POINT("ingest.log.rotate").Check();
+  if (!written.ok()) {
+    ::close(fd);
+    return written;
+  }
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    const Status renamed =
+        Status::IoError("cannot rename " + tmp + " over ingest log " +
+                        path_ + ": " + std::strerror(errno));
+    ::close(fd);
+    return renamed;
+  }
+  // `fd` already refers to the renamed inode with its offset at the end;
+  // adopt it before the directory fsync so that even if that sync fails,
+  // subsequent appends land in the live log, never the unlinked one.
+  ::close(fd_);
+  fd_ = fd;
+  size_bytes_ = buffer.size();
+  return FsyncParentDir(path_);
 }
 
 Status WriteFileDurably(const std::string& path,

@@ -30,7 +30,8 @@ namespace domd {
 /// Fault points: ingest.log.append (before the record write),
 /// ingest.log.fsync (between write and fsync — the record may or may not
 /// survive a crash, exactly like a real torn write), ingest.log.replay
-/// (transient read failure during Open).
+/// (transient read failure during Open), ingest.log.rotate (after the
+/// replacement log is durable, before it is renamed into place).
 class IngestLog {
  public:
   struct ReplayResult {
@@ -53,9 +54,16 @@ class IngestLog {
   /// Durably appends a batch with a single fsync.
   Status AppendBatch(const std::vector<IngestMutation>& mutations);
 
-  /// Truncates the log back to its header after a merge has durably
-  /// persisted the merged base (log rotation).
-  Status Reset();
+  /// Atomically replaces the log's contents with `still_pending` after a
+  /// merge has durably persisted everything else (log rotation). The
+  /// replacement is written and fsync'd as a sibling file, then rename()d
+  /// over the old log (parent directory fsync'd), so at every instant
+  /// exactly one intact log exists on disk: a crash mid-rotation replays
+  /// either the full old log — whose already-merged records are idempotent
+  /// upserts — or exactly the still-pending suffix. Fault point
+  /// ingest.log.rotate fires at the most adversarial moment, after the
+  /// replacement is durable but before the rename.
+  Status Rotate(const std::vector<IngestMutation>& still_pending);
 
   const std::string& path() const { return path_; }
   std::size_t size_bytes() const { return size_bytes_; }

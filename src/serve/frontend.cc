@@ -50,7 +50,10 @@ ServeFrontend::ServeFrontend(PredictionService* service,
       stage_root_(options_.stage_root.empty() ? DefaultStageRoot()
                                               : options_.stage_root) {
   RegisterBuiltinVerbs();
-  worker_ = std::thread([this] { WorkerLoop(); });
+  worker_ = std::thread(
+      [this] { WorkerLoop(&worker_queue_, &worker_available_); });
+  slow_worker_ =
+      std::thread([this] { WorkerLoop(&slow_queue_, &slow_available_); });
 }
 
 ServeFrontend::~ServeFrontend() {
@@ -58,8 +61,10 @@ ServeFrontend::~ServeFrontend() {
     std::lock_guard<std::mutex> lock(worker_mutex_);
     stopping_ = true;
     worker_available_.notify_all();
+    slow_available_.notify_all();
   }
   if (worker_.joinable()) worker_.join();
+  if (slow_worker_.joinable()) slow_worker_.join();
 }
 
 void ServeFrontend::RegisterVerb(const std::string& name, VerbPolicy policy,
@@ -139,11 +144,15 @@ void ServeFrontend::RegisterBuiltinVerbs() {
                [this](const JsonValue& request, Responder responder) {
                  RunIngest(request, std::move(responder));
                });
-  RegisterVerb("freshness", VerbPolicy::kInline, [this](const JsonValue&,
+  RegisterVerb("freshness", VerbPolicy::kWorker, [this](const JsonValue&,
                                                         Responder responder) {
     // Staleness probe: the live bundle embeds the data epoch it was
     // trained from; the store's snapshot epoch says what the data looks
     // like now. Unequal epochs mean a retrain would pick up new data.
+    // Worker, not inline: Snapshot() on a dirty store materializes the
+    // full overlay — O(dataset) — and under active ingestion every append
+    // bumps the generation, so the per-generation cache cannot save an
+    // event-loop shard from that cost.
     const auto bundle = service_->bundle();
     const auto snapshot = options_.store->Snapshot();
     const IngestStats stats = options_.store->stats();
@@ -161,23 +170,27 @@ void ServeFrontend::RegisterBuiltinVerbs() {
     responder.Respond(out.Serialize());
   });
   if (!options_.retrain_root.empty()) {
-    RegisterVerb("retrain", VerbPolicy::kWorker,
+    // A full training run can take minutes; kSlowWorker keeps it off the
+    // worker thread so queued ingest acks and stage/swap flips never wait
+    // behind it.
+    RegisterVerb("retrain", VerbPolicy::kSlowWorker,
                  [this](const JsonValue& request, Responder responder) {
                    RunRetrain(request, std::move(responder));
                  });
   }
 }
 
-void ServeFrontend::WorkerLoop() {
+void ServeFrontend::WorkerLoop(std::deque<WorkerJob>* queue,
+                               std::condition_variable* available) {
   for (;;) {
     WorkerJob job;
     {
       std::unique_lock<std::mutex> lock(worker_mutex_);
-      worker_available_.wait(
-          lock, [this] { return stopping_ || !worker_queue_.empty(); });
-      if (worker_queue_.empty()) return;  // stopping, fully drained.
-      job = std::move(worker_queue_.front());
-      worker_queue_.pop_front();
+      available->wait(lock,
+                      [&] { return stopping_ || !queue->empty(); });
+      if (queue->empty()) return;  // stopping, fully drained.
+      job = std::move(queue->front());
+      queue->pop_front();
     }
     job.handler(job.request, std::move(job.responder));
   }
@@ -317,6 +330,24 @@ void ServeFrontend::RunRetrain(const JsonValue& request, Responder responder) {
   // SwapBundle path `swap` uses. Failure at any step keeps the
   // last-known-good bundle serving.
   const auto snapshot = options_.store->Snapshot();
+
+  // The version names a directory under retrain_root; a multi-component
+  // value ("../../dir") would write and load a bundle outside it, so only
+  // a single plain path component is accepted — checked before training,
+  // not after.
+  const std::string version =
+      request.StringOr("version", "e" + HexEpoch(snapshot->epoch()));
+  if (version.empty() || version == "." || version == ".." ||
+      version.find('/') != std::string::npos ||
+      version.find('\\') != std::string::npos) {
+    responder.Respond(
+        ErrorToJson(Status::InvalidArgument(
+                        "retrain \"version\" must be a single path "
+                        "component, got \"" + version + "\""))
+            .Serialize());
+    return;
+  }
+
   PipelineConfig config = service_->bundle()->config();
   config.parallelism = options_.parallelism;
   config.cache_bytes = options_.cache_bytes;
@@ -331,8 +362,6 @@ void ServeFrontend::RunRetrain(const JsonValue& request, Responder responder) {
     return;
   }
 
-  const std::string version =
-      request.StringOr("version", "e" + HexEpoch(snapshot->epoch()));
   const std::string dir = options_.retrain_root + "/" + version;
   std::error_code ec;
   std::filesystem::create_directories(options_.retrain_root, ec);
@@ -398,10 +427,11 @@ void ServeFrontend::Handle(std::string line, Responder responder) {
     job.handler = it->second.handler;
     job.request = std::move(*request);
     job.responder = std::move(responder);
+    const bool slow = it->second.policy == VerbPolicy::kSlowWorker;
     std::lock_guard<std::mutex> lock(worker_mutex_);
     if (stopping_) return;  // teardown races a late job: drop it.
-    worker_queue_.push_back(std::move(job));
-    worker_available_.notify_one();
+    (slow ? slow_queue_ : worker_queue_).push_back(std::move(job));
+    (slow ? slow_available_ : worker_available_).notify_one();
     return;
   }
 

@@ -40,7 +40,11 @@ struct FrontendOptions {
 /// Where a verb's handler runs.
 enum class VerbPolicy {
   kInline,  ///< on the event-loop shard; handlers must never block.
-  kWorker,  ///< on the dedicated worker thread (disk I/O, retry, training).
+  kWorker,  ///< on the worker thread: blocking but bounded (disk I/O, fsync).
+  /// On a separate long-job thread (training runs lasting minutes), so an
+  /// in-flight retrain can never queue ingest durability acks or
+  /// stage/swap flips behind it.
+  kSlowWorker,
 };
 
 /// The NDJSON verb router of domd_serve, factored out of the binary so the
@@ -53,10 +57,12 @@ enum class VerbPolicy {
 ///
 /// Verbs are dispatched through a registration table instead of an ad-hoc
 /// `if` chain: each verb carries a policy saying where its handler runs.
-/// Inline verbs (ping/stats/health/metrics/freshness — pure snapshot
-/// reads) answer on the shard; worker verbs (swap/stage/ingest/retrain —
-/// blocking disk I/O, bounded retry, training) queue to a dedicated worker
-/// thread so they can never stall an event-loop shard. `shutdown` responds
+/// Inline verbs (ping/stats/health/metrics — O(1) reads) answer on the
+/// shard; worker verbs (swap/stage/ingest/freshness — blocking disk I/O,
+/// bounded retry, snapshot materialization) queue to a dedicated worker
+/// thread so they can never stall an event-loop shard; slow-worker verbs
+/// (retrain — a full training run) get their own thread so a long job
+/// never delays a queued durability ack or flip. `shutdown` responds
 /// through RespondThenStop, which stops the reactor only after the
 /// response line has drained. Requests with no `cmd` score: reference-
 /// fleet requests (`avail_id`) answer inline against one bundle snapshot,
@@ -109,7 +115,8 @@ class ServeFrontend {
   };
 
   void RegisterBuiltinVerbs();
-  void WorkerLoop();
+  void WorkerLoop(std::deque<WorkerJob>* queue,
+                  std::condition_variable* available);
   void RunSwap(const JsonValue& request, Responder responder);
   void RunStage(const JsonValue& request, Responder responder);
   void RunIngest(const JsonValue& request, Responder responder);
@@ -124,12 +131,15 @@ class ServeFrontend {
 
   std::mutex worker_mutex_;
   std::condition_variable worker_available_;
+  std::condition_variable slow_available_;
   std::deque<WorkerJob> worker_queue_;
+  std::deque<WorkerJob> slow_queue_;  ///< kSlowWorker jobs (retrain).
   bool stopping_ = false;
   /// Staged bundles by their staged directory, kept loaded so the flip
   /// half of a rollout swaps without touching disk.
   std::map<std::string, std::shared_ptr<const ModelBundle>> staged_;
-  std::thread worker_;  ///< last member: joins before teardown.
+  std::thread worker_;       ///< last members: join before teardown.
+  std::thread slow_worker_;
 };
 
 }  // namespace domd

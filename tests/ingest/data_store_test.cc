@@ -232,7 +232,7 @@ TEST(DataStoreTest, DurableDirSurvivesMergeAndReopen) {
     EXPECT_TRUE(merged->persisted);
     merged_epoch = merged->new_epoch;
     merged_rccs = (*store)->Snapshot()->data().rccs.size();
-    // The log was truncated back to its header by the persisting merge.
+    // The log was rotated down to its header by the persisting merge.
     EXPECT_EQ((*store)->pending_mutations(), 0u);
   }
   auto reopened = DataStore::OpenDir(dir.path());
@@ -241,6 +241,41 @@ TEST(DataStoreTest, DurableDirSurvivesMergeAndReopen) {
   const auto snapshot = (*reopened)->Snapshot();
   EXPECT_EQ(snapshot->epoch(), merged_epoch);
   EXPECT_EQ(snapshot->data().rccs.size(), merged_rccs);
+}
+
+TEST(DataStoreTest, CrashedLogRotationLosesNothing) {
+  // The merge commits (CSVs durable, in-memory state swapped) but the log
+  // rotation dies after writing the replacement log, before renaming it
+  // into place. The old log — still the only live copy — holds the merged
+  // records; replaying them over the merged CSVs is an idempotent no-op,
+  // so a reopened store lands on identical content and epoch. Acknowledged
+  // data is never lost, which the pre-rename fault point makes the
+  // worst-case check (a truncating rotation would fail it).
+  ScopedTempDir dir("rotatecrash");
+  const Dataset fleet = SmallFleet();
+  ASSERT_TRUE(fleet.avails.WriteFile(dir.path() + "/avails.csv").ok());
+  ASSERT_TRUE(fleet.rccs.WriteFile(dir.path() + "/rccs.csv").ok());
+
+  const std::int64_t rcc_id = MaxRccId(fleet) + 1;
+  std::uint64_t merged_epoch = 0;
+  {
+    auto store = DataStore::OpenDir(dir.path());
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->Append(MakeRccUpsert(NewRcc(rcc_id, 3))).ok());
+    ScopedFaultInjection faults("ingest.log.rotate=fail-nth:1");
+    EXPECT_FALSE((*store)->Merge().ok());
+    // The merge itself committed; only the rotation failed.
+    EXPECT_EQ((*store)->pending_mutations(), 0u);
+    merged_epoch = (*store)->Snapshot()->epoch();
+  }
+  auto reopened = DataStore::OpenDir(dir.path());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  // The un-rotated log replays the already-merged record...
+  EXPECT_EQ((*reopened)->stats().replayed, 1u);
+  const auto snapshot = (*reopened)->Snapshot();
+  // ...idempotently: identical content, identical epoch.
+  EXPECT_TRUE(snapshot->data().rccs.Find(rcc_id).ok());
+  EXPECT_EQ(snapshot->epoch(), merged_epoch);
 }
 
 TEST(DataStoreTest, CrashBeforeMergeReplaysTheLog) {

@@ -222,22 +222,48 @@ TEST_F(IngestLogTest, ReplayFaultIsTransient) {
   EXPECT_EQ(replay.records.size(), mutations.size());
 }
 
-TEST_F(IngestLogTest, ResetTruncatesToHeader) {
-  path_ = TempLogPath("reset");
+TEST_F(IngestLogTest, RotateReplacesContentsAndKeepsAppending) {
+  path_ = TempLogPath("rotate");
   const std::vector<IngestMutation> mutations = SampleMutations(5);
   {
     IngestLog::ReplayResult replay;
     auto log = IngestLog::Open(path_, &replay);
     ASSERT_TRUE(log.ok());
     ASSERT_TRUE((*log)->AppendBatch(mutations).ok());
-    ASSERT_TRUE((*log)->Reset().ok());
+    ASSERT_TRUE((*log)->Rotate({mutations[3], mutations[4]}).ok());
+    // Appends after a rotation land in the replacement log.
     ASSERT_TRUE((*log)->Append(mutations[0]).ok());
   }
   IngestLog::ReplayResult replay;
   auto log = IngestLog::Open(path_, &replay);
   ASSERT_TRUE(log.ok());
-  ASSERT_EQ(replay.records.size(), 1u);
-  EXPECT_TRUE(SameMutation(replay.records[0], mutations[0]));
+  ASSERT_EQ(replay.records.size(), 3u);
+  EXPECT_TRUE(SameMutation(replay.records[0], mutations[3]));
+  EXPECT_TRUE(SameMutation(replay.records[1], mutations[4]));
+  EXPECT_TRUE(SameMutation(replay.records[2], mutations[0]));
+}
+
+TEST_F(IngestLogTest, CrashedRotationKeepsOldLogIntact) {
+  // The fault fires after the replacement file is written and fsync'd but
+  // before the rename — the most adversarial crash point. The old log must
+  // remain the durable copy: every record still replays.
+  path_ = TempLogPath("rotatecrash");
+  const std::vector<IngestMutation> mutations = SampleMutations(5);
+  {
+    IngestLog::ReplayResult replay;
+    auto log = IngestLog::Open(path_, &replay);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->AppendBatch(mutations).ok());
+    ScopedFaultInjection faults("ingest.log.rotate=fail-nth:1");
+    EXPECT_FALSE((*log)->Rotate({mutations[4]}).ok());
+  }
+  IngestLog::ReplayResult replay;
+  auto log = IngestLog::Open(path_, &replay);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  ASSERT_EQ(replay.records.size(), mutations.size());
+  for (std::size_t i = 0; i < mutations.size(); ++i) {
+    EXPECT_TRUE(SameMutation(replay.records[i], mutations[i]));
+  }
 }
 
 TEST(IngestMutationTest, CodecRoundTripsDoublesExactly) {

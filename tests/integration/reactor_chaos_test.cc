@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "fault/fault.h"
+#include "ingest/data_store.h"
 #include "serve/frontend.h"
 #include "serve/reactor.h"
 #include "serve/reactor_test_client.h"
@@ -60,9 +61,9 @@ constexpr const char* kDetachedRequest =
 /// survives" assertions unambiguous).
 struct WireServer {
   explicit WireServer(std::shared_ptr<const ModelBundle> bundle,
-                      ServeOptions serve_options = {})
+                      ServeOptions serve_options = {},
+                      FrontendOptions frontend_options = {})
       : service(std::move(bundle), serve_options) {
-    FrontendOptions frontend_options;
     frontend_options.load_retry.max_attempts = 2;
     frontend_options.load_retry.initial_backoff =
         std::chrono::milliseconds(1);
@@ -390,6 +391,40 @@ TEST(ReactorChaosTest, InjectedSwapFaultIsCountedAndNonFatal) {
       client, "{\"cmd\": \"swap\", \"bundle\": \"" + fixture.dir_v2 + "\"}");
   EXPECT_TRUE(swapped.BoolOr("ok", false));
   EXPECT_EQ(swapped.StringOr("bundle_version", ""), "v2");
+}
+
+TEST(ReactorIngestTest, RetrainRejectsMultiComponentVersionAndFreshnessAnswers) {
+  // The ingestion verb trio over a live socket: `retrain` must reject a
+  // client-supplied version that names anything but a single path
+  // component (a "../.." value would write and load a bundle outside the
+  // retrain root), and `freshness` — a worker verb now, since Snapshot()
+  // on a dirty store is O(dataset) — still answers the staleness probe.
+  const auto& fixture = GetServeFixture();
+  auto store = DataStore::Open(fixture.v1->data());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  FrontendOptions frontend_options;
+  frontend_options.store = store->get();
+  frontend_options.retrain_root =
+      ::testing::TempDir() + "/domd_rchaos_retrain_root";
+  WireServer server(fixture.v1, {}, frontend_options);
+  TestClient client = TestClient::Connect(server.port());
+  ASSERT_TRUE(client.connected());
+
+  for (const char* version : {"../outside", "a/b", "..", ".", ""}) {
+    const JsonValue rejected = Rpc(
+        client, std::string("{\"cmd\": \"retrain\", \"version\": \"") +
+                    version + "\"}");
+    EXPECT_FALSE(rejected.BoolOr("ok", true)) << version;
+    EXPECT_EQ(rejected.StringOr("code", ""), "INVALID_ARGUMENT") << version;
+  }
+  EXPECT_FALSE(std::filesystem::exists(::testing::TempDir() + "/outside"));
+
+  // The store's base is the bundle's reference fleet: epochs agree.
+  const JsonValue fresh = Rpc(client, "{\"cmd\": \"freshness\"}");
+  ASSERT_TRUE(fresh.BoolOr("ok", false));
+  EXPECT_FALSE(fresh.BoolOr("stale", true));
+  EXPECT_EQ(fresh.StringOr("bundle_epoch", "b"),
+            fresh.StringOr("store_epoch", "s"));
 }
 
 TEST(ReactorChaosTest, ArmedButDisabledReactorFaultsChangeNothing) {

@@ -26,8 +26,9 @@
 // open (DESIGN.md §14). --mutations FILE is newline-delimited JSON, one
 // {"avails": [...], "rccs": [...]} object per line in the server's ingest
 // wire schema. --merge 1 compacts log + base into fresh avails.csv /
-// rccs.csv afterwards (durably) and truncates the log; without it the
-// mutations stay pending and every reader overlays them on the base.
+// rccs.csv afterwards (durably) and rotates the log down to any records
+// that arrived after the merge cut; without it the mutations stay pending
+// and every reader overlays them on the base.
 //
 // DATA directories hold avails.csv and rccs.csv in the library's CSV
 // schema. Model files are written by `train` (DomdEstimator::SaveModels).
@@ -730,7 +731,7 @@ int CmdIngest(const Flags& flags) {
                 merged->merged_mutations,
                 static_cast<unsigned long long>(merged->old_epoch),
                 static_cast<unsigned long long>(merged->new_epoch),
-                merged->persisted ? " (persisted, log truncated)" : "");
+                merged->persisted ? " (persisted, log rotated)" : "");
   }
   return 0;
 }
