@@ -1,9 +1,12 @@
-// Streaming-ingestion harness (DESIGN.md §14): measures the DataStore's
+// Streaming-ingestion harness (DESIGN.md §14–15): measures the DataStore's
 // durable append throughput, snapshot-query latency while the background
-// compaction races the readers, and the cost of pinning a snapshot — and
-// checks the correctness contracts along the way (every sampled snapshot
-// internally consistent, final epoch == content fingerprint, nothing
-// pending after the last merge). Results land in BENCH_ingest.json.
+// compaction races the readers, the cost of pinning a snapshot, and the
+// in-process halves of the replication protocol (quorum-acked append +
+// cold-follower catch-up) — and checks the correctness contracts along
+// the way (every sampled snapshot internally consistent, final epoch ==
+// content fingerprint, nothing pending after the last merge, replicas
+// converged to the primary's exact (seq, chain) position). Results land
+// in BENCH_ingest.json.
 
 #include <unistd.h>
 
@@ -20,6 +23,7 @@
 #include "bench/bench_common.h"
 #include "cache/fingerprint.h"
 #include "ingest/data_store.h"
+#include "ingest/mutation.h"
 #include "obs/stage.h"
 
 namespace domd {
@@ -222,6 +226,132 @@ int Run() {
   recorder.Record("snapshot_pin", stage_seconds(stage_start, stage_clock()));
   stage_start = stage_clock();
 
+  // ---- Replication: in-process log shipping. A primary appends under the
+  // quorum-2 discipline (each batch acked only after a follower durably
+  // applied it), then a cold follower replays the whole history through
+  // TailFrom/ApplyReplicated until its (seq, chain) position matches the
+  // primary's — the two DataStore halves of the serve-layer protocol with
+  // the sockets removed, so these numbers bound what the wire can do.
+  constexpr std::size_t kReplBatch = 64;
+  constexpr std::size_t kReplRecords = 4096;
+  bool repl_ok = true;
+  double quorum_rps = 0.0;
+  double catchup_ms = 0.0;
+  std::uint64_t catchup_records = 0;
+  {
+    const auto repl_log = [&](const char* role) {
+      return (std::filesystem::temp_directory_path() /
+              ("domd_bench_repl_" + std::string(role) + "_" +
+               std::to_string(::getpid()) + ".log"))
+          .string();
+    };
+    DataStoreOptions primary_options;
+    primary_options.log_path = repl_log("primary");
+    std::filesystem::remove(primary_options.log_path);
+    DataStoreOptions follower_options;
+    follower_options.log_path = repl_log("follower");
+    std::filesystem::remove(follower_options.log_path);
+    DataStoreOptions cold_options;
+    cold_options.log_path = repl_log("cold");
+    std::filesystem::remove(cold_options.log_path);
+    auto primary = DataStore::Open(fleet, primary_options);
+    auto follower = DataStore::Open(fleet, follower_options);
+    auto cold = DataStore::Open(fleet, cold_options);
+    if (!primary.ok() || !follower.ok() || !cold.ok()) {
+      repl_ok = false;
+    } else {
+      std::int64_t repl_id = 10'000'000;
+      const auto quorum_start = std::chrono::steady_clock::now();
+      for (std::size_t offset = 0; repl_ok && offset < kReplRecords;
+           offset += kReplBatch) {
+        const auto batch = CloneRccs(fleet, repl_id, kReplBatch);
+        repl_id += static_cast<std::int64_t>(kReplBatch);
+        const std::uint64_t first_seq = (*primary)->last_seq() + 1;
+        if (!(*primary)->AppendBatch(batch).ok() ||
+            !(*follower)->ApplyReplicated(first_seq, batch).ok()) {
+          repl_ok = false;
+        }
+      }
+      const double quorum_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        quorum_start)
+              .count();
+      quorum_rps = quorum_seconds > 0
+                       ? static_cast<double>(kReplRecords) / quorum_seconds
+                       : 0.0;
+
+      // Cold catch-up: the follower that missed the whole stream.
+      std::uint64_t primary_seq = 0;
+      std::uint64_t primary_chain = 0;
+      (*primary)->Position(&primary_seq, &primary_chain);
+      const auto catchup_start = std::chrono::steady_clock::now();
+      std::uint64_t next = (*cold)->last_seq() + 1;
+      while (repl_ok) {
+        std::uint64_t have_seq = 0;
+        std::uint64_t have_chain = 0;
+        (*cold)->Position(&have_seq, &have_chain);
+        auto tail = (*primary)->TailFrom(next, &have_chain, 512);
+        if (!tail.ok()) {
+          repl_ok = false;
+          break;
+        }
+        std::vector<IngestMutation> decoded;
+        decoded.reserve(tail->snapshot ? tail->rows.size()
+                                       : tail->records.size());
+        for (const std::string& payload :
+             tail->snapshot ? tail->rows : tail->records) {
+          auto mutation = DecodeMutation(payload);
+          if (!mutation.ok()) {
+            repl_ok = false;
+            break;
+          }
+          decoded.push_back(std::move(*mutation));
+        }
+        if (!repl_ok) break;
+        if (tail->snapshot) {
+          if (!(*cold)
+                   ->InstallSnapshot(decoded, tail->last_seq, tail->chain)
+                   .ok()) {
+            repl_ok = false;
+          }
+          break;
+        }
+        catchup_records += decoded.size();
+        if (!(*cold)->ApplyReplicated(tail->first_seq, decoded).ok()) {
+          repl_ok = false;
+          break;
+        }
+        next = (*cold)->last_seq() + 1;
+        if (!tail->more) break;
+      }
+      catchup_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - catchup_start)
+                       .count();
+
+      // Convergence is bit-identity: both halves of the quorum and the
+      // caught-up follower sit at the primary's exact (seq, chain) pair.
+      for (auto* replica : {&*follower, &*cold}) {
+        std::uint64_t seq = 0;
+        std::uint64_t chain = 0;
+        (*replica)->Position(&seq, &chain);
+        if (seq != primary_seq || chain != primary_chain) repl_ok = false;
+      }
+    }
+    std::printf("replication: %.0f RCCs/s quorum-acked (batch %zu), cold "
+                "catch-up of %llu records in %.1f ms (%s)\n",
+                quorum_rps, kReplBatch,
+                static_cast<unsigned long long>(catchup_records), catchup_ms,
+                repl_ok ? "converged" : "FAILED");
+    if (primary.ok()) primary->reset();
+    if (follower.ok()) follower->reset();
+    if (cold.ok()) cold->reset();
+    std::filesystem::remove(primary_options.log_path);
+    std::filesystem::remove(follower_options.log_path);
+    std::filesystem::remove(cold_options.log_path);
+  }
+  recorder.Record("replication", stage_seconds(stage_start, stage_clock()));
+  stage_start = stage_clock();
+
   // ---- Final accounting: everything merged, epoch == content.
   const auto final_snapshot = (*store)->Snapshot();
   const std::size_t expected_rccs = fleet.rccs.size() + kSingleAppends +
@@ -243,7 +373,8 @@ int Run() {
 
   const bool pass = append_ok && contention_ok.load() && accounting_ok &&
                     merges_during >= 1 && !query_us.empty() &&
-                    batch_rps > 1000.0 && pin_ns < 10000.0;
+                    batch_rps > 1000.0 && pin_ns < 10000.0 && repl_ok &&
+                    quorum_rps > 200.0 && catchup_ms < 10000.0;
 
   std::ofstream json("BENCH_ingest.json");
   json << "{\n  \"bench\": \"ingest\",\n";
@@ -262,6 +393,12 @@ int Run() {
        << "},\n";
   json << "  \"snapshot_pin\": {\"samples\": " << kPinSamples
        << ", \"ns_per_pin\": " << pin_ns << "},\n";
+  json << "  \"replication\": {\"quorum_acked_rps\": " << quorum_rps
+       << ", \"quorum_batch\": " << kReplBatch
+       << ", \"records\": " << kReplRecords
+       << ", \"catchup_ms\": " << catchup_ms
+       << ", \"catchup_records\": " << catchup_records
+       << ", \"converged\": " << (repl_ok ? "true" : "false") << "},\n";
   json << "  \"final\": {\"rccs\": " << final_snapshot->data().rccs.size()
        << ", \"merges\": " << stats.merges
        << ", \"pending\": " << (*store)->pending_mutations()

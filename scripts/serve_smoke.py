@@ -5,6 +5,16 @@ Usage: serve_smoke.py BUILD_DIR [--inject-faults]
        serve_smoke.py BUILD_DIR --connections N --target-rps R
        serve_smoke.py BUILD_DIR --cluster K
        serve_smoke.py BUILD_DIR --ingest
+       serve_smoke.py BUILD_DIR --cluster K --ingest
+
+Combining --cluster and --ingest selects the replicated-ingest mode:
+shard 0 runs three quorum-2 replicated replicas (durable stores, retrain
+roots), live mutations stream through the router, the shard-0 ingest
+primary is killed mid-stream (a follower must take over writes), the
+dead replica restarts on its old port and catches back up until router
+`freshness` reports the shard converged, and a retrain scatter leaves
+every replica predicting for avails that only ever existed as mutations
+— byte-identically across shard-0 replicas.
 
 The fourth form is the streaming-ingestion mode: it boots domd_serve with
 an ingest log and a retrain root, checks `freshness` reports the bundle
@@ -692,6 +702,274 @@ def run_cluster_flow(build, bundle_v1, bundle_v2, work, num_shards):
                 process.kill()
 
 
+def pick_free_ports(count):
+    """Reserves `count` distinct free TCP ports by binding them all before
+    releasing any — replicated replicas must know every peer's port before
+    the first one starts, so ephemeral self-assignment cannot work."""
+    sockets, ports = [], []
+    try:
+        for _ in range(count):
+            sock = socket.socket()
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind(("127.0.0.1", 0))
+            sockets.append(sock)
+            ports.append(sock.getsockname()[1])
+    finally:
+        for sock in sockets:
+            sock.close()
+    return ports
+
+
+def run_replicated_cluster_flow(build, bundle_v1, work, num_shards):
+    """Replicated-ingest cluster mode (`--cluster K --ingest`): shard 0 runs
+    three replicas under quorum-2 replication, shards 1..K-1 single-replica,
+    all with durable stores and retrain roots, fronted by domd_router. Live
+    mutations stream through the router; the shard-0 ingest primary is then
+    killed, a follower must take over writes, the dead replica restarts on
+    its old port and catches back up (router freshness reports the shard
+    converged), and a retrain scatter leaves every replica answering for
+    avails that only ever existed as mutations."""
+    server_bin = build / "tools" / "domd_serve"
+    router_bin = build / "tools" / "domd_router"
+    expect(router_bin.exists(), f"missing {router_bin}")
+
+    repl_ports = pick_free_ports(3)
+
+    def repl_args(replica):
+        peers = ",".join(f"127.0.0.1:{p}"
+                         for i, p in enumerate(repl_ports) if i != replica)
+        persist = work / f"repl{replica}"
+        persist.mkdir(parents=True, exist_ok=True)
+        return ("--persist-dir", str(persist),
+                "--retrain-root", str(work / f"repl{replica}_retrain"),
+                "--repl-peers", peers, "--repl-quorum", "2")
+
+    servers = []     # (process, port) per endpoint, for teardown.
+    spec_shards = []
+    try:
+        for shard_id in range(num_shards):
+            replicas = []
+            if shard_id == 0:
+                for replica in range(3):
+                    process, port = start_server(
+                        server_bin, bundle_v1, repl_args(replica),
+                        port=repl_ports[replica])
+                    servers.append((process, port))
+                    replicas.append(f"127.0.0.1:{port}")
+            else:
+                persist = work / f"shard{shard_id}"
+                persist.mkdir(parents=True, exist_ok=True)
+                process, port = start_server(
+                    server_bin, bundle_v1,
+                    ("--persist-dir", str(persist), "--retrain-root",
+                     str(work / f"shard{shard_id}_retrain")))
+                servers.append((process, port))
+                replicas.append(f"127.0.0.1:{port}")
+            spec_shards.append({"id": shard_id, "replicas": replicas})
+        spec_path = work / "repl_cluster_spec.json"
+        spec_path.write_text(json.dumps({"vnodes": 64,
+                                         "shards": spec_shards}))
+
+        router, router_port = start_router(
+            router_bin, spec_path,
+            ("--probe-interval-ms", "200", "--hedge-ms", "500"))
+        servers.append((router, router_port))
+
+        control = connect_with_retry(router_port)
+        stream = control.makefile("rw")
+        rpc = make_rpc(stream)
+
+        ping = rpc({"cmd": "ping"})
+        expect(ping.get("ok") and ping.get("role") == "router",
+               f"bad router ping: {ping}")
+
+        deadline = time.time() + 15
+        while time.time() < deadline:
+            health = rpc({"cmd": "health"})
+            if health.get("all_shards_routable"):
+                break
+            time.sleep(0.1)
+        expect(health.get("all_shards_routable"),
+               f"cluster never became fully routable: {health}")
+
+        def avail_json(avail_id):
+            return {
+                "id": avail_id, "ship_id": 9000 + avail_id,
+                "status": "closed",
+                "planned_start": "2023-01-05", "planned_end": "2023-04-05",
+                "actual_start": "2023-01-08", "actual_end": "2023-04-25",
+                "ship_class": 2, "rmc_id": 1, "ship_age_years": 17.5,
+                "avail_type": 0, "homeport": 2, "prior_avail_count": 3,
+                "contract_value_musd": 30.0, "crew_size": 250,
+            }
+
+        def ingest_line(ids):
+            return {
+                "cmd": "ingest",
+                "avails": [avail_json(i) for i in ids],
+                "rccs": [{"id": 900000 + i, "avail_id": i, "type": "N",
+                          "swlin": "434-11-001",
+                          "creation_date": "2023-02-01",
+                          "settled_date": "2023-03-01",
+                          "settled_amount": 50000.0} for i in ids],
+            }
+
+        def ingest_until_acked(ids, timeout_s=45):
+            """Resends the batch until the router reports every touched
+            shard acked it. Redelivery is idempotent (mutations upsert by
+            id), so retrying across a failover cannot double-apply."""
+            deadline = time.time() + timeout_s
+            attempts = 0
+            while time.time() < deadline:
+                attempts += 1
+                reply = rpc(ingest_line(ids))
+                if reply.get("ok"):
+                    return reply, attempts
+                time.sleep(0.3)
+            fail(f"ingest of {ids} never acked after {attempts} attempts: "
+                 f"{reply}")
+
+        def wait_converged(timeout_s=45):
+            deadline = time.time() + timeout_s
+            while time.time() < deadline:
+                fresh = rpc({"cmd": "freshness"})
+                if fresh.get("ok") and fresh.get("converged"):
+                    return fresh
+                time.sleep(0.3)
+            fail(f"cluster freshness never converged: {fresh}")
+
+        # Live mutations through the router while every replica is up. The
+        # batch spans shards, so the router fans it out by ring ownership
+        # and aggregates the per-shard quorum acks.
+        first_ids = list(range(41, 65))
+        first = rpc(ingest_line(first_ids))
+        expect(first.get("ok") and
+               first.get("appended") == 2 * len(first_ids),
+               f"bad routed ingest response: {first}")
+        wait_converged()
+
+        # The router's prober sees shard 0's write path: exactly one
+        # replica reports itself ingest primary once writes flowed.
+        def shard0_roles():
+            health = rpc({"cmd": "health"})
+            for shard in health.get("shards", []):
+                if shard.get("id") == 0:
+                    return {r.get("endpoint"): r.get("ingest_role")
+                            for r in shard.get("replicas", [])}
+            return {}
+
+        deadline = time.time() + 15
+        primary_endpoint = None
+        while time.time() < deadline and primary_endpoint is None:
+            roles = shard0_roles()
+            primaries = [e for e, role in roles.items() if role == "primary"]
+            if len(primaries) == 1:
+                primary_endpoint = primaries[0]
+            else:
+                time.sleep(0.2)
+        expect(primary_endpoint is not None,
+               f"no unique shard-0 ingest primary observed: {roles}")
+        primary_port = int(primary_endpoint.rsplit(":", 1)[1])
+        primary_index = next(i for i, (_, port) in enumerate(servers)
+                             if port == primary_port)
+
+        # Kill the primary. A follower must promote itself on the next
+        # routed write; the client-side retry loop absorbs the window.
+        primary_process, _ = servers[primary_index]
+        primary_process.kill()
+        primary_process.wait(timeout=30)
+
+        second_ids = list(range(71, 83))
+        _, attempts = ingest_until_acked(second_ids)
+
+        # Restart the dead replica on its old port with its old store; the
+        # new primary's catch-up must replay everything it missed (and
+        # replace any unreplicated suffix it died holding).
+        process, port = start_server(server_bin, bundle_v1,
+                                     repl_args(primary_index),
+                                     port=primary_port)
+        expect(port == primary_port, "restarted replica lost its port")
+        servers[primary_index] = (process, port)
+        wait_converged()
+
+        # Retrain scatter: every replica of every shard retrains onto its
+        # own store cut; converged shard-0 replicas derive one version.
+        retrain = rpc({"cmd": "retrain"})
+        expect(retrain.get("ok"), f"bad retrain scatter: {retrain}")
+        shard0_versions = {entry.get("bundle_version")
+                           for entry in retrain.get("retrained", [])
+                           if entry.get("shard") == 0}
+        expect(len(shard0_versions) == 1 and "v1" not in shard0_versions,
+               f"shard-0 replicas retrained onto different versions: "
+               f"{retrain}")
+
+        # Every streamed avail predicts through the router on a retrained
+        # bundle — including those ingested during the failover window.
+        for avail_id in first_ids + second_ids:
+            predicted = rpc({"avail_id": avail_id, "t_star": 30})
+            expect(predicted.get("ok") and
+                   predicted.get("bundle_version") != "v1" and
+                   predicted.get("num_steps", 0) >= 1,
+                   f"streamed avail {avail_id} not predictable after "
+                   f"retrain: {predicted}")
+
+        # Replication bit-identity, observed from outside: each shard-0
+        # replica, asked directly, knows exactly the same set of streamed
+        # avails and answers for them byte-identically (latency aside).
+        def shard_rpc(port, request):
+            with connect_with_retry(port) as sock:
+                shard_stream = sock.makefile("rw")
+                return make_rpc(shard_stream)(request)
+
+        def strip_latency(reply):
+            return {k: v for k, v in reply.items() if k != "latency_ms"}
+
+        owned = None
+        answers = None
+        for port in repl_ports:
+            mine = {}
+            for avail_id in first_ids + second_ids:
+                reply = shard_rpc(port, {"avail_id": avail_id,
+                                         "t_star": 30})
+                if reply.get("ok"):
+                    mine[avail_id] = strip_latency(reply)
+            if owned is None:
+                owned, answers = set(mine), mine
+            else:
+                expect(set(mine) == owned,
+                       f"replica :{port} knows {sorted(set(mine))} but its "
+                       f"peers know {sorted(owned)}")
+                for avail_id, reply in mine.items():
+                    expect(reply == answers[avail_id],
+                           f"replica :{port} diverges on avail {avail_id}: "
+                           f"{reply} vs {answers[avail_id]}")
+        expect(owned, "no streamed avail landed on shard 0")
+
+        done = rpc({"cmd": "shutdown"})
+        expect(done.get("ok") and done.get("shutting_down"),
+               f"bad router shutdown response: {done}")
+        control.close()
+        expect(router.wait(timeout=30) == 0, "router exited non-zero")
+        servers.pop()
+
+        for _, port in servers:
+            done = shard_rpc(port, {"cmd": "shutdown"})
+            expect(done.get("ok"), f"bad shard shutdown response: {done}")
+        for process, _ in servers:
+            expect(process.wait(timeout=30) == 0, "shard exited non-zero")
+        servers = []
+        print(f"serve_smoke: replicated cluster of {num_shards} shards "
+              f"streamed {2 * len(first_ids + second_ids)} mutations, "
+              f"survived an ingest-primary kill (failover acked after "
+              f"{attempts} attempt(s)), caught the restarted replica up, "
+              f"and retrained every replica onto one converged cut "
+              f"({len(owned)} avails owned by shard 0)")
+    finally:
+        for process, _ in servers:
+            if process.poll() is None:
+                process.kill()
+
+
 def run_ingest_flow(server_bin, bundle_v1, work):
     """Streaming-ingestion mode: boots domd_serve with an ingest log and a
     retrain root, streams a new availability (plus its RCCs) over the wire,
@@ -856,7 +1134,10 @@ def main():
     work = Path(tempfile.mkdtemp(prefix="domd_serve_smoke_"))
     bundle_v1, bundle_v2 = train_bundles(build, work)
 
-    if cluster is not None:
+    if cluster is not None and ingest:
+        run_replicated_cluster_flow(build, bundle_v1, work, int(cluster))
+        print("serve_smoke: PASS (replicated cluster)")
+    elif cluster is not None:
         run_cluster_flow(build, bundle_v1, bundle_v2, work, int(cluster))
         print("serve_smoke: PASS (cluster)")
     elif connections is not None or target_rps is not None:

@@ -42,6 +42,8 @@ ClusterRouter::ClusterRouter(HostMap host_map, RouterOptions options)
     const std::string label = "{shard=\"" + std::to_string(shard.id) + "\"}";
     cells_.routed_by_shard.push_back(
         &registry.GetCounter("domd_router_routed_total" + label));
+    cells_.ingest_routed_by_shard.push_back(
+        &registry.GetCounter("domd_router_ingest_routed_total" + label));
     cells_.shard_up.push_back(
         &registry.GetGauge("domd_router_shard_up" + label));
   }
@@ -54,6 +56,7 @@ ClusterRouter::ClusterRouter(HostMap host_map, RouterOptions options)
       &registry.GetCounter("domd_router_rollout_failures_total");
 #else
   cells_.routed_by_shard.assign(num_shards, nullptr);
+  cells_.ingest_routed_by_shard.assign(num_shards, nullptr);
   cells_.shard_up.assign(num_shards, nullptr);
 #endif
 
@@ -182,6 +185,16 @@ void ClusterRouter::Handle(std::string line, Responder responder) {
     Dispatch(std::move(job));
     return;
   }
+  if (cmd == "ingest" || cmd == "freshness" || cmd == "retrain") {
+    // Ingest-tier verbs: blocking upstream I/O (per-shard routing, full
+    // fan-out), so they hop to the worker pool like routed predictions.
+    Job job;
+    job.request = std::move(*request);
+    job.raw_line = std::move(line);
+    job.responder = std::move(responder);
+    Dispatch(std::move(job));
+    return;
+  }
   if (!cmd.empty()) {
     responder.Respond(
         ErrorToJson(Status::InvalidArgument("unknown cmd \"" + cmd + "\""))
@@ -222,8 +235,21 @@ void ClusterRouter::Handle(std::string line, Responder responder) {
 }
 
 void ClusterRouter::RunJob(Job& job) {
-  if (job.request.StringOr("cmd", "") == "rollout") {
+  const std::string cmd = job.request.StringOr("cmd", "");
+  if (cmd == "rollout") {
     RunRollout(job);
+    return;
+  }
+  if (cmd == "ingest") {
+    RunIngest(job);
+    return;
+  }
+  if (cmd == "freshness") {
+    RunFreshness(job);
+    return;
+  }
+  if (cmd == "retrain") {
+    RunRetrainScatter(job);
     return;
   }
   if (const JsonValue* ids = job.request.Find("avail_ids");
@@ -418,6 +444,248 @@ void ClusterRouter::RunScatter(Job& job) {
   job.responder.Respond(std::move(out));
 }
 
+void ClusterRouter::RunIngest(Job& job) {
+  const Clock::time_point deadline =
+      Clock::now() + options_.upstream_deadline;
+  const JsonValue* avails = job.request.Find("avails");
+  const JsonValue* rccs = job.request.Find("rccs");
+  if ((avails != nullptr && !avails->is_array()) ||
+      (rccs != nullptr && !rccs->is_array())) {
+    job.responder.Respond(
+        ErrorToJson(
+            Status::InvalidArgument("\"avails\"/\"rccs\" must be arrays"))
+            .Serialize());
+    return;
+  }
+
+  // Split by owning shard: avail upserts key on their id, RCC upserts on
+  // their avail_id — the same key, so an RCC always lands on the shard
+  // that owns (and referentially validates) its avail.
+  const std::size_t num_shards = host_map_.num_shards();
+  std::vector<JsonValue> shard_avails;
+  std::vector<JsonValue> shard_rccs;
+  std::vector<bool> touched(num_shards, false);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    shard_avails.push_back(JsonValue::Array());
+    shard_rccs.push_back(JsonValue::Array());
+  }
+  if (avails != nullptr) {
+    for (const JsonValue& row : avails->items()) {
+      const std::size_t s = host_map_.OwnerIndexOf(
+          KeyForAvail(static_cast<std::int64_t>(row.NumberOr("id", 0.0))));
+      shard_avails[s].Append(row);
+      touched[s] = true;
+    }
+  }
+  if (rccs != nullptr) {
+    for (const JsonValue& row : rccs->items()) {
+      const std::size_t s = host_map_.OwnerIndexOf(KeyForAvail(
+          static_cast<std::int64_t>(row.NumberOr("avail_id", 0.0))));
+      shard_rccs[s].Append(row);
+      touched[s] = true;
+    }
+  }
+  std::size_t fanout = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (touched[s]) ++fanout;
+  }
+  if (fanout == 0) {
+    job.responder.Respond(
+        ErrorToJson(Status::InvalidArgument(
+                        "ingest needs \"avails\" and/or \"rccs\" rows"))
+            .Serialize());
+    return;
+  }
+
+  bool any_hedged = false;
+  bool all_ok = true;
+  double appended = 0;
+  std::string sole_response;
+  JsonValue results = JsonValue::Array();
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (!touched[s]) continue;
+    ingest_routed_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Counter* cell = cells_.ingest_routed_by_shard[s];
+        cell != nullptr && obs::Enabled()) {
+      cell->Increment();
+    }
+    JsonValue sub = JsonValue::Object();
+    sub.Set("cmd", JsonValue::String("ingest"));
+    if (!shard_avails[s].items().empty()) {
+      sub.Set("avails", std::move(shard_avails[s]));
+    }
+    if (!shard_rccs[s].items().empty()) {
+      sub.Set("rccs", std::move(shard_rccs[s]));
+    }
+    bool hedged = false;
+    auto response = RouteWithOrder(s, IngestPreferenceOrder(s),
+                                   sub.Serialize(), deadline, &hedged);
+    any_hedged = any_hedged || hedged;
+    const int shard_id = host_map_.shards()[s].id;
+    if (!response.ok()) {
+      all_ok = false;
+      JsonValue err = ErrorToJson(response.status());
+      err.Set("shard", JsonValue::Number(static_cast<double>(shard_id)));
+      results.Append(std::move(err));
+      continue;
+    }
+    if (fanout == 1) sole_response = *response;
+    auto parsed = JsonValue::Parse(*response);
+    if (!parsed.ok()) {
+      all_ok = false;
+      JsonValue err = ErrorToJson(parsed.status());
+      err.Set("shard", JsonValue::Number(static_cast<double>(shard_id)));
+      results.Append(std::move(err));
+      continue;
+    }
+    all_ok = all_ok && parsed->BoolOr("ok", false);
+    appended += parsed->NumberOr("appended", 0.0);
+    parsed->Set("shard", JsonValue::Number(static_cast<double>(shard_id)));
+    results.Append(std::move(*parsed));
+  }
+  if (any_hedged) {
+    hedged_.fetch_add(1, std::memory_order_relaxed);
+    if (cells_.hedged != nullptr && obs::Enabled()) cells_.hedged->Increment();
+  }
+  if (!all_ok) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    if (cells_.failed != nullptr && obs::Enabled()) cells_.failed->Increment();
+  }
+  // A single-shard batch forwards the owning primary's successful answer
+  // verbatim (the bit-identity contract); failures and multi-shard
+  // batches aggregate per-shard results.
+  if (fanout == 1 && all_ok) {
+    job.responder.Respond(std::move(sole_response));
+    return;
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(all_ok));
+  out.Set("appended", JsonValue::Number(appended));
+  out.Set("shards", JsonValue::Number(static_cast<double>(fanout)));
+  out.Set("hedged", JsonValue::Bool(any_hedged));
+  out.Set("results", std::move(results));
+  job.responder.Respond(out.Serialize());
+}
+
+void ClusterRouter::RunFreshness(Job& job) {
+  // Cluster-wide freshness: every replica of every shard answers, and a
+  // shard counts as converged when all of its replicas report one store
+  // epoch — the replication bit-identity invariant, observable from the
+  // outside.
+  const Clock::time_point deadline =
+      Clock::now() + options_.upstream_deadline;
+  const std::string line = "{\"cmd\": \"freshness\"}";
+  JsonValue shards = JsonValue::Array();
+  bool all_ok = true;
+  bool all_converged = true;
+  bool any_stale = false;
+  for (std::size_t s = 0; s < host_map_.num_shards(); ++s) {
+    const ShardSpec& spec = host_map_.shards()[s];
+    JsonValue replicas = JsonValue::Array();
+    std::string epoch;
+    bool first_epoch = true;
+    bool converged = true;
+    bool shard_ok = false;
+    for (const Endpoint& endpoint : spec.replicas) {
+      auto response = pool_.Rpc(endpoint, line, deadline);
+      JsonValue entry = JsonValue::Object();
+      entry.Set("endpoint", JsonValue::String(endpoint.ToString()));
+      if (!response.ok()) {
+        entry.Set("ok", JsonValue::Bool(false));
+        entry.Set("error",
+                  JsonValue::String(response.status().message()));
+        converged = false;
+        replicas.Append(std::move(entry));
+        continue;
+      }
+      auto parsed = JsonValue::Parse(*response);
+      if (!parsed.ok() || !parsed->BoolOr("ok", false)) {
+        entry.Set("ok", JsonValue::Bool(false));
+        converged = false;
+        replicas.Append(std::move(entry));
+        continue;
+      }
+      shard_ok = true;
+      const std::string store_epoch = parsed->StringOr("store_epoch", "");
+      const bool stale = parsed->BoolOr("stale", false);
+      any_stale = any_stale || stale;
+      entry.Set("ok", JsonValue::Bool(true));
+      entry.Set("store_epoch", JsonValue::String(store_epoch));
+      entry.Set("bundle_epoch",
+                JsonValue::String(parsed->StringOr("bundle_epoch", "")));
+      entry.Set("stale", JsonValue::Bool(stale));
+      entry.Set("pending_mutations",
+                JsonValue::Number(
+                    parsed->NumberOr("pending_mutations", 0.0)));
+      if (first_epoch) {
+        epoch = store_epoch;
+        first_epoch = false;
+      } else if (store_epoch != epoch) {
+        converged = false;
+      }
+      replicas.Append(std::move(entry));
+    }
+    JsonValue shard = JsonValue::Object();
+    shard.Set("id", JsonValue::Number(static_cast<double>(spec.id)));
+    shard.Set("converged", JsonValue::Bool(converged));
+    shard.Set("replicas", std::move(replicas));
+    shards.Append(std::move(shard));
+    all_ok = all_ok && shard_ok;
+    all_converged = all_converged && converged;
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(all_ok));
+  out.Set("role", JsonValue::String("router"));
+  out.Set("converged", JsonValue::Bool(all_converged));
+  out.Set("stale", JsonValue::Bool(any_stale));
+  out.Set("shards", std::move(shards));
+  job.responder.Respond(out.Serialize());
+}
+
+void ClusterRouter::RunRetrainScatter(Job& job) {
+  // Every replica holds the replicated data, so every replica retrains
+  // itself onto the same cut; a converged cluster derives the same
+  // default version (the snapshot epoch), keeping the fleet uniform.
+  JsonValue results = JsonValue::Array();
+  bool all_ok = true;
+  for (std::size_t s = 0; s < host_map_.num_shards(); ++s) {
+    const ShardSpec& spec = host_map_.shards()[s];
+    for (const Endpoint& endpoint : spec.replicas) {
+      auto response = pool_.Rpc(
+          endpoint, job.raw_line,
+          Clock::now() + options_.rollout_rpc_deadline);
+      JsonValue entry = JsonValue::Object();
+      entry.Set("shard", JsonValue::Number(static_cast<double>(spec.id)));
+      entry.Set("endpoint", JsonValue::String(endpoint.ToString()));
+      if (!response.ok()) {
+        all_ok = false;
+        entry.Set("ok", JsonValue::Bool(false));
+        entry.Set("error",
+                  JsonValue::String(response.status().message()));
+        results.Append(std::move(entry));
+        continue;
+      }
+      auto parsed = JsonValue::Parse(*response);
+      const bool ok = parsed.ok() && parsed->BoolOr("ok", false);
+      all_ok = all_ok && ok;
+      entry.Set("ok", JsonValue::Bool(ok));
+      if (parsed.ok()) {
+        entry.Set("bundle_version",
+                  JsonValue::String(parsed->StringOr("bundle_version", "")));
+        if (!ok) {
+          entry.Set("error", JsonValue::String(parsed->StringOr("error", "")));
+        }
+      }
+      results.Append(std::move(entry));
+    }
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(all_ok));
+  out.Set("role", JsonValue::String("router"));
+  out.Set("retrained", std::move(results));
+  job.responder.Respond(out.Serialize());
+}
+
 std::vector<std::size_t> ClusterRouter::PreferenceOrder(
     std::size_t shard_index) const {
   const std::size_t count = host_map_.shards()[shard_index].replicas.size();
@@ -440,11 +708,40 @@ std::vector<std::size_t> ClusterRouter::PreferenceOrder(
   return routable;
 }
 
+std::vector<std::size_t> ClusterRouter::IngestPreferenceOrder(
+    std::size_t shard_index) const {
+  std::vector<std::size_t> order = PreferenceOrder(shard_index);
+  std::size_t primary = order.size();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      if (replica_states_[shard_index][order[pos]].ingest_role == "primary") {
+        primary = pos;
+        break;
+      }
+    }
+  }
+  // Stable rotation keeps the routable-before-down ordering intact behind
+  // the promoted head.
+  if (primary < order.size()) {
+    const std::size_t lead = order[primary];
+    order.erase(order.begin() + static_cast<std::ptrdiff_t>(primary));
+    order.insert(order.begin(), lead);
+  }
+  return order;
+}
+
 StatusOr<std::string> ClusterRouter::RouteToShard(std::size_t shard_index,
                                                   const std::string& line,
                                                   Clock::time_point deadline,
                                                   bool* hedged) {
-  const std::vector<std::size_t> order = PreferenceOrder(shard_index);
+  return RouteWithOrder(shard_index, PreferenceOrder(shard_index), line,
+                        deadline, hedged);
+}
+
+StatusOr<std::string> ClusterRouter::RouteWithOrder(
+    std::size_t shard_index, const std::vector<std::size_t>& order,
+    const std::string& line, Clock::time_point deadline, bool* hedged) {
   Status last_error = Status::Unavailable("no replicas configured");
   std::string shed_response;  // last breaker-shed answer, if all replicas shed.
   for (std::size_t attempt = 0; attempt < order.size(); ++attempt) {
@@ -553,6 +850,7 @@ void ClusterRouter::ProbeOnce() {
       state.up = true;
       state.ready = health->BoolOr("ready", false);
       state.bundle_version = health->StringOr("bundle_version", "");
+      state.ingest_role = health->StringOr("ingest_role", "");
       state.probe_failures = 0;
     }
   }
@@ -725,6 +1023,7 @@ RouterStatsSnapshot ClusterRouter::stats() const {
   RouterStatsSnapshot snapshot;
   snapshot.routed = routed_.load(std::memory_order_relaxed);
   snapshot.scattered = scattered_.load(std::memory_order_relaxed);
+  snapshot.ingest_routed = ingest_routed_.load(std::memory_order_relaxed);
   snapshot.hedged = hedged_.load(std::memory_order_relaxed);
   snapshot.failed = failed_.load(std::memory_order_relaxed);
   snapshot.rejected_overload =
@@ -764,6 +1063,9 @@ JsonValue ClusterRouter::HealthJson() const {
       replica.Set("up", JsonValue::Bool(state.up));
       replica.Set("ready", JsonValue::Bool(state.ready));
       replica.Set("bundle_version", JsonValue::String(state.bundle_version));
+      if (!state.ingest_role.empty()) {
+        replica.Set("ingest_role", JsonValue::String(state.ingest_role));
+      }
       replica.Set("probe_failures",
                   JsonValue::Number(
                       static_cast<double>(state.probe_failures)));
@@ -790,6 +1092,7 @@ JsonValue ClusterRouter::StatsJson() const {
   };
   out.Set("routed", number(snapshot.routed));
   out.Set("scattered", number(snapshot.scattered));
+  out.Set("ingest_routed", number(snapshot.ingest_routed));
   out.Set("hedged", number(snapshot.hedged));
   out.Set("failed", number(snapshot.failed));
   out.Set("rejected_overload", number(snapshot.rejected_overload));

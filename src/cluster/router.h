@@ -59,6 +59,10 @@ struct ReplicaState {
   bool ready = false;  ///< shard admits work (breaker not open).
   std::string bundle_version;  ///< from the last successful health probe.
   std::uint64_t probe_failures = 0;  ///< consecutive, resets on success.
+  /// Replication stance from the last health probe ("primary",
+  /// "follower", ...; empty when the replica runs un-replicated). Ingest
+  /// prefers the replica that already owns the write path.
+  std::string ingest_role;
 };
 
 /// Monotonic router counters, exposed by the stats verb and mirrored into
@@ -66,6 +70,7 @@ struct ReplicaState {
 struct RouterStatsSnapshot {
   std::uint64_t routed = 0;         ///< single-shard requests forwarded.
   std::uint64_t scattered = 0;      ///< multi-avail scatter-gather requests.
+  std::uint64_t ingest_routed = 0;  ///< ingest sub-batches routed to shards.
   std::uint64_t hedged = 0;         ///< requests that needed >= 1 hedge.
   std::uint64_t failed = 0;         ///< requests with no live replica left.
   std::uint64_t rejected_overload = 0;  ///< worker-queue sheds.
@@ -95,6 +100,19 @@ struct RouterStatsSnapshot {
 ///   {"cmd": "rollout", "bundle": DIR}  coordinated rollout (stage every
 ///                               shard, verify, flip shard-by-shard,
 ///                               halt-and-report on first failure).
+///   {"cmd": "ingest", ...}      mutations split by owning shard (avails
+///                               by id, RCCs by avail_id — an RCC always
+///                               travels with its avail) and routed to
+///                               each shard's current ingest primary,
+///                               failing over to the next healthy replica
+///                               when the primary is dead or refuses.
+///   {"cmd": "freshness"}        cluster-wide freshness: every replica of
+///                               every shard answers, with per-shard
+///                               convergence (all replicas at one epoch).
+///   {"cmd": "retrain", ...}     fanned out to every replica of every
+///                               shard (each holds the replicated data),
+///                               so the whole cluster retrains onto the
+///                               same ingested state.
 ///   {"cmd": "shutdown"}         stop the router (never the shards).
 ///
 /// Hedging: each routed request walks the shard's replica preference
@@ -138,6 +156,7 @@ class ClusterRouter {
   /// Obs cells (null when compiled out), registered once per router.
   struct MetricCells {
     std::vector<obs::Counter*> routed_by_shard;  ///< {shard="<id>"}.
+    std::vector<obs::Counter*> ingest_routed_by_shard;  ///< {shard="<id>"}.
     std::vector<obs::Gauge*> shard_up;  ///< routable replicas per shard.
     obs::Counter* hedged = nullptr;
     obs::Counter* failed = nullptr;
@@ -155,6 +174,9 @@ class ClusterRouter {
   void RunSingle(Job& job, std::size_t shard_index);
   void RunScatter(Job& job);
   void RunRollout(Job& job);
+  void RunIngest(Job& job);
+  void RunFreshness(Job& job);
+  void RunRetrainScatter(Job& job);
 
   /// Sends `line` to shard `shard_index` with hedged retries across its
   /// replica preference order. Success returns the replica's verbatim
@@ -163,10 +185,22 @@ class ClusterRouter {
                                      const std::string& line,
                                      Clock::time_point deadline,
                                      bool* hedged);
+  /// RouteToShard over an explicit replica attempt order.
+  StatusOr<std::string> RouteWithOrder(std::size_t shard_index,
+                                       const std::vector<std::size_t>& order,
+                                       const std::string& line,
+                                       Clock::time_point deadline,
+                                       bool* hedged);
 
   /// Replica indexes of shard `shard_index` in attempt order: routable
   /// replicas first (spec order), then the rest as a last resort.
   std::vector<std::size_t> PreferenceOrder(std::size_t shard_index) const;
+  /// Ingest attempt order: the replica whose last probe reported
+  /// ingest_role == "primary" first, then the routable order — so writes
+  /// stick to the current primary and fail over only when it dies or
+  /// refuses.
+  std::vector<std::size_t> IngestPreferenceOrder(
+      std::size_t shard_index) const;
 
   void MarkTransportFailure(std::size_t shard_index,
                             std::size_t replica_index);
@@ -200,6 +234,7 @@ class ClusterRouter {
 
   std::atomic<std::uint64_t> routed_{0};
   std::atomic<std::uint64_t> scattered_{0};
+  std::atomic<std::uint64_t> ingest_routed_{0};
   std::atomic<std::uint64_t> hedged_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> rejected_overload_{0};

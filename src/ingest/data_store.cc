@@ -30,28 +30,24 @@ const IngestMutation* FindInRun(const DeltaRun& run, MutationKind kind,
   return &*it;
 }
 
-/// Applies runs (freeze order) then the memtable cut on top of a copy of
-/// the base. Mutations were validated at append/replay time, so upserts
-/// cannot fail here; a record that still fails (defensive) is skipped
-/// deterministically.
+/// Applies mutations in their original append (= sequence) order on top
+/// of a copy of the base. Sequence order — not the memtable's key order —
+/// is load-bearing for replication (DESIGN.md §15): applying a history
+/// prefix and then the rest produces the same tables, row for row, as
+/// applying everything at once, so replicas that merge at different cut
+/// points still converge to bit-identical epochs. Re-applying an
+/// already-merged prefix is harmless: upserts are idempotent and never
+/// move an existing row. Mutations were validated at append/replay time,
+/// so upserts cannot fail here; a record that still fails (defensive) is
+/// skipped deterministically.
 std::shared_ptr<const Dataset> Materialize(
-    const Dataset& base,
-    const std::vector<std::shared_ptr<const DeltaRun>>& runs,
-    const DeltaRun* memtable_cut) {
+    const Dataset& base, const std::vector<IngestMutation>& ordered) {
   auto merged = std::make_shared<Dataset>(base);
-  const auto apply = [&merged](const IngestMutation& mutation) {
+  for (const IngestMutation& mutation : ordered) {
     if (mutation.kind == MutationKind::kAvailUpsert) {
       (void)merged->avails.Upsert(mutation.avail);
     } else {
       (void)merged->rccs.Upsert(mutation.rcc);
-    }
-  };
-  for (const auto& run : runs) {
-    for (const IngestMutation& mutation : run->mutations) apply(mutation);
-  }
-  if (memtable_cut != nullptr) {
-    for (const IngestMutation& mutation : memtable_cut->mutations) {
-      apply(mutation);
     }
   }
   return merged;
@@ -80,8 +76,7 @@ bool EntryFor(const Dataset& data, std::int64_t rcc_id, IndexEntry* out) {
 std::shared_ptr<const LogicalTimeIndex> BuildOverlay(
     const Dataset& base, const Dataset& merged,
     std::shared_ptr<const LogicalTimeIndex> base_index,
-    const std::vector<std::shared_ptr<const DeltaRun>>& runs,
-    const DeltaRun& memtable_cut) {
+    const std::vector<IngestMutation>& ordered) {
   std::set<std::int64_t> readd;  // ordered: deterministic overlay order.
   std::unordered_set<std::int64_t> superseded;
   const auto consider = [&](const IngestMutation& mutation) {
@@ -100,14 +95,7 @@ std::shared_ptr<const LogicalTimeIndex> BuildOverlay(
       readd.insert(mutation.rcc.id);
     }
   };
-  for (const auto& run : runs) {
-    for (const IngestMutation& mutation : run->mutations) {
-      consider(mutation);
-    }
-  }
-  for (const IngestMutation& mutation : memtable_cut.mutations) {
-    consider(mutation);
-  }
+  for (const IngestMutation& mutation : ordered) consider(mutation);
 
   DeltaOverlayConfig config;
   config.base = std::move(base_index);
@@ -157,7 +145,15 @@ StatusOr<std::unique_ptr<DataStore>> DataStore::Open(
     auto log = IngestLog::Open(store->options_.log_path, &replay);
     if (!log.ok()) return log.status();
     store->log_ = std::move(*log);
+    store->tail_base_seq_ = replay.base_seq;
+    store->tail_base_chain_ = replay.base_chain;
+    store->last_seq_ = replay.base_seq;
+    store->last_chain_ = replay.base_chain;
     for (IngestMutation& mutation : replay.records) {
+      store->last_chain_ =
+          MutationChain(store->last_chain_, EncodeMutation(mutation));
+      ++store->last_seq_;
+      store->tail_.push_back({mutation, store->last_chain_});
       store->memtable_.Apply(std::move(mutation));
     }
     store->replayed_ = replay.records.size();
@@ -216,49 +212,257 @@ std::size_t DataStore::PendingLocked() const {
   return pending;
 }
 
+Status DataStore::ValidateBatchLocked(
+    const std::vector<IngestMutation>& mutations) const {
+  std::unordered_set<std::int64_t> batch_avails;
+  for (const IngestMutation& mutation : mutations) {
+    DOMD_RETURN_IF_ERROR(ValidateMutation(mutation));
+    if (mutation.kind == MutationKind::kAvailUpsert) {
+      batch_avails.insert(mutation.avail.id);
+    } else if (batch_avails.count(mutation.rcc.avail_id) == 0 &&
+               !HasAvailLocked(mutation.rcc.avail_id)) {
+      return Status::NotFound(
+          "ingest: RCC " + std::to_string(mutation.rcc.id) +
+          " references unknown avail " +
+          std::to_string(mutation.rcc.avail_id));
+    }
+  }
+  return Status::OK();
+}
+
+void DataStore::AbsorbBatchLocked(
+    const std::vector<IngestMutation>& mutations) {
+  for (const IngestMutation& mutation : mutations) {
+    last_chain_ = MutationChain(last_chain_, EncodeMutation(mutation));
+    ++last_seq_;
+    tail_.push_back({mutation, last_chain_});
+    memtable_.Apply(mutation);
+  }
+  ++generation_;
+  if (options_.merge_threshold > 0 &&
+      PendingLocked() >= options_.merge_threshold) {
+    merge_cv_.notify_all();
+  }
+}
+
 Status DataStore::Append(const IngestMutation& mutation) {
   return AppendBatch({mutation});
 }
 
-Status DataStore::AppendBatch(
-    const std::vector<IngestMutation>& mutations) {
-  if (mutations.empty()) return Status::OK();
+Status DataStore::AppendBatch(const std::vector<IngestMutation>& mutations,
+                              std::uint64_t* last_seq) {
   // Validation, log write, and memtable apply all happen under append_mu_
   // (mu_ is taken inside it, matching Merge's rotation block): referential
   // checks and visibility use one consistent cut, so an RCC referencing an
   // avail from any previously acknowledged batch can never be spuriously
   // rejected by a validate-then-apply race.
   std::lock_guard<std::mutex> append_lock(append_mu_);
+  if (mutations.empty()) {
+    if (last_seq != nullptr) {
+      std::lock_guard<std::mutex> lock(mu_);
+      *last_seq = last_seq_;
+    }
+    return Status::OK();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    std::unordered_set<std::int64_t> batch_avails;
-    for (const IngestMutation& mutation : mutations) {
-      DOMD_RETURN_IF_ERROR(ValidateMutation(mutation));
-      if (mutation.kind == MutationKind::kAvailUpsert) {
-        batch_avails.insert(mutation.avail.id);
-      } else if (batch_avails.count(mutation.rcc.avail_id) == 0 &&
-                 !HasAvailLocked(mutation.rcc.avail_id)) {
-        return Status::NotFound(
-            "ingest: RCC " + std::to_string(mutation.rcc.id) +
-            " references unknown avail " +
-            std::to_string(mutation.rcc.avail_id));
-      }
-    }
+    DOMD_RETURN_IF_ERROR(ValidateBatchLocked(mutations));
   }
   if (log_ != nullptr) {
     DOMD_RETURN_IF_ERROR(log_->AppendBatch(mutations));
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (const IngestMutation& mutation : mutations) {
-      memtable_.Apply(mutation);
-    }
+    AbsorbBatchLocked(mutations);
     appended_ += mutations.size();
-    ++generation_;
-    if (options_.merge_threshold > 0 &&
-        PendingLocked() >= options_.merge_threshold) {
-      merge_cv_.notify_all();
+    if (last_seq != nullptr) *last_seq = last_seq_;
+  }
+  return Status::OK();
+}
+
+Status DataStore::ApplyReplicated(
+    std::uint64_t first_seq, const std::vector<IngestMutation>& mutations,
+    std::uint64_t* applied_last_seq) {
+  DOMD_RETURN_IF_ERROR(DOMD_FAULT_POINT("repl.apply").Check());
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  std::vector<IngestMutation> fresh;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (applied_last_seq != nullptr) *applied_last_seq = last_seq_;
+    if (first_seq > last_seq_ + 1) {
+      return Status::FailedPrecondition(
+          "repl: batch starts at sequence " + std::to_string(first_seq) +
+          " but local history ends at " + std::to_string(last_seq_));
     }
+    // Deduplicate the already-applied overlap by sequence number —
+    // at-least-once redelivery is expected — but insist the sender's
+    // bytes match our history where we can still check (records newer
+    // than the last merge cut). A mismatch means the timelines diverged
+    // and only a snapshot install reconciles them. Overlap at or below
+    // the cut was compacted away; the catch-up chain handshake covers
+    // prefix verification there.
+    std::size_t skip = 0;
+    for (; skip < mutations.size(); ++skip) {
+      const std::uint64_t seq = first_seq + skip;
+      if (seq > last_seq_) break;
+      if (seq > tail_base_seq_) {
+        const TailRecord& local =
+            tail_[static_cast<std::size_t>(seq - tail_base_seq_ - 1)];
+        if (EncodeMutation(local.mutation) !=
+            EncodeMutation(mutations[skip])) {
+          return Status::DataLoss("repl: history diverged at sequence " +
+                                  std::to_string(seq));
+        }
+      }
+    }
+    fresh.assign(mutations.begin() + static_cast<std::ptrdiff_t>(skip),
+                 mutations.end());
+    if (!fresh.empty()) {
+      DOMD_RETURN_IF_ERROR(ValidateBatchLocked(fresh));
+    }
+  }
+  if (fresh.empty()) return Status::OK();
+  if (log_ != nullptr) {
+    DOMD_RETURN_IF_ERROR(log_->AppendBatch(fresh));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    AbsorbBatchLocked(fresh);
+    replicated_ += fresh.size();
+    if (applied_last_seq != nullptr) *applied_last_seq = last_seq_;
+  }
+  return Status::OK();
+}
+
+StatusOr<ReplTail> DataStore::TailFrom(std::uint64_t from_seq,
+                                       const std::uint64_t* have_chain,
+                                       std::size_t max_records) {
+  DOMD_RETURN_IF_ERROR(DOMD_FAULT_POINT("repl.catchup").Check());
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  ReplTail out;
+  // from_seq 0 is the explicit "my history is useless, send everything"
+  // request: skip the chain handshake and export a snapshot directly.
+  bool need_snapshot = from_seq == 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.last_seq = last_seq_;
+    out.chain = last_chain_;
+    if (!need_snapshot && from_seq > last_seq_ + 1) {
+      out.requester_ahead = true;
+      return out;
+    }
+    // The requester claims history through from_seq - 1. Verify its chain
+    // against ours at that anchor when we still hold it; an anchor below
+    // our tail base means the records it wants were compacted into the
+    // base tables, and only a snapshot can bring it forward.
+    if (!need_snapshot) {
+      const std::uint64_t anchor = from_seq - 1;
+      if (anchor < tail_base_seq_) {
+        need_snapshot = true;
+      } else {
+        const std::uint64_t anchor_chain =
+            anchor == tail_base_seq_
+                ? tail_base_chain_
+                : tail_[static_cast<std::size_t>(anchor - tail_base_seq_ -
+                                                 1)]
+                      .chain;
+        if (have_chain != nullptr && *have_chain != anchor_chain) {
+          need_snapshot = true;  // divergent prefix.
+        }
+      }
+    }
+    if (!need_snapshot) {
+      out.first_seq = from_seq;
+      const std::uint64_t end =
+          std::min<std::uint64_t>(last_seq_, from_seq + max_records - 1);
+      out.records.reserve(
+          static_cast<std::size_t>(end >= from_seq ? end - from_seq + 1 : 0));
+      for (std::uint64_t seq = from_seq; seq <= end; ++seq) {
+        out.records.push_back(EncodeMutation(
+            tail_[static_cast<std::size_t>(seq - tail_base_seq_ - 1)]
+                .mutation));
+      }
+      out.more = end < last_seq_;
+      return out;
+    }
+  }
+  // Snapshot export. append_mu_ is still held, so no writer can advance
+  // the store between the cut above and the Snapshot() call below: the
+  // exported rows are exactly the state at (last_seq, chain).
+  const auto snap = Snapshot();
+  out.snapshot = true;
+  const Dataset& data = snap->data();
+  out.rows.reserve(data.avails.rows().size() + data.rccs.rows().size());
+  for (const Avail& avail : data.avails.rows()) {
+    out.rows.push_back(EncodeMutation(MakeAvailUpsert(avail)));
+  }
+  for (const Rcc& rcc : data.rccs.rows()) {
+    out.rows.push_back(EncodeMutation(MakeRccUpsert(rcc)));
+  }
+  return out;
+}
+
+Status DataStore::InstallSnapshot(const std::vector<IngestMutation>& rows,
+                                  std::uint64_t last_seq,
+                                  std::uint64_t chain) {
+  if (log_ != nullptr && options_.persist_dir.empty()) {
+    return Status::FailedPrecondition(
+        "repl: snapshot install needs a persist_dir when a log is "
+        "attached (the rotated-empty log is only recoverable next to "
+        "freshly persisted base tables)");
+  }
+  // Build the replacement dataset outside every lock: rows arrive avail
+  // rows first, then RCC rows, both in the responder's table row order,
+  // so upserting them in order reproduces its tables byte for byte.
+  Dataset data;
+  for (const IngestMutation& row : rows) {
+    DOMD_RETURN_IF_ERROR(ValidateMutation(row));
+    if (row.kind == MutationKind::kAvailUpsert) {
+      DOMD_RETURN_IF_ERROR(data.avails.Upsert(row.avail));
+    } else {
+      DOMD_RETURN_IF_ERROR(data.rccs.Upsert(row.rcc));
+    }
+  }
+  auto merged = std::make_shared<const Dataset>(std::move(data));
+  const std::uint64_t new_epoch = EpochOf(*merged);
+  auto new_index = BuildBaseIndex(*merged, options_.index_backend);
+
+  std::lock_guard<std::mutex> merge_lock(merge_mu_);
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  if (!options_.persist_dir.empty()) {
+    Status persisted =
+        WriteFileDurably(options_.persist_dir + "/avails.csv",
+                         merged->avails.ToCsv().Serialize());
+    if (persisted.ok()) {
+      persisted = WriteFileDurably(options_.persist_dir + "/rccs.csv",
+                                   merged->rccs.ToCsv().Serialize());
+    }
+    DOMD_RETURN_IF_ERROR(persisted);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    base_ = std::move(merged);
+    base_index_ = std::move(new_index);
+    base_epoch_ = new_epoch;
+    runs_.clear();
+    (void)memtable_.Freeze();
+    tail_.clear();
+    tail_base_seq_ = last_seq;
+    tail_base_chain_ = chain;
+    last_seq_ = last_seq;
+    last_chain_ = chain;
+    ++generation_;
+    merge_cv_.notify_all();
+  }
+  if (log_ != nullptr) {
+    // A crash between the CSV writes above and this rotation replays the
+    // old log's records onto the new base — stale values for keys the
+    // snapshot advanced past. That interim state is self-healing: the
+    // replica still reports its old sequence position, so the next
+    // catch-up re-streams (or re-installs) everything past it and
+    // re-applying a history suffix in order converges back to the
+    // snapshot state (DESIGN.md §15).
+    DOMD_RETURN_IF_ERROR(log_->Rotate({}, last_seq, chain));
   }
   return Status::OK();
 }
@@ -274,8 +478,8 @@ void DataStore::FlushDelta() {
 std::shared_ptr<const DataSnapshot> DataStore::Snapshot() const {
   std::shared_ptr<const Dataset> base;
   std::shared_ptr<const LogicalTimeIndex> base_index;
-  std::vector<std::shared_ptr<const DeltaRun>> runs;
-  std::shared_ptr<const DeltaRun> memtable_cut;
+  std::vector<IngestMutation> tail;
+  std::size_t depth = 0;
   std::uint64_t generation = 0;
   std::uint64_t base_epoch = 0;
   {
@@ -287,12 +491,15 @@ std::shared_ptr<const DataSnapshot> DataStore::Snapshot() const {
     base = base_;
     base_index = base_index_;
     base_epoch = base_epoch_;
-    runs = runs_;
-    memtable_cut = memtable_.Snapshot();
+    depth = PendingLocked();
+    if (depth > 0) {
+      // The tail can reach below the pending cut (an un-rotated log keeps
+      // already-merged records in it); re-applying that prefix is a no-op
+      // on content and row order, so the whole tail is the cut.
+      tail.reserve(tail_.size());
+      for (const TailRecord& record : tail_) tail.push_back(record.mutation);
+    }
   }
-
-  std::size_t depth = memtable_cut->mutations.size();
-  for (const auto& run : runs) depth += run->mutations.size();
 
   auto snapshot = std::shared_ptr<DataSnapshot>(new DataSnapshot());
   snapshot->base_epoch_ = base_epoch;
@@ -304,10 +511,9 @@ std::shared_ptr<const DataSnapshot> DataStore::Snapshot() const {
   } else {
     // Materialization happens outside the lock: appends keep landing in
     // the memtable while this cut is assembled.
-    auto merged = Materialize(*base, runs, memtable_cut.get());
+    auto merged = Materialize(*base, tail);
     snapshot->epoch_ = EpochOf(*merged);
-    snapshot->index_ =
-        BuildOverlay(*base, *merged, base_index, runs, *memtable_cut);
+    snapshot->index_ = BuildOverlay(*base, *merged, base_index, tail);
     snapshot->data_ = std::move(merged);
   }
 
@@ -325,24 +531,33 @@ StatusOr<MergeStats> DataStore::Merge() {
   std::lock_guard<std::mutex> merge_lock(merge_mu_);
 
   std::shared_ptr<const Dataset> base;
-  std::vector<std::shared_ptr<const DeltaRun>> runs;
+  std::vector<IngestMutation> cut;
+  std::size_t cut_runs = 0;
+  std::uint64_t cut_seq = 0;
   MergeStats stats;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!memtable_.empty()) runs_.push_back(memtable_.Freeze());
     base = base_;
-    runs = runs_;
+    cut_runs = runs_.size();
+    cut_seq = last_seq_;
+    // The merge input is the append-order tail, not the key-sorted runs:
+    // sequence order keeps the merged row order — and with it the epoch —
+    // a pure function of history, independent of where this replica's
+    // merge cuts happen to land (see Materialize).
+    cut.reserve(tail_.size());
+    for (const TailRecord& record : tail_) cut.push_back(record.mutation);
+    for (const auto& run : runs_) {
+      stats.merged_mutations += run->mutations.size();
+    }
     stats.old_epoch = base_epoch_;
     stats.new_epoch = base_epoch_;
-  }
-  for (const auto& run : runs) {
-    stats.merged_mutations += run->mutations.size();
   }
   if (stats.merged_mutations == 0) return stats;
 
   // The expensive half runs without any store lock: copy + apply + epoch
   // fingerprint + full index rebuild over the merged tables.
-  auto merged = Materialize(*base, runs, nullptr);
+  auto merged = Materialize(*base, cut);
   const std::uint64_t new_epoch = EpochOf(*merged);
   auto new_index = BuildBaseIndex(*merged, options_.index_backend);
 
@@ -369,38 +584,53 @@ StatusOr<MergeStats> DataStore::Merge() {
     stats.persisted = true;
   }
 
+  const bool will_rotate = stats.persisted && log_ != nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     base_ = std::move(merged);
     base_index_ = std::move(new_index);
     base_epoch_ = new_epoch;
     runs_.erase(runs_.begin(),
-                runs_.begin() + static_cast<std::ptrdiff_t>(runs.size()));
+                runs_.begin() + static_cast<std::ptrdiff_t>(cut_runs));
+    if (log_ == nullptr || will_rotate) {
+      // The new base embodies the tail through cut_seq — drop that
+      // prefix, advancing the tail base (and its chain anchor) to the
+      // cut. When the log sticks around un-rotated (no persist_dir) the
+      // tail keeps mirroring it instead, so TailFrom can still serve
+      // every sequence the log would replay.
+      while (!tail_.empty() && tail_base_seq_ < cut_seq) {
+        tail_base_chain_ = tail_.front().chain;
+        ++tail_base_seq_;
+        tail_.pop_front();
+      }
+    }
     ++generation_;
     ++merges_;
     merge_cv_.notify_all();
   }
 
-  if (stats.persisted && log_ != nullptr) {
+  if (will_rotate) {
     // The merged prefix is durable in the CSVs now; rotate the log down
-    // to the records that arrived after the cut. Rotate() never truncates
-    // the old log — it renames a durable replacement over it — so a crash
-    // anywhere in this window replays either the full old log (merged
-    // records are idempotent upserts) or exactly the pending suffix, and
-    // acknowledged mutations are never lost.
+    // to the records that arrived after the cut, preserving their
+    // sequence numbering via the new header base. Rotate() never
+    // truncates the old log — it renames a durable replacement over it —
+    // so a crash anywhere in this window replays either the full old log
+    // (merged records are idempotent upserts) or exactly the pending
+    // suffix, and acknowledged mutations are never lost.
     std::lock_guard<std::mutex> append_lock(append_mu_);
     std::vector<IngestMutation> still_pending;
+    std::uint64_t base_seq = 0;
+    std::uint64_t base_chain = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      for (const auto& run : runs_) {
-        still_pending.insert(still_pending.end(), run->mutations.begin(),
-                             run->mutations.end());
+      base_seq = tail_base_seq_;
+      base_chain = tail_base_chain_;
+      still_pending.reserve(tail_.size());
+      for (const TailRecord& record : tail_) {
+        still_pending.push_back(record.mutation);
       }
-      const auto cut = memtable_.Snapshot();
-      still_pending.insert(still_pending.end(), cut->mutations.begin(),
-                           cut->mutations.end());
     }
-    DOMD_RETURN_IF_ERROR(log_->Rotate(still_pending));
+    DOMD_RETURN_IF_ERROR(log_->Rotate(still_pending, base_seq, base_chain));
   }
 
   stats.new_epoch = new_epoch;
@@ -410,6 +640,22 @@ StatusOr<MergeStats> DataStore::Merge() {
 std::uint64_t DataStore::epoch() const {
   std::lock_guard<std::mutex> lock(mu_);
   return base_epoch_;
+}
+
+std::uint64_t DataStore::last_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_seq_;
+}
+
+std::uint64_t DataStore::last_chain() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_chain_;
+}
+
+void DataStore::Position(std::uint64_t* seq, std::uint64_t* chain) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (seq != nullptr) *seq = last_seq_;
+  if (chain != nullptr) *chain = last_chain_;
 }
 
 std::size_t DataStore::pending_mutations() const {
@@ -423,10 +669,12 @@ IngestStats DataStore::stats() const {
     std::lock_guard<std::mutex> lock(mu_);
     out.appended = appended_;
     out.replayed = replayed_;
+    out.replicated = replicated_;
     out.merges = merges_;
     out.merge_failures = merge_failures_;
     out.pending = PendingLocked();
     out.epoch = base_epoch_;
+    out.last_seq = last_seq_;
   }
   if (log_ != nullptr) {
     std::lock_guard<std::mutex> append_lock(append_mu_);

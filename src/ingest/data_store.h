@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -52,11 +53,31 @@ struct MergeStats {
 struct IngestStats {
   std::uint64_t appended = 0;   ///< mutations accepted via Append*.
   std::uint64_t replayed = 0;   ///< mutations recovered from the log.
+  std::uint64_t replicated = 0; ///< mutations applied via ApplyReplicated.
   std::uint64_t merges = 0;     ///< successful merges.
   std::uint64_t merge_failures = 0;
   std::size_t pending = 0;      ///< mutations not yet merged into base.
   std::uint64_t epoch = 0;      ///< current base epoch.
   std::size_t log_bytes = 0;
+  std::uint64_t last_seq = 0;   ///< sequence of the last applied mutation.
+};
+
+/// What TailFrom hands a catching-up replica: either the encoded mutation
+/// tail from the requested sequence, or — when that tail was compacted
+/// away or the requester's history diverged — a full-state snapshot the
+/// requester must install wholesale.
+struct ReplTail {
+  bool snapshot = false;        ///< rows/chain are set instead of records.
+  bool requester_ahead = false; ///< from_seq is past last_seq + 1.
+  std::uint64_t first_seq = 0;  ///< tail mode: sequence of records.front().
+  std::vector<std::string> records;  ///< EncodeMutation payloads, in order.
+  bool more = false;            ///< tail mode: last_seq not reached yet.
+  /// Snapshot mode: the full current state as upsert payloads (avail rows
+  /// first, then RCC rows, both in table row order — installing them in
+  /// order reproduces the responder's tables byte for byte).
+  std::vector<std::string> rows;
+  std::uint64_t last_seq = 0;   ///< responder's last sequence at the cut.
+  std::uint64_t chain = 0;      ///< snapshot mode: history chain at last_seq.
 };
 
 /// An immutable, epoch-stamped view of the store: the avail/RCC tables at
@@ -131,8 +152,44 @@ class DataStore {
   /// Validates, durably logs, then applies one mutation to the memtable.
   Status Append(const IngestMutation& mutation);
 
-  /// Batch variant: all-or-nothing validation, one log fsync.
-  Status AppendBatch(const std::vector<IngestMutation>& mutations);
+  /// Batch variant: all-or-nothing validation, one log fsync. On success
+  /// `*last_seq` (optional) receives the sequence number assigned to the
+  /// batch's final mutation (the batch occupies a contiguous run ending
+  /// there).
+  Status AppendBatch(const std::vector<IngestMutation>& mutations,
+                     std::uint64_t* last_seq = nullptr);
+
+  /// Follower-side sequenced apply (DESIGN.md §15): applies the batch
+  /// whose first record carries sequence `first_seq`, deduplicating any
+  /// already-applied prefix by sequence number, so at-least-once delivery
+  /// is safe. kFailedPrecondition when the batch would leave a gap
+  /// (first_seq > last_seq()+1 — the caller must catch up first);
+  /// kDataLoss when an overlapping record's bytes disagree with the local
+  /// history (divergent timelines — only a snapshot install reconciles).
+  /// Guarded by the repl.apply fault point. `*applied_last_seq` (optional)
+  /// receives the local last sequence after the apply.
+  Status ApplyReplicated(std::uint64_t first_seq,
+                         const std::vector<IngestMutation>& mutations,
+                         std::uint64_t* applied_last_seq = nullptr);
+
+  /// Serves a catch-up request: the encoded tail from `from_seq` (at most
+  /// `max_records` per call), or a full-state snapshot when the tail was
+  /// compacted away — or when `have_chain` (the requester's history chain
+  /// at from_seq-1, pass nullptr to skip the check) proves the requester's
+  /// prefix diverged from ours. from_seq 0 forces snapshot mode (the
+  /// requester declares its history useless). Guarded by the repl.catchup
+  /// fault point.
+  StatusOr<ReplTail> TailFrom(std::uint64_t from_seq,
+                              const std::uint64_t* have_chain,
+                              std::size_t max_records);
+
+  /// Replaces the entire store state with a peer's exported snapshot
+  /// (`rows` as produced by TailFrom's snapshot mode), adopting its
+  /// sequence position and history chain. Requires a persist_dir when a
+  /// log is attached (the rotated-empty log is only recoverable next to
+  /// freshly persisted base tables). Pinned snapshots are unaffected.
+  Status InstallSnapshot(const std::vector<IngestMutation>& rows,
+                         std::uint64_t last_seq, std::uint64_t chain);
 
   /// Freezes the memtable into an immutable run (no epoch change; the
   /// background merger does this implicitly before compacting).
@@ -149,6 +206,15 @@ class DataStore {
   /// Current base epoch (cheap; no materialization).
   std::uint64_t epoch() const;
 
+  /// Sequence of the last applied mutation (0 before any mutation).
+  std::uint64_t last_seq() const;
+  /// History chain at last_seq() (MutationChain folded over the history).
+  std::uint64_t last_chain() const;
+  /// Both of the above as one consistent pair — the anchor a replication
+  /// peer verifies before extending this store's history (reading them
+  /// separately could tear across a concurrent apply).
+  void Position(std::uint64_t* seq, std::uint64_t* chain) const;
+
   /// Mutations not yet compacted into the base (runs + memtable).
   std::size_t pending_mutations() const;
 
@@ -162,11 +228,25 @@ class DataStore {
   static std::uint64_t EpochOf(const Dataset& data);
 
  private:
+  /// One applied-but-possibly-unmerged mutation retained for replication:
+  /// the record at sequence tail_base_seq_ + 1 + index, plus the history
+  /// chain value *after* applying it.
+  struct TailRecord {
+    IngestMutation mutation;
+    std::uint64_t chain = 0;
+  };
+
   DataStore() = default;
 
   /// True if the avail id is visible in base, runs or memtable.
   bool HasAvailLocked(std::int64_t avail_id) const;
   std::size_t PendingLocked() const;
+  /// Referential validation of a batch against the current cut (mu_ held).
+  Status ValidateBatchLocked(
+      const std::vector<IngestMutation>& mutations) const;
+  /// Applies a validated, durably logged batch to memtable + tail (mu_
+  /// held): assigns sequences, folds the chain, bumps the generation.
+  void AbsorbBatchLocked(const std::vector<IngestMutation>& mutations);
   void MergerLoop();
 
   DataStoreOptions options_;
@@ -175,12 +255,22 @@ class DataStore {
   mutable std::mutex mu_;
   mutable std::mutex append_mu_;  ///< orders log writes with memtable
                                   ///< applies (stats reads log size).
-  std::mutex merge_mu_;   ///< serializes merges.
+  std::mutex merge_mu_;   ///< serializes merges (and snapshot installs).
   std::shared_ptr<const Dataset> base_;
   std::shared_ptr<const LogicalTimeIndex> base_index_;
   std::uint64_t base_epoch_ = 0;
   std::vector<std::shared_ptr<const DeltaRun>> runs_;
   DeltaIndex memtable_;
+  /// Append-order mirror of the log's record range (tail_base_seq_,
+  /// last_seq_]: what Materialize applies (sequence order makes the merged
+  /// row order independent of when merges happen — the replication
+  /// bit-identity invariant) and what TailFrom streams to peers.
+  std::deque<TailRecord> tail_;
+  std::uint64_t tail_base_seq_ = 0;
+  std::uint64_t tail_base_chain_ = 0;
+  std::uint64_t last_seq_ = 0;
+  std::uint64_t last_chain_ = 0;
+  std::uint64_t replicated_ = 0;
   std::uint64_t generation_ = 0;  ///< bumped on every visible change.
   mutable std::shared_ptr<const DataSnapshot> cached_snapshot_;
   mutable std::uint64_t cached_generation_ = 0;

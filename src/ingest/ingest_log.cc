@@ -17,7 +17,8 @@
 namespace domd {
 namespace {
 
-constexpr char kHeader[] = "domd-ingest-log v1\n";
+constexpr char kHeaderV1[] = "domd-ingest-log v1\n";
+constexpr char kHeaderV2Prefix[] = "domd-ingest-log v2 ";
 
 std::uint64_t Fnv1a(std::string_view bytes) {
   std::uint64_t hash = 0xCBF29CE484222325ull;
@@ -39,6 +40,55 @@ std::string EncodeRecord(const IngestMutation& mutation) {
   const std::string payload = EncodeMutation(mutation);
   return std::to_string(payload.size()) + " " + HexU64(Fnv1a(payload)) +
          " " + payload + "\n";
+}
+
+/// "domd-ingest-log v2 <base-seq> <base-chain-hex16>\n".
+std::string EncodeHeaderV2(std::uint64_t base_seq,
+                           std::uint64_t base_chain) {
+  return std::string(kHeaderV2Prefix) + std::to_string(base_seq) + " " +
+         HexU64(base_chain) + "\n";
+}
+
+/// Parses the v1 or v2 header line of `contents`. On success sets the
+/// offset of the first record byte plus the base sequence/chain (0/0 for
+/// v1, so every PR-9 log replays with records numbered from 1).
+Status ParseHeader(std::string_view contents, std::size_t* record_begin,
+                   std::uint64_t* base_seq, std::uint64_t* base_chain) {
+  const std::string_view v1(kHeaderV1);
+  if (contents.size() >= v1.size() && contents.substr(0, v1.size()) == v1) {
+    *record_begin = v1.size();
+    *base_seq = 0;
+    *base_chain = 0;
+    return Status::OK();
+  }
+  const std::string_view v2(kHeaderV2Prefix);
+  if (contents.size() >= v2.size() && contents.substr(0, v2.size()) == v2) {
+    const std::size_t eol = contents.find('\n', v2.size());
+    const std::size_t sp = contents.find(' ', v2.size());
+    if (eol == std::string_view::npos || sp == std::string_view::npos ||
+        sp >= eol) {
+      return Status::DataLoss("ingest log v2 header is malformed");
+    }
+    const std::string_view seq_text =
+        contents.substr(v2.size(), sp - v2.size());
+    const auto [sptr, sec] = std::from_chars(
+        seq_text.data(), seq_text.data() + seq_text.size(), *base_seq);
+    const std::string_view chain_text =
+        contents.substr(sp + 1, eol - sp - 1);
+    const auto [cptr, cec] =
+        std::from_chars(chain_text.data(),
+                        chain_text.data() + chain_text.size(), *base_chain,
+                        16);
+    if (sec != std::errc() || sptr != seq_text.data() + seq_text.size() ||
+        cec != std::errc() ||
+        cptr != chain_text.data() + chain_text.size() ||
+        chain_text.size() != 16) {
+      return Status::DataLoss("ingest log v2 header is malformed");
+    }
+    *record_begin = eol + 1;
+    return Status::OK();
+  }
+  return Status::DataLoss("unrecognized ingest log header");
 }
 
 Status FsyncFd(int fd, const std::string& what) {
@@ -187,14 +237,20 @@ StatusOr<std::unique_ptr<IngestLog>> IngestLog::Open(
 
   std::size_t good_end = 0;
   if (existed) {
-    const std::string_view header(kHeader);
-    if (contents.size() < header.size() ||
-        std::string_view(contents).substr(0, header.size()) != header) {
+    std::size_t record_begin = 0;
+    const Status header = ParseHeader(contents, &record_begin,
+                                      &replay->base_seq,
+                                      &replay->base_chain);
+    if (!header.ok()) {
+      return Status::DataLoss("ingest log " + path + ": " +
+                              header.message());
+    }
+    if (contents.size() < record_begin) {
       return Status::DataLoss("ingest log " + path +
-                              " has an unrecognized header");
+                              " header is truncated");
     }
     bool torn = false;
-    good_end = ScanRecords(contents, header.size(), &replay->records,
+    good_end = ScanRecords(contents, record_begin, &replay->records,
                            &torn);
     if (torn) {
       // A torn *tail* is the expected crash artifact and truncates
@@ -232,11 +288,15 @@ StatusOr<std::unique_ptr<IngestLog>> IngestLog::Open(
   }
   auto log = std::unique_ptr<IngestLog>(
       new IngestLog(path, fd, existed ? good_end : 0));
+  log->base_seq_ = replay->base_seq;
+  log->base_chain_ = replay->base_chain;
+  log->count_ = replay->records.size();
   if (!existed) {
-    DOMD_RETURN_IF_ERROR(WriteAll(fd, kHeader, path));
+    const std::string header = EncodeHeaderV2(0, 0);
+    DOMD_RETURN_IF_ERROR(WriteAll(fd, header, path));
     DOMD_RETURN_IF_ERROR(FsyncFd(fd, path));
     DOMD_RETURN_IF_ERROR(FsyncParentDir(path));
-    log->size_bytes_ = sizeof(kHeader) - 1;
+    log->size_bytes_ = header.size();
   } else if (replay->truncated_bytes > 0) {
     DOMD_RETURN_IF_ERROR(FsyncFd(fd, path));
   }
@@ -270,11 +330,59 @@ Status IngestLog::AppendBatch(
   DOMD_RETURN_IF_ERROR(FsyncFd(fd_, path_));
   size_bytes_ += buffer.size();
   appended_ += mutations.size();
+  count_ += mutations.size();
   return Status::OK();
 }
 
-Status IngestLog::Rotate(
-    const std::vector<IngestMutation>& still_pending) {
+StatusOr<IngestLog::TailRead> IngestLog::ReadFrom(
+    std::uint64_t from_seq) const {
+  if (from_seq <= base_seq_) {
+    return Status::OutOfRange(
+        "ingest log " + path_ + " starts at sequence " +
+        std::to_string(base_seq_ + 1) + "; records before that were "
+        "compacted into the base tables (snapshot transfer required)");
+  }
+  TailRead tail;
+  tail.first_seq = from_seq;
+  if (from_seq > last_seq()) return tail;  // nothing new: empty tail.
+
+  // Re-read the whole file. The caller serializes against Append/Rotate,
+  // so the on-disk state matches this object's (base_seq_, count_) view
+  // and a scan failure here is real corruption, not a race.
+  std::string contents;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) {
+      return Status::IoError("cannot reopen ingest log " + path_ +
+                             " for a tail read");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    contents = buffer.str();
+  }
+  std::size_t record_begin = 0;
+  std::uint64_t base_seq = 0;
+  std::uint64_t base_chain = 0;
+  DOMD_RETURN_IF_ERROR(
+      ParseHeader(contents, &record_begin, &base_seq, &base_chain));
+  std::vector<IngestMutation> records;
+  bool torn = false;
+  ScanRecords(contents, record_begin, &records, &torn);
+  if (torn || base_seq != base_seq_ || records.size() != count_) {
+    return Status::DataLoss("ingest log " + path_ +
+                            " changed underneath a tail read");
+  }
+  const std::size_t skip = from_seq - base_seq_ - 1;
+  tail.records.assign(
+      std::make_move_iterator(records.begin() +
+                              static_cast<std::ptrdiff_t>(skip)),
+      std::make_move_iterator(records.end()));
+  return tail;
+}
+
+Status IngestLog::Rotate(const std::vector<IngestMutation>& still_pending,
+                         std::uint64_t new_base_seq,
+                         std::uint64_t new_base_chain) {
   // Never truncate the only durable copy. The replacement log is built in
   // a sibling file and made durable first; the rename below is the single
   // atomic commit point, so a crash anywhere leaves exactly one intact
@@ -286,7 +394,7 @@ Status IngestLog::Rotate(
     return Status::IoError("cannot open " + tmp + ": " +
                            std::strerror(errno));
   }
-  std::string buffer = kHeader;
+  std::string buffer = EncodeHeaderV2(new_base_seq, new_base_chain);
   for (const IngestMutation& mutation : still_pending) {
     buffer += EncodeRecord(mutation);
   }
@@ -310,6 +418,9 @@ Status IngestLog::Rotate(
   ::close(fd_);
   fd_ = fd;
   size_bytes_ = buffer.size();
+  base_seq_ = new_base_seq;
+  base_chain_ = new_base_chain;
+  count_ = still_pending.size();
   return FsyncParentDir(path_);
 }
 

@@ -11,12 +11,22 @@
 
 namespace domd {
 
-/// Crash-safe append-only log of ingestion mutations (DESIGN.md §14).
+/// Crash-safe append-only log of ingestion mutations (DESIGN.md §14, §15).
 ///
 /// On-disk format (text, one record per line):
-///   domd-ingest-log v1\n
+///   domd-ingest-log v2 <base-seq> <base-chain-hex16>\n
 ///   <payload-bytes> <fnv1a-checksum-hex> <payload>\n
 ///   ...
+///
+/// Every record carries an implicit monotonic sequence number: the i-th
+/// record (0-based) of the file is sequence base-seq + 1 + i, so a fresh
+/// log starts at sequence 1 and rotation preserves numbering by writing
+/// the merge cut's sequence as the new base. The header also stores the
+/// replication chain value at the base sequence (MutationChain folded over
+/// the full history), which lets a restarted replica prove its prefix
+/// matches a peer's before streaming the tail. A v1 header
+/// ("domd-ingest-log v1") is still accepted and reads as base 0 / chain 0,
+/// so every PR-9 log replays unchanged.
 ///
 /// Every Append writes one checksummed record and fsyncs before returning
 /// (the PR-5 durability idiom); the batch variant amortizes the fsync over
@@ -37,6 +47,14 @@ class IngestLog {
   struct ReplayResult {
     std::vector<IngestMutation> records;
     std::size_t truncated_bytes = 0;  ///< torn-tail bytes discarded.
+    std::uint64_t base_seq = 0;   ///< sequence before records.front().
+    std::uint64_t base_chain = 0; ///< chain value at base_seq.
+  };
+
+  /// The tail of the log from one sequence number (ReadFrom).
+  struct TailRead {
+    std::uint64_t first_seq = 0;  ///< sequence of records.front().
+    std::vector<IngestMutation> records;
   };
 
   /// Opens (creating if absent) the log at `path`, replaying existing
@@ -54,8 +72,19 @@ class IngestLog {
   /// Durably appends a batch with a single fsync.
   Status AppendBatch(const std::vector<IngestMutation>& mutations);
 
+  /// Re-reads the log file and returns every record with sequence >=
+  /// from_seq (empty when from_seq is past the end). kOutOfRange when
+  /// from_seq <= base_seq(): those records were compacted into the base
+  /// tables by a rotation and can only be recovered via snapshot transfer.
+  /// The caller must serialize this against Append/Rotate (the DataStore
+  /// holds append_mu_ across both).
+  StatusOr<TailRead> ReadFrom(std::uint64_t from_seq) const;
+
   /// Atomically replaces the log's contents with `still_pending` after a
-  /// merge has durably persisted everything else (log rotation). The
+  /// merge has durably persisted everything else (log rotation). The new
+  /// header records `new_base_seq` (the sequence of the last merged
+  /// record; still_pending keeps its original numbering from there) and
+  /// `new_base_chain` (the history chain at that sequence). The
   /// replacement is written and fsync'd as a sibling file, then rename()d
   /// over the old log (parent directory fsync'd), so at every instant
   /// exactly one intact log exists on disk: a crash mid-rotation replays
@@ -63,11 +92,16 @@ class IngestLog {
   /// upserts — or exactly the still-pending suffix. Fault point
   /// ingest.log.rotate fires at the most adversarial moment, after the
   /// replacement is durable but before the rename.
-  Status Rotate(const std::vector<IngestMutation>& still_pending);
+  Status Rotate(const std::vector<IngestMutation>& still_pending,
+                std::uint64_t new_base_seq, std::uint64_t new_base_chain);
 
   const std::string& path() const { return path_; }
   std::size_t size_bytes() const { return size_bytes_; }
   std::uint64_t appended() const { return appended_; }
+  /// Sequence numbering: the log holds records (base_seq, last_seq].
+  std::uint64_t base_seq() const { return base_seq_; }
+  std::uint64_t base_chain() const { return base_chain_; }
+  std::uint64_t last_seq() const { return base_seq_ + count_; }
 
  private:
   IngestLog(std::string path, int fd, std::size_t size_bytes)
@@ -77,6 +111,9 @@ class IngestLog {
   int fd_ = -1;
   std::size_t size_bytes_ = 0;
   std::uint64_t appended_ = 0;
+  std::uint64_t base_seq_ = 0;
+  std::uint64_t base_chain_ = 0;
+  std::uint64_t count_ = 0;  ///< records currently in the file.
 };
 
 /// Durable small-file write (write to <path>.tmp, fsync, rename, fsync

@@ -51,6 +51,14 @@ std::string EncodeMutation(const IngestMutation& mutation);
 /// Parses a payload produced by EncodeMutation.
 StatusOr<IngestMutation> DecodeMutation(std::string_view payload);
 
+/// Folds one encoded payload into a running replication history chain.
+/// Two replicas hold byte-identical mutation histories through sequence
+/// number S exactly when their chain values at S match — the cheap prefix
+/// equality probe the catch-up protocol uses to distinguish "stream the
+/// tail" from "histories diverged, reinstall a snapshot" (DESIGN.md §15).
+/// The chain at sequence 0 (an empty history) is 0 by definition.
+std::uint64_t MutationChain(std::uint64_t prev, std::string_view payload);
+
 }  // namespace domd
 
 #endif  // DOMD_INGEST_MUTATION_H_

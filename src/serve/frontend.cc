@@ -83,8 +83,11 @@ void ServeFrontend::RegisterBuiltinVerbs() {
                });
   RegisterVerb("stats", VerbPolicy::kInline,
                [this](const JsonValue&, Responder responder) {
-                 responder.Respond(
-                     StatsToJson(service_->stats()).Serialize());
+                 JsonValue out = StatsToJson(service_->stats());
+                 if (options_.store != nullptr && options_.repl != nullptr) {
+                   out.Set("repl", options_.repl->StatsJson());
+                 }
+                 responder.Respond(out.Serialize());
                });
   RegisterVerb("health", VerbPolicy::kInline, [this](const JsonValue&,
                                                      Responder responder) {
@@ -106,6 +109,17 @@ void ServeFrontend::RegisterBuiltinVerbs() {
             JsonValue::Number(static_cast<double>(stats.queue_depth)));
     out.Set("swap_failures",
             JsonValue::Number(static_cast<double>(stats.swap_failures)));
+    if (options_.store != nullptr && options_.repl != nullptr) {
+      // Replication stance: which replica owns the write path, how far
+      // this one has applied, and (on a primary) the worst follower lag.
+      out.Set("ingest_role",
+              JsonValue::String(ReplRoleName(options_.repl->role())));
+      out.Set("ingest_last_seq",
+              JsonValue::Number(
+                  static_cast<double>(options_.store->last_seq())));
+      out.Set("repl_lag",
+              JsonValue::Number(static_cast<double>(options_.repl->lag())));
+    }
     responder.Respond(out.Serialize());
   });
   RegisterVerb("metrics", VerbPolicy::kInline, [](const JsonValue&,
@@ -169,6 +183,21 @@ void ServeFrontend::RegisterBuiltinVerbs() {
     out.Set("merges", JsonValue::Number(static_cast<double>(stats.merges)));
     responder.Respond(out.Serialize());
   });
+  if (options_.repl != nullptr) {
+    // Peer-to-peer replication verbs (DESIGN.md §15). kWorker, not
+    // kInline: a sequenced apply fsyncs the local log and an out-of-range
+    // catch-up request materializes a snapshot.
+    RegisterVerb("replicate", VerbPolicy::kWorker,
+                 [this](const JsonValue& request, Responder responder) {
+                   responder.Respond(
+                       options_.repl->HandleReplicate(request).Serialize());
+                 });
+    RegisterVerb("catchup", VerbPolicy::kWorker,
+                 [this](const JsonValue& request, Responder responder) {
+                   responder.Respond(
+                       options_.repl->HandleCatchup(request).Serialize());
+                 });
+  }
   if (!options_.retrain_root.empty()) {
     // A full training run can take minutes; kSlowWorker keeps it off the
     // worker thread so queued ingest acks and stage/swap flips never wait
@@ -306,10 +335,40 @@ void ServeFrontend::RunIngest(const JsonValue& request, Responder responder) {
     responder.Respond(ErrorToJson(mutations.status()).Serialize());
     return;
   }
-  const Status appended = options_.store->AppendBatch(*mutations);
+  if (options_.repl != nullptr) {
+    // A replicated shard only accepts ingest as its primary: a follower
+    // landing an ingest (router failover) promotes here, syncing to the
+    // highest acknowledged sequence it can reach first.
+    const Status primary = options_.repl->EnsurePrimary();
+    if (!primary.ok()) {
+      responder.Respond(ErrorToJson(primary).Serialize());
+      return;
+    }
+  }
+  std::uint64_t last_seq = 0;
+  const Status appended = options_.store->AppendBatch(*mutations, &last_seq);
   if (!appended.ok()) {
     responder.Respond(ErrorToJson(appended).Serialize());
     return;
+  }
+  if (options_.repl != nullptr && !mutations->empty()) {
+    std::vector<std::string> payloads;
+    payloads.reserve(mutations->size());
+    for (const IngestMutation& mutation : *mutations) {
+      payloads.push_back(EncodeMutation(mutation));
+    }
+    options_.repl->QueueBatch(last_seq - mutations->size() + 1,
+                              std::move(payloads));
+    const Status quorum = options_.repl->AwaitQuorum(last_seq);
+    if (!quorum.ok()) {
+      // Durable locally but not yet on quorum - 1 peers: report the
+      // failure (the batch stays queued/log-shipped and sequenced
+      // redelivery is idempotent, so a client retry is safe).
+      JsonValue out = ErrorToJson(quorum);
+      out.Set("last_seq", JsonValue::Number(static_cast<double>(last_seq)));
+      responder.Respond(out.Serialize());
+      return;
+    }
   }
   const IngestStats stats = options_.store->stats();
   JsonValue out = JsonValue::Object();
@@ -320,6 +379,9 @@ void ServeFrontend::RunIngest(const JsonValue& request, Responder responder) {
           JsonValue::Number(static_cast<double>(stats.pending)));
   out.Set("store_epoch",
           JsonValue::String(HexEpoch(options_.store->Snapshot()->epoch())));
+  if (options_.repl != nullptr) {
+    out.Set("last_seq", JsonValue::Number(static_cast<double>(last_seq)));
+  }
   responder.Respond(out.Serialize());
 }
 

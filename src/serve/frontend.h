@@ -15,6 +15,7 @@
 #include "serve/json.h"
 #include "serve/prediction_service.h"
 #include "serve/reactor.h"
+#include "serve/replication.h"
 
 namespace domd {
 
@@ -35,6 +36,13 @@ struct FrontendOptions {
   DataStore* store = nullptr;
   /// Directory `retrain` writes new bundle versions under.
   std::string retrain_root;
+  /// Optional ingest replication layer (not owned; must outlive the
+  /// frontend; requires `store`). When set, the frontend registers the
+  /// `replicate` and `catchup` verbs, `ingest` promotes-then-awaits-quorum
+  /// through it, and `health`/`stats` report the replication role and lag.
+  /// When null, every response stays byte-identical to the un-replicated
+  /// server's.
+  ReplicationManager* repl = nullptr;
 };
 
 /// Where a verb's handler runs.

@@ -1,0 +1,187 @@
+#ifndef DOMD_SERVE_REPLICATION_H_
+#define DOMD_SERVE_REPLICATION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/upstream.h"
+#include "ingest/data_store.h"
+#include "obs/metrics.h"
+#include "serve/json.h"
+
+namespace domd {
+
+/// Knobs of the ingest replication layer (DESIGN.md §15).
+struct ReplicationOptions {
+  /// The other replicas of this shard. Empty runs standalone (every
+  /// replication path is a no-op and the wire behavior is exactly the
+  /// un-replicated server's).
+  std::vector<cluster::Endpoint> peers;
+  /// Write quorum counted across the whole replica set including this
+  /// node: an ingest acks once the mutation is locally durable AND
+  /// quorum - 1 peers confirmed it. 1 (the default) acks on local
+  /// durability alone — the pre-replication behavior.
+  std::size_t quorum = 1;
+  /// Byte bound of each peer's in-memory replication queue. Overflow
+  /// drops the queue and falls back to log-based catch-up: the log is the
+  /// source of truth, the queue only an optimization.
+  std::size_t queue_bytes = std::size_t{4} << 20;
+  /// How long AwaitQuorum waits for follower acks before reporting the
+  /// write as durable-locally-only (kUnavailable; redelivery is safe —
+  /// sequenced applies are idempotent).
+  std::chrono::milliseconds ack_timeout{5000};
+  /// Per-RPC deadline of replicate/catchup calls.
+  std::chrono::milliseconds rpc_timeout{2000};
+  /// Sender idle tick: how often an idle primary re-examines a peer
+  /// (lag check, liveness probe of a silently restarted follower).
+  std::chrono::milliseconds idle_poll{200};
+  /// Records per catch-up batch.
+  std::size_t catchup_batch = 512;
+  /// Eagerly promote at startup (background, best-effort): the node
+  /// syncs from reachable peers and starts pushing without waiting for
+  /// the first routed ingest.
+  bool start_primary = false;
+  cluster::UpstreamOptions upstream;
+};
+
+/// A replica's current stance toward the write path.
+enum class ReplRole {
+  kStandalone,  ///< no peers configured; replication is a no-op.
+  kFollower,    ///< applies pushed batches; promotes on routed ingest.
+  kCatchingUp,  ///< promoting: syncing to the highest reachable sequence.
+  kPrimary,     ///< accepts ingest, ships the log, awaits quorum.
+};
+
+const char* ReplRoleName(ReplRole role);
+
+/// Sequenced log shipping between the replicas of one shard (DESIGN.md
+/// §15). The manager owns one sender thread per peer, each draining a
+/// bounded in-memory queue of freshly acknowledged batches; a peer that
+/// falls behind (queue overflow, transport failure, restart) is switched
+/// to log-based catch-up, which streams the primary's durable tail — or a
+/// full snapshot when the tail was compacted away — until the peer is
+/// level again.
+///
+/// Roles are write-path-defined rather than elected: the replica the
+/// router lands `ingest` on promotes itself (after syncing to the highest
+/// acknowledged sequence it can reach among its peers), and a primary
+/// that receives a valid replicate push demotes to follower. There is no
+/// partition-tolerant consensus here — the router's single write entry
+/// point plus health-ordered failover keeps one primary per shard in
+/// every non-partitioned configuration, and dual-primary windows during a
+/// partition are bounded by demote-on-push (documented non-goal:
+/// split-brain arbitration).
+///
+/// Thread-safe. The DataStore must outlive the manager.
+class ReplicationManager {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ReplicationManager(DataStore* store, ReplicationOptions options);
+  ~ReplicationManager();
+
+  ReplicationManager(const ReplicationManager&) = delete;
+  ReplicationManager& operator=(const ReplicationManager&) = delete;
+
+  ReplRole role() const;
+
+  /// Makes this replica the shard's primary before an ingest is applied:
+  /// standalone and already-primary return immediately; a follower
+  /// promotes by first syncing from every reachable peer (so a failed-
+  /// over primary-elect never acks below the highest acknowledged
+  /// sequence it can reach). kUnavailable while a promotion is already in
+  /// flight on another thread — the router hedges to the next replica.
+  Status EnsurePrimary();
+
+  /// Hands one locally durable batch (already applied at sequences
+  /// [first_seq, first_seq + payloads.size())) to the per-peer senders.
+  void QueueBatch(std::uint64_t first_seq,
+                  std::vector<std::string> payloads);
+
+  /// Blocks until quorum - 1 peers acknowledged everything through `seq`
+  /// (at most ack_timeout). kUnavailable on timeout: the batch is durable
+  /// locally and still queued/log-shipped, so the caller reports the
+  /// write as not-yet-quorum-replicated rather than lost.
+  Status AwaitQuorum(std::uint64_t seq);
+
+  /// The `replicate` verb: applies a sequenced batch (or installs a
+  /// pushed snapshot) and answers with this replica's resulting sequence
+  /// position. A valid push demotes a primary receiver to follower.
+  JsonValue HandleReplicate(const JsonValue& request);
+
+  /// The `catchup` verb: streams the log tail (or a snapshot) from the
+  /// requested sequence.
+  JsonValue HandleCatchup(const JsonValue& request);
+
+  /// Highest per-peer replication lag in records (primary only; 0
+  /// otherwise).
+  std::uint64_t lag() const;
+  /// Completed catch-up transfers (pushed, served, or — for snapshot
+  /// installs — applied: the receiver counts too, so a lost ack cannot
+  /// make a real transfer invisible).
+  std::uint64_t catchups() const;
+
+  /// Replication block for the `stats` verb.
+  JsonValue StatsJson() const;
+
+ private:
+  struct Batch {
+    std::uint64_t first_seq = 0;
+    std::vector<std::string> payloads;
+    std::size_t bytes = 0;
+  };
+  struct Peer {
+    cluster::Endpoint endpoint;
+    std::deque<Batch> queue;
+    std::size_t queued_bytes = 0;
+    /// Queue abandoned (overflow, transport failure, sequence gap): the
+    /// sender must resync from the log before resuming queued pushes.
+    bool need_catchup = true;
+    std::uint64_t acked_seq = 0;
+    Clock::time_point last_contact{};
+    obs::Gauge* lag_cell = nullptr;
+  };
+
+  void SenderLoop(std::size_t peer_index);
+  void PromoterLoop();
+  /// One queued batch to one peer. False switches the peer to catch-up.
+  bool SendBatch(std::size_t peer_index, const Batch& batch);
+  /// Probes the peer's position, then pushes tail batches (or a
+  /// snapshot) until it is level. False = retry after the next idle tick.
+  bool PushCatchup(std::size_t peer_index);
+  Status SyncFromPeers();
+  /// Pulls and installs a full snapshot from `endpoint` (divergence or
+  /// compacted-tail recovery during promotion).
+  Status PullSnapshot(const cluster::Endpoint& endpoint);
+  StatusOr<JsonValue> RpcJson(const cluster::Endpoint& endpoint,
+                              const JsonValue& message);
+  void RecordAck(std::size_t peer_index, std::uint64_t acked_seq);
+  void NoteCatchup();
+  void DemoteOnPush();
+
+  DataStore* const store_;
+  const ReplicationOptions options_;
+  cluster::UpstreamPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< wakes senders (and the promoter).
+  std::condition_variable ack_cv_;   ///< wakes quorum waiters.
+  ReplRole role_ = ReplRole::kStandalone;
+  bool stopping_ = false;
+  std::uint64_t catchups_ = 0;
+  std::vector<Peer> peers_;
+  obs::Counter* catchups_cell_ = nullptr;
+
+  std::vector<std::thread> senders_;  ///< last members: join first.
+  std::thread promoter_;
+};
+
+}  // namespace domd
+
+#endif  // DOMD_SERVE_REPLICATION_H_

@@ -1,0 +1,649 @@
+// Chaos battery for replicated ingest (DESIGN.md §15): an in-process
+// replica set of real serve stacks (DataStore over a persisted dir +
+// PredictionService + ReplicationManager + ServeFrontend + epoll Reactor,
+// each on its own loopback port) talking real replication RPCs over actual
+// TCP. The suites drive kill points through every replication fault site
+// (repl.send / repl.ack / repl.apply / repl.catchup) and the ingest log
+// sites, kill and restart replicas mid-stream, and assert the two
+// invariants the design promises: no acknowledged mutation is ever lost
+// while any quorum member survives, and every replica converges to a
+// bit-identical store epoch — including a rejoining replica whose
+// unacknowledged timeline diverged and must be replaced wholesale.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/host_map.h"
+#include "fault/fault.h"
+#include "ingest/data_store.h"
+#include "ingest/ingest_log.h"
+#include "serve/frontend.h"
+#include "serve/json.h"
+#include "serve/prediction_service.h"
+#include "serve/reactor.h"
+#include "serve/reactor_test_client.h"
+#include "serve/replication.h"
+#include "serve/serve_test_fixture.h"
+
+namespace domd {
+namespace {
+
+using fault::ScopedFaultInjection;
+using testing_internal::GetServeFixture;
+using testing_internal::TestClient;
+using testing_internal::WaitFor;
+
+/// One request/response round trip against a port.
+std::string Rpc(int port, const std::string& line) {
+  TestClient client = TestClient::Connect(port);
+  if (!client.connected()) return "";
+  if (!client.SendLine(line)) return "";
+  auto response = client.ReadLine();
+  return response.has_value() ? *response : "";
+}
+
+JsonValue ParsedRpc(int port, const std::string& line) {
+  auto parsed = JsonValue::Parse(Rpc(port, line));
+  return parsed.ok() ? *parsed : JsonValue::Object();
+}
+
+/// A fresh, valid avail row (ids chosen far above the fixture fleet's).
+JsonValue AvailJson(std::int64_t id) {
+  JsonValue avail = JsonValue::Object();
+  avail.Set("id", JsonValue::Number(static_cast<double>(id)));
+  avail.Set("ship_id", JsonValue::Number(static_cast<double>(900 + id)));
+  avail.Set("status", JsonValue::String("closed"));
+  avail.Set("planned_start", JsonValue::String("2021-03-01"));
+  avail.Set("planned_end", JsonValue::String("2021-09-01"));
+  avail.Set("actual_start", JsonValue::String("2021-03-02"));
+  avail.Set("actual_end", JsonValue::String("2021-10-15"));
+  avail.Set("ship_class", JsonValue::Number(1));
+  avail.Set("rmc_id", JsonValue::Number(2));
+  avail.Set("ship_age_years", JsonValue::Number(12.5));
+  avail.Set("avail_type", JsonValue::Number(1));
+  avail.Set("homeport", JsonValue::Number(2));
+  avail.Set("prior_avail_count", JsonValue::Number(3));
+  avail.Set("contract_value_musd", JsonValue::Number(42.75));
+  avail.Set("crew_size", JsonValue::Number(250));
+  return avail;
+}
+
+JsonValue RccJson(std::int64_t id, std::int64_t avail_id) {
+  JsonValue rcc = JsonValue::Object();
+  rcc.Set("id", JsonValue::Number(static_cast<double>(id)));
+  rcc.Set("avail_id", JsonValue::Number(static_cast<double>(avail_id)));
+  rcc.Set("type", JsonValue::String("N"));
+  rcc.Set("swlin", JsonValue::String("434-11-001"));
+  rcc.Set("creation_date", JsonValue::String("2021-04-01"));
+  rcc.Set("settled_date", JsonValue::String("2021-06-15"));
+  rcc.Set("settled_amount", JsonValue::Number(1357.25));
+  return rcc;
+}
+
+/// An ingest request of `count` fresh avails (plus one RCC each), ids
+/// [first_id, first_id + count). Redelivering the same line is safe:
+/// upserts are idempotent by id.
+std::string IngestLine(std::int64_t first_id, int count) {
+  JsonValue request = JsonValue::Object();
+  request.Set("cmd", JsonValue::String("ingest"));
+  JsonValue avails = JsonValue::Array();
+  JsonValue rccs = JsonValue::Array();
+  for (int i = 0; i < count; ++i) {
+    const std::int64_t id = first_id + i;
+    avails.Append(AvailJson(id));
+    rccs.Append(RccJson(90000 + id, id));
+  }
+  request.Set("avails", std::move(avails));
+  request.Set("rccs", std::move(rccs));
+  return request.Serialize();
+}
+
+std::vector<std::int64_t> IdsOf(std::int64_t first_id, int count) {
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < count; ++i) ids.push_back(first_id + i);
+  return ids;
+}
+
+bool HasAvailIds(DataStore* store, const std::vector<std::int64_t>& ids) {
+  const auto snap = store->Snapshot();
+  std::set<std::int64_t> present;
+  for (const Avail& avail : snap->data().avails.rows()) {
+    present.insert(avail.id);
+  }
+  for (const std::int64_t id : ids) {
+    if (present.count(id) == 0) return false;
+  }
+  return true;
+}
+
+bool HasNoAvailIds(DataStore* store, const std::vector<std::int64_t>& ids) {
+  const auto snap = store->Snapshot();
+  for (const Avail& avail : snap->data().avails.rows()) {
+    for (const std::int64_t id : ids) {
+      if (avail.id == id) return false;
+    }
+  }
+  return true;
+}
+
+/// Replication knobs tuned for test wall-clock: tight idle polls so
+/// catch-up and liveness probes fire within milliseconds, and a quorum
+/// wait short enough that the deliberately-unreplicatable test finishes
+/// fast.
+ReplicationOptions FastReplOptions(std::vector<cluster::Endpoint> peers,
+                                   std::size_t quorum) {
+  ReplicationOptions options;
+  options.peers = std::move(peers);
+  options.quorum = quorum;
+  options.ack_timeout = std::chrono::milliseconds(3000);
+  options.rpc_timeout = std::chrono::milliseconds(1000);
+  options.idle_poll = std::chrono::milliseconds(50);
+  options.catchup_batch = 8;  // small: multi-round-trip catch-ups.
+  return options;
+}
+
+/// One in-process replica: the exact stack domd_serve wires up for
+/// --persist-dir + --repl-peers, on an ephemeral loopback port. The
+/// reactor outlives stack rebuilds (its handler indirects through the
+/// atomic `serving` pointer), so a "process restart" keeps the replica's
+/// address — which is what the static peer lists require.
+struct ReplReplica {
+  std::string dir;
+  int port = 0;
+  std::unique_ptr<DataStore> store;
+  std::unique_ptr<PredictionService> service;
+  std::unique_ptr<ReplicationManager> repl;
+  std::unique_ptr<ServeFrontend> frontend;
+  std::unique_ptr<Reactor> reactor;
+  std::atomic<ServeFrontend*> serving{nullptr};
+
+  /// Opens the persisted store (replaying the log), builds the serve
+  /// stack, and publishes it to the reactor. `quorum` 0 builds without a
+  /// ReplicationManager (the pre-replication stack, for wire-identity
+  /// checks).
+  bool BuildStack(std::vector<cluster::Endpoint> peers, std::size_t quorum) {
+    auto opened = DataStore::OpenDir(dir);
+    if (!opened.ok()) return false;
+    store = std::move(*opened);
+    service = std::make_unique<PredictionService>(GetServeFixture().v1);
+    if (quorum > 0) {
+      repl = std::make_unique<ReplicationManager>(
+          store.get(), FastReplOptions(std::move(peers), quorum));
+    }
+    FrontendOptions options;
+    options.store = store.get();
+    options.repl = repl.get();
+    frontend = std::make_unique<ServeFrontend>(service.get(), options);
+    serving.store(frontend.get());
+    return true;
+  }
+
+  /// Simulated process death: unpublish, then tear down in domd_serve's
+  /// reverse construction order. The dir (log + base CSVs) survives.
+  void Kill() {
+    serving.store(nullptr);
+    reactor.reset();
+    frontend.reset();
+    repl.reset();
+    service.reset();
+    store.reset();
+  }
+};
+
+/// N replicas of one shard, each the other N-1's peer.
+class ReplCluster {
+ public:
+  static std::unique_ptr<ReplCluster> Start(std::size_t n,
+                                            std::size_t quorum) {
+    auto cluster = std::make_unique<ReplCluster>();
+    cluster->quorum_ = quorum;
+    // Phase 1: reactors first — peer lists need every port before any
+    // ReplicationManager exists. No traffic flows until phase 2 publishes
+    // the frontends (every replica starts as a quiescent follower).
+    for (std::size_t i = 0; i < n; ++i) {
+      auto replica = std::make_unique<ReplReplica>();
+      ReplReplica* raw = replica.get();
+      ReactorOptions options;
+      options.port = 0;
+      options.num_shards = 1;
+      auto reactor = Reactor::Create(
+          options, [raw](std::string line, Responder responder) {
+            ServeFrontend* frontend = raw->serving.load();
+            if (frontend == nullptr) {
+              responder.Respond("{\"ok\":false,\"error\":\"starting\"}");
+              return;
+            }
+            frontend->Handle(std::move(line), std::move(responder));
+          });
+      if (!reactor.ok()) return nullptr;
+      replica->reactor = std::move(*reactor);
+      replica->port = replica->reactor->port();
+      cluster->replicas_.push_back(std::move(replica));
+    }
+    // Phase 2: persisted dirs seeded with the fixture fleet, then the
+    // serve stacks.
+    const Dataset& data = GetServeFixture().pipeline.data;
+    const std::string root = ::testing::TempDir() + "/domd_repl_" +
+                             std::to_string(::getpid()) + "_" +
+                             std::to_string(next_cluster_id_++);
+    for (std::size_t i = 0; i < n; ++i) {
+      ReplReplica& replica = *cluster->replicas_[i];
+      replica.dir = root + "/r" + std::to_string(i);
+      std::error_code ec;
+      std::filesystem::remove_all(replica.dir, ec);
+      std::filesystem::create_directories(replica.dir, ec);
+      if (ec) return nullptr;
+      if (!WriteFileDurably(replica.dir + "/avails.csv",
+                            data.avails.ToCsv().Serialize())
+               .ok() ||
+          !WriteFileDurably(replica.dir + "/rccs.csv",
+                            data.rccs.ToCsv().Serialize())
+               .ok()) {
+        return nullptr;
+      }
+      if (!replica.BuildStack(cluster->PeersOf(i), quorum)) return nullptr;
+    }
+    return cluster;
+  }
+
+  ~ReplCluster() {
+    for (auto& replica : replicas_) replica->Kill();
+    for (auto& replica : replicas_) {
+      std::error_code ec;
+      std::filesystem::remove_all(replica->dir, ec);
+    }
+  }
+
+  std::vector<cluster::Endpoint> PeersOf(std::size_t index) const {
+    std::vector<cluster::Endpoint> peers;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (i != index) peers.push_back({"127.0.0.1", replicas_[i]->port});
+    }
+    return peers;
+  }
+
+  void Kill(std::size_t index) { replicas_[index]->Kill(); }
+
+  /// Process restart on the same address: rebuild the stack from the
+  /// surviving dir, then rebind the old port (the reactor sets
+  /// SO_REUSEADDR, so the rebind races nothing).
+  bool Restart(std::size_t index) {
+    ReplReplica& replica = *replicas_[index];
+    if (!replica.BuildStack(PeersOf(index), quorum_)) return false;
+    ReactorOptions options;
+    options.port = replica.port;
+    options.num_shards = 1;
+    ReplReplica* raw = &replica;
+    auto reactor = Reactor::Create(
+        options, [raw](std::string line, Responder responder) {
+          ServeFrontend* frontend = raw->serving.load();
+          if (frontend == nullptr) {
+            responder.Respond("{\"ok\":false,\"error\":\"starting\"}");
+            return;
+          }
+          frontend->Handle(std::move(line), std::move(responder));
+        });
+    if (!reactor.ok()) return false;
+    replica.reactor = std::move(*reactor);
+    return true;
+  }
+
+  int port(std::size_t index) const { return replicas_[index]->port; }
+  DataStore* store(std::size_t index) const {
+    return replicas_[index]->store.get();
+  }
+  ReplicationManager* repl(std::size_t index) const {
+    return replicas_[index]->repl.get();
+  }
+
+  /// Every listed replica at one (last_seq, epoch) — the bit-identity
+  /// invariant: same history => same merged row order => same epoch.
+  bool Converged(const std::vector<std::size_t>& alive) const {
+    DataStore* reference = store(alive.front());
+    const std::uint64_t seq = reference->last_seq();
+    const std::uint64_t epoch = reference->Snapshot()->epoch();
+    for (const std::size_t index : alive) {
+      if (store(index)->last_seq() != seq) return false;
+      if (store(index)->Snapshot()->epoch() != epoch) return false;
+    }
+    return true;
+  }
+
+ private:
+  static std::atomic<int> next_cluster_id_;
+  std::size_t quorum_ = 1;
+  std::vector<std::unique_ptr<ReplReplica>> replicas_;
+};
+
+std::atomic<int> ReplCluster::next_cluster_id_{0};
+
+/// Ingests `line` against `port` until the write is acknowledged (a
+/// promotion right after a failover legitimately answers kUnavailable
+/// while it syncs). Idempotent by construction: sequenced redelivery of
+/// the same upserts deduplicates.
+bool IngestUntilAcked(int port, const std::string& line,
+                      std::chrono::milliseconds timeout =
+                          std::chrono::milliseconds(15000)) {
+  return WaitFor(
+      [&] { return ParsedRpc(port, line).BoolOr("ok", false); }, timeout);
+}
+
+// ---------------------------------------------------------------------------
+// Kill-point matrix: for every replication fault site, inject one failure
+// mid-stream, kill the primary, fail over, and prove that every
+// acknowledged mutation survives on the new quorum and that a restarted
+// replica rejoins bit-identically.
+// ---------------------------------------------------------------------------
+
+TEST(ReplChaosTest, KillPointMatrixLosesNoAckedMutation) {
+  const std::vector<std::string> sites = {
+      "ingest.log.append", "ingest.log.fsync", "repl.send",
+      "repl.ack",          "repl.apply",       "repl.catchup",
+  };
+  for (const std::string& site : sites) {
+    SCOPED_TRACE("fault site: " + site);
+    auto cluster = ReplCluster::Start(3, /*quorum=*/2);
+    ASSERT_NE(cluster, nullptr);
+    std::vector<std::int64_t> acked;
+
+    // Batch A: clean quorum write through replica 0 (it promotes).
+    ASSERT_TRUE(IngestUntilAcked(cluster->port(0), IngestLine(5000, 3)));
+    for (const std::int64_t id : IdsOf(5000, 3)) acked.push_back(id);
+    ASSERT_TRUE(WaitFor([&] { return cluster->Converged({0, 1, 2}); },
+                        std::chrono::milliseconds(10000)));
+
+    // Batch B under the armed site. Only an acknowledged write joins the
+    // must-survive set — a failed ack promises nothing.
+    {
+      ScopedFaultInjection fault(site + "=fail-nth:1");
+      const JsonValue response =
+          ParsedRpc(cluster->port(0), IngestLine(5100, 3));
+      if (response.BoolOr("ok", false)) {
+        for (const std::int64_t id : IdsOf(5100, 3)) acked.push_back(id);
+      }
+    }
+
+    // Primary dies; batch C lands on a surviving replica, which must
+    // promote at or above every acknowledged sequence.
+    cluster->Kill(0);
+    ASSERT_TRUE(IngestUntilAcked(cluster->port(1), IngestLine(5200, 3)));
+    for (const std::int64_t id : IdsOf(5200, 3)) acked.push_back(id);
+
+    ASSERT_TRUE(WaitFor([&] { return cluster->Converged({1, 2}); },
+                        std::chrono::milliseconds(10000)));
+    EXPECT_TRUE(HasAvailIds(cluster->store(1), acked));
+    EXPECT_TRUE(HasAvailIds(cluster->store(2), acked));
+
+    // The dead primary rejoins as a follower and is pushed level.
+    ASSERT_TRUE(cluster->Restart(0));
+    ASSERT_TRUE(WaitFor([&] { return cluster->Converged({0, 1, 2}); },
+                        std::chrono::milliseconds(15000)));
+    EXPECT_TRUE(HasAvailIds(cluster->store(0), acked));
+    EXPECT_EQ(cluster->store(0)->Snapshot()->epoch(),
+              cluster->store(1)->Snapshot()->epoch());
+  }
+}
+
+// An unacknowledged batch that was durable ONLY on the dead primary forks
+// the timeline: the failed-over primary assigns the same sequence numbers
+// to new writes. When the old primary rejoins, its sequence position looks
+// level — only the history chain betrays the divergence. The catch-up
+// handshake must replace the forked suffix with a snapshot instead of
+// extending it.
+TEST(ReplChaosTest, UnackedDivergentTimelineReplacedAfterFailover) {
+  auto cluster = ReplCluster::Start(3, /*quorum=*/2);
+  ASSERT_NE(cluster, nullptr);
+
+  ASSERT_TRUE(IngestUntilAcked(cluster->port(0), IngestLine(6000, 2)));
+  ASSERT_TRUE(WaitFor([&] { return cluster->Converged({0, 1, 2}); },
+                      std::chrono::milliseconds(10000)));
+
+  // Batch B becomes durable on replica 0 alone: every outbound replicate
+  // fails, so quorum 2 cannot be reached and the client is told so.
+  {
+    ScopedFaultInjection fault("repl.send=fail-first:1000000");
+    const JsonValue response =
+        ParsedRpc(cluster->port(0), IngestLine(6100, 2));
+    ASSERT_FALSE(response.BoolOr("ok", false));
+  }
+  cluster->Kill(0);
+
+  // Batch C takes B's sequence numbers on the new primary's timeline.
+  ASSERT_TRUE(IngestUntilAcked(cluster->port(1), IngestLine(6200, 2)));
+  ASSERT_TRUE(WaitFor([&] { return cluster->Converged({1, 2}); },
+                      std::chrono::milliseconds(10000)));
+
+  // The old primary rejoins holding the forked suffix at the same
+  // sequence position. Convergence here is exactly the chain check: a
+  // sequence-number-only handshake would call it level and leave it
+  // diverged forever.
+  ASSERT_TRUE(cluster->Restart(0));
+  ASSERT_TRUE(WaitFor([&] { return cluster->Converged({0, 1, 2}); },
+                      std::chrono::milliseconds(15000)));
+  EXPECT_TRUE(HasAvailIds(cluster->store(0), IdsOf(6200, 2)));
+  EXPECT_TRUE(HasNoAvailIds(cluster->store(0), IdsOf(6100, 2)));
+  EXPECT_EQ(cluster->store(0)->Snapshot()->epoch(),
+            cluster->store(1)->Snapshot()->epoch());
+}
+
+// A failed log rotation on the primary must leave replication untouched:
+// the merge aborts cleanly, later writes still reach quorum, and a retried
+// merge persists.
+TEST(ReplChaosTest, RotationFaultDuringReplicatedMergeIsClean) {
+  auto cluster = ReplCluster::Start(3, /*quorum=*/2);
+  ASSERT_NE(cluster, nullptr);
+
+  ASSERT_TRUE(IngestUntilAcked(cluster->port(0), IngestLine(6300, 3)));
+  ASSERT_TRUE(WaitFor([&] { return cluster->Converged({0, 1, 2}); },
+                      std::chrono::milliseconds(10000)));
+
+  {
+    ScopedFaultInjection fault("ingest.log.rotate=fail-nth:1");
+    EXPECT_FALSE(cluster->store(0)->Merge().ok());
+  }
+  ASSERT_TRUE(IngestUntilAcked(cluster->port(0), IngestLine(6400, 2)));
+  auto merged = cluster->store(0)->Merge();
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_TRUE(merged->persisted);
+
+  ASSERT_TRUE(IngestUntilAcked(cluster->port(0), IngestLine(6500, 2)));
+  ASSERT_TRUE(WaitFor([&] { return cluster->Converged({0, 1, 2}); },
+                      std::chrono::milliseconds(10000)));
+  EXPECT_TRUE(HasAvailIds(cluster->store(2), IdsOf(6500, 2)));
+}
+
+// ---------------------------------------------------------------------------
+// Catch-up across a primary-side log rotation: the records a dead follower
+// needs get compacted into the base CSVs while it is down, so its rejoin
+// must switch from tail streaming to a snapshot install — and still land
+// on the identical epoch.
+// ---------------------------------------------------------------------------
+
+TEST(ReplCatchupTest, FollowerCatchesUpAcrossPrimaryRotation) {
+  auto cluster = ReplCluster::Start(3, /*quorum=*/1);
+  ASSERT_NE(cluster, nullptr);
+
+  ASSERT_TRUE(IngestUntilAcked(cluster->port(0), IngestLine(7000, 3)));
+  ASSERT_TRUE(WaitFor([&] { return cluster->Converged({0, 1, 2}); },
+                      std::chrono::milliseconds(10000)));
+
+  cluster->Kill(2);
+  ASSERT_TRUE(IngestUntilAcked(cluster->port(0), IngestLine(7100, 4)));
+
+  // Wait for the primary's sender to hit the dead peer and abandon its
+  // in-memory queue (the peer flips to catching_up). Without this the
+  // queued batches can survive until the restart and deliver directly —
+  // correct, but then no catch-up transfer ever needs to happen and the
+  // counter assertion below would be meaningless.
+  const std::string dead_endpoint = "127.0.0.1:" +
+                                    std::to_string(cluster->port(2));
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        const JsonValue stats = cluster->repl(0)->StatsJson();
+        const JsonValue* peers = stats.Find("peers");
+        if (peers == nullptr) return false;
+        for (const JsonValue& peer : peers->items()) {
+          if (peer.StringOr("endpoint", "") == dead_endpoint) {
+            return peer.BoolOr("catching_up", false);
+          }
+        }
+        return false;
+      },
+      std::chrono::milliseconds(10000)));
+
+  // Persisting merge on the primary: base CSVs rewritten, log truncated,
+  // the tail the dead follower needs compacted away.
+  auto merged = cluster->store(0)->Merge();
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ASSERT_TRUE(merged->persisted);
+
+  ASSERT_TRUE(IngestUntilAcked(cluster->port(0), IngestLine(7200, 2)));
+
+  ASSERT_TRUE(cluster->Restart(2));
+  ASSERT_TRUE(WaitFor([&] { return cluster->Converged({0, 1, 2}); },
+                      std::chrono::milliseconds(15000)));
+  EXPECT_TRUE(HasAvailIds(cluster->store(2), IdsOf(7100, 4)));
+  EXPECT_TRUE(HasAvailIds(cluster->store(2), IdsOf(7200, 2)));
+  // The replayed follower sat below the primary's compacted tail, so its
+  // rejoin can only have been a snapshot install — counted on the
+  // receiver, where it is immune to a lost ack making the primary's
+  // retry find the peer already level and record nothing. Polled, not
+  // read once: InstallSnapshot commits the converged state a few
+  // instructions before the handler increments the counter, so a single
+  // read can land in that gap.
+  EXPECT_TRUE(WaitFor([&] { return cluster->repl(2)->catchups() > 0; },
+                      std::chrono::milliseconds(10000)))
+      << "repl2=" << cluster->repl(2)->StatsJson().Serialize();
+}
+
+// ---------------------------------------------------------------------------
+// Replication rides the same UpstreamPool as the router: transient
+// transport fault bursts on the shared connect/send/recv sites must only
+// delay convergence, never corrupt it.
+// ---------------------------------------------------------------------------
+
+TEST(ReplUpstreamTest, RouteFaultBurstsOnlyDelayConvergence) {
+  auto cluster = ReplCluster::Start(3, /*quorum=*/2);
+  ASSERT_NE(cluster, nullptr);
+  std::vector<std::int64_t> acked;
+
+  ASSERT_TRUE(IngestUntilAcked(cluster->port(0), IngestLine(8000, 3)));
+  for (const std::int64_t id : IdsOf(8000, 3)) acked.push_back(id);
+  ASSERT_TRUE(WaitFor([&] { return cluster->Converged({0, 1, 2}); },
+                      std::chrono::milliseconds(10000)));
+
+  {
+    ScopedFaultInjection fault(
+        "cluster.route.connect=fail-first:3,cluster.route.send=fail-first:3,"
+        "cluster.route.recv=fail-first:3");
+    const JsonValue response =
+        ParsedRpc(cluster->port(0), IngestLine(8100, 3));
+    if (response.BoolOr("ok", false)) {
+      for (const std::int64_t id : IdsOf(8100, 3)) acked.push_back(id);
+    }
+  }
+
+  ASSERT_TRUE(IngestUntilAcked(cluster->port(0), IngestLine(8200, 3)));
+  for (const std::int64_t id : IdsOf(8200, 3)) acked.push_back(id);
+
+  ASSERT_TRUE(WaitFor([&] { return cluster->Converged({0, 1, 2}); },
+                      std::chrono::milliseconds(15000)));
+  for (const std::size_t index : {0u, 1u, 2u}) {
+    EXPECT_TRUE(HasAvailIds(cluster->store(index), acked))
+        << "replica " << index;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire identity: with no ReplicationManager the server's ingest / health /
+// stats responses are exactly the pre-replication ones (no new members);
+// attaching a standalone manager adds precisely the documented fields.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> KeysOf(const JsonValue& object) {
+  std::vector<std::string> keys;
+  for (const auto& member : object.members()) keys.push_back(member.first);
+  return keys;
+}
+
+TEST(ReplRegressionTest, WireIdentityWithoutReplication) {
+  // Two single-replica "clusters": one without a ReplicationManager (the
+  // pre-replication stack), one with a standalone (peerless) manager.
+  auto bare = ReplCluster::Start(1, /*quorum=*/0);
+  auto standalone = ReplCluster::Start(1, /*quorum=*/1);
+  ASSERT_NE(bare, nullptr);
+  ASSERT_NE(standalone, nullptr);
+  ASSERT_EQ(bare->repl(0), nullptr);
+  ASSERT_NE(standalone->repl(0), nullptr);
+
+  const std::string line = IngestLine(9000, 2);
+  const JsonValue bare_response = ParsedRpc(bare->port(0), line);
+  const JsonValue repl_response = ParsedRpc(standalone->port(0), line);
+  ASSERT_TRUE(bare_response.BoolOr("ok", false));
+  ASSERT_TRUE(repl_response.BoolOr("ok", false));
+
+  // The un-replicated response is exactly the pre-replication member set.
+  const std::vector<std::string> expected = {"ok", "appended",
+                                             "pending_mutations",
+                                             "store_epoch"};
+  EXPECT_EQ(KeysOf(bare_response), expected);
+  // The standalone response is that set plus last_seq, with every shared
+  // member identical (same seeded fleet, same mutations => same epoch).
+  std::vector<std::string> with_seq = expected;
+  with_seq.push_back("last_seq");
+  EXPECT_EQ(KeysOf(repl_response), with_seq);
+  for (const std::string& key : expected) {
+    ASSERT_NE(bare_response.Find(key), nullptr) << key;
+    ASSERT_NE(repl_response.Find(key), nullptr) << key;
+    EXPECT_EQ(bare_response.Find(key)->Serialize(),
+              repl_response.Find(key)->Serialize())
+        << key;
+  }
+  EXPECT_EQ(repl_response.NumberOr("last_seq", 0), 4.0);  // 2 avails + 2 rccs.
+
+  // health: the replication stance appears only when replication is on.
+  const JsonValue bare_health =
+      ParsedRpc(bare->port(0), "{\"cmd\":\"health\"}");
+  const JsonValue repl_health =
+      ParsedRpc(standalone->port(0), "{\"cmd\":\"health\"}");
+  EXPECT_EQ(bare_health.Find("ingest_role"), nullptr);
+  EXPECT_EQ(bare_health.Find("ingest_last_seq"), nullptr);
+  EXPECT_EQ(bare_health.Find("repl_lag"), nullptr);
+  EXPECT_EQ(repl_health.StringOr("ingest_role", ""), "standalone");
+  EXPECT_EQ(repl_health.NumberOr("ingest_last_seq", -1), 4.0);
+  EXPECT_EQ(repl_health.NumberOr("repl_lag", -1), 0.0);
+
+  // stats: the repl block appears only when replication is on.
+  const JsonValue bare_stats =
+      ParsedRpc(bare->port(0), "{\"cmd\":\"stats\"}");
+  const JsonValue repl_stats =
+      ParsedRpc(standalone->port(0), "{\"cmd\":\"stats\"}");
+  EXPECT_EQ(bare_stats.Find("repl"), nullptr);
+  const JsonValue* repl_block = repl_stats.Find("repl");
+  ASSERT_NE(repl_block, nullptr);
+  EXPECT_EQ(repl_block->StringOr("role", ""), "standalone");
+  EXPECT_EQ(repl_block->NumberOr("quorum", 0), 1.0);
+
+  // replicate/catchup are registered only when replication is on.
+  const JsonValue bare_replicate = ParsedRpc(
+      bare->port(0), "{\"cmd\":\"replicate\",\"first_seq\":1,\"records\":[]}");
+  EXPECT_FALSE(bare_replicate.BoolOr("ok", false));
+  const JsonValue repl_probe = ParsedRpc(
+      standalone->port(0),
+      "{\"cmd\":\"replicate\",\"first_seq\":5,\"records\":[]}");
+  EXPECT_TRUE(repl_probe.BoolOr("ok", false));
+  EXPECT_EQ(repl_probe.NumberOr("last_seq", 0), 4.0);
+}
+
+}  // namespace
+}  // namespace domd

@@ -7,7 +7,9 @@
 //              [--max-connections C] [--idle-timeout-ms T]
 //              [--max-request-bytes L] [--fault-spec SPEC]
 //              [--ingest-log FILE] [--retrain-root DIR]
-//              [--merge-threshold N]
+//              [--merge-threshold N] [--persist-dir DIR]
+//              [--repl-peers H:P,H:P] [--repl-quorum Q]
+//              [--repl-queue-bytes B] [--repl-role primary|follower]
 //
 // Listens on 127.0.0.1:P (P = 0 picks an ephemeral port; the chosen port is
 // printed on stdout as "listening on 127.0.0.1:<port>"). Each connection
@@ -42,6 +44,21 @@
 // into the base once N mutations are pending (0, the default, merges only
 // by explicit DataStore::Merge).
 //
+// --persist-dir DIR makes the store fully durable: the base CSVs live in
+// DIR (bootstrapped from the bundle's reference fleet on first start),
+// merges rewrite them crash-atomically, and the ingest log defaults to
+// DIR/ingest.log — so a restarted replica reopens exactly where it left
+// off. Required for a replica that may install peer snapshots.
+//
+// --repl-peers lists the other replicas of this shard and turns on
+// sequenced log shipping (DESIGN.md §15): `replicate` and `catchup` come
+// online, ingest acks only after the mutation is locally durable AND
+// --repl-quorum replicas (counting this one) hold it, and followers that
+// fall behind are caught up from the log in the background. --repl-role
+// primary promotes eagerly at startup (after syncing from reachable
+// peers); the default follower stance promotes on the first routed
+// ingest. --repl-quorum 1 (default) acks on local durability alone.
+//
 // Front-end: a non-blocking epoll reactor (DESIGN.md §11) — one acceptor
 // plus --loop-shards event-loop shards, each owning its connections. Client
 // requests pipeline: N requests on one connection are answered in order
@@ -68,14 +85,18 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "cluster/host_map.h"
 #include "fault/fault.h"
 #include "ingest/data_store.h"
 #include "serve/frontend.h"
 #include "serve/reactor.h"
+#include "serve/replication.h"
 #include "serve/wire.h"
 
 namespace domd {
@@ -172,23 +193,91 @@ int Run(const Flags& flags) {
   // fleet, so freshness epochs and retrain cuts both extend the data the
   // live model was trained from.
   std::unique_ptr<DataStore> store;
-  if (const auto it = flags.find("ingest-log"); it != flags.end()) {
+  const std::string persist_dir = FlagOr(flags, "persist-dir", "");
+  const auto log_it = flags.find("ingest-log");
+  if (!persist_dir.empty() || log_it != flags.end()) {
     DataStoreOptions store_options;
-    store_options.log_path = it->second;
+    if (log_it != flags.end()) store_options.log_path = log_it->second;
     store_options.merge_threshold = static_cast<std::size_t>(
         std::atoll(FlagOr(flags, "merge-threshold", "0").c_str()));
-    auto opened = DataStore::Open((*bundle)->data(), store_options);
+    StatusOr<std::unique_ptr<DataStore>> opened =
+        Status::Internal("store not opened");
+    if (!persist_dir.empty()) {
+      // Durable store: base CSVs in persist_dir, bootstrapped from the
+      // bundle's reference fleet on first start so every replica begins
+      // from the identical base the model was trained on.
+      std::error_code ec;
+      std::filesystem::create_directories(persist_dir, ec);
+      if (ec) {
+        std::fprintf(stderr, "error: --persist-dir %s: %s\n",
+                     persist_dir.c_str(), ec.message().c_str());
+        return 1;
+      }
+      if (!std::filesystem::exists(persist_dir + "/avails.csv")) {
+        Status seeded =
+            WriteFileDurably(persist_dir + "/avails.csv",
+                             (*bundle)->data().avails.ToCsv().Serialize());
+        if (seeded.ok()) {
+          seeded =
+              WriteFileDurably(persist_dir + "/rccs.csv",
+                               (*bundle)->data().rccs.ToCsv().Serialize());
+        }
+        if (!seeded.ok()) {
+          std::fprintf(stderr, "error: --persist-dir: %s\n",
+                       seeded.ToString().c_str());
+          return 1;
+        }
+      }
+      opened = DataStore::OpenDir(persist_dir, store_options);
+    } else {
+      opened = DataStore::Open((*bundle)->data(), store_options);
+    }
     if (!opened.ok()) {
-      std::fprintf(stderr, "error: --ingest-log: %s\n",
+      std::fprintf(stderr, "error: ingest store: %s\n",
                    opened.status().ToString().c_str());
       return 1;
     }
     store = std::move(*opened);
     const IngestStats ingest = store->stats();
-    std::printf("domd_serve: ingest log %s (%llu replayed, %zu pending)\n",
-                it->second.c_str(),
-                static_cast<unsigned long long>(ingest.replayed),
-                ingest.pending);
+    std::printf(
+        "domd_serve: ingest store (%llu replayed, %zu pending, seq %llu)\n",
+        static_cast<unsigned long long>(ingest.replayed), ingest.pending,
+        static_cast<unsigned long long>(ingest.last_seq));
+  }
+
+  // Replication: configured only when a replication flag is present, so a
+  // plain --ingest-log server keeps its exact pre-replication wire
+  // behavior.
+  std::unique_ptr<ReplicationManager> repl;
+  const std::string repl_peers = FlagOr(flags, "repl-peers", "");
+  const std::string repl_role = FlagOr(flags, "repl-role", "");
+  if (store != nullptr && (!repl_peers.empty() || !repl_role.empty())) {
+    ReplicationOptions repl_options;
+    std::string rest = repl_peers;
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      const std::string token = rest.substr(0, comma);
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+      if (token.empty()) continue;
+      auto endpoint = cluster::Endpoint::Parse(token);
+      if (!endpoint.ok()) {
+        std::fprintf(stderr, "error: --repl-peers: %s\n",
+                     endpoint.status().ToString().c_str());
+        return 2;
+      }
+      repl_options.peers.push_back(*endpoint);
+    }
+    repl_options.quorum = static_cast<std::size_t>(
+        std::atoi(FlagOr(flags, "repl-quorum", "1").c_str()));
+    repl_options.queue_bytes = static_cast<std::size_t>(std::atoll(
+        FlagOr(flags, "repl-queue-bytes",
+               std::to_string(std::size_t{4} << 20))
+            .c_str()));
+    repl_options.start_primary = repl_role == "primary";
+    repl = std::make_unique<ReplicationManager>(store.get(), repl_options);
+    std::printf("domd_serve: replication on (%zu peers, quorum %zu, %s)\n",
+                repl_options.peers.size(), repl_options.quorum,
+                ReplRoleName(repl->role()));
   }
 
   FrontendOptions frontend_options;
@@ -197,6 +286,7 @@ int Run(const Flags& flags) {
   frontend_options.load_retry = load_retry;
   frontend_options.store = store.get();
   frontend_options.retrain_root = FlagOr(flags, "retrain-root", "");
+  frontend_options.repl = repl.get();
   ServeFrontend frontend(&service, frontend_options);
 
   ReactorOptions reactor_options;
